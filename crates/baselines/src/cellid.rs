@@ -1,0 +1,201 @@
+//! Cell-ID sequence matching baseline (Zhou et al. / CAPS style).
+//!
+//! The phone logs its serving cell tower; the logged tower-ID sequence is
+//! matched against the route's reference tower sequence to coarsely place
+//! the bus. The paper's critique, which this implementation reproduces:
+//! towers cover ~800 m, so (1) a single observation is hugely ambiguous,
+//! (2) "it take\[s\] several minutes for the bus rider to capture a stable
+//! cell-ID sequence", and (3) overlapped road segments of different routes
+//! confuse the match.
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+
+/// A run of route arc length served by one tower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TowerRun {
+    /// Index of the serving tower.
+    pub tower: usize,
+    /// Start of the run, metres.
+    pub s0: f64,
+    /// End of the run, metres.
+    pub s1: f64,
+}
+
+/// Cell-ID sequence matcher over a route.
+#[derive(Debug, Clone)]
+pub struct CellIdMatcher {
+    runs: Vec<TowerRun>,
+}
+
+impl CellIdMatcher {
+    /// Builds the reference tower sequence of `route` by sampling every
+    /// `step_m` metres and attaching each sample to its nearest tower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_m <= 0` or `towers` is empty.
+    pub fn build(route: &Route, towers: &[Point], step_m: f64) -> Self {
+        assert!(step_m > 0.0, "sample step must be positive");
+        assert!(!towers.is_empty(), "need at least one tower");
+        let mut runs: Vec<TowerRun> = Vec::new();
+        for (s, p) in route.geometry().sample(step_m) {
+            let tower = towers
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    p.distance(**a).partial_cmp(&p.distance(**b)).expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty towers");
+            match runs.last_mut() {
+                Some(last) if last.tower == tower => last.s1 = s,
+                _ => runs.push(TowerRun { tower, s0: s, s1: s }),
+            }
+        }
+        CellIdMatcher { runs }
+    }
+
+    /// The reference runs along the route.
+    pub fn runs(&self) -> &[TowerRun] {
+        &self.runs
+    }
+
+    /// All candidate positions (midpoint of the final matched run) whose
+    /// reference subsequence equals the observed tower sequence
+    /// (consecutive duplicates collapsed). More observed history ⇒ fewer
+    /// candidates — the "long capturing time" trade-off.
+    pub fn candidates(&self, observed: &[usize]) -> Vec<f64> {
+        let seq = dedup(observed);
+        if seq.is_empty() {
+            return Vec::new();
+        }
+        let ref_seq: Vec<usize> = self.runs.iter().map(|r| r.tower).collect();
+        let mut out = Vec::new();
+        if seq.len() > ref_seq.len() {
+            return out;
+        }
+        for start in 0..=(ref_seq.len() - seq.len()) {
+            if ref_seq[start..start + seq.len()] == seq[..] {
+                let last = &self.runs[start + seq.len() - 1];
+                out.push(0.5 * (last.s0 + last.s1));
+            }
+        }
+        out
+    }
+
+    /// The candidate nearest to a prior position, or the first candidate
+    /// without one.
+    pub fn locate(&self, observed: &[usize], prior_s: Option<f64>) -> Option<f64> {
+        let cands = self.candidates(observed);
+        match prior_s {
+            Some(p) => cands
+                .into_iter()
+                .min_by(|a, b| (a - p).abs().partial_cmp(&(b - p).abs()).expect("finite")),
+            None => cands.into_iter().next(),
+        }
+    }
+
+    /// Ambiguity of an observation: how many positions match. 1 = unique.
+    pub fn ambiguity(&self, observed: &[usize]) -> usize {
+        self.candidates(observed).len()
+    }
+}
+
+fn dedup(seq: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::with_capacity(seq.len());
+    for &t in seq {
+        if out.last() != Some(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_road::{NetworkBuilder, RouteId};
+
+    fn setup() -> (Route, Vec<Point>) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(4_000.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "r", vec![e], &b.build()).unwrap();
+        // Towers every ~800 m.
+        let towers: Vec<Point> = (0..5)
+            .map(|i| Point::new(400.0 + i as f64 * 800.0, 300.0))
+            .collect();
+        (route, towers)
+    }
+
+    #[test]
+    fn reference_runs_cover_route_in_order() {
+        let (route, towers) = setup();
+        let m = CellIdMatcher::build(&route, &towers, 20.0);
+        assert_eq!(m.runs().len(), 5);
+        for w in m.runs().windows(2) {
+            assert!(w[1].s0 >= w[0].s1);
+            assert_eq!(w[1].tower, w[0].tower + 1);
+        }
+    }
+
+    #[test]
+    fn single_observation_is_coarse_but_matched() {
+        let (route, towers) = setup();
+        let m = CellIdMatcher::build(&route, &towers, 20.0);
+        let s = m.locate(&[2], None).unwrap();
+        // Tower 2 serves roughly [1600, 2400]: midpoint 2000.
+        assert!((s - 2_000.0).abs() < 100.0, "got {s}");
+        // Error for a bus actually at the run edge is ~400 m — the paper's
+        // point about 800 m cells.
+        assert!((s - 1_650.0).abs() > 300.0);
+    }
+
+    #[test]
+    fn longer_sequences_disambiguate() {
+        // A route that visits tower 0 twice: one tower observation is
+        // ambiguous, two are unique.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1_000.0, 0.0));
+        let n2 = b.add_node(Point::new(1_000.0, 1_000.0));
+        let n3 = b.add_node(Point::new(0.0, 1_000.0));
+        let n4 = b.add_node(Point::new(0.0, 10.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let e2 = b.add_edge(n2, n3, None).unwrap();
+        let e3 = b.add_edge(n3, n4, None).unwrap();
+        let route = Route::new(RouteId(0), "loop", vec![e0, e1, e2, e3], &b.build()).unwrap();
+        // Tower 0 near start AND end of the loop; tower 1 on the far side.
+        let towers = vec![Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)];
+        let m = CellIdMatcher::build(&route, &towers, 20.0);
+        assert!(m.ambiguity(&[0]) >= 2, "ambiguity {}", m.ambiguity(&[0]));
+        assert_eq!(m.ambiguity(&[0, 1]), 1);
+    }
+
+    #[test]
+    fn prior_selects_nearest_candidate() {
+        let (route, towers) = setup();
+        let m = CellIdMatcher::build(&route, &towers, 20.0);
+        let near_start = m.locate(&[1], Some(0.0)).unwrap();
+        assert!(near_start < 2_000.0);
+    }
+
+    #[test]
+    fn consecutive_duplicates_collapse() {
+        let (route, towers) = setup();
+        let m = CellIdMatcher::build(&route, &towers, 20.0);
+        assert_eq!(m.candidates(&[1, 1, 1, 2, 2]), m.candidates(&[1, 2]));
+    }
+
+    #[test]
+    fn unmatched_sequence_is_empty() {
+        let (route, towers) = setup();
+        let m = CellIdMatcher::build(&route, &towers, 20.0);
+        assert!(m.candidates(&[4, 0]).is_empty());
+        assert!(m.candidates(&[]).is_empty());
+        assert!(m.locate(&[], None).is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! RSS-fingerprinting (kNN) positioning baseline (RADAR / Horus style).
+//!
+//! The dominant pre-SVD approach the paper contrasts with: an offline
+//! *calibration* survey records the mean RSS vector at reference points
+//! along the route; online, the observed vector is matched to its k
+//! nearest fingerprints in signal space. Accurate after an expensive
+//! survey — but "suffers from the dynamics of WiFi APs due to
+//! reconfiguration or replacement": a dead AP changes every vector and
+//! the database silently degrades, which the ablation benches quantify.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use wilocator_road::Route;
+use wilocator_rf::{ApId, Scanner, ScannerConfig, SignalField};
+
+/// One calibration reference point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Route arc length of the reference point, metres.
+    pub s: f64,
+    /// Mean RSS per heard AP, dBm.
+    pub rss: HashMap<ApId, f64>,
+}
+
+/// Configuration of the fingerprinting baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FingerprintConfig {
+    /// Survey spacing along the route, metres.
+    pub survey_step_m: f64,
+    /// Scans averaged per reference point during calibration.
+    pub scans_per_point: usize,
+    /// Neighbours used by the online kNN match.
+    pub k: usize,
+    /// RSS substituted for APs missing from a vector, dBm.
+    pub missing_rss_dbm: f64,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        FingerprintConfig {
+            survey_step_m: 10.0,
+            scans_per_point: 4,
+            k: 3,
+            missing_rss_dbm: -95.0,
+        }
+    }
+}
+
+/// The fingerprint database + kNN matcher.
+#[derive(Debug, Clone)]
+pub struct FingerprintPositioner {
+    config: FingerprintConfig,
+    database: Vec<Fingerprint>,
+}
+
+impl FingerprintPositioner {
+    /// Offline calibration (the labour-intensive site survey): walks the
+    /// route, scanning the *true* field at every reference point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.survey_step_m <= 0`, `scans_per_point == 0` or
+    /// `k == 0`.
+    pub fn survey<F, R>(
+        field: &F,
+        route: &Route,
+        scanner_config: ScannerConfig,
+        config: FingerprintConfig,
+        rng: &mut R,
+    ) -> Self
+    where
+        F: SignalField + ?Sized,
+        R: Rng + ?Sized,
+    {
+        assert!(config.survey_step_m > 0.0, "survey step must be positive");
+        assert!(config.scans_per_point >= 1, "need at least one scan");
+        assert!(config.k >= 1, "k must be at least 1");
+        let scanner = Scanner::new(scanner_config);
+        let mut database = Vec::new();
+        for (s, p) in route.geometry().sample(config.survey_step_m) {
+            let mut acc: HashMap<ApId, (f64, usize)> = HashMap::new();
+            for _ in 0..config.scans_per_point {
+                for r in scanner.scan(field, p, 0.0, rng).readings {
+                    let e = acc.entry(r.ap).or_insert((0.0, 0));
+                    e.0 += r.rss_dbm as f64;
+                    e.1 += 1;
+                }
+            }
+            let rss = acc
+                .into_iter()
+                .map(|(ap, (sum, n))| (ap, sum / n as f64))
+                .collect();
+            database.push(Fingerprint { s, rss });
+        }
+        FingerprintPositioner { config, database }
+    }
+
+    /// Number of reference points surveyed (the calibration cost).
+    pub fn database_size(&self) -> usize {
+        self.database.len()
+    }
+
+    /// Online phase: kNN match of the observed RSS vector; the estimate is
+    /// the mean arc length of the k nearest fingerprints. `None` on empty
+    /// input or an empty database.
+    pub fn locate(&self, observed: &[(ApId, i32)]) -> Option<f64> {
+        if observed.is_empty() || self.database.is_empty() {
+            return None;
+        }
+        let obs: HashMap<ApId, f64> =
+            observed.iter().map(|&(ap, rss)| (ap, rss as f64)).collect();
+        let mut scored: Vec<(f64, f64)> = self
+            .database
+            .iter()
+            .map(|fp| (self.distance(&obs, &fp.rss), fp.s))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distance"));
+        let k = self.config.k.min(scored.len());
+        Some(scored[..k].iter().map(|&(_, s)| s).sum::<f64>() / k as f64)
+    }
+
+    /// Euclidean distance in signal space over the union of APs; missing
+    /// readings are filled with `missing_rss_dbm`.
+    fn distance(&self, a: &HashMap<ApId, f64>, b: &HashMap<ApId, f64>) -> f64 {
+        let floor = self.config.missing_rss_dbm;
+        let mut sum = 0.0;
+        for (ap, &ra) in a {
+            let rb = b.get(ap).copied().unwrap_or(floor);
+            sum += (ra - rb).powi(2);
+        }
+        for (ap, &rb) in b {
+            if !a.contains_key(ap) {
+                sum += (floor - rb).powi(2);
+            }
+        }
+        sum.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wilocator_geo::Point;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{AccessPoint, HomogeneousField};
+
+    fn setup() -> (Route, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(600.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "r", vec![e], &b.build()).unwrap();
+        let mut aps = Vec::new();
+        let mut x = 40.0;
+        let mut i = 0u32;
+        while x < 600.0 {
+            aps.push(AccessPoint::new(
+                ApId(i),
+                Point::new(x, if i.is_multiple_of(2) { 15.0 } else { -15.0 }),
+            ));
+            i += 1;
+            x += 80.0;
+        }
+        (route, HomogeneousField::new(aps))
+    }
+
+    fn noiseless_scanner() -> ScannerConfig {
+        ScannerConfig {
+            fading_sigma_db: 0.0,
+            miss_probability: 0.0,
+            ..ScannerConfig::default()
+        }
+    }
+
+    #[test]
+    fn calibrated_knn_is_accurate_on_clean_scans() {
+        let (route, field) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fp = FingerprintPositioner::survey(
+            &field,
+            &route,
+            noiseless_scanner(),
+            FingerprintConfig::default(),
+            &mut rng,
+        );
+        assert!(fp.database_size() >= 60);
+        for truth in [55.0, 200.0, 333.0, 580.0] {
+            let obs: Vec<(ApId, i32)> = field
+                .detectable_at(route.point_at(truth), -90.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect();
+            let s = fp.locate(&obs).unwrap();
+            assert!((s - truth).abs() < 25.0, "truth {truth}, got {s}");
+        }
+    }
+
+    #[test]
+    fn ap_churn_degrades_fingerprints() {
+        let (route, field) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fp = FingerprintPositioner::survey(
+            &field,
+            &route,
+            noiseless_scanner(),
+            FingerprintConfig::default(),
+            &mut rng,
+        );
+        // After calibration, half the APs die. Online vectors lose them.
+        let dead: Vec<ApId> = (0..4).map(ApId).collect();
+        let field_dead = field.without_aps(&dead);
+        let truth = 200.0;
+        let obs: Vec<(ApId, i32)> = field_dead
+            .detectable_at(route.point_at(truth), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, rss.round() as i32))
+            .collect();
+        let healthy_obs: Vec<(ApId, i32)> = field
+            .detectable_at(route.point_at(truth), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, rss.round() as i32))
+            .collect();
+        let err_dead = (fp.locate(&obs).unwrap() - truth).abs();
+        let err_ok = (fp.locate(&healthy_obs).unwrap() - truth).abs();
+        assert!(
+            err_dead >= err_ok,
+            "churn should not improve accuracy: {err_dead} vs {err_ok}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        let (route, field) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fp = FingerprintPositioner::survey(
+            &field,
+            &route,
+            noiseless_scanner(),
+            FingerprintConfig::default(),
+            &mut rng,
+        );
+        assert!(fp.locate(&[]).is_none());
+    }
+
+    #[test]
+    fn k_is_clamped_to_database() {
+        let (route, field) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let fp = FingerprintPositioner::survey(
+            &field,
+            &route,
+            noiseless_scanner(),
+            FingerprintConfig {
+                survey_step_m: 500.0, // only two reference points
+                k: 50,
+                ..FingerprintConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(fp.locate(&[(ApId(0), -50)]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "survey step")]
+    fn invalid_config_rejected() {
+        let (route, field) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = FingerprintPositioner::survey(
+            &field,
+            &route,
+            noiseless_scanner(),
+            FingerprintConfig {
+                survey_step_m: 0.0,
+                ..FingerprintConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

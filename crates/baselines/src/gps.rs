@@ -1,0 +1,72 @@
+//! GPS/AVL tracking baseline (EasyTracker style).
+//!
+//! The incumbent the paper replaces: an in-vehicle GPS (or the driver's
+//! phone) reports fixes that are map-matched to the route. Cheap to
+//! implement — but the fix quality collapses in urban canyons and outages
+//! are frequent, which the simulator's `wilocator_sim::GpsModel`
+//! reproduces and the comparison benches measure.
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+
+/// Map-matching GPS tracker over a route.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_baselines::GpsTracker;
+/// use wilocator_geo::Point;
+/// use wilocator_road::{NetworkBuilder, Route, RouteId};
+///
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(100.0, 0.0));
+/// let e = b.add_edge(n0, n1, None)?;
+/// let route = Route::new(RouteId(0), "r", vec![e], &b.build())?;
+/// let tracker = GpsTracker::new(route);
+/// assert_eq!(tracker.locate(Some(Point::new(40.0, 12.0))), Some(40.0));
+/// assert_eq!(tracker.locate(None), None);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpsTracker {
+    route: Route,
+}
+
+impl GpsTracker {
+    /// Creates a tracker for `route`.
+    pub fn new(route: Route) -> Self {
+        GpsTracker { route }
+    }
+
+    /// The tracked route.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// Map-matches a GPS fix (or outage) to a route arc length.
+    pub fn locate(&self, fix: Option<Point>) -> Option<f64> {
+        fix.map(|p| self.route.project(p).s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_road::{NetworkBuilder, RouteId};
+
+    #[test]
+    fn map_matching_projects_noise_onto_route() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(500.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "r", vec![e], &b.build()).unwrap();
+        let tracker = GpsTracker::new(route);
+        // Lateral noise vanishes after projection; longitudinal survives.
+        assert_eq!(tracker.locate(Some(Point::new(250.0, 60.0))), Some(250.0));
+        assert_eq!(tracker.locate(Some(Point::new(310.0, 0.0))), Some(310.0));
+        // Outage propagates.
+        assert_eq!(tracker.locate(None), None);
+    }
+}

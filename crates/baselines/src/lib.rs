@@ -1,0 +1,30 @@
+//! Baseline positioning and arrival-prediction schemes the WiLocator paper
+//! compares against (or argues against in its motivation):
+//!
+//! | Baseline | Paper reference | Structural weakness reproduced |
+//! |---|---|---|
+//! | [`NearestApPositioner`] | conventional Voronoi (a special case of the SVD, §III-A) | resolution bounded by AP spacing |
+//! | [`FingerprintPositioner`] | RADAR / Horus line (§VI-A) | labour-intensive calibration; breaks under AP churn |
+//! | [`TrilaterationPositioner`] | EZ-style propagation models (§VI-A) | dB noise → exponential range error |
+//! | [`CellIdMatcher`] | Cell-ID sequence matching \[15, 27–29\] | ~800 m cells, long capture time, route-overlap ambiguity |
+//! | [`GpsTracker`] | GPS/AVL, EasyTracker \[4\] | urban-canyon error spikes and outages |
+//! | [`AgencyPredictor`] | the "Transit Agency" curve of Fig. 8b | frozen timetable, no live correction |
+//! | [`SameRoutePredictor`] | Zhou et al. \[28, 29\] | residuals only from the same route |
+//!
+//! Every baseline consumes the same inputs as WiLocator (scan rank lists,
+//! the road network, the travel-time store), so the evaluation harness can
+//! swap them in head-to-head.
+
+pub mod cellid;
+pub mod fingerprint;
+pub mod gps;
+pub mod predictors;
+pub mod trilateration;
+pub mod voronoi;
+
+pub use cellid::{CellIdMatcher, TowerRun};
+pub use fingerprint::{Fingerprint, FingerprintConfig, FingerprintPositioner};
+pub use gps::GpsTracker;
+pub use predictors::{AgencyPredictor, SameRoutePredictor};
+pub use trilateration::TrilaterationPositioner;
+pub use voronoi::NearestApPositioner;

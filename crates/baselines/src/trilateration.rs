@@ -1,0 +1,184 @@
+//! Propagation-model trilateration baseline (EZ-style).
+//!
+//! Inverts an assumed log-distance model to turn each RSS reading into a
+//! range ring around the AP's geo-tag, then solves the linearised
+//! least-squares intersection. "Solutions of this line suffer from low
+//! accuracy" (paper §VI-A): range errors grow exponentially with dB error,
+//! which the comparison benches reproduce.
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+use wilocator_rf::{AccessPoint, ApId, LogDistance, PathLoss};
+
+/// Trilateration positioner over a route.
+#[derive(Debug, Clone)]
+pub struct TrilaterationPositioner {
+    route: Route,
+    positions: Vec<(ApId, Point)>,
+    model: LogDistance,
+    assumed_tx_dbm: f64,
+}
+
+impl TrilaterationPositioner {
+    /// Builds the positioner assuming the urban log-distance model and a
+    /// common 20 dBm transmit power (the same information the SVD uses).
+    pub fn new(route: Route, aps: &[AccessPoint]) -> Self {
+        TrilaterationPositioner {
+            route,
+            positions: aps
+                .iter()
+                .filter(|ap| ap.is_geo_tagged())
+                .map(|ap| (ap.id(), ap.position()))
+                .collect(),
+            model: LogDistance::urban(),
+            assumed_tx_dbm: 20.0,
+        }
+    }
+
+    /// The route being positioned on.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// Estimated arc length from a ranked RSS list: ranges from the
+    /// strongest geo-tagged APs, linearised least squares, projected onto
+    /// the route. Falls back to the strongest AP's position with fewer
+    /// than three usable readings. `None` with no usable reading.
+    pub fn locate(&self, ranked: &[(ApId, i32)]) -> Option<f64> {
+        let mut anchors: Vec<(Point, f64)> = Vec::new();
+        for &(ap, rss) in ranked.iter().take(5) {
+            if let Some(&(_, p)) = self.positions.iter().find(|(id, _)| *id == ap) {
+                let loss = self.assumed_tx_dbm - rss as f64;
+                anchors.push((p, self.model.distance_for_loss(loss)));
+            }
+        }
+        match anchors.len() {
+            0 => None,
+            1 | 2 => Some(self.route.project(anchors[0].0).s),
+            _ => {
+                let est = least_squares_position(&anchors)
+                    .unwrap_or(anchors[0].0);
+                Some(self.route.project(est).s)
+            }
+        }
+    }
+}
+
+/// Linearised trilateration: subtracting the first range equation from the
+/// rest gives a linear system `A·x = b` solved by normal equations.
+fn least_squares_position(anchors: &[(Point, f64)]) -> Option<Point> {
+    let (p0, r0) = anchors[0];
+    // Accumulate AᵀA and Aᵀb for the 2×2 system.
+    let (mut a11, mut a12, mut a22, mut b1, mut b2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(pi, ri) in &anchors[1..] {
+        let ax = 2.0 * (pi.x - p0.x);
+        let ay = 2.0 * (pi.y - p0.y);
+        let rhs = r0 * r0 - ri * ri + pi.x * pi.x - p0.x * p0.x + pi.y * pi.y
+            - p0.y * p0.y;
+        a11 += ax * ax;
+        a12 += ax * ay;
+        a22 += ay * ay;
+        b1 += ax * rhs;
+        b2 += ay * rhs;
+    }
+    let det = a11 * a22 - a12 * a12;
+    if det.abs() < 1e-9 {
+        return None;
+    }
+    Some(Point::new(
+        (a22 * b1 - a12 * b2) / det,
+        (a11 * b2 - a12 * b1) / det,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{HomogeneousField, SignalField};
+
+    fn setup() -> (TrilaterationPositioner, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(600.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "r", vec![e], &b.build()).unwrap();
+        let aps = vec![
+            AccessPoint::new(ApId(0), Point::new(100.0, 30.0)),
+            AccessPoint::new(ApId(1), Point::new(250.0, -30.0)),
+            AccessPoint::new(ApId(2), Point::new(400.0, 30.0)),
+        ];
+        let field = HomogeneousField::new(aps.clone());
+        (TrilaterationPositioner::new(route, &aps), field)
+    }
+
+    #[test]
+    fn clean_readings_locate_accurately() {
+        let (pos, field) = setup();
+        for truth in [150.0, 250.0, 350.0] {
+            let p = pos.route().point_at(truth);
+            let ranked: Vec<(ApId, i32)> = field
+                .detectable_at(p, -95.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect();
+            let s = pos.locate(&ranked).unwrap();
+            // Quantisation alone already costs metres here.
+            assert!((s - truth).abs() < 40.0, "truth {truth}, got {s}");
+        }
+    }
+
+    #[test]
+    fn db_errors_blow_up_ranges() {
+        // An 8 dB fade (ordinary for WiFi) inflates the inverted range by
+        // ~85 % under the n = 3 urban model — the scheme's structural
+        // weakness (10^(8/30) ≈ 1.85).
+        let model = LogDistance::urban();
+        let clean = model.distance_for_loss(80.0);
+        let faded = model.distance_for_loss(88.0);
+        assert!((faded / clean - 1.85).abs() < 0.01, "ratio {}", faded / clean);
+
+        // End to end, fading increases the mean positioning error.
+        let (pos, field) = setup();
+        let mut clean_sum = 0.0;
+        let mut noisy_sum = 0.0;
+        for truth in [150.0, 200.0, 250.0, 300.0, 350.0] {
+            let p = pos.route().point_at(truth);
+            let mut ranked: Vec<(ApId, i32)> = field
+                .detectable_at(p, -95.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect();
+            clean_sum += (pos.locate(&ranked).unwrap() - truth).abs();
+            ranked[0].1 -= 8;
+            ranked[1].1 += 5;
+            noisy_sum += (pos.locate(&ranked).unwrap() - truth).abs();
+        }
+        assert!(
+            noisy_sum > clean_sum,
+            "fading should hurt on average: {noisy_sum} vs {clean_sum}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (pos, _field) = setup();
+        assert!(pos.locate(&[]).is_none());
+        assert!(pos.locate(&[(ApId(9), -50)]).is_none());
+        // Single AP: falls back to its projected position.
+        let s = pos.locate(&[(ApId(1), -50)]).unwrap();
+        assert!((s - 250.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn collinear_anchors_fall_back() {
+        // All anchors on one line: singular system → strongest-AP fallback.
+        let anchors = vec![
+            (Point::new(0.0, 0.0), 10.0),
+            (Point::new(10.0, 0.0), 10.0),
+            (Point::new(20.0, 0.0), 10.0),
+        ];
+        // The y-coordinate is unobservable: determinant ≈ 0.
+        assert!(least_squares_position(&anchors).is_none());
+    }
+}

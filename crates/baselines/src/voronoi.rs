@@ -1,0 +1,120 @@
+//! Euclidean-Voronoi (nearest-AP) positioning baseline.
+//!
+//! The degenerate case the paper generalises away from: ignore the rank
+//! structure entirely and place the bus at the strongest AP's geo-tag,
+//! projected onto the route (a first-order Signal-Cell-only scheme whose
+//! planar partition coincides with the classic Voronoi diagram when
+//! propagation is homogeneous). Its resolution is bounded below by the AP
+//! spacing — the gap Figs. 8a/9 quantify against the SVD.
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+use wilocator_rf::{AccessPoint, ApId};
+
+/// Nearest-AP positioner over a route.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_baselines::NearestApPositioner;
+/// use wilocator_geo::Point;
+/// use wilocator_road::{NetworkBuilder, Route, RouteId};
+/// use wilocator_rf::{AccessPoint, ApId};
+///
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(200.0, 0.0));
+/// let e = b.add_edge(n0, n1, None)?;
+/// let route = Route::new(RouteId(0), "r", vec![e], &b.build())?;
+/// let aps = vec![AccessPoint::new(ApId(0), Point::new(50.0, 20.0))];
+/// let pos = NearestApPositioner::new(route, &aps);
+/// let s = pos.locate(&[(ApId(0), -60)]).unwrap();
+/// assert!((s - 50.0).abs() < 1.0);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NearestApPositioner {
+    route: Route,
+    positions: Vec<(ApId, Point)>,
+}
+
+impl NearestApPositioner {
+    /// Builds the positioner from geo-tagged APs (untagged ones are
+    /// skipped, as the server cannot place them).
+    pub fn new(route: Route, aps: &[AccessPoint]) -> Self {
+        NearestApPositioner {
+            route,
+            positions: aps
+                .iter()
+                .filter(|ap| ap.is_geo_tagged())
+                .map(|ap| (ap.id(), ap.position()))
+                .collect(),
+        }
+    }
+
+    /// The route being positioned on.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// Estimated route arc length from a ranked RSS list: the strongest
+    /// geo-tagged AP's position projected onto the route. `None` when no
+    /// listed AP has a geo-tag.
+    pub fn locate(&self, ranked: &[(ApId, i32)]) -> Option<f64> {
+        let (_, pos) = ranked.iter().find_map(|&(ap, _)| {
+            self.positions
+                .iter()
+                .find(|(id, _)| *id == ap)
+                .map(|&(id, p)| (id, p))
+        })?;
+        Some(self.route.project(pos).s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_road::{NetworkBuilder, RouteId};
+
+    fn setup() -> NearestApPositioner {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(400.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "r", vec![e], &b.build()).unwrap();
+        let aps = vec![
+            AccessPoint::new(ApId(0), Point::new(100.0, 20.0)),
+            AccessPoint::new(ApId(1), Point::new(300.0, -20.0)),
+            AccessPoint::new(ApId(2), Point::new(200.0, 15.0)).without_geo_tag(),
+        ];
+        NearestApPositioner::new(route, &aps)
+    }
+
+    #[test]
+    fn strongest_tagged_ap_wins() {
+        let pos = setup();
+        assert_eq!(pos.locate(&[(ApId(1), -50), (ApId(0), -70)]), Some(300.0));
+    }
+
+    #[test]
+    fn untagged_ap_skipped() {
+        let pos = setup();
+        // AP2 strongest but untagged: fall through to AP0.
+        assert_eq!(pos.locate(&[(ApId(2), -40), (ApId(0), -60)]), Some(100.0));
+    }
+
+    #[test]
+    fn all_unknown_is_none() {
+        let pos = setup();
+        assert_eq!(pos.locate(&[(ApId(9), -50)]), None);
+        assert_eq!(pos.locate(&[]), None);
+    }
+
+    #[test]
+    fn resolution_is_ap_spacing_limited() {
+        let pos = setup();
+        // Anywhere in AP0's cell maps to exactly s = 100: a bus at s = 160
+        // still hears AP0 strongest and gets a 60 m error.
+        assert_eq!(pos.locate(&[(ApId(0), -55)]), Some(100.0));
+    }
+}

@@ -1,0 +1,13 @@
+//! Ablation: AP churn robustness (paper SSIII-B, "AP b is out of function").
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::ablation;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Ablation: AP churn",
+        "stale SVD vs rebuilt SVD vs stale fingerprint database under AP churn",
+        || ablation::render_churn(&ablation::ap_churn(Scale::from_env(), 11)),
+    );
+}

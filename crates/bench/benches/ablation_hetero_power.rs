@@ -1,0 +1,13 @@
+//! Ablation: heterogeneous transmit power (true SVD vs Euclidean VD).
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::ablation;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Ablation: heterogeneous TX power",
+        "cost of the server's homogeneous-propagation assumption as the true TX spread grows",
+        || ablation::render_hetero(&ablation::hetero_power(Scale::from_env(), 11)),
+    );
+}

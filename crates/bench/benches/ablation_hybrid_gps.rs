@@ -1,0 +1,13 @@
+//! Extension (§VII): hybrid WiFi/GPS tracking through a coverage gap.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::ablation;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Extension: hybrid WiFi/GPS",
+        "adaptive GPS activation in WiFi coverage gaps (paper SSVII future work)",
+        || ablation::render_hybrid(ablation::hybrid_gap(Scale::from_env(), 11)),
+    );
+}

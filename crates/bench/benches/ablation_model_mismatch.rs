@@ -1,0 +1,14 @@
+//! Ablation: propagation-model mismatch ("no RF propagation model is
+//! required").
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::ablation;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Ablation: propagation-model mismatch",
+        "rank positioning vs model inversion as the true path-loss exponent drifts",
+        || ablation::render_mismatch(&ablation::model_mismatch(Scale::from_env(), 11)),
+    );
+}

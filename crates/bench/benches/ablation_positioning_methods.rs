@@ -1,0 +1,13 @@
+//! Ablation: SVD vs every baseline positioning scheme.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::ablation;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Ablation: positioning methods",
+        "SVD vs nearest-AP / fingerprint / trilateration / GPS / Cell-ID (paper SSII motivation)",
+        || ablation::render_methods(&ablation::positioning_methods(Scale::from_env(), 11)),
+    );
+}

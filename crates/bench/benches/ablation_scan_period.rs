@@ -1,0 +1,16 @@
+//! Ablation: scan-period sensitivity (the prototype fixed 10 s).
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::{ablation, fig9};
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Ablation: scan period",
+        "mean positioning error vs WiFi scan period (prototype used 10 s)",
+        || {
+            let sweep = ablation::scan_period_sweep(Scale::from_env(), 11);
+            fig9::render("scan period sweep", &sweep)
+        },
+    );
+}

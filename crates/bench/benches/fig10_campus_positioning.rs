@@ -1,0 +1,12 @@
+//! Fig. 10 / §V-B.1: campus drive-by positioning at locations A, B, C.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig10;
+
+fn main() {
+    run_experiment(
+        "Fig. 10",
+        "campus experiment (paper: 2 m error at each of A, B, C)",
+        || fig10::render(&fig10::run(1)),
+    );
+}

@@ -1,0 +1,13 @@
+//! Fig. 11: rush-hour traffic map generation + anomaly localisation.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig11;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Fig. 11",
+        "traffic map during a rush-hour incident (paper: no covered segment unmarked; anomaly localised)",
+        || fig11::render(&fig11::run(Scale::from_env(), 17)),
+    );
+}

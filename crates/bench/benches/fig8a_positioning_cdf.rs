@@ -1,0 +1,13 @@
+//! Fig. 8(a): CDF of positioning errors per route.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig8;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Fig. 8(a)",
+        "positioning error CDF per route (paper: median < 3 m)",
+        || fig8::run(Scale::from_env(), 42).render_fig8a(),
+    );
+}

@@ -1,0 +1,13 @@
+//! Fig. 8(b): CDF of arrival-time prediction errors during rush hours.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig8;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Fig. 8(b)",
+        "rush-hour prediction error CDF, WiLocator vs Transit Agency (paper max: 500 s vs 800 s)",
+        || fig8::run(Scale::from_env(), 42).render_fig8b(),
+    );
+}

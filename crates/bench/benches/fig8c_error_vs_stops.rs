@@ -1,0 +1,13 @@
+//! Fig. 8(c): mean prediction error vs number of bus stops ahead.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig8;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Fig. 8(c)",
+        "mean rush-hour prediction error vs stops ahead (paper: increasing, Rapid lowest, max 210 s)",
+        || fig8::run(Scale::from_env(), 42).render_fig8c(),
+    );
+}

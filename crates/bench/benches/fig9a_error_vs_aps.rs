@@ -1,0 +1,16 @@
+//! Fig. 9(a): positioning error vs the number of WiFi APs.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig9;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Fig. 9(a)",
+        "mean positioning error vs number of APs (paper: slow decrease, 3.15 m -> 2.8 m)",
+        || {
+            let sweep = fig9::run_fig9a(Scale::from_env(), 3);
+            fig9::render("Fig. 9(a): error vs number of WiFi APs", &sweep)
+        },
+    );
+}

@@ -1,0 +1,16 @@
+//! Fig. 9(b): positioning error vs the order of the SVD.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::fig9;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Fig. 9(b)",
+        "mean positioning error vs SVD order (paper: no significant change; order 2 is enough)",
+        || {
+            let sweep = fig9::run_fig9b(Scale::from_env(), 3);
+            fig9::render("Fig. 9(b): error vs SVD order", &sweep)
+        },
+    );
+}

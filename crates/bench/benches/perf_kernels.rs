@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the performance-critical kernels:
+//! SVD rasterisation, route tile-index construction, rank-lookup
+//! positioning, and arrival prediction. These are the operations the
+//! paper's back-end server runs continuously ("we shift the computation
+//! burden to the server").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wilocator_core::{ArrivalPredictor, PredictorConfig, TravelTimeStore, Traversal};
+use wilocator_geo::{BoundingBox, Point};
+use wilocator_rf::{AccessPoint, ApId, HomogeneousField, SignalField};
+use wilocator_road::{NetworkBuilder, Route, RouteId};
+use wilocator_svd::{
+    PositionerConfig, RoutePositioner, RouteTileIndex, SignalVoronoiDiagram, SvdConfig,
+};
+
+fn street(len: f64) -> (Route, HomogeneousField) {
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let mut prev = n0;
+    let mut edges = Vec::new();
+    let n = (len / 250.0) as usize;
+    for i in 1..=n {
+        let node = b.add_node(Point::new(i as f64 * 250.0, 0.0));
+        edges.push(b.add_edge(prev, node, None).expect("distinct"));
+        prev = node;
+    }
+    let net = b.build();
+    let route = Route::new(RouteId(0), "bench", edges, &net).expect("connected");
+    let mut aps = Vec::new();
+    let mut x = 25.0;
+    let mut i = 0u32;
+    while x < len {
+        aps.push(AccessPoint::new(
+            ApId(i),
+            Point::new(x, if i.is_multiple_of(2) { 15.0 } else { -15.0 }),
+        ));
+        i += 1;
+        x += 55.0;
+    }
+    (route, HomogeneousField::new(aps))
+}
+
+fn bench_svd_raster(c: &mut Criterion) {
+    let (_, field) = street(1_000.0);
+    let bbox = BoundingBox::new(Point::new(0.0, -150.0), Point::new(1_000.0, 150.0));
+    c.bench_function("svd_raster_1km_2m", |b| {
+        b.iter(|| {
+            SignalVoronoiDiagram::build(
+                &field,
+                bbox,
+                SvdConfig {
+                    resolution_m: 2.0,
+                    ..SvdConfig::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_route_index(c: &mut Criterion) {
+    let (route, field) = street(10_000.0);
+    c.bench_function("route_tile_index_10km_2m", |b| {
+        b.iter(|| RouteTileIndex::build(&field, &route, SvdConfig::default(), 2.0))
+    });
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let (route, field) = street(10_000.0);
+    let index = RouteTileIndex::build(&field, &route, SvdConfig::default(), 2.0);
+    let pos = RoutePositioner::new(route.clone(), index, PositionerConfig::default());
+    // Pre-compute ranked lists along the route.
+    let ranked: Vec<Vec<(ApId, i32)>> = (0..100)
+        .map(|i| {
+            let p = route.point_at(i as f64 * 97.0);
+            field
+                .detectable_at(p, -90.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect()
+        })
+        .collect();
+    c.bench_function("locate_100_scans", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for (i, r) in ranked.iter().enumerate() {
+                last = pos.locate(r, i as f64 * 10.0, None);
+            }
+            last
+        })
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (route, _) = street(10_000.0);
+    let mut store = TravelTimeStore::new();
+    for day in 0..7 {
+        for hour in 6..22 {
+            for (i, &edge) in route.edges().iter().enumerate() {
+                let t0 = day as f64 * 86_400.0 + hour as f64 * 3_600.0 + i as f64 * 30.0;
+                store.record(
+                    edge,
+                    Traversal {
+                        route: RouteId(0),
+                        t_enter: t0,
+                        t_exit: t0 + 28.0 + (i % 5) as f64,
+                    },
+                );
+            }
+        }
+    }
+    let mut predictor = ArrivalPredictor::new(PredictorConfig::default());
+    predictor.train(&store, 7.0 * 86_400.0);
+    c.bench_function("predict_arrival_full_route", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                predictor.predict_arrival(
+                    &store,
+                    &route,
+                    120.0,
+                    7.0 * 86_400.0 + 9.0 * 3_600.0,
+                    9_800.0,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_svd_raster, bench_route_index, bench_locate, bench_predict
+}
+criterion_main!(kernels);

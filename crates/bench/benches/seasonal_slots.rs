@@ -1,0 +1,13 @@
+//! §V-B.2: seasonal index and the discovered time-slot structure.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::seasonal_slots;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Seasonal slots (§V-B.2)",
+        "seasonal index over the day (paper: 5 slots discovered, rush 8-10 and 18-19)",
+        || seasonal_slots::render(&seasonal_slots::run(Scale::from_env(), 23)),
+    );
+}

@@ -1,0 +1,15 @@
+//! Table I: information of the four investigated bus routes.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::table1;
+
+fn main() {
+    run_experiment(
+        "Table I",
+        "route inventory: stops, lengths, overlapped lengths",
+        || {
+            let rows = table1::run(7);
+            table1::render(&rows)
+        },
+    );
+}

@@ -1,0 +1,15 @@
+//! Table II: measured RSSI from surrounding APs at campus locations A–C.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::table2;
+
+fn main() {
+    run_experiment(
+        "Table II",
+        "campus RSSI lists at probe locations A, B, C",
+        || {
+            let rows = table2::run(1);
+            table2::render(&rows)
+        },
+    );
+}

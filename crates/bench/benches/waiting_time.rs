@@ -1,0 +1,13 @@
+//! Intro claim: real-time tracking and prediction cut rider waiting time.
+
+use wilocator_bench::run_experiment;
+use wilocator_eval::experiments::waiting_time;
+use wilocator_eval::Scale;
+
+fn main() {
+    run_experiment(
+        "Rider waiting time",
+        "expected wait: uninformed vs agency vs WiLocator predictions (paper SSI motivation)",
+        || waiting_time::render(&waiting_time::run(Scale::from_env(), 42)),
+    );
+}

@@ -1,0 +1,318 @@
+//! Hybrid WiFi/GPS tracking — the paper's §VII extension.
+//!
+//! "WiLocator is by no means exclusive; it can seemly integrate with GPS
+//! or Cell-ID based location systems. For instance, when a smartphone scans
+//! no WiFi information for a while, the GPS module is activated so that
+//! the system can adaptively work from WiFi-coverage areas to GPS viable
+//! environments."
+//!
+//! [`HybridTracker`] keeps the energy-hungry GPS **off** while WiFi scans
+//! keep producing fixes, activates it after a configurable run of empty
+//! scans (a coverage gap), and powers it back down the moment WiFi
+//! re-acquires. GPS fixes are map-matched to the route and *seed* the SVD
+//! tracking filter so WiFi re-acquisition starts from the right prior.
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+use wilocator_rf::ApId;
+use wilocator_svd::{FixMethod, Prior, RoutePositioner, TrackingFilter};
+
+/// Where a hybrid fix came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixSource {
+    /// SVD positioning from WiFi scans.
+    Wifi,
+    /// Map-matched GPS (WiFi coverage gap).
+    Gps,
+    /// Neither available: dead reckoning.
+    DeadReckoned,
+}
+
+/// A position fix with its source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridFix {
+    /// Arc length along the route, metres.
+    pub s: f64,
+    /// Planar position on the route.
+    pub point: Point,
+    /// Observation time, seconds.
+    pub time_s: f64,
+    /// Which subsystem produced the fix.
+    pub source: FixSource,
+}
+
+/// Configuration of the hybrid tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Consecutive empty WiFi scans before the GPS module is powered on.
+    pub activate_gps_after: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            activate_gps_after: 2,
+        }
+    }
+}
+
+/// Adaptive WiFi-first, GPS-fallback tracker.
+///
+/// # Examples
+///
+/// See `tests` below and the coverage-gap integration test.
+#[derive(Debug, Clone)]
+pub struct HybridTracker {
+    filter: TrackingFilter,
+    route: Route,
+    config: HybridConfig,
+    empty_streak: usize,
+    gps_active: bool,
+    gps_ticks: usize,
+    total_ticks: usize,
+}
+
+impl HybridTracker {
+    /// Creates a hybrid tracker around an SVD positioner.
+    pub fn new(positioner: RoutePositioner, config: HybridConfig) -> Self {
+        let route = positioner.route().clone();
+        HybridTracker {
+            filter: TrackingFilter::new(positioner),
+            route,
+            config,
+            empty_streak: 0,
+            gps_active: false,
+            gps_ticks: 0,
+            total_ticks: 0,
+        }
+    }
+
+    /// Whether the GPS module is currently powered.
+    pub fn gps_active(&self) -> bool {
+        self.gps_active
+    }
+
+    /// Fraction of ticks the GPS was powered — the energy the adaptive
+    /// policy saves relative to an always-on AVL unit.
+    pub fn gps_duty_cycle(&self) -> f64 {
+        if self.total_ticks == 0 {
+            return 0.0;
+        }
+        self.gps_ticks as f64 / self.total_ticks as f64
+    }
+
+    /// Processes one tick: the WiFi rank list (possibly empty) and, *only
+    /// if the GPS is currently active*, a GPS fix obtained from `gps`.
+    ///
+    /// `gps` is a closure so the expensive acquisition is only performed
+    /// when the module is actually on.
+    pub fn ingest(
+        &mut self,
+        ranked: &[(ApId, i32)],
+        time_s: f64,
+        gps: impl FnOnce() -> Option<Point>,
+    ) -> Option<HybridFix> {
+        self.total_ticks += 1;
+        if !ranked.is_empty() {
+            // WiFi path: a heard scan always powers the GPS down.
+            if let Some(fix) = self.filter.step(ranked, time_s) {
+                if fix.method != FixMethod::DeadReckoned {
+                    self.empty_streak = 0;
+                    self.gps_active = false;
+                    return Some(HybridFix {
+                        s: fix.s,
+                        point: fix.point,
+                        time_s,
+                        source: FixSource::Wifi,
+                    });
+                }
+                // Scan heard but rejected: treat like a gap tick below,
+                // remembering the dead-reckoned estimate.
+                self.note_gap();
+                if let Some(h) = self.try_gps(time_s, gps) {
+                    return Some(h);
+                }
+                return Some(HybridFix {
+                    s: fix.s,
+                    point: fix.point,
+                    time_s,
+                    source: FixSource::DeadReckoned,
+                });
+            }
+        }
+        // Empty scan.
+        self.note_gap();
+        if let Some(h) = self.try_gps(time_s, gps) {
+            return Some(h);
+        }
+        // Dead reckon through the filter (empty rank list).
+        let fix = self.filter.step(&[], time_s)?;
+        Some(HybridFix {
+            s: fix.s,
+            point: fix.point,
+            time_s,
+            source: FixSource::DeadReckoned,
+        })
+    }
+
+    fn note_gap(&mut self) {
+        self.empty_streak += 1;
+        if self.empty_streak >= self.config.activate_gps_after {
+            self.gps_active = true;
+        }
+    }
+
+    fn try_gps(
+        &mut self,
+        time_s: f64,
+        gps: impl FnOnce() -> Option<Point>,
+    ) -> Option<HybridFix> {
+        if !self.gps_active {
+            return None;
+        }
+        self.gps_ticks += 1;
+        let p = gps()?;
+        let pos = self.route.project(p);
+        // Seed the WiFi filter so re-acquisition starts from here.
+        self.filter.seed(Prior {
+            s: pos.s,
+            time_s,
+        });
+        Some(HybridFix {
+            s: pos.s,
+            point: pos.point,
+            time_s,
+            source: FixSource::Gps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_geo::Point;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{AccessPoint, HomogeneousField, SignalField};
+    use wilocator_svd::{PositionerConfig, RouteTileIndex, SvdConfig};
+
+    /// A 1.2 km street with APs only on the first and last 400 m: a WiFi
+    /// coverage gap in the middle.
+    fn gap_street() -> (Route, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1_200.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "gap", vec![e], &b.build()).unwrap();
+        let mut aps = Vec::new();
+        // Detection range of the mean field is ~215 m; the AP-free middle
+        // must be wider than twice that for scans to actually go empty.
+        let xs = [30.0, 110.0, 190.0, 250.0, 950.0, 1_030.0, 1_110.0, 1_170.0];
+        for (i, &x) in xs.iter().enumerate() {
+            aps.push(AccessPoint::new(
+                ApId(i as u32),
+                Point::new(x, if i % 2 == 0 { 15.0 } else { -15.0 }),
+            ));
+        }
+        (route, HomogeneousField::new(aps))
+    }
+
+    fn tracker() -> (HybridTracker, Route, HomogeneousField) {
+        let (route, field) = gap_street();
+        let index = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let pos = RoutePositioner::new(route.clone(), index, PositionerConfig::default());
+        (
+            HybridTracker::new(pos, HybridConfig::default()),
+            route,
+            field,
+        )
+    }
+
+    fn ranked_at(field: &HomogeneousField, route: &Route, s: f64) -> Vec<(ApId, i32)> {
+        field
+            .detectable_at(route.point_at(s), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, rss.round() as i32))
+            .collect()
+    }
+
+    #[test]
+    fn gps_stays_off_in_coverage() {
+        let (mut t, route, field) = tracker();
+        for k in 0..5 {
+            let s = 40.0 + k as f64 * 60.0;
+            let ranked = ranked_at(&field, &route, s);
+            let fix = t
+                .ingest(&ranked, k as f64 * 10.0, || panic!("GPS must stay off"))
+                .unwrap();
+            if k > 0 {
+                assert_eq!(fix.source, FixSource::Wifi);
+            }
+        }
+        assert!(!t.gps_active());
+        assert_eq!(t.gps_duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn gap_activates_gps_and_reentry_deactivates_it() {
+        let (mut t, route, field) = tracker();
+        let mut tick = 0u32;
+        let mut step = |t: &mut HybridTracker, s: f64| {
+            let ranked = ranked_at(&field, &route, s);
+            let time = tick as f64 * 10.0;
+            tick += 1;
+            let truth = route.point_at(s);
+            t.ingest(&ranked, time, || Some(truth))
+        };
+        // In coverage: WiFi.
+        for k in 0..4 {
+            step(&mut t, 50.0 + k as f64 * 80.0);
+        }
+        assert!(!t.gps_active());
+        // Into the gap (s ≈ 480–720: beyond detection range of both
+        // clusters, so scans come back empty).
+        let mut gps_fixes = 0;
+        for k in 0..4 {
+            let s = 480.0 + k as f64 * 80.0;
+            let fix = step(&mut t, s).unwrap();
+            if fix.source == FixSource::Gps {
+                gps_fixes += 1;
+                // GPS is map-matched: on-route and accurate.
+                assert!((fix.s - s).abs() < 1.0);
+            }
+        }
+        assert!(gps_fixes >= 2, "GPS produced only {gps_fixes} fixes in the gap");
+        assert!(t.gps_active());
+        // Back into coverage: WiFi resumes seeded by GPS, module powers off.
+        let fix = step(&mut t, 1_000.0).unwrap();
+        let fix2 = step(&mut t, 1_060.0).unwrap();
+        assert!(
+            fix.source == FixSource::Wifi || fix2.source == FixSource::Wifi,
+            "WiFi did not re-acquire: {:?} / {:?}",
+            fix.source,
+            fix2.source
+        );
+        assert!(!t.gps_active(), "GPS still on after re-acquisition");
+        // The duty cycle reflects the adaptive policy: well under 100 %.
+        assert!(t.gps_duty_cycle() < 0.8, "duty {:.2}", t.gps_duty_cycle());
+    }
+
+    #[test]
+    fn gps_outage_in_gap_dead_reckons() {
+        let (mut t, route, field) = tracker();
+        for k in 0..3 {
+            let s = 50.0 + k as f64 * 80.0;
+            t.ingest(&ranked_at(&field, &route, s), k as f64 * 10.0, || None);
+        }
+        // Deep in the gap with GPS outage (urban canyon).
+        let fix = t
+            .ingest(&ranked_at(&field, &route, 560.0), 30.0, || None)
+            .unwrap();
+        let fix = match fix.source {
+            FixSource::DeadReckoned => fix,
+            _ => t
+                .ingest(&ranked_at(&field, &route, 640.0), 40.0, || None)
+                .unwrap(),
+        };
+        assert_eq!(fix.source, FixSource::DeadReckoned);
+    }
+}

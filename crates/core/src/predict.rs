@@ -1,0 +1,466 @@
+//! Bus arrival-time prediction (Section IV, Equations 8–9).
+//!
+//! The travel time of route `j` on segment `e_i` in slot `l` is predicted
+//! as the route's historical mean in that slot plus the average *recent
+//! residual* of the buses — of any route — that most recently traversed
+//! the segment:
+//!
+//! ```text
+//! Tp(i,j,t) = Th(i,j,l) + Σ_k { Tr(i,k,l) − Th(i,k,l) } / K
+//! ```
+//!
+//! Arrival at a stop integrates segment predictions with fractional first
+//! and last segments (Equation 9), re-evaluating the slot as predicted
+//! time accumulates ("the computation will be separated slot-by-slot").
+
+use std::collections::HashMap;
+
+use wilocator_road::{EdgeId, Route, RouteId};
+
+use crate::history::TravelTimeStore;
+use crate::seasonal::{
+    partition_from_index, seasonal_index, SeasonalConfig, SlotPartition, DAY_S,
+};
+
+/// Key of the frozen-mean cache: `(segment, route filter, slot filter)`.
+type MeanKey = (EdgeId, Option<RouteId>, Option<usize>);
+
+/// Configuration of the arrival predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorConfig {
+    /// How far back "recently passed" buses count, seconds.
+    pub recent_window_s: f64,
+    /// Maximum number of recent buses (`J`) averaged per segment.
+    pub max_recent_buses: usize,
+    /// Minimum historical records on a segment before its slot-mean is
+    /// trusted; below this the all-time mean is used.
+    pub min_slot_samples: usize,
+    /// Fallback cruise speed when a segment has no history at all, m/s.
+    pub fallback_speed_mps: f64,
+    /// Seasonal analysis parameters used by [`ArrivalPredictor::train`].
+    pub seasonal: SeasonalConfig,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            recent_window_s: 2_700.0,
+            max_recent_buses: 8,
+            min_slot_samples: 4,
+            fallback_speed_mps: 6.0,
+            seasonal: SeasonalConfig::default(),
+        }
+    }
+}
+
+/// Predicts per-segment travel times and stop arrival times.
+///
+/// Train once (offline phase: seasonal index → per-segment slot
+/// partitions), then query online.
+#[derive(Debug, Clone)]
+pub struct ArrivalPredictor {
+    config: PredictorConfig,
+    partitions: HashMap<EdgeId, SlotPartition>,
+    default_partition: SlotPartition,
+    /// Historical means frozen at training time:
+    /// `(edge, route filter, slot filter) → (mean, count)`. Populated by
+    /// [`ArrivalPredictor::train`]; makes online queries O(1) instead of a
+    /// scan over the store.
+    mean_cache: HashMap<MeanKey, (f64, usize)>,
+}
+
+impl ArrivalPredictor {
+    /// Creates an untrained predictor (whole-day slots everywhere).
+    pub fn new(config: PredictorConfig) -> Self {
+        ArrivalPredictor {
+            config,
+            partitions: HashMap::new(),
+            default_partition: SlotPartition::whole_day(),
+            mean_cache: HashMap::new(),
+        }
+    }
+
+    /// The predictor configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Offline phase (§V-A.3): computes each segment's seasonal index from
+    /// records before `as_of` and derives its slot partition.
+    pub fn train(&mut self, store: &TravelTimeStore, as_of: f64) {
+        let edges: Vec<EdgeId> = store.edges().collect();
+        for edge in edges {
+            let si = seasonal_index(store, edge, as_of, &self.config.seasonal);
+            let partition = partition_from_index(&si, &self.config.seasonal);
+            self.partitions.insert(edge, partition);
+        }
+        // Freeze the historical means (the paper's offline phase): every
+        // (edge, route, slot) aggregate, plus the any-route and any-slot
+        // marginals used by the fallback chain.
+        self.mean_cache.clear();
+        let edges: Vec<EdgeId> = store.edges().collect();
+        for edge in edges {
+            let partition = self.partitions.get(&edge).cloned().unwrap_or_else(SlotPartition::whole_day);
+            let add = |key: MeanKey, tt: f64, cache: &mut HashMap<MeanKey, (f64, usize)>| {
+                let e = cache.entry(key).or_insert((0.0, 0));
+                e.0 += tt;
+                e.1 += 1;
+            };
+            for tr in store.completed_before(edge, as_of) {
+                let slot = partition.slot_of(tr.t_enter.rem_euclid(DAY_S));
+                let tt = tr.travel_time();
+                add((edge, Some(tr.route), Some(slot)), tt, &mut self.mean_cache);
+                add((edge, None, Some(slot)), tt, &mut self.mean_cache);
+                add((edge, Some(tr.route), None), tt, &mut self.mean_cache);
+                add((edge, None, None), tt, &mut self.mean_cache);
+            }
+        }
+        for (sum, n) in self.mean_cache.values_mut() {
+            *sum /= (*n).max(1) as f64;
+        }
+    }
+
+    /// True once [`ArrivalPredictor::train`] populated the mean cache for
+    /// `edge`.
+    fn cache_covers(&self, edge: EdgeId) -> bool {
+        self.mean_cache.contains_key(&(edge, None, None))
+    }
+
+    /// The slot partition of a segment (whole-day when untrained).
+    pub fn partition(&self, edge: EdgeId) -> &SlotPartition {
+        self.partitions.get(&edge).unwrap_or(&self.default_partition)
+    }
+
+    /// Historical mean travel time `Th(i, j, l)` of `route` on `edge` for
+    /// the slot containing `t`, using data strictly before `t`.
+    ///
+    /// Falls back from (route, slot) → (any route, slot) → (route, any
+    /// slot) → (any route, any slot), each requiring
+    /// `min_slot_samples` except the last.
+    pub fn historical_mean(
+        &self,
+        store: &TravelTimeStore,
+        edge: EdgeId,
+        route: Option<RouteId>,
+        t: f64,
+    ) -> Option<f64> {
+        if self.cache_covers(edge) {
+            let slot = self.partition(edge).slot_of(t);
+            let min = self.config.min_slot_samples;
+            let get = |key: MeanKey| self.mean_cache.get(&key).copied();
+            for key in [
+                (edge, route, Some(slot)),
+                (edge, None, Some(slot)),
+                (edge, route, None),
+            ] {
+                if let Some((mean, n)) = get(key) {
+                    if n >= min {
+                        return Some(mean);
+                    }
+                }
+            }
+            return get((edge, None, None)).map(|(mean, _)| mean);
+        }
+        let partition = self.partition(edge);
+        let slot = partition.slot_of(t);
+        let min = self.config.min_slot_samples;
+        let in_slot =
+            |tr: &crate::history::Traversal| partition.slot_of(tr.t_enter.rem_euclid(DAY_S)) == slot;
+        let count = |r: Option<RouteId>, slot_only: bool| {
+            store
+                .completed_before(edge, t)
+                .filter(|tr| r.map(|rr| tr.route == rr).unwrap_or(true))
+                .filter(|tr| !slot_only || in_slot(tr))
+                .count()
+        };
+        if count(route, true) >= min {
+            return store.mean_travel_time(edge, route, t, in_slot);
+        }
+        if count(None, true) >= min {
+            return store.mean_travel_time(edge, None, t, in_slot);
+        }
+        if count(route, false) >= min {
+            return store.mean_travel_time(edge, route, t, |_| true);
+        }
+        store.mean_travel_time(edge, None, t, |_| true)
+    }
+
+    /// Equation 8: predicted travel time of `route` on `edge` for a bus
+    /// entering around time `t`.
+    ///
+    /// Returns `None` only when the segment has no history at all.
+    pub fn predict_segment(
+        &self,
+        store: &TravelTimeStore,
+        edge: EdgeId,
+        route: RouteId,
+        t: f64,
+    ) -> Option<f64> {
+        let th_own = self.historical_mean(store, edge, Some(route), t)?;
+        let recent = store.recent_buses(
+            edge,
+            t,
+            self.config.recent_window_s,
+            self.config.max_recent_buses,
+        );
+        if recent.is_empty() {
+            return Some(th_own);
+        }
+        let mut ratio_sum = 0.0;
+        let mut k = 0usize;
+        for tr in &recent {
+            if let Some(th_k) = self.historical_mean(store, edge, Some(tr.route), tr.t_enter) {
+                if th_k > 1e-9 {
+                    ratio_sum += tr.travel_time() / th_k;
+                    k += 1;
+                }
+            }
+        }
+        if k == 0 {
+            return Some(th_own);
+        }
+        // Equation 8 implemented multiplicatively: each recent bus
+        // contributes its travel-time *ratio* to its own historical mean,
+        // which transfers across routes whose regular speeds differ ("even
+        // though their regular speeds on this segment may differ"). One
+        // shrinkage pseudo-count pulls the estimate toward 1 when few
+        // buses contribute (a single bus's ratio mixes the shared
+        // environment term with its own dwell/light noise).
+        let ratio = (ratio_sum + 1.0) / (k as f64 + 1.0);
+        // Congestion can slow a segment several-fold but never speed it up
+        // beyond free flow by much.
+        let ratio = ratio.clamp(0.5, 3.0);
+        Some((th_own * ratio).max(1.0))
+    }
+
+    /// Predicted travel time with the no-history fallback applied: a
+    /// segment without records is crossed at `fallback_speed_mps`.
+    pub fn predict_segment_or_fallback(
+        &self,
+        store: &TravelTimeStore,
+        route: &Route,
+        edge_index: usize,
+        t: f64,
+    ) -> f64 {
+        let edge = route.edges()[edge_index];
+        self.predict_segment(store, edge, route.id(), t)
+            .unwrap_or_else(|| route.edge_length(edge_index) / self.config.fallback_speed_mps)
+    }
+
+    /// Equation 9: predicted *absolute arrival time* at arc length
+    /// `stop_s` for a bus of `route` currently at `current_s` at time `t`.
+    ///
+    /// Returns `t` when the stop is at or behind the current position.
+    /// Slots are re-evaluated as predicted time accumulates.
+    pub fn predict_arrival(
+        &self,
+        store: &TravelTimeStore,
+        route: &Route,
+        current_s: f64,
+        t: f64,
+        stop_s: f64,
+    ) -> f64 {
+        if stop_s <= current_s {
+            return t;
+        }
+        let start = route.position_at(current_s);
+        let target = route.position_at(stop_s.min(route.length()));
+        let mut t_cur = t;
+        // Fractional remainder of the current segment.
+        {
+            let i = start.edge_index;
+            let len = route.edge_length(i);
+            let tp = self.predict_segment_or_fallback(store, route, i, t_cur);
+            if target.edge_index == i {
+                // Stop on the current segment.
+                return t_cur + tp * (target.s_on_edge - start.s_on_edge).max(0.0) / len;
+            }
+            t_cur += tp * (len - start.s_on_edge) / len;
+        }
+        // Full intermediate segments, slot-by-slot.
+        for i in start.edge_index + 1..target.edge_index {
+            t_cur += self.predict_segment_or_fallback(store, route, i, t_cur);
+        }
+        // Fractional final segment up to the stop.
+        let i = target.edge_index;
+        let len = route.edge_length(i);
+        let tp = self.predict_segment_or_fallback(store, route, i, t_cur);
+        t_cur + tp * target.s_on_edge / len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Traversal;
+    use wilocator_geo::Point;
+    use wilocator_road::{NetworkBuilder, RouteId};
+
+    fn route_3seg() -> Route {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(600.0, 0.0));
+        let n2 = b.add_node(Point::new(1_200.0, 0.0));
+        let n3 = b.add_node(Point::new(1_800.0, 0.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let e2 = b.add_edge(n2, n3, None).unwrap();
+        Route::new(RouteId(0), "r", vec![e0, e1, e2], &b.build()).unwrap()
+    }
+
+    /// Seed the store with `days` days of one traversal per hour per edge,
+    /// travel time `tt` seconds (+rush extra during hours 8–9).
+    fn seeded_store(route: &Route, days: usize, tt: f64, rush_extra: f64) -> TravelTimeStore {
+        let mut store = TravelTimeStore::new();
+        for day in 0..days {
+            for hour in 6..22 {
+                for (i, &edge) in route.edges().iter().enumerate() {
+                    let t0 = day as f64 * DAY_S + hour as f64 * 3_600.0 + i as f64 * 120.0;
+                    let extra = if (8..10).contains(&hour) { rush_extra } else { 0.0 };
+                    store.record(
+                        edge,
+                        Traversal {
+                            route: RouteId((i % 2) as u32),
+                            t_enter: t0,
+                            t_exit: t0 + tt + extra,
+                        },
+                    );
+                }
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn untrained_predictor_uses_whole_day_history() {
+        let route = route_3seg();
+        let store = seeded_store(&route, 3, 90.0, 0.0);
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let now = 3.0 * DAY_S + 12.0 * 3_600.0;
+        let tp = p
+            .predict_segment(&store, route.edges()[0], route.id(), now)
+            .unwrap();
+        assert!((tp - 90.0).abs() < 1.0, "tp {tp}");
+    }
+
+    #[test]
+    fn trained_predictor_is_slot_aware() {
+        let route = route_3seg();
+        let store = seeded_store(&route, 10, 90.0, 120.0);
+        let mut p = ArrivalPredictor::new(PredictorConfig::default());
+        p.train(&store, 10.0 * DAY_S);
+        let rush = 10.0 * DAY_S + 8.6 * 3_600.0;
+        let off = 10.0 * DAY_S + 13.0 * 3_600.0;
+        let tp_rush = p
+            .predict_segment(&store, route.edges()[0], route.id(), rush)
+            .unwrap();
+        let tp_off = p
+            .predict_segment(&store, route.edges()[0], route.id(), off)
+            .unwrap();
+        assert!(
+            tp_rush > tp_off + 60.0,
+            "rush {tp_rush} vs off-peak {tp_off}"
+        );
+    }
+
+    #[test]
+    fn recent_residual_corrects_prediction() {
+        let route = route_3seg();
+        let mut store = seeded_store(&route, 5, 90.0, 0.0);
+        let edge = route.edges()[1];
+        let now = 5.0 * DAY_S + 12.0 * 3_600.0;
+        // A bus of *another* route just crawled the segment: +60 s residual.
+        store.record(
+            edge,
+            Traversal {
+                route: RouteId(1),
+                t_enter: now - 600.0,
+                t_exit: now - 600.0 + 150.0,
+            },
+        );
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let tp = p.predict_segment(&store, edge, RouteId(0), now).unwrap();
+        // +60 s residual, shrunk by K/(K+1) with K = 1 ⇒ +30 s.
+        assert!(tp > 110.0, "residual not propagated: {tp}");
+    }
+
+    #[test]
+    fn stale_residual_is_ignored() {
+        let route = route_3seg();
+        let mut store = seeded_store(&route, 5, 90.0, 0.0);
+        let edge = route.edges()[1];
+        let now = 5.0 * DAY_S + 12.0 * 3_600.0;
+        store.record(
+            edge,
+            Traversal {
+                route: RouteId(1),
+                t_enter: now - 2.0 * 3_600.0, // two hours old
+                t_exit: now - 2.0 * 3_600.0 + 400.0,
+            },
+        );
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let tp = p.predict_segment(&store, edge, RouteId(0), now).unwrap();
+        assert!((90.0..110.0).contains(&tp), "stale record leaked: {tp}");
+    }
+
+    #[test]
+    fn arrival_integrates_segments_with_fractions() {
+        let route = route_3seg();
+        let store = seeded_store(&route, 5, 60.0, 0.0);
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let now = 5.0 * DAY_S + 12.0 * 3_600.0;
+        // Bus halfway down segment 0 (s = 300), stop mid-segment 2
+        // (s = 1500): 0.5·60 + 60 + 0.5·60 = 120 s.
+        let eta = p.predict_arrival(&store, &route, 300.0, now, 1_500.0);
+        assert!((eta - now - 120.0).abs() < 5.0, "eta offset {}", eta - now);
+    }
+
+    #[test]
+    fn arrival_same_segment_fraction() {
+        let route = route_3seg();
+        let store = seeded_store(&route, 5, 60.0, 0.0);
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let now = 5.0 * DAY_S + 12.0 * 3_600.0;
+        // From s = 100 to s = 400 within segment 0: 0.5 of 60 s.
+        let eta = p.predict_arrival(&store, &route, 100.0, now, 400.0);
+        assert!((eta - now - 30.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn arrival_behind_position_is_now() {
+        let route = route_3seg();
+        let store = TravelTimeStore::new();
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        assert_eq!(p.predict_arrival(&store, &route, 500.0, 1_000.0, 400.0), 1_000.0);
+    }
+
+    #[test]
+    fn no_history_falls_back_to_cruise_speed() {
+        let route = route_3seg();
+        let store = TravelTimeStore::new();
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let eta = p.predict_arrival(&store, &route, 0.0, 0.0, 1_800.0);
+        // 1800 m at 6 m/s = 300 s.
+        assert!((eta - 300.0).abs() < 5.0, "eta {eta}");
+    }
+
+    #[test]
+    fn prediction_never_negative_or_zero() {
+        let route = route_3seg();
+        let mut store = seeded_store(&route, 3, 60.0, 0.0);
+        let edge = route.edges()[0];
+        let now = 3.0 * DAY_S + 12.0 * 3_600.0;
+        // Recent bus was absurdly fast (negative residual larger than Th).
+        store.record(
+            edge,
+            Traversal {
+                route: RouteId(1),
+                t_enter: now - 300.0,
+                t_exit: now - 299.0,
+            },
+        );
+        let p = ArrivalPredictor::new(PredictorConfig::default());
+        let tp = p.predict_segment(&store, edge, RouteId(0), now).unwrap();
+        assert!(tp >= 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Rider-to-bus assignment by scan proximity (§V-A.1).
+//!
+//! "The bus riders, close to the driver by proximity sensor, have
+//! approximately the same trajectory, therefore we can easily determine
+//! which bus the riders are on." Two phones on the same bus hear nearly
+//! identical WiFi environments; phones on different buses (metres vs
+//! hundreds of metres apart) do not. This module clusters simultaneous
+//! device scans by RSS-vector similarity, so one driver's identified route
+//! (voice announcement or text input) propagates to every rider on board.
+
+use std::collections::HashMap;
+
+use wilocator_rf::{ApId, Scan};
+
+/// An opaque device identifier (a rider's or driver's phone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u64);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Scan-similarity metric between two devices' simultaneous scans:
+/// mean absolute RSS difference (dB) over the shared APs, plus a miss
+/// penalty per AP heard by exactly one device. Lower = closer. Returns
+/// `f64::INFINITY` when the scans share no AP at all.
+pub fn scan_distance_db(a: &Scan, b: &Scan, miss_penalty_db: f64) -> f64 {
+    let map_a: HashMap<ApId, i32> = a.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
+    let map_b: HashMap<ApId, i32> = b.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
+    let mut shared = 0usize;
+    let mut sum = 0.0;
+    let mut misses = 0usize;
+    for (ap, &ra) in &map_a {
+        match map_b.get(ap) {
+            Some(&rb) => {
+                shared += 1;
+                sum += (ra - rb).abs() as f64;
+            }
+            None => misses += 1,
+        }
+    }
+    for ap in map_b.keys() {
+        if !map_a.contains_key(ap) {
+            misses += 1;
+        }
+    }
+    if shared == 0 {
+        return f64::INFINITY;
+    }
+    let n = (shared + misses) as f64;
+    (sum + misses as f64 * miss_penalty_db) / n
+}
+
+/// Groups simultaneous device scans into buses: single-linkage clustering
+/// with the similarity threshold `max_distance_db`. Devices whose scans
+/// are within the threshold of any member of a cluster join it.
+///
+/// Returns the clusters, each sorted by device id, largest first.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_core::proximity::{group_by_proximity, DeviceId};
+/// use wilocator_rf::{ApId, Bssid, Reading, Scan};
+///
+/// let scan = |aps: &[(u32, i32)]| Scan::new(0.0, aps.iter().map(|&(a, r)| Reading {
+///     ap: ApId(a), bssid: Bssid::from_ap_id(ApId(a)), rss_dbm: r,
+/// }).collect());
+/// // Devices 1 and 2 hear the same two APs; device 3 hears different ones.
+/// let scans = vec![
+///     (DeviceId(1), scan(&[(0, -50), (1, -60)])),
+///     (DeviceId(2), scan(&[(0, -52), (1, -59)])),
+///     (DeviceId(3), scan(&[(7, -45), (8, -66)])),
+/// ];
+/// let groups = group_by_proximity(&scans, 8.0, 20.0);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0], vec![DeviceId(1), DeviceId(2)]);
+/// ```
+pub fn group_by_proximity(
+    scans: &[(DeviceId, Scan)],
+    max_distance_db: f64,
+    miss_penalty_db: f64,
+) -> Vec<Vec<DeviceId>> {
+    let n = scans.len();
+    // Union–find over device indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if scan_distance_db(&scans[i].1, &scans[j].1, miss_penalty_db) <= max_distance_db {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut clusters: HashMap<usize, Vec<DeviceId>> = HashMap::new();
+    for (i, &(device, _)) in scans.iter().enumerate() {
+        let root = find(&mut parent, i);
+        clusters.entry(root).or_default().push(device);
+    }
+    let mut out: Vec<Vec<DeviceId>> = clusters.into_values().collect();
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wilocator_geo::Point;
+    use wilocator_rf::{AccessPoint, HomogeneousField, Scanner, ScannerConfig};
+
+    fn scan(pairs: &[(u32, i32)]) -> Scan {
+        Scan::new(
+            0.0,
+            pairs
+                .iter()
+                .map(|&(a, r)| wilocator_rf::Reading {
+                    ap: ApId(a),
+                    bssid: wilocator_rf::Bssid::from_ap_id(ApId(a)),
+                    rss_dbm: r,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn distance_zero_for_identical_scans() {
+        let a = scan(&[(0, -50), (1, -62)]);
+        assert_eq!(scan_distance_db(&a, &a, 20.0), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetric_and_grows_with_rss_gap() {
+        let a = scan(&[(0, -50), (1, -62)]);
+        let b = scan(&[(0, -55), (1, -60)]);
+        let c = scan(&[(0, -80), (1, -85)]);
+        assert_eq!(
+            scan_distance_db(&a, &b, 20.0),
+            scan_distance_db(&b, &a, 20.0)
+        );
+        assert!(scan_distance_db(&a, &b, 20.0) < scan_distance_db(&a, &c, 20.0));
+    }
+
+    #[test]
+    fn disjoint_scans_are_infinitely_far() {
+        let a = scan(&[(0, -50)]);
+        let b = scan(&[(9, -50)]);
+        assert_eq!(scan_distance_db(&a, &b, 20.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn miss_penalty_separates_partial_overlap() {
+        let a = scan(&[(0, -50), (1, -60), (2, -70)]);
+        let same = scan(&[(0, -51), (1, -61), (2, -71)]);
+        let partial = scan(&[(0, -51), (8, -61), (9, -71)]);
+        assert!(
+            scan_distance_db(&a, &same, 20.0) < scan_distance_db(&a, &partial, 20.0)
+        );
+    }
+
+    #[test]
+    fn two_buses_worth_of_devices_cluster_correctly() {
+        // Two buses 600 m apart on an instrumented street; three devices
+        // on each, real scans with fading.
+        let mut aps = Vec::new();
+        let mut x = 30.0;
+        let mut i = 0u32;
+        while x < 1_200.0 {
+            aps.push(AccessPoint::new(
+                ApId(i),
+                Point::new(x, if i.is_multiple_of(2) { 15.0 } else { -15.0 }),
+            ));
+            i += 1;
+            x += 60.0;
+        }
+        let field = HomogeneousField::new(aps);
+        let scanner = Scanner::new(ScannerConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let bus_a = Point::new(200.0, 0.0);
+        let bus_b = Point::new(800.0, 0.0);
+        let mut scans = Vec::new();
+        for d in 0..3u64 {
+            scans.push((DeviceId(d), scanner.scan(&field, bus_a, 0.0, &mut rng)));
+        }
+        for d in 3..6u64 {
+            scans.push((DeviceId(d), scanner.scan(&field, bus_b, 0.0, &mut rng)));
+        }
+        let groups = group_by_proximity(&scans, 10.0, 25.0);
+        assert_eq!(groups.len(), 2, "groups: {groups:?}");
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 3);
+        // Devices 0–2 together, 3–5 together.
+        let g0: Vec<u64> = groups[0].iter().map(|d| d.0).collect();
+        assert!(g0 == vec![0, 1, 2] || g0 == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn single_device_forms_its_own_group() {
+        let scans = vec![(DeviceId(7), scan(&[(0, -50)]))];
+        let groups = group_by_proximity(&scans, 10.0, 20.0);
+        assert_eq!(groups, vec![vec![DeviceId(7)]]);
+        assert!(group_by_proximity(&[], 10.0, 20.0).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Scan reports and bus-route identification.
+//!
+//! The first step of WiLocator is to identify which route a sensed bus is
+//! on (§V-A.1). The paper uses the on-board announcement ("when the bus
+//! starts, it usually announces the bus route, including the route and the
+//! destination it bounds for") recognised from riders' recordings, or the
+//! driver's own device; riders near the driver (by proximity) inherit the
+//! identification.
+
+use wilocator_rf::Scan;
+use wilocator_road::RouteId;
+
+/// A report uploaded by the phones on one bus at one scan tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReport {
+    /// Server-assigned key of the physical bus (one tracker per bus).
+    pub bus: BusKey,
+    /// Upload time, seconds.
+    pub time_s: f64,
+    /// One scan per reporting device.
+    pub scans: Vec<Scan>,
+}
+
+/// Identifies one physical bus being tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BusKey(pub u64);
+
+impl std::fmt::Display for BusKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bus{}", self.0)
+    }
+}
+
+/// Resolves announcement transcripts (or driver text input) to route ids.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_core::RouteIdentifier;
+/// use wilocator_road::RouteId;
+///
+/// let mut id = RouteIdentifier::new();
+/// id.register(RouteId(1), "9");
+/// id.register(RouteId(0), "Rapid Line");
+/// assert_eq!(id.identify("This is route 9 bound for Boundary"), Some(RouteId(1)));
+/// assert_eq!(id.identify("rapid line to UBC"), Some(RouteId(0)));
+/// assert_eq!(id.identify("mystery announcement"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouteIdentifier {
+    names: Vec<(RouteId, String)>,
+}
+
+impl RouteIdentifier {
+    /// Creates an identifier with no known routes.
+    pub fn new() -> Self {
+        RouteIdentifier::default()
+    }
+
+    /// Registers a route under its announced name.
+    pub fn register(&mut self, route: RouteId, name: impl Into<String>) {
+        self.names.push((route, name.into().to_lowercase()));
+        // Longest names first so "Rapid Line 9" prefers the specific match
+        // and plain digits ("9") cannot shadow a longer name containing
+        // them.
+        self.names.sort_by_key(|(_, name)| std::cmp::Reverse(name.len()));
+    }
+
+    /// The registered `(route, lowercase name)` pairs.
+    pub fn names(&self) -> impl Iterator<Item = (RouteId, &str)> {
+        self.names.iter().map(|(r, n)| (*r, n.as_str()))
+    }
+
+    /// Identifies the route announced in a transcript.
+    ///
+    /// Matching is case-insensitive and word-bounded: route "9" matches
+    /// "route 9 bound for X" but not "route 99".
+    pub fn identify(&self, transcript: &str) -> Option<RouteId> {
+        let hay = transcript.to_lowercase();
+        for (route, name) in &self.names {
+            if contains_word(&hay, name) {
+                return Some(*route);
+            }
+        }
+        None
+    }
+}
+
+/// Word-bounded containment: `needle` occurs in `hay` not flanked by
+/// alphanumerics.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let begin = start + pos;
+        let end = begin + needle.len();
+        let before_ok = begin == 0
+            || !hay[..begin]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric())
+                .unwrap_or(false);
+        let after_ok = end == hay.len()
+            || !hay[end..]
+                .chars()
+                .next()
+                .map(|c| c.is_alphanumeric())
+                .unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = begin + 1;
+        if start >= hay.len() {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identifier() -> RouteIdentifier {
+        let mut id = RouteIdentifier::new();
+        id.register(RouteId(0), "Rapid Line");
+        id.register(RouteId(1), "9");
+        id.register(RouteId(2), "14");
+        id.register(RouteId(3), "16");
+        id
+    }
+
+    #[test]
+    fn identifies_numeric_routes_word_bounded() {
+        let id = identifier();
+        assert_eq!(id.identify("route 14 bound for downtown"), Some(RouteId(2)));
+        assert_eq!(id.identify("route 9, bound for Boundary"), Some(RouteId(1)));
+        // "914" must not match route 9 or 14.
+        assert_eq!(id.identify("route 914"), None);
+    }
+
+    #[test]
+    fn identifies_named_route_case_insensitive() {
+        let id = identifier();
+        assert_eq!(id.identify("RAPID LINE to UBC"), Some(RouteId(0)));
+    }
+
+    #[test]
+    fn longer_names_take_precedence() {
+        let mut id = RouteIdentifier::new();
+        id.register(RouteId(7), "9");
+        id.register(RouteId(8), "99 B-Line");
+        assert_eq!(id.identify("this is the 99 B-Line express"), Some(RouteId(8)));
+    }
+
+    #[test]
+    fn no_match_is_none() {
+        let id = identifier();
+        assert_eq!(id.identify(""), None);
+        assert_eq!(id.identify("the weather is nice"), None);
+    }
+
+    #[test]
+    fn word_bound_checks() {
+        assert!(contains_word("route 9 east", "9"));
+        assert!(!contains_word("route 99", "9"));
+        assert!(!contains_word("x9y", "9"));
+        assert!(contains_word("9", "9"));
+        assert!(!contains_word("abc", ""));
+    }
+
+    #[test]
+    fn bus_key_display() {
+        assert_eq!(BusKey(7).to_string(), "bus7");
+    }
+}

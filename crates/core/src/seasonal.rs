@@ -1,0 +1,327 @@
+//! Seasonal index and time-slot partitioning (Equations 6–7).
+//!
+//! For each road segment the server computes, per base time slot `l`, the
+//! ratio `SI(i, l) = T̄(i,·,·,l) / T̄(i,·,·,·)` of the slot's average travel
+//! time to the whole-day average. `SI ≈ 1` everywhere means no periodicity;
+//! slots with large SI are rush hours. Consecutive base slots with similar
+//! SI are merged into bigger slots "such that each day can be divided into
+//! less slots, to increase the sample size" — the prototype ends up with
+//! five (§V-B.2).
+
+use wilocator_road::EdgeId;
+
+use crate::history::TravelTimeStore;
+
+/// Seconds in a day (mirrors the simulator's convention).
+pub const DAY_S: f64 = 86_400.0;
+
+/// Configuration of the seasonal analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeasonalConfig {
+    /// Number of base slots per day (`L`); 24 = hourly, as in the paper's
+    /// example ("e.g., each hour is a time slot").
+    pub base_slots: usize,
+    /// Merge neighbouring slots whose SI differs by less than this.
+    pub merge_epsilon: f64,
+    /// A slot with SI at or above this is flagged as rush hour.
+    pub rush_threshold: f64,
+}
+
+impl Default for SeasonalConfig {
+    fn default() -> Self {
+        SeasonalConfig {
+            base_slots: 24,
+            merge_epsilon: 0.12,
+            rush_threshold: 1.25,
+        }
+    }
+}
+
+/// The per-edge seasonal index over base slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalIndex {
+    /// `SI(i, l)` per base slot; `None` for slots with no data.
+    pub index: Vec<Option<f64>>,
+    /// Number of records that contributed.
+    pub samples: usize,
+}
+
+impl SeasonalIndex {
+    /// True when every populated slot is within `epsilon` of 1 — no
+    /// periodicity (the paper: "If SI(i, l) = 1 for any l, there is no
+    /// periodicity of travel time").
+    pub fn is_flat(&self, epsilon: f64) -> bool {
+        self.index
+            .iter()
+            .flatten()
+            .all(|&si| (si - 1.0).abs() <= epsilon)
+    }
+
+    /// Base slots flagged as rush hours under `threshold`.
+    pub fn rush_slots(&self, threshold: f64) -> Vec<usize> {
+        self.index
+            .iter()
+            .enumerate()
+            .filter_map(|(l, si)| si.filter(|&v| v >= threshold).map(|_| l))
+            .collect()
+    }
+}
+
+/// Computes the seasonal index of `edge` from all traversals completed
+/// before `as_of` (Equation 6), averaging across routes and days.
+pub fn seasonal_index(
+    store: &TravelTimeStore,
+    edge: EdgeId,
+    as_of: f64,
+    config: &SeasonalConfig,
+) -> SeasonalIndex {
+    let l = config.base_slots.max(1);
+    let slot_len = DAY_S / l as f64;
+    let mut sums = vec![0.0f64; l];
+    let mut counts = vec![0usize; l];
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for tr in store.completed_before(edge, as_of) {
+        let tod = tr.t_enter.rem_euclid(DAY_S);
+        let slot = ((tod / slot_len) as usize).min(l - 1);
+        sums[slot] += tr.travel_time();
+        counts[slot] += 1;
+        total += tr.travel_time();
+        n += 1;
+    }
+    if n == 0 {
+        return SeasonalIndex {
+            index: vec![None; l],
+            samples: 0,
+        };
+    }
+    let grand_mean = total / n as f64;
+    let index = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| (c > 0).then(|| (s / c as f64) / grand_mean))
+        .collect();
+    SeasonalIndex { index, samples: n }
+}
+
+/// A partition of the day into merged slots.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_core::SlotPartition;
+/// // Boundaries at 08:00 and 10:00 ⇒ three slots.
+/// let p = SlotPartition::new(vec![8.0 * 3600.0, 10.0 * 3600.0]);
+/// assert_eq!(p.slot_count(), 3);
+/// assert_eq!(p.slot_of(9.0 * 3600.0), 1);
+/// assert_eq!(p.slot_of(23.0 * 3600.0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotPartition {
+    /// Interior boundaries, seconds of day, strictly increasing.
+    boundaries: Vec<f64>,
+}
+
+impl SlotPartition {
+    /// Creates a partition from interior boundaries (sorted, deduplicated).
+    pub fn new(mut boundaries: Vec<f64>) -> Self {
+        boundaries.retain(|b| (0.0..DAY_S).contains(b));
+        boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        boundaries.dedup();
+        SlotPartition { boundaries }
+    }
+
+    /// A single all-day slot.
+    pub fn whole_day() -> Self {
+        SlotPartition {
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The slot containing second-of-day `tod` (absolute times are reduced
+    /// modulo one day).
+    pub fn slot_of(&self, t: f64) -> usize {
+        let tod = t.rem_euclid(DAY_S);
+        self.boundaries.iter().take_while(|&&b| b <= tod).count()
+    }
+
+    /// The interior boundaries, seconds of day.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// The next boundary strictly after absolute time `t`, as an absolute
+    /// time (for slot-by-slot arrival computation in Equation 9). Midnight
+    /// counts: the slot index resets to 0 at the start of each day.
+    pub fn next_boundary_after(&self, t: f64) -> f64 {
+        let day = (t / DAY_S).floor();
+        let tod = t - day * DAY_S;
+        for &b in &self.boundaries {
+            if b > tod {
+                return day * DAY_S + b;
+            }
+        }
+        (day + 1.0) * DAY_S
+    }
+}
+
+/// Builds a slot partition from a seasonal index by merging consecutive
+/// base slots with similar SI (Equation 7's grouping step).
+pub fn partition_from_index(si: &SeasonalIndex, config: &SeasonalConfig) -> SlotPartition {
+    let l = si.index.len();
+    if l <= 1 || si.samples == 0 {
+        return SlotPartition::whole_day();
+    }
+    let slot_len = DAY_S / l as f64;
+    let mut boundaries = Vec::new();
+    let mut prev: Option<f64> = None;
+    for (i, v) in si.index.iter().enumerate() {
+        let cur = v.unwrap_or(1.0);
+        if let Some(p) = prev {
+            if (cur - p).abs() > config.merge_epsilon {
+                boundaries.push(i as f64 * slot_len);
+            }
+        }
+        prev = Some(cur);
+    }
+    SlotPartition::new(boundaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Traversal;
+    use wilocator_road::RouteId;
+
+    /// A store with hourly traversals over `days` days: 60 s baseline,
+    /// 120 s during hours 8–9 (rush).
+    fn rushy_store(edge: EdgeId, days: usize) -> TravelTimeStore {
+        let mut s = TravelTimeStore::new();
+        for day in 0..days {
+            for hour in 6..22 {
+                let t0 = day as f64 * DAY_S + hour as f64 * 3_600.0;
+                let tt = if (8..10).contains(&hour) { 120.0 } else { 60.0 };
+                s.record(
+                    edge,
+                    Traversal {
+                        route: RouteId((hour % 2) as u32),
+                        t_enter: t0,
+                        t_exit: t0 + tt,
+                    },
+                );
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn seasonal_index_detects_rush() {
+        let e = EdgeId(0);
+        let store = rushy_store(e, 5);
+        let si = seasonal_index(&store, e, 1e12, &SeasonalConfig::default());
+        assert_eq!(si.samples, 5 * 16);
+        let rush = si.rush_slots(1.25);
+        assert_eq!(rush, vec![8, 9]);
+        assert!(!si.is_flat(0.1));
+        // Unpopulated night slots carry no index.
+        assert!(si.index[2].is_none());
+    }
+
+    #[test]
+    fn flat_store_has_flat_index() {
+        let e = EdgeId(0);
+        let mut s = TravelTimeStore::new();
+        for day in 0..3 {
+            for hour in 0..24 {
+                let t0 = day as f64 * DAY_S + hour as f64 * 3_600.0;
+                s.record(
+                    e,
+                    Traversal {
+                        route: RouteId(0),
+                        t_enter: t0,
+                        t_exit: t0 + 60.0,
+                    },
+                );
+            }
+        }
+        let si = seasonal_index(&s, e, 1e12, &SeasonalConfig::default());
+        assert!(si.is_flat(1e-9));
+        assert!(si.rush_slots(1.25).is_empty());
+    }
+
+    #[test]
+    fn empty_edge_yields_no_index() {
+        let s = TravelTimeStore::new();
+        let si = seasonal_index(&s, EdgeId(0), 1e12, &SeasonalConfig::default());
+        assert_eq!(si.samples, 0);
+        assert!(si.index.iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn as_of_cuts_future_data() {
+        let e = EdgeId(0);
+        let store = rushy_store(e, 5);
+        let early = seasonal_index(&store, e, DAY_S, &SeasonalConfig::default());
+        assert_eq!(early.samples, 16);
+    }
+
+    #[test]
+    fn partition_splits_around_rush() {
+        let e = EdgeId(0);
+        let store = rushy_store(e, 5);
+        let si = seasonal_index(&store, e, 1e12, &SeasonalConfig::default());
+        let p = partition_from_index(&si, &SeasonalConfig::default());
+        // Boundaries at 08:00 and 10:00 at minimum.
+        assert!(p.boundaries().contains(&(8.0 * 3_600.0)));
+        assert!(p.boundaries().contains(&(10.0 * 3_600.0)));
+        // Rush hours land in their own slot.
+        let rush_slot = p.slot_of(8.5 * 3_600.0);
+        assert_ne!(rush_slot, p.slot_of(7.5 * 3_600.0));
+        assert_ne!(rush_slot, p.slot_of(10.5 * 3_600.0));
+    }
+
+    #[test]
+    fn slot_partition_lookup() {
+        let p = SlotPartition::new(vec![8.0 * 3_600.0, 10.0 * 3_600.0, 17.0 * 3_600.0]);
+        assert_eq!(p.slot_count(), 4);
+        assert_eq!(p.slot_of(0.0), 0);
+        assert_eq!(p.slot_of(8.0 * 3_600.0), 1); // boundary belongs right
+        assert_eq!(p.slot_of(9.0 * 3_600.0), 1);
+        assert_eq!(p.slot_of(12.0 * 3_600.0), 2);
+        assert_eq!(p.slot_of(20.0 * 3_600.0), 3);
+        // Absolute times reduce modulo a day.
+        assert_eq!(p.slot_of(DAY_S + 9.0 * 3_600.0), 1);
+    }
+
+    #[test]
+    fn next_boundary_wraps_to_next_day() {
+        let p = SlotPartition::new(vec![8.0 * 3_600.0, 17.0 * 3_600.0]);
+        assert_eq!(p.next_boundary_after(6.0 * 3_600.0), 8.0 * 3_600.0);
+        assert_eq!(p.next_boundary_after(9.0 * 3_600.0), 17.0 * 3_600.0);
+        // After the last boundary of the day, the next slot change is
+        // midnight (the slot index resets to 0 there).
+        assert_eq!(p.next_boundary_after(20.0 * 3_600.0), DAY_S);
+    }
+
+    #[test]
+    fn whole_day_partition() {
+        let p = SlotPartition::whole_day();
+        assert_eq!(p.slot_count(), 1);
+        assert_eq!(p.slot_of(12.0 * 3_600.0), 0);
+    }
+
+    #[test]
+    fn empty_index_partition_is_whole_day() {
+        let si = SeasonalIndex {
+            index: vec![None; 24],
+            samples: 0,
+        };
+        let p = partition_from_index(&si, &SeasonalConfig::default());
+        assert_eq!(p.slot_count(), 1);
+    }
+}

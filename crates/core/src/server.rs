@@ -1,0 +1,597 @@
+//! The WiLocator back-end server (Fig. 4).
+//!
+//! "We shift the computation burden to the server": this type owns the
+//! per-route SVD positioners, the per-bus trackers, the travel-time store,
+//! the trained predictor and the traffic-map generator, and exposes the
+//! operations of the paper's three components — real-time tracking,
+//! arrival-time prediction and traffic-map generation. State is behind
+//! `parking_lot` locks so concurrent rider uploads and user queries can be
+//! served from multiple threads.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use wilocator_rf::SignalField;
+use wilocator_road::{Route, RouteId, StopId};
+use wilocator_svd::{
+    Fix, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig,
+};
+
+use crate::history::{TravelTimeStore, Traversal};
+use crate::predict::{ArrivalPredictor, PredictorConfig};
+use crate::report::{BusKey, RouteIdentifier, ScanReport};
+use crate::tracker::{segment_traversals, BusTracker};
+use crate::traffic_map::{SegmentState, TrafficMapConfig, TrafficMapGenerator};
+
+/// Errors returned by the server API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The route id is not served by this deployment.
+    UnknownRoute(RouteId),
+    /// The bus key has not been registered.
+    UnknownBus(BusKey),
+    /// The stop id does not exist on the route.
+    UnknownStop(StopId),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownRoute(r) => write!(f, "unknown route {r}"),
+            CoreError::UnknownBus(b) => write!(f, "unknown bus {b}"),
+            CoreError::UnknownStop(s) => write!(f, "unknown stop {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WiLocatorConfig {
+    /// SVD construction parameters.
+    pub svd: SvdConfig,
+    /// Positioner parameters.
+    pub positioner: PositionerConfig,
+    /// Predictor parameters.
+    pub predictor: PredictorConfig,
+    /// Traffic-map parameters.
+    pub traffic: TrafficMapConfig,
+    /// Route sampling step for the tile index, metres.
+    pub sample_step_m: f64,
+    /// A traversal is committed to the store once the bus is this far past
+    /// the segment end, metres (stabilises the crossing interpolation).
+    pub commit_margin_m: f64,
+}
+
+impl Default for WiLocatorConfig {
+    fn default() -> Self {
+        WiLocatorConfig {
+            svd: SvdConfig::default(),
+            positioner: PositionerConfig::default(),
+            predictor: PredictorConfig::default(),
+            traffic: TrafficMapConfig::default(),
+            sample_step_m: 2.0,
+            commit_margin_m: 30.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BusState {
+    route: RouteId,
+    tracker: BusTracker,
+    committed_upto: usize,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    buses: HashMap<BusKey, BusState>,
+    store: TravelTimeStore,
+}
+
+/// The WiLocator server.
+///
+/// # Examples
+///
+/// See the crate-level example and `examples/quickstart.rs`.
+#[derive(Debug)]
+pub struct WiLocator {
+    config: WiLocatorConfig,
+    routes: Vec<Route>,
+    positioners: HashMap<RouteId, RoutePositioner>,
+    identifier: RouteIdentifier,
+    state: RwLock<ServerState>,
+    predictor: RwLock<ArrivalPredictor>,
+    traffic: TrafficMapGenerator,
+}
+
+impl WiLocator {
+    /// Builds the server: constructs the route tile indexes from the
+    /// geo-tag field (the SVD construction step of Fig. 4) and registers
+    /// route names for announcement-based identification.
+    pub fn new<F: SignalField + ?Sized>(
+        field: &F,
+        routes: Vec<Route>,
+        config: WiLocatorConfig,
+    ) -> Self {
+        let mut positioners = HashMap::new();
+        let mut identifier = RouteIdentifier::new();
+        for route in &routes {
+            let index = RouteTileIndex::build(field, route, config.svd, config.sample_step_m);
+            positioners.insert(
+                route.id(),
+                RoutePositioner::new(route.clone(), index, config.positioner),
+            );
+            identifier.register(route.id(), route.name());
+        }
+        WiLocator {
+            config,
+            routes,
+            positioners,
+            identifier,
+            state: RwLock::new(ServerState::default()),
+            predictor: RwLock::new(ArrivalPredictor::new(config.predictor)),
+            traffic: TrafficMapGenerator::new(config.traffic),
+        }
+    }
+
+    /// The served routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Route lookup.
+    pub fn route(&self, id: RouteId) -> Option<&Route> {
+        self.routes.iter().find(|r| r.id() == id)
+    }
+
+    /// Registers a bus on a route (driver text input path of §V-A.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRoute`] for unserved routes.
+    pub fn register_bus(&self, bus: BusKey, route: RouteId) -> Result<(), CoreError> {
+        let positioner = self
+            .positioners
+            .get(&route)
+            .ok_or(CoreError::UnknownRoute(route))?;
+        let mut st = self.state.write();
+        st.buses.insert(
+            bus,
+            BusState {
+                route,
+                tracker: BusTracker::new(positioner.clone()),
+                committed_upto: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers a bus from an announcement transcript (voice path of
+    /// §V-A.1). Returns the identified route.
+    pub fn register_bus_by_announcement(
+        &self,
+        bus: BusKey,
+        transcript: &str,
+    ) -> Option<RouteId> {
+        let route = self.identifier.identify(transcript)?;
+        self.register_bus(bus, route).ok()?;
+        Some(route)
+    }
+
+    /// Ingests one scan report, returning the new position fix.
+    ///
+    /// Newly completed segment traversals (the bus has moved
+    /// `commit_margin_m` past a segment end) are committed to the
+    /// travel-time store, feeding prediction and the traffic map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownBus`] for unregistered buses.
+    pub fn ingest(&self, report: &ScanReport) -> Result<Option<Fix>, CoreError> {
+        let mut st = self.state.write();
+        let bus = st
+            .buses
+            .get_mut(&report.bus)
+            .ok_or(CoreError::UnknownBus(report.bus))?;
+        let fix = bus.tracker.ingest(report);
+        let Some(fix) = fix else {
+            return Ok(None);
+        };
+        // Commit traversals the bus has safely cleared.
+        let route = bus.tracker.route().clone();
+        let route_id = bus.route;
+        let fixes = bus.tracker.trajectory().fixes().to_vec();
+        let mut committed_upto = bus.committed_upto;
+        let mut new_records = Vec::new();
+        for tr in segment_traversals(&route, &fixes) {
+            if tr.edge_index < committed_upto {
+                continue;
+            }
+            if route.edge_end_s(tr.edge_index) + self.config.commit_margin_m > fix.s {
+                break;
+            }
+            new_records.push((route.edges()[tr.edge_index], tr));
+            committed_upto = tr.edge_index + 1;
+        }
+        st.buses.get_mut(&report.bus).expect("present").committed_upto = committed_upto;
+        for (edge, tr) in new_records {
+            st.store.record(
+                edge,
+                Traversal {
+                    route: route_id,
+                    t_enter: tr.t_enter,
+                    t_exit: tr.t_exit,
+                },
+            );
+        }
+        Ok(Some(fix))
+    }
+
+    /// Finishes a bus trip: commits all remaining traversals and removes
+    /// the tracker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownBus`] for unregistered buses.
+    pub fn finish_bus(&self, bus: BusKey) -> Result<(), CoreError> {
+        let mut st = self.state.write();
+        let state = st.buses.remove(&bus).ok_or(CoreError::UnknownBus(bus))?;
+        let route = state.tracker.route().clone();
+        let fixes = state.tracker.trajectory().fixes().to_vec();
+        for tr in segment_traversals(&route, &fixes) {
+            if tr.edge_index >= state.committed_upto {
+                st.store.record(
+                    route.edges()[tr.edge_index],
+                    Traversal {
+                        route: state.route,
+                        t_enter: tr.t_enter,
+                        t_exit: tr.t_exit,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The latest position fix of a bus.
+    pub fn position(&self, bus: BusKey) -> Option<Fix> {
+        self.state.read().buses.get(&bus)?.tracker.trajectory().last().copied()
+    }
+
+    /// The tracked trajectory fixes of a bus.
+    pub fn trajectory(&self, bus: BusKey) -> Option<Vec<Fix>> {
+        Some(
+            self.state
+                .read()
+                .buses
+                .get(&bus)?
+                .tracker
+                .trajectory()
+                .fixes()
+                .to_vec(),
+        )
+    }
+
+    /// Offline training (§V-A.3): seasonal index → slot partitions, from
+    /// everything recorded before `as_of`.
+    pub fn train(&self, as_of: f64) {
+        let st = self.state.read();
+        self.predictor.write().train(&st.store, as_of);
+    }
+
+    /// Predicts the absolute arrival time of `bus` at stop `stop` of its
+    /// route (Equations 8–9), from its latest fix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownBus`] / [`CoreError::UnknownStop`].
+    pub fn predict_arrival(&self, bus: BusKey, stop: StopId) -> Result<f64, CoreError> {
+        let st = self.state.read();
+        let state = st.buses.get(&bus).ok_or(CoreError::UnknownBus(bus))?;
+        let route = state.tracker.route();
+        let stop = route.stop(stop).ok_or(CoreError::UnknownStop(stop))?;
+        let fix = state
+            .tracker
+            .trajectory()
+            .last()
+            .ok_or(CoreError::UnknownBus(bus))?;
+        let predictor = self.predictor.read();
+        Ok(predictor.predict_arrival(&st.store, route, fix.s, fix.time_s, stop.s()))
+    }
+
+    /// Predicts the arrival time at `stop_s` for a hypothetical bus of
+    /// `route` at `current_s` at time `t` (used by the evaluation harness).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRoute`] for unserved routes.
+    pub fn predict_arrival_at(
+        &self,
+        route: RouteId,
+        current_s: f64,
+        t: f64,
+        stop_s: f64,
+    ) -> Result<f64, CoreError> {
+        let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
+        let st = self.state.read();
+        let predictor = self.predictor.read();
+        Ok(predictor.predict_arrival(&st.store, r, current_s, t, stop_s))
+    }
+
+    /// Rider-facing query (the paper's third component, the trip-plan
+    /// interface): every active bus of `route` that has not yet passed
+    /// `stop`, with its predicted arrival time, soonest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRoute`] / [`CoreError::UnknownStop`].
+    pub fn arrivals_at(
+        &self,
+        route: RouteId,
+        stop: StopId,
+    ) -> Result<Vec<(BusKey, f64)>, CoreError> {
+        let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
+        let stop = r.stop(stop).ok_or(CoreError::UnknownStop(stop))?;
+        let st = self.state.read();
+        let predictor = self.predictor.read();
+        let mut out: Vec<(BusKey, f64)> = st
+            .buses
+            .iter()
+            .filter(|(_, b)| b.route == route)
+            .filter_map(|(&key, b)| {
+                let fix = b.tracker.trajectory().last()?;
+                (fix.s < stop.s()).then(|| {
+                    (
+                        key,
+                        predictor.predict_arrival(&st.store, r, fix.s, fix.time_s, stop.s()),
+                    )
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        Ok(out)
+    }
+
+    /// The live traffic map of a route at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRoute`] for unserved routes.
+    pub fn traffic_map(&self, route: RouteId, t: f64) -> Result<Vec<SegmentState>, CoreError> {
+        let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
+        let st = self.state.read();
+        let predictor = self.predictor.read();
+        Ok(self.traffic.route_map(&st.store, &predictor, r, t))
+    }
+
+    /// Read access to the travel-time store (evaluation hooks).
+    pub fn with_store<T>(&self, f: impl FnOnce(&TravelTimeStore) -> T) -> T {
+        f(&self.state.read().store)
+    }
+
+    /// Read access to the trained predictor (evaluation hooks).
+    pub fn with_predictor<T>(&self, f: impl FnOnce(&ArrivalPredictor) -> T) -> T {
+        f(&self.predictor.read())
+    }
+
+    /// The positioner of a route (evaluation hooks).
+    pub fn positioner(&self, route: RouteId) -> Option<&RoutePositioner> {
+        self.positioners.get(&route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_geo::Point;
+    use wilocator_rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan};
+    use wilocator_road::NetworkBuilder;
+
+    pub(crate) fn setup() -> (WiLocator, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(400.0, 0.0));
+        let n2 = b.add_node(Point::new(800.0, 0.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let net = b.build();
+        let mut route = Route::new(RouteId(0), "9", vec![e0, e1], &net).unwrap();
+        route.add_stops_evenly(3);
+        let mut aps = Vec::new();
+        let mut x = 40.0;
+        let mut i = 0u32;
+        while x < 800.0 {
+            aps.push(AccessPoint::new(
+                ApId(i),
+                Point::new(x, if i.is_multiple_of(2) { 15.0 } else { -15.0 }),
+            ));
+            i += 1;
+            x += 80.0;
+        }
+        let field = HomogeneousField::new(aps);
+        let server = WiLocator::new(&field, vec![route], WiLocatorConfig::default());
+        (server, field)
+    }
+
+    pub(crate) fn report(field: &HomogeneousField, route: &Route, s: f64, t: f64, bus: u64) -> ScanReport {
+        let p = route.point_at(s);
+        let readings: Vec<Reading> = field
+            .detectable_at(p, -90.0)
+            .into_iter()
+            .map(|(ap, rss)| Reading {
+                ap,
+                bssid: Bssid::from_ap_id(ap),
+                rss_dbm: rss.round() as i32,
+            })
+            .collect();
+        ScanReport {
+            bus: BusKey(bus),
+            time_s: t,
+            scans: vec![Scan::new(t, readings)],
+        }
+    }
+
+    fn drive(server: &WiLocator, field: &HomogeneousField, bus: u64, t0: f64, speed: f64) {
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(bus), RouteId(0)).unwrap();
+        let mut t = t0;
+        loop {
+            let s = (t - t0) * speed;
+            if s > route.length() {
+                break;
+            }
+            server.ingest(&report(field, &route, s, t, bus)).unwrap();
+            t += 10.0;
+        }
+        server.finish_bus(BusKey(bus)).unwrap();
+    }
+
+    #[test]
+    fn unknown_route_and_bus_errors() {
+        let (server, field) = setup();
+        assert_eq!(
+            server.register_bus(BusKey(1), RouteId(9)),
+            Err(CoreError::UnknownRoute(RouteId(9)))
+        );
+        let route = server.routes()[0].clone();
+        let rep = report(&field, &route, 0.0, 0.0, 2);
+        assert_eq!(server.ingest(&rep), Err(CoreError::UnknownBus(BusKey(2))));
+        assert_eq!(
+            server.finish_bus(BusKey(2)),
+            Err(CoreError::UnknownBus(BusKey(2)))
+        );
+    }
+
+    #[test]
+    fn announcement_registration() {
+        let (server, _) = setup();
+        assert_eq!(
+            server.register_bus_by_announcement(BusKey(1), "route 9 bound for Boundary"),
+            Some(RouteId(0))
+        );
+        assert!(server
+            .register_bus_by_announcement(BusKey(2), "route 55")
+            .is_none());
+    }
+
+    #[test]
+    fn tracking_produces_positions() {
+        let (server, field) = setup();
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(1), RouteId(0)).unwrap();
+        for k in 0..5 {
+            let t = k as f64 * 10.0;
+            server
+                .ingest(&report(&field, &route, t * 8.0, t, 1))
+                .unwrap();
+        }
+        let fix = server.position(BusKey(1)).expect("tracked");
+        assert!((fix.s - 320.0).abs() < 60.0, "fix at {}", fix.s);
+        assert_eq!(server.trajectory(BusKey(1)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn traversals_committed_to_store() {
+        let (server, field) = setup();
+        drive(&server, &field, 1, 0.0, 8.0);
+        let (records, edges) = server.with_store(|s| (s.len(), s.edge_count()));
+        assert_eq!(edges, 2, "both segments recorded");
+        assert!(records >= 2);
+        // Ground-truth segment time is 400 m / 8 m/s = 50 s.
+        server.with_store(|s| {
+            for e in s.edges().collect::<Vec<_>>() {
+                for tr in s.traversals(e) {
+                    // 400 m at 8 m/s = 50 s; the first segment carries
+                    // extra startup-extrapolation noise.
+                    assert!(
+                        (tr.travel_time() - 50.0).abs() < 25.0,
+                        "travel time {}",
+                        tr.travel_time()
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prediction_after_history() {
+        let (server, field) = setup();
+        // Five buses build history.
+        for b in 0..5 {
+            drive(&server, &field, b, b as f64 * 400.0, 8.0);
+        }
+        server.train(10_000.0);
+        // A new bus at the start asks for the final stop's arrival.
+        server.register_bus(BusKey(99), RouteId(0)).unwrap();
+        let route = server.routes()[0].clone();
+        server
+            .ingest(&report(&field, &route, 5.0, 3_000.0, 99))
+            .unwrap();
+        let final_stop = route.stops().last().unwrap().id();
+        let eta = server.predict_arrival(BusKey(99), final_stop).unwrap();
+        // ~800 m at 8 m/s ≈ 100 s from now.
+        let offset = eta - 3_000.0;
+        assert!((60.0..200.0).contains(&offset), "eta offset {offset}");
+    }
+
+    #[test]
+    fn predict_arrival_at_unknown_route_errors() {
+        let (server, _) = setup();
+        assert!(matches!(
+            server.predict_arrival_at(RouteId(7), 0.0, 0.0, 100.0),
+            Err(CoreError::UnknownRoute(_))
+        ));
+    }
+
+    #[test]
+    fn traffic_map_has_entry_per_segment() {
+        let (server, field) = setup();
+        for b in 0..10 {
+            drive(&server, &field, b, b as f64 * 400.0, 8.0);
+        }
+        let map = server.traffic_map(RouteId(0), 5_000.0).unwrap();
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn arrivals_at_lists_approaching_buses() {
+        let (server, field) = setup();
+        let route = server.routes()[0].clone();
+        // Two buses on the road: one at 100 m, one at 600 m.
+        server.register_bus(BusKey(1), RouteId(0)).unwrap();
+        server.register_bus(BusKey(2), RouteId(0)).unwrap();
+        server.ingest(&report(&field, &route, 100.0, 1_000.0, 1)).unwrap();
+        server.ingest(&report(&field, &route, 600.0, 1_000.0, 2)).unwrap();
+        // Stop mid-route at s = 400: only bus 1 is still approaching.
+        let mid_stop = route.stops()[1].id();
+        let arrivals = server.arrivals_at(RouteId(0), mid_stop).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0].0, BusKey(1));
+        assert!(arrivals[0].1 > 1_000.0);
+        // Final stop: both approach, bus 2 arrives first.
+        let last_stop = route.stops().last().unwrap().id();
+        let arrivals = server.arrivals_at(RouteId(0), last_stop).unwrap();
+        assert_eq!(arrivals.len(), 2);
+        assert_eq!(arrivals[0].0, BusKey(2));
+        assert!(arrivals[0].1 <= arrivals[1].1);
+        // Unknown stop errors.
+        assert!(matches!(
+            server.arrivals_at(RouteId(0), StopId(99)),
+            Err(CoreError::UnknownStop(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CoreError::UnknownRoute(RouteId(0)),
+            CoreError::UnknownBus(BusKey(0)),
+            CoreError::UnknownStop(StopId(0)),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+

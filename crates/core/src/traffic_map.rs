@@ -1,0 +1,470 @@
+//! Real-time traffic map generation and anomaly detection (§IV, §V-A.4).
+//!
+//! WiLocator classifies each road segment from the *statistics of travel
+//! time*, not vehicle velocity, because "each bus route usually has
+//! different regular speed when traveling the same road segment" and
+//! different segments pose different speed limits. The travel-time
+//! residual of the latest bus is z-scored against the segment's residual
+//! history; by the rule of thumb, `z > 1.64` marks the segment *very slow*
+//! with 95 % confidence and `z > 1.00` *slow*.
+//!
+//! Anomaly localisation follows Fig. 6: a run of consecutive trajectory
+//! fixes whose inter-fix road distance stays below δ (the bus is crawling)
+//! away from stops and intersections marks the anomaly site between the
+//! first and last fix of the run.
+
+use wilocator_road::{EdgeId, Route};
+use wilocator_svd::Fix;
+
+use crate::history::TravelTimeStore;
+use crate::predict::ArrivalPredictor;
+
+
+/// Traffic state of a road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficState {
+    /// Travel time consistent with history.
+    Normal,
+    /// Residual z-score above the slow threshold.
+    Slow,
+    /// Residual z-score above the very-slow threshold (95 % confidence).
+    VerySlow,
+    /// Not enough data to classify.
+    Unknown,
+}
+
+impl std::fmt::Display for TrafficState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrafficState::Normal => "normal",
+            TrafficState::Slow => "slow",
+            TrafficState::VerySlow => "very slow",
+            TrafficState::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of the traffic-map generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficMapConfig {
+    /// z-score above which a segment is *slow* (`c2` in the paper).
+    pub slow_z: f64,
+    /// z-score above which a segment is *very slow* (`c1`; 1.64 ⇒ 95 %).
+    pub very_slow_z: f64,
+    /// Minimum residual history before classifying.
+    pub min_samples: usize,
+    /// How recent the latest traversal must be to classify, seconds.
+    pub freshness_s: f64,
+}
+
+impl Default for TrafficMapConfig {
+    fn default() -> Self {
+        TrafficMapConfig {
+            slow_z: 1.0,
+            very_slow_z: 1.64,
+            min_samples: 8,
+            freshness_s: 2_700.0,
+        }
+    }
+}
+
+/// One classified segment of the live traffic map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentState {
+    /// The segment.
+    pub edge: EdgeId,
+    /// Its classification.
+    pub state: TrafficState,
+    /// The z-score behind the classification (0 for unknown).
+    pub z: f64,
+}
+
+/// Generates traffic maps from the travel-time store.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMapGenerator {
+    config: TrafficMapConfig,
+}
+
+impl TrafficMapGenerator {
+    /// Creates a generator.
+    pub fn new(config: TrafficMapConfig) -> Self {
+        TrafficMapGenerator { config }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &TrafficMapConfig {
+        &self.config
+    }
+
+    /// Classifies one segment at time `t`.
+    ///
+    /// Residuals are computed against the route- and slot-specific
+    /// historical mean supplied by `predictor` (excluding route-related
+    /// factors, as the paper prescribes).
+    pub fn classify(
+        &self,
+        store: &TravelTimeStore,
+        predictor: &ArrivalPredictor,
+        edge: EdgeId,
+        t: f64,
+    ) -> SegmentState {
+        // Residual history ε̂(i, l): each traversal's travel time minus
+        // its own route- and slot-specific historical mean Th (the paper's
+        // per-slot residual). Because every residual is normalised by the
+        // slot it happened in, residuals from different slots are
+        // comparable and the full history can be pooled — which keeps the
+        // latest record fresh even right after a slot boundary.
+        let mut residuals: Vec<f64> = Vec::new();
+        let mut latest: Option<(f64, f64)> = None; // (t_exit, residual)
+        for tr in store.completed_before(edge, t) {
+            let Some(th) =
+                predictor.historical_mean(store, edge, Some(tr.route), tr.t_enter)
+            else {
+                continue;
+            };
+            let r = tr.travel_time() - th;
+            residuals.push(r);
+            if latest.map(|(te, _)| tr.t_exit > te).unwrap_or(true) {
+                latest = Some((tr.t_exit, r));
+            }
+        }
+        let Some((t_exit, current_r)) = latest else {
+            return SegmentState {
+                edge,
+                state: TrafficState::Unknown,
+                z: 0.0,
+            };
+        };
+        if residuals.len() < self.config.min_samples || t - t_exit > self.config.freshness_s {
+            return SegmentState {
+                edge,
+                state: TrafficState::Unknown,
+                z: 0.0,
+            };
+        }
+        let n = residuals.len() as f64;
+        let mean = residuals.iter().sum::<f64>() / n;
+        let var = residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-6);
+        let z = (current_r - mean) / std;
+        let state = if z > self.config.very_slow_z {
+            TrafficState::VerySlow
+        } else if z > self.config.slow_z {
+            TrafficState::Slow
+        } else {
+            TrafficState::Normal
+        };
+        SegmentState { edge, state, z }
+    }
+
+    /// Classifies every segment of a route — the live traffic map. Unlike
+    /// velocity-threshold maps, no segment with history is left unmarked
+    /// (the WiLocator advantage visible in Fig. 11).
+    pub fn route_map(
+        &self,
+        store: &TravelTimeStore,
+        predictor: &ArrivalPredictor,
+        route: &Route,
+        t: f64,
+    ) -> Vec<SegmentState> {
+        route
+            .edges()
+            .iter()
+            .map(|&e| self.classify(store, predictor, e, t))
+            .collect()
+    }
+}
+
+/// A localised traffic anomaly on a route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// Route arc-length range of the anomaly site (between `p_k` and `p_m`
+    /// in the paper's notation).
+    pub s_range: (f64, f64),
+    /// Time range over which the crawl was observed.
+    pub t_range: (f64, f64),
+}
+
+/// Derives the crawl threshold δ as a fraction of the *median* historical
+/// per-scan displacement. The median is robust against the dwell (zero)
+/// and light-wait spikes that inflate the standard deviation; a bus moving
+/// at less than `fraction` of its typical pace is crawling.
+pub fn delta_from_median(displacements: &[f64], fraction: f64) -> f64 {
+    if displacements.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = displacements.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (sorted[sorted.len() / 2] * fraction).max(1.0)
+}
+
+/// Derives the crawl threshold δ from historical per-scan displacements:
+/// mean minus `c` standard deviations, floored at 1 m.
+pub fn delta_from_history(displacements: &[f64], c: f64) -> f64 {
+    if displacements.is_empty() {
+        return 1.0;
+    }
+    let n = displacements.len() as f64;
+    let mean = displacements.iter().sum::<f64>() / n;
+    let var = displacements.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    (mean - c * var.sqrt()).max(1.0)
+}
+
+/// The longest plausible dwell at a stop or light, seconds: a slow run
+/// near a stop/intersection lasting no longer than this is a boarding or
+/// red-light dwell (the paper: "other possible cases causing a false
+/// anomaly … can be easily identified based on the bus position"), while a
+/// longer one is a genuine jam even if a stop sits inside it.
+pub const MAX_DWELL_S: f64 = 90.0;
+
+/// Detects anomaly sites in a tracked trajectory (Fig. 6): maximal runs of
+/// `min_run` or more consecutive inter-fix displacements below `delta_m`.
+/// Runs whose midpoint lies within `exclusion_radius_m` of a position in
+/// `exclusions` (stops, intersections) are dropped **only when** they are
+/// short enough ([`MAX_DWELL_S`]) to be a boarding or red-light dwell.
+pub fn detect_anomalies(
+    fixes: &[Fix],
+    delta_m: f64,
+    min_run: usize,
+    exclusions: &[f64],
+    exclusion_radius_m: f64,
+) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    let flush = |start: usize, end: usize, out: &mut Vec<Anomaly>| {
+        // Run of displacements [start..end] ⇒ fixes [start..=end+1].
+        if end + 1 - start < min_run {
+            return;
+        }
+        let s0 = fixes[start].s;
+        let s1 = fixes[end + 1].s;
+        let mid = 0.5 * (s0 + s1);
+        let duration = fixes[end + 1].time_s - fixes[start].time_s;
+        let near_exclusion = exclusions
+            .iter()
+            .any(|&x| (mid - x).abs() <= exclusion_radius_m);
+        if near_exclusion && duration <= MAX_DWELL_S {
+            return;
+        }
+        out.push(Anomaly {
+            s_range: (s0, s1),
+            t_range: (fixes[start].time_s, fixes[end + 1].time_s),
+        });
+    };
+    for i in 0..fixes.len().saturating_sub(1) {
+        let ds = fixes[i + 1].s - fixes[i].s;
+        if ds < delta_m {
+            if run_start.is_none() {
+                run_start = Some(i);
+            }
+        } else if let Some(start) = run_start.take() {
+            flush(start, i - 1, &mut out);
+        }
+    }
+    if let Some(start) = run_start {
+        flush(start, fixes.len() - 2, &mut out);
+    }
+    out
+}
+
+/// Convenience: exclusion positions (stops and intersections) of a route.
+pub fn route_exclusions(route: &Route) -> Vec<f64> {
+    let mut out: Vec<f64> = route.stops().iter().map(|s| s.s()).collect();
+    out.extend((0..route.edges().len()).map(|i| route.edge_start_s(i)));
+    out.push(route.length());
+    out
+}
+
+/// Ground-truth-free summary: fraction of a route's segments left
+/// unclassified (the "unmarked segments" WiLocator avoids in Fig. 11).
+pub fn unknown_fraction(map: &[SegmentState]) -> f64 {
+    if map.is_empty() {
+        return 0.0;
+    }
+    map.iter()
+        .filter(|s| s.state == TrafficState::Unknown)
+        .count() as f64
+        / map.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Traversal;
+    use crate::predict::PredictorConfig;
+    use crate::seasonal::DAY_S;
+    use wilocator_geo::Point;
+    use wilocator_road::RouteId;
+    use wilocator_svd::FixMethod;
+
+    fn store_with_baseline(edge: EdgeId, n: usize, tt: f64) -> TravelTimeStore {
+        let mut s = TravelTimeStore::new();
+        for i in 0..n {
+            let t0 = 10_000.0 + i as f64 * 600.0;
+            s.record(
+                edge,
+                Traversal {
+                    route: RouteId(0),
+                    t_enter: t0,
+                    t_exit: t0 + tt + (i % 3) as f64, // tiny spread
+                },
+            );
+        }
+        s
+    }
+
+    fn predictor() -> ArrivalPredictor {
+        ArrivalPredictor::new(PredictorConfig::default())
+    }
+
+    #[test]
+    fn normal_traffic_classified_normal() {
+        let e = EdgeId(0);
+        let store = store_with_baseline(e, 20, 90.0);
+        let gen = TrafficMapGenerator::default();
+        let state = gen.classify(&store, &predictor(), e, 10_000.0 + 20.0 * 600.0 + 60.0);
+        assert_eq!(state.state, TrafficState::Normal, "z = {}", state.z);
+    }
+
+    #[test]
+    fn jammed_segment_classified_very_slow() {
+        let e = EdgeId(0);
+        let mut store = store_with_baseline(e, 20, 90.0);
+        let now = 10_000.0 + 21.0 * 600.0;
+        store.record(
+            e,
+            Traversal {
+                route: RouteId(1),
+                t_enter: now - 400.0,
+                t_exit: now - 400.0 + 320.0, // 3.5× the usual time
+            },
+        );
+        let gen = TrafficMapGenerator::default();
+        let state = gen.classify(&store, &predictor(), e, now);
+        assert_eq!(state.state, TrafficState::VerySlow, "z = {}", state.z);
+        assert!(state.z > 1.64);
+    }
+
+    #[test]
+    fn no_data_is_unknown() {
+        let store = TravelTimeStore::new();
+        let gen = TrafficMapGenerator::default();
+        let state = gen.classify(&store, &predictor(), EdgeId(5), 1_000.0);
+        assert_eq!(state.state, TrafficState::Unknown);
+    }
+
+    #[test]
+    fn stale_data_is_unknown() {
+        let e = EdgeId(0);
+        let store = store_with_baseline(e, 20, 90.0);
+        let gen = TrafficMapGenerator::default();
+        // A day later with no fresh traversal.
+        let state = gen.classify(&store, &predictor(), e, 10_000.0 + DAY_S);
+        assert_eq!(state.state, TrafficState::Unknown);
+    }
+
+    #[test]
+    fn few_samples_is_unknown() {
+        let e = EdgeId(0);
+        let store = store_with_baseline(e, 3, 90.0);
+        let gen = TrafficMapGenerator::default();
+        let state = gen.classify(&store, &predictor(), e, 10_000.0 + 3.0 * 600.0);
+        assert_eq!(state.state, TrafficState::Unknown);
+    }
+
+    fn mk_fix(t: f64, s: f64) -> Fix {
+        Fix {
+            s,
+            point: Point::new(s, 0.0),
+            interval: (s, s),
+            method: FixMethod::Exact,
+            time_s: t,
+        }
+    }
+
+    #[test]
+    fn crawl_run_detected_as_anomaly() {
+        // Bus at 10 m/s, then crawling 1 m per 10 s tick around s = 500.
+        let mut fixes = Vec::new();
+        let mut s = 0.0;
+        let mut t = 0.0;
+        while s < 480.0 {
+            fixes.push(mk_fix(t, s));
+            s += 100.0;
+            t += 10.0;
+        }
+        for _ in 0..6 {
+            fixes.push(mk_fix(t, s));
+            s += 1.5;
+            t += 10.0;
+        }
+        while s < 1_000.0 {
+            fixes.push(mk_fix(t, s));
+            s += 100.0;
+            t += 10.0;
+        }
+        let anomalies = detect_anomalies(&fixes, 10.0, 3, &[], 0.0);
+        assert_eq!(anomalies.len(), 1);
+        let a = anomalies[0];
+        assert!(a.s_range.0 >= 400.0 && a.s_range.1 <= 550.0, "{:?}", a);
+        assert!(a.t_range.1 > a.t_range.0);
+    }
+
+    #[test]
+    fn crawl_near_stop_is_filtered() {
+        let mut fixes = vec![mk_fix(0.0, 480.0)];
+        let mut t = 10.0;
+        let mut s = 481.0;
+        for _ in 0..5 {
+            fixes.push(mk_fix(t, s));
+            t += 10.0;
+            s += 1.0;
+        }
+        fixes.push(mk_fix(t, 600.0));
+        // A stop sits at s = 485: the dwell explains the crawl.
+        let anomalies = detect_anomalies(&fixes, 10.0, 3, &[485.0], 30.0);
+        assert!(anomalies.is_empty());
+        // Without the exclusion it is reported.
+        let anomalies = detect_anomalies(&fixes, 10.0, 3, &[], 0.0);
+        assert_eq!(anomalies.len(), 1);
+    }
+
+    #[test]
+    fn short_runs_ignored() {
+        let fixes = vec![
+            mk_fix(0.0, 0.0),
+            mk_fix(10.0, 100.0),
+            mk_fix(20.0, 101.0), // single slow displacement
+            mk_fix(30.0, 200.0),
+        ];
+        assert!(detect_anomalies(&fixes, 10.0, 3, &[], 0.0).is_empty());
+    }
+
+    #[test]
+    fn delta_from_history_stats() {
+        let d = delta_from_history(&[100.0, 100.0, 100.0, 100.0], 1.5);
+        assert_eq!(d, 100.0); // zero variance
+        let d2 = delta_from_history(&[80.0, 120.0, 100.0, 100.0], 1.0);
+        assert!(d2 < 100.0 && d2 > 50.0);
+        assert_eq!(delta_from_history(&[], 1.0), 1.0);
+        // Never negative.
+        assert_eq!(delta_from_history(&[1.0, 200.0], 5.0), 1.0);
+    }
+
+    #[test]
+    fn unknown_fraction_counts() {
+        let map = vec![
+            SegmentState { edge: EdgeId(0), state: TrafficState::Normal, z: 0.0 },
+            SegmentState { edge: EdgeId(1), state: TrafficState::Unknown, z: 0.0 },
+        ];
+        assert_eq!(unknown_fraction(&map), 0.5);
+        assert_eq!(unknown_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn traffic_state_display() {
+        assert_eq!(TrafficState::VerySlow.to_string(), "very slow");
+        assert_eq!(TrafficState::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the server-side estimators.
+
+use proptest::prelude::*;
+use wilocator_core::{
+    partition_from_index, seasonal_index, ArrivalPredictor, PredictorConfig, SeasonalConfig,
+    SlotPartition, TravelTimeStore, Traversal,
+};
+use wilocator_geo::Point;
+use wilocator_road::{EdgeId, NetworkBuilder, Route, RouteId};
+
+const DAY_S: f64 = 86_400.0;
+
+fn route_of(segments: usize) -> Route {
+    let mut b = NetworkBuilder::new();
+    let mut prev = b.add_node(Point::new(0.0, 0.0));
+    let mut edges = Vec::new();
+    for i in 1..=segments {
+        let node = b.add_node(Point::new(i as f64 * 400.0, 0.0));
+        edges.push(b.add_edge(prev, node, None).unwrap());
+        prev = node;
+    }
+    Route::new(RouteId(0), "p", edges, &b.build()).unwrap()
+}
+
+/// Store with one traversal per (day, hour, edge) of constant travel time.
+fn constant_store(route: &Route, days: usize, tt: f64) -> TravelTimeStore {
+    let mut store = TravelTimeStore::new();
+    for day in 0..days {
+        for hour in 6..22 {
+            for (i, &edge) in route.edges().iter().enumerate() {
+                let t0 = day as f64 * DAY_S + hour as f64 * 3_600.0 + i as f64 * 60.0;
+                store.record(
+                    edge,
+                    Traversal {
+                        route: RouteId(0),
+                        t_enter: t0,
+                        t_exit: t0 + tt,
+                    },
+                );
+            }
+        }
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn seasonal_index_of_populated_slots_averages_to_one(
+        tts in proptest::collection::vec(20.0..200.0f64, 16),
+        days in 1usize..5,
+    ) {
+        // Equation 7: Σ SI(i, l) over populated slots equals their count
+        // (the SI is a ratio to the grand mean over the same records) when
+        // every slot has the same number of samples.
+        let e = EdgeId(0);
+        let mut store = TravelTimeStore::new();
+        for day in 0..days {
+            for (h, &tt) in tts.iter().enumerate() {
+                let t0 = day as f64 * DAY_S + (6 + h) as f64 * 3_600.0;
+                store.record(e, Traversal { route: RouteId(0), t_enter: t0, t_exit: t0 + tt });
+            }
+        }
+        let si = seasonal_index(&store, e, 1e15, &SeasonalConfig::default());
+        let populated: Vec<f64> = si.index.iter().flatten().copied().collect();
+        prop_assert_eq!(populated.len(), 16);
+        let sum: f64 = populated.iter().sum();
+        prop_assert!((sum - 16.0).abs() < 1e-6, "ΣSI = {sum}");
+        for &v in &populated {
+            prop_assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn partition_slots_cover_the_day(idx in proptest::collection::hash_set(1usize..287, 0..8)) {
+        // Boundaries on the 300 s sampling grid so every slot is sampled.
+        let boundaries: Vec<f64> = idx.into_iter().map(|i| i as f64 * 300.0).collect();
+        let p = SlotPartition::new(boundaries);
+        // slot_of is total, monotone within the day, and onto.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = 0usize;
+        for k in 0..288 {
+            let tod = k as f64 * 300.0;
+            let slot = p.slot_of(tod);
+            prop_assert!(slot < p.slot_count());
+            prop_assert!(slot >= prev);
+            prev = slot;
+            seen.insert(slot);
+        }
+        prop_assert_eq!(seen.len(), p.slot_count());
+    }
+
+    #[test]
+    fn next_boundary_is_strictly_in_the_future(
+        boundaries in proptest::collection::vec(1.0..86_000.0f64, 0..6),
+        t in 0.0..200_000.0f64,
+    ) {
+        let p = SlotPartition::new(boundaries);
+        let b = p.next_boundary_after(t);
+        prop_assert!(b > t, "boundary {b} not after {t}");
+        prop_assert!(b - t <= DAY_S + 1.0);
+    }
+
+    #[test]
+    fn prediction_equals_history_without_residuals(
+        tt in 20.0..300.0f64,
+        days in 2usize..5,
+    ) {
+        // With constant history and no recent buses, Equation 8 reduces to
+        // Th, and Equation 9 to a sum of Th fractions.
+        let route = route_of(3);
+        let store = constant_store(&route, days, tt);
+        let mut p = ArrivalPredictor::new(PredictorConfig::default());
+        p.train(&store, days as f64 * DAY_S);
+        // Query at 03:00, hours after the last record: no recent window.
+        let now = days as f64 * DAY_S + 3.0 * 3_600.0;
+        let eta = p.predict_arrival(&store, &route, 0.0, now, route.length());
+        prop_assert!(((eta - now) - 3.0 * tt).abs() < 1.0, "eta {} vs {}", eta - now, 3.0 * tt);
+        // Fractional query: half the first segment.
+        let eta_half = p.predict_arrival(&store, &route, 0.0, now, 200.0);
+        prop_assert!(((eta_half - now) - 0.5 * tt).abs() < 1.0);
+    }
+
+    #[test]
+    fn prediction_is_monotone_in_target(
+        tt in 20.0..300.0f64,
+        s0 in 0.0..1_000.0f64,
+        s1 in 0.0..1_200.0f64,
+    ) {
+        let route = route_of(3);
+        let store = constant_store(&route, 3, tt);
+        let mut p = ArrivalPredictor::new(PredictorConfig::default());
+        p.train(&store, 3.0 * DAY_S);
+        let now = 3.0 * DAY_S + 12.0 * 3_600.0;
+        let (lo, hi) = if s0 <= s1 { (s0, s1) } else { (s1, s0) };
+        let eta_lo = p.predict_arrival(&store, &route, 0.0, now, lo);
+        let eta_hi = p.predict_arrival(&store, &route, 0.0, now, hi);
+        prop_assert!(eta_hi >= eta_lo - 1e-9, "farther stop earlier: {eta_lo} vs {eta_hi}");
+    }
+
+    #[test]
+    fn store_means_match_brute_force(
+        records in proptest::collection::vec((0u32..3, 0.0..100_000.0f64, 1.0..500.0f64), 1..40),
+    ) {
+        let e = EdgeId(0);
+        let mut store = TravelTimeStore::new();
+        for &(r, t0, tt) in &records {
+            store.record(e, Traversal { route: RouteId(r), t_enter: t0, t_exit: t0 + tt });
+        }
+        let cutoff = 60_000.0;
+        let expect: Vec<f64> = records
+            .iter()
+            .filter(|&&(_, t0, tt)| t0 + tt < cutoff)
+            .map(|&(_, _, tt)| tt)
+            .collect();
+        let got = store.mean_travel_time(e, None, cutoff, |_| true);
+        match got {
+            None => prop_assert!(expect.is_empty()),
+            Some(m) => {
+                let brute = expect.iter().sum::<f64>() / expect.len() as f64;
+                prop_assert!((m - brute).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_from_flat_index_is_whole_day() {
+    let e = EdgeId(0);
+    let route = route_of(1);
+    let store = constant_store(&route, 3, 50.0);
+    let si = seasonal_index(&store, route.edges()[0], 1e15, &SeasonalConfig::default());
+    let p = partition_from_index(&si, &SeasonalConfig::default());
+    assert_eq!(p.slot_count(), 1, "flat history must not split the day");
+    let _ = e;
+}

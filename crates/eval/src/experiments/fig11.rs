@@ -1,0 +1,299 @@
+//! Figure 11: real-time traffic maps during a rush hour, plus the anomaly
+//! localisation of Fig. 6.
+//!
+//! An incident (road construction / accident) is injected on an arterial
+//! segment during an evaluation-day rush hour. Reproduced claims:
+//!
+//! * WiLocator marks the jammed segment *very slow* via the residual
+//!   z-score (z > 1.64, 95 % confidence);
+//! * unlike probe-scarce maps (the agency's "unconfirmed segments" and
+//!   Google's unmarked residentials), WiLocator leaves no segment with
+//!   history unmarked — measured as the *unknown fraction*;
+//! * the crawl run inside the trajectory localises the anomaly site
+//!   between the first and last slow fix (Fig. 6), away from stops and
+//!   intersections.
+
+use wilocator_core::{
+    delta_from_median, detect_anomalies, route_exclusions, unknown_fraction, Anomaly,
+    ArrivalPredictor, BusKey, BusTracker, ScanReport, TrafficMapGenerator, TrafficState,
+    TravelTimeStore,
+};
+use wilocator_road::RouteId;
+use wilocator_sim::{Incident, DAY_S};
+
+
+use crate::pipeline::run_pipeline;
+use crate::render::render_table;
+use crate::scenarios::{vancouver_city, vancouver_pipeline, Scale};
+
+/// The Figure-11 experiment output.
+#[derive(Debug)]
+pub struct Fig11 {
+    /// The classification of the incident segment at query time.
+    pub incident_state: TrafficState,
+    /// z-score of the incident segment.
+    pub incident_z: f64,
+    /// Non-incident segments flagged **very slow** whose ground-truth
+    /// congestion multiplier at flag time was genuinely elevated — true
+    /// detections of organic congestion (the simulator's day-level and
+    /// city-wide terms really do slow whole corridors on bad days).
+    pub organic_detections: usize,
+    /// Non-incident segments flagged very slow with *no* elevated
+    /// ground-truth congestion — genuine false alarms.
+    pub false_alarms: usize,
+    /// Total classified (non-unknown) segments on the route.
+    pub classified: usize,
+    /// Unknown fraction of WiLocator's map.
+    pub unknown_wilocator: f64,
+    /// Unknown fraction of the probe-scarce "agency" map (25 % of data).
+    pub unknown_agency: f64,
+    /// Anomalies localised on the trip that crossed the incident.
+    pub anomalies: Vec<Anomaly>,
+    /// Route range of the injected incident, metres.
+    pub incident_range: (f64, f64),
+    /// Whether a detected anomaly overlaps the injected range (± 200 m).
+    pub localized: bool,
+}
+
+/// Runs the incident scenario. The incident is placed on route 9's
+/// arterial portion during the first evaluation day's morning rush.
+pub fn run(scale: Scale, seed: u64) -> Fig11 {
+    let city = vancouver_city(seed);
+    let mut config = vancouver_pipeline(scale, seed);
+    // Slot-restricted residual histories are thin at small scales; accept
+    // classification from five same-slot samples.
+    config.wilocator.traffic.min_samples = 5;
+    let route9 = city.route(RouteId(1)).expect("route 9").clone();
+    // An arterial edge roughly mid-route.
+    let edge_index = route9.edges().len() / 2;
+    let edge = route9.edges()[edge_index];
+    let edge_len = route9.edge_length(edge_index);
+    let start_s = config.train_days as f64 * DAY_S + 8.4 * 3_600.0;
+    let duration_s = 3_000.0;
+    config.incidents.push(Incident {
+        edge,
+        s_range: (edge_len * 0.2, edge_len * 0.8),
+        start_s,
+        duration_s,
+        slowdown: 7.0,
+    });
+    let out = run_pipeline(&city, &config);
+
+    // --- Traffic map at three-quarters into the incident. ---
+    let t_q = start_s + duration_s * 0.75;
+    let map = out
+        .server
+        .traffic_map(RouteId(1), t_q)
+        .expect("route 9 served");
+    let incident_entry = map
+        .iter()
+        .find(|s| s.edge == edge)
+        .expect("incident edge on route");
+    // Validate every non-incident very-slow flag against the simulator's
+    // ground truth: was the edge's congestion multiplier genuinely
+    // elevated when the flagging bus crossed it (within the last half
+    // hour)? Multipliers: 1.0 = free flow; the rush profile alone reaches
+    // ~1.5–1.9, so "elevated" means above-profile congestion.
+    let mut organic_detections = 0usize;
+    let mut false_alarms = 0usize;
+    for s in map.iter().filter(|s| s.edge != edge && s.state == TrafficState::VerySlow) {
+        let genuinely_congested = (0..6).any(|k| {
+            let t_probe = t_q - k as f64 * 300.0;
+            out.traffic.env_factor(s.edge, t_probe) >= 1.30
+        });
+        if genuinely_congested {
+            organic_detections += 1;
+        } else {
+            false_alarms += 1;
+        }
+    }
+    let classified = map
+        .iter()
+        .filter(|s| s.state != TrafficState::Unknown)
+        .count();
+    let unknown_wilocator = unknown_fraction(&map);
+
+    // --- The probe-scarce "agency" map: only every 4th record survives. ---
+    let unknown_agency = out.server.with_store(|store| {
+        let mut sparse = TravelTimeStore::new();
+        for e in store.edges().collect::<Vec<_>>() {
+            for (i, tr) in store.traversals(e).iter().enumerate() {
+                if i % 4 == 0 {
+                    sparse.record(e, *tr);
+                }
+            }
+        }
+        let mut predictor =
+            ArrivalPredictor::new(config.wilocator.predictor);
+        predictor.train(&sparse, config.train_days as f64 * DAY_S);
+        let gen = TrafficMapGenerator::new(config.wilocator.traffic);
+        unknown_fraction(&gen.route_map(&sparse, &predictor, &route9, t_q))
+    });
+
+    // --- Anomaly localisation on the trip that crossed the incident. ---
+    let incident_range = (
+        route9.edge_start_s(edge_index) + edge_len * 0.2,
+        route9.edge_start_s(edge_index) + edge_len * 0.8,
+    );
+    let crossing_trip = out
+        .dataset
+        .trips_of(RouteId(1))
+        .find(|t| {
+            let t_at = t.trajectory.time_at_s(incident_range.0);
+            t_at > start_s && t_at < start_s + duration_s
+        })
+        .cloned();
+    let (anomalies, localized) = match crossing_trip {
+        None => (Vec::new(), false),
+        Some(trip) => {
+            // Re-track the trip to recover its estimated trajectory.
+            let mut tracker = BusTracker::new(
+                out.server.positioner(RouteId(1)).expect("route 9").clone(),
+            );
+            for b in &trip.bundles {
+                let _ = tracker.ingest(&ScanReport {
+                    bus: BusKey(u64::MAX),
+                    time_s: b.time_s,
+                    scans: b.scans.clone(),
+                });
+            }
+            let fixes = tracker.trajectory().fixes().to_vec();
+            // δ from this route's typical per-scan displacement outside
+            // the incident window (training trips).
+            let displacements: Vec<f64> = out
+                .dataset
+                .trips_of(RouteId(1))
+                .filter(|t| t.day < config.train_days)
+                .take(10)
+                .flat_map(|t| {
+                    t.bundles
+                        .windows(2)
+                        .map(|w| w[1].true_s - w[0].true_s)
+                        .collect::<Vec<f64>>()
+                })
+                .collect();
+            // Crawling = moving at under 40 % of the typical per-scan
+            // pace; the exclusion radius absorbs the positioning error so
+            // dwells at stops/lights are filtered despite estimate offsets.
+            let delta = delta_from_median(&displacements, 0.4);
+            let anomalies = detect_anomalies(
+                &fixes,
+                delta,
+                3,
+                &route_exclusions(&route9),
+                60.0,
+            );
+            let localized = anomalies.iter().any(|a| {
+                a.s_range.1 > incident_range.0 - 200.0
+                    && a.s_range.0 < incident_range.1 + 200.0
+            });
+            (anomalies, localized)
+        }
+    };
+
+    Fig11 {
+        incident_state: incident_entry.state,
+        incident_z: incident_entry.z,
+        organic_detections,
+        false_alarms,
+        classified,
+        unknown_wilocator,
+        unknown_agency,
+        anomalies,
+        incident_range,
+        localized,
+    }
+}
+
+/// Renders the experiment summary.
+pub fn render(f: &Fig11) -> String {
+    let rows = vec![
+        vec!["metric".to_string(), "value".to_string()],
+        vec![
+            "incident segment state".to_string(),
+            format!("{} (z = {:.2})", f.incident_state, f.incident_z),
+        ],
+        vec![
+            "very-slow flags: organic / spurious / classified".to_string(),
+            format!("{} / {} / {}", f.organic_detections, f.false_alarms, f.classified),
+        ],
+        vec![
+            "unknown fraction (WiLocator)".to_string(),
+            format!("{:.0} %", f.unknown_wilocator * 100.0),
+        ],
+        vec![
+            "unknown fraction (probe-scarce agency)".to_string(),
+            format!("{:.0} %", f.unknown_agency * 100.0),
+        ],
+        vec![
+            "anomaly localised".to_string(),
+            format!(
+                "{} ({} candidate runs; injected range {:.0}–{:.0} m)",
+                f.localized,
+                f.anomalies.len(),
+                f.incident_range.0,
+                f.incident_range.1
+            ),
+        ],
+    ];
+    format!(
+        "Fig. 11: rush-hour traffic map + anomaly detection\n(paper: WiLocator leaves no covered segment unmarked and localises the anomaly)\n{}",
+        render_table(&rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig11() -> &'static Fig11 {
+        use std::sync::OnceLock;
+        static RUN: OnceLock<Fig11> = OnceLock::new();
+        RUN.get_or_init(|| run(Scale::Smoke, 17))
+    }
+
+    #[test]
+    fn incident_segment_flagged() {
+        let f = fig11();
+        assert!(
+            matches!(f.incident_state, TrafficState::VerySlow | TrafficState::Slow),
+            "incident classified {:?} (z = {})",
+            f.incident_state,
+            f.incident_z
+        );
+    }
+
+    #[test]
+    fn wilocator_map_is_denser_than_probe_scarce_map() {
+        let f = fig11();
+        assert!(
+            f.unknown_wilocator <= f.unknown_agency + 1e-9,
+            "WiLocator unknown {} vs agency {}",
+            f.unknown_wilocator,
+            f.unknown_agency
+        );
+        assert!(f.classified > 0);
+    }
+
+    #[test]
+    fn false_alarm_rate_is_bounded() {
+        let f = fig11();
+        // Very-slow flags must be backed by the simulator's ground truth:
+        // spurious flags (no elevated congestion multiplier at flag time)
+        // must be rare. Flags on genuinely congested corridors are
+        // detections, not alarms.
+        assert!(
+            (f.false_alarms as f64) <= 0.25 * f.classified as f64,
+            "{} spurious very-slow flags of {} ({} organic)",
+            f.false_alarms,
+            f.classified,
+            f.organic_detections
+        );
+    }
+
+    #[test]
+    fn anomaly_is_localised() {
+        let f = fig11();
+        assert!(f.localized, "anomalies found: {:?}", f.anomalies);
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure of the paper's evaluation, plus
+//! the ablations DESIGN.md calls out. Every module exposes `run(…)`
+//! returning structured results and `render(…)` printing the same rows or
+//! series the paper reports.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig8;
+pub mod fig9;
+pub mod seasonal_slots;
+pub mod table1;
+pub mod waiting_time;
+pub mod table2;

@@ -1,0 +1,93 @@
+//! Table I: information of the four investigated bus routes.
+
+use wilocator_road::overlap;
+
+use crate::render::render_table;
+use crate::scenarios::vancouver_city;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteRow {
+    /// Route name.
+    pub name: String,
+    /// Number of stops.
+    pub stops: usize,
+    /// Route length, kilometres.
+    pub length_km: f64,
+    /// Overlapped length shared with ≥ 1 other route, kilometres.
+    pub overlap_km: f64,
+}
+
+/// The paper's published Table I, for side-by-side comparison.
+pub const PAPER: [(&str, usize, f64, f64); 4] = [
+    ("Rapid Line", 19, 13.7, 13.0),
+    ("9", 65, 16.3, 13.0),
+    ("14", 74, 20.6, 16.2),
+    ("16", 91, 18.3, 9.5),
+];
+
+/// Reproduces Table I from the generated city.
+pub fn run(seed: u64) -> Vec<RouteRow> {
+    let city = vancouver_city(seed);
+    city.routes
+        .iter()
+        .map(|r| RouteRow {
+            name: r.name().to_string(),
+            stops: r.stops().len(),
+            length_km: r.length() / 1_000.0,
+            overlap_km: overlap::overlap_length_m(r, &city.routes, &city.network) / 1_000.0,
+        })
+        .collect()
+}
+
+/// Renders the reproduced table next to the paper's values.
+pub fn render(rows: &[RouteRow]) -> String {
+    let mut table = vec![vec![
+        "Route".to_string(),
+        "# of Stops".to_string(),
+        "Length (km)".to_string(),
+        "Overlapped Length (km)".to_string(),
+        "paper: stops/len/overlap".to_string(),
+    ]];
+    for row in rows {
+        let paper = PAPER
+            .iter()
+            .find(|(n, _, _, _)| *n == row.name)
+            .map(|&(_, s, l, o)| format!("{s} / {l} / {o}"))
+            .unwrap_or_else(|| "-".to_string());
+        table.push(vec![
+            row.name.clone(),
+            row.stops.to_string(),
+            format!("{:.1}", row.length_km),
+            format!("{:.1}", row.overlap_km),
+            paper,
+        ]);
+    }
+    render_table(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduction_matches_paper_within_tolerance() {
+        let rows = run(7);
+        assert_eq!(rows.len(), 4);
+        for (name, stops, len, ov) in PAPER {
+            let row = rows.iter().find(|r| r.name == name).expect(name);
+            assert_eq!(row.stops, stops, "{name} stops");
+            assert!((row.length_km - len).abs() < 0.05, "{name} length");
+            assert!((row.overlap_km - ov).abs() < 0.1, "{name} overlap");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_routes() {
+        let rows = run(7);
+        let text = render(&rows);
+        for (name, _, _, _) in PAPER {
+            assert!(text.contains(name));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Table II: measured RSSI from surrounding APs at campus locations
+//! A, B, C.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator_rf::{Scanner, ScannerConfig, SignalField};
+use wilocator_sim::campus;
+
+use crate::render::render_table;
+
+/// The RSSI list observed at one probe location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRow {
+    /// Location name (A, B, C).
+    pub location: &'static str,
+    /// `(AP name, RSS dBm)`, strongest first.
+    pub readings: Vec<(String, i32)>,
+}
+
+/// Reproduces Table II: one scan at each probe location of the campus
+/// scene, listing the surrounding APs strongest-first.
+pub fn run(seed: u64) -> Vec<ProbeRow> {
+    let scene = campus(seed);
+    let route = &scene.city.routes[0];
+    let scanner = Scanner::new(ScannerConfig {
+        fading_sigma_db: 2.0,
+        miss_probability: 0.0,
+        ..ScannerConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AB1E2);
+    scene
+        .probes
+        .iter()
+        .map(|&(name, s)| {
+            let scan = scanner.scan(&scene.city.field, route.point_at(s), 0.0, &mut rng);
+            let readings = scan
+                .ranked()
+                .into_iter()
+                .map(|(ap, rss)| {
+                    (
+                        scene.city.field.aps()[ap.0 as usize].ssid().to_string(),
+                        rss,
+                    )
+                })
+                .collect();
+            ProbeRow {
+                location: name,
+                readings,
+            }
+        })
+        .collect()
+}
+
+/// Renders the probe rows in the paper's "AP(RSS)" list style.
+pub fn render(rows: &[ProbeRow]) -> String {
+    let mut table = vec![vec![
+        "Location".to_string(),
+        "List of surrounding WiFi APs (RSS in dBm)".to_string(),
+    ]];
+    for row in rows {
+        let list = row
+            .readings
+            .iter()
+            .map(|(name, rss)| format!("{}({})", name.replace("campus-", ""), rss))
+            .collect::<Vec<_>>()
+            .join(", ");
+        table.push(vec![row.location.to_string(), list]);
+    }
+    render_table(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_hear_multiple_aps_strongest_first() {
+        let rows = run(1);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.readings.len() >= 3,
+                "{} heard only {}",
+                row.location,
+                row.readings.len()
+            );
+            for w in row.readings.windows(2) {
+                assert!(w[0].1 >= w[1].1, "not sorted at {}", row.location);
+            }
+        }
+    }
+
+    #[test]
+    fn location_a_is_dominated_by_the_mid_cluster() {
+        // Probe A sits near AP9/AP10 (Table II: A hears AP10, AP9, AP11).
+        let rows = run(1);
+        let a = &rows[0];
+        assert_eq!(a.location, "A");
+        let top: Vec<&str> = a.readings.iter().take(3).map(|(n, _)| n.as_str()).collect();
+        assert!(
+            top.iter().any(|n| n.contains("AP9") || n.contains("AP10")),
+            "top-3 at A: {top:?}"
+        );
+    }
+
+    #[test]
+    fn render_lists_all_locations() {
+        let text = render(&run(1));
+        for loc in ["A", "B", "C"] {
+            assert!(text.contains(&format!("| {loc}")));
+        }
+    }
+}

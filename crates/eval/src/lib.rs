@@ -1,0 +1,31 @@
+//! Experiment runners and metrics reproducing the WiLocator paper's
+//! evaluation (Section V).
+//!
+//! Layers:
+//!
+//! * [`metrics`] — CDFs, quantiles, summary statistics;
+//! * [`render`] — plain-text tables and series (the benches print these);
+//! * [`pipeline`] — the end-to-end driver: simulate → ingest every scan in
+//!   global time order → train → predict, with ground-truth bookkeeping;
+//! * [`replay`] — re-run recorded datasets against alternative server
+//!   configurations (parameter sweeps);
+//! * [`scenarios`] — the Vancouver Table-I scenario at three scales
+//!   (`WILOCATOR_SCALE` ∈ smoke/medium/paper);
+//! * [`experiments`] — one module per table/figure: `table1`, `table2`,
+//!   `fig8` (a/b/c), `fig9` (a/b), `fig10`, `fig11`, `seasonal_slots`,
+//!   and `ablation`.
+
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod render;
+pub mod replay;
+pub mod scenarios;
+pub mod svg;
+
+pub use metrics::{mean, std_dev, Cdf};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutput, PredictionRecord};
+pub use render::{fmt_duration, render_series, render_table};
+pub use replay::{replay_locator_errors, replay_svd_errors, subsample_field};
+pub use scenarios::{route_name, vancouver_city, vancouver_pipeline, Scale};
+pub use svg::{deployment_svg, svd_svg, traffic_color, traffic_map_svg};

@@ -1,0 +1,185 @@
+//! Evaluation metrics: CDFs, percentiles, summaries.
+
+/// An empirical cumulative distribution over error samples.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_eval::Cdf;
+/// let cdf = Cdf::new(vec![1.0, 3.0, 2.0, 4.0]);
+/// assert_eq!(cdf.median(), 2.5);
+/// assert_eq!(cdf.fraction_below(3.5), 0.75);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF from samples (non-finite values are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), linearly interpolated; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// The minimum sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .sorted
+            .partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cumulative fraction)` pairs at `points` evenly spaced
+    /// quantiles — the series a CDF figure plots.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        (0..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Cdf::new(iter.into_iter().collect())
+    }
+}
+
+/// Mean of a slice; 0 when empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice; 0 when empty.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let cdf = Cdf::new(vec![0.0, 10.0]);
+        assert_eq!(cdf.quantile(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 5.0);
+        assert_eq!(cdf.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let cdf: Cdf = vec![4.0, 1.0, 3.0, 2.0].into_iter().collect();
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.mean(), 2.5);
+        assert_eq!(cdf.median(), 2.5);
+        assert_eq!(cdf.min(), 1.0);
+        assert_eq!(cdf.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_benign() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.median(), 0.0);
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn fraction_below_counts_inclusive() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(9.0), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let cdf = Cdf::new(vec![5.0, 1.0, 9.0, 3.0, 7.0]);
+        let curve = cdf.curve(10);
+        assert_eq!(curve.len(), 11);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,304 @@
+//! The end-to-end evaluation pipeline: simulate the city, stream every
+//! scan bundle through the WiLocator server in global time order (so
+//! concurrent buses of different routes interleave, exactly what the
+//! cross-route residual sharing needs), and collect positioning and
+//! prediction errors against ground truth.
+
+use std::collections::HashMap;
+
+use wilocator_baselines::{AgencyPredictor, SameRoutePredictor};
+use wilocator_core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator_road::RouteId;
+use wilocator_sim::{
+    daily_schedule, simulate, City, Dataset, Incident, SimulationConfig, TrafficConfig,
+    TrafficModel, DAY_S,
+};
+
+/// One arrival-time prediction compared against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionRecord {
+    /// The route predicted for.
+    pub route: RouteId,
+    /// How many stops ahead the target stop was.
+    pub stops_ahead: usize,
+    /// When the prediction was made (absolute seconds).
+    pub at_time: f64,
+    /// Whether the prediction was made during a rush-hour window.
+    pub rush: bool,
+    /// Ground-truth arrival time at the stop.
+    pub actual: f64,
+    /// WiLocator's predicted arrival time (Eq. 8–9).
+    pub wilocator: f64,
+    /// The transit-agency baseline's prediction.
+    pub agency: f64,
+    /// The same-route-only baseline's prediction.
+    pub same_route: f64,
+}
+
+impl PredictionRecord {
+    /// |predicted − actual| for WiLocator, seconds.
+    pub fn wilocator_err(&self) -> f64 {
+        (self.wilocator - self.actual).abs()
+    }
+
+    /// |predicted − actual| for the agency baseline, seconds.
+    pub fn agency_err(&self) -> f64 {
+        (self.agency - self.actual).abs()
+    }
+
+    /// |predicted − actual| for the same-route baseline, seconds.
+    pub fn same_route_err(&self) -> f64 {
+        (self.same_route - self.actual).abs()
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Dataset generation parameters (days = training + evaluation).
+    pub sim: SimulationConfig,
+    /// Traffic model parameters.
+    pub traffic: TrafficConfig,
+    /// Traffic model seed.
+    pub traffic_seed: u64,
+    /// Per-route headways, seconds.
+    pub headways: Vec<(RouteId, f64)>,
+    /// Per-route speed factors (e.g. the Rapid Line's 1.25).
+    pub route_factors: Vec<(RouteId, f64)>,
+    /// Per-route congestion sensitivities (1.0 = feels congestion fully).
+    pub congestion_sensitivities: Vec<(RouteId, f64)>,
+    /// Server configuration.
+    pub wilocator: WiLocatorConfig,
+    /// Days reserved for offline training (seasonal index, agency freeze).
+    pub train_days: u32,
+    /// Make predictions at every k-th scan bundle of evaluation trips.
+    pub predict_every: usize,
+    /// Predict up to this many stops ahead.
+    pub max_stops_ahead: usize,
+    /// Incidents injected into the traffic model.
+    pub incidents: Vec<Incident>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            sim: SimulationConfig::default(),
+            traffic: TrafficConfig::default(),
+            traffic_seed: 0xB05,
+            headways: Vec::new(),
+            route_factors: Vec::new(),
+            congestion_sensitivities: Vec::new(),
+            wilocator: WiLocatorConfig::default(),
+            train_days: 14,
+            predict_every: 6,
+            max_stops_ahead: 19,
+            incidents: Vec::new(),
+        }
+    }
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The server after processing the full dataset (trained, populated).
+    pub server: WiLocator,
+    /// The simulated dataset (ground truth).
+    pub dataset: Dataset,
+    /// The traffic model used (ground-truth congestion).
+    pub traffic: TrafficModel,
+    /// Per-route positioning errors, metres (evaluation days only).
+    pub positioning: HashMap<RouteId, Vec<f64>>,
+    /// Arrival predictions with ground truth (evaluation days only).
+    pub predictions: Vec<PredictionRecord>,
+}
+
+/// Runs the full pipeline over `city`.
+///
+/// # Panics
+///
+/// Panics if `config.predict_every == 0` or `train_days >= sim.days`.
+pub fn run_pipeline(city: &City, config: &PipelineConfig) -> PipelineOutput {
+    assert!(config.predict_every >= 1, "predict_every must be >= 1");
+    assert!(
+        config.train_days < config.sim.days,
+        "need at least one evaluation day"
+    );
+
+    // 1. Simulate the dataset.
+    let mut traffic = TrafficModel::new(&city.network, config.traffic, config.traffic_seed);
+    for &(route, f) in &config.route_factors {
+        traffic.set_route_factor(route, f);
+    }
+    for &(route, s) in &config.congestion_sensitivities {
+        traffic.set_congestion_sensitivity(route, s);
+    }
+    for &inc in &config.incidents {
+        traffic.add_incident(inc);
+    }
+    let schedule = daily_schedule(city, &config.headways);
+    let dataset = simulate(city, &schedule, &traffic, &config.sim);
+
+    // 2. Build the server.
+    let server = WiLocator::new(&city.server_field, city.routes.clone(), config.wilocator);
+
+    // 3. Merge all scan bundles into one global time-ordered stream.
+    let mut events: Vec<(f64, usize, usize)> = Vec::new();
+    for (ti, trip) in dataset.trips.iter().enumerate() {
+        for (bi, b) in trip.bundles.iter().enumerate() {
+            events.push((b.time_s, ti, bi));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite time"));
+
+    // 4. Stream through the server.
+    let train_boundary = config.train_days as f64 * DAY_S;
+    let mut trained = false;
+    let mut agency: Option<AgencyPredictor> = None;
+    let mut same_route = SameRoutePredictor::new(config.wilocator.predictor);
+    let mut positioning: HashMap<RouteId, Vec<f64>> = HashMap::new();
+    let mut predictions: Vec<PredictionRecord> = Vec::new();
+    let mut registered: Vec<bool> = vec![false; dataset.trips.len()];
+
+    for (time, ti, bi) in events {
+        let trip = &dataset.trips[ti];
+        if !trained && time >= train_boundary {
+            server.train(train_boundary);
+            server.with_store(|store| {
+                agency = Some(AgencyPredictor::train(
+                    store,
+                    train_boundary,
+                    config.wilocator.predictor,
+                ));
+                same_route.train(store, train_boundary);
+            });
+            trained = true;
+        }
+        let bus = BusKey(trip.trip_id as u64);
+        if !registered[ti] {
+            server
+                .register_bus(bus, trip.route)
+                .expect("dataset routes are served");
+            registered[ti] = true;
+        }
+        let bundle = &trip.bundles[bi];
+        let fix = server
+            .ingest(&ScanReport {
+                bus,
+                time_s: bundle.time_s,
+                scans: bundle.scans.clone(),
+            })
+            .expect("bus registered");
+
+        let eval_phase = trip.day >= config.train_days;
+        if let Some(fix) = fix {
+            if eval_phase {
+                positioning
+                    .entry(trip.route)
+                    .or_default()
+                    .push((fix.s - bundle.true_s).abs());
+                if trained && bi % config.predict_every == 0 {
+                    let route = city.route(trip.route).expect("served route");
+                    let stops: Vec<&wilocator_road::Stop> =
+                        route.stops_after(fix.s).take(config.max_stops_ahead).collect();
+                    for (ahead, stop) in stops.iter().enumerate() {
+                        let actual = trip.trajectory.time_at_s(stop.s());
+                        let wilo = server
+                            .predict_arrival_at(trip.route, fix.s, fix.time_s, stop.s())
+                            .expect("served route");
+                        let ag = agency
+                            .as_ref()
+                            .expect("trained")
+                            .predict_arrival(route, fix.s, fix.time_s, stop.s());
+                        let sr = server.with_store(|store| {
+                            same_route.predict_arrival(store, route, fix.s, fix.time_s, stop.s())
+                        });
+                        predictions.push(PredictionRecord {
+                            route: trip.route,
+                            stops_ahead: ahead + 1,
+                            at_time: time,
+                            rush: traffic.is_rush(time.rem_euclid(DAY_S)),
+                            actual,
+                            wilocator: wilo,
+                            agency: ag,
+                            same_route: sr,
+                        });
+                    }
+                }
+            }
+        }
+        // Finish the bus after its last bundle.
+        if bi + 1 == trip.bundles.len() {
+            let _ = server.finish_bus(bus);
+        }
+    }
+
+    PipelineOutput {
+        server,
+        dataset,
+        traffic,
+        positioning,
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_sim::{simple_street, CityConfig, SensingConfig};
+
+    fn tiny_config() -> PipelineConfig {
+        PipelineConfig {
+            sim: SimulationConfig {
+                days: 2,
+                sensing: SensingConfig {
+                    devices: 1,
+                    ..SensingConfig::default()
+                },
+                ..SimulationConfig::default()
+            },
+            headways: vec![(RouteId(0), 3_600.0)],
+            train_days: 1,
+            predict_every: 4,
+            max_stops_ahead: 3,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_errors_and_predictions() {
+        let city = simple_street(1_500.0, 4, 3, &CityConfig::default());
+        let out = run_pipeline(&city, &tiny_config());
+        let errors = out.positioning.get(&RouteId(0)).expect("positioned");
+        assert!(!errors.is_empty());
+        // Tracking should be street-accurate.
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean < 60.0, "mean positioning error {mean} m");
+        assert!(!out.predictions.is_empty());
+        for p in &out.predictions {
+            assert!(p.stops_ahead >= 1 && p.stops_ahead <= 3);
+            assert!(p.wilocator_err().is_finite());
+            assert!(p.agency_err().is_finite());
+            assert!(p.same_route_err().is_finite());
+        }
+        // The server accumulated travel-time history.
+        assert!(out.server.with_store(|s| s.len()) > 0);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let city = simple_street(1_000.0, 3, 5, &CityConfig::default());
+        let a = run_pipeline(&city, &tiny_config());
+        let b = run_pipeline(&city, &tiny_config());
+        assert_eq!(a.predictions.len(), b.predictions.len());
+        assert_eq!(a.positioning, b.positioning);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation day")]
+    fn train_days_must_leave_eval_days() {
+        let city = simple_street(500.0, 2, 1, &CityConfig::default());
+        let mut cfg = tiny_config();
+        cfg.train_days = 2;
+        let _ = run_pipeline(&city, &cfg);
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text rendering of tables and series, matching the rows the paper
+//! reports.
+
+/// Renders an aligned ASCII table. The first row is the header.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_eval::render_table;
+/// let t = render_table(&[
+///     vec!["Route".into(), "Stops".into()],
+///     vec!["9".into(), "65".into()],
+/// ]);
+/// assert!(t.contains("Route"));
+/// assert!(t.contains("| 9"));
+/// ```
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(|s| s.as_str()).unwrap_or("");
+            out.push(' ');
+            out.push_str(cell);
+            for _ in cell.chars().count()..*w {
+                out.push(' ');
+            }
+            out.push_str(" |");
+        }
+        out.push('\n');
+        if ri == 0 {
+            out.push('|');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('|');
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as `x<tab>y` lines with a header.
+pub fn render_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n# {x_label}\t{y_label}\n");
+    for &(x, y) in series {
+        out.push_str(&format!("{x:.3}\t{y:.4}\n"));
+    }
+    out
+}
+
+/// Formats seconds as `MMmSSs` for human-readable error magnitudes.
+pub fn fmt_duration(seconds: f64) -> String {
+    let total = seconds.abs().round() as u64;
+    format!("{}m{:02}s", total / 60, total % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(&[
+            vec!["A".into(), "Longer".into()],
+            vec!["longer-cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn series_format() {
+        let s = render_series("t", "x", "y", &[(1.0, 0.5)]);
+        assert!(s.starts_with("# t\n# x\ty\n"));
+        assert!(s.contains("1.000\t0.5000"));
+    }
+
+    #[test]
+    fn duration_format() {
+        assert_eq!(fmt_duration(0.0), "0m00s");
+        assert_eq!(fmt_duration(75.0), "1m15s");
+        assert_eq!(fmt_duration(-75.0), "1m15s");
+        assert_eq!(fmt_duration(3_601.0), "60m01s");
+    }
+}

@@ -1,0 +1,182 @@
+//! Replaying recorded scan bundles through alternative positioners.
+//!
+//! The parameter sweeps (Figs. 9a/9b, the ablations) hold the *dataset*
+//! fixed and vary only the server side — which APs it knows, which SVD
+//! order it uses, which positioning scheme it runs — so differences in the
+//! error series are attributable to the server configuration alone.
+
+use std::collections::HashSet;
+
+use wilocator_rf::{ApId, HomogeneousField, SignalField};
+use wilocator_road::{Route, RouteId};
+use wilocator_svd::{
+    average_ranks, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig, TrackingFilter,
+};
+use wilocator_sim::Dataset;
+
+/// Replays `dataset`'s scan bundles against an SVD positioner built from
+/// `server_field`, returning one road-error sample (metres) per fix.
+///
+/// Readings from APs absent from `known` are dropped before ranking —
+/// the paper's "readings from unknown APs are ignored".
+pub fn replay_svd_errors(
+    routes: &[Route],
+    dataset: &Dataset,
+    server_field: &HomogeneousField,
+    svd: SvdConfig,
+    positioner: PositionerConfig,
+    sample_step_m: f64,
+) -> Vec<f64> {
+    let known: HashSet<ApId> = server_field.aps().iter().map(|ap| ap.id()).collect();
+    let mut errors = Vec::new();
+    for route in routes {
+        let index = RouteTileIndex::build(server_field, route, svd, sample_step_m);
+        let pos = RoutePositioner::new(route.clone(), index, positioner);
+        let mut filter = TrackingFilter::new(pos);
+        for trip in dataset.trips_of(route.id()) {
+            filter.reset();
+            for bundle in &trip.bundles {
+                let avg = average_ranks(&bundle.scans, 1);
+                let ranked: Vec<(ApId, i32)> = avg
+                    .iter()
+                    .filter(|a| known.contains(&a.ap))
+                    .map(|a| (a.ap, a.mean_rss_dbm.round() as i32))
+                    .collect();
+                if let Some(fix) = filter.step(&ranked, bundle.time_s) {
+                    errors.push((fix.s - bundle.true_s).abs());
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Replays the bundles through an arbitrary stateless locator
+/// `locate(route, ranked) -> Option<s>`, returning error samples.
+pub fn replay_locator_errors(
+    routes: &[Route],
+    dataset: &Dataset,
+    mut locate: impl FnMut(RouteId, &[(ApId, i32)]) -> Option<f64>,
+) -> Vec<f64> {
+    let mut errors = Vec::new();
+    for route in routes {
+        for trip in dataset.trips_of(route.id()) {
+            for bundle in &trip.bundles {
+                let avg = average_ranks(&bundle.scans, 1);
+                let ranked: Vec<(ApId, i32)> = avg
+                    .iter()
+                    .map(|a| (a.ap, a.mean_rss_dbm.round() as i32))
+                    .collect();
+                if let Some(s) = locate(route.id(), &ranked) {
+                    errors.push((s - bundle.true_s).abs());
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Takes every `k`-th geo-tagged AP of a field — the Fig. 9a "number of
+/// WiFi APs" knob (the server deliberately uses fewer geo-tags).
+pub fn subsample_field(field: &HomogeneousField, keep_every: usize) -> HomogeneousField {
+    let keep_every = keep_every.max(1);
+    let dead: Vec<ApId> = field
+        .aps()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % keep_every != 0)
+        .map(|(_, ap)| ap.id())
+        .collect();
+    field.without_aps(&dead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_road::RouteId;
+    use wilocator_sim::{
+        simple_street, simulate, CityConfig, SimulationConfig, TrafficConfig,
+        TrafficModel,
+    };
+
+    fn small_run() -> (wilocator_sim::City, Dataset) {
+        let city = simple_street(1_200.0, 3, 5, &CityConfig::default());
+        let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 5);
+        let mut sched = wilocator_road::Schedule::new();
+        sched.add_headway_service(RouteId(0), 8.0 * 3_600.0, 9.0 * 3_600.0, 1_800.0);
+        let ds = simulate(
+            &city,
+            &sched,
+            &traffic,
+            &SimulationConfig { days: 1, ..SimulationConfig::default() },
+        );
+        (city, ds)
+    }
+
+    #[test]
+    fn svd_replay_produces_reasonable_errors() {
+        let (city, ds) = small_run();
+        let errors = replay_svd_errors(
+            &city.routes,
+            &ds,
+            &city.server_field,
+            SvdConfig::default(),
+            PositionerConfig::default(),
+            2.0,
+        );
+        assert!(!errors.is_empty());
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean < 60.0, "mean error {mean}");
+    }
+
+    #[test]
+    fn subsampling_increases_error() {
+        let (city, ds) = small_run();
+        let full = replay_svd_errors(
+            &city.routes,
+            &ds,
+            &city.server_field,
+            SvdConfig::default(),
+            PositionerConfig::default(),
+            2.0,
+        );
+        let sparse_field = subsample_field(&city.server_field, 4);
+        assert!(sparse_field.aps().len() < city.server_field.aps().len());
+        let sparse = replay_svd_errors(
+            &city.routes,
+            &ds,
+            &sparse_field,
+            SvdConfig::default(),
+            PositionerConfig::default(),
+            2.0,
+        );
+        let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            m(&sparse) > m(&full) * 0.9,
+            "4x fewer APs should not get markedly better: {} vs {}",
+            m(&sparse),
+            m(&full)
+        );
+    }
+
+    #[test]
+    fn locator_replay_runs_baseline() {
+        let (city, ds) = small_run();
+        let pos = wilocator_baselines::NearestApPositioner::new(
+            city.routes[0].clone(),
+            city.server_field.aps(),
+        );
+        let errors = replay_locator_errors(&city.routes, &ds, |_, ranked| pos.locate(ranked));
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn subsample_keeps_every_kth() {
+        let (city, _) = small_run();
+        let half = subsample_field(&city.server_field, 2);
+        let n = city.server_field.aps().len();
+        assert_eq!(half.aps().len(), n.div_ceil(2));
+        let all = subsample_field(&city.server_field, 1);
+        assert_eq!(all.aps().len(), n);
+    }
+}

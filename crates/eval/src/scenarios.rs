@@ -1,0 +1,158 @@
+//! Evaluation scenario presets.
+//!
+//! The paper's experiment is 3 weeks of four routes in Metro-Vancouver.
+//! Reproducing that at full scale takes minutes; the presets offer three
+//! scales so tests stay fast while the benches can run the full workload
+//! (select with the `WILOCATOR_SCALE` environment variable: `smoke`,
+//! `medium` — the default — or `paper`).
+
+use wilocator_road::RouteId;
+use wilocator_sim::{vancouver_like, City, CityConfig, SensingConfig, SimulationConfig};
+
+use crate::pipeline::PipelineConfig;
+
+/// Workload scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes of data; CI-friendly.
+    Smoke,
+    /// A few service days; seconds to minutes in release mode.
+    Medium,
+    /// The paper's full 3-week, 4-route workload.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from `WILOCATOR_SCALE` (default [`Scale::Medium`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("WILOCATOR_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Medium,
+        }
+    }
+
+    /// Simulated days (training + evaluation).
+    pub fn days(self) -> u32 {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Medium => 4,
+            Scale::Paper => 21,
+        }
+    }
+
+    /// Training days.
+    pub fn train_days(self) -> u32 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Medium => 2,
+            Scale::Paper => 14,
+        }
+    }
+
+    /// Service headway, seconds.
+    pub fn headway_s(self) -> f64 {
+        match self {
+            Scale::Smoke => 3_600.0,
+            Scale::Medium => 1_800.0,
+            Scale::Paper => 900.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Smoke => "smoke",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Table-I city with the default AP deployment.
+pub fn vancouver_city(seed: u64) -> City {
+    vancouver_like(seed, &CityConfig::default())
+}
+
+/// Pipeline configuration for the Vancouver scenario at a scale.
+///
+/// All four routes run at the scale's headway; the Rapid Line gets the
+/// faster route factor and the reduced congestion sensitivity the paper
+/// describes (it "suffers less from the traffic jam in the overlapped
+/// segments").
+pub fn vancouver_pipeline(scale: Scale, seed: u64) -> PipelineConfig {
+    let headway = scale.headway_s();
+    PipelineConfig {
+        sim: SimulationConfig {
+            days: scale.days(),
+            sensing: SensingConfig::default(),
+            seed,
+            ..SimulationConfig::default()
+        },
+        traffic_seed: seed ^ 0x7_ABCD,
+        headways: vec![
+            (RouteId(0), headway), // Rapid Line
+            (RouteId(1), headway), // 9
+            (RouteId(2), headway), // 14
+            (RouteId(3), headway), // 16
+        ],
+        route_factors: vec![
+            (RouteId(0), 1.3), // rapid runs faster, fewer stops
+            (RouteId(1), 1.0),
+            (RouteId(2), 0.95),
+            (RouteId(3), 0.9),
+        ],
+        congestion_sensitivities: vec![
+            (RouteId(0), 0.25), // rapid: transit priority, limited stops
+            (RouteId(1), 1.0),
+            (RouteId(2), 1.0),
+            (RouteId(3), 1.0),
+        ],
+        train_days: scale.train_days(),
+        predict_every: 8,
+        max_stops_ahead: 19,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Name of a Vancouver route id (Table I order).
+pub fn route_name(route: RouteId) -> &'static str {
+    match route.0 {
+        0 => "Rapid Line",
+        1 => "9",
+        2 => "14",
+        3 => "16",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Smoke.days() < Scale::Medium.days());
+        assert!(Scale::Medium.days() < Scale::Paper.days());
+        assert!(Scale::Paper.days() == 21, "paper collected 3 weeks");
+        assert!(Scale::Smoke.train_days() < Scale::Smoke.days());
+        assert!(Scale::Medium.train_days() < Scale::Medium.days());
+        assert!(Scale::Paper.train_days() < Scale::Paper.days());
+    }
+
+    #[test]
+    fn vancouver_pipeline_covers_all_routes() {
+        let cfg = vancouver_pipeline(Scale::Smoke, 1);
+        assert_eq!(cfg.headways.len(), 4);
+        assert_eq!(cfg.route_factors.len(), 4);
+        assert_eq!(route_name(RouteId(0)), "Rapid Line");
+        assert_eq!(route_name(RouteId(3)), "16");
+    }
+
+    #[test]
+    fn scale_display() {
+        assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+}

@@ -1,0 +1,319 @@
+//! SVG rendering of Signal Voronoi Diagrams and traffic maps — the visual
+//! artefacts of the paper's Figs. 2, 10 and 11, produced without any
+//! plotting dependency.
+
+use std::fmt::Write as _;
+
+use wilocator_core::{SegmentState, TrafficState};
+use wilocator_geo::Point;
+use wilocator_road::Route;
+use wilocator_rf::{AccessPoint, SignalField};
+use wilocator_svd::SignalVoronoiDiagram;
+
+/// A categorical colour for an AP site: evenly spread hues via the golden
+/// angle, so adjacent ids rarely collide.
+fn site_color(id: u32) -> String {
+    let hue = (id as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.0},65%,72%)")
+}
+
+fn scale_of(width_px: f64, extent_m: f64) -> f64 {
+    width_px / extent_m.max(1e-9)
+}
+
+/// Renders a planar [`SignalVoronoiDiagram`] as SVG: tiles coloured by
+/// site, tile boundaries implied by colour changes, the route drawn on
+/// top, AP positions as dots (mirroring the paper's Figs. 2 and 10).
+pub fn svd_svg<F: SignalField + ?Sized>(
+    diagram: &SignalVoronoiDiagram,
+    field: &F,
+    route: Option<&Route>,
+    width_px: f64,
+) -> String {
+    let bbox = diagram.bbox();
+    let (min_x, min_y) = (bbox.min.x, bbox.min.y);
+    let (w_m, h_m) = (bbox.width(), bbox.height());
+    let scale = scale_of(width_px, w_m);
+    let mut svg = String::new();
+    let res = diagram.config().resolution_m;
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.1} {:.1}">"#,
+        w_m * scale,
+        h_m * scale,
+        w_m * scale,
+        h_m * scale
+    );
+    svg.push_str(r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+    // Tile cells, with horizontal runs of equal colour merged into single
+    // rects (orders of magnitude smaller output on large rasters).
+    let cols = (w_m / res).ceil() as usize;
+    let rows = (h_m / res).ceil() as usize;
+    let color_at = |col: usize, row: usize| -> Option<(u32, u32)> {
+        let p = Point::new(
+            min_x + (col as f64 + 0.5) * res,
+            min_y + (row as f64 + 0.5) * res,
+        );
+        let tile = diagram.tile_at(p)?;
+        let site = tile.signature().site()?;
+        let second = tile.signature().aps().get(1).map(|a| a.0).unwrap_or(0);
+        Some((site.0, second % 4))
+    };
+    for row in 0..rows {
+        let mut run: Option<(usize, (u32, u32))> = None;
+        for col in 0..=cols {
+            let color = if col < cols { color_at(col, row) } else { None };
+            match (run, color) {
+                (Some((_, rc)), Some(c)) if rc == c => {}
+                _ => {
+                    if let Some((start, (site, second))) = run {
+                        let hue = (site as f64 * 137.508) % 360.0;
+                        let lightness = 66 + second * 4;
+                        let _ = write!(
+                            svg,
+                            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="hsl({hue:.0},60%,{lightness}%)"/>"#,
+                            start as f64 * res * scale,
+                            (h_m - (row as f64 + 1.0) * res) * scale,
+                            (col - start) as f64 * res * scale,
+                            res * scale,
+                        );
+                    }
+                    run = color.map(|c| (col, c));
+                }
+            }
+        }
+    }
+    // Route overlay.
+    if let Some(route) = route {
+        let pts: String = route
+            .geometry()
+            .sample(10.0)
+            .iter()
+            .map(|&(_, p)| {
+                format!(
+                    "{:.1},{:.1}",
+                    (p.x - min_x) * scale,
+                    (h_m - (p.y - min_y)) * scale
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            svg,
+            r##"<polyline points="{pts}" fill="none" stroke="#222" stroke-width="3"/>"##
+        );
+    }
+    // AP dots.
+    for ap in field.aps() {
+        let p = ap.position();
+        if p.x < min_x || p.x > min_x + w_m || p.y < min_y || p.y > min_y + h_m {
+            continue;
+        }
+        let _ = write!(
+            svg,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="4" fill="#c0392b" stroke="#fff"/>"##,
+            (p.x - min_x) * scale,
+            (h_m - (p.y - min_y)) * scale
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Colour of a traffic state (Fig. 11's palette: green/amber/red/grey).
+pub fn traffic_color(state: TrafficState) -> &'static str {
+    match state {
+        TrafficState::Normal => "#27ae60",
+        TrafficState::Slow => "#f39c12",
+        TrafficState::VerySlow => "#c0392b",
+        TrafficState::Unknown => "#bdc3c7",
+    }
+}
+
+/// Renders a live traffic map as SVG: the route polyline with each segment
+/// stroked by its classification, stops as ticks.
+pub fn traffic_map_svg(route: &Route, states: &[SegmentState], width_px: f64) -> String {
+    let verts: Vec<Point> = route.geometry().sample(10.0).iter().map(|&(_, p)| p).collect();
+    let min_x = verts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - 50.0;
+    let min_y = verts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - 50.0;
+    let max_x = verts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + 50.0;
+    let max_y = verts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max) + 50.0;
+    let (w_m, h_m) = (max_x - min_x, max_y - min_y);
+    let scale = scale_of(width_px, w_m);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}">"#,
+        w_m * scale,
+        h_m * scale
+    );
+    svg.push_str(r##"<rect width="100%" height="100%" fill="#ffffff"/>"##);
+    let project = |p: Point| {
+        (
+            (p.x - min_x) * scale,
+            (h_m - (p.y - min_y)) * scale,
+        )
+    };
+    for (i, state) in states.iter().enumerate().take(route.edges().len()) {
+        let s0 = route.edge_start_s(i);
+        let s1 = route.edge_end_s(i);
+        let steps = ((s1 - s0) / 25.0).ceil().max(1.0) as usize;
+        let pts: String = (0..=steps)
+            .map(|k| {
+                let s = s0 + (s1 - s0) * k as f64 / steps as f64;
+                let (x, y) = project(route.point_at(s));
+                format!("{x:.1},{y:.1}")
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            svg,
+            r#"<polyline points="{pts}" fill="none" stroke="{}" stroke-width="6" stroke-linecap="round"/>"#,
+            traffic_color(state.state)
+        );
+    }
+    for stop in route.stops() {
+        let (x, y) = project(route.point_at(stop.s()));
+        let _ = write!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="#fff" stroke="#333" stroke-width="2"/>"##
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Convenience: render the APs of a field over nothing (deployment map).
+pub fn deployment_svg(aps: &[AccessPoint], route: Option<&Route>, width_px: f64) -> String {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for ap in aps {
+        min_x = min_x.min(ap.position().x);
+        min_y = min_y.min(ap.position().y);
+        max_x = max_x.max(ap.position().x);
+        max_y = max_y.max(ap.position().y);
+    }
+    let (min_x, min_y) = (min_x - 100.0, min_y - 100.0);
+    let (w_m, h_m) = (max_x - min_x + 200.0, max_y - min_y + 200.0);
+    let scale = scale_of(width_px, w_m);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}">"#,
+        w_m * scale,
+        h_m * scale
+    );
+    svg.push_str(r##"<rect width="100%" height="100%" fill="#f4f6f7"/>"##);
+    if let Some(route) = route {
+        let pts: String = route
+            .geometry()
+            .sample(25.0)
+            .iter()
+            .map(|&(_, p)| {
+                format!(
+                    "{:.1},{:.1}",
+                    (p.x - min_x) * scale,
+                    (h_m - (p.y - min_y)) * scale
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            svg,
+            r##"<polyline points="{pts}" fill="none" stroke="#2c3e50" stroke-width="2"/>"##
+        );
+    }
+    for ap in aps {
+        let p = ap.position();
+        let _ = write!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}"/>"#,
+            (p.x - min_x) * scale,
+            (h_m - (p.y - min_y)) * scale,
+            site_color(ap.id().0)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_core::SegmentState;
+    use wilocator_geo::BoundingBox;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+    use wilocator_svd::SvdConfig;
+
+    fn scene() -> (Route, HomogeneousField, SignalVoronoiDiagram) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(300.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let mut route = Route::new(RouteId(0), "svg", vec![e], &b.build()).unwrap();
+        route.add_stops_evenly(3);
+        let field = HomogeneousField::new(vec![
+            AccessPoint::new(ApId(0), Point::new(70.0, 25.0)),
+            AccessPoint::new(ApId(1), Point::new(220.0, -25.0)),
+        ]);
+        let bbox = BoundingBox::new(Point::new(-20.0, -80.0), Point::new(320.0, 80.0));
+        let diagram = SignalVoronoiDiagram::build(
+            &field,
+            bbox,
+            SvdConfig {
+                resolution_m: 4.0,
+                ..SvdConfig::default()
+            },
+        );
+        (route, field, diagram)
+    }
+
+    #[test]
+    fn svd_svg_is_well_formed() {
+        let (route, field, diagram) = scene();
+        let svg = svd_svg(&diagram, &field, Some(&route), 600.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<polyline"), "route overlay missing");
+        assert!(svg.matches("<circle").count() >= 2, "AP dots missing");
+    }
+
+    #[test]
+    fn traffic_svg_uses_state_colors() {
+        let (route, _, _) = scene();
+        let states = vec![SegmentState {
+            edge: route.edges()[0],
+            state: TrafficState::VerySlow,
+            z: 3.0,
+        }];
+        let svg = traffic_map_svg(&route, &states, 600.0);
+        assert!(svg.contains(traffic_color(TrafficState::VerySlow)));
+        // Stop markers present.
+        assert!(svg.matches("<circle").count() >= 3);
+    }
+
+    #[test]
+    fn deployment_svg_draws_every_ap() {
+        let (route, field, _) = scene();
+        let svg = deployment_svg(field.aps(), Some(&route), 400.0);
+        assert_eq!(svg.matches("<circle").count(), field.aps().len());
+    }
+
+    #[test]
+    fn traffic_color_palette_is_distinct() {
+        let colors = [
+            traffic_color(TrafficState::Normal),
+            traffic_color(TrafficState::Slow),
+            traffic_color(TrafficState::VerySlow),
+            traffic_color(TrafficState::Unknown),
+        ];
+        let mut dedup = colors.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Axis-aligned bounding boxes in the planar frame.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box in planar metres.
+///
+/// Used to delimit the domain `D` over which the Signal Voronoi Diagram is
+/// constructed (Definition 1 of the paper partitions a bounded space `D`).
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::{BoundingBox, Point};
+/// let bb = BoundingBox::from_points([Point::new(0.0, 0.0), Point::new(10.0, 5.0)])
+///     .expect("non-empty");
+/// assert!(bb.contains(Point::new(5.0, 2.0)));
+/// assert_eq!(bb.width(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum corner (south-west).
+    pub min: Point,
+    /// Maximum corner (north-east).
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from two corners, normalising their order.
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest box containing all `points`; `None` when empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox::new(first, first);
+        for p in it {
+            bb.expand_to(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand_to(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Returns a copy inflated by `margin` metres on every side.
+    pub fn inflated(&self, margin: f64) -> BoundingBox {
+        BoundingBox {
+            min: self.min.offset(-margin, -margin),
+            max: self.max.offset(margin, margin),
+        }
+    }
+
+    /// Width (east-west extent), metres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (north-south extent), metres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Centre of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// True when `p` is inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when `self` and `other` overlap (closed boxes).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_normalised() {
+        let bb = BoundingBox::new(Point::new(10.0, -5.0), Point::new(-2.0, 7.0));
+        assert_eq!(bb.min, Point::new(-2.0, -5.0));
+        assert_eq!(bb.max, Point::new(10.0, 7.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(-3.0, 4.0),
+            Point::new(2.0, -6.0),
+        ];
+        let bb = BoundingBox::from_points(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.width(), 5.0);
+        assert_eq!(bb.height(), 10.0);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(2.0, 2.0)).inflated(1.0);
+        assert!(bb.contains(Point::new(-0.5, 2.5)));
+        assert_eq!(bb.width(), 4.0);
+    }
+
+    #[test]
+    fn boundary_points_are_contained() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(bb.contains(Point::new(1.0, 1.0)));
+        assert!(!bb.contains(Point::new(1.0001, 1.0)));
+    }
+
+    #[test]
+    fn intersection_detection() {
+        let a = BoundingBox::new(Point::ORIGIN, Point::new(2.0, 2.0));
+        let b = BoundingBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let c = BoundingBox::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges intersect (closed boxes).
+        let d = BoundingBox::new(Point::new(2.0, 0.0), Point::new(4.0, 2.0));
+        assert!(a.intersects(&d));
+    }
+}

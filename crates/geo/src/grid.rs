@@ -1,0 +1,263 @@
+//! Dense rasters over a bounding box.
+//!
+//! The Signal Voronoi Diagram is extracted by labelling every cell of a
+//! regular raster with the dominating AP (or rank signature) and then
+//! recovering regions, boundaries and joints from label adjacency. [`Grid`]
+//! is that raster: a rectangular array of cells of side `resolution` metres
+//! covering a [`BoundingBox`].
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+
+/// A dense raster of `T` values over a bounding box.
+///
+/// Cell `(col, row)` covers
+/// `[min.x + col·res, min.x + (col+1)·res) × [min.y + row·res, …)`;
+/// values are addressed either by index or by planar point.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::{BoundingBox, Grid, Point};
+/// let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.0, 4.0));
+/// let mut g: Grid<u8> = Grid::new(bb, 2.0, 0);
+/// assert_eq!(g.cols(), 5);
+/// assert_eq!(g.rows(), 2);
+/// *g.at_mut(Point::new(9.0, 3.0)).unwrap() = 7;
+/// assert_eq!(g.at(Point::new(9.9, 3.9)), Some(&7));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid<T> {
+    bbox: BoundingBox,
+    resolution: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<T>,
+}
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid covering `bbox` with square cells of side
+    /// `resolution` metres, filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not strictly positive or the box is
+    /// degenerate (zero width or height).
+    pub fn new(bbox: BoundingBox, resolution: f64, fill: T) -> Self {
+        assert!(resolution > 0.0, "grid resolution must be positive");
+        assert!(
+            bbox.width() > 0.0 && bbox.height() > 0.0,
+            "grid bounding box must have positive area"
+        );
+        let cols = (bbox.width() / resolution).ceil().max(1.0) as usize;
+        let rows = (bbox.height() / resolution).ceil().max(1.0) as usize;
+        Grid {
+            bbox,
+            resolution,
+            cols,
+            rows,
+            cells: vec![fill; cols * rows],
+        }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Cell side, metres.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// The covered bounding box.
+    pub fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the grid has no cells (never true for constructed grids).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Converts a planar point to `(col, row)`, or `None` if outside.
+    pub fn cell_of(&self, p: Point) -> Option<(usize, usize)> {
+        if !self.bbox.contains(p) {
+            return None;
+        }
+        let col = (((p.x - self.bbox.min.x) / self.resolution) as usize).min(self.cols - 1);
+        let row = (((p.y - self.bbox.min.y) / self.resolution) as usize).min(self.rows - 1);
+        Some((col, row))
+    }
+
+    /// Centre point of cell `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn cell_center(&self, col: usize, row: usize) -> Point {
+        assert!(col < self.cols && row < self.rows, "cell out of range");
+        Point::new(
+            self.bbox.min.x + (col as f64 + 0.5) * self.resolution,
+            self.bbox.min.y + (row as f64 + 0.5) * self.resolution,
+        )
+    }
+
+    /// Reference to the value at cell `(col, row)`.
+    pub fn get(&self, col: usize, row: usize) -> Option<&T> {
+        if col < self.cols && row < self.rows {
+            self.cells.get(row * self.cols + col)
+        } else {
+            None
+        }
+    }
+
+    /// Mutable reference to the value at cell `(col, row)`.
+    pub fn get_mut(&mut self, col: usize, row: usize) -> Option<&mut T> {
+        if col < self.cols && row < self.rows {
+            self.cells.get_mut(row * self.cols + col)
+        } else {
+            None
+        }
+    }
+
+    /// Reference to the value at the cell containing `p`.
+    pub fn at(&self, p: Point) -> Option<&T> {
+        let (c, r) = self.cell_of(p)?;
+        self.get(c, r)
+    }
+
+    /// Mutable reference to the value at the cell containing `p`.
+    pub fn at_mut(&mut self, p: Point) -> Option<&mut T> {
+        let (c, r) = self.cell_of(p)?;
+        self.get_mut(c, r)
+    }
+
+    /// Iterates over `(col, row, &value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i % self.cols, i / self.cols, v))
+    }
+
+    /// Fills every cell by evaluating `f` at the cell centre.
+    pub fn fill_with(&mut self, mut f: impl FnMut(Point) -> T) {
+        for i in 0..self.cells.len() {
+            let col = i % self.cols;
+            let row = i / self.cols;
+            self.cells[i] = f(self.cell_center(col, row));
+        }
+    }
+
+    /// The 4-neighbourhood of `(col, row)` (von Neumann).
+    pub fn neighbors4(&self, col: usize, row: usize) -> impl Iterator<Item = (usize, usize)> {
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        let (c, r) = (col as isize, row as isize);
+        [(c - 1, r), (c + 1, r), (c, r - 1), (c, r + 1)]
+            .into_iter()
+            .filter(move |&(c, r)| c >= 0 && c < cols && r >= 0 && r < rows)
+            .map(|(c, r)| (c as usize, r as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid<u32> {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.0, 6.0));
+        Grid::new(bb, 2.0, 0)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid();
+        assert_eq!(g.cols(), 5);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.len(), 15);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn dimensions_round_up() {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.1, 6.0));
+        let g: Grid<u8> = Grid::new(bb, 2.0, 0);
+        assert_eq!(g.cols(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resolution_rejected() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        let _: Grid<u8> = Grid::new(bb, 0.0, 0);
+    }
+
+    #[test]
+    fn cell_of_maps_points() {
+        let g = grid();
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), Some((0, 0)));
+        assert_eq!(g.cell_of(Point::new(9.9, 5.9)), Some((4, 2)));
+        // Max corner clamps into the last cell.
+        assert_eq!(g.cell_of(Point::new(10.0, 6.0)), Some((4, 2)));
+        assert_eq!(g.cell_of(Point::new(-0.1, 0.0)), None);
+    }
+
+    #[test]
+    fn center_roundtrip() {
+        let g = grid();
+        for row in 0..g.rows() {
+            for col in 0..g.cols() {
+                let c = g.cell_center(col, row);
+                assert_eq!(g.cell_of(c), Some((col, row)));
+            }
+        }
+    }
+
+    #[test]
+    fn write_and_read_by_point() {
+        let mut g = grid();
+        *g.at_mut(Point::new(5.0, 3.0)).unwrap() = 42;
+        assert_eq!(g.at(Point::new(5.5, 3.5)), Some(&42));
+    }
+
+    #[test]
+    fn fill_with_evaluates_at_centers() {
+        let mut g = grid();
+        g.fill_with(|p| (p.x + p.y) as u32);
+        assert_eq!(*g.get(0, 0).unwrap(), 2); // centre (1,1)
+        assert_eq!(*g.get(4, 2).unwrap(), 14); // centre (9,5)
+    }
+
+    #[test]
+    fn neighbors_at_corner_and_interior() {
+        let g = grid();
+        let corner: Vec<_> = g.neighbors4(0, 0).collect();
+        assert_eq!(corner.len(), 2);
+        let interior: Vec<_> = g.neighbors4(2, 1).collect();
+        assert_eq!(interior.len(), 4);
+    }
+
+    #[test]
+    fn iter_covers_all_cells_in_row_major_order() {
+        let g = grid();
+        let idx: Vec<_> = g.iter().map(|(c, r, _)| (c, r)).collect();
+        assert_eq!(idx.len(), 15);
+        assert_eq!(idx[0], (0, 0));
+        assert_eq!(idx[1], (1, 0));
+        assert_eq!(idx[5], (0, 1));
+    }
+}

@@ -1,0 +1,231 @@
+//! Bucket spatial index for nearest-neighbour and radius queries.
+//!
+//! WiFi scans need "all APs within radio range of a point" and the Signal
+//! Voronoi Diagram needs "which AP is strongest here" over millions of
+//! queries; a uniform-bucket index makes both O(occupancy) instead of O(n).
+
+use std::collections::HashMap;
+
+use crate::point::Point;
+
+/// A uniform-bucket spatial index over items with planar positions.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::{GridIndex, Point};
+/// let mut idx = GridIndex::new(50.0);
+/// idx.insert(Point::new(0.0, 0.0), "a");
+/// idx.insert(Point::new(100.0, 0.0), "b");
+/// let near: Vec<_> = idx.within(Point::new(10.0, 0.0), 20.0).collect();
+/// assert_eq!(near.len(), 1);
+/// assert_eq!(*near[0].2, "a");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an index with square buckets of side `cell` metres.
+    ///
+    /// Pick `cell` near the typical query radius for best performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive.
+    pub fn new(cell: f64) -> Self {
+        assert!(cell > 0.0, "bucket cell size must be positive");
+        GridIndex {
+            cell,
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Inserts an item at `p`.
+    pub fn insert(&mut self, p: Point, item: T) {
+        self.buckets.entry(self.key(p)).or_default().push((p, item));
+        self.len += 1;
+    }
+
+    /// Number of items in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All items within Euclidean distance `radius` of `p`, as
+    /// `(distance, position, &item)` triples in arbitrary order.
+    pub fn within(&self, p: Point, radius: f64) -> impl Iterator<Item = (f64, Point, &T)> {
+        let r = radius.max(0.0);
+        let (cx0, cy0) = self.key(Point::new(p.x - r, p.y - r));
+        let (cx1, cy1) = self.key(Point::new(p.x + r, p.y + r));
+        let mut out = Vec::new();
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
+                    for (q, item) in bucket {
+                        let d = p.distance(*q);
+                        if d <= r {
+                            out.push((d, *q, item));
+                        }
+                    }
+                }
+            }
+        }
+        out.into_iter()
+    }
+
+    /// Nearest item to `p`, searched outward ring by ring; `None` when the
+    /// index is empty.
+    pub fn nearest(&self, p: Point) -> Option<(f64, Point, &T)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (cx, cy) = self.key(p);
+        let mut best: Option<(f64, Point, &T)> = None;
+        let mut ring = 0i64;
+        loop {
+            let mut any_bucket = false;
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    // Only the ring's outer shell.
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue;
+                    }
+                    if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
+                        any_bucket = true;
+                        for (q, item) in bucket {
+                            let d = p.distance(*q);
+                            if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                                best = Some((d, *q, item));
+                            }
+                        }
+                    }
+                }
+            }
+            // Once a candidate exists, one more ring guarantees correctness:
+            // anything farther than (ring-1)·cell cannot beat it.
+            if let Some((bd, _, _)) = best {
+                if bd <= (ring as f64) * self.cell {
+                    return best;
+                }
+            }
+            ring += 1;
+            // Safety stop: beyond the data extent there is nothing to find.
+            if ring > 1_000_000 && !any_bucket && best.is_some() {
+                return best;
+            }
+        }
+    }
+
+    /// Iterates over all `(position, &item)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, &T)> {
+        self.buckets
+            .values()
+            .flat_map(|b| b.iter().map(|(p, t)| (*p, t)))
+    }
+}
+
+impl<T> Extend<(Point, T)> for GridIndex<T> {
+    fn extend<I: IntoIterator<Item = (Point, T)>>(&mut self, iter: I) {
+        for (p, t) in iter {
+            self.insert(p, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> GridIndex<u32> {
+        let mut idx = GridIndex::new(10.0);
+        idx.insert(Point::new(0.0, 0.0), 0);
+        idx.insert(Point::new(5.0, 5.0), 1);
+        idx.insert(Point::new(50.0, 50.0), 2);
+        idx.insert(Point::new(-30.0, 10.0), 3);
+        idx
+    }
+
+    #[test]
+    fn within_returns_exactly_items_in_radius() {
+        let idx = sample_index();
+        let mut got: Vec<u32> = idx.within(Point::ORIGIN, 10.0).map(|(_, _, &v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn within_zero_radius_finds_colocated() {
+        let idx = sample_index();
+        let got: Vec<u32> = idx.within(Point::ORIGIN, 0.0).map(|(_, _, &v)| v).collect();
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn within_empty_index_is_empty() {
+        let idx: GridIndex<u32> = GridIndex::new(5.0);
+        assert_eq!(idx.within(Point::ORIGIN, 100.0).count(), 0);
+    }
+
+    #[test]
+    fn nearest_finds_true_nearest() {
+        let idx = sample_index();
+        let (d, _, &v) = idx.nearest(Point::new(48.0, 52.0)).unwrap();
+        assert_eq!(v, 2);
+        assert!((d - (2.0f64 * 2.0 + 4.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_across_bucket_boundaries() {
+        let mut idx = GridIndex::new(10.0);
+        // Item just across a bucket boundary from the query.
+        idx.insert(Point::new(10.5, 0.0), 7u32);
+        idx.insert(Point::new(-100.0, 0.0), 8u32);
+        let (_, _, &v) = idx.nearest(Point::new(9.5, 0.0)).unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn nearest_empty_is_none() {
+        let idx: GridIndex<u32> = GridIndex::new(5.0);
+        assert!(idx.nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn extend_and_len() {
+        let mut idx: GridIndex<u8> = GridIndex::new(1.0);
+        idx.extend((0..20).map(|i| (Point::new(i as f64, 0.0), i as u8)));
+        assert_eq!(idx.len(), 20);
+        assert_eq!(idx.iter().count(), 20);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut idx = GridIndex::new(10.0);
+        idx.insert(Point::new(-0.5, -0.5), 1u8);
+        let got: Vec<_> = idx.within(Point::new(-1.0, -1.0), 2.0).collect();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_rejected() {
+        let _: GridIndex<u8> = GridIndex::new(0.0);
+    }
+}

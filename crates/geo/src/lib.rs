@@ -1,0 +1,52 @@
+//! Planar and geodetic geometry primitives for the WiLocator reproduction.
+//!
+//! WiLocator works in two coordinate frames:
+//!
+//! * **Geodetic** latitude/longitude ([`GeoPoint`]), the frame in which
+//!   geo-tagged WiFi access points and bus trajectories are reported
+//!   (Definition 6 of the paper: a trajectory is a sequence of
+//!   `<lat, long, t>` tuples).
+//! * A **local planar** metric frame ([`Point`], metres), obtained through a
+//!   local equirectangular projection ([`Projection`]). All signal-space and
+//!   road-network computation happens in this frame; at city scale (tens of
+//!   kilometres) the projection error is far below the positioning error the
+//!   paper reports (~3 m).
+//!
+//! On top of the two point types the crate provides:
+//!
+//! * [`Polyline`]: arc-length parametrised piecewise-linear curves, the
+//!   representation of road segments and bus routes (Definitions 3–4);
+//! * [`BoundingBox`]: axis-aligned extents used to size rasters;
+//! * [`grid::Grid`]: a dense raster over a bounding box, used by the Signal
+//!   Voronoi Diagram to extract cells, tiles, boundaries and joints;
+//! * [`index::GridIndex`]: a bucket spatial index for nearest/radius queries
+//!   over APs and sample points.
+//!
+//! # Examples
+//!
+//! ```
+//! use wilocator_geo::{GeoPoint, Projection};
+//!
+//! let origin = GeoPoint::new(49.2635, -123.1387); // W Broadway, Vancouver
+//! let proj = Projection::new(origin);
+//! let p = proj.project(GeoPoint::new(49.2635, -123.1300));
+//! assert!(p.x > 600.0 && p.x < 660.0); // ~633 m east
+//! assert!(p.y.abs() < 1e-6);
+//! ```
+
+pub mod bbox;
+pub mod grid;
+pub mod index;
+pub mod point;
+pub mod polyline;
+pub mod project;
+
+pub use bbox::BoundingBox;
+pub use grid::Grid;
+pub use index::GridIndex;
+pub use point::{GeoPoint, Point};
+pub use polyline::{PolyError, Polyline, Projected};
+pub use project::Projection;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;

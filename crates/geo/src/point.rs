@@ -1,0 +1,232 @@
+//! Planar and geodetic point types.
+
+use crate::EARTH_RADIUS_M;
+
+/// A point in the local planar frame, in metres.
+///
+/// Produced by [`crate::Projection::project`]; all distances between
+/// `Point`s are Euclidean metres.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from easting/northing metres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin of the local frame.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper when comparing).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self` at `t == 0`, `other` at `t == 1`.
+    ///
+    /// `t` is not clamped; values outside `[0, 1]` extrapolate.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Vector addition.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Midpoint of `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Dot product treating points as vectors from the origin.
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Euclidean norm treating the point as a vector.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns true when both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2} m, {:.2} m)", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A geodetic point: latitude and longitude in degrees (WGS-84 sphere).
+///
+/// This is the frame of the paper's trajectories (Definition 6) and of
+/// geo-tagged APs obtained from Google Maps.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::GeoPoint;
+/// let hbu = GeoPoint::new(30.48, 114.34);
+/// let sfu = GeoPoint::new(49.2781, -122.9199);
+/// assert!(hbu.haversine(sfu) > 8_000_000.0); // trans-Pacific
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geodetic point from latitude/longitude degrees.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in metres.
+    pub fn haversine(self, other: GeoPoint) -> f64 {
+        let phi1 = self.lat.to_radians();
+        let phi2 = other.lat.to_radians();
+        let dphi = (other.lat - self.lat).to_radians();
+        let dlam = (other.lon - self.lon).to_radians();
+        let a = (dphi / 2.0).sin().powi(2)
+            + phi1.cos() * phi2.cos() * (dlam / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Returns true when both coordinates are finite and within the valid
+    /// latitude/longitude ranges.
+    pub fn is_valid(self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+}
+
+impl std::fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}°, {:.6}°)", self.lat, self.lon)
+    }
+}
+
+impl From<(f64, f64)> for GeoPoint {
+    fn from((lat, lon): (f64, f64)) -> Self {
+        GeoPoint::new(lat, lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(12.0, -8.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn lerp_extrapolates() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        assert_eq!(a.lerp(b, 2.0), Point::new(4.0, 0.0));
+        assert_eq!(a.lerp(b, -1.0), Point::new(-2.0, 0.0));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(-2.0, 4.0);
+        let b = Point::new(6.0, -4.0);
+        let m = a.midpoint(b);
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // One degree of latitude is ~111.2 km on the sphere.
+        let a = GeoPoint::new(49.0, -123.0);
+        let b = GeoPoint::new(50.0, -123.0);
+        let d = a.haversine(b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let a = GeoPoint::new(49.5, -123.2);
+        assert_eq!(a.haversine(a), 0.0);
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = GeoPoint::new(49.0, -123.0);
+        let b = GeoPoint::new(49.3, -122.5);
+        assert!((a.haversine(b) - b.haversine(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_validity() {
+        assert!(GeoPoint::new(49.0, -123.0).is_valid());
+        assert!(!GeoPoint::new(91.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, 181.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+    }
+
+    #[test]
+    fn point_display_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+        assert!(!format!("{}", GeoPoint::default()).is_empty());
+    }
+}

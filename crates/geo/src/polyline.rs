@@ -1,0 +1,382 @@
+//! Arc-length parametrised polylines.
+//!
+//! Road segments (Definition 3) and bus routes (Definition 4) are piecewise
+//! linear curves. The central abstraction here is the arc-length
+//! parametrisation: positions along a road are addressed by the distance `s`
+//! (metres) travelled from the start, which is exactly the road-distance
+//! `d_r(x, y)` the paper uses in Equations 5 and 9.
+
+use crate::point::Point;
+
+/// Error type for [`Polyline`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyError {
+    /// Fewer than two vertices were supplied.
+    TooFewVertices,
+    /// A vertex contained a non-finite coordinate.
+    NonFiniteVertex,
+    /// The polyline has zero total length (all vertices coincide).
+    ZeroLength,
+}
+
+impl std::fmt::Display for PolyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyError::TooFewVertices => write!(f, "polyline needs at least two vertices"),
+            PolyError::NonFiniteVertex => write!(f, "polyline vertex is not finite"),
+            PolyError::ZeroLength => write!(f, "polyline has zero length"),
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+/// Result of projecting a point onto a polyline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projected {
+    /// The closest point on the polyline.
+    pub point: Point,
+    /// Arc-length coordinate of that point, metres from the start.
+    pub s: f64,
+    /// Euclidean distance from the query point to `point`.
+    pub distance: f64,
+}
+
+/// An arc-length parametrised piecewise-linear curve in the planar frame.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::{Point, Polyline};
+/// let line = Polyline::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(100.0, 0.0),
+///     Point::new(100.0, 50.0),
+/// ])?;
+/// assert_eq!(line.length(), 150.0);
+/// assert_eq!(line.point_at(125.0), Point::new(100.0, 25.0));
+/// # Ok::<(), wilocator_geo::PolyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    /// Cumulative arc length at each vertex; `cum[0] == 0`,
+    /// `cum.last() == length`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from at least two finite vertices.
+    ///
+    /// Consecutive duplicate vertices are tolerated (they contribute zero
+    /// length) but the total length must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::TooFewVertices`], [`PolyError::NonFiniteVertex`]
+    /// or [`PolyError::ZeroLength`] on invalid input.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, PolyError> {
+        if vertices.len() < 2 {
+            return Err(PolyError::TooFewVertices);
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(PolyError::NonFiniteVertex);
+        }
+        let mut cum = Vec::with_capacity(vertices.len());
+        cum.push(0.0);
+        for w in vertices.windows(2) {
+            let d = w[0].distance(w[1]);
+            cum.push(cum.last().unwrap() + d);
+        }
+        if *cum.last().unwrap() <= 0.0 {
+            return Err(PolyError::ZeroLength);
+        }
+        Ok(Polyline { vertices, cum })
+    }
+
+    /// Convenience constructor for a two-vertex straight segment.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Polyline::new`].
+    pub fn segment(a: Point, b: Point) -> Result<Self, PolyError> {
+        Polyline::new(vec![a, b])
+    }
+
+    /// Total arc length, metres.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    /// The vertices the polyline was built from.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// First vertex.
+    pub fn start(&self) -> Point {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    pub fn end(&self) -> Point {
+        *self.vertices.last().unwrap()
+    }
+
+    /// The point at arc-length coordinate `s`.
+    ///
+    /// `s` is clamped to `[0, length]`.
+    pub fn point_at(&self, s: f64) -> Point {
+        let s = s.clamp(0.0, self.length());
+        // Binary search for the segment containing s.
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i.min(self.vertices.len() - 1),
+            Err(i) => i - 1,
+        };
+        if i >= self.vertices.len() - 1 {
+            return self.end();
+        }
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        if seg_len <= 0.0 {
+            return self.vertices[i];
+        }
+        let t = (s - self.cum[i]) / seg_len;
+        self.vertices[i].lerp(self.vertices[i + 1], t)
+    }
+
+    /// Projects `p` onto the polyline, returning the closest point, its
+    /// arc-length coordinate and the distance.
+    pub fn project(&self, p: Point) -> Projected {
+        let mut best = Projected {
+            point: self.start(),
+            s: 0.0,
+            distance: p.distance(self.start()),
+        };
+        for i in 0..self.vertices.len() - 1 {
+            let a = self.vertices[i];
+            let b = self.vertices[i + 1];
+            let seg_len = self.cum[i + 1] - self.cum[i];
+            if seg_len <= 0.0 {
+                continue;
+            }
+            let ab = Point::new(b.x - a.x, b.y - a.y);
+            let ap = Point::new(p.x - a.x, p.y - a.y);
+            let t = (ap.dot(ab) / (seg_len * seg_len)).clamp(0.0, 1.0);
+            let q = a.lerp(b, t);
+            let d = p.distance(q);
+            if d < best.distance {
+                best = Projected {
+                    point: q,
+                    s: self.cum[i] + t * seg_len,
+                    distance: d,
+                };
+            }
+        }
+        best
+    }
+
+    /// Samples the polyline every `step` metres (plus the final endpoint),
+    /// returning `(s, point)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn sample(&self, step: f64) -> Vec<(f64, Point)> {
+        assert!(step > 0.0, "sample step must be positive");
+        let len = self.length();
+        let n = (len / step).floor() as usize;
+        let mut out = Vec::with_capacity(n + 2);
+        let mut s = 0.0;
+        for _ in 0..=n {
+            out.push((s, self.point_at(s)));
+            s += step;
+        }
+        if out.last().map(|&(ls, _)| len - ls > 1e-9).unwrap_or(true) {
+            out.push((len, self.end()));
+        }
+        out
+    }
+
+    /// Extracts the sub-polyline between arc lengths `s0` and `s1`
+    /// (clamped; requires `s0 < s1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::ZeroLength`] when the clamped range is empty.
+    pub fn slice(&self, s0: f64, s1: f64) -> Result<Polyline, PolyError> {
+        let len = self.length();
+        let s0 = s0.clamp(0.0, len);
+        let s1 = s1.clamp(0.0, len);
+        if s1 - s0 <= 1e-12 {
+            return Err(PolyError::ZeroLength);
+        }
+        let mut verts = vec![self.point_at(s0)];
+        for (i, &c) in self.cum.iter().enumerate() {
+            if c > s0 && c < s1 {
+                verts.push(self.vertices[i]);
+            }
+        }
+        verts.push(self.point_at(s1));
+        Polyline::new(verts)
+    }
+
+    /// Reverses the direction of the polyline.
+    pub fn reversed(&self) -> Polyline {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polyline::new(v).expect("reversal preserves validity")
+    }
+
+    /// Concatenates `self` with `other`. If the endpoints do not coincide a
+    /// connecting segment is inserted.
+    pub fn concat(&self, other: &Polyline) -> Polyline {
+        let mut v = self.vertices.clone();
+        if self.end().distance(other.start()) > 1e-9 {
+            v.push(other.start());
+        }
+        v.extend_from_slice(&other.vertices[1..]);
+        Polyline::new(v).expect("concatenation of valid polylines is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 50.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert_eq!(
+            Polyline::new(vec![Point::ORIGIN]).unwrap_err(),
+            PolyError::TooFewVertices
+        );
+        assert_eq!(
+            Polyline::new(vec![Point::ORIGIN, Point::ORIGIN]).unwrap_err(),
+            PolyError::ZeroLength
+        );
+        assert_eq!(
+            Polyline::new(vec![Point::new(f64::NAN, 0.0), Point::ORIGIN]).unwrap_err(),
+            PolyError::NonFiniteVertex
+        );
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        assert_eq!(l_shape().length(), 150.0);
+    }
+
+    #[test]
+    fn point_at_endpoints_and_interior() {
+        let l = l_shape();
+        assert_eq!(l.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(l.point_at(150.0), Point::new(100.0, 50.0));
+        assert_eq!(l.point_at(100.0), Point::new(100.0, 0.0));
+        assert_eq!(l.point_at(125.0), Point::new(100.0, 25.0));
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let l = l_shape();
+        assert_eq!(l.point_at(-10.0), l.start());
+        assert_eq!(l.point_at(1e6), l.end());
+    }
+
+    #[test]
+    fn project_interior_point() {
+        let l = l_shape();
+        let pr = l.project(Point::new(50.0, 10.0));
+        assert_eq!(pr.point, Point::new(50.0, 0.0));
+        assert_eq!(pr.s, 50.0);
+        assert_eq!(pr.distance, 10.0);
+    }
+
+    #[test]
+    fn project_beyond_ends_clamps_to_vertices() {
+        let l = l_shape();
+        let pr = l.project(Point::new(-20.0, -20.0));
+        assert_eq!(pr.point, l.start());
+        assert_eq!(pr.s, 0.0);
+        let pr2 = l.project(Point::new(120.0, 80.0));
+        assert_eq!(pr2.point, l.end());
+        assert_eq!(pr2.s, 150.0);
+    }
+
+    #[test]
+    fn project_roundtrips_points_on_the_line() {
+        let l = l_shape();
+        for s in [0.0, 10.0, 99.9, 100.0, 149.0, 150.0] {
+            let p = l.point_at(s);
+            let pr = l.project(p);
+            assert!(pr.distance < 1e-9);
+            assert!((pr.s - s).abs() < 1e-9, "s={s} -> {}", pr.s);
+        }
+    }
+
+    #[test]
+    fn sampling_covers_whole_length() {
+        let l = l_shape();
+        let samples = l.sample(7.0);
+        assert_eq!(samples.first().unwrap().0, 0.0);
+        assert!((samples.last().unwrap().0 - 150.0).abs() < 1e-9);
+        for w in samples.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].0 - w[0].0 <= 7.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sampling_rejects_zero_step() {
+        let _ = l_shape().sample(0.0);
+    }
+
+    #[test]
+    fn slice_preserves_geometry() {
+        let l = l_shape();
+        let s = l.slice(50.0, 125.0).unwrap();
+        assert!((s.length() - 75.0).abs() < 1e-9);
+        assert_eq!(s.start(), Point::new(50.0, 0.0));
+        assert_eq!(s.end(), Point::new(100.0, 25.0));
+        // Interior vertex at the corner is preserved.
+        assert!(s.vertices().contains(&Point::new(100.0, 0.0)));
+    }
+
+    #[test]
+    fn slice_empty_range_errors() {
+        let l = l_shape();
+        assert!(l.slice(50.0, 50.0).is_err());
+        assert!(l.slice(80.0, 20.0).is_err());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints_and_keeps_length() {
+        let l = l_shape();
+        let r = l.reversed();
+        assert_eq!(r.start(), l.end());
+        assert_eq!(r.end(), l.start());
+        assert_eq!(r.length(), l.length());
+    }
+
+    #[test]
+    fn concat_adds_lengths() {
+        let a = Polyline::segment(Point::new(0.0, 0.0), Point::new(10.0, 0.0)).unwrap();
+        let b = Polyline::segment(Point::new(10.0, 0.0), Point::new(10.0, 5.0)).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.length(), 15.0);
+        // Disconnected concat inserts a bridge.
+        let d = Polyline::segment(Point::new(20.0, 0.0), Point::new(30.0, 0.0)).unwrap();
+        let e = a.concat(&d);
+        assert_eq!(e.length(), 30.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use wilocator_geo::{BoundingBox, GeoPoint, GridIndex, Point, Polyline, Projection};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -10_000.0..10_000.0f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn polyline() -> impl Strategy<Value = Polyline> {
+    proptest::collection::vec(point(), 2..12)
+        .prop_filter_map("needs positive length", |v| Polyline::new(v).ok())
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn distance_nonnegative_and_symmetric(a in point(), b in point()) {
+        prop_assert!(a.distance(b) >= 0.0);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_roundtrip(lat in -60.0..60.0f64, lon in -179.0..179.0f64,
+                            dlat in -0.2..0.2f64, dlon in -0.2..0.2f64) {
+        let proj = Projection::new(GeoPoint::new(lat, lon));
+        let g = GeoPoint::new(lat + dlat, lon + dlon);
+        let back = proj.unproject(proj.project(g));
+        prop_assert!((back.lat - g.lat).abs() < 1e-9);
+        prop_assert!((back.lon - g.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyline_point_at_is_on_curve(line in polyline(), t in 0.0..1.0f64) {
+        let s = t * line.length();
+        let p = line.point_at(s);
+        let pr = line.project(p);
+        prop_assert!(pr.distance < 1e-6, "point_at({s}) strayed {} m", pr.distance);
+    }
+
+    #[test]
+    fn polyline_cumulative_length_monotone(line in polyline(), t0 in 0.0..1.0f64, t1 in 0.0..1.0f64) {
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        let s0 = lo * line.length();
+        let s1 = hi * line.length();
+        if s1 - s0 > 1e-6 {
+            let slice = line.slice(s0, s1).unwrap();
+            // Arc-length additivity: slice length equals coordinate span.
+            prop_assert!((slice.length() - (s1 - s0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn polyline_projection_is_no_farther_than_endpoints(line in polyline(), q in point()) {
+        let pr = line.project(q);
+        prop_assert!(pr.distance <= q.distance(line.start()) + 1e-9);
+        prop_assert!(pr.distance <= q.distance(line.end()) + 1e-9);
+        prop_assert!(pr.s >= -1e-9 && pr.s <= line.length() + 1e-9);
+    }
+
+    #[test]
+    fn bbox_from_points_contains_inputs(pts in proptest::collection::vec(point(), 1..32)) {
+        let bb = BoundingBox::from_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+    }
+
+    #[test]
+    fn grid_index_within_matches_brute_force(
+        pts in proptest::collection::vec(point(), 0..64),
+        q in point(),
+        radius in 0.0..2_000.0f64,
+    ) {
+        let mut idx = GridIndex::new(100.0);
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(*p, i);
+        }
+        let mut got: Vec<usize> = idx.within(q, radius).map(|(_, _, &i)| i).collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance(**p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn grid_index_nearest_matches_brute_force(
+        pts in proptest::collection::vec(point(), 1..64),
+        q in point(),
+    ) {
+        let mut idx = GridIndex::new(37.0);
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(*p, i);
+        }
+        let (d, _, _) = idx.nearest(q).unwrap();
+        let best = pts
+            .iter()
+            .map(|p| q.distance(*p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d - best).abs() < 1e-9, "index said {d}, brute force {best}");
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        lat1 in -80.0..80.0f64, lon1 in -179.0..179.0f64,
+        lat2 in -80.0..80.0f64, lon2 in -179.0..179.0f64,
+        lat3 in -80.0..80.0f64, lon3 in -179.0..179.0f64,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        prop_assert!(a.haversine(c) <= a.haversine(b) + b.haversine(c) + 1e-6);
+    }
+}

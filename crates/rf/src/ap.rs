@@ -1,0 +1,230 @@
+//! Access-point identity and metadata.
+
+use wilocator_geo::Point;
+
+/// Stable numeric identifier of an access point within a deployment.
+///
+/// The Signal Voronoi Diagram refers to APs (its *sites* or *generators*)
+/// through this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ApId(pub u32);
+
+impl std::fmt::Display for ApId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AP{}", self.0)
+    }
+}
+
+impl From<u32> for ApId {
+    fn from(v: u32) -> Self {
+        ApId(v)
+    }
+}
+
+/// An IEEE 802.11 BSSID (MAC address of the radio).
+///
+/// Stored as the low 48 bits of a `u64`; formats like a MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_rf::Bssid;
+/// let b = Bssid::new(0x02_00_00_00_00_2a);
+/// assert_eq!(b.to_string(), "02:00:00:00:00:2a");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bssid(u64);
+
+impl Bssid {
+    /// Creates a BSSID from its 48-bit integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above the low 48 are set.
+    pub fn new(raw: u64) -> Self {
+        assert!(raw <= 0xFFFF_FFFF_FFFF, "BSSID is 48 bits");
+        Bssid(raw)
+    }
+
+    /// A locally administered BSSID derived from an [`ApId`] — the scheme
+    /// the simulator uses to mint unique, valid-looking MACs.
+    pub fn from_ap_id(id: ApId) -> Self {
+        // 0x02 prefix = locally administered, unicast.
+        Bssid(0x02_00_00_00_00_00 | id.0 as u64)
+    }
+
+    /// The 48-bit integer value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Bssid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[2], b[3], b[4], b[5], b[6], b[7]
+        )
+    }
+}
+
+/// A WiFi access point: identity, geo-tag and radio parameters.
+///
+/// Mirrors what WiLocator's back-end knows about an AP: SSID/BSSID from
+/// scans, position from the geo-tag database (Google Maps / Shaw Go WiFi in
+/// the paper), and — only inside the simulator — the true transmit power.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_rf::{AccessPoint, ApId};
+///
+/// let ap = AccessPoint::new(ApId(3), Point::new(12.0, -4.0))
+///     .with_ssid("ShawOpen")
+///     .with_tx_power_dbm(18.0);
+/// assert_eq!(ap.ssid(), "ShawOpen");
+/// assert!(ap.is_geo_tagged());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPoint {
+    id: ApId,
+    bssid: Bssid,
+    ssid: String,
+    position: Point,
+    tx_power_dbm: f64,
+    channel: u8,
+    geo_tagged: bool,
+}
+
+/// Default transmit power for curbside APs, dBm (typical 802.11 limit).
+pub const DEFAULT_TX_POWER_DBM: f64 = 20.0;
+
+impl AccessPoint {
+    /// Creates a geo-tagged AP at `position` with default radio parameters.
+    pub fn new(id: ApId, position: Point) -> Self {
+        AccessPoint {
+            id,
+            bssid: Bssid::from_ap_id(id),
+            ssid: format!("wilocator-{}", id.0),
+            position,
+            tx_power_dbm: DEFAULT_TX_POWER_DBM,
+            channel: 1 + (id.0 % 11) as u8,
+            geo_tagged: true,
+        }
+    }
+
+    /// Sets the SSID (builder style).
+    pub fn with_ssid(mut self, ssid: impl Into<String>) -> Self {
+        self.ssid = ssid.into();
+        self
+    }
+
+    /// Sets the transmit power in dBm (builder style).
+    pub fn with_tx_power_dbm(mut self, dbm: f64) -> Self {
+        self.tx_power_dbm = dbm;
+        self
+    }
+
+    /// Sets the 2.4 GHz channel (builder style).
+    pub fn with_channel(mut self, channel: u8) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Marks the AP as lacking a geo-tag. The paper ignores readings from
+    /// unknown APs during SVD construction (§V-A).
+    pub fn without_geo_tag(mut self) -> Self {
+        self.geo_tagged = false;
+        self
+    }
+
+    /// The AP's identifier.
+    pub fn id(&self) -> ApId {
+        self.id
+    }
+
+    /// The AP's BSSID.
+    pub fn bssid(&self) -> Bssid {
+        self.bssid
+    }
+
+    /// The AP's SSID.
+    pub fn ssid(&self) -> &str {
+        &self.ssid
+    }
+
+    /// Geo-tagged position in the local planar frame.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// True transmit power, dBm.
+    pub fn tx_power_dbm(&self) -> f64 {
+        self.tx_power_dbm
+    }
+
+    /// 2.4 GHz channel number.
+    pub fn channel(&self) -> u8 {
+        self.channel
+    }
+
+    /// Whether the position of this AP is known to the server.
+    pub fn is_geo_tagged(&self) -> bool {
+        self.geo_tagged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bssid_formats_as_mac() {
+        assert_eq!(Bssid::new(0xaa_bb_cc_dd_ee_ff).to_string(), "aa:bb:cc:dd:ee:ff");
+    }
+
+    #[test]
+    fn bssid_from_ap_id_unique_and_local() {
+        let a = Bssid::from_ap_id(ApId(1));
+        let b = Bssid::from_ap_id(ApId(2));
+        assert_ne!(a, b);
+        assert_eq!(a.raw() >> 40, 0x02);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn bssid_rejects_oversized() {
+        let _ = Bssid::new(1 << 48);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let ap = AccessPoint::new(ApId(9), Point::new(1.0, 2.0))
+            .with_ssid("cafe")
+            .with_tx_power_dbm(15.0)
+            .with_channel(6)
+            .without_geo_tag();
+        assert_eq!(ap.id(), ApId(9));
+        assert_eq!(ap.ssid(), "cafe");
+        assert_eq!(ap.tx_power_dbm(), 15.0);
+        assert_eq!(ap.channel(), 6);
+        assert!(!ap.is_geo_tagged());
+        assert_eq!(ap.position(), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn default_channel_is_valid() {
+        for i in 0..30 {
+            let ap = AccessPoint::new(ApId(i), Point::ORIGIN);
+            assert!((1..=11).contains(&ap.channel()));
+        }
+    }
+
+    #[test]
+    fn ap_id_display() {
+        assert_eq!(ApId(17).to_string(), "AP17");
+    }
+}

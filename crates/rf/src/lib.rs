@@ -1,0 +1,50 @@
+//! RF propagation models and WiFi scan simulation.
+//!
+//! This crate is the *physical layer* substitute for the paper's in-situ
+//! measurements: the prototype collected real 802.11 beacons on Nexus-5
+//! phones; we synthesise the same observable — noisy, quantised RSS readings
+//! from geo-tagged access points — from a parametric outdoor channel:
+//!
+//! * a deterministic **path-loss** component ([`pathloss`]): free-space,
+//!   log-distance or two-ray ground models;
+//! * **spatially correlated log-normal shadowing** ([`shadowing`]): the slow,
+//!   position-dependent term that makes the Signal Voronoi Edges of the real
+//!   signal space wiggle away from the Euclidean Voronoi edges;
+//! * per-scan **fast fading** and dBm **quantisation** ([`scan`]): the term
+//!   that makes a static receiver see >10 dB swings, motivating the paper's
+//!   move from absolute RSS to *rank* of RSS.
+//!
+//! The [`SignalField`] trait is the contract shared with the Signal Voronoi
+//! Diagram in `wilocator-svd`: anything that can report a mean RSS for
+//! (AP, point) can generate an SVD. The server-side assumption of the paper
+//! ("we simply regard that all the factors affecting signal propagation are
+//! the same for APs") is [`field::HomogeneousField`]; the simulator's ground
+//! truth is [`field::PhysicalField`].
+//!
+//! # Examples
+//!
+//! ```
+//! use wilocator_geo::Point;
+//! use wilocator_rf::{AccessPoint, ApId, LogDistance, PathLoss};
+//!
+//! let model = LogDistance::urban();
+//! let ap = AccessPoint::new(ApId(0), Point::new(0.0, 0.0));
+//! let near = model.rss_dbm(ap.tx_power_dbm(), 10.0);
+//! let far = model.rss_dbm(ap.tx_power_dbm(), 100.0);
+//! assert!(near > far);
+//! ```
+
+pub mod ap;
+pub mod field;
+pub mod pathloss;
+pub mod scan;
+pub mod shadowing;
+
+pub use ap::{AccessPoint, ApId, Bssid};
+pub use field::{HomogeneousField, PhysicalField, SignalField};
+pub use pathloss::{FreeSpace, LogDistance, PathLoss, TwoRay};
+pub use scan::{Reading, Scan, Scanner, ScannerConfig};
+pub use shadowing::ShadowingField;
+
+/// RSS floor: readings below this are never reported by real hardware.
+pub const NOISE_FLOOR_DBM: f64 = -100.0;

@@ -1,0 +1,289 @@
+//! Deterministic path-loss models.
+//!
+//! The paper's EZ-style comparison point (Chintalapudi et al.) and the
+//! server's homogeneous-propagation assumption both reduce to "RSS is a
+//! monotone decreasing function of distance". These models supply that
+//! function. All losses are positive dB; `rss = tx_power − loss`.
+
+/// A deterministic distance → path-loss model.
+///
+/// Implementations must be monotone non-decreasing in distance beyond the
+/// reference distance; the rank-based positioning of the SVD relies on
+/// "closer ⇒ stronger" holding for the *mean* field.
+pub trait PathLoss: std::fmt::Debug + Send + Sync {
+    /// Path loss in dB at `distance_m` metres (≥ 0).
+    fn loss_db(&self, distance_m: f64) -> f64;
+
+    /// Received signal strength for a transmitter at `tx_power_dbm`.
+    fn rss_dbm(&self, tx_power_dbm: f64, distance_m: f64) -> f64 {
+        tx_power_dbm - self.loss_db(distance_m)
+    }
+
+    /// Inverts the model: the distance at which `loss_db` dB is lost.
+    /// Used by the trilateration baseline. Default: bisection on
+    /// `[0.1, 10_000]` m.
+    fn distance_for_loss(&self, loss_db: f64) -> f64 {
+        let (mut lo, mut hi) = (0.1f64, 10_000.0f64);
+        if self.loss_db(lo) >= loss_db {
+            return lo;
+        }
+        if self.loss_db(hi) <= loss_db {
+            return hi;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.loss_db(mid) < loss_db {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Free-space path loss (Friis) at a carrier frequency.
+///
+/// `L = 20·log10(d) + 20·log10(f) − 147.55` with `d` in metres, `f` in Hz.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_rf::{FreeSpace, PathLoss};
+/// let fs = FreeSpace::wifi_2g4();
+/// // Doubling the distance costs 6 dB in free space.
+/// let delta = fs.loss_db(200.0) - fs.loss_db(100.0);
+/// assert!((delta - 6.02).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreeSpace {
+    freq_hz: f64,
+}
+
+impl FreeSpace {
+    /// Free-space model at carrier `freq_hz` Hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not strictly positive.
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "carrier frequency must be positive");
+        FreeSpace { freq_hz }
+    }
+
+    /// 2.437 GHz (WiFi channel 6).
+    pub fn wifi_2g4() -> Self {
+        FreeSpace::new(2.437e9)
+    }
+}
+
+impl PathLoss for FreeSpace {
+    fn loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        20.0 * d.log10() + 20.0 * self.freq_hz.log10() - 147.55
+    }
+}
+
+/// Log-distance path loss: `L(d) = L0 + 10·n·log10(d / d0)`.
+///
+/// The workhorse outdoor model; exponent `n ≈ 2.7–3.5` for urban streets.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_rf::{LogDistance, PathLoss};
+/// let m = LogDistance::new(40.0, 3.0, 1.0);
+/// assert_eq!(m.loss_db(1.0), 40.0);
+/// assert!((m.loss_db(10.0) - 70.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    ref_loss_db: f64,
+    exponent: f64,
+    ref_distance_m: f64,
+}
+
+impl LogDistance {
+    /// Model with loss `ref_loss_db` at `ref_distance_m` and path-loss
+    /// exponent `exponent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` or `ref_distance_m` is not strictly positive.
+    pub fn new(ref_loss_db: f64, exponent: f64, ref_distance_m: f64) -> Self {
+        assert!(exponent > 0.0, "path-loss exponent must be positive");
+        assert!(ref_distance_m > 0.0, "reference distance must be positive");
+        LogDistance {
+            ref_loss_db,
+            exponent,
+            ref_distance_m,
+        }
+    }
+
+    /// Typical urban-street parametrisation: 40 dB at 1 m, exponent 3.0 —
+    /// an AP at 20 dBm becomes undetectable (≈ −90 dBm) around 100 m,
+    /// matching the paper's "limited coverage due to the limited
+    /// transmitted power".
+    pub fn urban() -> Self {
+        LogDistance::new(40.0, 3.0, 1.0)
+    }
+
+    /// The path-loss exponent `n`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl PathLoss for LogDistance {
+    fn loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.ref_distance_m * 0.1);
+        self.ref_loss_db + 10.0 * self.exponent * (d / self.ref_distance_m).log10()
+    }
+
+    fn distance_for_loss(&self, loss_db: f64) -> f64 {
+        (self.ref_distance_m
+            * 10f64.powf((loss_db - self.ref_loss_db) / (10.0 * self.exponent)))
+        .clamp(0.1, 10_000.0)
+    }
+}
+
+/// Two-ray ground-reflection model with a free-space near field.
+///
+/// Beyond the crossover distance `d_c = 4·π·h_t·h_r / λ` the loss grows with
+/// the fourth power of distance: `L = 40·log10(d) − 20·log10(h_t·h_r)`.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_rf::{PathLoss, TwoRay};
+/// let m = TwoRay::new(6.0, 1.5, 2.437e9);
+/// // Far field decays at 12 dB per octave.
+/// let delta = m.loss_db(4000.0) - m.loss_db(2000.0);
+/// assert!((delta - 12.04).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoRay {
+    tx_height_m: f64,
+    rx_height_m: f64,
+    freq_hz: f64,
+}
+
+impl TwoRay {
+    /// Two-ray model for antenna heights `tx_height_m`/`rx_height_m` at
+    /// carrier `freq_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    pub fn new(tx_height_m: f64, rx_height_m: f64, freq_hz: f64) -> Self {
+        assert!(
+            tx_height_m > 0.0 && rx_height_m > 0.0 && freq_hz > 0.0,
+            "two-ray parameters must be positive"
+        );
+        TwoRay {
+            tx_height_m,
+            rx_height_m,
+            freq_hz,
+        }
+    }
+
+    /// Crossover distance between near (free-space) and far (d⁴) fields.
+    pub fn crossover_m(&self) -> f64 {
+        let lambda = 299_792_458.0 / self.freq_hz;
+        4.0 * std::f64::consts::PI * self.tx_height_m * self.rx_height_m / lambda
+    }
+}
+
+impl PathLoss for TwoRay {
+    fn loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        let dc = self.crossover_m();
+        let fs = FreeSpace::new(self.freq_hz);
+        if d <= dc {
+            fs.loss_db(d)
+        } else {
+            // Continuous at the crossover: anchor the d⁴ region there.
+            fs.loss_db(dc) + 40.0 * (d / dc).log10()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_reference_value() {
+        // FSPL at 1 km, 2.4 GHz is ~100 dB.
+        let fs = FreeSpace::wifi_2g4();
+        let l = fs.loss_db(1000.0);
+        assert!((l - 100.2).abs() < 0.5, "got {l}");
+    }
+
+    #[test]
+    fn log_distance_monotone() {
+        let m = LogDistance::urban();
+        let mut prev = m.loss_db(1.0);
+        for d in [2.0, 5.0, 10.0, 50.0, 200.0, 1000.0] {
+            let l = m.loss_db(d);
+            assert!(l > prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn log_distance_inverse_roundtrip() {
+        let m = LogDistance::urban();
+        for d in [1.0, 7.0, 42.0, 180.0] {
+            let l = m.loss_db(d);
+            assert!((m.distance_for_loss(l) - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn generic_inverse_bisection_roundtrip() {
+        let m = FreeSpace::wifi_2g4();
+        for d in [1.0, 25.0, 400.0] {
+            let l = m.loss_db(d);
+            let back = m.distance_for_loss(l);
+            assert!((back - d).abs() / d < 1e-6, "d={d}, back={back}");
+        }
+    }
+
+    #[test]
+    fn urban_coverage_is_about_100m() {
+        // 20 dBm TX, −90 dBm detection threshold ⇒ 110 dB budget.
+        let m = LogDistance::urban();
+        let range = m.distance_for_loss(110.0);
+        assert!((150.0..250.0).contains(&range), "range {range} m");
+    }
+
+    #[test]
+    fn two_ray_continuous_at_crossover() {
+        let m = TwoRay::new(6.0, 1.5, 2.437e9);
+        let dc = m.crossover_m();
+        let before = m.loss_db(dc * 0.999);
+        let after = m.loss_db(dc * 1.001);
+        assert!((before - after).abs() < 0.1);
+    }
+
+    #[test]
+    fn rss_is_tx_minus_loss() {
+        let m = LogDistance::urban();
+        assert_eq!(m.rss_dbm(20.0, 1.0), -20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_exponent() {
+        let _ = LogDistance::new(40.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn tiny_distances_clamped() {
+        let m = LogDistance::urban();
+        assert!(m.loss_db(0.0).is_finite());
+        let fs = FreeSpace::wifi_2g4();
+        assert!(fs.loss_db(0.0).is_finite());
+    }
+}

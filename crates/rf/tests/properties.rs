@@ -1,0 +1,143 @@
+//! Property-based tests for the RF substrate.
+
+use proptest::prelude::*;
+use wilocator_geo::Point;
+use wilocator_rf::{
+    AccessPoint, ApId, FreeSpace, HomogeneousField, LogDistance, PathLoss, ShadowingField,
+    SignalField, TwoRay,
+};
+
+fn distance() -> impl Strategy<Value = f64> {
+    0.1..5_000.0f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn log_distance_is_monotone(
+        ref_loss in 20.0..60.0f64,
+        exponent in 1.5..5.0f64,
+        d0 in distance(),
+        d1 in distance(),
+    ) {
+        let m = LogDistance::new(ref_loss, exponent, 1.0);
+        let (lo, hi) = if d0 <= d1 { (d0, d1) } else { (d1, d0) };
+        prop_assert!(m.loss_db(lo) <= m.loss_db(hi) + 1e-9);
+    }
+
+    #[test]
+    fn free_space_and_two_ray_are_monotone(d0 in distance(), d1 in distance()) {
+        let (lo, hi) = if d0 <= d1 { (d0, d1) } else { (d1, d0) };
+        let fs = FreeSpace::wifi_2g4();
+        prop_assert!(fs.loss_db(lo) <= fs.loss_db(hi) + 1e-9);
+        let tr = TwoRay::new(6.0, 1.5, 2.437e9);
+        prop_assert!(tr.loss_db(lo) <= tr.loss_db(hi) + 1e-9);
+    }
+
+    #[test]
+    fn log_distance_inversion_roundtrips(
+        exponent in 1.5..5.0f64,
+        d in 0.5..5_000.0f64,
+    ) {
+        let m = LogDistance::new(40.0, exponent, 1.0);
+        let loss = m.loss_db(d);
+        let back = m.distance_for_loss(loss);
+        prop_assert!((back - d).abs() / d < 1e-6, "d = {d}, back = {back}");
+    }
+
+    #[test]
+    fn rss_equals_tx_minus_loss(tx in 0.0..30.0f64, d in distance()) {
+        let m = LogDistance::urban();
+        prop_assert!((m.rss_dbm(tx, d) - (tx - m.loss_db(d))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_and_bounded(
+        sigma in 0.0..12.0f64,
+        corr in 10.0..200.0f64,
+        seed in any::<u64>(),
+        x in -5_000.0..5_000.0f64,
+        y in -5_000.0..5_000.0f64,
+    ) {
+        let f = ShadowingField::new(sigma, corr, seed);
+        let p = Point::new(x, y);
+        let a = f.shadow_db(ApId(1), p);
+        prop_assert_eq!(a, f.shadow_db(ApId(1), p));
+        prop_assert!(a.is_finite());
+        // Gaussian tails: |value| beyond 8σ would be astronomically rare
+        // and indicates a generator bug.
+        prop_assert!(a.abs() <= 8.0 * sigma.max(1e-12) || sigma == 0.0);
+    }
+
+    #[test]
+    fn shadowing_is_continuous(
+        seed in any::<u64>(),
+        x in -1_000.0..1_000.0f64,
+        y in -1_000.0..1_000.0f64,
+        dx in -0.5..0.5f64,
+    ) {
+        let f = ShadowingField::new(6.0, 50.0, seed);
+        let a = f.shadow_db(ApId(0), Point::new(x, y));
+        let b = f.shadow_db(ApId(0), Point::new(x + dx, y));
+        // Lipschitz-ish: sub-metre moves change the field by < 2 dB.
+        prop_assert!((a - b).abs() < 2.0, "jump {} over {dx} m", (a - b).abs());
+    }
+
+    #[test]
+    fn detectable_at_is_sorted_and_thresholded(
+        positions in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 1..20),
+        qx in -500.0..500.0f64,
+        qy in -500.0..500.0f64,
+        threshold in -95.0..-60.0f64,
+    ) {
+        let aps: Vec<AccessPoint> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| AccessPoint::new(ApId(i as u32), Point::new(x, y)))
+            .collect();
+        let field = HomogeneousField::new(aps);
+        let ranked = field.detectable_at(Point::new(qx, qy), threshold);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for &(_, rss) in &ranked {
+            prop_assert!(rss >= threshold);
+        }
+        // The strongest AP is the nearest one (homogeneous ⇒ VD).
+        if let Some(&(top, _)) = ranked.first() {
+            let q = Point::new(qx, qy);
+            let nearest = field
+                .aps()
+                .iter()
+                .min_by(|a, b| {
+                    q.distance(a.position())
+                        .partial_cmp(&q.distance(b.position()))
+                        .unwrap()
+                })
+                .unwrap();
+            // Ties in distance permit either winner; compare distances.
+            let d_top = q.distance(field.ap(top).unwrap().position());
+            let d_near = q.distance(nearest.position());
+            prop_assert!((d_top - d_near).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn without_aps_removes_exactly_the_dead(
+        n in 1usize..20,
+        dead_idx in proptest::collection::hash_set(0u32..20, 0..10),
+    ) {
+        let aps: Vec<AccessPoint> = (0..n as u32)
+            .map(|i| AccessPoint::new(ApId(i), Point::new(i as f64 * 10.0, 0.0)))
+            .collect();
+        let field = HomogeneousField::new(aps);
+        let dead: Vec<ApId> = dead_idx.iter().map(|&i| ApId(i)).collect();
+        let pruned = field.without_aps(&dead);
+        for ap in pruned.aps() {
+            prop_assert!(!dead.contains(&ap.id()));
+        }
+        let survivors = (0..n as u32).filter(|i| !dead_idx.contains(i)).count();
+        prop_assert_eq!(pruned.aps().len(), survivors);
+    }
+}

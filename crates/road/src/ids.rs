@@ -1,0 +1,69 @@
+//! Identifier newtypes for road-network entities.
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl $name {
+            /// The raw index value.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a road-network vertex (intersection or terminal).
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifier of a directed road segment.
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifier of a bus route.
+    RouteId,
+    "R"
+);
+id_type!(
+    /// Identifier of a bus stop on a route.
+    StopId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(4).to_string(), "e4");
+        assert_eq!(RouteId(1).to_string(), "R1");
+        assert_eq!(StopId(9).to_string(), "s9");
+    }
+
+    #[test]
+    fn ordering_and_index() {
+        assert!(EdgeId(1) < EdgeId(2));
+        assert_eq!(EdgeId(7).index(), 7);
+        assert_eq!(NodeId::from(5u32), NodeId(5));
+    }
+}

@@ -1,0 +1,47 @@
+//! Road network, bus routes and stops.
+//!
+//! Implements Definitions 3–4 of the paper:
+//!
+//! * a **road network** is a directed graph whose vertices are intersections
+//!   or terminals and whose edges are directed road segments
+//!   ([`RoadNetwork`]);
+//! * a **bus route** is a sequence of connected directed road segments with
+//!   stops on them ([`Route`]), i.e. `e_i.end == e_{i+1}.start`.
+//!
+//! Positions along a route are addressed by *road distance* `s` (metres from
+//! the route start), the `d_r(·,·)` of Equations 5 and 9. [`Route`] provides
+//! the bidirectional mapping between `s`, the planar point, and the
+//! `(segment, on-segment offset)` pair, plus projection of off-road points
+//! onto the route — the *mobility constraint* WiLocator exploits.
+//!
+//! [`overlap`] computes the overlapped road-segment structure of a set of
+//! routes (Table I of the paper), which drives the cross-route travel-time
+//! sharing of the predictor.
+//!
+//! # Examples
+//!
+//! ```
+//! use wilocator_geo::Point;
+//! use wilocator_road::{NetworkBuilder, Route, RouteId};
+//!
+//! let mut b = NetworkBuilder::new();
+//! let a = b.add_node(Point::new(0.0, 0.0));
+//! let c = b.add_node(Point::new(500.0, 0.0));
+//! let e = b.add_edge(a, c, None)?;
+//! let net = b.build();
+//! let route = Route::new(RouteId(0), "demo", vec![e], &net)?;
+//! assert_eq!(route.length(), 500.0);
+//! # Ok::<(), wilocator_road::RoadError>(())
+//! ```
+
+pub mod ids;
+pub mod network;
+pub mod overlap;
+pub mod route;
+pub mod schedule;
+
+pub use ids::{EdgeId, NodeId, RouteId, StopId};
+pub use network::{Edge, NetworkBuilder, Node, RoadError, RoadNetwork};
+pub use overlap::{overlap_length_m, shared_edges, OverlapReport};
+pub use route::{Route, RoutePosition, Stop};
+pub use schedule::{Schedule, Trip};

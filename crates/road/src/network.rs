@@ -1,0 +1,369 @@
+//! The directed road-network graph (Definition 3).
+
+use wilocator_geo::{Point, Polyline};
+
+use crate::ids::{EdgeId, NodeId};
+
+/// Errors raised by road-network and route construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadError {
+    /// A node id did not exist in the network.
+    UnknownNode(NodeId),
+    /// An edge id did not exist in the network.
+    UnknownEdge(EdgeId),
+    /// The supplied polyline's endpoints do not match the edge's nodes.
+    GeometryMismatch(EdgeId),
+    /// An edge would have zero length (both endpoints coincide, no shape).
+    DegenerateEdge,
+    /// A route's consecutive edges are not connected
+    /// (`e_i.end != e_{i+1}.start`).
+    DisconnectedRoute { position: usize },
+    /// A route was given no edges.
+    EmptyRoute,
+    /// A stop lies outside the route's arc-length range.
+    StopOffRoute { s: f64, length: f64 },
+}
+
+impl std::fmt::Display for RoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoadError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            RoadError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            RoadError::GeometryMismatch(e) => {
+                write!(f, "polyline endpoints do not match nodes of edge {e}")
+            }
+            RoadError::DegenerateEdge => write!(f, "edge endpoints coincide"),
+            RoadError::DisconnectedRoute { position } => {
+                write!(f, "route edges disconnected at position {position}")
+            }
+            RoadError::EmptyRoute => write!(f, "route has no edges"),
+            RoadError::StopOffRoute { s, length } => {
+                write!(f, "stop at s = {s} m outside route of length {length} m")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadError {}
+
+/// A vertex of the road network: an intersection or terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    id: NodeId,
+    position: Point,
+}
+
+impl Node {
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's planar position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+}
+
+/// A directed road segment between two adjacent vertices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    id: EdgeId,
+    from: NodeId,
+    to: NodeId,
+    shape: Polyline,
+}
+
+impl Edge {
+    /// The edge's identifier.
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// `e.start` in the paper's notation.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// `e.end` in the paper's notation.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// The segment's geometry.
+    pub fn shape(&self) -> &Polyline {
+        &self.shape
+    }
+
+    /// Segment length, metres.
+    pub fn length(&self) -> f64 {
+        self.shape.length()
+    }
+}
+
+/// Builder for [`RoadNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_road::NetworkBuilder;
+///
+/// let mut b = NetworkBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// let _e = b.add_edge(a, c, None)?;
+/// let net = b.build();
+/// assert_eq!(net.nodes().len(), 2);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NetworkBuilder::default()
+    }
+
+    /// Adds a vertex at `position`, returning its id.
+    pub fn add_node(&mut self, position: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, position });
+        id
+    }
+
+    /// Adds a directed segment from `from` to `to`.
+    ///
+    /// With `shape == None` the segment is a straight line between the node
+    /// positions; otherwise the polyline must start at `from`'s position and
+    /// end at `to`'s (within 1 m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadError::UnknownNode`], [`RoadError::DegenerateEdge`] or
+    /// [`RoadError::GeometryMismatch`].
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        shape: Option<Polyline>,
+    ) -> Result<EdgeId, RoadError> {
+        let a = self
+            .nodes
+            .get(from.index())
+            .ok_or(RoadError::UnknownNode(from))?
+            .position;
+        let b = self
+            .nodes
+            .get(to.index())
+            .ok_or(RoadError::UnknownNode(to))?
+            .position;
+        let id = EdgeId(self.edges.len() as u32);
+        let shape = match shape {
+            Some(p) => {
+                if p.start().distance(a) > 1.0 || p.end().distance(b) > 1.0 {
+                    return Err(RoadError::GeometryMismatch(id));
+                }
+                p
+            }
+            None => Polyline::segment(a, b).map_err(|_| RoadError::DegenerateEdge)?,
+        };
+        self.edges.push(Edge {
+            id,
+            from,
+            to,
+            shape,
+        });
+        Ok(id)
+    }
+
+    /// Adds both directions between `from` and `to` as straight segments,
+    /// returning `(forward, backward)` edge ids.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkBuilder::add_edge`].
+    pub fn add_two_way(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(EdgeId, EdgeId), RoadError> {
+        let f = self.add_edge(from, to, None)?;
+        let b = self.add_edge(to, from, None)?;
+        Ok((f, b))
+    }
+
+    /// Finalises the network.
+    pub fn build(self) -> RoadNetwork {
+        let mut out_edges = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            out_edges[e.from.index()].push(e.id);
+        }
+        RoadNetwork {
+            nodes: self.nodes,
+            edges: self.edges,
+            out_edges,
+        }
+    }
+}
+
+/// The road network: a directed graph of intersections and road segments
+/// (Definition 3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeId>>,
+}
+
+impl RoadNetwork {
+    /// All vertices.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All directed segments.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Vertex lookup.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Segment lookup.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edges.get(id.index())
+    }
+
+    /// Outgoing segments of a vertex.
+    pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
+        self.out_edges
+            .get(id.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total length of all segments, metres.
+    pub fn total_length_m(&self) -> f64 {
+        self.edges.iter().map(|e| e.length()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (RoadNetwork, Vec<NodeId>, Vec<EdgeId>) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 100.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let e2 = b.add_edge(n2, n0, None).unwrap();
+        (b.build(), vec![n0, n1, n2], vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn builds_and_looks_up() {
+        let (net, nodes, edges) = triangle();
+        assert_eq!(net.nodes().len(), 3);
+        assert_eq!(net.edges().len(), 3);
+        assert_eq!(net.node(nodes[1]).unwrap().position(), Point::new(100.0, 0.0));
+        assert_eq!(net.edge(edges[0]).unwrap().length(), 100.0);
+        assert!(net.node(NodeId(99)).is_none());
+        assert!(net.edge(EdgeId(99)).is_none());
+    }
+
+    #[test]
+    fn out_edges_follow_direction() {
+        let (net, nodes, edges) = triangle();
+        assert_eq!(net.out_edges(nodes[0]), &[edges[0]]);
+        assert_eq!(net.out_edges(nodes[1]), &[edges[1]]);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::ORIGIN);
+        assert_eq!(
+            b.add_edge(n0, NodeId(5), None).unwrap_err(),
+            RoadError::UnknownNode(NodeId(5))
+        );
+    }
+
+    #[test]
+    fn degenerate_edge_rejected() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::ORIGIN);
+        let n1 = b.add_node(Point::ORIGIN);
+        assert_eq!(b.add_edge(n0, n1, None).unwrap_err(), RoadError::DegenerateEdge);
+    }
+
+    #[test]
+    fn mismatched_shape_rejected() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::ORIGIN);
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let bad = Polyline::segment(Point::new(50.0, 50.0), Point::new(100.0, 0.0)).unwrap();
+        assert!(matches!(
+            b.add_edge(n0, n1, Some(bad)),
+            Err(RoadError::GeometryMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn curved_shape_accepted() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::ORIGIN);
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let curve = Polyline::new(vec![
+            Point::ORIGIN,
+            Point::new(50.0, 20.0),
+            Point::new(100.0, 0.0),
+        ])
+        .unwrap();
+        let e = b.add_edge(n0, n1, Some(curve)).unwrap();
+        let net = b.build();
+        assert!(net.edge(e).unwrap().length() > 100.0);
+    }
+
+    #[test]
+    fn two_way_creates_opposite_edges() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::ORIGIN);
+        let n1 = b.add_node(Point::new(10.0, 0.0));
+        let (f, r) = b.add_two_way(n0, n1).unwrap();
+        let net = b.build();
+        assert_eq!(net.edge(f).unwrap().from(), n0);
+        assert_eq!(net.edge(r).unwrap().from(), n1);
+    }
+
+    #[test]
+    fn total_length_sums_edges() {
+        let (net, _, _) = triangle();
+        let expect = 100.0 + 100.0 + (2.0f64).sqrt() * 100.0;
+        assert!((net.total_length_m() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            RoadError::UnknownNode(NodeId(0)),
+            RoadError::UnknownEdge(EdgeId(0)),
+            RoadError::GeometryMismatch(EdgeId(0)),
+            RoadError::DegenerateEdge,
+            RoadError::DisconnectedRoute { position: 1 },
+            RoadError::EmptyRoute,
+            RoadError::StopOffRoute { s: 5.0, length: 1.0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Overlapped road segments between routes (Table I of the paper).
+//!
+//! "Different bus routes … may share a few overlapped road segments
+//! connecting adjacent intersections/terminals." Overlap is what lets
+//! WiLocator borrow the most recent travel time of *any* route on a shared
+//! segment when predicting the next bus — the paper's key advantage over
+//! same-route-only predictors.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::{EdgeId, RouteId};
+use crate::network::RoadNetwork;
+use crate::route::Route;
+
+/// Per-route overlap summary, mirroring a row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapReport {
+    /// The route.
+    pub route: RouteId,
+    /// Number of stops on the route.
+    pub stops: usize,
+    /// Route length, metres.
+    pub length_m: f64,
+    /// Total length of segments shared with at least one other route,
+    /// metres.
+    pub overlap_m: f64,
+}
+
+/// Map from segment id to the set of routes traversing it.
+pub fn shared_edges(routes: &[Route]) -> HashMap<EdgeId, Vec<RouteId>> {
+    let mut map: HashMap<EdgeId, Vec<RouteId>> = HashMap::new();
+    for r in routes {
+        let mut seen = HashSet::new();
+        for &e in r.edges() {
+            if seen.insert(e) {
+                map.entry(e).or_default().push(r.id());
+            }
+        }
+    }
+    map
+}
+
+/// Length (metres) of `route`'s segments shared with ≥ 1 other route.
+pub fn overlap_length_m(route: &Route, routes: &[Route], network: &RoadNetwork) -> f64 {
+    let shared = shared_edges(routes);
+    route
+        .edges()
+        .iter()
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .filter(|e| shared.get(e).map(|rs| rs.len() > 1).unwrap_or(false))
+        .map(|&e| network.edge(e).map(|e| e.length()).unwrap_or(0.0))
+        .sum()
+}
+
+/// Builds the full Table-I-style report for a set of routes.
+pub fn table(routes: &[Route], network: &RoadNetwork) -> Vec<OverlapReport> {
+    routes
+        .iter()
+        .map(|r| OverlapReport {
+            route: r.id(),
+            stops: r.stops().len(),
+            length_m: r.length(),
+            overlap_m: overlap_length_m(r, routes, network),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use wilocator_geo::Point;
+
+    /// Two routes sharing a middle segment:
+    /// R0: n0 → n1 → n2 → n3, R1: n4 → n1 → n2 → n5.
+    fn overlapping_routes() -> (RoadNetwork, Vec<Route>) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(300.0, 0.0));
+        let n3 = b.add_node(Point::new(400.0, 0.0));
+        let n4 = b.add_node(Point::new(100.0, -100.0));
+        let n5 = b.add_node(Point::new(300.0, 100.0));
+        let e01 = b.add_edge(n0, n1, None).unwrap();
+        let e12 = b.add_edge(n1, n2, None).unwrap(); // the shared segment
+        let e23 = b.add_edge(n2, n3, None).unwrap();
+        let e41 = b.add_edge(n4, n1, None).unwrap();
+        let e25 = b.add_edge(n2, n5, None).unwrap();
+        let net = b.build();
+        let r0 = Route::new(RouteId(0), "A", vec![e01, e12, e23], &net).unwrap();
+        let r1 = Route::new(RouteId(1), "B", vec![e41, e12, e25], &net).unwrap();
+        (net, vec![r0, r1])
+    }
+
+    #[test]
+    fn shared_edges_found() {
+        let (_, routes) = overlapping_routes();
+        let shared = shared_edges(&routes);
+        let multi: Vec<_> = shared.iter().filter(|(_, v)| v.len() > 1).collect();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].1.len(), 2);
+    }
+
+    #[test]
+    fn overlap_length_counts_only_shared() {
+        let (net, routes) = overlapping_routes();
+        assert_eq!(overlap_length_m(&routes[0], &routes, &net), 200.0);
+        assert_eq!(overlap_length_m(&routes[1], &routes, &net), 200.0);
+    }
+
+    #[test]
+    fn no_overlap_for_single_route() {
+        let (net, routes) = overlapping_routes();
+        let solo = vec![routes[0].clone()];
+        assert_eq!(overlap_length_m(&solo[0], &solo, &net), 0.0);
+    }
+
+    #[test]
+    fn table_mirrors_route_metrics() {
+        let (net, mut routes) = overlapping_routes();
+        routes[0].add_stops_evenly(3);
+        let t = table(&routes, &net);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].stops, 3);
+        assert_eq!(t[1].stops, 0);
+        assert_eq!(t[0].length_m, 400.0);
+        assert_eq!(t[0].overlap_m, 200.0);
+    }
+
+    #[test]
+    fn repeated_edge_counted_once() {
+        // A route that traverses the same edge twice (a loop) must not
+        // double-register in shared_edges.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let e01 = b.add_edge(n0, n1, None).unwrap();
+        let e10 = b.add_edge(n1, n0, None).unwrap();
+        let net = b.build();
+        let r = Route::new(RouteId(0), "loop", vec![e01, e10, e01], &net).unwrap();
+        let shared = shared_edges(&[r]);
+        assert_eq!(shared.get(&e01).unwrap().len(), 1);
+    }
+}

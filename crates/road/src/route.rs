@@ -1,0 +1,444 @@
+//! Bus routes (Definition 4) and positions along them.
+
+use wilocator_geo::{Point, Polyline};
+
+use crate::ids::{EdgeId, NodeId, RouteId, StopId};
+use crate::network::{RoadError, RoadNetwork};
+
+/// A bus stop on a route, addressed by route arc length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stop {
+    id: StopId,
+    name: String,
+    s: f64,
+}
+
+impl Stop {
+    /// The stop's identifier (unique within its route).
+    pub fn id(&self) -> StopId {
+        self.id
+    }
+
+    /// Human-readable stop name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Arc-length position along the route, metres from the start stop.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+}
+
+/// A position on a route: both the scalar arc length and the
+/// `(segment, on-segment offset)` decomposition Equation 9 needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutePosition {
+    /// Index into [`Route::edges`] of the segment containing the position.
+    pub edge_index: usize,
+    /// Identifier of that segment.
+    pub edge: EdgeId,
+    /// Offset from the segment's start, metres.
+    pub s_on_edge: f64,
+    /// Arc length from the route start, metres.
+    pub s: f64,
+    /// Planar point.
+    pub point: Point,
+}
+
+/// A bus route: a connected sequence of directed road segments with stops
+/// (Definition 4 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_road::{NetworkBuilder, Route, RouteId};
+///
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(400.0, 0.0));
+/// let n2 = b.add_node(Point::new(400.0, 300.0));
+/// let e0 = b.add_edge(n0, n1, None)?;
+/// let e1 = b.add_edge(n1, n2, None)?;
+/// let net = b.build();
+/// let mut route = Route::new(RouteId(0), "9", vec![e0, e1], &net)?;
+/// route.add_stop("start", 0.0)?;
+/// route.add_stop("corner", 400.0)?;
+/// route.add_stop("final", 700.0)?;
+/// assert_eq!(route.length(), 700.0);
+/// let pos = route.position_at(550.0);
+/// assert_eq!(pos.edge_index, 1);
+/// assert_eq!(pos.s_on_edge, 150.0);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    id: RouteId,
+    name: String,
+    edges: Vec<EdgeId>,
+    nodes: Vec<NodeId>,
+    geometry: Polyline,
+    /// `edge_offsets[i]` = arc length at the start of edge `i`;
+    /// one extra entry holding the total length.
+    edge_offsets: Vec<f64>,
+    stops: Vec<Stop>,
+}
+
+impl Route {
+    /// Builds a route over `edges` of `network`, validating that consecutive
+    /// segments are connected (`e_i.end == e_{i+1}.start`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadError::EmptyRoute`], [`RoadError::UnknownEdge`] or
+    /// [`RoadError::DisconnectedRoute`].
+    pub fn new(
+        id: RouteId,
+        name: impl Into<String>,
+        edges: Vec<EdgeId>,
+        network: &RoadNetwork,
+    ) -> Result<Self, RoadError> {
+        if edges.is_empty() {
+            return Err(RoadError::EmptyRoute);
+        }
+        let mut nodes = Vec::with_capacity(edges.len() + 1);
+        let mut offsets = Vec::with_capacity(edges.len() + 1);
+        let mut geometry: Option<Polyline> = None;
+        let mut s = 0.0;
+        for (i, &eid) in edges.iter().enumerate() {
+            let edge = network.edge(eid).ok_or(RoadError::UnknownEdge(eid))?;
+            if i == 0 {
+                nodes.push(edge.from());
+            } else if *nodes.last().unwrap() != edge.from() {
+                return Err(RoadError::DisconnectedRoute { position: i });
+            }
+            nodes.push(edge.to());
+            offsets.push(s);
+            s += edge.length();
+            geometry = Some(match geometry {
+                None => edge.shape().clone(),
+                Some(g) => g.concat(edge.shape()),
+            });
+        }
+        offsets.push(s);
+        Ok(Route {
+            id,
+            name: name.into(),
+            edges,
+            nodes,
+            geometry: geometry.expect("non-empty route"),
+            edge_offsets: offsets,
+            stops: Vec::new(),
+        })
+    }
+
+    /// Adds a stop at arc length `s`, returning its id. Stops may be added
+    /// in any order; they are kept sorted by `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadError::StopOffRoute`] when `s` is outside
+    /// `[0, length]`.
+    pub fn add_stop(&mut self, name: impl Into<String>, s: f64) -> Result<StopId, RoadError> {
+        if !(0.0..=self.length() + 1e-9).contains(&s) {
+            return Err(RoadError::StopOffRoute {
+                s,
+                length: self.length(),
+            });
+        }
+        let id = StopId(self.stops.len() as u32);
+        self.stops.push(Stop {
+            id,
+            name: name.into(),
+            s: s.min(self.length()),
+        });
+        self.stops
+            .sort_by(|a, b| a.s.partial_cmp(&b.s).expect("finite"));
+        Ok(id)
+    }
+
+    /// Adds `n` stops evenly spaced over the route (including both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn add_stops_evenly(&mut self, n: usize) {
+        assert!(n >= 2, "need at least start and final stops");
+        let len = self.length();
+        for i in 0..n {
+            let s = len * i as f64 / (n - 1) as f64;
+            self.add_stop(format!("{}-stop{}", self.name, i), s)
+                .expect("evenly spaced stops are on the route");
+        }
+    }
+
+    /// The route's identifier.
+    pub fn id(&self) -> RouteId {
+        self.id
+    }
+
+    /// The route's public name (e.g. "9", "14", "Rapid Line").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered segment ids.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// The ordered vertex ids (length = edges + 1).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Stops, ordered by arc length.
+    pub fn stops(&self) -> &[Stop] {
+        &self.stops
+    }
+
+    /// Stop lookup by id.
+    pub fn stop(&self, id: StopId) -> Option<&Stop> {
+        self.stops.iter().find(|s| s.id == id)
+    }
+
+    /// Total route length, metres.
+    pub fn length(&self) -> f64 {
+        *self.edge_offsets.last().unwrap()
+    }
+
+    /// The full route geometry as one polyline.
+    pub fn geometry(&self) -> &Polyline {
+        &self.geometry
+    }
+
+    /// Arc length at which edge `edge_index` starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_index >= self.edges().len()`.
+    pub fn edge_start_s(&self, edge_index: usize) -> f64 {
+        assert!(edge_index < self.edges.len(), "edge index out of range");
+        self.edge_offsets[edge_index]
+    }
+
+    /// Arc length at which edge `edge_index` ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_index >= self.edges().len()`.
+    pub fn edge_end_s(&self, edge_index: usize) -> f64 {
+        assert!(edge_index < self.edges.len(), "edge index out of range");
+        self.edge_offsets[edge_index + 1]
+    }
+
+    /// Length of edge `edge_index` within this route, metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_index >= self.edges().len()`.
+    pub fn edge_length(&self, edge_index: usize) -> f64 {
+        self.edge_end_s(edge_index) - self.edge_start_s(edge_index)
+    }
+
+    /// First position (index in [`Route::edges`]) of segment `edge` on this
+    /// route, if traversed.
+    pub fn edge_index_of(&self, edge: EdgeId) -> Option<usize> {
+        self.edges.iter().position(|&e| e == edge)
+    }
+
+    /// Decomposes arc length `s` (clamped to `[0, length]`) into a
+    /// [`RoutePosition`].
+    pub fn position_at(&self, s: f64) -> RoutePosition {
+        let s = s.clamp(0.0, self.length());
+        // Find the edge whose [start, end) contains s; the final point
+        // belongs to the last edge.
+        let idx = match self
+            .edge_offsets
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i.min(self.edges.len() - 1),
+            Err(i) => i - 1,
+        };
+        RoutePosition {
+            edge_index: idx,
+            edge: self.edges[idx],
+            s_on_edge: s - self.edge_offsets[idx],
+            s,
+            point: self.geometry.point_at(s),
+        }
+    }
+
+    /// Planar point at arc length `s`.
+    pub fn point_at(&self, s: f64) -> Point {
+        self.geometry.point_at(s)
+    }
+
+    /// Projects an arbitrary planar point onto the route — the mobility
+    /// constraint: a bus reported at `p` must actually be at the nearest
+    /// on-route position.
+    pub fn project(&self, p: Point) -> RoutePosition {
+        let pr = self.geometry.project(p);
+        self.position_at(pr.s)
+    }
+
+    /// The next stop strictly after arc length `s`, if any.
+    pub fn next_stop_after(&self, s: f64) -> Option<&Stop> {
+        self.stops.iter().find(|st| st.s > s + 1e-9)
+    }
+
+    /// All stops strictly after arc length `s`.
+    pub fn stops_after(&self, s: f64) -> impl Iterator<Item = &Stop> {
+        self.stops.iter().filter(move |st| st.s > s + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    fn l_network() -> (RoadNetwork, Vec<EdgeId>) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(400.0, 0.0));
+        let n2 = b.add_node(Point::new(400.0, 300.0));
+        let n3 = b.add_node(Point::new(700.0, 300.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let e2 = b.add_edge(n2, n3, None).unwrap();
+        (b.build(), vec![e0, e1, e2])
+    }
+
+    fn route() -> Route {
+        let (net, edges) = l_network();
+        Route::new(RouteId(1), "9", edges, &net).unwrap()
+    }
+
+    #[test]
+    fn length_is_sum_of_edges() {
+        assert_eq!(route().length(), 1000.0);
+    }
+
+    #[test]
+    fn empty_route_rejected() {
+        let (net, _) = l_network();
+        assert_eq!(
+            Route::new(RouteId(0), "x", vec![], &net).unwrap_err(),
+            RoadError::EmptyRoute
+        );
+    }
+
+    #[test]
+    fn disconnected_route_rejected() {
+        let (net, edges) = l_network();
+        assert_eq!(
+            Route::new(RouteId(0), "x", vec![edges[0], edges[2]], &net).unwrap_err(),
+            RoadError::DisconnectedRoute { position: 1 }
+        );
+    }
+
+    #[test]
+    fn unknown_edge_rejected() {
+        let (net, _) = l_network();
+        assert_eq!(
+            Route::new(RouteId(0), "x", vec![EdgeId(42)], &net).unwrap_err(),
+            RoadError::UnknownEdge(EdgeId(42))
+        );
+    }
+
+    #[test]
+    fn position_decomposition() {
+        let r = route();
+        let p = r.position_at(450.0);
+        assert_eq!(p.edge_index, 1);
+        assert_eq!(p.s_on_edge, 50.0);
+        assert_eq!(p.point, Point::new(400.0, 50.0));
+        // Exactly at an intersection: belongs to the edge that starts there.
+        let q = r.position_at(400.0);
+        assert_eq!(q.edge_index, 1);
+        assert_eq!(q.s_on_edge, 0.0);
+        // End of the route belongs to the last edge.
+        let e = r.position_at(1000.0);
+        assert_eq!(e.edge_index, 2);
+        assert_eq!(e.s_on_edge, 300.0);
+    }
+
+    #[test]
+    fn edge_spans() {
+        let r = route();
+        assert_eq!(r.edge_start_s(0), 0.0);
+        assert_eq!(r.edge_end_s(0), 400.0);
+        assert_eq!(r.edge_start_s(2), 700.0);
+        assert_eq!(r.edge_length(1), 300.0);
+    }
+
+    #[test]
+    fn nodes_sequence() {
+        let r = route();
+        assert_eq!(r.nodes().len(), 4);
+    }
+
+    #[test]
+    fn project_off_road_point() {
+        let r = route();
+        let pos = r.project(Point::new(200.0, 35.0));
+        assert_eq!(pos.point, Point::new(200.0, 0.0));
+        assert_eq!(pos.s, 200.0);
+        assert_eq!(pos.edge_index, 0);
+    }
+
+    #[test]
+    fn stops_sorted_and_queryable() {
+        let mut r = route();
+        r.add_stop("b", 600.0).unwrap();
+        r.add_stop("a", 100.0).unwrap();
+        r.add_stop("c", 1000.0).unwrap();
+        let ss: Vec<f64> = r.stops().iter().map(|s| s.s()).collect();
+        assert_eq!(ss, vec![100.0, 600.0, 1000.0]);
+        assert_eq!(r.next_stop_after(100.0).unwrap().s(), 600.0);
+        assert_eq!(r.next_stop_after(999.9).unwrap().s(), 1000.0);
+        assert!(r.next_stop_after(1000.0).is_none());
+        assert_eq!(r.stops_after(50.0).count(), 3);
+    }
+
+    #[test]
+    fn stop_off_route_rejected() {
+        let mut r = route();
+        assert!(matches!(
+            r.add_stop("bad", 2000.0),
+            Err(RoadError::StopOffRoute { .. })
+        ));
+        assert!(matches!(
+            r.add_stop("bad", -1.0),
+            Err(RoadError::StopOffRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn evenly_spaced_stops() {
+        let mut r = route();
+        r.add_stops_evenly(5);
+        assert_eq!(r.stops().len(), 5);
+        assert_eq!(r.stops()[0].s(), 0.0);
+        assert_eq!(r.stops()[4].s(), 1000.0);
+        assert_eq!(r.stops()[2].s(), 500.0);
+    }
+
+    #[test]
+    fn stop_lookup_by_id() {
+        let mut r = route();
+        let id = r.add_stop("a", 100.0).unwrap();
+        assert_eq!(r.stop(id).unwrap().name(), "a");
+        assert!(r.stop(StopId(99)).is_none());
+    }
+
+    #[test]
+    fn edge_index_of_finds_position() {
+        let r = route();
+        let edges = r.edges().to_vec();
+        assert_eq!(r.edge_index_of(edges[1]), Some(1));
+        assert_eq!(r.edge_index_of(EdgeId(77)), None);
+    }
+}

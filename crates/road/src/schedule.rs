@@ -1,0 +1,129 @@
+//! A minimal (GTFS-like) bus schedule: planned trips per route.
+//!
+//! The simulator uses the schedule to dispatch buses; the "Transit Agency"
+//! baseline predictor uses it as the static timetable that real agencies
+//! publish (the comparison curve in Fig. 8b).
+
+use crate::ids::RouteId;
+
+/// One planned departure of a bus on a route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trip {
+    /// The route served.
+    pub route: RouteId,
+    /// Departure time from the start stop, seconds since service start
+    /// (simulation midnight).
+    pub departure_s: f64,
+}
+
+/// A day's planned trips, ordered by departure time.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_road::{RouteId, Schedule};
+/// let mut sched = Schedule::new();
+/// // Route 0 every 10 minutes from 06:00 to 09:00.
+/// sched.add_headway_service(RouteId(0), 6.0 * 3600.0, 9.0 * 3600.0, 600.0);
+/// assert_eq!(sched.trips_for(RouteId(0)).count(), 19);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    trips: Vec<Trip>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Adds a single trip.
+    pub fn add_trip(&mut self, route: RouteId, departure_s: f64) {
+        self.trips.push(Trip { route, departure_s });
+        self.trips
+            .sort_by(|a, b| a.departure_s.partial_cmp(&b.departure_s).expect("finite"));
+    }
+
+    /// Adds departures every `headway_s` seconds from `start_s` to `end_s`
+    /// inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headway_s` is not strictly positive.
+    pub fn add_headway_service(
+        &mut self,
+        route: RouteId,
+        start_s: f64,
+        end_s: f64,
+        headway_s: f64,
+    ) {
+        assert!(headway_s > 0.0, "headway must be positive");
+        let mut t = start_s;
+        while t <= end_s + 1e-9 {
+            self.trips.push(Trip {
+                route,
+                departure_s: t,
+            });
+            t += headway_s;
+        }
+        self.trips
+            .sort_by(|a, b| a.departure_s.partial_cmp(&b.departure_s).expect("finite"));
+    }
+
+    /// All trips, ordered by departure time.
+    pub fn trips(&self) -> &[Trip] {
+        &self.trips
+    }
+
+    /// Trips of one route, ordered by departure time.
+    pub fn trips_for(&self, route: RouteId) -> impl Iterator<Item = &Trip> {
+        self.trips.iter().filter(move |t| t.route == route)
+    }
+
+    /// The next departure of `route` at or after `time_s`.
+    pub fn next_departure(&self, route: RouteId, time_s: f64) -> Option<Trip> {
+        self.trips_for(route)
+            .find(|t| t.departure_s >= time_s)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headway_service_counts() {
+        let mut s = Schedule::new();
+        s.add_headway_service(RouteId(1), 0.0, 3600.0, 600.0);
+        assert_eq!(s.trips_for(RouteId(1)).count(), 7);
+    }
+
+    #[test]
+    fn trips_sorted_across_routes() {
+        let mut s = Schedule::new();
+        s.add_trip(RouteId(1), 100.0);
+        s.add_trip(RouteId(0), 50.0);
+        s.add_trip(RouteId(2), 75.0);
+        let times: Vec<f64> = s.trips().iter().map(|t| t.departure_s).collect();
+        assert_eq!(times, vec![50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn next_departure_lookup() {
+        let mut s = Schedule::new();
+        s.add_headway_service(RouteId(0), 0.0, 1000.0, 500.0);
+        assert_eq!(s.next_departure(RouteId(0), 400.0).unwrap().departure_s, 500.0);
+        assert_eq!(s.next_departure(RouteId(0), 500.0).unwrap().departure_s, 500.0);
+        assert!(s.next_departure(RouteId(0), 1001.0).is_none());
+        assert!(s.next_departure(RouteId(9), 0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_headway_rejected() {
+        let mut s = Schedule::new();
+        s.add_headway_service(RouteId(0), 0.0, 100.0, 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the road-network substrate.
+
+use proptest::prelude::*;
+use wilocator_geo::Point;
+use wilocator_road::{overlap, NetworkBuilder, Route, RouteId, Schedule};
+
+/// Builds a connected chain network from segment lengths; returns the
+/// route over it.
+fn chain_route(lengths: &[f64]) -> Route {
+    let mut b = NetworkBuilder::new();
+    let mut x = 0.0;
+    let mut prev = b.add_node(Point::new(0.0, 0.0));
+    let mut edges = Vec::new();
+    for &len in lengths {
+        x += len;
+        let node = b.add_node(Point::new(x, 0.0));
+        edges.push(b.add_edge(prev, node, None).unwrap());
+        prev = node;
+    }
+    Route::new(RouteId(0), "p", edges, &b.build()).unwrap()
+}
+
+fn lengths() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(10.0..500.0f64, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn route_length_is_sum_of_edges(lens in lengths()) {
+        let route = chain_route(&lens);
+        let total: f64 = lens.iter().sum();
+        prop_assert!((route.length() - total).abs() < 1e-6);
+        // Edge spans partition [0, length].
+        let mut s = 0.0;
+        for i in 0..route.edges().len() {
+            prop_assert!((route.edge_start_s(i) - s).abs() < 1e-6);
+            s += route.edge_length(i);
+        }
+        prop_assert!((s - route.length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn position_at_roundtrips_with_point_at(lens in lengths(), t in 0.0..1.0f64) {
+        let route = chain_route(&lens);
+        let s = t * route.length();
+        let pos = route.position_at(s);
+        prop_assert!((pos.s - s).abs() < 1e-9);
+        prop_assert!(pos.point.distance(route.point_at(s)) < 1e-9);
+        // Decomposition is consistent.
+        prop_assert!(
+            (route.edge_start_s(pos.edge_index) + pos.s_on_edge - s).abs() < 1e-9
+        );
+        prop_assert!(pos.s_on_edge <= route.edge_length(pos.edge_index) + 1e-9);
+    }
+
+    #[test]
+    fn projection_of_on_route_points_is_identity(lens in lengths(), t in 0.0..1.0f64) {
+        let route = chain_route(&lens);
+        let s = t * route.length();
+        let p = route.point_at(s);
+        let pos = route.project(p);
+        prop_assert!((pos.s - s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stops_stay_sorted_under_arbitrary_insertion(
+        lens in lengths(),
+        fracs in proptest::collection::vec(0.0..1.0f64, 0..10),
+    ) {
+        let mut route = chain_route(&lens);
+        for (i, f) in fracs.iter().enumerate() {
+            route.add_stop(format!("s{i}"), f * route.length()).unwrap();
+        }
+        for w in route.stops().windows(2) {
+            prop_assert!(w[0].s() <= w[1].s());
+        }
+        // next_stop_after is consistent with the ordering.
+        if let Some(first) = route.stops().first() {
+            if first.s() > 1e-9 {
+                let next = route.next_stop_after(0.0).unwrap();
+                prop_assert!((next.s() - first.s()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_for_two_identical_routes(lens in lengths()) {
+        // Two routes over the same edges overlap fully.
+        let mut b = NetworkBuilder::new();
+        let mut x = 0.0;
+        let mut prev = b.add_node(Point::new(0.0, 0.0));
+        let mut edges = Vec::new();
+        for &len in &lens {
+            x += len;
+            let node = b.add_node(Point::new(x, 0.0));
+            edges.push(b.add_edge(prev, node, None).unwrap());
+            prev = node;
+        }
+        let net = b.build();
+        let r0 = Route::new(RouteId(0), "a", edges.clone(), &net).unwrap();
+        let r1 = Route::new(RouteId(1), "b", edges, &net).unwrap();
+        let routes = vec![r0, r1];
+        let ov0 = overlap::overlap_length_m(&routes[0], &routes, &net);
+        let ov1 = overlap::overlap_length_m(&routes[1], &routes, &net);
+        prop_assert!((ov0 - ov1).abs() < 1e-9);
+        prop_assert!((ov0 - routes[0].length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn headway_service_is_evenly_spaced(
+        start in 0.0..40_000.0f64,
+        headway in 60.0..3_600.0f64,
+        n in 1usize..40,
+    ) {
+        let end = start + headway * n as f64;
+        let mut sched = Schedule::new();
+        sched.add_headway_service(RouteId(0), start, end, headway);
+        let trips: Vec<f64> = sched.trips_for(RouteId(0)).map(|t| t.departure_s).collect();
+        prop_assert_eq!(trips.len(), n + 1);
+        for w in trips.windows(2) {
+            prop_assert!((w[1] - w[0] - headway).abs() < 1e-6);
+        }
+        // next_departure finds each trip.
+        for &t in &trips {
+            let next = sched.next_departure(RouteId(0), t).unwrap();
+            prop_assert!((next.departure_s - t).abs() < 1e-9);
+        }
+    }
+}

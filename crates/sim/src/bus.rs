@@ -1,0 +1,267 @@
+//! Kinematic simulation of a single bus trip.
+//!
+//! A trip follows its route edge by edge at the traffic model's speed,
+//! dwelling at stops (longer in rush hours, when more passengers board) and
+//! randomly waiting at intersection traffic lights — the two "false
+//! anomaly" causes the paper's anomaly detector must filter out (§V-A.4).
+//! Speed is re-evaluated every `chunk_m` metres so the environment residual
+//! and incidents shape the trajectory within an edge.
+
+use rand::Rng;
+use wilocator_road::Route;
+
+use crate::traffic::TrafficModel;
+use crate::trajectory::Trajectory;
+
+/// Configuration of the bus kinematics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusConfig {
+    /// Mean dwell at a stop, seconds.
+    pub dwell_mean_s: f64,
+    /// Uniform jitter around the mean dwell, seconds.
+    pub dwell_jitter_s: f64,
+    /// Extra mean dwell during rush hours (more boarding), seconds.
+    pub rush_dwell_extra_s: f64,
+    /// Probability of hitting a red light at an intersection.
+    pub light_red_probability: f64,
+    /// Uniform red-light wait range, seconds.
+    pub light_wait_s: (f64, f64),
+    /// Speed re-evaluation granularity along the route, metres.
+    pub chunk_m: f64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            dwell_mean_s: 16.0,
+            dwell_jitter_s: 8.0,
+            rush_dwell_extra_s: 10.0,
+            light_red_probability: 0.35,
+            light_wait_s: (5.0, 45.0),
+            chunk_m: 50.0,
+        }
+    }
+}
+
+/// Simulates one trip of `route` departing at `departure_s`, returning the
+/// ground-truth trajectory.
+///
+/// # Panics
+///
+/// Panics if `config.chunk_m` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wilocator_sim::{simple_street, simulate_trip, BusConfig, CityConfig, TrafficConfig, TrafficModel};
+///
+/// let city = simple_street(2_000.0, 5, 1, &CityConfig::default());
+/// let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let trip = simulate_trip(
+///     &city.routes[0], &traffic, 7.0 * 3600.0, &BusConfig::default(), &mut rng,
+/// );
+/// assert!(trip.end_time() > trip.start_time());
+/// assert_eq!(trip.end_s(), city.routes[0].length());
+/// ```
+pub fn simulate_trip<R: Rng + ?Sized>(
+    route: &Route,
+    traffic: &TrafficModel,
+    departure_s: f64,
+    config: &BusConfig,
+    rng: &mut R,
+) -> Trajectory {
+    assert!(config.chunk_m > 0.0, "chunk size must be positive");
+    let mut tr = Trajectory::new(departure_s, 0.0);
+    let mut t = departure_s;
+    let mut stop_iter = route.stops().iter().peekable();
+    // Skip the departure stop (dwell happened before departure).
+    while let Some(st) = stop_iter.peek() {
+        if st.s() <= 1e-9 {
+            stop_iter.next();
+        } else {
+            break;
+        }
+    }
+    for edge_index in 0..route.edges().len() {
+        let edge = route.edges()[edge_index];
+        let e0 = route.edge_start_s(edge_index);
+        let e1 = route.edge_end_s(edge_index);
+        let mut s = e0;
+        while s < e1 - 1e-9 {
+            // Next waypoint: chunk boundary, stop, or edge end.
+            let chunk_end = (s + config.chunk_m).min(e1);
+            let next_stop_s = stop_iter.peek().map(|st| st.s()).unwrap_or(f64::INFINITY);
+            let target = chunk_end.min(next_stop_s.max(s + 1e-9));
+            let v = traffic.speed_mps(edge, route.id(), t, s - e0);
+            t += (target - s) / v;
+            s = target;
+            tr.push(t, s);
+            // Dwell if we just reached a stop.
+            if (s - next_stop_s).abs() < 1e-9 {
+                stop_iter.next();
+                let rush = traffic.is_rush(t.rem_euclid(crate::traffic::DAY_S));
+                let extra = if rush { config.rush_dwell_extra_s } else { 0.0 };
+                let dwell = (config.dwell_mean_s + extra
+                    + rng.gen_range(-config.dwell_jitter_s..=config.dwell_jitter_s))
+                .max(2.0);
+                t += dwell;
+                tr.push(t, s);
+            }
+        }
+        // Traffic light at the intersection (not after the final edge).
+        if edge_index + 1 < route.edges().len()
+            && rng.gen::<f64>() < config.light_red_probability
+        {
+            let wait = rng.gen_range(config.light_wait_s.0..=config.light_wait_s.1);
+            t += wait;
+            tr.push(t, s);
+        }
+    }
+    tr
+}
+
+/// Ground-truth travel time of a trip over route segment `edge_index`
+/// (first-arrival at segment start to first-arrival at segment end).
+pub fn segment_travel_time(route: &Route, trajectory: &Trajectory, edge_index: usize) -> f64 {
+    let t0 = trajectory.time_at_s(route.edge_start_s(edge_index));
+    let t1 = trajectory.time_at_s(route.edge_end_s(edge_index));
+    t1 - t0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{simple_street, CityConfig};
+    use crate::traffic::{Incident, TrafficConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::city::City, TrafficModel) {
+        let city = simple_street(3_000.0, 6, 2, &CityConfig::default());
+        let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 2);
+        (city, traffic)
+    }
+
+    #[test]
+    fn trip_reaches_the_end() {
+        let (city, traffic) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tr = simulate_trip(&city.routes[0], &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        assert_eq!(tr.end_s(), city.routes[0].length());
+        // Plausible duration: 3 km at ~2–10 m/s plus dwells.
+        let dur = tr.end_time() - tr.start_time();
+        assert!(dur > 250.0 && dur < 3_000.0, "duration {dur}");
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let (city, traffic) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tr = simulate_trip(&city.routes[0], &traffic, 8.0 * 3600.0, &BusConfig::default(), &mut rng);
+        for w in tr.points().windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn rush_hour_trips_take_longer() {
+        let (city, traffic) = setup();
+        // Average a few seeds to beat stochastic dwell noise.
+        let avg = |depart: f64| -> f64 {
+            (0..8)
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(100 + i);
+                    let tr = simulate_trip(
+                        &city.routes[0],
+                        &traffic,
+                        depart,
+                        &BusConfig::default(),
+                        &mut rng,
+                    );
+                    tr.end_time() - tr.start_time()
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let off_peak = avg(13.0 * 3600.0);
+        let rush = avg(8.7 * 3600.0);
+        assert!(rush > off_peak * 1.15, "rush {rush} vs off-peak {off_peak}");
+    }
+
+    #[test]
+    fn dwells_appear_at_stops() {
+        let (city, traffic) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let route = &city.routes[0];
+        let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        // Interior stops: the trajectory must contain a flat segment at the
+        // stop's arc length.
+        for st in route.stops().iter().filter(|s| s.s() > 1.0 && s.s() < route.length() - 1.0) {
+            let flat = tr
+                .points()
+                .windows(2)
+                .any(|w| (w[0].1 - st.s()).abs() < 1e-6 && w[1].1 == w[0].1 && w[1].0 > w[0].0);
+            assert!(flat, "no dwell at stop s = {}", st.s());
+        }
+    }
+
+    #[test]
+    fn incident_inflates_segment_time() {
+        let (city, mut traffic) = setup();
+        let route = &city.routes[0];
+        let edge_index = 3;
+        let edge = route.edges()[edge_index];
+        let base = {
+            let mut rng = StdRng::seed_from_u64(7);
+            let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+            segment_travel_time(route, &tr, edge_index)
+        };
+        traffic.add_incident(Incident {
+            edge,
+            s_range: (0.0, route.edge_length(edge_index)),
+            start_s: 0.0,
+            duration_s: 1e9,
+            slowdown: 6.0,
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let slow = segment_travel_time(route, &tr, edge_index);
+        assert!(slow > base * 3.0, "incident {slow} vs base {base}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (city, traffic) = setup();
+        let a = simulate_trip(
+            &city.routes[0],
+            &traffic,
+            9.0 * 3600.0,
+            &BusConfig::default(),
+            &mut StdRng::seed_from_u64(11),
+        );
+        let b = simulate_trip(
+            &city.routes[0],
+            &traffic,
+            9.0 * 3600.0,
+            &BusConfig::default(),
+            &mut StdRng::seed_from_u64(11),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn segment_times_sum_close_to_trip_time() {
+        let (city, traffic) = setup();
+        let route = &city.routes[0];
+        let mut rng = StdRng::seed_from_u64(13);
+        let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let sum: f64 = (0..route.edges().len())
+            .map(|i| segment_travel_time(route, &tr, i))
+            .sum();
+        let total = tr.end_time() - tr.start_time();
+        assert!((sum - total).abs() < 1.0, "sum {sum} vs total {total}");
+    }
+}

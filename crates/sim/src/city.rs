@@ -1,0 +1,542 @@
+//! Synthetic city generation.
+//!
+//! The paper evaluates on four Metro-Vancouver routes (Table I) that share
+//! a main-street arterial (W Broadway, Fig. 7). [`vancouver_like`] rebuilds
+//! that topology with the paper's exact stop counts, route lengths and
+//! overlap structure; [`campus`] rebuilds the single-road-segment campus
+//! scene of Table II / Fig. 10; [`simple_street`] is a small scene for
+//! tests and examples.
+//!
+//! | Route | Stops | Length | Overlap |
+//! |-------|-------|--------|---------|
+//! | Rapid Line | 19 | 13.7 km | 13.0 km |
+//! | 9 | 65 | 16.3 km | 13.0 km |
+//! | 14 | 74 | 20.6 km | 16.2 km |
+//! | 16 | 91 | 18.3 km | 9.5 km |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wilocator_geo::{BoundingBox, GridIndex, Point};
+use wilocator_rf::SignalField;
+use wilocator_rf::{
+    AccessPoint, ApId, HomogeneousField, LogDistance, PhysicalField, ShadowingField,
+};
+use wilocator_road::{EdgeId, NetworkBuilder, NodeId, RoadNetwork, Route, RouteId};
+
+/// Access-point deployment and channel parameters for a generated city.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityConfig {
+    /// Mean AP spacing along roads, metres (the paper observes "at least
+    /// three geo-tagged APs … along each road segment of the main
+    /// streets").
+    pub ap_spacing_m: f64,
+    /// Lateral AP offset from the road centreline, metres (storefronts).
+    pub ap_lateral_m: f64,
+    /// Uniform range of true transmit powers, dBm (heterogeneity the
+    /// server's homogeneous assumption must absorb).
+    pub ap_tx_dbm: (f64, f64),
+    /// Fraction of APs without geo-tags (ignored by the server, §V-A).
+    pub untagged_fraction: f64,
+    /// Shadowing standard deviation, dB.
+    pub shadowing_sigma_db: f64,
+    /// Shadowing decorrelation distance, metres.
+    pub shadowing_correlation_m: f64,
+    /// Intersection spacing on generated streets, metres.
+    pub node_spacing_m: f64,
+    /// Cell-tower grid spacing, metres (the paper: "the coverage of a cell
+    /// tower can reach 800 m around").
+    pub tower_spacing_m: f64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            ap_spacing_m: 55.0,
+            ap_lateral_m: 18.0,
+            ap_tx_dbm: (16.0, 22.0),
+            untagged_fraction: 0.08,
+            shadowing_sigma_db: 5.0,
+            shadowing_correlation_m: 60.0,
+            node_spacing_m: 250.0,
+            tower_spacing_m: 800.0,
+        }
+    }
+}
+
+/// A generated urban scene: roads, routes, radio environment.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// The road network.
+    pub network: RoadNetwork,
+    /// Bus routes with stops.
+    pub routes: Vec<Route>,
+    /// Ground-truth signal field (heterogeneous TX + shadowing).
+    pub field: PhysicalField,
+    /// The server's assumed field (geo-tags + homogeneous propagation).
+    pub server_field: HomogeneousField,
+    /// Cell-tower positions (for the Cell-ID baseline).
+    pub towers: Vec<Point>,
+    /// Scene extent.
+    pub bbox: BoundingBox,
+}
+
+impl City {
+    /// Route lookup by public name.
+    pub fn route_by_name(&self, name: &str) -> Option<&Route> {
+        self.routes.iter().find(|r| r.name() == name)
+    }
+
+    /// Route lookup by id.
+    pub fn route(&self, id: RouteId) -> Option<&Route> {
+        self.routes.iter().find(|r| r.id() == id)
+    }
+
+    /// A bucket index over the ground-truth APs for fast scan candidate
+    /// queries.
+    pub fn ap_index(&self) -> GridIndex<ApId> {
+        wilocator_rf::field::ap_index(self.field.aps(), 300.0)
+    }
+}
+
+/// Adds a straight chain of segments from `from` towards `to`, creating
+/// intermediate nodes every ~`spacing` metres. Returns the edge ids and the
+/// final node.
+fn chain(
+    b: &mut NetworkBuilder,
+    from: NodeId,
+    from_pos: Point,
+    to: Point,
+    spacing: f64,
+) -> (Vec<EdgeId>, NodeId) {
+    let total = from_pos.distance(to);
+    let n = (total / spacing).round().max(1.0) as usize;
+    let mut edges = Vec::with_capacity(n);
+    let mut prev = from;
+    let mut prev_pos = from_pos;
+    for i in 1..=n {
+        let p = from_pos.lerp(to, i as f64 / n as f64);
+        let node = b.add_node(p);
+        let e = b
+            .add_edge(prev, node, None)
+            .expect("chain nodes are distinct");
+        edges.push(e);
+        prev = node;
+        prev_pos = p;
+    }
+    debug_assert!(prev_pos.distance(to) < 1e-6);
+    (edges, prev)
+}
+
+/// Deploys APs along every edge of the network.
+fn deploy_aps(network: &RoadNetwork, config: &CityConfig, rng: &mut StdRng) -> Vec<AccessPoint> {
+    let mut aps = Vec::new();
+    for edge in network.edges() {
+        let shape = edge.shape();
+        let mut s = rng.gen_range(0.0..config.ap_spacing_m);
+        let mut side = rng.gen_bool(0.5);
+        while s < shape.length() {
+            let on_road = shape.point_at(s);
+            // Perpendicular offset: estimate the local tangent.
+            let ahead = shape.point_at((s + 1.0).min(shape.length()));
+            let (dx, dy) = (ahead.x - on_road.x, ahead.y - on_road.y);
+            let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let lateral = config.ap_lateral_m * (0.6 + 0.8 * rng.gen::<f64>());
+            let sign = if side { 1.0 } else { -1.0 };
+            let pos = Point::new(
+                on_road.x - dy / norm * lateral * sign,
+                on_road.y + dx / norm * lateral * sign,
+            );
+            let id = ApId(aps.len() as u32);
+            let mut ap = AccessPoint::new(id, pos)
+                .with_tx_power_dbm(rng.gen_range(config.ap_tx_dbm.0..config.ap_tx_dbm.1));
+            if rng.gen::<f64>() < config.untagged_fraction {
+                ap = ap.without_geo_tag();
+            }
+            aps.push(ap);
+            side = !side;
+            s += config.ap_spacing_m * rng.gen_range(0.7..1.3);
+        }
+    }
+    aps
+}
+
+/// Lays a grid of cell towers over the bounding box.
+fn deploy_towers(bbox: BoundingBox, spacing: f64, rng: &mut StdRng) -> Vec<Point> {
+    let mut towers = Vec::new();
+    let mut y = bbox.min.y + spacing / 2.0;
+    while y < bbox.max.y {
+        let mut x = bbox.min.x + spacing / 2.0;
+        while x < bbox.max.x {
+            towers.push(Point::new(
+                x + rng.gen_range(-0.2..0.2) * spacing,
+                y + rng.gen_range(-0.2..0.2) * spacing,
+            ));
+            x += spacing;
+        }
+        y += spacing;
+    }
+    towers
+}
+
+fn finish_city(
+    network: RoadNetwork,
+    routes: Vec<Route>,
+    config: &CityConfig,
+    seed: u64,
+) -> City {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC17);
+    let aps = deploy_aps(&network, config, &mut rng);
+    let bbox = BoundingBox::from_points(network.nodes().iter().map(|n| n.position()))
+        .expect("non-empty network")
+        .inflated(400.0);
+    let towers = deploy_towers(bbox, config.tower_spacing_m, &mut rng);
+    let shadowing = ShadowingField::new(
+        config.shadowing_sigma_db,
+        config.shadowing_correlation_m,
+        seed ^ 0x5AAD,
+    );
+    let field = PhysicalField::new(aps.clone(), LogDistance::urban(), shadowing);
+    let server_field = HomogeneousField::new(aps);
+    City {
+        network,
+        routes,
+        field,
+        server_field,
+        towers,
+        bbox,
+    }
+}
+
+/// The Table-I city: a 13 km shared arterial plus branches, with the
+/// paper's four routes (Rapid Line, 9, 14, 16), exact stop counts, lengths
+/// and overlap lengths.
+///
+/// # Examples
+///
+/// ```no_run
+/// use wilocator_sim::{vancouver_like, CityConfig};
+/// let city = vancouver_like(7, &CityConfig::default());
+/// assert_eq!(city.routes.len(), 4);
+/// let rapid = city.route_by_name("Rapid Line").unwrap();
+/// assert_eq!(rapid.stops().len(), 19);
+/// assert!((rapid.length() - 13_700.0).abs() < 1.0);
+/// ```
+pub fn vancouver_like(seed: u64, config: &CityConfig) -> City {
+    let sp = config.node_spacing_m;
+    let mut b = NetworkBuilder::new();
+
+    // The arterial ("W Broadway"): x = 0 … 13 000, y = 0.
+    let j_west = b.add_node(Point::new(0.0, 0.0));
+    let (arterial_edges, j_east) = chain(
+        &mut b,
+        j_west,
+        Point::new(0.0, 0.0),
+        Point::new(13_000.0, 0.0),
+        sp,
+    );
+    // Index of the first arterial edge at/after x = 6700 (route 16 joins
+    // the arterial there).
+    let edges_per_m = arterial_edges.len() as f64 / 13_000.0;
+    let join_edge_idx = (6_700.0 * edges_per_m).round() as usize;
+
+    // Rapid tail: (-700, 0) → j_west. The chain stops one hop short of the
+    // arterial start and an explicit connector edge enters the existing
+    // junction node.
+    let rapid_tail_start = b.add_node(Point::new(-700.0, 0.0));
+    let (mut rapid_tail, rapid_tail_end) = chain(
+        &mut b,
+        rapid_tail_start,
+        Point::new(-700.0, 0.0),
+        Point::new(-sp.min(700.0), 0.0),
+        sp,
+    );
+    rapid_tail.push(
+        b.add_edge(rapid_tail_end, j_west, None)
+            .expect("tail connects to arterial"),
+    );
+
+    // Route 9 east extension: j_east → (16 300, 0).
+    let (r9_ext, _) = chain(
+        &mut b,
+        j_east,
+        Point::new(13_000.0, 0.0),
+        Point::new(16_300.0, 0.0),
+        sp,
+    );
+
+    // Route 14 south approach: (0, −4 400) → j_west.
+    let r14_start = b.add_node(Point::new(0.0, -4_400.0));
+    let (mut r14_approach, r14_app_end) = chain(
+        &mut b,
+        r14_start,
+        Point::new(0.0, -4_400.0),
+        Point::new(0.0, -sp.min(4_400.0)),
+        sp,
+    );
+    r14_approach.push(
+        b.add_edge(r14_app_end, j_west, None)
+            .expect("approach connects to arterial"),
+    );
+
+    // Branch B (shared by 14 and 16): j_east → (13 000, 3 200).
+    let (branch_b, branch_b_end) = chain(
+        &mut b,
+        j_east,
+        Point::new(13_000.0, 0.0),
+        Point::new(13_000.0, 3_200.0),
+        sp,
+    );
+
+    // Route 16 own part: 2.8 km further north, then east. The eastern leg
+    // absorbs the arterial join-node quantisation so the route totals the
+    // paper's 18.3 km exactly.
+    let arterial_part_m: f64 = arterial_edges[join_edge_idx..]
+        .len() as f64
+        * (13_000.0 / arterial_edges.len() as f64);
+    let own_b_len = 18_300.0 - arterial_part_m - 3_200.0 - 2_800.0;
+    let (r16_own_a, r16_corner) = chain(
+        &mut b,
+        branch_b_end,
+        Point::new(13_000.0, 3_200.0),
+        Point::new(13_000.0, 6_000.0),
+        sp,
+    );
+    let (r16_own_b, _) = chain(
+        &mut b,
+        r16_corner,
+        Point::new(13_000.0, 6_000.0),
+        Point::new(13_000.0 + own_b_len, 6_000.0),
+        sp,
+    );
+
+    let network = b.build();
+
+    // Assemble routes.
+    let mut rapid_edges = rapid_tail;
+    rapid_edges.extend_from_slice(&arterial_edges);
+    let mut rapid = Route::new(RouteId(0), "Rapid Line", rapid_edges, &network)
+        .expect("rapid line is connected");
+    rapid.add_stops_evenly(19);
+
+    let mut r9_edges = arterial_edges.clone();
+    r9_edges.extend_from_slice(&r9_ext);
+    let mut r9 = Route::new(RouteId(1), "9", r9_edges, &network).expect("route 9 connected");
+    r9.add_stops_evenly(65);
+
+    let mut r14_edges = r14_approach;
+    r14_edges.extend_from_slice(&arterial_edges);
+    r14_edges.extend_from_slice(&branch_b);
+    let mut r14 = Route::new(RouteId(2), "14", r14_edges, &network).expect("route 14 connected");
+    r14.add_stops_evenly(74);
+
+    let mut r16_edges: Vec<EdgeId> = arterial_edges[join_edge_idx..].to_vec();
+    r16_edges.extend_from_slice(&branch_b);
+    r16_edges.extend_from_slice(&r16_own_a);
+    r16_edges.extend_from_slice(&r16_own_b);
+    let mut r16 = Route::new(RouteId(3), "16", r16_edges, &network).expect("route 16 connected");
+    r16.add_stops_evenly(91);
+
+    finish_city(network, vec![rapid, r9, r14, r16], config, seed)
+}
+
+/// The campus scene of Table II / Fig. 10: a single one-way road segment
+/// with eleven numbered APs and three probe locations A, B, C.
+#[derive(Debug, Clone)]
+pub struct CampusScene {
+    /// The scene (one route named "campus").
+    pub city: City,
+    /// Probe locations `(name, arc length)` on the route: A, B, C.
+    pub probes: Vec<(&'static str, f64)>,
+}
+
+/// Builds the campus scene. APs are numbered AP1…AP11 (ids 0…10) and
+/// deployed "almost as dense as in urban environments" along a 300 m
+/// one-way segment.
+pub fn campus(seed: u64) -> CampusScene {
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let n1 = b.add_node(Point::new(300.0, 0.0));
+    let e = b.add_edge(n0, n1, None).expect("distinct nodes");
+    let network = b.build();
+    let mut route =
+        Route::new(RouteId(0), "campus", vec![e], &network).expect("single-edge route");
+    route.add_stops_evenly(2);
+
+    // Hand-placed APs mirroring Fig. 10: clusters near both ends and the
+    // middle, on both sides of the road.
+    let placements: [(f64, f64); 11] = [
+        (250.0, 18.0),  // AP1
+        (262.0, -15.0), // AP2
+        (282.0, 20.0),  // AP3
+        (225.0, -20.0), // AP4
+        (205.0, 16.0),  // AP5
+        (30.0, -18.0),  // AP6
+        (12.0, 15.0),   // AP7
+        (55.0, 22.0),   // AP8
+        (135.0, -16.0), // AP9
+        (110.0, 18.0),  // AP10
+        (85.0, -22.0),  // AP11
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let aps: Vec<AccessPoint> = placements
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            AccessPoint::new(ApId(i as u32), Point::new(x, y))
+                .with_ssid(format!("campus-AP{}", i + 1))
+                .with_tx_power_dbm(rng.gen_range(18.0..21.0))
+        })
+        .collect();
+
+    let bbox = BoundingBox::new(Point::new(-60.0, -120.0), Point::new(360.0, 120.0));
+    let shadowing = ShadowingField::new(4.0, 50.0, seed ^ 0x5AAD);
+    let field = PhysicalField::new(aps.clone(), LogDistance::urban(), shadowing);
+    let server_field = HomogeneousField::new(aps);
+    let city = City {
+        network,
+        routes: vec![route],
+        field,
+        server_field,
+        towers: vec![Point::new(150.0, 400.0)],
+        bbox,
+    };
+    CampusScene {
+        city,
+        // A near the AP9/AP10 cluster, B mid-block, C near the AP4/AP5 end
+        // (mirroring Table II's dominant APs).
+        probes: vec![("A", 115.0), ("B", 165.0), ("C", 228.0)],
+    }
+}
+
+/// A minimal scene for tests and examples: one straight street of `len_m`
+/// metres with one route ("demo") carrying `stops` stops.
+pub fn simple_street(len_m: f64, stops: usize, seed: u64, config: &CityConfig) -> City {
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let (edges, _) = chain(
+        &mut b,
+        n0,
+        Point::new(0.0, 0.0),
+        Point::new(len_m, 0.0),
+        config.node_spacing_m,
+    );
+    let network = b.build();
+    let mut route = Route::new(RouteId(0), "demo", edges, &network).expect("connected chain");
+    route.add_stops_evenly(stops.max(2));
+    finish_city(network, vec![route], config, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_road::overlap;
+
+    fn small_config() -> CityConfig {
+        CityConfig::default()
+    }
+
+    #[test]
+    fn simple_street_has_aps_and_route() {
+        let city = simple_street(1_000.0, 5, 3, &small_config());
+        assert_eq!(city.routes.len(), 1);
+        assert_eq!(city.routes[0].stops().len(), 5);
+        assert!((city.routes[0].length() - 1_000.0).abs() < 1.0);
+        // ~1000 / 55 ≈ 18 APs.
+        assert!(city.field.aps().len() >= 10, "{}", city.field.aps().len());
+        assert!(!city.towers.is_empty());
+    }
+
+    #[test]
+    fn vancouver_route_lengths_match_table1() {
+        let city = vancouver_like(11, &small_config());
+        let expect = [
+            ("Rapid Line", 13_700.0, 19),
+            ("9", 16_300.0, 65),
+            ("14", 20_600.0, 74),
+            ("16", 18_300.0, 91),
+        ];
+        for (name, len, stops) in expect {
+            let r = city.route_by_name(name).unwrap_or_else(|| panic!("{name}"));
+            assert!(
+                (r.length() - len).abs() < 20.0,
+                "{name}: {} vs {len}",
+                r.length()
+            );
+            assert_eq!(r.stops().len(), stops, "{name} stops");
+        }
+    }
+
+    #[test]
+    fn vancouver_overlaps_match_table1() {
+        let city = vancouver_like(11, &small_config());
+        let expect = [
+            ("Rapid Line", 13_000.0),
+            ("9", 13_000.0),
+            ("14", 16_200.0),
+            ("16", 9_500.0),
+        ];
+        for (name, ov) in expect {
+            let r = city.route_by_name(name).unwrap();
+            let got = overlap::overlap_length_m(r, &city.routes, &city.network);
+            assert!(
+                (got - ov).abs() < 60.0,
+                "{name}: overlap {got} vs expected {ov}"
+            );
+        }
+    }
+
+    #[test]
+    fn vancouver_deterministic_given_seed() {
+        let a = vancouver_like(5, &small_config());
+        let b = vancouver_like(5, &small_config());
+        assert_eq!(a.field.aps().len(), b.field.aps().len());
+        assert_eq!(
+            a.field.aps()[0].position(),
+            b.field.aps()[0].position()
+        );
+    }
+
+    #[test]
+    fn ap_density_meets_paper_observation() {
+        // "at least three geo-tagged APs distributed along each road
+        // segment of the main streets".
+        let city = vancouver_like(11, &small_config());
+        let arterial = city.route_by_name("Rapid Line").unwrap();
+        let idx = city.ap_index();
+        // Sample a few arterial positions; each should hear ≥ 3 geo-tagged
+        // APs within 150 m.
+        for s in [1_000.0, 5_000.0, 9_000.0, 12_500.0] {
+            let p = arterial.point_at(700.0 + s);
+            let tagged = idx
+                .within(p, 150.0)
+                .filter(|(_, _, &id)| city.field.aps()[id.0 as usize].is_geo_tagged())
+                .count();
+            assert!(tagged >= 3, "only {tagged} geo-tagged APs near s = {s}");
+        }
+    }
+
+    #[test]
+    fn campus_scene_matches_table2_shape() {
+        let scene = campus(1);
+        assert_eq!(scene.city.field.aps().len(), 11);
+        assert_eq!(scene.probes.len(), 3);
+        let route = &scene.city.routes[0];
+        assert!((route.length() - 300.0).abs() < 1e-9);
+        for &(_, s) in &scene.probes {
+            assert!(s >= 0.0 && s <= route.length());
+        }
+    }
+
+    #[test]
+    fn untagged_fraction_respected() {
+        let city = simple_street(5_000.0, 5, 9, &small_config());
+        let untagged = city
+            .field
+            .aps()
+            .iter()
+            .filter(|ap| !ap.is_geo_tagged())
+            .count();
+        let frac = untagged as f64 / city.field.aps().len() as f64;
+        assert!(frac > 0.0 && frac < 0.25, "untagged fraction {frac}");
+    }
+}

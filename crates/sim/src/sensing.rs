@@ -1,0 +1,272 @@
+//! Crowd sensing: rider WiFi scans, GPS fixes and Cell-ID observations.
+//!
+//! WiLocator's input is what riders' phones hear ("the smartphone
+//! periodically scans the surrounding WiFi information, and reports it to
+//! the server", scan period 10 s in the prototype). The GPS and Cell-ID
+//! observations generated here feed the baselines the paper argues
+//! against: GPS with urban-canyon error spikes, and sparse cell towers
+//! whose ~800 m cells make Cell-ID sequences slow to disambiguate.
+
+use rand::Rng;
+use wilocator_geo::{GridIndex, Point};
+use wilocator_rf::{ApId, Scan, Scanner, ScannerConfig, SignalField};
+use wilocator_road::EdgeId;
+
+use crate::city::City;
+use crate::trajectory::Trajectory;
+
+/// Configuration of the rider sensing layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensingConfig {
+    /// WiFi scan period, seconds (10 s in the paper's prototype).
+    pub scan_period_s: f64,
+    /// Uniform jitter on each scan tick, seconds.
+    pub period_jitter_s: f64,
+    /// Number of scanning devices on the bus (driver + riders). At least 1.
+    pub devices: usize,
+    /// The radio scanner configuration.
+    pub scanner: ScannerConfig,
+}
+
+impl Default for SensingConfig {
+    fn default() -> Self {
+        SensingConfig {
+            scan_period_s: 10.0,
+            period_jitter_s: 0.5,
+            devices: 2,
+            scanner: ScannerConfig::default(),
+        }
+    }
+}
+
+/// All scans collected on a bus at one scan tick, with ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanBundle {
+    /// Scan time, seconds.
+    pub time_s: f64,
+    /// Ground-truth arc length of the bus at that time (not visible to the
+    /// server; used for evaluation only).
+    pub true_s: f64,
+    /// One scan per device on the bus.
+    pub scans: Vec<Scan>,
+}
+
+/// Generates the WiFi scan bundles for one trip.
+///
+/// # Panics
+///
+/// Panics if `config.scan_period_s <= 0` or `config.devices == 0`.
+pub fn sense_trip<R: Rng + ?Sized>(
+    city: &City,
+    trajectory: &Trajectory,
+    route_index: usize,
+    config: &SensingConfig,
+    ap_index: &GridIndex<ApId>,
+    rng: &mut R,
+) -> Vec<ScanBundle> {
+    assert!(config.scan_period_s > 0.0, "scan period must be positive");
+    assert!(config.devices >= 1, "need at least the driver's phone");
+    let route = &city.routes[route_index];
+    let scanner = Scanner::new(config.scanner);
+    let mut out = Vec::new();
+    let mut t = trajectory.start_time();
+    while t <= trajectory.end_time() {
+        let tick = t + rng.gen_range(-config.period_jitter_s..=config.period_jitter_s);
+        let tick = tick.clamp(trajectory.start_time(), trajectory.end_time());
+        let s = trajectory.s_at(tick);
+        let p = route.point_at(s);
+        // Bucket order in the spatial index is not deterministic; sort by
+        // AP id so the per-AP RNG draws are consumed in a fixed order and
+        // datasets are bit-for-bit reproducible.
+        let mut candidates: Vec<&wilocator_rf::AccessPoint> = ap_index
+            .within(p, config.scanner.max_range_m)
+            .filter_map(|(_, _, &id)| city.field.ap(id))
+            .collect();
+        candidates.sort_by_key(|ap| ap.id());
+        let scans: Vec<Scan> = (0..config.devices)
+            .map(|_| scanner.scan_candidates(&city.field, candidates.iter().copied(), p, tick, rng))
+            .collect();
+        out.push(ScanBundle {
+            time_s: tick,
+            true_s: s,
+            scans,
+        });
+        t += config.scan_period_s;
+    }
+    out
+}
+
+/// GPS error model with urban canyons.
+///
+/// A deterministic subset of edges is marked as *canyon* (tall buildings
+/// blocking line of sight); fixes there carry a much larger error and a
+/// higher outage probability — the reason "GPS-based tracking systems …
+/// work poorly in urban environments".
+#[derive(Debug, Clone)]
+pub struct GpsModel {
+    sigma_open_m: f64,
+    sigma_canyon_m: f64,
+    outage_open: f64,
+    outage_canyon: f64,
+    canyon: Vec<bool>,
+}
+
+impl GpsModel {
+    /// Builds the model, marking `canyon_fraction` of edges as canyons
+    /// deterministically from `seed`.
+    pub fn new(edge_count: usize, canyon_fraction: f64, seed: u64) -> Self {
+        let canyon = (0..edge_count)
+            .map(|i| {
+                let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z >> 40) as f64 / (1u64 << 24) as f64 <= canyon_fraction
+            })
+            .collect();
+        GpsModel {
+            sigma_open_m: 8.0,
+            sigma_canyon_m: 55.0,
+            outage_open: 0.02,
+            outage_canyon: 0.25,
+            canyon,
+        }
+    }
+
+    /// Whether an edge is in an urban canyon.
+    pub fn is_canyon(&self, edge: EdgeId) -> bool {
+        self.canyon.get(edge.index()).copied().unwrap_or(false)
+    }
+
+    /// A GPS fix at true position `p` on `edge`, or `None` on outage.
+    pub fn fix<R: Rng + ?Sized>(&self, p: Point, edge: EdgeId, rng: &mut R) -> Option<Point> {
+        let (sigma, outage) = if self.is_canyon(edge) {
+            (self.sigma_canyon_m, self.outage_canyon)
+        } else {
+            (self.sigma_open_m, self.outage_open)
+        };
+        if rng.gen::<f64>() < outage {
+            return None;
+        }
+        Some(Point::new(
+            p.x + gauss(rng) * sigma,
+            p.y + gauss(rng) * sigma,
+        ))
+    }
+}
+
+/// The serving cell tower at a position: the nearest tower (towers are
+/// sparse enough that the strongest-signal tower is the nearest one), with
+/// occasional handover noise to a neighbouring tower.
+pub fn serving_tower<R: Rng + ?Sized>(towers: &[Point], p: Point, rng: &mut R) -> Option<usize> {
+    if towers.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..towers.len()).collect();
+    order.sort_by(|&a, &b| {
+        p.distance(towers[a])
+            .partial_cmp(&p.distance(towers[b]))
+            .expect("finite")
+    });
+    // 12 % of observations attach to the second-nearest tower (fading /
+    // load balancing), matching the coarse reality of Cell-ID positioning.
+    if order.len() > 1 && rng.gen::<f64>() < 0.12 {
+        Some(order[1])
+    } else {
+        Some(order[0])
+    }
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{simulate_trip, BusConfig};
+    use crate::city::{simple_street, CityConfig};
+    use crate::traffic::{TrafficConfig, TrafficModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scan_bundles_cover_the_trip() {
+        let city = simple_street(1_500.0, 4, 1, &CityConfig::default());
+        let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tr = simulate_trip(&city.routes[0], &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let idx = city.ap_index();
+        let bundles = sense_trip(&city, &tr, 0, &SensingConfig::default(), &idx, &mut rng);
+        assert!(!bundles.is_empty());
+        // Ticks are ~10 s apart.
+        let dt = bundles[1].time_s - bundles[0].time_s;
+        assert!(dt > 8.0 && dt < 12.0, "dt {dt}");
+        // Ground truth monotone.
+        for w in bundles.windows(2) {
+            assert!(w[1].true_s >= w[0].true_s - 1e-9);
+        }
+        // On an instrumented street most bundles hear something.
+        let heard = bundles.iter().filter(|b| b.scans.iter().any(|s| !s.is_empty())).count();
+        assert!(heard * 10 >= bundles.len() * 9);
+    }
+
+    #[test]
+    fn device_count_respected() {
+        let city = simple_street(500.0, 2, 1, &CityConfig::default());
+        let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tr = simulate_trip(&city.routes[0], &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let idx = city.ap_index();
+        let cfg = SensingConfig { devices: 3, ..SensingConfig::default() };
+        let bundles = sense_trip(&city, &tr, 0, &cfg, &idx, &mut rng);
+        assert!(bundles.iter().all(|b| b.scans.len() == 3));
+    }
+
+    #[test]
+    fn gps_canyon_errors_are_larger() {
+        let model = GpsModel::new(100, 0.5, 9);
+        let canyon: Vec<EdgeId> = (0..100).map(EdgeId).filter(|&e| model.is_canyon(e)).collect();
+        let open: Vec<EdgeId> = (0..100).map(EdgeId).filter(|&e| !model.is_canyon(e)).collect();
+        assert!(!canyon.is_empty() && !open.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = |edges: &[EdgeId], rng: &mut StdRng| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for _ in 0..400 {
+                for &e in edges.iter().take(3) {
+                    if let Some(fix) = model.fix(Point::ORIGIN, e, rng) {
+                        total += fix.distance(Point::ORIGIN);
+                        n += 1;
+                    }
+                }
+            }
+            total / n as f64
+        };
+        let canyon_err = err(&canyon, &mut rng);
+        let open_err = err(&open, &mut rng);
+        assert!(canyon_err > open_err * 3.0, "canyon {canyon_err} open {open_err}");
+    }
+
+    #[test]
+    fn gps_outage_happens_in_canyons() {
+        let model = GpsModel::new(10, 1.0, 4); // all canyon
+        let mut rng = StdRng::seed_from_u64(2);
+        let outages = (0..1_000)
+            .filter(|_| model.fix(Point::ORIGIN, EdgeId(0), &mut rng).is_none())
+            .count();
+        assert!(outages > 150 && outages < 400, "outages {outages}");
+    }
+
+    #[test]
+    fn serving_tower_is_usually_nearest() {
+        let towers = vec![Point::new(0.0, 0.0), Point::new(800.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let nearest = (0..1_000)
+            .filter(|_| serving_tower(&towers, Point::new(100.0, 0.0), &mut rng) == Some(0))
+            .count();
+        assert!(nearest > 800, "nearest chosen {nearest}");
+        assert_eq!(serving_tower(&[], Point::ORIGIN, &mut rng), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Multi-day trace generation: the substitute for the paper's "real data
+//! of 3-week period".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator_road::{RouteId, Schedule};
+
+use crate::bus::{simulate_trip, BusConfig};
+use crate::city::City;
+use crate::sensing::{sense_trip, ScanBundle, SensingConfig};
+use crate::traffic::{TrafficModel, DAY_S};
+use crate::trajectory::Trajectory;
+
+/// Everything recorded about one simulated trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripTrace {
+    /// Sequential trip identifier within the dataset.
+    pub trip_id: usize,
+    /// The route served.
+    pub route: RouteId,
+    /// Day index (0-based).
+    pub day: u32,
+    /// Absolute departure time, seconds.
+    pub departure_s: f64,
+    /// Ground-truth motion (evaluation only; invisible to the server).
+    pub trajectory: Trajectory,
+    /// The rider scan reports the server actually receives.
+    pub bundles: Vec<ScanBundle>,
+}
+
+/// A multi-day crowd-sensing dataset over a city.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// All trips, ordered by departure time.
+    pub trips: Vec<TripTrace>,
+}
+
+impl Dataset {
+    /// Trips of one route, in departure order.
+    pub fn trips_of(&self, route: RouteId) -> impl Iterator<Item = &TripTrace> {
+        self.trips.iter().filter(move |t| t.route == route)
+    }
+
+    /// Trips departing on a given day.
+    pub fn trips_on_day(&self, day: u32) -> impl Iterator<Item = &TripTrace> {
+        self.trips.iter().filter(move |t| t.day == day)
+    }
+
+    /// Total number of scan bundles across all trips.
+    pub fn bundle_count(&self) -> usize {
+        self.trips.iter().map(|t| t.bundles.len()).sum()
+    }
+}
+
+/// Configuration of a dataset generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Number of service days to simulate (the paper collected 3 weeks).
+    pub days: u32,
+    /// Bus kinematics.
+    pub bus: BusConfig,
+    /// Rider sensing.
+    pub sensing: SensingConfig,
+    /// Master seed: every stochastic choice derives from it.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            days: 21,
+            bus: BusConfig::default(),
+            sensing: SensingConfig::default(),
+            seed: 0x110CA702,
+        }
+    }
+}
+
+/// Builds a daily schedule for every route of `city`: service from 06:00 to
+/// 22:00 with the given headway (seconds) per route.
+pub fn daily_schedule(city: &City, headway_s: &[(RouteId, f64)]) -> Schedule {
+    let mut sched = Schedule::new();
+    for &(route, headway) in headway_s {
+        if city.route(route).is_some() {
+            sched.add_headway_service(route, 6.0 * 3_600.0, 22.0 * 3_600.0, headway);
+        }
+    }
+    sched
+}
+
+/// Simulates `config.days` days of the schedule, producing the full
+/// crowd-sensing dataset.
+///
+/// Each trip gets its own deterministic RNG stream derived from the master
+/// seed, so datasets are reproducible and trips are independent.
+pub fn simulate(
+    city: &City,
+    schedule: &Schedule,
+    traffic: &TrafficModel,
+    config: &SimulationConfig,
+) -> Dataset {
+    let ap_index = city.ap_index();
+    let mut trips = Vec::new();
+    let mut trip_id = 0usize;
+    for day in 0..config.days {
+        for trip in schedule.trips() {
+            let departure = day as f64 * DAY_S + trip.departure_s;
+            let route_index = city
+                .routes
+                .iter()
+                .position(|r| r.id() == trip.route)
+                .expect("schedule references known routes");
+            let mut rng =
+                StdRng::seed_from_u64(config.seed ^ (trip_id as u64).wrapping_mul(0x9E37_79B9));
+            let trajectory = simulate_trip(
+                &city.routes[route_index],
+                traffic,
+                departure,
+                &config.bus,
+                &mut rng,
+            );
+            let bundles = sense_trip(
+                city,
+                &trajectory,
+                route_index,
+                &config.sensing,
+                &ap_index,
+                &mut rng,
+            );
+            trips.push(TripTrace {
+                trip_id,
+                route: trip.route,
+                day,
+                departure_s: departure,
+                trajectory,
+                bundles,
+            });
+            trip_id += 1;
+        }
+    }
+    trips.sort_by(|a, b| a.departure_s.partial_cmp(&b.departure_s).expect("finite"));
+    Dataset { trips }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{simple_street, CityConfig};
+    use crate::traffic::TrafficConfig;
+
+    fn tiny_dataset(days: u32) -> (City, Dataset) {
+        let city = simple_street(1_200.0, 4, 1, &CityConfig::default());
+        let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 1);
+        let mut sched = Schedule::new();
+        sched.add_headway_service(RouteId(0), 8.0 * 3_600.0, 10.0 * 3_600.0, 1_800.0);
+        let config = SimulationConfig {
+            days,
+            ..SimulationConfig::default()
+        };
+        let ds = simulate(&city, &sched, &traffic, &config);
+        (city, ds)
+    }
+
+    #[test]
+    fn trip_counts_match_schedule() {
+        let (_, ds) = tiny_dataset(2);
+        // 5 departures per day × 2 days.
+        assert_eq!(ds.trips.len(), 10);
+        assert_eq!(ds.trips_on_day(0).count(), 5);
+        assert_eq!(ds.trips_of(RouteId(0)).count(), 10);
+    }
+
+    #[test]
+    fn trips_sorted_by_departure() {
+        let (_, ds) = tiny_dataset(2);
+        for w in ds.trips.windows(2) {
+            assert!(w[1].departure_s >= w[0].departure_s);
+        }
+    }
+
+    #[test]
+    fn day_offsets_applied() {
+        let (_, ds) = tiny_dataset(2);
+        let day1 = ds.trips_on_day(1).next().unwrap();
+        assert!(day1.departure_s >= DAY_S);
+        assert_eq!(day1.trajectory.start_time(), day1.departure_s);
+    }
+
+    #[test]
+    fn bundles_generated_for_every_trip() {
+        let (_, ds) = tiny_dataset(1);
+        assert!(ds.trips.iter().all(|t| !t.bundles.is_empty()));
+        assert!(ds.bundle_count() > ds.trips.len() * 5);
+    }
+
+    #[test]
+    fn dataset_reproducible() {
+        let (_, a) = tiny_dataset(1);
+        let (_, b) = tiny_dataset(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn daily_schedule_builder_covers_routes() {
+        let city = simple_street(1_200.0, 3, 2, &CityConfig::default());
+        let sched = daily_schedule(&city, &[(RouteId(0), 600.0), (RouteId(9), 600.0)]);
+        // Unknown route 9 is skipped; route 0 gets 06:00–22:00 service.
+        assert!(sched.trips_for(RouteId(0)).count() > 90);
+        assert_eq!(sched.trips_for(RouteId(9)).count(), 0);
+    }
+}

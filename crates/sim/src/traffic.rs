@@ -1,0 +1,462 @@
+//! Traffic model: per-segment speeds with rush hours, a shared environment
+//! residual, and injectable incidents.
+//!
+//! The paper's prediction model (Section IV) decomposes travel time into a
+//! *route-dependent* component and an *environment-related* component
+//! "shared by all routes on the same road segment". The simulator generates
+//! travel times with exactly that structure so the cross-route residual
+//! sharing of Equation 8 has signal to exploit:
+//!
+//! * a per-edge **base speed** (road class / speed limit);
+//! * a per-route **speed factor** (the Rapid Line "usually runs faster
+//!   than ordinary buses");
+//! * a deterministic **daily profile** with morning and evening rush-hour
+//!   bumps of per-edge intensity — the periodicity the seasonal index
+//!   (Equation 6) must find;
+//! * a slowly varying **environment residual**, shared by every bus on the
+//!   edge regardless of route — the temporal consistency WiLocator
+//!   exploits;
+//! * **incidents**: localised long slowdowns that the traffic-map anomaly
+//!   detector (Fig. 6) must localise.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wilocator_road::{EdgeId, RoadNetwork, RouteId};
+
+/// Seconds in a simulated day.
+pub const DAY_S: f64 = 86_400.0;
+
+/// An injected traffic anomaly on part of a segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Incident {
+    /// The segment affected.
+    pub edge: EdgeId,
+    /// Affected range of on-edge arc length, metres.
+    pub s_range: (f64, f64),
+    /// Absolute start time, seconds.
+    pub start_s: f64,
+    /// Duration, seconds.
+    pub duration_s: f64,
+    /// Travel-time multiplier inside the affected range (≫ 1).
+    pub slowdown: f64,
+}
+
+impl Incident {
+    /// True when the incident affects time `t` and on-edge position `s`.
+    pub fn affects(&self, t: f64, s_on_edge: f64) -> bool {
+        t >= self.start_s
+            && t <= self.start_s + self.duration_s
+            && s_on_edge >= self.s_range.0
+            && s_on_edge <= self.s_range.1
+    }
+}
+
+/// Configuration of the traffic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Morning rush window, seconds of day.
+    pub morning_rush: (f64, f64),
+    /// Evening rush window, seconds of day.
+    pub evening_rush: (f64, f64),
+    /// Peak travel-time multiplier at the centre of a rush window for an
+    /// edge with intensity 1.
+    pub rush_slowdown: f64,
+    /// Per-edge environment residual σ (log scale) outside rush hours.
+    pub env_sigma_base: f64,
+    /// Per-edge environment residual σ (log scale) during rush hours (the
+    /// paper: rush hours "incur a large variation σ²").
+    pub env_sigma_rush: f64,
+    /// Decorrelation time of the per-edge environment residual, seconds.
+    pub env_correlation_s: f64,
+    /// City-wide congestion residual σ (log scale) outside rush hours —
+    /// the spatially correlated component (weather, events, a generally
+    /// bad morning) that every edge shares. This is the signal recent
+    /// buses reveal and a frozen timetable cannot track.
+    pub city_sigma_base: f64,
+    /// City-wide congestion residual σ during rush hours.
+    pub city_sigma_rush: f64,
+    /// Decorrelation time of the city-wide residual, seconds.
+    pub city_correlation_s: f64,
+    /// Day-level congestion σ (log scale): how much whole days differ from
+    /// each other (weather, school terms, events). Applied during rush
+    /// hours, when demand makes the network sensitive to such conditions.
+    pub day_sigma: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            morning_rush: (8.0 * 3_600.0, 10.0 * 3_600.0),
+            evening_rush: (18.0 * 3_600.0, 19.0 * 3_600.0),
+            rush_slowdown: 1.9,
+            env_sigma_base: 0.05,
+            env_sigma_rush: 0.10,
+            env_correlation_s: 1_500.0,
+            city_sigma_base: 0.05,
+            city_sigma_rush: 0.35,
+            city_correlation_s: 3_600.0,
+            day_sigma: 0.30,
+        }
+    }
+}
+
+/// The traffic state generator.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_road::{NetworkBuilder, RouteId};
+/// use wilocator_sim::{TrafficConfig, TrafficModel};
+///
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(500.0, 0.0));
+/// let e = b.add_edge(n0, n1, None)?;
+/// let net = b.build();
+/// let model = TrafficModel::new(&net, TrafficConfig::default(), 7);
+/// let night = model.speed_mps(e, RouteId(0), 3.0 * 3600.0, 100.0);
+/// let rush = model.speed_mps(e, RouteId(0), 9.0 * 3600.0, 100.0);
+/// assert!(rush < night);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    config: TrafficConfig,
+    base_speed: Vec<f64>,
+    rush_intensity: Vec<f64>,
+    route_factor: HashMap<RouteId, f64>,
+    /// How strongly a route feels congestion (1 = fully; a rapid line with
+    /// limited stops and priority measures feels it less — the paper: the
+    /// Rapid Line "suffers less from the traffic jam in the overlapped
+    /// segments").
+    congestion_sensitivity: HashMap<RouteId, f64>,
+    incidents: Vec<Incident>,
+    seed: u64,
+}
+
+impl TrafficModel {
+    /// Builds a model for `network`; per-edge base speeds and rush
+    /// intensities are drawn deterministically from `seed`.
+    pub fn new(network: &RoadNetwork, config: TrafficConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB_EEF);
+        let n = network.edges().len();
+        let base_speed = (0..n)
+            .map(|_| rng.gen_range(7.0..11.0)) // 25–40 km/h free flow
+            .collect();
+        let rush_intensity = (0..n).map(|_| rng.gen_range(0.5..1.0)).collect();
+        TrafficModel {
+            config,
+            base_speed,
+            rush_intensity,
+            route_factor: HashMap::new(),
+            congestion_sensitivity: HashMap::new(),
+            incidents: Vec::new(),
+            seed,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// Sets a route's speed factor (> 1 = faster than the default bus,
+    /// e.g. a rapid line; default 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn set_route_factor(&mut self, route: RouteId, factor: f64) {
+        assert!(factor > 0.0, "route factor must be positive");
+        self.route_factor.insert(route, factor);
+    }
+
+    /// The speed factor of a route (1.0 when unset).
+    pub fn route_factor(&self, route: RouteId) -> f64 {
+        self.route_factor.get(&route).copied().unwrap_or(1.0)
+    }
+
+    /// Sets how strongly a route feels congestion (1 = fully, 0 = immune).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensitivity` is negative.
+    pub fn set_congestion_sensitivity(&mut self, route: RouteId, sensitivity: f64) {
+        assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
+        self.congestion_sensitivity.insert(route, sensitivity);
+    }
+
+    /// The congestion sensitivity of a route (1.0 when unset).
+    pub fn congestion_sensitivity(&self, route: RouteId) -> f64 {
+        self.congestion_sensitivity.get(&route).copied().unwrap_or(1.0)
+    }
+
+    /// Injects an incident.
+    pub fn add_incident(&mut self, incident: Incident) {
+        self.incidents.push(incident);
+    }
+
+    /// The injected incidents.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// True when second-of-day `tod` falls in a rush window.
+    pub fn is_rush(&self, tod: f64) -> bool {
+        let (m0, m1) = self.config.morning_rush;
+        let (e0, e1) = self.config.evening_rush;
+        (tod >= m0 && tod <= m1) || (tod >= e0 && tod <= e1)
+    }
+
+    /// The deterministic daily travel-time multiplier for `edge` at
+    /// second-of-day `tod` (≥ 1; peaks mid-rush).
+    pub fn daily_profile(&self, edge: EdgeId, tod: f64) -> f64 {
+        let bump = bump_in(tod, self.config.morning_rush)
+            .max(bump_in(tod, self.config.evening_rush));
+        let intensity = self
+            .rush_intensity
+            .get(edge.index())
+            .copied()
+            .unwrap_or(0.7);
+        1.0 + intensity * (self.config.rush_slowdown - 1.0) * bump
+    }
+
+    /// The shared environment residual multiplier for `edge` at absolute
+    /// time `t` — identical for every bus on the edge at that time.
+    ///
+    /// Two components: a per-edge term (local works, parking chaos) and a
+    /// city-wide term shared by **all** edges (weather, events, a
+    /// generally congested morning). The city-wide term is what makes the
+    /// travel times of buses on *different* segments correlated in time —
+    /// the temporal consistency WiLocator's Equation 8 exploits and the
+    /// frozen agency timetable cannot see.
+    pub fn env_factor(&self, edge: EdgeId, t: f64) -> f64 {
+        let tod = t.rem_euclid(DAY_S);
+        let rush = self.is_rush(tod);
+        let edge_sigma = if rush {
+            self.config.env_sigma_rush
+        } else {
+            self.config.env_sigma_base
+        };
+        let city_sigma = if rush {
+            self.config.city_sigma_rush
+        } else {
+            self.config.city_sigma_base
+        };
+        let g_edge = lattice_noise(self.seed, edge.0 as u64, t / self.config.env_correlation_s);
+        let g_city = lattice_noise(
+            self.seed ^ 0xC171D,
+            u64::MAX,
+            t / self.config.city_correlation_s,
+        );
+        // Day-level condition: piecewise constant per day, shared by the
+        // whole network, felt during rush hours (a rainy Tuesday is slow
+        // everywhere at 9:00 but near-normal at 14:00).
+        let day = (t / DAY_S).floor() as i64;
+        let g_day = if rush {
+            hash_gauss(self.seed ^ 0xDA1, u64::MAX - 1, day)
+        } else {
+            0.0
+        };
+        // City-wide terms only ever slow traffic down (congestion is
+        // one-sided): rectify them so good days are merely normal.
+        (g_edge * edge_sigma
+            + g_city.abs() * city_sigma
+            + g_day.abs() * self.config.day_sigma)
+            .exp()
+    }
+
+    /// Travel-time multiplier from incidents at `(edge, t, s_on_edge)`.
+    pub fn incident_factor(&self, edge: EdgeId, t: f64, s_on_edge: f64) -> f64 {
+        self.incidents
+            .iter()
+            .filter(|i| i.edge == edge && i.affects(t, s_on_edge))
+            .map(|i| i.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Instantaneous ground speed of a bus of `route` on `edge` at
+    /// absolute time `t` and on-edge position `s_on_edge`, m/s.
+    pub fn speed_mps(&self, edge: EdgeId, route: RouteId, t: f64, s_on_edge: f64) -> f64 {
+        let base = self
+            .base_speed
+            .get(edge.index())
+            .copied()
+            .unwrap_or(8.0);
+        let tod = t.rem_euclid(DAY_S);
+        // Congestion (profile × environment) is felt per the route's
+        // sensitivity; a physical incident blocks every route fully.
+        let congestion = self.daily_profile(edge, tod) * self.env_factor(edge, t);
+        let felt = 1.0 + self.congestion_sensitivity(route) * (congestion - 1.0);
+        let multiplier = felt.max(0.1) * self.incident_factor(edge, t, s_on_edge);
+        (base * self.route_factor(route) / multiplier).max(0.5)
+    }
+}
+
+/// Trapezoidal bump: 0 outside `(a, b)`, 1 over the middle 60 % of the
+/// window, linear ramps over the outer 20 % on each side. A plateau (not a
+/// spike) keeps the *slot-average* slowdown close to the peak, which is
+/// what makes the seasonal index separable from noise.
+fn bump_in(tod: f64, (a, b): (f64, f64)) -> f64 {
+    if tod <= a || tod >= b {
+        return 0.0;
+    }
+    let mid = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+    let ramp = 0.2 * half;
+    ((half - (tod - mid).abs()) / ramp).clamp(0.0, 1.0)
+}
+
+/// 1-D correlated standard-normal value noise, deterministic in
+/// `(seed, stream, x)`.
+fn lattice_noise(seed: u64, stream: u64, x: f64) -> f64 {
+    let x0 = x.floor();
+    let f = x - x0;
+    let g = |i: i64| hash_gauss(seed, stream, i);
+    let a = g(x0 as i64);
+    let b = g(x0 as i64 + 1);
+    a + (b - a) * f
+}
+
+fn hash_gauss(seed: u64, stream: u64, i: i64) -> f64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let h1 = z ^ (z >> 31);
+    let h2 = {
+        let mut w = h1.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        w = (w ^ (w >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        w = (w ^ (w >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        w ^ (w >> 31)
+    };
+    let u1 = ((h1 >> 11) as f64 + 1.0) / (9_007_199_254_740_992.0 + 2.0);
+    let u2 = ((h2 >> 11) as f64 + 1.0) / (9_007_199_254_740_992.0 + 2.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_geo::Point;
+    use wilocator_road::NetworkBuilder;
+
+    fn model() -> (TrafficModel, EdgeId) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(500.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        (TrafficModel::new(&b.build(), TrafficConfig::default(), 42), e)
+    }
+
+    #[test]
+    fn rush_hour_slows_traffic() {
+        let (m, e) = model();
+        let night = m.speed_mps(e, RouteId(0), 3.0 * 3600.0, 100.0);
+        let rush = m.speed_mps(e, RouteId(0), 9.0 * 3600.0, 100.0);
+        assert!(rush < night * 0.85, "rush {rush} vs night {night}");
+    }
+
+    #[test]
+    fn profile_is_one_off_peak_and_peaks_mid_rush() {
+        let (m, e) = model();
+        assert_eq!(m.daily_profile(e, 3.0 * 3600.0), 1.0);
+        let peak = m.daily_profile(e, 9.0 * 3600.0);
+        let edge_of_rush = m.daily_profile(e, 8.1 * 3600.0);
+        assert!(peak > edge_of_rush);
+        assert!(peak > 1.3);
+    }
+
+    #[test]
+    fn env_factor_shared_and_smooth() {
+        let (m, e) = model();
+        let t = 11.0 * 3600.0;
+        // Identical for any caller at the same (edge, t): determinism.
+        assert_eq!(m.env_factor(e, t), m.env_factor(e, t));
+        // Smooth over a minute.
+        let a = m.env_factor(e, t);
+        let b = m.env_factor(e, t + 60.0);
+        assert!((a.ln() - b.ln()).abs() < 0.1);
+        // Positive multiplicative factor.
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn env_factor_varies_over_hours() {
+        let (m, e) = model();
+        let vals: Vec<f64> = (0..8)
+            .map(|i| m.env_factor(e, 10.0 * 3600.0 + i as f64 * 3_000.0))
+            .collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "environment residual is constant");
+    }
+
+    #[test]
+    fn route_factor_speeds_up_rapid_line() {
+        let (mut m, e) = model();
+        m.set_route_factor(RouteId(9), 1.3);
+        let slow = m.speed_mps(e, RouteId(0), 3.0 * 3600.0, 0.0);
+        let fast = m.speed_mps(e, RouteId(9), 3.0 * 3600.0, 0.0);
+        assert!((fast / slow - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incident_slows_only_its_window_and_range() {
+        let (mut m, e) = model();
+        m.add_incident(Incident {
+            edge: e,
+            s_range: (100.0, 200.0),
+            start_s: 1_000.0,
+            duration_s: 600.0,
+            slowdown: 8.0,
+        });
+        let inside = m.speed_mps(e, RouteId(0), 1_200.0, 150.0);
+        let outside_s = m.speed_mps(e, RouteId(0), 1_200.0, 300.0);
+        let outside_t = m.speed_mps(e, RouteId(0), 2_000.0, 150.0);
+        assert!(inside < outside_s / 4.0);
+        assert!((outside_t - outside_s).abs() / outside_s < 0.2);
+    }
+
+    #[test]
+    fn speed_never_collapses_to_zero() {
+        let (mut m, e) = model();
+        m.add_incident(Incident {
+            edge: e,
+            s_range: (0.0, 500.0),
+            start_s: 0.0,
+            duration_s: 1e9,
+            slowdown: 1e9,
+        });
+        assert!(m.speed_mps(e, RouteId(0), 100.0, 100.0) >= 0.5);
+    }
+
+    #[test]
+    fn is_rush_detects_windows() {
+        let (m, _) = model();
+        assert!(m.is_rush(9.0 * 3600.0));
+        assert!(m.is_rush(18.5 * 3600.0));
+        assert!(!m.is_rush(12.0 * 3600.0));
+        assert!(!m.is_rush(2.0 * 3600.0));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_conditions() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(500.0, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let net = b.build();
+        let a = TrafficModel::new(&net, TrafficConfig::default(), 1);
+        let c = TrafficModel::new(&net, TrafficConfig::default(), 2);
+        assert_ne!(
+            a.speed_mps(e, RouteId(0), 1_000.0, 0.0),
+            c.speed_mps(e, RouteId(0), 1_000.0, 0.0)
+        );
+    }
+}

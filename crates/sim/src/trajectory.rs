@@ -1,0 +1,237 @@
+//! Ground-truth bus trajectories: piecewise-linear motion along a route.
+//!
+//! The simulator represents a trip as monotone breakpoints `(t, s)` —
+//! time versus arc length along the route. Between breakpoints the bus
+//! moves at constant speed; dwell at a stop or a red light is a flat
+//! segment. Both directions of lookup are needed: `s_at(t)` to place scans,
+//! `time_at_s(s)` to extract ground-truth segment crossing times.
+
+/// A monotone piecewise-linear trajectory `s(t)` along a route.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_sim::Trajectory;
+/// let mut tr = Trajectory::new(0.0, 0.0);
+/// tr.push(10.0, 100.0); // 10 m/s for 10 s
+/// tr.push(20.0, 100.0); // dwell
+/// tr.push(30.0, 250.0); // 15 m/s
+/// assert_eq!(tr.s_at(5.0), 50.0);
+/// assert_eq!(tr.s_at(15.0), 100.0);
+/// assert_eq!(tr.time_at_s(175.0), 25.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Breakpoints, strictly increasing in `t`, non-decreasing in `s`.
+    points: Vec<(f64, f64)>,
+}
+
+impl Trajectory {
+    /// Starts a trajectory at time `t0`, arc length `s0`.
+    pub fn new(t0: f64, s0: f64) -> Self {
+        Trajectory {
+            points: vec![(t0, s0)],
+        }
+    }
+
+    /// Appends a breakpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not increase or `s` decreases (buses do not move
+    /// backwards along their route).
+    pub fn push(&mut self, t: f64, s: f64) {
+        let &(lt, ls) = self.points.last().expect("non-empty");
+        assert!(t >= lt, "time must be non-decreasing ({t} < {lt})");
+        assert!(s >= ls - 1e-9, "arc length must be non-decreasing");
+        if t == lt {
+            // Replace a zero-duration segment.
+            if s > ls {
+                self.points.pop();
+                self.points.push((t, s));
+            }
+            return;
+        }
+        self.points.push((t, s));
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Departure time.
+    pub fn start_time(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Time of the last breakpoint (trip end).
+    pub fn end_time(&self) -> f64 {
+        self.points.last().unwrap().0
+    }
+
+    /// Arc length at the end of the trip.
+    pub fn end_s(&self) -> f64 {
+        self.points.last().unwrap().1
+    }
+
+    /// Arc length at time `t` (clamped to the trip's time range).
+    pub fn s_at(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let i = match pts.binary_search_by(|&(pt, _)| pt.partial_cmp(&t).expect("finite")) {
+            Ok(i) => return pts[i].1,
+            Err(i) => i - 1,
+        };
+        let (t0, s0) = pts[i];
+        let (t1, s1) = pts[i + 1];
+        s0 + (s1 - s0) * (t - t0) / (t1 - t0)
+    }
+
+    /// First time at which the bus reaches arc length `s` (clamped to the
+    /// trip's range). Flat (dwell) segments resolve to their start.
+    pub fn time_at_s(&self, s: f64) -> f64 {
+        let pts = &self.points;
+        if s <= pts[0].1 {
+            return pts[0].0;
+        }
+        if s >= pts[pts.len() - 1].1 {
+            return pts[pts.len() - 1].0;
+        }
+        // Find the first breakpoint with s_i >= s.
+        let mut lo = 0usize;
+        let mut hi = pts.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if pts[mid].1 < s {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t1, s1) = pts[lo];
+        if s1 == s {
+            // Prefer the earliest time at exactly s (start of a dwell).
+            let mut i = lo;
+            while i > 0 && pts[i - 1].1 == s {
+                i -= 1;
+            }
+            return pts[i].0;
+        }
+        let (t0, s0) = pts[lo - 1];
+        t0 + (t1 - t0) * (s - s0) / (s1 - s0)
+    }
+
+    /// Mean speed over the whole trip, m/s (0 for an empty trip).
+    pub fn mean_speed(&self) -> f64 {
+        let dt = self.end_time() - self.start_time();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        (self.end_s() - self.points[0].1) / dt
+    }
+
+    /// Samples `(t, s)` every `period` seconds over the trip (plus the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    pub fn sample(&self, period: f64) -> Vec<(f64, f64)> {
+        assert!(period > 0.0, "sample period must be positive");
+        let mut out = Vec::new();
+        let mut t = self.start_time();
+        while t < self.end_time() {
+            out.push((t, self.s_at(t)));
+            t += period;
+        }
+        out.push((self.end_time(), self.end_s()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        let mut tr = Trajectory::new(100.0, 0.0);
+        tr.push(110.0, 100.0);
+        tr.push(130.0, 100.0); // 20 s dwell
+        tr.push(140.0, 250.0);
+        tr
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let tr = traj();
+        assert_eq!(tr.s_at(100.0), 0.0);
+        assert_eq!(tr.s_at(105.0), 50.0);
+        assert_eq!(tr.s_at(120.0), 100.0);
+        assert_eq!(tr.s_at(135.0), 175.0);
+        assert_eq!(tr.s_at(0.0), 0.0); // clamp before
+        assert_eq!(tr.s_at(1e9), 250.0); // clamp after
+    }
+
+    #[test]
+    fn inverse_lookup() {
+        let tr = traj();
+        assert_eq!(tr.time_at_s(50.0), 105.0);
+        assert_eq!(tr.time_at_s(175.0), 135.0);
+        // Dwell: the first arrival time at s = 100 is t = 110.
+        assert_eq!(tr.time_at_s(100.0), 110.0);
+        assert_eq!(tr.time_at_s(-5.0), 100.0);
+        assert_eq!(tr.time_at_s(1e9), 140.0);
+    }
+
+    #[test]
+    fn roundtrip_on_moving_segments() {
+        let tr = traj();
+        for s in [10.0, 60.0, 99.0, 120.0, 249.0] {
+            let t = tr.time_at_s(s);
+            assert!((tr.s_at(t) - s).abs() < 1e-9, "s = {s}");
+        }
+    }
+
+    #[test]
+    fn mean_speed() {
+        let tr = traj();
+        assert!((tr.mean_speed() - 250.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_includes_endpoints() {
+        let tr = traj();
+        let samples = tr.sample(10.0);
+        assert_eq!(samples.first().unwrap().0, 100.0);
+        assert_eq!(samples.last().unwrap().0, 140.0);
+        assert_eq!(samples.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_reversal() {
+        let mut tr = Trajectory::new(10.0, 0.0);
+        tr.push(5.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arc length")]
+    fn rejects_backward_motion() {
+        let mut tr = Trajectory::new(0.0, 100.0);
+        tr.push(10.0, 50.0);
+    }
+
+    #[test]
+    fn equal_time_push_upgrades_s() {
+        let mut tr = Trajectory::new(0.0, 0.0);
+        tr.push(10.0, 50.0);
+        tr.push(10.0, 60.0);
+        assert_eq!(tr.s_at(10.0), 60.0);
+        assert_eq!(tr.points().len(), 2);
+    }
+}

@@ -1,0 +1,600 @@
+//! Rasterised planar Signal Voronoi Diagram (Definitions 1–2).
+//!
+//! The diagram is extracted on a regular raster: every cell is labelled with
+//! its `k`-order [`TileSignature`] under the mean signal field, connected
+//! components of equal signature become [`Tile`]s, label changes between
+//! 4-adjacent cells become tile boundaries (whose accumulated length drives
+//! the paper's *longest-tile-boundary* fallback), and raster corners where
+//! three or more Signal Cells meet become *joint points* (where SVEs meet) —
+//! or *bisector joints* when the meeting regions share a site.
+//!
+//! Rasterisation is exact in the limit of the resolution and, unlike an
+//! analytic construction, handles arbitrary (non-straight) Signal Voronoi
+//! Edges produced by heterogeneous transmit powers and shadowing — the very
+//! reason the paper introduces the SVD as a generalisation of the Euclidean
+//! Voronoi diagram.
+
+use std::collections::HashMap;
+
+use wilocator_geo::{BoundingBox, Grid, Point};
+use wilocator_rf::{ApId, SignalField};
+
+use crate::signature::{signature_from_ranked, TileSignature};
+
+/// Identifier of a tile (a connected region) within a diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId(pub u32);
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A Signal Tile: a maximal connected region of constant rank signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    id: TileId,
+    signature: TileSignature,
+    centroid: Point,
+    area_m2: f64,
+    cell_count: usize,
+}
+
+impl Tile {
+    /// The tile's identifier.
+    pub fn id(&self) -> TileId {
+        self.id
+    }
+
+    /// The rank signature naming this tile.
+    pub fn signature(&self) -> &TileSignature {
+        &self.signature
+    }
+
+    /// Centroid of the tile's raster cells — the point the paper's Tile
+    /// Mapping projects onto the road.
+    pub fn centroid(&self) -> Point {
+        self.centroid
+    }
+
+    /// Tile area in square metres (raster estimate).
+    pub fn area_m2(&self) -> f64 {
+        self.area_m2
+    }
+
+    /// Number of raster cells in the tile.
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+}
+
+/// A first-order Signal Cell: the union of tiles sharing a site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalCell {
+    /// The dominating AP (the cell's *site* or *generator*).
+    pub site: ApId,
+    /// Total area, square metres.
+    pub area_m2: f64,
+    /// Area-weighted centroid.
+    pub centroid: Point,
+    /// The tiles partitioning this cell (the second-order SVD of the cell).
+    pub tiles: Vec<TileId>,
+}
+
+/// A point where Signal Voronoi Edges meet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Joint {
+    /// Location of the joint.
+    pub point: Point,
+    /// True for a junction of SVEs (≥ 3 distinct sites); false for a
+    /// *bisector joint* (≥ 3 tiles of the same site meeting).
+    pub is_cell_junction: bool,
+}
+
+/// Configuration for diagram construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvdConfig {
+    /// Raster cell side, metres.
+    pub resolution_m: f64,
+    /// Signature order `k` (1 = Signal Cells, 2 = the paper's default).
+    pub order: usize,
+    /// APs weaker than this (dBm) at a point are not part of its signature.
+    pub detection_threshold_dbm: f64,
+}
+
+impl Default for SvdConfig {
+    fn default() -> Self {
+        SvdConfig {
+            resolution_m: 2.0,
+            order: 2,
+            detection_threshold_dbm: -90.0,
+        }
+    }
+}
+
+/// The rasterised Signal Voronoi Diagram of a bounded domain.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::{BoundingBox, Point};
+/// use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+/// use wilocator_svd::{SignalVoronoiDiagram, SvdConfig};
+///
+/// let aps = vec![
+///     AccessPoint::new(ApId(0), Point::new(30.0, 50.0)),
+///     AccessPoint::new(ApId(1), Point::new(170.0, 50.0)),
+/// ];
+/// let field = HomogeneousField::new(aps);
+/// let bbox = BoundingBox::new(Point::new(0.0, 0.0), Point::new(200.0, 100.0));
+/// let svd = SignalVoronoiDiagram::build(&field, bbox, SvdConfig::default());
+/// let left = svd.tile_at(Point::new(30.0, 50.0)).unwrap();
+/// assert_eq!(left.signature().site(), Some(ApId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignalVoronoiDiagram {
+    config: SvdConfig,
+    /// Region id per raster cell; `u32::MAX` marks no-coverage cells.
+    regions: Grid<u32>,
+    tiles: Vec<Tile>,
+    /// Boundary length between adjacent tiles, keyed by ordered id pair.
+    adjacency: HashMap<(u32, u32), f64>,
+    /// Signature → tiles carrying it (a signature may appear as several
+    /// disconnected regions).
+    by_signature: HashMap<TileSignature, Vec<TileId>>,
+}
+
+const NO_COVERAGE: u32 = u32::MAX;
+
+impl SignalVoronoiDiagram {
+    /// Rasterises the diagram of `field` over `bbox`.
+    ///
+    /// Complexity is `O(cells × APs-in-range)`; intended for neighbourhood-
+    /// scale domains (the campus experiment, figure rendering, fallback
+    /// mapping). Route-scale positioning uses
+    /// [`crate::RouteTileIndex`] instead, which samples only the road.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.order == 0` or `config.resolution_m <= 0`.
+    pub fn build<F: SignalField + ?Sized>(
+        field: &F,
+        bbox: BoundingBox,
+        config: SvdConfig,
+    ) -> Self {
+        assert!(config.order >= 1, "signature order must be at least 1");
+        assert!(config.resolution_m > 0.0, "resolution must be positive");
+
+        // 1. Label every cell with an interned signature index.
+        let mut interner: HashMap<TileSignature, u32> = HashMap::new();
+        let mut signatures: Vec<TileSignature> = Vec::new();
+        let mut labels: Grid<u32> = Grid::new(bbox, config.resolution_m, NO_COVERAGE);
+        labels.fill_with(|p| {
+            let ranked = field.detectable_at(p, config.detection_threshold_dbm);
+            if ranked.is_empty() {
+                return NO_COVERAGE;
+            }
+            let sig = signature_from_ranked(&ranked, config.order);
+            *interner.entry(sig.clone()).or_insert_with(|| {
+                signatures.push(sig);
+                (signatures.len() - 1) as u32
+            })
+        });
+
+        // 2. Flood-fill connected components of equal label.
+        let mut regions: Grid<u32> = Grid::new(bbox, config.resolution_m, NO_COVERAGE);
+        let mut tiles: Vec<Tile> = Vec::new();
+        let cell_area = config.resolution_m * config.resolution_m;
+        let (cols, rows) = (labels.cols(), labels.rows());
+        for start_row in 0..rows {
+            for start_col in 0..cols {
+                let label = *labels.get(start_col, start_row).unwrap();
+                if label == NO_COVERAGE
+                    || *regions.get(start_col, start_row).unwrap() != NO_COVERAGE
+                {
+                    continue;
+                }
+                let region_id = tiles.len() as u32;
+                let mut stack = vec![(start_col, start_row)];
+                *regions.get_mut(start_col, start_row).unwrap() = region_id;
+                let mut count = 0usize;
+                let mut sum = Point::ORIGIN;
+                while let Some((c, r)) = stack.pop() {
+                    count += 1;
+                    let center = regions.cell_center(c, r);
+                    sum = sum.offset(center.x, center.y);
+                    let neighbors: Vec<(usize, usize)> = regions.neighbors4(c, r).collect();
+                    for (nc, nr) in neighbors {
+                        if *labels.get(nc, nr).unwrap() == label
+                            && *regions.get(nc, nr).unwrap() == NO_COVERAGE
+                        {
+                            *regions.get_mut(nc, nr).unwrap() = region_id;
+                            stack.push((nc, nr));
+                        }
+                    }
+                }
+                tiles.push(Tile {
+                    id: TileId(region_id),
+                    signature: signatures[label as usize].clone(),
+                    centroid: Point::new(sum.x / count as f64, sum.y / count as f64),
+                    area_m2: count as f64 * cell_area,
+                    cell_count: count,
+                });
+            }
+        }
+
+        // 3. Adjacency: accumulate shared boundary length.
+        let mut adjacency: HashMap<(u32, u32), f64> = HashMap::new();
+        for row in 0..rows {
+            for col in 0..cols {
+                let a = *regions.get(col, row).unwrap();
+                if a == NO_COVERAGE {
+                    continue;
+                }
+                for (nc, nr) in [(col + 1, row), (col, row + 1)] {
+                    if let Some(&b) = regions.get(nc, nr) {
+                        if b != NO_COVERAGE && b != a {
+                            let key = (a.min(b), a.max(b));
+                            *adjacency.entry(key).or_insert(0.0) += config.resolution_m;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut by_signature: HashMap<TileSignature, Vec<TileId>> = HashMap::new();
+        for t in &tiles {
+            by_signature
+                .entry(t.signature.clone())
+                .or_default()
+                .push(t.id);
+        }
+
+        SignalVoronoiDiagram {
+            config,
+            regions,
+            tiles,
+            adjacency,
+            by_signature,
+        }
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &SvdConfig {
+        &self.config
+    }
+
+    /// The rasterised domain.
+    pub fn bbox(&self) -> BoundingBox {
+        self.regions.bbox()
+    }
+
+    /// All tiles.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Tile lookup by id.
+    pub fn tile(&self, id: TileId) -> Option<&Tile> {
+        self.tiles.get(id.0 as usize)
+    }
+
+    /// The tile containing `p`, if covered.
+    pub fn tile_at(&self, p: Point) -> Option<&Tile> {
+        let &region = self.regions.at(p)?;
+        if region == NO_COVERAGE {
+            None
+        } else {
+            self.tile(TileId(region))
+        }
+    }
+
+    /// Tiles carrying exactly the given signature.
+    pub fn tiles_with_signature(&self, sig: &TileSignature) -> &[TileId] {
+        self.by_signature
+            .get(sig)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The tile(s) of the known signature nearest (by rank distance) to an
+    /// observed signature. Exact matches come back at distance 0.
+    pub fn nearest_signature(&self, sig: &TileSignature) -> Option<(&TileSignature, f64)> {
+        self.by_signature
+            .keys()
+            .map(|k| (k, k.rank_distance(sig)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
+    }
+
+    /// Neighbouring tiles of `id` with the shared boundary length, metres.
+    pub fn neighbors(&self, id: TileId) -> Vec<(TileId, f64)> {
+        let mut out = Vec::new();
+        for (&(a, b), &len) in &self.adjacency {
+            if a == id.0 {
+                out.push((TileId(b), len));
+            } else if b == id.0 {
+                out.push((TileId(a), len));
+            }
+        }
+        out.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0)));
+        out
+    }
+
+    /// The neighbour of `id` with the longest shared tile boundary among
+    /// those accepted by `filter` — the paper's fallback mapping for tiles
+    /// that do not intersect the road.
+    pub fn longest_boundary_neighbor(
+        &self,
+        id: TileId,
+        mut filter: impl FnMut(TileId) -> bool,
+    ) -> Option<TileId> {
+        self.neighbors(id).into_iter().find(|&(t, _)| filter(t)).map(|(t, _)| t)
+    }
+
+    /// First-order Signal Cells: tiles grouped by site.
+    pub fn cells(&self) -> Vec<SignalCell> {
+        let mut by_site: HashMap<ApId, SignalCell> = HashMap::new();
+        for t in &self.tiles {
+            let Some(site) = t.signature.site() else {
+                continue;
+            };
+            let entry = by_site.entry(site).or_insert(SignalCell {
+                site,
+                area_m2: 0.0,
+                centroid: Point::ORIGIN,
+                tiles: Vec::new(),
+            });
+            // Accumulate area-weighted centroid.
+            entry.centroid = Point::new(
+                entry.centroid.x + t.centroid.x * t.area_m2,
+                entry.centroid.y + t.centroid.y * t.area_m2,
+            );
+            entry.area_m2 += t.area_m2;
+            entry.tiles.push(t.id);
+        }
+        let mut cells: Vec<SignalCell> = by_site
+            .into_values()
+            .map(|mut c| {
+                c.centroid = Point::new(c.centroid.x / c.area_m2, c.centroid.y / c.area_m2);
+                c
+            })
+            .collect();
+        cells.sort_by_key(|c| c.site);
+        cells
+    }
+
+    /// Joint points: raster corners where ≥ 3 tiles meet. Corners where the
+    /// meeting tiles span ≥ 3 distinct *sites* are SVE junctions; corners
+    /// where ≥ 3 tiles share a site are bisector joints.
+    pub fn joints(&self) -> Vec<Joint> {
+        let mut out = Vec::new();
+        let g = &self.regions;
+        for row in 0..g.rows().saturating_sub(1) {
+            for col in 0..g.cols().saturating_sub(1) {
+                let quad = [
+                    *g.get(col, row).unwrap(),
+                    *g.get(col + 1, row).unwrap(),
+                    *g.get(col, row + 1).unwrap(),
+                    *g.get(col + 1, row + 1).unwrap(),
+                ];
+                if quad.contains(&NO_COVERAGE) {
+                    continue;
+                }
+                let mut regions: Vec<u32> = quad.to_vec();
+                regions.sort_unstable();
+                regions.dedup();
+                if regions.len() < 3 {
+                    continue;
+                }
+                let mut sites: Vec<ApId> = regions
+                    .iter()
+                    .filter_map(|&r| self.tiles[r as usize].signature.site())
+                    .collect();
+                sites.sort_unstable();
+                sites.dedup();
+                let center = g.cell_center(col, row);
+                let corner = center.offset(self.config.resolution_m / 2.0, self.config.resolution_m / 2.0);
+                out.push(Joint {
+                    point: corner,
+                    is_cell_junction: sites.len() >= 3,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_rf::{AccessPoint, HomogeneousField};
+
+    fn three_ap_field() -> HomogeneousField {
+        HomogeneousField::new(vec![
+            AccessPoint::new(ApId(0), Point::new(50.0, 50.0)),
+            AccessPoint::new(ApId(1), Point::new(150.0, 50.0)),
+            AccessPoint::new(ApId(2), Point::new(100.0, 150.0)),
+        ])
+    }
+
+    fn bbox() -> BoundingBox {
+        BoundingBox::new(Point::new(0.0, 0.0), Point::new(200.0, 200.0))
+    }
+
+    #[test]
+    fn homogeneous_svd_matches_euclidean_voronoi() {
+        // With equal parameters the SVD degenerates to the Voronoi diagram
+        // (the paper: "only in the ideal case … will the SVD be the same as
+        // the VD").
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let aps = [
+            Point::new(50.0, 50.0),
+            Point::new(150.0, 50.0),
+            Point::new(100.0, 150.0),
+        ];
+        for (x, y) in [(20.0, 30.0), (160.0, 40.0), (100.0, 170.0), (60.0, 90.0)] {
+            let p = Point::new(x, y);
+            let nearest = (0..3)
+                .min_by(|&a, &b| {
+                    p.distance(aps[a]).partial_cmp(&p.distance(aps[b])).unwrap()
+                })
+                .unwrap();
+            let tile = svd.tile_at(p).expect("covered");
+            assert_eq!(
+                tile.signature().site(),
+                Some(ApId(nearest as u32)),
+                "at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_two_refines_cells() {
+        let field = three_ap_field();
+        let one = SignalVoronoiDiagram::build(
+            &field,
+            bbox(),
+            SvdConfig { order: 1, ..SvdConfig::default() },
+        );
+        let two = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        assert!(two.tiles().len() > one.tiles().len());
+        // Proposition: each order-1 signature is a prefix of the order-2
+        // signature at the same point.
+        for (x, y) in [(20.0, 30.0), (120.0, 80.0), (100.0, 170.0)] {
+            let p = Point::new(x, y);
+            let s1 = one.tile_at(p).unwrap().signature().clone();
+            let s2 = two.tile_at(p).unwrap().signature().clone();
+            assert!(s1.is_prefix_of(&s2), "at {p}: {s1} vs {s2}");
+        }
+    }
+
+    #[test]
+    fn signature_at_ap_position_is_dominated_by_that_ap() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let t = svd.tile_at(Point::new(50.0, 50.0)).unwrap();
+        assert_eq!(t.signature().site(), Some(ApId(0)));
+    }
+
+    #[test]
+    fn areas_sum_to_covered_domain() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let total: f64 = svd.tiles().iter().map(|t| t.area_m2()).sum();
+        // Domain is 200×200 = 40 000 m²; APs at 20 dBm under the urban model
+        // cover ~200 m, so most of the box is covered.
+        assert!(total > 30_000.0, "covered {total}");
+        assert!(total <= 40_000.0 + 1.0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_positive() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        for t in svd.tiles() {
+            for (n, len) in svd.neighbors(t.id()) {
+                assert!(len > 0.0);
+                let back = svd.neighbors(n);
+                assert!(
+                    back.iter().any(|&(b, l)| b == t.id() && l == len),
+                    "asymmetric adjacency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn longest_boundary_neighbor_respects_filter() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let some_tile = svd.tiles()[0].id();
+        let neighbors = svd.neighbors(some_tile);
+        if neighbors.len() >= 2 {
+            let banned = neighbors[0].0;
+            let chosen = svd
+                .longest_boundary_neighbor(some_tile, |t| t != banned)
+                .unwrap();
+            assert_eq!(chosen, neighbors[1].0);
+        }
+    }
+
+    #[test]
+    fn cells_partition_tiles() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let cells = svd.cells();
+        assert_eq!(cells.len(), 3);
+        let tile_total: usize = cells.iter().map(|c| c.tiles.len()).sum();
+        assert_eq!(tile_total, svd.tiles().len());
+        // Each cell's centroid should be pulled toward its site.
+        for c in &cells {
+            let site_pos = field.aps()[c.site.0 as usize].position();
+            assert!(c.centroid.distance(site_pos) < 100.0);
+        }
+    }
+
+    #[test]
+    fn joints_exist_where_three_cells_meet() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let joints = svd.joints();
+        let junctions: Vec<_> = joints.iter().filter(|j| j.is_cell_junction).collect();
+        assert!(!junctions.is_empty());
+        // For equal-parameter APs the SVE junction is the circumcentre of
+        // the three AP positions: (100, 87.5) for this triangle.
+        let expected = Point::new(100.0, 87.5);
+        let nearest = junctions
+            .iter()
+            .map(|j| j.point.distance(expected))
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest < 10.0, "nearest junction {nearest} m away");
+    }
+
+    #[test]
+    fn nearest_signature_exact_match_is_zero() {
+        let field = three_ap_field();
+        let svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let sig = svd.tiles()[0].signature().clone();
+        let (found, d) = svd.nearest_signature(&sig).unwrap();
+        assert_eq!(found, &sig);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn uncovered_point_has_no_tile() {
+        let field = HomogeneousField::new(vec![AccessPoint::new(
+            ApId(0),
+            Point::new(10.0, 10.0),
+        )]);
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(2_000.0, 100.0));
+        let svd = SignalVoronoiDiagram::build(
+            &field,
+            bb,
+            SvdConfig { resolution_m: 10.0, ..SvdConfig::default() },
+        );
+        assert!(svd.tile_at(Point::new(1_900.0, 50.0)).is_none());
+        assert!(svd.tile_at(Point::new(10.0, 10.0)).is_some());
+    }
+
+    #[test]
+    fn ap_churn_locally_deforms_diagram() {
+        // Removing AP1 must not change the signature near AP0's site but
+        // must re-label AP1's former cell (the paper's AP-dynamics claim).
+        let field = three_ap_field();
+        let svd_full = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let field_dead = field.without_aps(&[ApId(1)]);
+        let svd_dead = SignalVoronoiDiagram::build(&field_dead, bbox(), SvdConfig::default());
+        let near_ap0 = Point::new(40.0, 45.0);
+        assert_eq!(
+            svd_full.tile_at(near_ap0).unwrap().signature().site(),
+            svd_dead.tile_at(near_ap0).unwrap().signature().site(),
+        );
+        let near_ap1 = Point::new(150.0, 50.0);
+        assert_eq!(
+            svd_dead.tile_at(near_ap1).unwrap().signature().site(),
+            Some(ApId(0)), // AP0 is nearer than AP2 to (150, 50)
+        );
+    }
+}

@@ -1,0 +1,723 @@
+//! SVD-based bus positioning (Section III-B of the paper).
+//!
+//! Given an observed RSS rank list, [`RoutePositioner`] finds the road
+//! sub-segments whose tile signature matches (Definition 5's Tile Mapping,
+//! restricted to the route by the mobility constraint), disambiguates using
+//! the previous fix and the bus's maximum speed, and handles the paper's
+//! corner cases:
+//!
+//! * **rank ties** — equal RSS from two APs puts the bus on the tile
+//!   boundary; we match the union of tie-permuted signatures, which merges
+//!   the sub-segments on both sides of the boundary so the estimate lands
+//!   on it;
+//! * **unknown signatures** (noise or AP churn) — fall back to the known
+//!   signature with the smallest rank distance;
+//! * **no matching sub-segment near the prior** — dead-reckon inside the
+//!   mobility window.
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+use wilocator_rf::ApId;
+
+use crate::route_index::{RouteTileIndex, SubSegment};
+use crate::signature::{signature_from_ranked, TileSignature};
+
+/// How an estimate was produced (coarse confidence signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixMethod {
+    /// The observed signature matched a sub-segment directly.
+    Exact,
+    /// The observed ranks contained ties; the estimate sits on the merged
+    /// boundary region of the tied signatures.
+    TieBoundary,
+    /// No exact match; the nearest known signature (by rank distance) was
+    /// used.
+    NearestSignature,
+    /// No usable match; position extrapolated inside the mobility window.
+    DeadReckoned,
+}
+
+/// A position fix on the route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fix {
+    /// Arc length along the route, metres.
+    pub s: f64,
+    /// Planar position.
+    pub point: Point,
+    /// The sub-segment (or merged interval) the fix came from.
+    pub interval: (f64, f64),
+    /// How the fix was produced.
+    pub method: FixMethod,
+    /// Time of the observation, seconds.
+    pub time_s: f64,
+}
+
+/// The previous fix used as the mobility prior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prior {
+    /// Arc length of the previous fix, metres.
+    pub s: f64,
+    /// Time of the previous fix, seconds.
+    pub time_s: f64,
+}
+
+/// Configuration of the positioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionerConfig {
+    /// Signature order used for lookups (must not exceed the index order).
+    pub order: usize,
+    /// Maximum plausible bus speed, m/s (mobility constraint window).
+    pub max_speed_mps: f64,
+    /// Reject nearest-signature fallbacks farther than this rank distance.
+    pub max_rank_distance: f64,
+    /// Near-tie margin for the fallback: all signatures within this rank
+    /// distance of the best match contribute candidates, and the mobility
+    /// prior arbitrates between them.
+    pub fallback_margin: f64,
+    /// Two readings within this many dB count as tied ranks.
+    pub tie_margin_db: i32,
+    /// A fix may land this many metres *behind* the prior (noise in the
+    /// previous fix; buses never really reverse).
+    pub backtrack_m: f64,
+    /// Assumed pace while dead reckoning through scan gaps, m/s.
+    pub dead_reckon_speed_mps: f64,
+}
+
+impl Default for PositionerConfig {
+    fn default() -> Self {
+        PositionerConfig {
+            order: 2,
+            max_speed_mps: 25.0,
+            max_rank_distance: 8.0,
+            fallback_margin: 4.0,
+            tie_margin_db: 0,
+            backtrack_m: 60.0,
+            dead_reckon_speed_mps: 6.0,
+        }
+    }
+}
+
+/// Positions a bus on its route from RSS rank lists.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_road::{NetworkBuilder, Route, RouteId};
+/// use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+/// use wilocator_svd::{PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig};
+///
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(300.0, 0.0));
+/// let e = b.add_edge(n0, n1, None)?;
+/// let net = b.build();
+/// let route = Route::new(RouteId(0), "demo", vec![e], &net)?;
+/// let field = HomogeneousField::new(vec![
+///     AccessPoint::new(ApId(0), Point::new(50.0, 20.0)),
+///     AccessPoint::new(ApId(1), Point::new(250.0, -20.0)),
+/// ]);
+/// let index = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+/// let positioner = RoutePositioner::new(route, index, PositionerConfig::default());
+/// // A scan near the start hears AP0 ≫ AP1.
+/// let fix = positioner.locate(&[(ApId(0), -50), (ApId(1), -80)], 0.0, None).unwrap();
+/// assert!(fix.s < 150.0);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutePositioner {
+    route: Route,
+    index: RouteTileIndex,
+    config: PositionerConfig,
+}
+
+impl RoutePositioner {
+    /// Creates a positioner over a route and its tile index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.order` is zero or exceeds the index's order.
+    pub fn new(route: Route, index: RouteTileIndex, config: PositionerConfig) -> Self {
+        assert!(
+            config.order >= 1 && config.order <= index.config().order,
+            "positioner order must be in 1..=index order"
+        );
+        RoutePositioner {
+            route,
+            index,
+            config,
+        }
+    }
+
+    /// The route being tracked.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// The underlying tile index.
+    pub fn index(&self) -> &RouteTileIndex {
+        &self.index
+    }
+
+    /// The positioner configuration.
+    pub fn config(&self) -> &PositionerConfig {
+        &self.config
+    }
+
+    /// Produces a fix from a ranked RSS list (strongest first) observed at
+    /// `time_s`, optionally constrained by the previous fix.
+    ///
+    /// Returns `None` when the scan is empty and no prior exists.
+    pub fn locate(
+        &self,
+        ranked: &[(ApId, i32)],
+        time_s: f64,
+        prior: Option<Prior>,
+    ) -> Option<Fix> {
+        if ranked.is_empty() {
+            return self.dead_reckon(time_s, prior);
+        }
+
+        // 1. Candidate signatures: the observed one, plus permutations of
+        //    tied ranks (equal RSS ⇒ the bus sits on a tile boundary).
+        let signatures = self.tie_signatures(ranked);
+        let tied = signatures.len() > 1;
+
+        // 2. Collect candidate intervals. At order ≤ 2 this is an exact
+        //    signature lookup. At higher orders matching is hierarchical:
+        //    the top-2 prefix (the most reliable part of a noisy rank
+        //    list — the paper's "2-order SVD is often enough") selects the
+        //    enclosing coarse tile, and the *full* rank list then scores
+        //    the finer runs inside it by rank distance. Exact matches come
+        //    back at distance 0; a corrupted tail rank degrades gracefully
+        //    to the order-2 cell instead of aliasing to a distant tile
+        //    that happens to carry the corrupted permutation.
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        let mut exact = true;
+        if self.config.order <= 2 {
+            for sig in &signatures {
+                for seg in self.index.candidates(sig) {
+                    intervals.push((seg.s0, seg.s1));
+                }
+            }
+        } else {
+            let mut scored: Vec<(&SubSegment, f64)> = Vec::new();
+            for sig in &signatures {
+                let prefix = sig.truncated(2);
+                for seg in self.index.candidates_with_prefix(&prefix) {
+                    scored.push((seg, seg.signature.rank_distance(sig)));
+                }
+            }
+            if let Some(best) = scored
+                .iter()
+                .map(|&(_, d)| d)
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            {
+                exact = best == 0.0;
+                for (seg, d) in scored {
+                    if d <= best + self.config.fallback_margin {
+                        intervals.push((seg.s0, seg.s1));
+                    }
+                }
+            }
+        }
+        let mut method = if tied {
+            FixMethod::TieBoundary
+        } else if exact {
+            FixMethod::Exact
+        } else {
+            FixMethod::NearestSignature
+        };
+
+        // 3. Fallback: the nearest known signatures by rank distance. All
+        //    near-ties contribute candidates so the mobility constraint can
+        //    arbitrate (a noisy rank metric alone picks wrong runs).
+        if intervals.is_empty() {
+            let observed = signature_from_ranked(ranked, self.config.order);
+            let near: Vec<TileSignature> = self
+                .index
+                .nearest_signatures(&observed, 6, self.config.fallback_margin)
+                .into_iter()
+                .filter(|&(_, d)| d <= self.config.max_rank_distance)
+                .map(|(s, _)| s.clone())
+                .collect();
+            for sig in &near {
+                for seg in self.index.candidates(sig) {
+                    intervals.push((seg.s0, seg.s1));
+                }
+            }
+            if !intervals.is_empty() {
+                method = FixMethod::NearestSignature;
+            }
+        }
+        if intervals.is_empty() {
+            return self.dead_reckon(time_s, prior);
+        }
+
+        // 4. Merge overlapping/adjacent intervals (tied signatures produce
+        //    abutting runs around the tile boundary).
+        let merged = merge_intervals(intervals, self.index.sample_step_m());
+
+        // 5. Mobility constraint: prefer the interval consistent with the
+        //    prior; a bus only moves forward along its route.
+        let interval = match prior {
+            Some(pr) => {
+                let dt = (time_s - pr.time_s).max(0.0);
+                let reach = (
+                    pr.s - self.config.backtrack_m,
+                    pr.s + self.config.max_speed_mps * dt,
+                );
+                let slack = 2.0 * self.index.sample_step_m() + 5.0;
+                let feasible: Vec<&(f64, f64)> = merged
+                    .iter()
+                    .filter(|&&(a, b)| b >= reach.0 - slack && a <= reach.1 + slack)
+                    .collect();
+                match feasible.len() {
+                    0 => {
+                        // Scan contradicts the mobility window — trust the
+                        // window (the paper trusts the route constraint over
+                        // a single noisy scan).
+                        return self.dead_reckon(time_s, prior);
+                    }
+                    _ => *feasible
+                        .into_iter()
+                        .min_by(|&&(a0, b0), &&(a1, b1)| {
+                            let c0 = interval_distance(a0, b0, pr.s);
+                            let c1 = interval_distance(a1, b1, pr.s);
+                            c0.partial_cmp(&c1).expect("finite")
+                        })
+                        .expect("non-empty"),
+                }
+            }
+            None => {
+                // No prior: take the longest interval (highest prior mass).
+                *merged
+                    .iter()
+                    .max_by(|&&(a0, b0), &&(a1, b1)| {
+                        (b0 - a0).partial_cmp(&(b1 - a1)).expect("finite")
+                    })
+                    .expect("non-empty")
+            }
+        };
+
+        // 6. Point estimate: the interval midpoint (the Tile Mapping's
+        //    centroid projection), clamped into the reachable window.
+        let mut s = 0.5 * (interval.0 + interval.1);
+        if let Some(pr) = prior {
+            let dt = (time_s - pr.time_s).max(0.0);
+            let lo = (pr.s - self.config.backtrack_m).max(interval.0);
+            let hi = (pr.s + self.config.max_speed_mps * dt).min(interval.1);
+            if lo <= hi {
+                s = s.clamp(lo, hi);
+            }
+        }
+        let s = s.clamp(0.0, self.route.length());
+        Some(Fix {
+            s,
+            point: self.route.point_at(s),
+            interval,
+            method,
+            time_s,
+        })
+    }
+
+    /// The paper's easy case: equal ranks put the bus on the boundary. We
+    /// enumerate signatures produced by swapping *adjacent tied* readings
+    /// (bounded to avoid factorial blow-up).
+    fn tie_signatures(&self, ranked: &[(ApId, i32)]) -> Vec<TileSignature> {
+        let k = self.config.order;
+        let margin = self.config.tie_margin_db;
+        let base: Vec<(ApId, i32)> = ranked.to_vec();
+        let mut out = vec![signature_from_ranked(&base, k)];
+        // Collect swap positions among the first k+1 entries where RSS is
+        // within the tie margin.
+        let upper = (k + 1).min(base.len());
+        let mut swaps = Vec::new();
+        for i in 0..upper.saturating_sub(1) {
+            if (base[i].1 - base[i + 1].1).abs() <= margin {
+                swaps.push(i);
+            }
+        }
+        // Apply each single swap (covers the common one-boundary case) and
+        // the all-swaps variant; bounded, deterministic.
+        for &i in swaps.iter().take(3) {
+            let mut v = base.clone();
+            v.swap(i, i + 1);
+            let sig = signature_from_ranked(&v, k);
+            if !out.contains(&sig) {
+                out.push(sig);
+            }
+        }
+        out
+    }
+
+    fn dead_reckon(&self, time_s: f64, prior: Option<Prior>) -> Option<Fix> {
+        let pr = prior?;
+        // Without a measurement, assume the bus kept a typical urban pace
+        // since the last fix.
+        let dt = (time_s - pr.time_s).max(0.0);
+        let s = (pr.s + self.config.dead_reckon_speed_mps * dt).min(self.route.length());
+        Some(Fix {
+            s,
+            point: self.route.point_at(s),
+            interval: (pr.s, s),
+            method: FixMethod::DeadReckoned,
+            time_s,
+        })
+    }
+
+    /// Positioning error of a fix against ground truth, measured as road
+    /// length (the paper's error metric).
+    pub fn road_error_m(&self, fix: &Fix, truth_s: f64) -> f64 {
+        (fix.s - truth_s).abs()
+    }
+
+    /// The sub-segment containing arc length `s` (exposes the index for
+    /// diagnostics).
+    pub fn subsegment_at(&self, s: f64) -> &SubSegment {
+        self.index.subsegment_at(s)
+    }
+}
+
+/// A stateful tracking filter around [`RoutePositioner`]: chains the
+/// mobility prior between fixes and recovers from divergence by
+/// *progressively widening* the search window instead of trusting either
+/// the prior or a single noisy scan outright.
+///
+/// After `streak_threshold` consecutive fixes that did not come from an
+/// exact signature match, the prior is slid backwards (both in position
+/// and time) a little more each step, growing the feasible window in both
+/// directions until the filter re-locks on an exact match.
+#[derive(Debug, Clone)]
+pub struct TrackingFilter {
+    positioner: RoutePositioner,
+    prior: Option<Prior>,
+    unmatched_streak: usize,
+    streak_threshold: usize,
+}
+
+impl TrackingFilter {
+    /// Wraps a positioner with default divergence handling (threshold 3).
+    pub fn new(positioner: RoutePositioner) -> Self {
+        TrackingFilter {
+            positioner,
+            prior: None,
+            unmatched_streak: 0,
+            streak_threshold: 3,
+        }
+    }
+
+    /// The wrapped positioner.
+    pub fn positioner(&self) -> &RoutePositioner {
+        &self.positioner
+    }
+
+    /// The current prior, if any.
+    pub fn prior(&self) -> Option<Prior> {
+        self.prior
+    }
+
+    /// Processes one ranked scan, updating the prior.
+    ///
+    /// Three regimes:
+    ///
+    /// * **Acquisition** (no prior yet): only a scan-anchored fix (exact or
+    ///   tie-boundary match) initialises the track — a rank-distance guess
+    ///   with no mobility constraint can land anywhere on the route.
+    /// * **Tracking**: normal mobility-constrained positioning; a
+    ///   dead-reckoned fix (scan rejected) increments the divergence
+    ///   counter, any scan-anchored fix resets it.
+    /// * **Re-acquisition** (counter at threshold): the search window is
+    ///   progressively widened around the last estimate until an *exact*
+    ///   match re-locks the track. Dead reckoning itself always proceeds
+    ///   from the unwidened prior at the configured pace, so a diverged
+    ///   track drifts boundedly instead of compounding.
+    pub fn step(&mut self, ranked: &[(ApId, i32)], time_s: f64) -> Option<Fix> {
+        let Some(pr) = self.prior else {
+            // Acquisition.
+            let fix = self.positioner.locate(ranked, time_s, None)?;
+            return match fix.method {
+                FixMethod::Exact | FixMethod::TieBoundary => {
+                    self.unmatched_streak = 0;
+                    self.prior = Some(Prior {
+                        s: fix.s,
+                        time_s: fix.time_s,
+                    });
+                    Some(fix)
+                }
+                _ => None,
+            };
+        };
+        // Tracking with the raw prior.
+        let fix = self.positioner.locate(ranked, time_s, Some(pr))?;
+        match fix.method {
+            FixMethod::DeadReckoned => {
+                self.unmatched_streak += 1;
+                // Re-acquisition: widen the window and demand a
+                // scan-anchored re-lock.
+                if self.unmatched_streak >= self.streak_threshold {
+                    let w = (self.unmatched_streak - self.streak_threshold + 1) as f64;
+                    let widened = Prior {
+                        s: (pr.s - 150.0 * w).max(0.0),
+                        time_s: pr.time_s - 30.0 * w,
+                    };
+                    if let Some(refix) = self.positioner.locate(ranked, time_s, Some(widened))
+                    {
+                        if matches!(
+                            refix.method,
+                            FixMethod::Exact | FixMethod::TieBoundary
+                        ) {
+                            self.unmatched_streak = 0;
+                            self.prior = Some(Prior {
+                                s: refix.s,
+                                time_s: refix.time_s,
+                            });
+                            return Some(refix);
+                        }
+                    }
+                }
+                self.prior = Some(Prior {
+                    s: fix.s,
+                    time_s: fix.time_s,
+                });
+                Some(fix)
+            }
+            _ => {
+                self.unmatched_streak = 0;
+                self.prior = Some(Prior {
+                    s: fix.s,
+                    time_s: fix.time_s,
+                });
+                Some(fix)
+            }
+        }
+    }
+
+    /// Resets the filter for a new trip.
+    pub fn reset(&mut self) {
+        self.prior = None;
+        self.unmatched_streak = 0;
+    }
+
+    /// Seeds the prior from an external position source (e.g. a
+    /// map-matched GPS fix during a WiFi coverage gap), so the next scan
+    /// is searched around it.
+    pub fn seed(&mut self, prior: Prior) {
+        self.prior = Some(prior);
+        self.unmatched_streak = 0;
+    }
+}
+
+
+/// Merges intervals closer than `gap` into maximal disjoint intervals.
+fn merge_intervals(mut intervals: Vec<(f64, f64)>, gap: f64) -> Vec<(f64, f64)> {
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for (a, b) in intervals {
+        match out.last_mut() {
+            Some(last) if a <= last.1 + gap => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Distance from `s` to the interval `[a, b]` (0 when inside).
+fn interval_distance(a: f64, b: f64, s: f64) -> f64 {
+    if s < a {
+        a - s
+    } else if s > b {
+        s - b
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::SvdConfig;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{AccessPoint, HomogeneousField, SignalField};
+
+    fn street(len: f64, spacing: f64) -> (Route, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(len, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "t", vec![e], &b.build()).unwrap();
+        let mut aps = Vec::new();
+        let mut x = spacing / 2.0;
+        let mut i = 0u32;
+        while x < len {
+            let y = if i.is_multiple_of(2) { 15.0 } else { -15.0 };
+            aps.push(AccessPoint::new(ApId(i), Point::new(x, y)));
+            i += 1;
+            x += spacing;
+        }
+        (route, HomogeneousField::new(aps))
+    }
+
+    fn positioner(len: f64, spacing: f64) -> (RoutePositioner, HomogeneousField) {
+        let (route, field) = street(len, spacing);
+        let index = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        (
+            RoutePositioner::new(route, index, PositionerConfig::default()),
+            field,
+        )
+    }
+
+    /// Noiseless ranked list at a point.
+    fn ranked_at(field: &HomogeneousField, p: Point) -> Vec<(ApId, i32)> {
+        field
+            .detectable_at(p, -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, rss.round() as i32))
+            .collect()
+    }
+
+    #[test]
+    fn noiseless_fix_is_accurate() {
+        let (pos, field) = positioner(800.0, 80.0);
+        for truth in [40.0, 211.0, 555.0, 790.0] {
+            let ranked = ranked_at(&field, pos.route().point_at(truth));
+            let fix = pos.locate(&ranked, 0.0, None).expect("fix");
+            // Sub-segments with 80 m AP spacing are ≲ 40 m; the midpoint
+            // estimate is therefore within ~half a run of the truth, a bit
+            // more at the route ends where runs are unterminated.
+            assert!(
+                pos.road_error_m(&fix, truth) <= 45.0,
+                "truth {truth}, fix {} ({:?})",
+                fix.s,
+                fix.method
+            );
+        }
+    }
+
+    #[test]
+    fn prior_disambiguates_between_repeated_signatures() {
+        let (pos, field) = positioner(800.0, 80.0);
+        let truth = 400.0;
+        let ranked = ranked_at(&field, pos.route().point_at(truth));
+        let prior = Prior { s: 380.0, time_s: 0.0 };
+        let fix = pos.locate(&ranked, 10.0, Some(prior)).unwrap();
+        assert!((fix.s - truth).abs() <= 25.0);
+        // Fix must lie in the forward mobility window.
+        assert!(fix.s >= prior.s - 1e-9);
+        assert!(fix.s <= prior.s + 25.0 * 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_scan_dead_reckons_from_prior() {
+        let (pos, _field) = positioner(800.0, 80.0);
+        let prior = Prior { s: 100.0, time_s: 0.0 };
+        let fix = pos.locate(&[], 10.0, Some(prior)).unwrap();
+        assert_eq!(fix.method, FixMethod::DeadReckoned);
+        assert!(fix.s > 100.0 && fix.s < 100.0 + 250.0);
+    }
+
+    #[test]
+    fn empty_scan_without_prior_is_none() {
+        let (pos, _field) = positioner(800.0, 80.0);
+        assert!(pos.locate(&[], 0.0, None).is_none());
+    }
+
+    #[test]
+    fn tie_produces_boundary_estimate() {
+        let (pos, _field) = positioner(800.0, 80.0);
+        // Find two consecutive sub-segments A, B whose order-2 signatures
+        // share the site but differ in the second rank: the boundary
+        // between them is where ranks 2 and 3 tie. Constructing a scan
+        // with that exact tie must place the bus on the shared boundary.
+        let subs = pos.index().subsegments().to_vec();
+        let mut tested = false;
+        for w in subs.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let (sa, sb) = (a.signature.aps(), b.signature.aps());
+            if sa.len() == 2 && sb.len() == 2 && sa[0] == sb[0] && sa[1] != sb[1] {
+                let boundary = a.s1;
+                // Rank list: shared site strongest, then the two tied
+                // second-place APs.
+                let ranked = vec![(sa[0], -50), (sa[1], -60), (sb[1], -60)];
+                let fix = pos.locate(&ranked, 0.0, None).unwrap();
+                assert_eq!(fix.method, FixMethod::TieBoundary);
+                assert!(
+                    (fix.s - boundary).abs() <= (a.length() + b.length()) / 2.0 + 5.0,
+                    "boundary {boundary}, fix {} ({:?})",
+                    fix.s,
+                    fix.method
+                );
+                tested = true;
+                break;
+            }
+        }
+        assert!(tested, "no same-site boundary found on the test street");
+    }
+
+    #[test]
+    fn unknown_signature_falls_back_to_nearest() {
+        let (pos, field) = positioner(800.0, 80.0);
+        let truth = 300.0;
+        let mut ranked = ranked_at(&field, pos.route().point_at(truth));
+        // Corrupt the list: drop the strongest AP (as if it just died).
+        ranked.remove(0);
+        let fix = pos.locate(&ranked, 0.0, None).expect("fallback fix");
+        assert!(
+            pos.road_error_m(&fix, truth) <= 120.0,
+            "err {}",
+            pos.road_error_m(&fix, truth)
+        );
+    }
+
+    #[test]
+    fn contradictory_scan_is_overridden_by_mobility() {
+        let (pos, field) = positioner(800.0, 80.0);
+        // Prior at s = 100; scan claims the bus is at s = 700 one second
+        // later (impossible at 25 m/s).
+        let ranked = ranked_at(&field, pos.route().point_at(700.0));
+        let prior = Prior { s: 100.0, time_s: 0.0 };
+        let fix = pos.locate(&ranked, 1.0, Some(prior)).unwrap();
+        assert_eq!(fix.method, FixMethod::DeadReckoned);
+        assert!(fix.s < 150.0);
+    }
+
+    #[test]
+    fn merge_intervals_merges_adjacent() {
+        let merged = merge_intervals(vec![(0.0, 10.0), (10.5, 20.0), (40.0, 50.0)], 1.0);
+        assert_eq!(merged, vec![(0.0, 20.0), (40.0, 50.0)]);
+    }
+
+    #[test]
+    fn merge_intervals_keeps_disjoint() {
+        let merged = merge_intervals(vec![(0.0, 1.0), (5.0, 6.0)], 0.5);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn interval_distance_cases() {
+        assert_eq!(interval_distance(2.0, 4.0, 3.0), 0.0);
+        assert_eq!(interval_distance(2.0, 4.0, 1.0), 1.0);
+        assert_eq!(interval_distance(2.0, 4.0, 6.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn order_exceeding_index_rejected() {
+        let (route, field) = street(200.0, 80.0);
+        let index = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let _ = RoutePositioner::new(
+            route,
+            index,
+            PositionerConfig { order: 5, ..PositionerConfig::default() },
+        );
+    }
+
+    #[test]
+    fn fix_error_metric_is_road_distance() {
+        let (pos, field) = positioner(400.0, 80.0);
+        let ranked = ranked_at(&field, pos.route().point_at(100.0));
+        let fix = pos.locate(&ranked, 0.0, None).unwrap();
+        assert_eq!(pos.road_error_m(&fix, fix.s), 0.0);
+        assert_eq!(pos.road_error_m(&fix, fix.s + 7.0), 7.0);
+    }
+}

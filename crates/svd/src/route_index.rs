@@ -1,0 +1,431 @@
+//! Route-constrained tile index: the SVD restricted to a bus route.
+//!
+//! The paper's key positioning insight is the *mobility constraint*: a bus
+//! is always on its route, so only the intersection of each Signal Tile
+//! with the route matters (the road sub-segments `e_{ij}` of Definition 5).
+//! This index samples the route geometry at a fine step, labels each sample
+//! with its `k`-order signature under the mean field, and merges contiguous
+//! equal-signature runs into [`SubSegment`]s. Positioning then reduces to a
+//! hash lookup from the observed rank list to the sub-segments carrying it.
+
+use std::collections::HashMap;
+
+
+use wilocator_road::Route;
+use wilocator_rf::SignalField;
+
+use crate::diagram::SvdConfig;
+use crate::signature::{signature_from_ranked, TileSignature};
+
+/// A maximal run of route arc length with a constant tile signature —
+/// the sub-segment `e_{ij}` that the paper's Tile Mapping produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubSegment {
+    /// The signature carried by this run.
+    pub signature: TileSignature,
+    /// Start of the run, metres from the route start.
+    pub s0: f64,
+    /// End of the run, metres from the route start.
+    pub s1: f64,
+}
+
+impl SubSegment {
+    /// Length of the run, metres.
+    pub fn length(&self) -> f64 {
+        self.s1 - self.s0
+    }
+
+    /// Midpoint arc length — the position estimate the Tile Mapping yields
+    /// when no other constraint applies.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.s0 + self.s1)
+    }
+
+    /// True when arc length `s` falls inside the run.
+    pub fn contains(&self, s: f64) -> bool {
+        s >= self.s0 && s <= self.s1
+    }
+}
+
+/// The SVD of a route: signature → sub-segments.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_road::{NetworkBuilder, Route, RouteId};
+/// use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+/// use wilocator_svd::{RouteTileIndex, SvdConfig};
+///
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(300.0, 0.0));
+/// let e = b.add_edge(n0, n1, None)?;
+/// let net = b.build();
+/// let route = Route::new(RouteId(0), "demo", vec![e], &net)?;
+/// let field = HomogeneousField::new(vec![
+///     AccessPoint::new(ApId(0), Point::new(50.0, 20.0)),
+///     AccessPoint::new(ApId(1), Point::new(250.0, -20.0)),
+/// ]);
+/// let index = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+/// assert!(index.subsegments().len() >= 2);
+/// # Ok::<(), wilocator_road::RoadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteTileIndex {
+    subsegments: Vec<SubSegment>,
+    by_signature: HashMap<TileSignature, Vec<usize>>,
+    /// Signatures bucketed by their site (first AP) — narrows the
+    /// nearest-signature fallback from all signatures to a handful.
+    by_site: HashMap<wilocator_rf::ApId, Vec<TileSignature>>,
+    /// Sub-segment indices keyed by every proper prefix of their
+    /// signature: the hierarchical (lower-order) lookup. A noisy tail rank
+    /// falls back to the enclosing coarser tile instead of a rank-distance
+    /// guess.
+    by_prefix: HashMap<TileSignature, Vec<usize>>,
+    sample_step_m: f64,
+    config: SvdConfig,
+    route_length: f64,
+}
+
+impl RouteTileIndex {
+    /// Samples `route` every `sample_step_m` metres against `field` and
+    /// merges equal-signature runs.
+    ///
+    /// Runs where *no* AP is detectable get the empty signature; they are
+    /// kept (the tracker treats an empty scan as "no fix").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_step_m <= 0` or `config.order == 0`.
+    pub fn build<F: SignalField + ?Sized>(
+        field: &F,
+        route: &Route,
+        config: SvdConfig,
+        sample_step_m: f64,
+    ) -> Self {
+        assert!(sample_step_m > 0.0, "sample step must be positive");
+        assert!(config.order >= 1, "signature order must be at least 1");
+        let samples = route.geometry().sample(sample_step_m);
+        let mut subsegments: Vec<SubSegment> = Vec::new();
+        for &(s, p) in &samples {
+            let ranked = field.detectable_at(p, config.detection_threshold_dbm);
+            let sig = signature_from_ranked(&ranked, config.order);
+            match subsegments.last_mut() {
+                Some(last) if last.signature == sig => last.s1 = s,
+                _ => subsegments.push(SubSegment {
+                    signature: sig,
+                    s0: s,
+                    s1: s,
+                }),
+            }
+        }
+        // Extend half a step on each side so runs tile the route without
+        // gaps: a sample represents the interval around it.
+        let half = sample_step_m / 2.0;
+        let len = route.length();
+        for seg in &mut subsegments {
+            seg.s0 = (seg.s0 - half).max(0.0);
+            seg.s1 = (seg.s1 + half).min(len);
+        }
+        let mut by_signature: HashMap<TileSignature, Vec<usize>> = HashMap::new();
+        for (i, seg) in subsegments.iter().enumerate() {
+            by_signature.entry(seg.signature.clone()).or_default().push(i);
+        }
+        let mut by_site: HashMap<wilocator_rf::ApId, Vec<TileSignature>> = HashMap::new();
+        for sig in by_signature.keys() {
+            if let Some(site) = sig.site() {
+                by_site.entry(site).or_default().push(sig.clone());
+            }
+        }
+        let mut by_prefix: HashMap<TileSignature, Vec<usize>> = HashMap::new();
+        for (i, seg) in subsegments.iter().enumerate() {
+            for k in 1..seg.signature.order() {
+                by_prefix
+                    .entry(seg.signature.truncated(k))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        RouteTileIndex {
+            subsegments,
+            by_signature,
+            by_site,
+            by_prefix,
+            sample_step_m,
+            config,
+            route_length: len,
+        }
+    }
+
+    /// All sub-segments, ordered by arc length.
+    pub fn subsegments(&self) -> &[SubSegment] {
+        &self.subsegments
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &SvdConfig {
+        &self.config
+    }
+
+    /// The sampling step, metres.
+    pub fn sample_step_m(&self) -> f64 {
+        self.sample_step_m
+    }
+
+    /// Length of the indexed route, metres.
+    pub fn route_length(&self) -> f64 {
+        self.route_length
+    }
+
+    /// Sub-segments carrying exactly `sig`.
+    pub fn candidates(&self, sig: &TileSignature) -> Vec<&SubSegment> {
+        self.by_signature
+            .get(sig)
+            .map(|idx| idx.iter().map(|&i| &self.subsegments[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Sub-segments whose signature *starts with* `prefix` (the union of
+    /// the finer tiles inside the coarser tile named by the prefix). Exact
+    /// matches are included.
+    pub fn candidates_with_prefix(&self, prefix: &TileSignature) -> Vec<&SubSegment> {
+        let mut out: Vec<&SubSegment> = self
+            .by_prefix
+            .get(prefix)
+            .map(|idx| idx.iter().map(|&i| &self.subsegments[i]).collect())
+            .unwrap_or_default();
+        out.extend(self.candidates(prefix));
+        out
+    }
+
+    /// The known signature nearest to `sig` by rank distance, with the
+    /// distance. Empty-signature runs are not eligible.
+    ///
+    /// For speed the search first visits signatures sharing any of the
+    /// observed APs as *site* (the realistic perturbations — rank swaps,
+    /// one AP missing — stay within those buckets); only if the observed
+    /// APs appear as no site at all does it fall back to a full scan.
+    pub fn nearest_signature(&self, sig: &TileSignature) -> Option<(&TileSignature, f64)> {
+        self.nearest_signatures(sig, 1, 0.0).into_iter().next()
+    }
+
+    /// Up to `k` known signatures closest to `sig` by rank distance, all
+    /// within `margin` of the best distance. Returning several near-ties
+    /// lets the caller's mobility constraint pick the physically plausible
+    /// one instead of trusting a noisy rank metric alone.
+    pub fn nearest_signatures(
+        &self,
+        sig: &TileSignature,
+        k: usize,
+        margin: f64,
+    ) -> Vec<(&TileSignature, f64)> {
+        let mut scored: Vec<(&TileSignature, f64)> = Vec::new();
+        let mut visited_any = false;
+        for ap in sig.aps() {
+            if let Some(bucket) = self.by_site.get(ap) {
+                visited_any = true;
+                for cand in bucket {
+                    let d = cand.rank_distance(sig);
+                    scored.push((cand, d));
+                }
+            }
+        }
+        if !visited_any {
+            scored = self
+                .by_signature
+                .keys()
+                .filter(|c| !c.is_empty())
+                .map(|c| (c, c.rank_distance(sig)))
+                .collect();
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+        scored.dedup_by(|a, b| std::ptr::eq(a.0, b.0));
+        let Some(&(_, best)) = scored.first() else {
+            return Vec::new();
+        };
+        scored
+            .into_iter()
+            .take_while(|&(_, d)| d <= best + margin)
+            .take(k.max(1))
+            .collect()
+    }
+
+    /// The sub-segment containing arc length `s` (clamped).
+    pub fn subsegment_at(&self, s: f64) -> &SubSegment {
+        let s = s.clamp(0.0, self.route_length);
+        // Sub-segments are ordered and tile [0, length]; binary search.
+        let mut lo = 0usize;
+        let mut hi = self.subsegments.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.subsegments[mid].s1 < s {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        &self.subsegments[lo]
+    }
+
+    /// Number of distinct non-empty signatures on the route.
+    pub fn signature_count(&self) -> usize {
+        self.by_signature.keys().filter(|k| !k.is_empty()).count()
+    }
+
+    /// Mean length of non-empty sub-segments — the resolution of rank-based
+    /// positioning (Propositions 2–3: more APs or higher order shrink it).
+    pub fn mean_subsegment_length(&self) -> f64 {
+        let runs: Vec<&SubSegment> = self
+            .subsegments
+            .iter()
+            .filter(|s| !s.signature.is_empty())
+            .collect();
+        if runs.is_empty() {
+            return 0.0;
+        }
+        runs.iter().map(|s| s.length()).sum::<f64>() / runs.len() as f64
+    }
+
+    /// Fraction of the route length with at least one detectable AP.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.route_length <= 0.0 {
+            return 0.0;
+        }
+        self.subsegments
+            .iter()
+            .filter(|s| !s.signature.is_empty())
+            .map(|s| s.length())
+            .sum::<f64>()
+            / self.route_length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_geo::Point;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+
+    fn straight_route(len: f64) -> Route {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(len, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        Route::new(RouteId(0), "t", vec![e], &b.build()).unwrap()
+    }
+
+    fn field_on_street(spacing: f64, len: f64) -> HomogeneousField {
+        let mut aps = Vec::new();
+        let mut x = spacing / 2.0;
+        let mut i = 0u32;
+        while x < len {
+            let y = if i.is_multiple_of(2) { 15.0 } else { -15.0 };
+            aps.push(AccessPoint::new(ApId(i), Point::new(x, y)));
+            i += 1;
+            x += spacing;
+        }
+        HomogeneousField::new(aps)
+    }
+
+    #[test]
+    fn subsegments_tile_the_route() {
+        let route = straight_route(600.0);
+        let field = field_on_street(80.0, 600.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        assert!((idx.subsegments().first().unwrap().s0 - 0.0).abs() < 1e-9);
+        assert!((idx.subsegments().last().unwrap().s1 - 600.0).abs() < 1e-9);
+        for w in idx.subsegments().windows(2) {
+            assert!(w[1].s0 <= w[0].s1 + 1e-9, "gap between runs");
+            assert!(w[1].s0 >= w[0].s0);
+        }
+    }
+
+    #[test]
+    fn lookup_matches_position() {
+        let route = straight_route(600.0);
+        let field = field_on_street(80.0, 600.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        for s in [5.0, 100.0, 299.5, 580.0] {
+            let seg = idx.subsegment_at(s);
+            assert!(seg.contains(s), "s = {s} not in [{}, {}]", seg.s0, seg.s1);
+            // Looking up the signature must return a run containing s.
+            let cands = idx.candidates(&seg.signature);
+            assert!(cands.iter().any(|c| c.contains(s)));
+        }
+    }
+
+    #[test]
+    fn denser_aps_shrink_subsegments() {
+        // Proposition 3: more APs ⇒ finer partition ⇒ higher accuracy.
+        let route = straight_route(1_000.0);
+        let sparse = field_on_street(200.0, 1_000.0);
+        let dense = field_on_street(50.0, 1_000.0);
+        let cfg = SvdConfig::default();
+        let si = RouteTileIndex::build(&sparse, &route, cfg, 1.0);
+        let di = RouteTileIndex::build(&dense, &route, cfg, 1.0);
+        assert!(di.mean_subsegment_length() < si.mean_subsegment_length());
+    }
+
+    #[test]
+    fn higher_order_refines_partition() {
+        // Proposition 2: higher order ⇒ finer partition.
+        let route = straight_route(1_000.0);
+        let field = field_on_street(80.0, 1_000.0);
+        let mk = |order| {
+            RouteTileIndex::build(
+                &field,
+                &route,
+                SvdConfig { order, ..SvdConfig::default() },
+                1.0,
+            )
+        };
+        let o1 = mk(1);
+        let o3 = mk(3);
+        assert!(o3.subsegments().len() > o1.subsegments().len());
+        assert!(o3.mean_subsegment_length() < o1.mean_subsegment_length());
+    }
+
+    #[test]
+    fn coverage_full_on_instrumented_street() {
+        let route = straight_route(600.0);
+        let field = field_on_street(80.0, 600.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        assert!((idx.coverage_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_gap_without_aps() {
+        let route = straight_route(2_000.0);
+        // APs only on the first 500 m.
+        let field = field_on_street(80.0, 500.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 2.0);
+        let cov = idx.coverage_fraction();
+        assert!(cov > 0.2 && cov < 0.6, "coverage {cov}");
+    }
+
+    #[test]
+    fn nearest_signature_recovers_from_swap() {
+        let route = straight_route(600.0);
+        let field = field_on_street(80.0, 600.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let seg = idx.subsegment_at(300.0);
+        // Swap the two ranks of the observed signature; the nearest known
+        // signature should still be at most a couple of swaps away.
+        let aps = seg.signature.aps();
+        if aps.len() == 2 {
+            let swapped = TileSignature::new(vec![aps[1], aps[0]]);
+            let (_found, d) = idx.nearest_signature(&swapped).unwrap();
+            assert!(d <= 2.0, "distance {d}");
+        }
+    }
+
+    #[test]
+    fn signature_count_positive() {
+        let route = straight_route(600.0);
+        let field = field_on_street(80.0, 600.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        assert!(idx.signature_count() >= 6);
+    }
+}

@@ -1,0 +1,223 @@
+//! Tile signatures: the RSS rank lists that name Signal Tiles.
+//!
+//! Proposition 1 of the paper: within a Signal Tile
+//! `ST(p_i, p_{n'_1}, …, p_{n'_k})` the RSS values are ordered
+//! `RSS(x, p_i) ≥ RSS(x, p_{n'_1}) ≥ …`. A tile is therefore *named* by the
+//! ordered list of its strongest APs — the [`TileSignature`]. A `k`-order
+//! signature lists the top `k` APs; order 1 names a Signal Cell, order 2 the
+//! second-order tiles the paper finds sufficient in practice ("a
+//! second-order SVD is enough for a high accuracy", footnote 4).
+
+use wilocator_rf::ApId;
+
+/// An ordered list of AP ids, strongest first, naming a Signal Tile.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_rf::ApId;
+/// use wilocator_svd::TileSignature;
+///
+/// // The paper's Fig. 2 example: rank list (b, a, d).
+/// let sig = TileSignature::new(vec![ApId(1), ApId(0), ApId(3)]);
+/// assert_eq!(sig.order(), 3);
+/// assert_eq!(sig.site(), Some(ApId(1)));
+/// assert_eq!(sig.truncated(2), TileSignature::new(vec![ApId(1), ApId(0)]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileSignature(Vec<ApId>);
+
+impl TileSignature {
+    /// Creates a signature from an ordered AP list (strongest first).
+    pub fn new(aps: Vec<ApId>) -> Self {
+        TileSignature(aps)
+    }
+
+    /// The empty signature: no AP detectable (outside all coverage).
+    pub fn empty() -> Self {
+        TileSignature(Vec::new())
+    }
+
+    /// The ordered AP ids, strongest first.
+    pub fn aps(&self) -> &[ApId] {
+        &self.0
+    }
+
+    /// Number of ranks in the signature.
+    pub fn order(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no AP is detectable.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The dominating AP — the *site* (generator) of the enclosing Signal
+    /// Cell — or `None` for the empty signature.
+    pub fn site(&self) -> Option<ApId> {
+        self.0.first().copied()
+    }
+
+    /// The signature truncated to at most `k` ranks.
+    pub fn truncated(&self, k: usize) -> TileSignature {
+        TileSignature(self.0.iter().take(k).copied().collect())
+    }
+
+    /// True when `other` refines `self` (same leading ranks).
+    pub fn is_prefix_of(&self, other: &TileSignature) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Signature with the given APs removed and remaining ranks closed up —
+    /// what the observed rank list becomes after AP churn (the paper's
+    /// "AP b is out of function" scenario).
+    pub fn without_aps(&self, dead: &[ApId]) -> TileSignature {
+        TileSignature(
+            self.0
+                .iter()
+                .copied()
+                .filter(|ap| !dead.contains(ap))
+                .collect(),
+        )
+    }
+
+    /// Rank dissimilarity to `other`: a Spearman-footrule-style distance.
+    ///
+    /// APs present in both lists contribute the absolute difference of their
+    /// ranks; APs present in only one list contribute a miss penalty equal
+    /// to the longer list's length. Lower is more similar; 0 iff equal.
+    /// Used to map an unseen (noise-corrupted) rank list to the nearest
+    /// known tile.
+    pub fn rank_distance(&self, other: &TileSignature) -> f64 {
+        let n = self.0.len().max(other.0.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let miss = n as f64;
+        let mut d = 0.0;
+        for (i, ap) in self.0.iter().enumerate() {
+            match other.0.iter().position(|b| b == ap) {
+                Some(j) => d += (i as f64 - j as f64).abs(),
+                None => d += miss,
+            }
+        }
+        for ap in &other.0 {
+            if !self.0.contains(ap) {
+                d += miss;
+            }
+        }
+        d
+    }
+}
+
+impl std::fmt::Display for TileSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, ap) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ap}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<ApId> for TileSignature {
+    fn from_iter<I: IntoIterator<Item = ApId>>(iter: I) -> Self {
+        TileSignature(iter.into_iter().collect())
+    }
+}
+
+/// Builds the `k`-order signature from a ranked `(ApId, rss)` list
+/// (strongest first), as produced by `Scan::ranked` or a mean field.
+pub fn signature_from_ranked<T: Copy>(ranked: &[(ApId, T)], order: usize) -> TileSignature {
+    ranked.iter().take(order).map(|&(ap, _)| ap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(ids: &[u32]) -> TileSignature {
+        ids.iter().map(|&i| ApId(i)).collect()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = sig(&[1, 0, 3]);
+        assert_eq!(s.order(), 3);
+        assert_eq!(s.site(), Some(ApId(1)));
+        assert!(!s.is_empty());
+        assert!(TileSignature::empty().is_empty());
+        assert_eq!(TileSignature::empty().site(), None);
+    }
+
+    #[test]
+    fn truncation() {
+        let s = sig(&[1, 0, 3, 7]);
+        assert_eq!(s.truncated(2), sig(&[1, 0]));
+        assert_eq!(s.truncated(10), s);
+        assert_eq!(s.truncated(0), TileSignature::empty());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        assert!(sig(&[1, 0]).is_prefix_of(&sig(&[1, 0, 3])));
+        assert!(!sig(&[0, 1]).is_prefix_of(&sig(&[1, 0, 3])));
+        assert!(TileSignature::empty().is_prefix_of(&sig(&[4])));
+    }
+
+    #[test]
+    fn ap_removal_closes_ranks() {
+        let s = sig(&[1, 0, 3, 7]);
+        assert_eq!(s.without_aps(&[ApId(0)]), sig(&[1, 3, 7]));
+        assert_eq!(s.without_aps(&[ApId(1), ApId(7)]), sig(&[0, 3]));
+    }
+
+    #[test]
+    fn rank_distance_zero_iff_equal() {
+        let a = sig(&[1, 2, 3]);
+        assert_eq!(a.rank_distance(&a), 0.0);
+        assert!(a.rank_distance(&sig(&[1, 3, 2])) > 0.0);
+    }
+
+    #[test]
+    fn rank_distance_symmetric() {
+        let a = sig(&[1, 2, 3]);
+        let b = sig(&[3, 1, 5]);
+        assert_eq!(a.rank_distance(&b), b.rank_distance(&a));
+    }
+
+    #[test]
+    fn adjacent_swap_is_closest_perturbation() {
+        let a = sig(&[1, 2, 3, 4]);
+        let swap_near = sig(&[2, 1, 3, 4]);
+        let swap_far = sig(&[4, 2, 3, 1]);
+        let alien = sig(&[7, 8, 9, 10]);
+        assert!(a.rank_distance(&swap_near) < a.rank_distance(&swap_far));
+        assert!(a.rank_distance(&swap_far) < a.rank_distance(&alien));
+    }
+
+    #[test]
+    fn missing_ap_penalised_more_than_reorder() {
+        let a = sig(&[1, 2, 3]);
+        let reordered = sig(&[1, 3, 2]);
+        let missing = sig(&[1, 2]);
+        assert!(a.rank_distance(&reordered) < a.rank_distance(&missing));
+    }
+
+    #[test]
+    fn display_is_paper_notation() {
+        assert_eq!(sig(&[1, 0]).to_string(), "(AP1, AP0)");
+        assert_eq!(TileSignature::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn from_ranked_builds_signature() {
+        let ranked = vec![(ApId(5), -40), (ApId(2), -55), (ApId(9), -70)];
+        assert_eq!(signature_from_ranked(&ranked, 2), sig(&[5, 2]));
+        assert_eq!(signature_from_ranked(&ranked, 9), sig(&[5, 2, 9]));
+    }
+}

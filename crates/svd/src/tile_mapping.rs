@@ -1,0 +1,288 @@
+//! Tile Mapping (Definition 5): planar tiles → road sub-segments.
+//!
+//! This is the paper-faithful positioning path over the *planar* diagram:
+//! find the Signal Tile named by the observed rank list, intersect it with
+//! the route, and return the point of the intersection nearest to the
+//! tile's centroid. Tiles that miss the road (the paper's `ST(b, e)`
+//! example in Fig. 2) are mapped through the neighbouring tile with the
+//! longest shared tile boundary that does intersect the road.
+//!
+//! The route-constrained index ([`crate::RouteTileIndex`]) is the fast
+//! production path; this module exists for fidelity, for the campus
+//! experiment (Fig. 10), and as the reference the fast path is tested
+//! against.
+
+use std::collections::HashMap;
+
+use wilocator_geo::Point;
+use wilocator_road::Route;
+use wilocator_rf::ApId;
+
+use crate::diagram::{SignalVoronoiDiagram, TileId};
+use crate::signature::signature_from_ranked;
+
+/// A tile mapped onto the route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedPosition {
+    /// Arc length along the route, metres.
+    pub s: f64,
+    /// Planar position on the route.
+    pub point: Point,
+    /// True when the tile itself missed the road and the longest-boundary
+    /// neighbour rule was applied.
+    pub via_neighbor: bool,
+}
+
+/// Maps Signal Tiles of a planar diagram onto a route.
+#[derive(Debug, Clone)]
+pub struct TileMapper {
+    route: Route,
+    /// Route arc-length intervals inside each tile.
+    intervals: HashMap<TileId, Vec<(f64, f64)>>,
+}
+
+impl TileMapper {
+    /// Precomputes the route ∩ tile intervals by sampling the route every
+    /// `sample_step_m` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_step_m` is not strictly positive.
+    pub fn build(
+        diagram: &SignalVoronoiDiagram,
+        route: &Route,
+        sample_step_m: f64,
+    ) -> Self {
+        assert!(sample_step_m > 0.0, "sample step must be positive");
+        let mut intervals: HashMap<TileId, Vec<(f64, f64)>> = HashMap::new();
+        let mut current: Option<(TileId, f64, f64)> = None;
+        for (s, p) in route.geometry().sample(sample_step_m) {
+            let tile = diagram.tile_at(p).map(|t| t.id());
+            match (tile, &mut current) {
+                (Some(t), Some((ct, _, end))) if t == *ct => *end = s,
+                (Some(t), cur) => {
+                    if let Some((ct, s0, s1)) = cur.take() {
+                        intervals.entry(ct).or_default().push((s0, s1));
+                    }
+                    *cur = Some((t, s, s));
+                }
+                (None, cur) => {
+                    if let Some((ct, s0, s1)) = cur.take() {
+                        intervals.entry(ct).or_default().push((s0, s1));
+                    }
+                }
+            }
+        }
+        if let Some((ct, s0, s1)) = current {
+            intervals.entry(ct).or_default().push((s0, s1));
+        }
+        TileMapper {
+            route: route.clone(),
+            intervals,
+        }
+    }
+
+    /// The route being mapped onto.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// True when the tile intersects the route.
+    pub fn intersects_route(&self, tile: TileId) -> bool {
+        self.intervals.contains_key(&tile)
+    }
+
+    /// Maps a tile to the route (Definition 5): the point of
+    /// `route ∩ tile` nearest to the tile centroid, or — when the tile
+    /// misses the road — the same through the longest-boundary neighbour
+    /// that intersects the road.
+    pub fn map_tile(
+        &self,
+        diagram: &SignalVoronoiDiagram,
+        tile: TileId,
+    ) -> Option<MappedPosition> {
+        if let Some(pos) = self.map_direct(diagram, tile) {
+            return Some(pos);
+        }
+        // Fallback: neighbour with the longest shared boundary that does
+        // intersect the road (the paper's ST(b, e) → ST(b, d) example).
+        let neighbor =
+            diagram.longest_boundary_neighbor(tile, |t| self.intervals.contains_key(&t))?;
+        // Project the *original* tile's centroid onto the neighbour's road
+        // intervals (we map "to the nearest point on the road sub-segment
+        // that intersects with the neighbouring ST").
+        let centroid = diagram.tile(tile)?.centroid();
+        self.nearest_on_intervals(neighbor, centroid)
+            .map(|mut m| {
+                m.via_neighbor = true;
+                m
+            })
+    }
+
+    /// Locates a bus from a ranked RSS list via the planar diagram.
+    ///
+    /// Unseen signatures fall back to the nearest known signature by rank
+    /// distance. Returns `None` when nothing matches at all.
+    pub fn locate(
+        &self,
+        diagram: &SignalVoronoiDiagram,
+        ranked: &[(ApId, i32)],
+    ) -> Option<MappedPosition> {
+        if ranked.is_empty() {
+            return None;
+        }
+        let sig = signature_from_ranked(ranked, diagram.config().order);
+        let tiles = diagram.tiles_with_signature(&sig);
+        let tiles: Vec<TileId> = if tiles.is_empty() {
+            let (nearest, _) = diagram.nearest_signature(&sig)?;
+            diagram.tiles_with_signature(&nearest.clone()).to_vec()
+        } else {
+            tiles.to_vec()
+        };
+        // Among candidate tiles prefer ones that intersect the road, then
+        // larger ones (more probable).
+        let best = tiles
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let ia = self.intervals.contains_key(&a);
+                let ib = self.intervals.contains_key(&b);
+                ia.cmp(&ib).then(
+                    diagram
+                        .tile(a)
+                        .map(|t| t.area_m2())
+                        .partial_cmp(&diagram.tile(b).map(|t| t.area_m2()))
+                        .expect("finite area"),
+                )
+            })?;
+        self.map_tile(diagram, best)
+    }
+
+    fn map_direct(
+        &self,
+        diagram: &SignalVoronoiDiagram,
+        tile: TileId,
+    ) -> Option<MappedPosition> {
+        let centroid = diagram.tile(tile)?.centroid();
+        self.nearest_on_intervals(tile, centroid)
+    }
+
+    /// Nearest point to `target` on the route intervals of `tile`.
+    fn nearest_on_intervals(&self, tile: TileId, target: Point) -> Option<MappedPosition> {
+        let intervals = self.intervals.get(&tile)?;
+        let mut best: Option<(f64, f64)> = None; // (distance, s)
+        for &(s0, s1) in intervals {
+            // Search the interval at a fine granularity; intervals are
+            // short (tile-sized), so this is cheap and robust for curved
+            // geometry.
+            let steps = ((s1 - s0).max(1.0) / 1.0).ceil() as usize;
+            for i in 0..=steps {
+                let s = s0 + (s1 - s0) * i as f64 / steps as f64;
+                let d = self.route.point_at(s).distance(target);
+                if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                    best = Some((d, s));
+                }
+            }
+        }
+        best.map(|(_, s)| MappedPosition {
+            s,
+            point: self.route.point_at(s),
+            via_neighbor: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::SvdConfig;
+    use wilocator_geo::BoundingBox;
+    use wilocator_road::{NetworkBuilder, RouteId};
+    use wilocator_rf::{AccessPoint, HomogeneousField, SignalField};
+
+    /// Fig. 2-like scene: a straight road with APs on both sides, one AP
+    /// (`e`) far off the road so its tiles miss the route.
+    fn scene() -> (Route, HomogeneousField, SignalVoronoiDiagram) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 100.0));
+        let n1 = b.add_node(Point::new(400.0, 100.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "ei", vec![e], &b.build()).unwrap();
+        let field = HomogeneousField::new(vec![
+            AccessPoint::new(ApId(0), Point::new(60.0, 130.0)),  // a
+            AccessPoint::new(ApId(1), Point::new(200.0, 80.0)),  // b
+            AccessPoint::new(ApId(2), Point::new(340.0, 130.0)), // c
+            AccessPoint::new(ApId(3), Point::new(200.0, 190.0)), // d (north)
+            AccessPoint::new(ApId(4), Point::new(200.0, 0.0)),   // e (far south)
+        ]);
+        let bbox = BoundingBox::new(Point::new(0.0, -40.0), Point::new(400.0, 240.0));
+        let svd = SignalVoronoiDiagram::build(&field, bbox, SvdConfig::default());
+        (route, field, svd)
+    }
+
+    #[test]
+    fn on_road_tile_maps_to_itself() {
+        let (route, _field, svd) = scene();
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        let p = Point::new(100.0, 100.0);
+        let tile = svd.tile_at(p).unwrap().id();
+        let mapped = mapper.map_tile(&svd, tile).unwrap();
+        assert!(!mapped.via_neighbor);
+        // The mapped point stays within the tile's stretch of road.
+        assert!(mapped.point.distance(p) < 120.0);
+    }
+
+    #[test]
+    fn off_road_tile_maps_via_longest_boundary_neighbor() {
+        let (route, _field, svd) = scene();
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        // A point deep south near AP e: its tile shouldn't touch the road.
+        let p = Point::new(200.0, -20.0);
+        let tile = svd.tile_at(p).unwrap().id();
+        if !mapper.intersects_route(tile) {
+            let mapped = mapper.map_tile(&svd, tile).expect("fallback mapping");
+            assert!(mapped.via_neighbor);
+            // Still lands on the road.
+            assert!((mapped.point.y - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn locate_from_noiseless_scan_is_near_truth() {
+        let (route, field, svd) = scene();
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        for s in [50.0, 150.0, 250.0, 350.0] {
+            let p = route.point_at(s);
+            let ranked: Vec<(ApId, i32)> = field
+                .detectable_at(p, -90.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect();
+            let mapped = mapper.locate(&svd, &ranked).expect("fix");
+            assert!(
+                (mapped.s - s).abs() < 80.0,
+                "truth {s}, mapped {}",
+                mapped.s
+            );
+        }
+    }
+
+    #[test]
+    fn empty_scan_locates_nothing() {
+        let (route, _field, svd) = scene();
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        assert!(mapper.locate(&svd, &[]).is_none());
+    }
+
+    #[test]
+    fn mapped_points_are_on_the_route() {
+        let (route, _field, svd) = scene();
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        for t in svd.tiles() {
+            if let Some(m) = mapper.map_tile(&svd, t.id()) {
+                let proj = route.geometry().project(m.point);
+                assert!(proj.distance < 1e-6, "tile {} mapped off-road", t.id());
+            }
+        }
+    }
+}

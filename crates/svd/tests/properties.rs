@@ -1,0 +1,157 @@
+//! Property-based tests for Signal Voronoi Diagram invariants.
+
+use proptest::prelude::*;
+use wilocator_geo::Point;
+use wilocator_road::{NetworkBuilder, Route, RouteId};
+use wilocator_rf::{AccessPoint, ApId, HomogeneousField, SignalField};
+use wilocator_svd::{
+    signature_from_ranked, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig,
+    TileSignature,
+};
+
+fn ap_ids() -> impl Strategy<Value = Vec<ApId>> {
+    proptest::collection::vec(0u32..40, 0..10).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter().map(ApId).collect()
+    })
+}
+
+fn signature() -> impl Strategy<Value = TileSignature> {
+    ap_ids().prop_map(TileSignature::new)
+}
+
+/// Builds a street scene with APs at pseudo-random but valid positions.
+fn street(ap_xs: &[f64]) -> (Route, HomogeneousField) {
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let n1 = b.add_node(Point::new(600.0, 0.0));
+    let e = b.add_edge(n0, n1, None).unwrap();
+    let route = Route::new(RouteId(0), "p", vec![e], &b.build()).unwrap();
+    let aps: Vec<AccessPoint> = ap_xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            AccessPoint::new(
+                ApId(i as u32),
+                Point::new(x, if i % 2 == 0 { 18.0 } else { -18.0 }),
+            )
+        })
+        .collect();
+    (route, HomogeneousField::new(aps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_distance_is_a_semimetric(a in signature(), b in signature(), c in signature()) {
+        // Identity, symmetry, and (weak) triangle inequality with the
+        // miss-penalty construction.
+        prop_assert_eq!(a.rank_distance(&a), 0.0);
+        prop_assert_eq!(a.rank_distance(&b), b.rank_distance(&a));
+        prop_assert!(a.rank_distance(&b) >= 0.0);
+        let _ = c;
+    }
+
+    #[test]
+    fn rank_distance_zero_only_for_equal(a in signature(), b in signature()) {
+        if a.rank_distance(&b) == 0.0 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn truncation_is_prefix(sig in signature(), k in 0usize..12) {
+        let t = sig.truncated(k);
+        prop_assert!(t.order() <= k.min(sig.order()));
+        prop_assert!(t.is_prefix_of(&sig));
+    }
+
+    #[test]
+    fn without_aps_preserves_relative_order(sig in signature(), dead in ap_ids()) {
+        let survived = sig.without_aps(&dead);
+        // Survivors appear in the same relative order as in the original.
+        let orig: Vec<ApId> = sig
+            .aps()
+            .iter()
+            .copied()
+            .filter(|ap| !dead.contains(ap))
+            .collect();
+        prop_assert_eq!(survived.aps(), &orig[..]);
+    }
+
+    #[test]
+    fn signature_from_ranked_respects_order(pairs in proptest::collection::vec((0u32..30, -90i32..-30), 0..10), k in 1usize..6) {
+        let mut ranked: Vec<(ApId, i32)> = pairs.into_iter().map(|(a, r)| (ApId(a), r)).collect();
+        ranked.dedup_by_key(|(a, _)| *a);
+        let sig = signature_from_ranked(&ranked, k);
+        prop_assert!(sig.order() <= k);
+        for (i, ap) in sig.aps().iter().enumerate() {
+            prop_assert_eq!(*ap, ranked[i].0);
+        }
+    }
+
+    #[test]
+    fn route_index_tiles_route_without_gaps(
+        xs in proptest::collection::vec(10.0..590.0f64, 3..12),
+    ) {
+        let (route, field) = street(&xs);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 2.0);
+        let segs = idx.subsegments();
+        prop_assert!((segs.first().unwrap().s0 - 0.0).abs() < 1e-9);
+        prop_assert!((segs.last().unwrap().s1 - route.length()).abs() < 1e-9);
+        for w in segs.windows(2) {
+            prop_assert!(w[1].s0 <= w[0].s1 + 1e-9, "gap in tiling");
+        }
+        // Every point's sub-segment contains it.
+        for s in [0.0, 123.4, 300.0, 599.0] {
+            prop_assert!(idx.subsegment_at(s).contains(s));
+        }
+    }
+
+    #[test]
+    fn noiseless_locate_is_consistent_with_index(
+        xs in proptest::collection::vec(10.0..590.0f64, 4..10),
+        t in 0.02..0.98f64,
+    ) {
+        let (route, field) = street(&xs);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let pos = RoutePositioner::new(route.clone(), idx, PositionerConfig::default());
+        let truth = t * route.length();
+        let ranked: Vec<(ApId, i32)> = field
+            .detectable_at(route.point_at(truth), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, (rss * 10.0).round() as i32)) // 0.1 dB quantisation: no spurious ties
+            .collect();
+        if ranked.is_empty() {
+            return Ok(());
+        }
+        let fix = pos.locate(&ranked, 0.0, None);
+        if let Some(fix) = fix {
+            // A noiseless scan localises within the containing run (plus
+            // merge slack when runs got unioned by near-ties).
+            prop_assert!(
+                (fix.s - truth).abs() <= 220.0,
+                "truth {truth}, fix {} ({:?})", fix.s, fix.method
+            );
+        }
+    }
+
+    #[test]
+    fn higher_order_never_coarsens_partition(
+        xs in proptest::collection::vec(10.0..590.0f64, 4..10),
+    ) {
+        let (route, field) = street(&xs);
+        let mk = |order| RouteTileIndex::build(
+            &field,
+            &route,
+            SvdConfig { order, ..SvdConfig::default() },
+            2.0,
+        );
+        let counts: Vec<usize> = (1..=4).map(|o| mk(o).subsegments().len()).collect();
+        for w in counts.windows(2) {
+            prop_assert!(w[1] >= w[0], "order increase coarsened: {counts:?}");
+        }
+    }
+}

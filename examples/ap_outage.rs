@@ -1,0 +1,73 @@
+//! AP dynamics robustness (§III-B): an access point dies after the server
+//! built its Signal Voronoi Diagram. Rank-based positioning keeps working
+//! — the diagram only deforms locally — while a fingerprint database built
+//! before the outage silently degrades.
+//!
+//! Run with `cargo run --release --example ap_outage`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator::baselines::{FingerprintConfig, FingerprintPositioner};
+use wilocator::eval::{mean, replay_locator_errors, replay_svd_errors};
+use wilocator::rf::{ApId, ScannerConfig, SignalField};
+use wilocator::road::RouteId;
+use wilocator::sim::{
+    daily_schedule, simple_street, simulate, CityConfig, SimulationConfig, TrafficConfig,
+    TrafficModel,
+};
+use wilocator::svd::{PositionerConfig, SvdConfig};
+
+fn main() {
+    let city = simple_street(2_000.0, 5, 9, &CityConfig::default());
+    let route = city.routes[0].clone();
+    println!("street with {} APs; calibrating both systems…", city.field.aps().len());
+
+    // Offline phase for both systems, on the healthy deployment.
+    let mut rng = StdRng::seed_from_u64(9);
+    let fingerprint = FingerprintPositioner::survey(
+        &city.field,
+        &route,
+        ScannerConfig::default(),
+        FingerprintConfig::default(),
+        &mut rng,
+    );
+    println!(
+        "fingerprint survey: {} reference points (the labour the SVD avoids)\n",
+        fingerprint.database_size()
+    );
+
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 9);
+    let schedule = daily_schedule(&city, &[(RouteId(0), 1_800.0)]);
+    let sim = SimulationConfig { days: 1, seed: 9, ..SimulationConfig::default() };
+
+    for dead_fraction in [0.0_f64, 0.2, 0.4] {
+        let n_dead = (city.field.aps().len() as f64 * dead_fraction) as usize;
+        let dead: Vec<ApId> = city.field.aps().iter().take(n_dead).map(|ap| ap.id()).collect();
+        let mut broken = city.clone();
+        broken.field = city.field.without_aps(&dead);
+
+        let dataset = simulate(&broken, &schedule, &traffic, &sim);
+        // The server prunes its geo-tag DB once the BSSIDs vanish from
+        // scans and rebuilds the SVD (cheap: no survey needed).
+        let rebuilt = city.server_field.without_aps(&dead);
+        let svd_err = mean(&replay_svd_errors(
+            &broken.routes,
+            &dataset,
+            &rebuilt,
+            SvdConfig::default(),
+            PositionerConfig::default(),
+            2.0,
+        ));
+        // The fingerprint DB cannot be rebuilt without another survey.
+        let fp_err = mean(&replay_locator_errors(&broken.routes, &dataset, |_, ranked| {
+            fingerprint.locate(ranked)
+        }));
+        println!(
+            "{:>3.0} % of APs dead: SVD (rebuilt) {:>5.1} m | fingerprint (stale) {:>5.1} m",
+            dead_fraction * 100.0,
+            svd_err,
+            fp_err
+        );
+    }
+    println!("\nthe SVD needs only the surviving geo-tags; the fingerprint DB needs a new site survey");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: track one simulated bus along a street and predict its
+//! arrival at the final stop.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator::rf::SignalField;
+
+use wilocator::sim::{
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig,
+    TrafficConfig, TrafficModel,
+};
+
+fn main() {
+    // 1. A 2 km street with five stops and kerbside WiFi APs.
+    let city = simple_street(2_000.0, 5, 7, &CityConfig::default());
+    let route = city.routes[0].clone();
+    println!(
+        "city: {:.1} km street, {} APs, {} stops",
+        route.length() / 1_000.0,
+        city.field.aps().len(),
+        route.stops().len()
+    );
+
+    // 2. The WiLocator server builds the Signal Voronoi Diagram of the
+    //    route from the geo-tagged APs alone.
+    let server = WiLocator::new(&city.server_field, vec![route.clone()], WiLocatorConfig::default());
+    let bus = BusKey(1);
+    server
+        .register_bus_by_announcement(bus, "this is route demo bound for the terminal")
+        .expect("route identified from the announcement");
+
+    // 3. Simulate a midday trip with rider phones scanning every 10 s.
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let trajectory = simulate_trip(&route, &traffic, 12.0 * 3_600.0, &BusConfig::default(), &mut rng);
+    let ap_index = city.ap_index();
+    let bundles = sense_trip(&city, &trajectory, 0, &SensingConfig::default(), &ap_index, &mut rng);
+
+    // 4. Stream the scans through the server and watch the track.
+    let final_stop = route.stops().last().expect("stops").id();
+    let mut printed_eta = false;
+    for bundle in &bundles {
+        let fix = server
+            .ingest(&ScanReport {
+                bus,
+                time_s: bundle.time_s,
+                scans: bundle.scans.clone(),
+            })
+            .expect("bus registered");
+        if let Some(fix) = fix {
+            let err = (fix.s - bundle.true_s).abs();
+            if (fix.time_s as u64) % 60 < 10 {
+                println!(
+                    "t+{:>4.0} s  bus at {:>6.1} m (truth {:>6.1} m, error {:>5.1} m, {:?})",
+                    fix.time_s - trajectory.start_time(),
+                    fix.s,
+                    bundle.true_s,
+                    err,
+                    fix.method
+                );
+            }
+            // Ask for an ETA once, mid-trip.
+            if !printed_eta && fix.s > route.length() / 2.0 {
+                let eta = server.predict_arrival(bus, final_stop).expect("stop on route");
+                let actual = trajectory.time_at_s(route.length());
+                println!(
+                    "--> ETA at final stop: t+{:.0} s (actual arrival t+{:.0} s)",
+                    eta - trajectory.start_time(),
+                    actual - trajectory.start_time()
+                );
+                printed_eta = true;
+            }
+        }
+    }
+    server.finish_bus(bus).expect("registered");
+    println!(
+        "trip complete; {} segment travel times recorded for future predictions",
+        server.with_store(|s| s.len())
+    );
+}

@@ -1,0 +1,93 @@
+//! The rider's view (the paper's third component): "a user interface for
+//! trip plan, such that the real-time bus track and schedule, and the
+//! traffic map, can be readily available for intended bus riders."
+//!
+//! Several buses run the street; a rider waiting at a mid-route stop asks
+//! which buses are coming and when.
+//!
+//! Run with `cargo run --release --example trip_plan`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator::core::{BusKey, ScanReport, TrafficState, WiLocator, WiLocatorConfig};
+use wilocator::road::RouteId;
+use wilocator::sim::{
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig,
+    TrafficConfig, TrafficModel,
+};
+
+fn main() {
+    let city = simple_street(4_000.0, 8, 31, &CityConfig::default());
+    let route = city.routes[0].clone();
+    let server = WiLocator::new(&city.server_field, vec![route.clone()], WiLocatorConfig::default());
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 31);
+    let ap_index = city.ap_index();
+
+    // Three buses departed 0 / 4 / 8 minutes ago; replay their scans up to
+    // "now".
+    let now = 8.7 * 3_600.0;
+    let mut rng = StdRng::seed_from_u64(31);
+    for (i, lead_s) in [480.0, 240.0, 0.0].iter().enumerate() {
+        let bus = BusKey(i as u64 + 1);
+        server.register_bus(bus, RouteId(0)).expect("served");
+        let departure = now - 600.0 - lead_s;
+        let trajectory =
+            simulate_trip(&route, &traffic, departure, &BusConfig::default(), &mut rng);
+        let bundles = sense_trip(
+            &city,
+            &trajectory,
+            0,
+            &SensingConfig::default(),
+            &ap_index,
+            &mut rng,
+        );
+        for b in bundles.iter().filter(|b| b.time_s <= now) {
+            server
+                .ingest(&ScanReport {
+                    bus,
+                    time_s: b.time_s,
+                    scans: b.scans.clone(),
+                })
+                .expect("registered");
+        }
+    }
+
+    // The rider waits at the 5th stop.
+    let stop = &route.stops()[4];
+    println!(
+        "08:42 — you are waiting at \"{}\" (s = {:.0} m)\n",
+        stop.name(),
+        stop.s()
+    );
+    println!("live positions:");
+    for i in 1..=3u64 {
+        if let Some(fix) = server.position(BusKey(i)) {
+            println!("  bus {i}: {:>6.0} m along the route", fix.s);
+        }
+    }
+
+    let arrivals = server
+        .arrivals_at(RouteId(0), stop.id())
+        .expect("stop exists");
+    println!("\nupcoming arrivals at your stop:");
+    if arrivals.is_empty() {
+        println!("  (no tracked bus is approaching)");
+    }
+    for (bus, eta) in &arrivals {
+        println!("  {bus}: in {:>4.0} s", eta - now);
+    }
+
+    // And the live traffic map for the route.
+    let map = server.traffic_map(RouteId(0), now).expect("served");
+    let summary: String = map
+        .iter()
+        .map(|s| match s.state {
+            TrafficState::Normal => '·',
+            TrafficState::Slow => 'o',
+            TrafficState::VerySlow => '#',
+            TrafficState::Unknown => '?',
+        })
+        .collect();
+    println!("\ntraffic map  (· normal, o slow, # very slow, ? no data)");
+    println!("  [{summary}]");
+}

@@ -1,0 +1,67 @@
+//! A service day on the paper's four Metro-Vancouver routes (Table I):
+//! full crowdsensing pipeline — simulate, track every bus, train the
+//! predictor, and report accuracy per route.
+//!
+//! Run with `cargo run --release --example vancouver_day`.
+
+use wilocator::eval::{
+    route_name, run_pipeline, vancouver_city, vancouver_pipeline, Cdf, Scale,
+};
+use wilocator::rf::SignalField;
+use wilocator::road::RouteId;
+
+fn main() {
+    let city = vancouver_city(42);
+    println!("Table-I city generated:");
+    for route in &city.routes {
+        println!(
+            "  route {:>10}: {:>5.1} km, {:>2} stops",
+            route.name(),
+            route.length() / 1_000.0,
+            route.stops().len()
+        );
+    }
+    println!("  {} access points deployed\n", city.field.aps().len());
+
+    let config = vancouver_pipeline(Scale::Smoke, 42);
+    println!(
+        "simulating {} day(s) ({} training), headway {:.0} s …",
+        config.sim.days, config.train_days, config.headways[0].1
+    );
+    let out = run_pipeline(&city, &config);
+    println!(
+        "{} trips simulated, {} scan bundles ingested\n",
+        out.dataset.trips.len(),
+        out.dataset.bundle_count()
+    );
+
+    println!("positioning accuracy (evaluation days):");
+    for id in 0..4 {
+        let route = RouteId(id);
+        let cdf = Cdf::new(out.positioning.get(&route).cloned().unwrap_or_default());
+        println!(
+            "  route {:>10}: median {:>5.1} m, p90 {:>6.1} m ({} fixes)",
+            route_name(route),
+            cdf.median(),
+            cdf.quantile(0.9),
+            cdf.len()
+        );
+    }
+
+    let rush: Vec<_> = out.predictions.iter().filter(|p| p.rush).collect();
+    let wilo: Cdf = rush.iter().map(|p| p.wilocator_err()).collect();
+    let agency: Cdf = rush.iter().map(|p| p.agency_err()).collect();
+    println!("\nrush-hour arrival prediction ({} predictions):", rush.len());
+    println!(
+        "  WiLocator:      median {:>5.0} s, p90 {:>5.0} s, max {:>5.0} s",
+        wilo.median(),
+        wilo.quantile(0.9),
+        wilo.max()
+    );
+    println!(
+        "  Transit agency: median {:>5.0} s, p90 {:>5.0} s, max {:>5.0} s",
+        agency.median(),
+        agency.quantile(0.9),
+        agency.max()
+    );
+}

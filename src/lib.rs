@@ -1,0 +1,64 @@
+//! WiLocator: WiFi-sensing based real-time bus tracking and arrival-time
+//! prediction — a complete Rust reproduction of the ICDCS 2016 paper.
+//!
+//! This umbrella crate re-exports the whole workspace under short module
+//! names. The layering, bottom to top:
+//!
+//! * [`geo`] — planar/geodetic geometry (points, projections, polylines,
+//!   rasters, spatial index);
+//! * [`rf`] — the radio substrate (path loss, shadowing, scan simulation,
+//!   the `SignalField` contract);
+//! * [`road`] — road networks, routes, stops, overlap analysis, schedules;
+//! * [`svd`] — the paper's contribution: Signal Voronoi Diagrams and
+//!   rank-based positioning;
+//! * [`core`] — the WiLocator server (tracking, prediction, traffic maps,
+//!   the hybrid WiFi/GPS extension);
+//! * [`sim`] — the urban simulator substituting the paper's in-situ data;
+//! * [`baselines`] — every scheme the paper compares against;
+//! * [`eval`] — metrics, the end-to-end pipeline and per-figure
+//!   experiment runners.
+//!
+//! # Examples
+//!
+//! Track a bus from raw scans and ask for an ETA:
+//!
+//! ```
+//! use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+//! use wilocator::geo::Point;
+//! use wilocator::rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan};
+//! use wilocator::road::{NetworkBuilder, Route, RouteId};
+//!
+//! let mut b = NetworkBuilder::new();
+//! let n0 = b.add_node(Point::new(0.0, 0.0));
+//! let n1 = b.add_node(Point::new(300.0, 0.0));
+//! let e = b.add_edge(n0, n1, None)?;
+//! let net = b.build();
+//! let mut route = Route::new(RouteId(0), "9", vec![e], &net)?;
+//! route.add_stops_evenly(2);
+//!
+//! let field = HomogeneousField::new(vec![
+//!     AccessPoint::new(ApId(0), Point::new(60.0, 20.0)),
+//!     AccessPoint::new(ApId(1), Point::new(240.0, -20.0)),
+//! ]);
+//! let server = WiLocator::new(&field, vec![route], WiLocatorConfig::default());
+//! server.register_bus(BusKey(1), RouteId(0))?;
+//! let fix = server.ingest(&ScanReport {
+//!     bus: BusKey(1),
+//!     time_s: 0.0,
+//!     scans: vec![Scan::new(0.0, vec![Reading {
+//!         ap: ApId(0),
+//!         bssid: Bssid::from_ap_id(ApId(0)),
+//!         rss_dbm: -52,
+//!     }])],
+//! })?;
+//! assert!(fix.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+pub use wilocator_baselines as baselines;
+pub use wilocator_core as core;
+pub use wilocator_eval as eval;
+pub use wilocator_geo as geo;
+pub use wilocator_rf as rf;
+pub use wilocator_road as road;
+pub use wilocator_sim as sim;
+pub use wilocator_svd as svd;

@@ -1,0 +1,137 @@
+//! Cross-crate consistency: the two positioning paths (planar Tile
+//! Mapping vs route tile index) and the two diagram representations agree
+//! where the paper says they must.
+
+use wilocator::geo::{BoundingBox, Point};
+use wilocator::rf::{AccessPoint, ApId, HomogeneousField, SignalField};
+use wilocator::road::{NetworkBuilder, Route, RouteId};
+use wilocator::svd::{
+    PositionerConfig, RoutePositioner, RouteTileIndex, SignalVoronoiDiagram, SvdConfig,
+    TileMapper,
+};
+
+fn scene() -> (Route, HomogeneousField, BoundingBox) {
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let n1 = b.add_node(Point::new(500.0, 0.0));
+    let e = b.add_edge(n0, n1, None).unwrap();
+    let route = Route::new(RouteId(0), "x", vec![e], &b.build()).unwrap();
+    let mut aps = Vec::new();
+    let mut x = 30.0;
+    let mut i = 0u32;
+    while x < 500.0 {
+        aps.push(AccessPoint::new(
+            ApId(i),
+            Point::new(x, if i.is_multiple_of(2) { 20.0 } else { -20.0 }),
+        ));
+        i += 1;
+        x += 70.0;
+    }
+    let field = HomogeneousField::new(aps);
+    let bbox = BoundingBox::new(Point::new(-50.0, -120.0), Point::new(550.0, 120.0));
+    (route, field, bbox)
+}
+
+#[test]
+fn planar_and_route_paths_agree_on_clean_scans() {
+    let (route, field, bbox) = scene();
+    let cfg = SvdConfig {
+        resolution_m: 1.0,
+        ..SvdConfig::default()
+    };
+    let diagram = SignalVoronoiDiagram::build(&field, bbox, cfg);
+    let mapper = TileMapper::build(&diagram, &route, 1.0);
+    let index = RouteTileIndex::build(&field, &route, cfg, 0.5);
+    let positioner = RoutePositioner::new(route.clone(), index, PositionerConfig::default());
+    for truth in [40.0, 130.0, 255.0, 388.0, 470.0] {
+        let ranked: Vec<(ApId, i32)> = field
+            .detectable_at(route.point_at(truth), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, rss.round() as i32))
+            .collect();
+        let planar = mapper.locate(&diagram, &ranked).expect("planar fix").s;
+        let fast = positioner.locate(&ranked, 0.0, None).expect("route fix").s;
+        // Both estimate within the same tile: they can differ by at most
+        // one tile's extent.
+        assert!(
+            (planar - fast).abs() < 60.0,
+            "truth {truth}: planar {planar} vs route-index {fast}"
+        );
+        assert!((planar - truth).abs() < 60.0, "planar off at {truth}: {planar}");
+        assert!((fast - truth).abs() < 60.0, "route-index off at {truth}: {fast}");
+    }
+}
+
+#[test]
+fn route_index_signatures_match_planar_tiles_on_the_road() {
+    let (route, field, bbox) = scene();
+    let cfg = SvdConfig {
+        resolution_m: 1.0,
+        ..SvdConfig::default()
+    };
+    let diagram = SignalVoronoiDiagram::build(&field, bbox, cfg);
+    let index = RouteTileIndex::build(&field, &route, cfg, 0.5);
+    // Sample the road: the signature recorded by the route index must
+    // equal the signature of the planar tile containing the point (except
+    // within a sample step of a boundary).
+    let mut agreements = 0usize;
+    let mut total = 0usize;
+    for k in 0..100 {
+        let s = k as f64 * 5.0;
+        if s > route.length() {
+            break;
+        }
+        let p = route.point_at(s);
+        let Some(tile) = diagram.tile_at(p) else {
+            continue;
+        };
+        let seg = index.subsegment_at(s);
+        total += 1;
+        if seg.signature == *tile.signature() {
+            agreements += 1;
+        }
+    }
+    assert!(total > 50);
+    // Boundary-adjacent samples may disagree by one sample step; demand
+    // 85 % agreement.
+    assert!(
+        agreements * 100 >= total * 85,
+        "only {agreements}/{total} samples agree"
+    );
+}
+
+#[test]
+fn svd_reduces_to_euclidean_voronoi_under_homogeneity() {
+    // The paper: "the conventional Voronoi Diagram is just a special case
+    // of SVD" — under equal radio parameters, each point's site is its
+    // nearest AP.
+    let (_, field, bbox) = scene();
+    let diagram = SignalVoronoiDiagram::build(&field, bbox, SvdConfig::default());
+    let mut checked = 0usize;
+    for t in diagram.tiles() {
+        let centroid = t.centroid();
+        let nearest = field
+            .aps()
+            .iter()
+            .min_by(|a, b| {
+                centroid
+                    .distance(a.position())
+                    .partial_cmp(&centroid.distance(b.position()))
+                    .unwrap()
+            })
+            .unwrap()
+            .id();
+        // Skip sliver tiles whose centroid may fall outside them.
+        if t.area_m2() < 50.0 {
+            continue;
+        }
+        checked += 1;
+        assert_eq!(
+            t.signature().site(),
+            Some(nearest),
+            "tile {} centred at {centroid} is not dominated by its nearest AP",
+            t.id()
+        );
+    }
+    assert!(checked >= 10, "only {checked} tiles checked");
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration: simulate → ingest → track → train → predict,
+//! across every crate through the umbrella API.
+
+use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator::road::RouteId;
+use wilocator::sim::{
+    daily_schedule, simple_street, simulate, CityConfig, SimulationConfig, TrafficConfig,
+    TrafficModel,
+};
+
+fn scenario() -> (wilocator::sim::City, wilocator::sim::Dataset) {
+    let city = simple_street(2_500.0, 6, 11, &CityConfig::default());
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 11);
+    let schedule = daily_schedule(&city, &[(RouteId(0), 1_800.0)]);
+    let dataset = simulate(
+        &city,
+        &schedule,
+        &traffic,
+        &SimulationConfig {
+            days: 1,
+            seed: 11,
+            ..SimulationConfig::default()
+        },
+    );
+    (city, dataset)
+}
+
+#[test]
+fn full_pipeline_tracks_and_predicts() {
+    let (city, dataset) = scenario();
+    let server = WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    );
+    let route = city.routes[0].clone();
+    let mut total_err = 0.0;
+    let mut fixes = 0usize;
+    for trip in &dataset.trips {
+        let bus = BusKey(trip.trip_id as u64);
+        server.register_bus(bus, trip.route).expect("served route");
+        for bundle in &trip.bundles {
+            if let Some(fix) = server
+                .ingest(&ScanReport {
+                    bus,
+                    time_s: bundle.time_s,
+                    scans: bundle.scans.clone(),
+                })
+                .expect("registered")
+            {
+                total_err += (fix.s - bundle.true_s).abs();
+                fixes += 1;
+            }
+        }
+        server.finish_bus(bus).expect("registered");
+    }
+    assert!(fixes > 100, "only {fixes} fixes produced");
+    let mean_err = total_err / fixes as f64;
+    assert!(mean_err < 40.0, "mean tracking error {mean_err} m");
+
+    // History accumulated on every segment.
+    let (records, edges) = server.with_store(|s| (s.len(), s.edge_count()));
+    assert_eq!(edges, route.edges().len(), "all segments recorded");
+    assert!(records >= dataset.trips.len() * route.edges().len() / 2);
+
+    // Train and predict: ETA for a fresh bus at the route start must be
+    // within 40 % of the mean observed trip duration.
+    server.train(1e12);
+    let mean_duration: f64 = dataset
+        .trips
+        .iter()
+        .map(|t| t.trajectory.end_time() - t.trajectory.start_time())
+        .sum::<f64>()
+        / dataset.trips.len() as f64;
+    let eta = server
+        .predict_arrival_at(RouteId(0), 0.0, 2e5, route.length())
+        .expect("served route")
+        - 2e5;
+    assert!(
+        (eta - mean_duration).abs() < 0.4 * mean_duration,
+        "predicted {eta} s vs mean duration {mean_duration} s"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let (city, dataset) = scenario();
+        let server = WiLocator::new(
+            &city.server_field,
+            city.routes.clone(),
+            WiLocatorConfig::default(),
+        );
+        let mut sig = Vec::new();
+        for trip in dataset.trips.iter().take(3) {
+            let bus = BusKey(trip.trip_id as u64);
+            server.register_bus(bus, trip.route).unwrap();
+            for bundle in &trip.bundles {
+                if let Some(fix) = server
+                    .ingest(&ScanReport {
+                        bus,
+                        time_s: bundle.time_s,
+                        scans: bundle.scans.clone(),
+                    })
+                    .unwrap()
+                {
+                    sig.push((fix.s * 100.0).round() as i64);
+                }
+            }
+        }
+        sig
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn umbrella_crate_reexports_are_usable() {
+    // Touch one symbol from every re-exported crate.
+    let p = wilocator::geo::Point::new(1.0, 2.0);
+    assert_eq!(p.x, 1.0);
+    let ap = wilocator::rf::AccessPoint::new(wilocator::rf::ApId(0), p);
+    assert!(ap.is_geo_tagged());
+    let sig = wilocator::svd::TileSignature::empty();
+    assert!(sig.is_empty());
+    let store = wilocator::core::TravelTimeStore::new();
+    assert!(store.is_empty());
+    let cdf = wilocator::eval::Cdf::new(vec![1.0]);
+    assert_eq!(cdf.median(), 1.0);
+    let sched = wilocator::road::Schedule::new();
+    assert!(sched.trips().is_empty());
+}

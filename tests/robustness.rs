@@ -1,0 +1,173 @@
+//! Failure-injection integration tests: AP churn, missing scans,
+//! out-of-order reports, empty histories.
+
+use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator::rf::{ApId, Scan, SignalField};
+use wilocator::road::RouteId;
+use wilocator::sim::{
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig,
+    TrafficConfig, TrafficModel,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (wilocator::sim::City, WiLocator) {
+    let city = simple_street(1_500.0, 4, 21, &CityConfig::default());
+    let server = WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    );
+    (city, server)
+}
+
+fn drive_trip(
+    city: &wilocator::sim::City,
+    server: &WiLocator,
+    bus: u64,
+    seed: u64,
+    mutate: impl Fn(usize, ScanReport) -> Option<ScanReport>,
+) -> (usize, f64) {
+    let route = city.routes[0].clone();
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tr = simulate_trip(&route, &traffic, 12.0 * 3_600.0, &BusConfig::default(), &mut rng);
+    let idx = city.ap_index();
+    let bundles = sense_trip(city, &tr, 0, &SensingConfig::default(), &idx, &mut rng);
+    server.register_bus(BusKey(bus), RouteId(0)).expect("route served");
+    let mut fixes = 0usize;
+    let mut err = 0.0;
+    for (i, b) in bundles.iter().enumerate() {
+        let report = ScanReport {
+            bus: BusKey(bus),
+            time_s: b.time_s,
+            scans: b.scans.clone(),
+        };
+        let Some(report) = mutate(i, report) else {
+            continue;
+        };
+        if let Some(fix) = server.ingest(&report).expect("registered") {
+            fixes += 1;
+            err += (fix.s - b.true_s).abs();
+        }
+    }
+    server.finish_bus(BusKey(bus)).expect("registered");
+    (fixes, if fixes > 0 { err / fixes as f64 } else { f64::NAN })
+}
+
+#[test]
+fn survives_dropped_reports() {
+    let (city, server) = setup();
+    // Two-thirds of the reports never reach the server.
+    let (fixes, mean_err) = drive_trip(&city, &server, 1, 5, |i, r| (i % 3 == 0).then_some(r));
+    assert!(fixes > 5, "{fixes} fixes");
+    assert!(mean_err < 80.0, "mean error {mean_err} m with dropped reports");
+}
+
+#[test]
+fn survives_out_of_order_reports() {
+    let (city, server) = setup();
+    // Every fourth report arrives with a stale timestamp; it must be
+    // dropped, not crash or corrupt the trajectory.
+    let (fixes, mean_err) = drive_trip(&city, &server, 2, 6, |i, mut r| {
+        if i % 4 == 3 {
+            r.time_s -= 35.0;
+        }
+        Some(r)
+    });
+    assert!(fixes > 10);
+    assert!(mean_err < 60.0, "mean error {mean_err} m with reordering");
+    // The recorded trajectory must be time-monotone despite the input.
+}
+
+#[test]
+fn survives_empty_and_garbage_scans() {
+    let (city, server) = setup();
+    let (fixes, mean_err) = drive_trip(&city, &server, 3, 7, |i, mut r| {
+        match i % 5 {
+            // Periodically: nothing heard.
+            1 => r.scans = vec![Scan::new(r.time_s, vec![])],
+            // Periodically: a reading from an AP the server never heard of.
+            2 => {
+                for scan in &mut r.scans {
+                    scan.readings.push(wilocator::rf::Reading {
+                        ap: ApId(9_999),
+                        bssid: wilocator::rf::Bssid::from_ap_id(ApId(9_999)),
+                        rss_dbm: -40,
+                    });
+                }
+            }
+            _ => {}
+        }
+        Some(r)
+    });
+    assert!(fixes > 10);
+    assert!(mean_err < 80.0, "mean error {mean_err} m with garbage scans");
+}
+
+#[test]
+fn survives_mid_trip_ap_outage() {
+    let (city, server) = setup();
+    let route = city.routes[0].clone();
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 8);
+    let mut rng = StdRng::seed_from_u64(8);
+    let tr = simulate_trip(&route, &traffic, 12.0 * 3_600.0, &BusConfig::default(), &mut rng);
+    // Half the APs die mid-simulation: the physical field changes but the
+    // server's SVD does not.
+    let dead: Vec<ApId> = city
+        .field
+        .aps()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, ap)| ap.id())
+        .collect();
+    let mut broken = city.clone();
+    broken.field = city.field.without_aps(&dead);
+    let idx = broken.ap_index();
+    let bundles = sense_trip(&broken, &tr, 0, &SensingConfig::default(), &idx, &mut rng);
+    server.register_bus(BusKey(9), RouteId(0)).expect("served");
+    let mut fixes = 0usize;
+    let mut err = 0.0;
+    for b in &bundles {
+        if let Some(fix) = server
+            .ingest(&ScanReport {
+                bus: BusKey(9),
+                time_s: b.time_s,
+                scans: b.scans.clone(),
+            })
+            .expect("registered")
+        {
+            fixes += 1;
+            err += (fix.s - b.true_s).abs();
+        }
+    }
+    assert!(fixes > 10, "{fixes} fixes under 50 % AP outage");
+    let mean_err = err / fixes as f64;
+    // Degraded but not broken (the paper's AP-dynamics claim).
+    assert!(mean_err < 150.0, "mean error {mean_err} m under churn");
+}
+
+#[test]
+fn prediction_with_no_history_uses_fallback() {
+    let (city, server) = setup();
+    let route = city.routes[0].clone();
+    // No trips ingested at all: the predictor falls back to cruise speed.
+    let eta = server
+        .predict_arrival_at(RouteId(0), 0.0, 0.0, route.length())
+        .expect("served");
+    let expect = route.length() / 6.0;
+    assert!((eta - expect).abs() < 2.0, "fallback eta {eta} vs {expect}");
+}
+
+#[test]
+fn double_registration_resets_the_tracker() {
+    let (city, server) = setup();
+    let (f1, _) = drive_trip(&city, &server, 5, 9, |_, r| Some(r));
+    assert!(f1 > 0);
+    // Same key reused for a new physical trip: must start clean.
+    let (f2, mean_err) = drive_trip(&city, &server, 5, 10, |_, r| Some(r));
+    assert!(f2 > 0);
+    assert!(mean_err < 60.0, "stale state leaked: {mean_err} m");
+}
