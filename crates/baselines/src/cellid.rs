@@ -44,13 +44,19 @@ impl CellIdMatcher {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    p.distance(**a).partial_cmp(&p.distance(**b)).expect("finite")
+                    p.distance(**a)
+                        .partial_cmp(&p.distance(**b))
+                        .expect("finite")
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty towers");
             match runs.last_mut() {
                 Some(last) if last.tower == tower => last.s1 = s,
-                _ => runs.push(TowerRun { tower, s0: s, s1: s }),
+                _ => runs.push(TowerRun {
+                    tower,
+                    s0: s,
+                    s1: s,
+                }),
             }
         }
         CellIdMatcher { runs }

@@ -11,8 +11,8 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use wilocator_road::Route;
 use wilocator_rf::{ApId, Scanner, ScannerConfig, SignalField};
+use wilocator_road::Route;
 
 /// One calibration reference point.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,8 +108,7 @@ impl FingerprintPositioner {
         if observed.is_empty() || self.database.is_empty() {
             return None;
         }
-        let obs: HashMap<ApId, f64> =
-            observed.iter().map(|&(ap, rss)| (ap, rss as f64)).collect();
+        let obs: HashMap<ApId, f64> = observed.iter().map(|&(ap, rss)| (ap, rss as f64)).collect();
         let mut scored: Vec<(f64, f64)> = self
             .database
             .iter()
@@ -144,8 +143,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wilocator_geo::Point;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, HomogeneousField};
+    use wilocator_road::{NetworkBuilder, RouteId};
 
     fn setup() -> (Route, HomogeneousField) {
         let mut b = NetworkBuilder::new();

@@ -87,7 +87,9 @@ impl SameRoutePredictor {
         route: RouteId,
         t: f64,
     ) -> Option<f64> {
-        let th_own = self.predictor.historical_mean(store, edge, Some(route), t)?;
+        let th_own = self
+            .predictor
+            .historical_mean(store, edge, Some(route), t)?;
         let recent = store.recent_buses(
             edge,
             t,
@@ -98,7 +100,8 @@ impl SameRoutePredictor {
         let mut k = 0usize;
         for tr in recent.iter().filter(|tr| tr.route == route) {
             if let Some(th_k) =
-                self.predictor.historical_mean(store, edge, Some(tr.route), tr.t_enter)
+                self.predictor
+                    .historical_mean(store, edge, Some(tr.route), tr.t_enter)
             {
                 if th_k > 1e-9 {
                     ratio_sum += tr.travel_time() / th_k;

@@ -7,8 +7,8 @@
 //! which the comparison benches reproduce.
 
 use wilocator_geo::Point;
-use wilocator_road::Route;
 use wilocator_rf::{AccessPoint, ApId, LogDistance, PathLoss};
+use wilocator_road::Route;
 
 /// Trilateration positioner over a route.
 #[derive(Debug, Clone)]
@@ -56,8 +56,7 @@ impl TrilaterationPositioner {
             0 => None,
             1 | 2 => Some(self.route.project(anchors[0].0).s),
             _ => {
-                let est = least_squares_position(&anchors)
-                    .unwrap_or(anchors[0].0);
+                let est = least_squares_position(&anchors).unwrap_or(anchors[0].0);
                 Some(self.route.project(est).s)
             }
         }
@@ -73,8 +72,7 @@ fn least_squares_position(anchors: &[(Point, f64)]) -> Option<Point> {
     for &(pi, ri) in &anchors[1..] {
         let ax = 2.0 * (pi.x - p0.x);
         let ay = 2.0 * (pi.y - p0.y);
-        let rhs = r0 * r0 - ri * ri + pi.x * pi.x - p0.x * p0.x + pi.y * pi.y
-            - p0.y * p0.y;
+        let rhs = r0 * r0 - ri * ri + pi.x * pi.x - p0.x * p0.x + pi.y * pi.y - p0.y * p0.y;
         a11 += ax * ax;
         a12 += ax * ay;
         a22 += ay * ay;
@@ -94,8 +92,8 @@ fn least_squares_position(anchors: &[(Point, f64)]) -> Option<Point> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{HomogeneousField, SignalField};
+    use wilocator_road::{NetworkBuilder, RouteId};
 
     fn setup() -> (TrilaterationPositioner, HomogeneousField) {
         let mut b = NetworkBuilder::new();
@@ -136,7 +134,11 @@ mod tests {
         let model = LogDistance::urban();
         let clean = model.distance_for_loss(80.0);
         let faded = model.distance_for_loss(88.0);
-        assert!((faded / clean - 1.85).abs() < 0.01, "ratio {}", faded / clean);
+        assert!(
+            (faded / clean - 1.85).abs() < 0.01,
+            "ratio {}",
+            faded / clean
+        );
 
         // End to end, fading increases the mean positioning error.
         let (pos, field) = setup();

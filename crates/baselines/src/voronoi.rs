@@ -8,8 +8,8 @@
 //! spacing — the gap Figs. 8a/9 quantify against the SVD.
 
 use wilocator_geo::Point;
-use wilocator_road::Route;
 use wilocator_rf::{AccessPoint, ApId};
+use wilocator_road::Route;
 
 /// Nearest-AP positioner over a route.
 ///

@@ -1,0 +1,255 @@
+//! Ingestion throughput: the sharded server against a replica of the old
+//! single-global-lock design.
+//!
+//! The baseline reproduces the pre-shard hot path faithfully: one
+//! `RwLock` over all buses plus the store, and a full
+//! `segment_traversals` re-scan (with route and trajectory clones) on
+//! every report. The sharded server commits incrementally from
+//! `committed_upto` with no clones, and `ingest_batch` amortises lock
+//! traffic over a whole chunk of reports.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wilocator_core::{
+    segment_traversals, BusKey, BusTracker, ScanReport, TravelTimeStore, Traversal, WiLocator,
+    WiLocatorConfig,
+};
+use wilocator_geo::Point;
+use wilocator_rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan, SignalField};
+use wilocator_road::{NetworkBuilder, Route, RouteId};
+
+const COMMIT_MARGIN_M: f64 = 30.0;
+
+/// Two disjoint streets, one route each — the scene the sharded server
+/// splits in two.
+fn scene() -> (Vec<Route>, HomogeneousField) {
+    let mut b = NetworkBuilder::new();
+    let mut aps = Vec::new();
+    let mut ap_id = 0u32;
+    let mut per_street_edges = Vec::new();
+    for y in [0.0f64, 900.0] {
+        let mut prev = b.add_node(Point::new(0.0, y));
+        let mut edges = Vec::new();
+        for k in 1..=8 {
+            let node = b.add_node(Point::new(k as f64 * 300.0, y));
+            edges.push(b.add_edge(prev, node, None).expect("distinct"));
+            prev = node;
+        }
+        let mut x = 30.0;
+        while x < 2_400.0 {
+            aps.push(AccessPoint::new(
+                ApId(ap_id),
+                Point::new(x, y + if ap_id.is_multiple_of(2) { 18.0 } else { -18.0 }),
+            ));
+            ap_id += 1;
+            x += 55.0;
+        }
+        per_street_edges.push(edges);
+    }
+    let net = b.build();
+    let routes = per_street_edges
+        .into_iter()
+        .enumerate()
+        .map(|(i, edges)| {
+            let mut r = Route::new(
+                RouteId(i as u32),
+                if i == 0 { "9" } else { "14" },
+                edges,
+                &net,
+            )
+            .expect("connected");
+            r.add_stops_evenly(4);
+            r
+        })
+        .collect();
+    (routes, HomogeneousField::new(aps))
+}
+
+/// A day's worth of interleaved reports: `buses_per_route` buses per
+/// route at staggered departures, scanning every 10 s at 8 m/s.
+fn reports(routes: &[Route], field: &HomogeneousField, buses_per_route: usize) -> Vec<ScanReport> {
+    let mut out = Vec::new();
+    for (ri, route) in routes.iter().enumerate() {
+        for b in 0..buses_per_route {
+            let bus = (ri * buses_per_route + b) as u64;
+            let t0 = b as f64 * 120.0;
+            let mut t = t0;
+            loop {
+                let s = (t - t0) * 8.0;
+                if s > route.length() {
+                    break;
+                }
+                let p = route.point_at(s);
+                let readings: Vec<Reading> = field
+                    .detectable_at(p, -90.0)
+                    .into_iter()
+                    .map(|(ap, rss)| Reading {
+                        ap,
+                        bssid: Bssid::from_ap_id(ap),
+                        rss_dbm: rss.round() as i32,
+                    })
+                    .collect();
+                out.push(ScanReport {
+                    bus: BusKey(bus),
+                    time_s: t,
+                    scans: vec![Scan::new(t, readings)],
+                });
+                t += 10.0;
+            }
+        }
+    }
+    out.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"));
+    out
+}
+
+struct BaselineBus {
+    route: RouteId,
+    tracker: BusTracker,
+    committed_upto: usize,
+}
+
+#[derive(Default)]
+struct BaselineState {
+    buses: HashMap<BusKey, BaselineBus>,
+    store: TravelTimeStore,
+}
+
+/// Replica of the old server: every route and bus behind one global lock,
+/// with the old per-report full-trajectory commit scan.
+struct GlobalLockServer {
+    state: RwLock<BaselineState>,
+}
+
+impl GlobalLockServer {
+    fn new(routes: &[Route], field: &HomogeneousField, buses_per_route: usize) -> Self {
+        let config = WiLocatorConfig::default();
+        let mut state = BaselineState::default();
+        for (ri, route) in routes.iter().enumerate() {
+            let index = wilocator_svd::RouteTileIndex::build(
+                field,
+                route,
+                config.svd,
+                config.sample_step_m,
+            );
+            let positioner =
+                wilocator_svd::RoutePositioner::new(route.clone(), index, config.positioner);
+            for b in 0..buses_per_route {
+                let bus = (ri * buses_per_route + b) as u64;
+                state.buses.insert(
+                    BusKey(bus),
+                    BaselineBus {
+                        route: route.id(),
+                        tracker: BusTracker::new(positioner.clone()),
+                        committed_upto: 0,
+                    },
+                );
+            }
+        }
+        GlobalLockServer {
+            state: RwLock::new(state),
+        }
+    }
+
+    fn ingest(&self, report: &ScanReport) {
+        let mut st = self.state.write().expect("global lock");
+        let bus = st.buses.get_mut(&report.bus).expect("registered");
+        let Some(fix) = bus.tracker.ingest(report) else {
+            return;
+        };
+        // The old hot path: clone route + trajectory, re-derive every
+        // traversal, skip the already-committed prefix.
+        let route = bus.tracker.route().clone();
+        let route_id = bus.route;
+        let fixes = bus.tracker.trajectory().fixes().to_vec();
+        let mut committed_upto = bus.committed_upto;
+        let mut new_records = Vec::new();
+        for tr in segment_traversals(&route, &fixes) {
+            if tr.edge_index < committed_upto {
+                continue;
+            }
+            if route.edge_end_s(tr.edge_index) + COMMIT_MARGIN_M > fix.s {
+                break;
+            }
+            new_records.push((route.edges()[tr.edge_index], tr));
+            committed_upto = tr.edge_index + 1;
+        }
+        st.buses
+            .get_mut(&report.bus)
+            .expect("present")
+            .committed_upto = committed_upto;
+        for (edge, tr) in new_records {
+            st.store.record(
+                edge,
+                Traversal {
+                    route: route_id,
+                    t_enter: tr.t_enter,
+                    t_exit: tr.t_exit,
+                },
+            );
+        }
+    }
+}
+
+fn sharded_server(routes: &[Route], field: &HomogeneousField, buses_per_route: usize) -> WiLocator {
+    let server = WiLocator::new(field, routes.to_vec(), WiLocatorConfig::default());
+    for (ri, route) in routes.iter().enumerate() {
+        for b in 0..buses_per_route {
+            let bus = (ri * buses_per_route + b) as u64;
+            server
+                .register_bus(BusKey(bus), route.id())
+                .expect("served route");
+        }
+    }
+    server
+}
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    const BUSES_PER_ROUTE: usize = 4;
+    let (routes, field) = scene();
+    let workload = reports(&routes, &field, BUSES_PER_ROUTE);
+    let n = workload.len();
+    println!("workload: {n} reports, 2 routes, {BUSES_PER_ROUTE} buses/route");
+
+    c.bench_function("ingest_global_lock_baseline", |b| {
+        b.iter_batched(
+            || GlobalLockServer::new(&routes, &field, BUSES_PER_ROUTE),
+            |server| {
+                for report in &workload {
+                    server.ingest(report);
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("ingest_sharded_sequential", |b| {
+        b.iter_batched(
+            || sharded_server(&routes, &field, BUSES_PER_ROUTE),
+            |server| {
+                for report in &workload {
+                    server.ingest(report).expect("registered");
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("ingest_sharded_batch64", |b| {
+        b.iter_batched(
+            || sharded_server(&routes, &field, BUSES_PER_ROUTE),
+            |server| {
+                for chunk in workload.chunks(64) {
+                    for result in server.ingest_batch(chunk) {
+                        result.expect("registered");
+                    }
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(ingest_throughput, bench_ingest_throughput);
+criterion_main!(ingest_throughput);

@@ -18,7 +18,10 @@ pub fn run_experiment(name: &str, paper_reference: &str, body: impl FnOnce() -> 
     let start = Instant::now();
     let output = body();
     println!("{output}");
-    println!("[{name} completed in {:.1} s]\n", start.elapsed().as_secs_f64());
+    println!(
+        "[{name} completed in {:.1} s]\n",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 #[cfg(test)]

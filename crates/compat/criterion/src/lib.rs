@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface the workspace benches use — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a plain
+//! calibrated wall-clock loop (warm-up, then enough iterations to fill
+//! the measurement window) reporting mean time per iteration; there is no
+//! statistical analysis, plotting, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point used by benches: an optimisation barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1_500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for compatibility; sampling is time-based here.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        body(&mut b);
+        match b.report {
+            Some(r) => {
+                println!(
+                    "{name:<40} time: {:>12} /iter  ({} iters)",
+                    format_duration(r.mean),
+                    r.iters
+                );
+            }
+            None => println!("{name:<40} (no measurement recorded)"),
+        }
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean: Duration,
+    iters: u64,
+}
+
+/// Passed to the benchmark body; runs the timing loops.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: count iterations that fit the window.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = ((self.measurement.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.report = Some(Report {
+            mean: total.div_f64(target as f64),
+            iters: target,
+        });
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (warm_spent.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let target = ((self.measurement.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let mut spent = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+        }
+        self.report = Some(Report {
+            mean: spent.div_f64(target as f64),
+            iters: target,
+        });
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions as one runnable function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_mean() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! Case execution: deterministic per-case RNG and the run loop.
+
+/// Per-test configuration. Named `ProptestConfig` in the prelude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Retry bound for generation-level rejection (`prop_filter` and
+    /// friends) before the test errors out.
+    pub max_rejects: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_rejects: 4_096,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// The case asked to be discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Convenience alias matching real proptest.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case generator (xoshiro256++ seeded by SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+    rejects_left: u32,
+}
+
+impl TestRng {
+    /// A generator for one case, derived from the test name and case
+    /// index — stable across runs and platforms.
+    pub fn for_case(test_name: &str, case: u32, max_rejects: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+            rejects_left: max_rejects,
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Books one generation-level rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rejection budget is exhausted — a filter that
+    /// rejects this often needs a tighter generator.
+    pub fn count_reject(&mut self, whence: &str) {
+        assert!(
+            self.rejects_left > 0,
+            "too many generation rejections ({whence}); tighten the strategy"
+        );
+        self.rejects_left -= 1;
+    }
+}
+
+/// Runs `cases` deterministic cases of `f`, panicking (with the case
+/// index, so the failure is reproducible) on the first failure.
+pub fn run_cases(
+    config: &Config,
+    test_name: &str,
+    mut f: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rejected = 0u32;
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case, config.max_rejects);
+        match f(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_rejects,
+                    "{test_name}: too many whole-case rejections"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {case}/{} failed:\n{msg}", config.cases);
+            }
+        }
+    }
+}

@@ -58,9 +58,7 @@ impl TravelTimeStore {
             Some(last) if last.t_exit <= traversal.t_exit => v.push(traversal),
             _ => {
                 let pos = v
-                    .binary_search_by(|t| {
-                        t.t_exit.partial_cmp(&traversal.t_exit).expect("finite")
-                    })
+                    .binary_search_by(|t| t.t_exit.partial_cmp(&traversal.t_exit).expect("finite"))
                     .unwrap_or_else(|e| e);
                 v.insert(pos, traversal);
             }
@@ -92,13 +90,24 @@ impl TravelTimeStore {
         self.by_edge.keys().copied()
     }
 
+    /// Copies every record of `other` into this store (used to assemble
+    /// a merged view across server shards). Record lists stay ordered by
+    /// exit time.
+    pub fn merge_from(&mut self, other: &TravelTimeStore) {
+        for (&edge, records) in &other.by_edge {
+            let v = self.by_edge.entry(edge).or_default();
+            if v.is_empty() {
+                v.extend_from_slice(records);
+            } else {
+                v.extend_from_slice(records);
+                v.sort_by(|a, b| a.t_exit.partial_cmp(&b.t_exit).expect("finite"));
+            }
+        }
+    }
+
     /// Traversals of `edge` completed strictly before `t`, optionally
     /// filtered by a predicate on the record.
-    pub fn completed_before(
-        &self,
-        edge: EdgeId,
-        t: f64,
-    ) -> impl Iterator<Item = &Traversal> {
+    pub fn completed_before(&self, edge: EdgeId, t: f64) -> impl Iterator<Item = &Traversal> {
         self.traversals(edge)
             .iter()
             .take_while(move |tr| tr.t_exit < t)
@@ -107,12 +116,7 @@ impl TravelTimeStore {
     /// The most recent traversal of `edge` by each route, completed within
     /// `(t - window, t)`. At most one record per route (the latest) — the
     /// "J buses of K′ routes passing by e_i most recently".
-    pub fn recent_by_route(
-        &self,
-        edge: EdgeId,
-        t: f64,
-        window_s: f64,
-    ) -> Vec<Traversal> {
+    pub fn recent_by_route(&self, edge: EdgeId, t: f64, window_s: f64) -> Vec<Traversal> {
         let all = self.traversals(edge);
         // Records are sorted by exit time: jump to the window start.
         let start = all.partition_point(|tr| tr.t_exit <= t - window_s);
@@ -224,8 +228,12 @@ mod tests {
         let recent = s.recent_by_route(e, 1_200.0, 1_000.0);
         assert_eq!(recent.len(), 2);
         // Route 0's latest in-window record is the 380 exit.
-        assert!(recent.iter().any(|t| t.route == RouteId(0) && t.t_exit == 380.0));
-        assert!(recent.iter().any(|t| t.route == RouteId(1) && t.t_exit == 1_000.0));
+        assert!(recent
+            .iter()
+            .any(|t| t.route == RouteId(0) && t.t_exit == 380.0));
+        assert!(recent
+            .iter()
+            .any(|t| t.route == RouteId(1) && t.t_exit == 1_000.0));
         // A narrow window drops the older routes.
         let narrow = s.recent_by_route(e, 1_200.0, 300.0);
         assert_eq!(narrow.len(), 1);
@@ -252,7 +260,9 @@ mod tests {
         s.record(e, tr(1, 200.0, 290.0)); // 90 s
         let all = s.mean_travel_time(e, None, 1e9, |_| true).unwrap();
         assert!((all - (50.0 + 80.0 + 90.0) / 3.0).abs() < 1e-9);
-        let r0 = s.mean_travel_time(e, Some(RouteId(0)), 1e9, |_| true).unwrap();
+        let r0 = s
+            .mean_travel_time(e, Some(RouteId(0)), 1e9, |_| true)
+            .unwrap();
         assert!((r0 - 65.0).abs() < 1e-9);
         let early = s
             .mean_travel_time(e, None, 1e9, |t| t.t_enter < 150.0)

@@ -13,8 +13,8 @@
 //! tracking filter so WiFi re-acquisition starts from the right prior.
 
 use wilocator_geo::Point;
-use wilocator_road::Route;
 use wilocator_rf::ApId;
+use wilocator_road::Route;
 use wilocator_svd::{FixMethod, Prior, RoutePositioner, TrackingFilter};
 
 /// Where a hybrid fix came from.
@@ -162,11 +162,7 @@ impl HybridTracker {
         }
     }
 
-    fn try_gps(
-        &mut self,
-        time_s: f64,
-        gps: impl FnOnce() -> Option<Point>,
-    ) -> Option<HybridFix> {
+    fn try_gps(&mut self, time_s: f64, gps: impl FnOnce() -> Option<Point>) -> Option<HybridFix> {
         if !self.gps_active {
             return None;
         }
@@ -174,10 +170,7 @@ impl HybridTracker {
         let p = gps()?;
         let pos = self.route.project(p);
         // Seed the WiFi filter so re-acquisition starts from here.
-        self.filter.seed(Prior {
-            s: pos.s,
-            time_s,
-        });
+        self.filter.seed(Prior { s: pos.s, time_s });
         Some(HybridFix {
             s: pos.s,
             point: pos.point,
@@ -191,8 +184,8 @@ impl HybridTracker {
 mod tests {
     use super::*;
     use wilocator_geo::Point;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, HomogeneousField, SignalField};
+    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_svd::{PositionerConfig, RouteTileIndex, SvdConfig};
 
     /// A 1.2 km street with APs only on the first and last 400 m: a WiFi
@@ -280,7 +273,10 @@ mod tests {
                 assert!((fix.s - s).abs() < 1.0);
             }
         }
-        assert!(gps_fixes >= 2, "GPS produced only {gps_fixes} fixes in the gap");
+        assert!(
+            gps_fixes >= 2,
+            "GPS produced only {gps_fixes} fixes in the gap"
+        );
         assert!(t.gps_active());
         // Back into coverage: WiFi resumes seeded by GPS, module powers off.
         let fix = step(&mut t, 1_000.0).unwrap();

@@ -66,12 +66,11 @@ pub use report::{BusKey, RouteIdentifier, ScanReport};
 pub use seasonal::{
     partition_from_index, seasonal_index, SeasonalConfig, SeasonalIndex, SlotPartition,
 };
-pub use server::{CoreError, WiLocator, WiLocatorConfig};
+pub use server::{CoreError, IngestResult, WiLocator, WiLocatorConfig};
 pub use tracker::{
     crossing_time, segment_traversals, BusTracker, SegmentTraversal, TrackedTrajectory,
 };
 pub use traffic_map::{
-    delta_from_history, delta_from_median, detect_anomalies, route_exclusions,
-    unknown_fraction, Anomaly,
-    SegmentState, TrafficMapConfig, TrafficMapGenerator, TrafficState,
+    delta_from_history, delta_from_median, detect_anomalies, route_exclusions, unknown_fraction,
+    Anomaly, SegmentState, TrafficMapConfig, TrafficMapGenerator, TrafficState,
 };

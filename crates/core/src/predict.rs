@@ -18,9 +18,7 @@ use std::collections::HashMap;
 use wilocator_road::{EdgeId, Route, RouteId};
 
 use crate::history::TravelTimeStore;
-use crate::seasonal::{
-    partition_from_index, seasonal_index, SeasonalConfig, SlotPartition, DAY_S,
-};
+use crate::seasonal::{partition_from_index, seasonal_index, SeasonalConfig, SlotPartition, DAY_S};
 
 /// Key of the frozen-mean cache: `(segment, route filter, slot filter)`.
 type MeanKey = (EdgeId, Option<RouteId>, Option<usize>);
@@ -100,7 +98,11 @@ impl ArrivalPredictor {
         self.mean_cache.clear();
         let edges: Vec<EdgeId> = store.edges().collect();
         for edge in edges {
-            let partition = self.partitions.get(&edge).cloned().unwrap_or_else(SlotPartition::whole_day);
+            let partition = self
+                .partitions
+                .get(&edge)
+                .cloned()
+                .unwrap_or_else(SlotPartition::whole_day);
             let add = |key: MeanKey, tt: f64, cache: &mut HashMap<MeanKey, (f64, usize)>| {
                 let e = cache.entry(key).or_insert((0.0, 0));
                 e.0 += tt;
@@ -128,7 +130,9 @@ impl ArrivalPredictor {
 
     /// The slot partition of a segment (whole-day when untrained).
     pub fn partition(&self, edge: EdgeId) -> &SlotPartition {
-        self.partitions.get(&edge).unwrap_or(&self.default_partition)
+        self.partitions
+            .get(&edge)
+            .unwrap_or(&self.default_partition)
     }
 
     /// Historical mean travel time `Th(i, j, l)` of `route` on `edge` for
@@ -164,8 +168,9 @@ impl ArrivalPredictor {
         let partition = self.partition(edge);
         let slot = partition.slot_of(t);
         let min = self.config.min_slot_samples;
-        let in_slot =
-            |tr: &crate::history::Traversal| partition.slot_of(tr.t_enter.rem_euclid(DAY_S)) == slot;
+        let in_slot = |tr: &crate::history::Traversal| {
+            partition.slot_of(tr.t_enter.rem_euclid(DAY_S)) == slot
+        };
         let count = |r: Option<RouteId>, slot_only: bool| {
             store
                 .completed_before(edge, t)
@@ -316,7 +321,11 @@ mod tests {
             for hour in 6..22 {
                 for (i, &edge) in route.edges().iter().enumerate() {
                     let t0 = day as f64 * DAY_S + hour as f64 * 3_600.0 + i as f64 * 120.0;
-                    let extra = if (8..10).contains(&hour) { rush_extra } else { 0.0 };
+                    let extra = if (8..10).contains(&hour) {
+                        rush_extra
+                    } else {
+                        0.0
+                    };
                     store.record(
                         edge,
                         Traversal {
@@ -431,7 +440,10 @@ mod tests {
         let route = route_3seg();
         let store = TravelTimeStore::new();
         let p = ArrivalPredictor::new(PredictorConfig::default());
-        assert_eq!(p.predict_arrival(&store, &route, 500.0, 1_000.0, 400.0), 1_000.0);
+        assert_eq!(
+            p.predict_arrival(&store, &route, 500.0, 1_000.0, 400.0),
+            1_000.0
+        );
     }
 
     #[test]

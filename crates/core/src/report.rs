@@ -63,7 +63,8 @@ impl RouteIdentifier {
         // Longest names first so "Rapid Line 9" prefers the specific match
         // and plain digits ("9") cannot shadow a longer name containing
         // them.
-        self.names.sort_by_key(|(_, name)| std::cmp::Reverse(name.len()));
+        self.names
+            .sort_by_key(|(_, name)| std::cmp::Reverse(name.len()));
     }
 
     /// The registered `(route, lowercase name)` pairs.
@@ -152,7 +153,10 @@ mod tests {
         let mut id = RouteIdentifier::new();
         id.register(RouteId(7), "9");
         id.register(RouteId(8), "99 B-Line");
-        assert_eq!(id.identify("this is the 99 B-Line express"), Some(RouteId(8)));
+        assert_eq!(
+            id.identify("this is the 99 B-Line express"),
+            Some(RouteId(8))
+        );
     }
 
     #[test]

@@ -4,23 +4,35 @@
 //! per-route SVD positioners, the per-bus trackers, the travel-time store,
 //! the trained predictor and the traffic-map generator, and exposes the
 //! operations of the paper's three components — real-time tracking,
-//! arrival-time prediction and traffic-map generation. State is behind
-//! `parking_lot` locks so concurrent rider uploads and user queries can be
-//! served from multiple threads.
+//! arrival-time prediction and traffic-map generation.
+//!
+//! # Sharding
+//!
+//! Server state is split into *shards*: connected components of routes
+//! that share at least one road segment. Each shard owns its bus
+//! trackers, travel-time store, predictor and traffic-map state behind
+//! one `RwLock`, so uploads for unrelated routes never contend. Segments
+//! partition cleanly across shards (a segment shared by two routes puts
+//! both routes in the same shard), which preserves Equation 8's
+//! cross-route residual borrowing exactly: every traversal of a segment
+//! lands in the one shard that owns it. The route table, positioners and
+//! the bus → shard directory are read-mostly; only registration touches
+//! the directory with a write lock.
+//!
+//! Lock ordering: the bus directory is always acquired before any shard
+//! lock, and no operation ever holds two shard locks at once.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
-use parking_lot::RwLock;
 use wilocator_rf::SignalField;
-use wilocator_road::{Route, RouteId, StopId};
-use wilocator_svd::{
-    Fix, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig,
-};
+use wilocator_road::{EdgeId, Route, RouteId, StopId};
+use wilocator_svd::{Fix, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig};
 
 use crate::history::{TravelTimeStore, Traversal};
 use crate::predict::{ArrivalPredictor, PredictorConfig};
 use crate::report::{BusKey, RouteIdentifier, ScanReport};
-use crate::tracker::{segment_traversals, BusTracker};
+use crate::tracker::{crossing_time, segment_traversals, BusTracker};
 use crate::traffic_map::{SegmentState, TrafficMapConfig, TrafficMapGenerator};
 
 /// Errors returned by the server API.
@@ -45,6 +57,10 @@ impl std::fmt::Display for CoreError {
 }
 
 impl std::error::Error for CoreError {}
+
+/// Outcome of ingesting one report: `Ok(Some(fix))` when the scan
+/// anchored a position, `Ok(None)` when it was absorbed without one.
+pub type IngestResult = Result<Option<Fix>, CoreError>;
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,10 +100,100 @@ struct BusState {
     committed_upto: usize,
 }
 
-#[derive(Debug, Default)]
-struct ServerState {
+impl BusState {
+    /// Commits the segment traversals the latest fix has safely cleared,
+    /// scanning only segments past `committed_upto`. The crossing
+    /// interpolation uses the first straddling fix pair, which later
+    /// fixes never displace, so committing eagerly here produces the same
+    /// records as re-deriving the full trip at finish time.
+    fn drain_cleared(&mut self, commit_margin_m: f64) -> Vec<(EdgeId, Traversal)> {
+        let mut out = Vec::new();
+        let mut new_upto = self.committed_upto;
+        {
+            let route = self.tracker.route();
+            let fixes = self.tracker.trajectory().fixes();
+            let Some(fix) = fixes.last() else {
+                return out;
+            };
+            let mut i = self.committed_upto;
+            while i < route.edges().len() {
+                if route.edge_end_s(i) + commit_margin_m > fix.s {
+                    break;
+                }
+                if let (Some(t_enter), Some(t_exit)) = (
+                    crossing_time(fixes, route.edge_start_s(i)),
+                    crossing_time(fixes, route.edge_end_s(i)),
+                ) {
+                    if t_exit > t_enter {
+                        out.push((
+                            route.edges()[i],
+                            Traversal {
+                                route: self.route,
+                                t_enter,
+                                t_exit,
+                            },
+                        ));
+                        new_upto = i + 1;
+                    }
+                }
+                i += 1;
+            }
+        }
+        self.committed_upto = new_upto;
+        out
+    }
+}
+
+/// Everything one group of edge-sharing routes owns: trackers of the
+/// buses on those routes, the travel-time records of their segments, a
+/// predictor trained on those records, and the traffic-map state.
+#[derive(Debug)]
+struct Shard {
     buses: HashMap<BusKey, BusState>,
     store: TravelTimeStore,
+    predictor: ArrivalPredictor,
+    traffic: TrafficMapGenerator,
+}
+
+/// Groups routes into connected components over shared segments.
+/// Returns `(shard index per route position, shard count)`.
+fn shard_partition(routes: &[Route]) -> (Vec<usize>, usize) {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let n = routes.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut owner: HashMap<EdgeId, usize> = HashMap::new();
+    for (i, route) in routes.iter().enumerate() {
+        for &edge in route.edges() {
+            match owner.get(&edge) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a.max(b)] = a.min(b);
+                    }
+                }
+                None => {
+                    owner.insert(edge, i);
+                }
+            }
+        }
+    }
+    // Densify component roots into shard ids, in route order.
+    let mut shard_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut shards = Vec::with_capacity(n);
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let next = shard_of_root.len();
+        let id = *shard_of_root.entry(root).or_insert(next);
+        shards.push(id);
+    }
+    let count = shard_of_root.len();
+    (shards, count)
 }
 
 /// The WiLocator server.
@@ -101,15 +207,22 @@ pub struct WiLocator {
     routes: Vec<Route>,
     positioners: HashMap<RouteId, RoutePositioner>,
     identifier: RouteIdentifier,
-    state: RwLock<ServerState>,
-    predictor: RwLock<ArrivalPredictor>,
-    traffic: TrafficMapGenerator,
+    /// Read-mostly: built once, never mutated after construction.
+    shard_of_route: HashMap<RouteId, usize>,
+    shards: Vec<RwLock<Shard>>,
+    /// Bus → shard directory. Written on (de)registration, read on every
+    /// upload. Always acquired *before* any shard lock.
+    bus_dir: RwLock<HashMap<BusKey, usize>>,
+    /// Cached hardware parallelism; on single-core hosts `ingest_batch`
+    /// skips thread spawning entirely.
+    parallelism: usize,
 }
 
 impl WiLocator {
     /// Builds the server: constructs the route tile indexes from the
-    /// geo-tag field (the SVD construction step of Fig. 4) and registers
-    /// route names for announcement-based identification.
+    /// geo-tag field (the SVD construction step of Fig. 4), registers
+    /// route names for announcement-based identification, and groups
+    /// routes into shards by shared segments.
     pub fn new<F: SignalField + ?Sized>(
         field: &F,
         routes: Vec<Route>,
@@ -125,14 +238,31 @@ impl WiLocator {
             );
             identifier.register(route.id(), route.name());
         }
+        let (assignment, count) = shard_partition(&routes);
+        let shard_of_route: HashMap<RouteId, usize> = routes
+            .iter()
+            .zip(&assignment)
+            .map(|(r, &s)| (r.id(), s))
+            .collect();
+        let shards = (0..count.max(1))
+            .map(|_| {
+                RwLock::new(Shard {
+                    buses: HashMap::new(),
+                    store: TravelTimeStore::new(),
+                    predictor: ArrivalPredictor::new(config.predictor),
+                    traffic: TrafficMapGenerator::new(config.traffic),
+                })
+            })
+            .collect();
         WiLocator {
             config,
             routes,
             positioners,
             identifier,
-            state: RwLock::new(ServerState::default()),
-            predictor: RwLock::new(ArrivalPredictor::new(config.predictor)),
-            traffic: TrafficMapGenerator::new(config.traffic),
+            shard_of_route,
+            shards,
+            bus_dir: RwLock::new(HashMap::new()),
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 
@@ -146,6 +276,27 @@ impl WiLocator {
         self.routes.iter().find(|r| r.id() == id)
     }
 
+    /// Number of shards (connected components of edge-sharing routes).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for_route(&self, route: RouteId) -> Result<usize, CoreError> {
+        self.shard_of_route
+            .get(&route)
+            .copied()
+            .ok_or(CoreError::UnknownRoute(route))
+    }
+
+    fn shard_for_bus(&self, bus: BusKey) -> Result<usize, CoreError> {
+        self.bus_dir
+            .read()
+            .expect("bus directory lock")
+            .get(&bus)
+            .copied()
+            .ok_or(CoreError::UnknownBus(bus))
+    }
+
     /// Registers a bus on a route (driver text input path of §V-A.1).
     ///
     /// # Errors
@@ -156,28 +307,60 @@ impl WiLocator {
             .positioners
             .get(&route)
             .ok_or(CoreError::UnknownRoute(route))?;
-        let mut st = self.state.write();
-        st.buses.insert(
-            bus,
-            BusState {
-                route,
-                tracker: BusTracker::new(positioner.clone()),
-                committed_upto: 0,
-            },
-        );
+        let shard_idx = self.shard_for_route(route)?;
+        let mut dir = self.bus_dir.write().expect("bus directory lock");
+        // Re-registration moves the bus: clear any previous tracker first
+        // (one shard lock at a time, directory lock held throughout).
+        if let Some(old) = dir.insert(bus, shard_idx) {
+            if old != shard_idx {
+                self.shards[old]
+                    .write()
+                    .expect("shard lock")
+                    .buses
+                    .remove(&bus);
+            }
+        }
+        self.shards[shard_idx]
+            .write()
+            .expect("shard lock")
+            .buses
+            .insert(
+                bus,
+                BusState {
+                    route,
+                    tracker: BusTracker::new(positioner.clone()),
+                    committed_upto: 0,
+                },
+            );
         Ok(())
     }
 
     /// Registers a bus from an announcement transcript (voice path of
     /// §V-A.1). Returns the identified route.
-    pub fn register_bus_by_announcement(
-        &self,
-        bus: BusKey,
-        transcript: &str,
-    ) -> Option<RouteId> {
+    pub fn register_bus_by_announcement(&self, bus: BusKey, transcript: &str) -> Option<RouteId> {
         let route = self.identifier.identify(transcript)?;
         self.register_bus(bus, route).ok()?;
         Some(route)
+    }
+
+    /// One report against an already-locked shard: track, then commit the
+    /// traversals the new fix has cleared.
+    fn ingest_locked(
+        shard: &mut Shard,
+        report: &ScanReport,
+        commit_margin_m: f64,
+    ) -> Result<Option<Fix>, CoreError> {
+        let bus = shard
+            .buses
+            .get_mut(&report.bus)
+            .ok_or(CoreError::UnknownBus(report.bus))?;
+        let Some(fix) = bus.tracker.ingest(report) else {
+            return Ok(None);
+        };
+        for (edge, tr) in bus.drain_cleared(commit_margin_m) {
+            shard.store.record(edge, tr);
+        }
+        Ok(Some(fix))
     }
 
     /// Ingests one scan report, returning the new position fix.
@@ -190,43 +373,76 @@ impl WiLocator {
     ///
     /// Returns [`CoreError::UnknownBus`] for unregistered buses.
     pub fn ingest(&self, report: &ScanReport) -> Result<Option<Fix>, CoreError> {
-        let mut st = self.state.write();
-        let bus = st
-            .buses
-            .get_mut(&report.bus)
-            .ok_or(CoreError::UnknownBus(report.bus))?;
-        let fix = bus.tracker.ingest(report);
-        let Some(fix) = fix else {
-            return Ok(None);
-        };
-        // Commit traversals the bus has safely cleared.
-        let route = bus.tracker.route().clone();
-        let route_id = bus.route;
-        let fixes = bus.tracker.trajectory().fixes().to_vec();
-        let mut committed_upto = bus.committed_upto;
-        let mut new_records = Vec::new();
-        for tr in segment_traversals(&route, &fixes) {
-            if tr.edge_index < committed_upto {
-                continue;
+        let shard_idx = self.shard_for_bus(report.bus)?;
+        let mut shard = self.shards[shard_idx].write().expect("shard lock");
+        Self::ingest_locked(&mut shard, report, self.config.commit_margin_m)
+    }
+
+    /// Ingests a batch of scan reports, returning one result per report in
+    /// input order.
+    ///
+    /// Reports are grouped by shard; each shard's group is processed under
+    /// a single lock acquisition, and independent shards are processed on
+    /// scoped threads (on hosts with more than one core — single-core
+    /// hosts process shards in turn, still under one lock acquisition
+    /// each). Relative order of reports for the same bus is
+    /// preserved, so a batch produces exactly the per-bus fix sequences
+    /// and store contents that the same reports would produce through
+    /// [`WiLocator::ingest`] one at a time.
+    pub fn ingest_batch(&self, reports: &[ScanReport]) -> Vec<IngestResult> {
+        let mut results: Vec<IngestResult> = vec![Ok(None); reports.len()];
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        {
+            let dir = self.bus_dir.read().expect("bus directory lock");
+            for (i, report) in reports.iter().enumerate() {
+                match dir.get(&report.bus) {
+                    Some(&s) => groups[s].push(i),
+                    None => results[i] = Err(CoreError::UnknownBus(report.bus)),
+                }
             }
-            if route.edge_end_s(tr.edge_index) + self.config.commit_margin_m > fix.s {
-                break;
+        }
+        let margin = self.config.commit_margin_m;
+        let busy: Vec<usize> = (0..groups.len())
+            .filter(|&s| !groups[s].is_empty())
+            .collect();
+        if busy.len() <= 1 || self.parallelism <= 1 {
+            // One shard (or a single-core host): threads can't help, but a
+            // batch still amortises one lock acquisition per busy shard.
+            for &s in &busy {
+                let mut shard = self.shards[s].write().expect("shard lock");
+                for &i in &groups[s] {
+                    results[i] = Self::ingest_locked(&mut shard, &reports[i], margin);
+                }
             }
-            new_records.push((route.edges()[tr.edge_index], tr));
-            committed_upto = tr.edge_index + 1;
+            return results;
         }
-        st.buses.get_mut(&report.bus).expect("present").committed_upto = committed_upto;
-        for (edge, tr) in new_records {
-            st.store.record(
-                edge,
-                Traversal {
-                    route: route_id,
-                    t_enter: tr.t_enter,
-                    t_exit: tr.t_exit,
-                },
-            );
+        let per_shard: Vec<(usize, Vec<IngestResult>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = busy
+                .iter()
+                .map(|&s| {
+                    let indices = &groups[s];
+                    let lock = &self.shards[s];
+                    scope.spawn(move || {
+                        let mut shard = lock.write().expect("shard lock");
+                        let local = indices
+                            .iter()
+                            .map(|&i| Self::ingest_locked(&mut shard, &reports[i], margin))
+                            .collect();
+                        (s, local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ingest shard thread"))
+                .collect()
+        });
+        for (s, local) in per_shard {
+            for (&i, r) in groups[s].iter().zip(local) {
+                results[i] = r;
+            }
         }
-        Ok(Some(fix))
+        results
     }
 
     /// Finishes a bus trip: commits all remaining traversals and removes
@@ -236,13 +452,17 @@ impl WiLocator {
     ///
     /// Returns [`CoreError::UnknownBus`] for unregistered buses.
     pub fn finish_bus(&self, bus: BusKey) -> Result<(), CoreError> {
-        let mut st = self.state.write();
-        let state = st.buses.remove(&bus).ok_or(CoreError::UnknownBus(bus))?;
-        let route = state.tracker.route().clone();
-        let fixes = state.tracker.trajectory().fixes().to_vec();
-        for tr in segment_traversals(&route, &fixes) {
+        let shard_idx = {
+            let mut dir = self.bus_dir.write().expect("bus directory lock");
+            dir.remove(&bus).ok_or(CoreError::UnknownBus(bus))?
+        };
+        let mut shard = self.shards[shard_idx].write().expect("shard lock");
+        let state = shard.buses.remove(&bus).ok_or(CoreError::UnknownBus(bus))?;
+        let route = state.tracker.route();
+        let fixes = state.tracker.trajectory().fixes();
+        for tr in segment_traversals(route, fixes) {
             if tr.edge_index >= state.committed_upto {
-                st.store.record(
+                shard.store.record(
                     route.edges()[tr.edge_index],
                     Traversal {
                         route: state.route,
@@ -257,28 +477,28 @@ impl WiLocator {
 
     /// The latest position fix of a bus.
     pub fn position(&self, bus: BusKey) -> Option<Fix> {
-        self.state.read().buses.get(&bus)?.tracker.trajectory().last().copied()
+        let shard_idx = self.shard_for_bus(bus).ok()?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        shard.buses.get(&bus)?.tracker.trajectory().last().copied()
     }
 
     /// The tracked trajectory fixes of a bus.
     pub fn trajectory(&self, bus: BusKey) -> Option<Vec<Fix>> {
-        Some(
-            self.state
-                .read()
-                .buses
-                .get(&bus)?
-                .tracker
-                .trajectory()
-                .fixes()
-                .to_vec(),
-        )
+        let shard_idx = self.shard_for_bus(bus).ok()?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        Some(shard.buses.get(&bus)?.tracker.trajectory().fixes().to_vec())
     }
 
     /// Offline training (§V-A.3): seasonal index → slot partitions, from
-    /// everything recorded before `as_of`.
+    /// everything recorded before `as_of`. Each shard trains its own
+    /// predictor from its own store; training is per-segment, and
+    /// segments partition across shards, so this equals training one
+    /// global predictor on the merged store.
     pub fn train(&self, as_of: f64) {
-        let st = self.state.read();
-        self.predictor.write().train(&st.store, as_of);
+        for lock in &self.shards {
+            let shard = &mut *lock.write().expect("shard lock");
+            shard.predictor.train(&shard.store, as_of);
+        }
     }
 
     /// Predicts the absolute arrival time of `bus` at stop `stop` of its
@@ -288,8 +508,9 @@ impl WiLocator {
     ///
     /// Returns [`CoreError::UnknownBus`] / [`CoreError::UnknownStop`].
     pub fn predict_arrival(&self, bus: BusKey, stop: StopId) -> Result<f64, CoreError> {
-        let st = self.state.read();
-        let state = st.buses.get(&bus).ok_or(CoreError::UnknownBus(bus))?;
+        let shard_idx = self.shard_for_bus(bus)?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let state = shard.buses.get(&bus).ok_or(CoreError::UnknownBus(bus))?;
         let route = state.tracker.route();
         let stop = route.stop(stop).ok_or(CoreError::UnknownStop(stop))?;
         let fix = state
@@ -297,8 +518,9 @@ impl WiLocator {
             .trajectory()
             .last()
             .ok_or(CoreError::UnknownBus(bus))?;
-        let predictor = self.predictor.read();
-        Ok(predictor.predict_arrival(&st.store, route, fix.s, fix.time_s, stop.s()))
+        Ok(shard
+            .predictor
+            .predict_arrival(&shard.store, route, fix.s, fix.time_s, stop.s()))
     }
 
     /// Predicts the arrival time at `stop_s` for a hypothetical bus of
@@ -315,9 +537,11 @@ impl WiLocator {
         stop_s: f64,
     ) -> Result<f64, CoreError> {
         let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
-        let st = self.state.read();
-        let predictor = self.predictor.read();
-        Ok(predictor.predict_arrival(&st.store, r, current_s, t, stop_s))
+        let shard_idx = self.shard_for_route(route)?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        Ok(shard
+            .predictor
+            .predict_arrival(&shard.store, r, current_s, t, stop_s))
     }
 
     /// Rider-facing query (the paper's third component, the trip-plan
@@ -334,9 +558,9 @@ impl WiLocator {
     ) -> Result<Vec<(BusKey, f64)>, CoreError> {
         let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
         let stop = r.stop(stop).ok_or(CoreError::UnknownStop(stop))?;
-        let st = self.state.read();
-        let predictor = self.predictor.read();
-        let mut out: Vec<(BusKey, f64)> = st
+        let shard_idx = self.shard_for_route(route)?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let mut out: Vec<(BusKey, f64)> = shard
             .buses
             .iter()
             .filter(|(_, b)| b.route == route)
@@ -345,7 +569,13 @@ impl WiLocator {
                 (fix.s < stop.s()).then(|| {
                     (
                         key,
-                        predictor.predict_arrival(&st.store, r, fix.s, fix.time_s, stop.s()),
+                        shard.predictor.predict_arrival(
+                            &shard.store,
+                            r,
+                            fix.s,
+                            fix.time_s,
+                            stop.s(),
+                        ),
                     )
                 })
             })
@@ -361,19 +591,38 @@ impl WiLocator {
     /// Returns [`CoreError::UnknownRoute`] for unserved routes.
     pub fn traffic_map(&self, route: RouteId, t: f64) -> Result<Vec<SegmentState>, CoreError> {
         let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
-        let st = self.state.read();
-        let predictor = self.predictor.read();
-        Ok(self.traffic.route_map(&st.store, &predictor, r, t))
+        let shard_idx = self.shard_for_route(route)?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        Ok(shard
+            .traffic
+            .route_map(&shard.store, &shard.predictor, r, t))
     }
 
-    /// Read access to the travel-time store (evaluation hooks).
+    /// Read access to a merged snapshot of the travel-time records across
+    /// all shards (evaluation hooks). Shard locks are taken one at a time
+    /// while the snapshot is assembled.
     pub fn with_store<T>(&self, f: impl FnOnce(&TravelTimeStore) -> T) -> T {
-        f(&self.state.read().store)
+        let mut merged = TravelTimeStore::new();
+        for lock in &self.shards {
+            merged.merge_from(&lock.read().expect("shard lock").store);
+        }
+        f(&merged)
     }
 
-    /// Read access to the trained predictor (evaluation hooks).
-    pub fn with_predictor<T>(&self, f: impl FnOnce(&ArrivalPredictor) -> T) -> T {
-        f(&self.predictor.read())
+    /// Read access to the trained predictor of a route's shard
+    /// (evaluation hooks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRoute`] for unserved routes.
+    pub fn with_predictor<T>(
+        &self,
+        route: RouteId,
+        f: impl FnOnce(&ArrivalPredictor) -> T,
+    ) -> Result<T, CoreError> {
+        let shard_idx = self.shard_for_route(route)?;
+        let shard = self.shards[shard_idx].read().expect("shard lock");
+        Ok(f(&shard.predictor))
     }
 
     /// The positioner of a route (evaluation hooks).
@@ -415,7 +664,13 @@ mod tests {
         (server, field)
     }
 
-    pub(crate) fn report(field: &HomogeneousField, route: &Route, s: f64, t: f64, bus: u64) -> ScanReport {
+    pub(crate) fn report(
+        field: &HomogeneousField,
+        route: &Route,
+        s: f64,
+        t: f64,
+        bus: u64,
+    ) -> ScanReport {
         let p = route.point_at(s);
         let readings: Vec<Reading> = field
             .detectable_at(p, -90.0)
@@ -446,6 +701,46 @@ mod tests {
             t += 10.0;
         }
         server.finish_bus(BusKey(bus)).unwrap();
+    }
+
+    /// Two disjoint 800 m streets, each carrying one route; a third route
+    /// rides the first street's segments. Routes 0 and 2 must share a
+    /// shard, route 1 must not.
+    fn setup_two_streets() -> (WiLocator, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(400.0, 0.0));
+        let n2 = b.add_node(Point::new(800.0, 0.0));
+        let m0 = b.add_node(Point::new(0.0, 600.0));
+        let m1 = b.add_node(Point::new(400.0, 600.0));
+        let m2 = b.add_node(Point::new(800.0, 600.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let f0 = b.add_edge(m0, m1, None).unwrap();
+        let f1 = b.add_edge(m1, m2, None).unwrap();
+        let net = b.build();
+        let mut r0 = Route::new(RouteId(0), "9", vec![e0, e1], &net).unwrap();
+        let mut r1 = Route::new(RouteId(1), "14", vec![f0, f1], &net).unwrap();
+        let mut r2 = Route::new(RouteId(2), "9 express", vec![e0, e1], &net).unwrap();
+        r0.add_stops_evenly(3);
+        r1.add_stops_evenly(3);
+        r2.add_stops_evenly(3);
+        let mut aps = Vec::new();
+        let mut i = 0u32;
+        for y in [0.0, 600.0] {
+            let mut x = 40.0;
+            while x < 800.0 {
+                aps.push(AccessPoint::new(
+                    ApId(i),
+                    Point::new(x, y + if i.is_multiple_of(2) { 15.0 } else { -15.0 }),
+                ));
+                i += 1;
+                x += 80.0;
+            }
+        }
+        let field = HomogeneousField::new(aps);
+        let server = WiLocator::new(&field, vec![r0, r1, r2], WiLocatorConfig::default());
+        (server, field)
     }
 
     #[test]
@@ -562,8 +857,12 @@ mod tests {
         // Two buses on the road: one at 100 m, one at 600 m.
         server.register_bus(BusKey(1), RouteId(0)).unwrap();
         server.register_bus(BusKey(2), RouteId(0)).unwrap();
-        server.ingest(&report(&field, &route, 100.0, 1_000.0, 1)).unwrap();
-        server.ingest(&report(&field, &route, 600.0, 1_000.0, 2)).unwrap();
+        server
+            .ingest(&report(&field, &route, 100.0, 1_000.0, 1))
+            .unwrap();
+        server
+            .ingest(&report(&field, &route, 600.0, 1_000.0, 2))
+            .unwrap();
         // Stop mid-route at s = 400: only bus 1 is still approaching.
         let mid_stop = route.stops()[1].id();
         let arrivals = server.arrivals_at(RouteId(0), mid_stop).unwrap();
@@ -584,6 +883,73 @@ mod tests {
     }
 
     #[test]
+    fn shards_group_routes_by_shared_segments() {
+        let (server, _) = setup_two_streets();
+        assert_eq!(server.shard_count(), 2);
+        let s0 = server.shard_for_route(RouteId(0)).unwrap();
+        let s1 = server.shard_for_route(RouteId(1)).unwrap();
+        let s2 = server.shard_for_route(RouteId(2)).unwrap();
+        assert_eq!(s0, s2, "edge-sharing routes share a shard");
+        assert_ne!(s0, s1, "disjoint routes get their own shard");
+    }
+
+    #[test]
+    fn batch_matches_sequential_ingest() {
+        let (batched, field) = setup_two_streets();
+        let (sequential, _) = setup_two_streets();
+        let routes: Vec<Route> = batched.routes().to_vec();
+        let mut reports = Vec::new();
+        for (bus, route_idx) in [(1u64, 0usize), (2, 1), (3, 2)] {
+            batched
+                .register_bus(BusKey(bus), routes[route_idx].id())
+                .unwrap();
+            sequential
+                .register_bus(BusKey(bus), routes[route_idx].id())
+                .unwrap();
+            for k in 0..20 {
+                let t = k as f64 * 10.0;
+                let s = (t * 6.0).min(routes[route_idx].length());
+                reports.push(report(&field, &routes[route_idx], s, t, bus));
+            }
+        }
+        // Interleave buses within the batch while keeping per-bus order.
+        reports.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap());
+        let batch_results = batched.ingest_batch(&reports);
+        assert!(batch_results.iter().all(|r| r.is_ok()));
+        for r in &reports {
+            sequential.ingest(r).unwrap();
+        }
+        for bus in [1u64, 2, 3] {
+            assert_eq!(
+                batched.trajectory(BusKey(bus)),
+                sequential.trajectory(BusKey(bus)),
+                "bus {bus} trajectories diverge"
+            );
+        }
+        let (a, b) = (
+            batched.with_store(|s| s.len()),
+            sequential.with_store(|s| s.len()),
+        );
+        assert_eq!(a, b, "store record counts diverge");
+    }
+
+    #[test]
+    fn batch_reports_unknown_bus_in_place() {
+        let (server, field) = setup();
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(1), RouteId(0)).unwrap();
+        let reports = vec![
+            report(&field, &route, 0.0, 0.0, 1),
+            report(&field, &route, 0.0, 0.0, 77),
+            report(&field, &route, 80.0, 10.0, 1),
+        ];
+        let results = server.ingest_batch(&reports);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(CoreError::UnknownBus(BusKey(77))));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
     fn error_display_nonempty() {
         for e in [
             CoreError::UnknownRoute(RouteId(0)),
@@ -594,4 +960,3 @@ mod tests {
         }
     }
 }
-

@@ -97,10 +97,7 @@ impl BusTracker {
 
     /// The trajectory as geodetic `<lat, long, t>` tuples (Definition 6),
     /// through the given projection.
-    pub fn trajectory_geo(
-        &self,
-        projection: &wilocator_geo::Projection,
-    ) -> Vec<(GeoPoint, f64)> {
+    pub fn trajectory_geo(&self, projection: &wilocator_geo::Projection) -> Vec<(GeoPoint, f64)> {
         self.trajectory
             .fixes
             .iter()
@@ -147,10 +144,7 @@ pub fn crossing_time(fixes: &[Fix], s_cross: f64) -> Option<f64> {
     }
     let last = fixes.last()?;
     if s_cross > last.s {
-        let moving = fixes
-            .windows(2)
-            .rev()
-            .find(|w| w[1].s > w[0].s + 1e-9)?;
+        let moving = fixes.windows(2).rev().find(|w| w[1].s > w[0].s + 1e-9)?;
         let v = (moving[1].s - moving[0].s) / (moving[1].time_s - moving[0].time_s).max(1e-9);
         let gap = s_cross - last.s;
         if gap / v <= EXTRAP_LIMIT_S {
@@ -203,8 +197,8 @@ pub fn segment_traversals(route: &Route, fixes: &[Fix]) -> Vec<SegmentTraversal>
 mod tests {
     use super::*;
     use wilocator_geo::Point;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan, SignalField};
+    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_svd::{FixMethod, PositionerConfig, RouteTileIndex, SvdConfig};
 
     fn setup() -> (BusTracker, HomogeneousField) {

@@ -19,7 +19,6 @@ use wilocator_svd::Fix;
 use crate::history::TravelTimeStore;
 use crate::predict::ArrivalPredictor;
 
-
 /// Traffic state of a road segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficState {
@@ -118,8 +117,7 @@ impl TrafficMapGenerator {
         let mut residuals: Vec<f64> = Vec::new();
         let mut latest: Option<(f64, f64)> = None; // (t_exit, residual)
         for tr in store.completed_before(edge, t) {
-            let Some(th) =
-                predictor.historical_mean(store, edge, Some(tr.route), tr.t_enter)
+            let Some(th) = predictor.historical_mean(store, edge, Some(tr.route), tr.t_enter)
             else {
                 continue;
             };
@@ -207,7 +205,11 @@ pub fn delta_from_history(displacements: &[f64], c: f64) -> f64 {
     }
     let n = displacements.len() as f64;
     let mean = displacements.iter().sum::<f64>() / n;
-    let var = displacements.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    let var = displacements
+        .iter()
+        .map(|d| (d - mean).powi(2))
+        .sum::<f64>()
+        / n;
     (mean - c * var.sqrt()).max(1.0)
 }
 
@@ -455,8 +457,16 @@ mod tests {
     #[test]
     fn unknown_fraction_counts() {
         let map = vec![
-            SegmentState { edge: EdgeId(0), state: TrafficState::Normal, z: 0.0 },
-            SegmentState { edge: EdgeId(1), state: TrafficState::Unknown, z: 0.0 },
+            SegmentState {
+                edge: EdgeId(0),
+                state: TrafficState::Normal,
+                z: 0.0,
+            },
+            SegmentState {
+                edge: EdgeId(1),
+                state: TrafficState::Unknown,
+                z: 0.0,
+            },
         ];
         assert_eq!(unknown_fraction(&map), 0.5);
         assert_eq!(unknown_fraction(&[]), 0.0);

@@ -1,11 +1,15 @@
-//! Property-based tests for the server-side estimators.
+//! Property-based tests for the server-side estimators and the server's
+//! ingestion-order invariance.
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use wilocator_core::{
-    partition_from_index, seasonal_index, ArrivalPredictor, PredictorConfig, SeasonalConfig,
-    SlotPartition, TravelTimeStore, Traversal,
+    partition_from_index, seasonal_index, ArrivalPredictor, BusKey, PredictorConfig, ScanReport,
+    SeasonalConfig, SlotPartition, TravelTimeStore, Traversal, WiLocator, WiLocatorConfig,
 };
 use wilocator_geo::Point;
+use wilocator_rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan, SignalField};
 use wilocator_road::{EdgeId, NetworkBuilder, Route, RouteId};
 
 const DAY_S: f64 = 86_400.0;
@@ -162,6 +166,153 @@ proptest! {
                 prop_assert!((m - brute).abs() < 1e-9);
             }
         }
+    }
+}
+
+/// A 750 m three-segment street with dense APs, built once — the tile
+/// index construction is the expensive part of `WiLocator::new`.
+fn street_scene() -> &'static (Route, HomogeneousField) {
+    static SCENE: OnceLock<(Route, HomogeneousField)> = OnceLock::new();
+    SCENE.get_or_init(|| {
+        let mut b = NetworkBuilder::new();
+        let mut prev = b.add_node(Point::new(0.0, 0.0));
+        let mut edges = Vec::new();
+        for k in 1..=3 {
+            let node = b.add_node(Point::new(k as f64 * 250.0, 0.0));
+            edges.push(b.add_edge(prev, node, None).unwrap());
+            prev = node;
+        }
+        let route = Route::new(RouteId(0), "p", edges, &b.build()).unwrap();
+        let aps = (0..15)
+            .map(|i| {
+                AccessPoint::new(
+                    ApId(i),
+                    Point::new(
+                        25.0 + i as f64 * 50.0,
+                        if i % 2 == 0 { 15.0 } else { -15.0 },
+                    ),
+                )
+            })
+            .collect();
+        (route, HomogeneousField::new(aps))
+    })
+}
+
+/// One bus's reports along the street: a noise-free scan every 10 s.
+fn bus_reports(
+    route: &Route,
+    field: &HomogeneousField,
+    bus: u64,
+    t0: f64,
+    speed: f64,
+) -> Vec<ScanReport> {
+    let mut out = Vec::new();
+    let mut t = t0;
+    loop {
+        let s = (t - t0) * speed;
+        if s > route.length() {
+            return out;
+        }
+        let readings: Vec<Reading> = field
+            .detectable_at(route.point_at(s), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| Reading {
+                ap,
+                bssid: Bssid::from_ap_id(ap),
+                rss_dbm: rss.round() as i32,
+            })
+            .collect();
+        out.push(ScanReport {
+            bus: BusKey(bus),
+            time_s: t,
+            scans: vec![Scan::new(t, readings)],
+        });
+        t += 10.0;
+    }
+}
+
+/// Bit-exact per-bus trajectories and (sorted) store contents after a
+/// full replay of `order`.
+type ReplayState = (Vec<Vec<(u64, u64)>>, Vec<(u32, Vec<(u32, u64, u64)>)>);
+
+fn replay_order(order: &[&ScanReport], buses: usize) -> ReplayState {
+    let (route, field) = street_scene();
+    let server = WiLocator::new(field, vec![route.clone()], WiLocatorConfig::default());
+    for b in 0..buses {
+        server.register_bus(BusKey(b as u64), route.id()).unwrap();
+    }
+    for report in order {
+        server.ingest(report).unwrap();
+    }
+    let trajectories = (0..buses)
+        .map(|b| {
+            server
+                .trajectory(BusKey(b as u64))
+                .unwrap()
+                .iter()
+                .map(|f| (f.s.to_bits(), f.time_s.to_bits()))
+                .collect()
+        })
+        .collect();
+    for b in 0..buses {
+        server.finish_bus(BusKey(b as u64)).unwrap();
+    }
+    let store = server.with_store(|s| {
+        let mut edges: Vec<EdgeId> = s.edges().collect();
+        edges.sort_by_key(|e| e.0);
+        edges
+            .into_iter()
+            .map(|e| {
+                let mut records: Vec<(u32, u64, u64)> = s
+                    .traversals(e)
+                    .iter()
+                    .map(|tr| (tr.route.0, tr.t_enter.to_bits(), tr.t_exit.to_bits()))
+                    .collect();
+                records.sort_unstable();
+                (e.0, records)
+            })
+            .collect()
+    });
+    (trajectories, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The server's determinism contract: the same reports per bus, in the
+    /// same per-bus order, yield the same per-bus fixes and traversal
+    /// history under *any* cross-bus interleaving.
+    #[test]
+    fn ingestion_order_across_buses_is_irrelevant(
+        speeds in proptest::collection::vec(5.0..12.0f64, 2..5),
+        picks in proptest::collection::vec(0usize..64, 64),
+    ) {
+        let (route, field) = street_scene();
+        let per_bus: Vec<Vec<ScanReport>> = speeds
+            .iter()
+            .enumerate()
+            .map(|(b, &v)| bus_reports(route, field, b as u64, b as f64 * 7.0, v))
+            .collect();
+        let sequential: Vec<&ScanReport> = per_bus.iter().flatten().collect();
+
+        // A generated interleaving: repeatedly pick one of the buses that
+        // still has events and emit its next report.
+        let mut cursors = vec![0usize; per_bus.len()];
+        let mut shuffled = Vec::with_capacity(sequential.len());
+        let mut pi = 0usize;
+        while shuffled.len() < sequential.len() {
+            let live: Vec<usize> = (0..per_bus.len())
+                .filter(|&b| cursors[b] < per_bus[b].len())
+                .collect();
+            let b = live[picks[pi % picks.len()] % live.len()];
+            pi += 1;
+            shuffled.push(&per_bus[b][cursors[b]]);
+            cursors[b] += 1;
+        }
+
+        let a = replay_order(&sequential, per_bus.len());
+        let b = replay_order(&shuffled, per_bus.len());
+        prop_assert_eq!(a, b);
     }
 }
 

@@ -18,7 +18,7 @@ use wilocator_baselines::{
 use wilocator_rf::{ApId, ScannerConfig, SignalField};
 use wilocator_road::RouteId;
 use wilocator_sim::{
-    daily_schedule, simple_street, simulate, serving_tower, CityConfig, GpsModel, SensingConfig,
+    daily_schedule, serving_tower, simple_street, simulate, CityConfig, GpsModel, SensingConfig,
     SimulationConfig, TrafficConfig, TrafficModel,
 };
 use wilocator_svd::{PositionerConfig, SvdConfig};
@@ -233,7 +233,11 @@ pub fn ap_churn(scale: Scale, seed: u64) -> Vec<(f64, f64, f64, f64)> {
             &churned,
             &schedule,
             &traffic,
-            &SimulationConfig { days: 1, seed, ..SimulationConfig::default() },
+            &SimulationConfig {
+                days: 1,
+                seed,
+                ..SimulationConfig::default()
+            },
         );
         // Stale SVD: the server still believes the dead APs exist.
         let stale = mean(&replay_svd_errors(
@@ -255,9 +259,11 @@ pub fn ap_churn(scale: Scale, seed: u64) -> Vec<(f64, f64, f64, f64)> {
             2.0,
         ));
         // Stale fingerprints.
-        let fp_err = mean(&replay_locator_errors(&churned.routes, &dataset, |_, ranked| {
-            fp.locate(ranked)
-        }));
+        let fp_err = mean(&replay_locator_errors(
+            &churned.routes,
+            &dataset,
+            |_, ranked| fp.locate(ranked),
+        ));
         out.push((frac, stale, rebuilt, fp_err));
     }
     out
@@ -279,7 +285,10 @@ pub fn render_churn(rows: &[(f64, f64, f64, f64)]) -> String {
             format!("{fp:.1}"),
         ]);
     }
-    format!("AP churn robustness (paper §III-B)\n{}", render_table(&table))
+    format!(
+        "AP churn robustness (paper §III-B)\n{}",
+        render_table(&table)
+    )
 }
 
 /// Heterogeneous transmit power: widen the true TX spread while the server
@@ -299,7 +308,11 @@ pub fn hetero_power(scale: Scale, seed: u64) -> Vec<(f64, f64, f64)> {
             &city,
             &schedule,
             &traffic,
-            &SimulationConfig { days: 1, seed, ..SimulationConfig::default() },
+            &SimulationConfig {
+                days: 1,
+                seed,
+                ..SimulationConfig::default()
+            },
         );
         let svd = mean(&replay_svd_errors(
             &city.routes,
@@ -310,9 +323,11 @@ pub fn hetero_power(scale: Scale, seed: u64) -> Vec<(f64, f64, f64)> {
             2.0,
         ));
         let nearest = NearestApPositioner::new(city.routes[0].clone(), city.server_field.aps());
-        let near = mean(&replay_locator_errors(&city.routes, &dataset, |_, ranked| {
-            nearest.locate(ranked)
-        }));
+        let near = mean(&replay_locator_errors(
+            &city.routes,
+            &dataset,
+            |_, ranked| nearest.locate(ranked),
+        ));
         out.push((spread, svd, near));
     }
     out
@@ -366,7 +381,11 @@ pub fn model_mismatch(scale: Scale, seed: u64) -> Vec<(f64, f64, f64)> {
             &city,
             &schedule,
             &traffic,
-            &SimulationConfig { days: 1, seed, ..SimulationConfig::default() },
+            &SimulationConfig {
+                days: 1,
+                seed,
+                ..SimulationConfig::default()
+            },
         );
         // The server keeps its n = 3.0 assumption in both schemes.
         let svd = mean(&replay_svd_errors(
@@ -377,9 +396,11 @@ pub fn model_mismatch(scale: Scale, seed: u64) -> Vec<(f64, f64, f64)> {
             PositionerConfig::default(),
             2.0,
         ));
-        let tri_err = mean(&replay_locator_errors(&city.routes, &dataset, |_, ranked| {
-            tri.locate(ranked)
-        }));
+        let tri_err = mean(&replay_locator_errors(
+            &city.routes,
+            &dataset,
+            |_, ranked| tri.locate(ranked),
+        ));
         out.push((exponent, svd, tri_err));
     }
     out
@@ -432,7 +453,11 @@ pub fn hybrid_gap(scale: Scale, seed: u64) -> (f64, f64, f64) {
         &city,
         &schedule,
         &traffic,
-        &SimulationConfig { days: 1, seed, ..SimulationConfig::default() },
+        &SimulationConfig {
+            days: 1,
+            seed,
+            ..SimulationConfig::default()
+        },
     );
 
     let index = RouteTileIndex::build(&city.server_field, &route, SvdConfig::default(), 2.0);
@@ -592,7 +617,9 @@ mod tests {
         let tri_at = |n: f64| rows.iter().find(|r| (r.0 - n).abs() < 1e-9).unwrap().2;
         // Rank-based positioning is insensitive to the exponent (ranks are
         // invariant under monotone distance transforms) …
-        let svd_spread = (svd_at(2.4) - svd_at(3.0)).abs().max((svd_at(3.6) - svd_at(3.0)).abs());
+        let svd_spread = (svd_at(2.4) - svd_at(3.0))
+            .abs()
+            .max((svd_at(3.6) - svd_at(3.0)).abs());
         assert!(
             svd_spread <= svd_at(3.0) * 0.8 + 5.0,
             "SVD moved {svd_spread} m across the exponent sweep"

@@ -21,7 +21,6 @@ use wilocator_core::{
 use wilocator_road::RouteId;
 use wilocator_sim::{Incident, DAY_S};
 
-
 use crate::pipeline::run_pipeline;
 use crate::render::render_table;
 use crate::scenarios::{vancouver_city, vancouver_pipeline, Scale};
@@ -96,7 +95,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig11 {
     // ~1.5–1.9, so "elevated" means above-profile congestion.
     let mut organic_detections = 0usize;
     let mut false_alarms = 0usize;
-    for s in map.iter().filter(|s| s.edge != edge && s.state == TrafficState::VerySlow) {
+    for s in map
+        .iter()
+        .filter(|s| s.edge != edge && s.state == TrafficState::VerySlow)
+    {
         let genuinely_congested = (0..6).any(|k| {
             let t_probe = t_q - k as f64 * 300.0;
             out.traffic.env_factor(s.edge, t_probe) >= 1.30
@@ -123,8 +125,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig11 {
                 }
             }
         }
-        let mut predictor =
-            ArrivalPredictor::new(config.wilocator.predictor);
+        let mut predictor = ArrivalPredictor::new(config.wilocator.predictor);
         predictor.train(&sparse, config.train_days as f64 * DAY_S);
         let gen = TrafficMapGenerator::new(config.wilocator.traffic);
         unknown_fraction(&gen.route_map(&sparse, &predictor, &route9, t_q))
@@ -147,9 +148,8 @@ pub fn run(scale: Scale, seed: u64) -> Fig11 {
         None => (Vec::new(), false),
         Some(trip) => {
             // Re-track the trip to recover its estimated trajectory.
-            let mut tracker = BusTracker::new(
-                out.server.positioner(RouteId(1)).expect("route 9").clone(),
-            );
+            let mut tracker =
+                BusTracker::new(out.server.positioner(RouteId(1)).expect("route 9").clone());
             for b in &trip.bundles {
                 let _ = tracker.ingest(&ScanReport {
                     bus: BusKey(u64::MAX),
@@ -176,16 +176,9 @@ pub fn run(scale: Scale, seed: u64) -> Fig11 {
             // pace; the exclusion radius absorbs the positioning error so
             // dwells at stops/lights are filtered despite estimate offsets.
             let delta = delta_from_median(&displacements, 0.4);
-            let anomalies = detect_anomalies(
-                &fixes,
-                delta,
-                3,
-                &route_exclusions(&route9),
-                60.0,
-            );
+            let anomalies = detect_anomalies(&fixes, delta, 3, &route_exclusions(&route9), 60.0);
             let localized = anomalies.iter().any(|a| {
-                a.s_range.1 > incident_range.0 - 200.0
-                    && a.s_range.0 < incident_range.1 + 200.0
+                a.s_range.1 > incident_range.0 - 200.0 && a.s_range.0 < incident_range.1 + 200.0
             });
             (anomalies, localized)
         }
@@ -215,7 +208,10 @@ pub fn render(f: &Fig11) -> String {
         ],
         vec![
             "very-slow flags: organic / spurious / classified".to_string(),
-            format!("{} / {} / {}", f.organic_detections, f.false_alarms, f.classified),
+            format!(
+                "{} / {} / {}",
+                f.organic_detections, f.false_alarms, f.classified
+            ),
         ],
         vec![
             "unknown fraction (WiLocator)".to_string(),
@@ -256,7 +252,10 @@ mod tests {
     fn incident_segment_flagged() {
         let f = fig11();
         assert!(
-            matches!(f.incident_state, TrafficState::VerySlow | TrafficState::Slow),
+            matches!(
+                f.incident_state,
+                TrafficState::VerySlow | TrafficState::Slow
+            ),
             "incident classified {:?} (z = {})",
             f.incident_state,
             f.incident_z

@@ -63,8 +63,7 @@ impl Fig8 {
                     .filter(|p| p.route == route && p.rush && p.stops_ahead == ahead)
                     .map(|p| p.wilocator_err())
                     .collect();
-                (!errs.is_empty())
-                    .then(|| (ahead, errs.iter().sum::<f64>() / errs.len() as f64))
+                (!errs.is_empty()).then(|| (ahead, errs.iter().sum::<f64>() / errs.len() as f64))
             })
             .collect()
     }
@@ -133,8 +132,18 @@ impl Fig8 {
             "Fig. 8(b): CDF of rush-hour arrival prediction errors\n(paper: comparable medians; agency max ≈ 800 s vs WiLocator ≈ 500 s)\n",
         );
         out.push_str(&render_table(&table));
-        out.push_str(&render_series("CDF WiLocator", "error_s", "cdf", &wilo.curve(20)));
-        out.push_str(&render_series("CDF Transit Agency", "error_s", "cdf", &agency.curve(20)));
+        out.push_str(&render_series(
+            "CDF WiLocator",
+            "error_s",
+            "cdf",
+            &wilo.curve(20),
+        ));
+        out.push_str(&render_series(
+            "CDF Transit Agency",
+            "error_s",
+            "cdf",
+            &agency.curve(20),
+        ));
         out
     }
 
@@ -179,11 +188,7 @@ mod tests {
         for id in 0..4 {
             let cdf = f.positioning_cdf(RouteId(id));
             assert!(!cdf.is_empty(), "route {id} never positioned");
-            assert!(
-                cdf.median() < 40.0,
-                "route {id} median {} m",
-                cdf.median()
-            );
+            assert!(cdf.median() < 40.0, "route {id} median {} m", cdf.median());
         }
     }
 

@@ -8,12 +8,12 @@
 //! "the positioning error does not change significantly when the order of
 //! SVD increases; 2-order SVD is often enough".
 
+use wilocator_rf::SignalField;
 use wilocator_road::RouteId;
 use wilocator_sim::{
     daily_schedule, simple_street, simulate, City, CityConfig, Dataset, SimulationConfig,
     TrafficConfig, TrafficModel,
 };
-use wilocator_rf::SignalField;
 use wilocator_svd::{PositionerConfig, SvdConfig};
 
 use crate::metrics::mean;
@@ -50,13 +50,13 @@ pub fn test_scene(scale: Scale, seed: u64) -> (City, Dataset) {
 pub fn run_fig9a(scale: Scale, seed: u64) -> Sweep {
     let (city, dataset) = test_scene(scale, seed);
     let keeps = [6usize, 4, 3, 2, 1];
-    let points = crossbeam::thread::scope(|s| {
+    let points = std::thread::scope(|s| {
         let handles: Vec<_> = keeps
             .iter()
             .map(|&keep_every| {
                 let city = &city;
                 let dataset = &dataset;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let field = subsample_field(&city.server_field, keep_every);
                     let errors = replay_svd_errors(
                         &city.routes,
@@ -70,9 +70,11 @@ pub fn run_fig9a(scale: Scale, seed: u64) -> Sweep {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-    })
-    .expect("sweep scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
+    });
     Sweep {
         x_label: "number of WiFi APs",
         points,
@@ -82,12 +84,12 @@ pub fn run_fig9a(scale: Scale, seed: u64) -> Sweep {
 /// Panel (b): sweep the SVD order (parallel over orders, like panel (a)).
 pub fn run_fig9b(scale: Scale, seed: u64) -> Sweep {
     let (city, dataset) = test_scene(scale, seed);
-    let points = crossbeam::thread::scope(|s| {
+    let points = std::thread::scope(|s| {
         let handles: Vec<_> = (1..=5usize)
             .map(|order| {
                 let city = &city;
                 let dataset = &dataset;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let errors = replay_svd_errors(
                         &city.routes,
                         dataset,
@@ -106,9 +108,11 @@ pub fn run_fig9b(scale: Scale, seed: u64) -> Sweep {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-    })
-    .expect("sweep scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
+    });
     Sweep {
         x_label: "order of SVD",
         points,

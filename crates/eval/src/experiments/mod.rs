@@ -10,5 +10,5 @@ pub mod fig8;
 pub mod fig9;
 pub mod seasonal_slots;
 pub mod table1;
-pub mod waiting_time;
 pub mod table2;
+pub mod waiting_time;

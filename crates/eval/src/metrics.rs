@@ -79,9 +79,7 @@ impl Cdf {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let n = self
-            .sorted
-            .partition_point(|&v| v <= x);
+        let n = self.sorted.partition_point(|&v| v <= x);
         n as f64 / self.sorted.len() as f64
     }
 

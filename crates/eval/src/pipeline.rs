@@ -198,17 +198,21 @@ pub fn run_pipeline(city: &City, config: &PipelineConfig) -> PipelineOutput {
                     .push((fix.s - bundle.true_s).abs());
                 if trained && bi % config.predict_every == 0 {
                     let route = city.route(trip.route).expect("served route");
-                    let stops: Vec<&wilocator_road::Stop> =
-                        route.stops_after(fix.s).take(config.max_stops_ahead).collect();
+                    let stops: Vec<&wilocator_road::Stop> = route
+                        .stops_after(fix.s)
+                        .take(config.max_stops_ahead)
+                        .collect();
                     for (ahead, stop) in stops.iter().enumerate() {
                         let actual = trip.trajectory.time_at_s(stop.s());
                         let wilo = server
                             .predict_arrival_at(trip.route, fix.s, fix.time_s, stop.s())
                             .expect("served route");
-                        let ag = agency
-                            .as_ref()
-                            .expect("trained")
-                            .predict_arrival(route, fix.s, fix.time_s, stop.s());
+                        let ag = agency.as_ref().expect("trained").predict_arrival(
+                            route,
+                            fix.s,
+                            fix.time_s,
+                            stop.s(),
+                        );
                         let sr = server.with_store(|store| {
                             same_route.predict_arrival(store, route, fix.s, fix.time_s, stop.s())
                         });

@@ -9,10 +9,10 @@ use std::collections::HashSet;
 
 use wilocator_rf::{ApId, HomogeneousField, SignalField};
 use wilocator_road::{Route, RouteId};
+use wilocator_sim::Dataset;
 use wilocator_svd::{
     average_ranks, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig, TrackingFilter,
 };
-use wilocator_sim::Dataset;
 
 /// Replays `dataset`'s scan bundles against an SVD positioner built from
 /// `server_field`, returning one road-error sample (metres) per fix.
@@ -95,8 +95,7 @@ mod tests {
     use super::*;
     use wilocator_road::RouteId;
     use wilocator_sim::{
-        simple_street, simulate, CityConfig, SimulationConfig, TrafficConfig,
-        TrafficModel,
+        simple_street, simulate, CityConfig, SimulationConfig, TrafficConfig, TrafficModel,
     };
 
     fn small_run() -> (wilocator_sim::City, Dataset) {
@@ -108,7 +107,10 @@ mod tests {
             &city,
             &sched,
             &traffic,
-            &SimulationConfig { days: 1, ..SimulationConfig::default() },
+            &SimulationConfig {
+                days: 1,
+                ..SimulationConfig::default()
+            },
         );
         (city, ds)
     }

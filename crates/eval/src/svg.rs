@@ -6,8 +6,8 @@ use std::fmt::Write as _;
 
 use wilocator_core::{SegmentState, TrafficState};
 use wilocator_geo::Point;
-use wilocator_road::Route;
 use wilocator_rf::{AccessPoint, SignalField};
+use wilocator_road::Route;
 use wilocator_svd::SignalVoronoiDiagram;
 
 /// A categorical colour for an AP site: evenly spread hues via the golden
@@ -133,7 +133,12 @@ pub fn traffic_color(state: TrafficState) -> &'static str {
 /// Renders a live traffic map as SVG: the route polyline with each segment
 /// stroked by its classification, stops as ticks.
 pub fn traffic_map_svg(route: &Route, states: &[SegmentState], width_px: f64) -> String {
-    let verts: Vec<Point> = route.geometry().sample(10.0).iter().map(|&(_, p)| p).collect();
+    let verts: Vec<Point> = route
+        .geometry()
+        .sample(10.0)
+        .iter()
+        .map(|&(_, p)| p)
+        .collect();
     let min_x = verts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - 50.0;
     let min_y = verts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - 50.0;
     let max_x = verts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + 50.0;
@@ -148,12 +153,7 @@ pub fn traffic_map_svg(route: &Route, states: &[SegmentState], width_px: f64) ->
         h_m * scale
     );
     svg.push_str(r##"<rect width="100%" height="100%" fill="#ffffff"/>"##);
-    let project = |p: Point| {
-        (
-            (p.x - min_x) * scale,
-            (h_m - (p.y - min_y)) * scale,
-        )
-    };
+    let project = |p: Point| ((p.x - min_x) * scale, (h_m - (p.y - min_y)) * scale);
     for (i, state) in states.iter().enumerate().take(route.edges().len()) {
         let s0 = route.edge_start_s(i);
         let s1 = route.edge_end_s(i);
@@ -244,8 +244,8 @@ mod tests {
     use super::*;
     use wilocator_core::SegmentState;
     use wilocator_geo::BoundingBox;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_svd::SvdConfig;
 
     fn scene() -> (Route, HomogeneousField, SignalVoronoiDiagram) {

@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn within_returns_exactly_items_in_radius() {
         let idx = sample_index();
-        let mut got: Vec<u32> = idx.within(Point::ORIGIN, 10.0).map(|(_, _, &v)| v).collect();
+        let mut got: Vec<u32> = idx
+            .within(Point::ORIGIN, 10.0)
+            .map(|(_, _, &v)| v)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1]);
     }

@@ -107,7 +107,10 @@ mod tests {
         let sphere = a.haversine(b);
         // Sub-metre agreement over a ~3 km baseline (well below the ~3 m
         // positioning error the paper reports).
-        assert!((planar - sphere).abs() < 1.0, "planar {planar} vs sphere {sphere}");
+        assert!(
+            (planar - sphere).abs() < 1.0,
+            "planar {planar} vs sphere {sphere}"
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ mod tests {
 
     #[test]
     fn bssid_formats_as_mac() {
-        assert_eq!(Bssid::new(0xaa_bb_cc_dd_ee_ff).to_string(), "aa:bb:cc:dd:ee:ff");
+        assert_eq!(
+            Bssid::new(0xaa_bb_cc_dd_ee_ff).to_string(),
+            "aa:bb:cc:dd:ee:ff"
+        );
     }
 
     #[test]

@@ -192,7 +192,8 @@ impl<M: PathLoss> SignalField for PhysicalField<M> {
     }
 
     fn expected_rss(&self, ap: &AccessPoint, p: Point) -> f64 {
-        self.model.rss_dbm(ap.tx_power_dbm(), ap.position().distance(p))
+        self.model
+            .rss_dbm(ap.tx_power_dbm(), ap.position().distance(p))
             + self.shadowing.shadow_db(ap.id(), p)
     }
 }
@@ -280,8 +281,7 @@ mod tests {
             LogDistance::urban(),
             ShadowingField::new(8.0, 50.0, 3),
         );
-        let without =
-            PhysicalField::new(aps, LogDistance::urban(), ShadowingField::disabled());
+        let without = PhysicalField::new(aps, LogDistance::urban(), ShadowingField::disabled());
         let p = Point::new(33.0, 12.0);
         let a = with.expected_rss(&with.aps()[0], p);
         let b = without.expected_rss(&without.aps()[0], p);

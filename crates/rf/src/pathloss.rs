@@ -141,9 +141,8 @@ impl PathLoss for LogDistance {
     }
 
     fn distance_for_loss(&self, loss_db: f64) -> f64 {
-        (self.ref_distance_m
-            * 10f64.powf((loss_db - self.ref_loss_db) / (10.0 * self.exponent)))
-        .clamp(0.1, 10_000.0)
+        (self.ref_distance_m * 10f64.powf((loss_db - self.ref_loss_db) / (10.0 * self.exponent)))
+            .clamp(0.1, 10_000.0)
     }
 }
 

@@ -182,8 +182,7 @@ impl Scanner {
             if faded < self.config.detection_threshold_dbm {
                 continue;
             }
-            if self.config.miss_probability > 0.0
-                && rng.gen::<f64>() < self.config.miss_probability
+            if self.config.miss_probability > 0.0 && rng.gen::<f64>() < self.config.miss_probability
             {
                 continue;
             }
@@ -301,8 +300,16 @@ mod tests {
         let scan = Scan::new(
             0.0,
             vec![
-                Reading { ap: ApId(5), bssid: Bssid::from_ap_id(ApId(5)), rss_dbm: -60 },
-                Reading { ap: ApId(2), bssid: Bssid::from_ap_id(ApId(2)), rss_dbm: -60 },
+                Reading {
+                    ap: ApId(5),
+                    bssid: Bssid::from_ap_id(ApId(5)),
+                    rss_dbm: -60,
+                },
+                Reading {
+                    ap: ApId(2),
+                    bssid: Bssid::from_ap_id(ApId(2)),
+                    rss_dbm: -60,
+                },
             ],
         );
         let ranked = scan.ranked();

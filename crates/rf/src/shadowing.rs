@@ -100,7 +100,8 @@ impl ShadowingField {
     /// Standard normal draw, deterministic in `(seed, ap, ix, iy)`.
     fn lattice_gauss(&self, ap: ApId, ix: i64, iy: i64) -> f64 {
         let h1 = splitmix(
-            self.seed ^ (ap.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.seed
+                ^ (ap.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (ix as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
                 ^ (iy as u64).wrapping_mul(0x94D0_49BB_1331_11EB),
         );

@@ -187,11 +187,7 @@ impl NetworkBuilder {
     /// # Errors
     ///
     /// Same conditions as [`NetworkBuilder::add_edge`].
-    pub fn add_two_way(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-    ) -> Result<(EdgeId, EdgeId), RoadError> {
+    pub fn add_two_way(&mut self, from: NodeId, to: NodeId) -> Result<(EdgeId, EdgeId), RoadError> {
         let f = self.add_edge(from, to, None)?;
         let b = self.add_edge(to, from, None)?;
         Ok((f, b))
@@ -275,7 +271,10 @@ mod tests {
         let (net, nodes, edges) = triangle();
         assert_eq!(net.nodes().len(), 3);
         assert_eq!(net.edges().len(), 3);
-        assert_eq!(net.node(nodes[1]).unwrap().position(), Point::new(100.0, 0.0));
+        assert_eq!(
+            net.node(nodes[1]).unwrap().position(),
+            Point::new(100.0, 0.0)
+        );
         assert_eq!(net.edge(edges[0]).unwrap().length(), 100.0);
         assert!(net.node(NodeId(99)).is_none());
         assert!(net.edge(EdgeId(99)).is_none());
@@ -303,7 +302,10 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let n0 = b.add_node(Point::ORIGIN);
         let n1 = b.add_node(Point::ORIGIN);
-        assert_eq!(b.add_edge(n0, n1, None).unwrap_err(), RoadError::DegenerateEdge);
+        assert_eq!(
+            b.add_edge(n0, n1, None).unwrap_err(),
+            RoadError::DegenerateEdge
+        );
     }
 
     #[test]
@@ -361,7 +363,10 @@ mod tests {
             RoadError::DegenerateEdge,
             RoadError::DisconnectedRoute { position: 1 },
             RoadError::EmptyRoute,
-            RoadError::StopOffRoute { s: 5.0, length: 1.0 },
+            RoadError::StopOffRoute {
+                s: 5.0,
+                length: 1.0,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -114,8 +114,14 @@ mod tests {
     fn next_departure_lookup() {
         let mut s = Schedule::new();
         s.add_headway_service(RouteId(0), 0.0, 1000.0, 500.0);
-        assert_eq!(s.next_departure(RouteId(0), 400.0).unwrap().departure_s, 500.0);
-        assert_eq!(s.next_departure(RouteId(0), 500.0).unwrap().departure_s, 500.0);
+        assert_eq!(
+            s.next_departure(RouteId(0), 400.0).unwrap().departure_s,
+            500.0
+        );
+        assert_eq!(
+            s.next_departure(RouteId(0), 500.0).unwrap().departure_s,
+            500.0
+        );
         assert!(s.next_departure(RouteId(0), 1001.0).is_none());
         assert!(s.next_departure(RouteId(9), 0.0).is_none());
     }

@@ -103,7 +103,8 @@ pub fn simulate_trip<R: Rng + ?Sized>(
                 stop_iter.next();
                 let rush = traffic.is_rush(t.rem_euclid(crate::traffic::DAY_S));
                 let extra = if rush { config.rush_dwell_extra_s } else { 0.0 };
-                let dwell = (config.dwell_mean_s + extra
+                let dwell = (config.dwell_mean_s
+                    + extra
                     + rng.gen_range(-config.dwell_jitter_s..=config.dwell_jitter_s))
                 .max(2.0);
                 t += dwell;
@@ -111,9 +112,7 @@ pub fn simulate_trip<R: Rng + ?Sized>(
             }
         }
         // Traffic light at the intersection (not after the final edge).
-        if edge_index + 1 < route.edges().len()
-            && rng.gen::<f64>() < config.light_red_probability
-        {
+        if edge_index + 1 < route.edges().len() && rng.gen::<f64>() < config.light_red_probability {
             let wait = rng.gen_range(config.light_wait_s.0..=config.light_wait_s.1);
             t += wait;
             tr.push(t, s);
@@ -148,7 +147,13 @@ mod tests {
     fn trip_reaches_the_end() {
         let (city, traffic) = setup();
         let mut rng = StdRng::seed_from_u64(1);
-        let tr = simulate_trip(&city.routes[0], &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            &city.routes[0],
+            &traffic,
+            12.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         assert_eq!(tr.end_s(), city.routes[0].length());
         // Plausible duration: 3 km at ~2–10 m/s plus dwells.
         let dur = tr.end_time() - tr.start_time();
@@ -159,7 +164,13 @@ mod tests {
     fn trajectory_is_monotone() {
         let (city, traffic) = setup();
         let mut rng = StdRng::seed_from_u64(3);
-        let tr = simulate_trip(&city.routes[0], &traffic, 8.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            &city.routes[0],
+            &traffic,
+            8.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         for w in tr.points().windows(2) {
             assert!(w[1].0 >= w[0].0);
             assert!(w[1].1 >= w[0].1);
@@ -196,10 +207,20 @@ mod tests {
         let (city, traffic) = setup();
         let mut rng = StdRng::seed_from_u64(5);
         let route = &city.routes[0];
-        let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            route,
+            &traffic,
+            12.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         // Interior stops: the trajectory must contain a flat segment at the
         // stop's arc length.
-        for st in route.stops().iter().filter(|s| s.s() > 1.0 && s.s() < route.length() - 1.0) {
+        for st in route
+            .stops()
+            .iter()
+            .filter(|s| s.s() > 1.0 && s.s() < route.length() - 1.0)
+        {
             let flat = tr
                 .points()
                 .windows(2)
@@ -216,7 +237,13 @@ mod tests {
         let edge = route.edges()[edge_index];
         let base = {
             let mut rng = StdRng::seed_from_u64(7);
-            let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+            let tr = simulate_trip(
+                route,
+                &traffic,
+                12.0 * 3600.0,
+                &BusConfig::default(),
+                &mut rng,
+            );
             segment_travel_time(route, &tr, edge_index)
         };
         traffic.add_incident(Incident {
@@ -227,7 +254,13 @@ mod tests {
             slowdown: 6.0,
         });
         let mut rng = StdRng::seed_from_u64(7);
-        let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            route,
+            &traffic,
+            12.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         let slow = segment_travel_time(route, &tr, edge_index);
         assert!(slow > base * 3.0, "incident {slow} vs base {base}");
     }
@@ -257,7 +290,13 @@ mod tests {
         let (city, traffic) = setup();
         let route = &city.routes[0];
         let mut rng = StdRng::seed_from_u64(13);
-        let tr = simulate_trip(route, &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            route,
+            &traffic,
+            12.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         let sum: f64 = (0..route.edges().len())
             .map(|i| segment_travel_time(route, &tr, i))
             .sum();

@@ -178,12 +178,7 @@ fn deploy_towers(bbox: BoundingBox, spacing: f64, rng: &mut StdRng) -> Vec<Point
     towers
 }
 
-fn finish_city(
-    network: RoadNetwork,
-    routes: Vec<Route>,
-    config: &CityConfig,
-    seed: u64,
-) -> City {
+fn finish_city(network: RoadNetwork, routes: Vec<Route>, config: &CityConfig, seed: u64) -> City {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC17);
     let aps = deploy_aps(&network, config, &mut rng);
     let bbox = BoundingBox::from_points(network.nodes().iter().map(|n| n.position()))
@@ -290,9 +285,8 @@ pub fn vancouver_like(seed: u64, config: &CityConfig) -> City {
     // Route 16 own part: 2.8 km further north, then east. The eastern leg
     // absorbs the arterial join-node quantisation so the route totals the
     // paper's 18.3 km exactly.
-    let arterial_part_m: f64 = arterial_edges[join_edge_idx..]
-        .len() as f64
-        * (13_000.0 / arterial_edges.len() as f64);
+    let arterial_part_m: f64 =
+        arterial_edges[join_edge_idx..].len() as f64 * (13_000.0 / arterial_edges.len() as f64);
     let own_b_len = 18_300.0 - arterial_part_m - 3_200.0 - 2_800.0;
     let (r16_own_a, r16_corner) = chain(
         &mut b,
@@ -358,8 +352,7 @@ pub fn campus(seed: u64) -> CampusScene {
     let n1 = b.add_node(Point::new(300.0, 0.0));
     let e = b.add_edge(n0, n1, None).expect("distinct nodes");
     let network = b.build();
-    let mut route =
-        Route::new(RouteId(0), "campus", vec![e], &network).expect("single-edge route");
+    let mut route = Route::new(RouteId(0), "campus", vec![e], &network).expect("single-edge route");
     route.add_stops_evenly(2);
 
     // Hand-placed APs mirroring Fig. 10: clusters near both ends and the
@@ -490,10 +483,7 @@ mod tests {
         let a = vancouver_like(5, &small_config());
         let b = vancouver_like(5, &small_config());
         assert_eq!(a.field.aps().len(), b.field.aps().len());
-        assert_eq!(
-            a.field.aps()[0].position(),
-            b.field.aps()[0].position()
-        );
+        assert_eq!(a.field.aps()[0].position(), b.field.aps()[0].position());
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   lights (the "false anomaly" sources of §V-A.4);
 //! * [`sensing`] — rider WiFi scans at the paper's 10 s period, plus GPS
 //!   (urban canyon) and Cell-ID observations for the baselines;
-//! * [`trace`] — multi-day dataset generation, deterministic in a seed.
+//! * [`trace`] — multi-day dataset generation, deterministic in a seed;
+//! * [`loadgen`] — flattens a dataset into a time-ordered, lane-partitioned
+//!   ingestion plan for deterministic multi-threaded server replay.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@
 
 pub mod bus;
 pub mod city;
+pub mod loadgen;
 pub mod sensing;
 pub mod trace;
 pub mod traffic;
@@ -45,6 +48,7 @@ pub mod trajectory;
 
 pub use bus::{segment_travel_time, simulate_trip, BusConfig};
 pub use city::{campus, simple_street, vancouver_like, CampusScene, City, CityConfig};
+pub use loadgen::{LoadEvent, LoadPlan};
 pub use sensing::{sense_trip, serving_tower, GpsModel, ScanBundle, SensingConfig};
 pub use trace::{daily_schedule, simulate, Dataset, SimulationConfig, TripTrace};
 pub use traffic::{Incident, TrafficConfig, TrafficModel, DAY_S};

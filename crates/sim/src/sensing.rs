@@ -196,7 +196,13 @@ mod tests {
         let city = simple_street(1_500.0, 4, 1, &CityConfig::default());
         let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let tr = simulate_trip(&city.routes[0], &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            &city.routes[0],
+            &traffic,
+            12.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         let idx = city.ap_index();
         let bundles = sense_trip(&city, &tr, 0, &SensingConfig::default(), &idx, &mut rng);
         assert!(!bundles.is_empty());
@@ -208,7 +214,10 @@ mod tests {
             assert!(w[1].true_s >= w[0].true_s - 1e-9);
         }
         // On an instrumented street most bundles hear something.
-        let heard = bundles.iter().filter(|b| b.scans.iter().any(|s| !s.is_empty())).count();
+        let heard = bundles
+            .iter()
+            .filter(|b| b.scans.iter().any(|s| !s.is_empty()))
+            .count();
         assert!(heard * 10 >= bundles.len() * 9);
     }
 
@@ -217,9 +226,18 @@ mod tests {
         let city = simple_street(500.0, 2, 1, &CityConfig::default());
         let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 1);
         let mut rng = StdRng::seed_from_u64(3);
-        let tr = simulate_trip(&city.routes[0], &traffic, 12.0 * 3600.0, &BusConfig::default(), &mut rng);
+        let tr = simulate_trip(
+            &city.routes[0],
+            &traffic,
+            12.0 * 3600.0,
+            &BusConfig::default(),
+            &mut rng,
+        );
         let idx = city.ap_index();
-        let cfg = SensingConfig { devices: 3, ..SensingConfig::default() };
+        let cfg = SensingConfig {
+            devices: 3,
+            ..SensingConfig::default()
+        };
         let bundles = sense_trip(&city, &tr, 0, &cfg, &idx, &mut rng);
         assert!(bundles.iter().all(|b| b.scans.len() == 3));
     }
@@ -227,8 +245,14 @@ mod tests {
     #[test]
     fn gps_canyon_errors_are_larger() {
         let model = GpsModel::new(100, 0.5, 9);
-        let canyon: Vec<EdgeId> = (0..100).map(EdgeId).filter(|&e| model.is_canyon(e)).collect();
-        let open: Vec<EdgeId> = (0..100).map(EdgeId).filter(|&e| !model.is_canyon(e)).collect();
+        let canyon: Vec<EdgeId> = (0..100)
+            .map(EdgeId)
+            .filter(|&e| model.is_canyon(e))
+            .collect();
+        let open: Vec<EdgeId> = (0..100)
+            .map(EdgeId)
+            .filter(|&e| !model.is_canyon(e))
+            .collect();
         assert!(!canyon.is_empty() && !open.is_empty());
         let mut rng = StdRng::seed_from_u64(1);
         let err = |edges: &[EdgeId], rng: &mut StdRng| {
@@ -246,7 +270,10 @@ mod tests {
         };
         let canyon_err = err(&canyon, &mut rng);
         let open_err = err(&open, &mut rng);
-        assert!(canyon_err > open_err * 3.0, "canyon {canyon_err} open {open_err}");
+        assert!(
+            canyon_err > open_err * 3.0,
+            "canyon {canyon_err} open {open_err}"
+        );
     }
 
     #[test]

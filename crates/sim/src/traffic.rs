@@ -191,7 +191,10 @@ impl TrafficModel {
 
     /// The congestion sensitivity of a route (1.0 when unset).
     pub fn congestion_sensitivity(&self, route: RouteId) -> f64 {
-        self.congestion_sensitivity.get(&route).copied().unwrap_or(1.0)
+        self.congestion_sensitivity
+            .get(&route)
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Injects an incident.
@@ -214,8 +217,8 @@ impl TrafficModel {
     /// The deterministic daily travel-time multiplier for `edge` at
     /// second-of-day `tod` (≥ 1; peaks mid-rush).
     pub fn daily_profile(&self, edge: EdgeId, tod: f64) -> f64 {
-        let bump = bump_in(tod, self.config.morning_rush)
-            .max(bump_in(tod, self.config.evening_rush));
+        let bump =
+            bump_in(tod, self.config.morning_rush).max(bump_in(tod, self.config.evening_rush));
         let intensity = self
             .rush_intensity
             .get(edge.index())
@@ -263,9 +266,7 @@ impl TrafficModel {
         };
         // City-wide terms only ever slow traffic down (congestion is
         // one-sided): rectify them so good days are merely normal.
-        (g_edge * edge_sigma
-            + g_city.abs() * city_sigma
-            + g_day.abs() * self.config.day_sigma)
+        (g_edge * edge_sigma + g_city.abs() * city_sigma + g_day.abs() * self.config.day_sigma)
             .exp()
     }
 
@@ -281,11 +282,7 @@ impl TrafficModel {
     /// Instantaneous ground speed of a bus of `route` on `edge` at
     /// absolute time `t` and on-edge position `s_on_edge`, m/s.
     pub fn speed_mps(&self, edge: EdgeId, route: RouteId, t: f64, s_on_edge: f64) -> f64 {
-        let base = self
-            .base_speed
-            .get(edge.index())
-            .copied()
-            .unwrap_or(8.0);
+        let base = self.base_speed.get(edge.index()).copied().unwrap_or(8.0);
         let tod = t.rem_euclid(DAY_S);
         // Congestion (profile × environment) is felt per the route's
         // sensitivity; a physical incident blocks every route fully.
@@ -351,7 +348,10 @@ mod tests {
         let n0 = b.add_node(Point::new(0.0, 0.0));
         let n1 = b.add_node(Point::new(500.0, 0.0));
         let e = b.add_edge(n0, n1, None).unwrap();
-        (TrafficModel::new(&b.build(), TrafficConfig::default(), 42), e)
+        (
+            TrafficModel::new(&b.build(), TrafficConfig::default(), 42),
+            e,
+        )
     }
 
     #[test]

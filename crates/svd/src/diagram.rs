@@ -158,11 +158,7 @@ impl SignalVoronoiDiagram {
     /// # Panics
     ///
     /// Panics if `config.order == 0` or `config.resolution_m <= 0`.
-    pub fn build<F: SignalField + ?Sized>(
-        field: &F,
-        bbox: BoundingBox,
-        config: SvdConfig,
-    ) -> Self {
+    pub fn build<F: SignalField + ?Sized>(field: &F, bbox: BoundingBox, config: SvdConfig) -> Self {
         assert!(config.order >= 1, "signature order must be at least 1");
         assert!(config.resolution_m > 0.0, "resolution must be positive");
 
@@ -329,7 +325,10 @@ impl SignalVoronoiDiagram {
         id: TileId,
         mut filter: impl FnMut(TileId) -> bool,
     ) -> Option<TileId> {
-        self.neighbors(id).into_iter().find(|&(t, _)| filter(t)).map(|(t, _)| t)
+        self.neighbors(id)
+            .into_iter()
+            .find(|&(t, _)| filter(t))
+            .map(|(t, _)| t)
     }
 
     /// First-order Signal Cells: tiles grouped by site.
@@ -394,7 +393,10 @@ impl SignalVoronoiDiagram {
                 sites.sort_unstable();
                 sites.dedup();
                 let center = g.cell_center(col, row);
-                let corner = center.offset(self.config.resolution_m / 2.0, self.config.resolution_m / 2.0);
+                let corner = center.offset(
+                    self.config.resolution_m / 2.0,
+                    self.config.resolution_m / 2.0,
+                );
                 out.push(Joint {
                     point: corner,
                     is_cell_junction: sites.len() >= 3,
@@ -437,9 +439,7 @@ mod tests {
         for (x, y) in [(20.0, 30.0), (160.0, 40.0), (100.0, 170.0), (60.0, 90.0)] {
             let p = Point::new(x, y);
             let nearest = (0..3)
-                .min_by(|&a, &b| {
-                    p.distance(aps[a]).partial_cmp(&p.distance(aps[b])).unwrap()
-                })
+                .min_by(|&a, &b| p.distance(aps[a]).partial_cmp(&p.distance(aps[b])).unwrap())
                 .unwrap();
             let tile = svd.tile_at(p).expect("covered");
             assert_eq!(
@@ -456,7 +456,10 @@ mod tests {
         let one = SignalVoronoiDiagram::build(
             &field,
             bbox(),
-            SvdConfig { order: 1, ..SvdConfig::default() },
+            SvdConfig {
+                order: 1,
+                ..SvdConfig::default()
+            },
         );
         let two = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
         assert!(two.tiles().len() > one.tiles().len());
@@ -564,15 +567,15 @@ mod tests {
 
     #[test]
     fn uncovered_point_has_no_tile() {
-        let field = HomogeneousField::new(vec![AccessPoint::new(
-            ApId(0),
-            Point::new(10.0, 10.0),
-        )]);
+        let field = HomogeneousField::new(vec![AccessPoint::new(ApId(0), Point::new(10.0, 10.0))]);
         let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(2_000.0, 100.0));
         let svd = SignalVoronoiDiagram::build(
             &field,
             bb,
-            SvdConfig { resolution_m: 10.0, ..SvdConfig::default() },
+            SvdConfig {
+                resolution_m: 10.0,
+                ..SvdConfig::default()
+            },
         );
         assert!(svd.tile_at(Point::new(1_900.0, 50.0)).is_none());
         assert!(svd.tile_at(Point::new(10.0, 10.0)).is_some());

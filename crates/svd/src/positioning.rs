@@ -16,8 +16,8 @@
 //!   mobility window.
 
 use wilocator_geo::Point;
-use wilocator_road::Route;
 use wilocator_rf::ApId;
+use wilocator_road::Route;
 
 use crate::route_index::{RouteTileIndex, SubSegment};
 use crate::signature::{signature_from_ranked, TileSignature};
@@ -168,12 +168,7 @@ impl RoutePositioner {
     /// `time_s`, optionally constrained by the previous fix.
     ///
     /// Returns `None` when the scan is empty and no prior exists.
-    pub fn locate(
-        &self,
-        ranked: &[(ApId, i32)],
-        time_s: f64,
-        prior: Option<Prior>,
-    ) -> Option<Fix> {
+    pub fn locate(&self, ranked: &[(ApId, i32)], time_s: f64, prior: Option<Prior>) -> Option<Fix> {
         if ranked.is_empty() {
             return self.dead_reckon(time_s, prior);
         }
@@ -461,12 +456,8 @@ impl TrackingFilter {
                         s: (pr.s - 150.0 * w).max(0.0),
                         time_s: pr.time_s - 30.0 * w,
                     };
-                    if let Some(refix) = self.positioner.locate(ranked, time_s, Some(widened))
-                    {
-                        if matches!(
-                            refix.method,
-                            FixMethod::Exact | FixMethod::TieBoundary
-                        ) {
+                    if let Some(refix) = self.positioner.locate(ranked, time_s, Some(widened)) {
+                        if matches!(refix.method, FixMethod::Exact | FixMethod::TieBoundary) {
                             self.unmatched_streak = 0;
                             self.prior = Some(Prior {
                                 s: refix.s,
@@ -508,7 +499,6 @@ impl TrackingFilter {
     }
 }
 
-
 /// Merges intervals closer than `gap` into maximal disjoint intervals.
 fn merge_intervals(mut intervals: Vec<(f64, f64)>, gap: f64) -> Vec<(f64, f64)> {
     intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -537,8 +527,8 @@ fn interval_distance(a: f64, b: f64, s: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::diagram::SvdConfig;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, HomogeneousField, SignalField};
+    use wilocator_road::{NetworkBuilder, RouteId};
 
     fn street(len: f64, spacing: f64) -> (Route, HomogeneousField) {
         let mut b = NetworkBuilder::new();
@@ -599,7 +589,10 @@ mod tests {
         let (pos, field) = positioner(800.0, 80.0);
         let truth = 400.0;
         let ranked = ranked_at(&field, pos.route().point_at(truth));
-        let prior = Prior { s: 380.0, time_s: 0.0 };
+        let prior = Prior {
+            s: 380.0,
+            time_s: 0.0,
+        };
         let fix = pos.locate(&ranked, 10.0, Some(prior)).unwrap();
         assert!((fix.s - truth).abs() <= 25.0);
         // Fix must lie in the forward mobility window.
@@ -610,7 +603,10 @@ mod tests {
     #[test]
     fn empty_scan_dead_reckons_from_prior() {
         let (pos, _field) = positioner(800.0, 80.0);
-        let prior = Prior { s: 100.0, time_s: 0.0 };
+        let prior = Prior {
+            s: 100.0,
+            time_s: 0.0,
+        };
         let fix = pos.locate(&[], 10.0, Some(prior)).unwrap();
         assert_eq!(fix.method, FixMethod::DeadReckoned);
         assert!(fix.s > 100.0 && fix.s < 100.0 + 250.0);
@@ -675,7 +671,10 @@ mod tests {
         // Prior at s = 100; scan claims the bus is at s = 700 one second
         // later (impossible at 25 m/s).
         let ranked = ranked_at(&field, pos.route().point_at(700.0));
-        let prior = Prior { s: 100.0, time_s: 0.0 };
+        let prior = Prior {
+            s: 100.0,
+            time_s: 0.0,
+        };
         let fix = pos.locate(&ranked, 1.0, Some(prior)).unwrap();
         assert_eq!(fix.method, FixMethod::DeadReckoned);
         assert!(fix.s < 150.0);
@@ -708,7 +707,10 @@ mod tests {
         let _ = RoutePositioner::new(
             route,
             index,
-            PositionerConfig { order: 5, ..PositionerConfig::default() },
+            PositionerConfig {
+                order: 5,
+                ..PositionerConfig::default()
+            },
         );
     }
 

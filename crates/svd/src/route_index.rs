@@ -10,9 +10,8 @@
 
 use std::collections::HashMap;
 
-
-use wilocator_road::Route;
 use wilocator_rf::SignalField;
+use wilocator_road::Route;
 
 use crate::diagram::SvdConfig;
 use crate::signature::{signature_from_ranked, TileSignature};
@@ -130,7 +129,10 @@ impl RouteTileIndex {
         }
         let mut by_signature: HashMap<TileSignature, Vec<usize>> = HashMap::new();
         for (i, seg) in subsegments.iter().enumerate() {
-            by_signature.entry(seg.signature.clone()).or_default().push(i);
+            by_signature
+                .entry(seg.signature.clone())
+                .or_default()
+                .push(i);
         }
         let mut by_site: HashMap<wilocator_rf::ApId, Vec<TileSignature>> = HashMap::new();
         for sig in by_signature.keys() {
@@ -305,8 +307,8 @@ impl RouteTileIndex {
 mod tests {
     use super::*;
     use wilocator_geo::Point;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, ApId, HomogeneousField};
+    use wilocator_road::{NetworkBuilder, RouteId};
 
     fn straight_route(len: f64) -> Route {
         let mut b = NetworkBuilder::new();
@@ -377,7 +379,10 @@ mod tests {
             RouteTileIndex::build(
                 &field,
                 &route,
-                SvdConfig { order, ..SvdConfig::default() },
+                SvdConfig {
+                    order,
+                    ..SvdConfig::default()
+                },
                 1.0,
             )
         };

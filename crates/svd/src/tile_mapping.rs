@@ -15,8 +15,8 @@
 use std::collections::HashMap;
 
 use wilocator_geo::Point;
-use wilocator_road::Route;
 use wilocator_rf::ApId;
+use wilocator_road::Route;
 
 use crate::diagram::{SignalVoronoiDiagram, TileId};
 use crate::signature::signature_from_ranked;
@@ -48,11 +48,7 @@ impl TileMapper {
     /// # Panics
     ///
     /// Panics if `sample_step_m` is not strictly positive.
-    pub fn build(
-        diagram: &SignalVoronoiDiagram,
-        route: &Route,
-        sample_step_m: f64,
-    ) -> Self {
+    pub fn build(diagram: &SignalVoronoiDiagram, route: &Route, sample_step_m: f64) -> Self {
         assert!(sample_step_m > 0.0, "sample step must be positive");
         let mut intervals: HashMap<TileId, Vec<(f64, f64)>> = HashMap::new();
         let mut current: Option<(TileId, f64, f64)> = None;
@@ -96,11 +92,7 @@ impl TileMapper {
     /// `route ∩ tile` nearest to the tile centroid, or — when the tile
     /// misses the road — the same through the longest-boundary neighbour
     /// that intersects the road.
-    pub fn map_tile(
-        &self,
-        diagram: &SignalVoronoiDiagram,
-        tile: TileId,
-    ) -> Option<MappedPosition> {
+    pub fn map_tile(&self, diagram: &SignalVoronoiDiagram, tile: TileId) -> Option<MappedPosition> {
         if let Some(pos) = self.map_direct(diagram, tile) {
             return Some(pos);
         }
@@ -112,11 +104,10 @@ impl TileMapper {
         // intervals (we map "to the nearest point on the road sub-segment
         // that intersects with the neighbouring ST").
         let centroid = diagram.tile(tile)?.centroid();
-        self.nearest_on_intervals(neighbor, centroid)
-            .map(|mut m| {
-                m.via_neighbor = true;
-                m
-            })
+        self.nearest_on_intervals(neighbor, centroid).map(|mut m| {
+            m.via_neighbor = true;
+            m
+        })
     }
 
     /// Locates a bus from a ranked RSS list via the planar diagram.
@@ -141,28 +132,21 @@ impl TileMapper {
         };
         // Among candidate tiles prefer ones that intersect the road, then
         // larger ones (more probable).
-        let best = tiles
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let ia = self.intervals.contains_key(&a);
-                let ib = self.intervals.contains_key(&b);
-                ia.cmp(&ib).then(
-                    diagram
-                        .tile(a)
-                        .map(|t| t.area_m2())
-                        .partial_cmp(&diagram.tile(b).map(|t| t.area_m2()))
-                        .expect("finite area"),
-                )
-            })?;
+        let best = tiles.iter().copied().max_by(|&a, &b| {
+            let ia = self.intervals.contains_key(&a);
+            let ib = self.intervals.contains_key(&b);
+            ia.cmp(&ib).then(
+                diagram
+                    .tile(a)
+                    .map(|t| t.area_m2())
+                    .partial_cmp(&diagram.tile(b).map(|t| t.area_m2()))
+                    .expect("finite area"),
+            )
+        })?;
         self.map_tile(diagram, best)
     }
 
-    fn map_direct(
-        &self,
-        diagram: &SignalVoronoiDiagram,
-        tile: TileId,
-    ) -> Option<MappedPosition> {
+    fn map_direct(&self, diagram: &SignalVoronoiDiagram, tile: TileId) -> Option<MappedPosition> {
         let centroid = diagram.tile(tile)?.centroid();
         self.nearest_on_intervals(tile, centroid)
     }
@@ -197,8 +181,8 @@ mod tests {
     use super::*;
     use crate::diagram::SvdConfig;
     use wilocator_geo::BoundingBox;
-    use wilocator_road::{NetworkBuilder, RouteId};
     use wilocator_rf::{AccessPoint, HomogeneousField, SignalField};
+    use wilocator_road::{NetworkBuilder, RouteId};
 
     /// Fig. 2-like scene: a straight road with APs on both sides, one AP
     /// (`e`) far off the road so its tiles miss the route.
@@ -209,11 +193,11 @@ mod tests {
         let e = b.add_edge(n0, n1, None).unwrap();
         let route = Route::new(RouteId(0), "ei", vec![e], &b.build()).unwrap();
         let field = HomogeneousField::new(vec![
-            AccessPoint::new(ApId(0), Point::new(60.0, 130.0)),  // a
-            AccessPoint::new(ApId(1), Point::new(200.0, 80.0)),  // b
+            AccessPoint::new(ApId(0), Point::new(60.0, 130.0)), // a
+            AccessPoint::new(ApId(1), Point::new(200.0, 80.0)), // b
             AccessPoint::new(ApId(2), Point::new(340.0, 130.0)), // c
             AccessPoint::new(ApId(3), Point::new(200.0, 190.0)), // d (north)
-            AccessPoint::new(ApId(4), Point::new(200.0, 0.0)),   // e (far south)
+            AccessPoint::new(ApId(4), Point::new(200.0, 0.0)),  // e (far south)
         ]);
         let bbox = BoundingBox::new(Point::new(0.0, -40.0), Point::new(400.0, 240.0));
         let svd = SignalVoronoiDiagram::build(&field, bbox, SvdConfig::default());

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wilocator_geo::Point;
-use wilocator_road::{NetworkBuilder, Route, RouteId};
 use wilocator_rf::{AccessPoint, ApId, HomogeneousField, SignalField};
+use wilocator_road::{NetworkBuilder, Route, RouteId};
 use wilocator_svd::{
     signature_from_ranked, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig,
     TileSignature,

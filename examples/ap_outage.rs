@@ -20,7 +20,10 @@ use wilocator::svd::{PositionerConfig, SvdConfig};
 fn main() {
     let city = simple_street(2_000.0, 5, 9, &CityConfig::default());
     let route = city.routes[0].clone();
-    println!("street with {} APs; calibrating both systems…", city.field.aps().len());
+    println!(
+        "street with {} APs; calibrating both systems…",
+        city.field.aps().len()
+    );
 
     // Offline phase for both systems, on the healthy deployment.
     let mut rng = StdRng::seed_from_u64(9);
@@ -38,11 +41,21 @@ fn main() {
 
     let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 9);
     let schedule = daily_schedule(&city, &[(RouteId(0), 1_800.0)]);
-    let sim = SimulationConfig { days: 1, seed: 9, ..SimulationConfig::default() };
+    let sim = SimulationConfig {
+        days: 1,
+        seed: 9,
+        ..SimulationConfig::default()
+    };
 
     for dead_fraction in [0.0_f64, 0.2, 0.4] {
         let n_dead = (city.field.aps().len() as f64 * dead_fraction) as usize;
-        let dead: Vec<ApId> = city.field.aps().iter().take(n_dead).map(|ap| ap.id()).collect();
+        let dead: Vec<ApId> = city
+            .field
+            .aps()
+            .iter()
+            .take(n_dead)
+            .map(|ap| ap.id())
+            .collect();
         let mut broken = city.clone();
         broken.field = city.field.without_aps(&dead);
 
@@ -59,9 +72,11 @@ fn main() {
             2.0,
         ));
         // The fingerprint DB cannot be rebuilt without another survey.
-        let fp_err = mean(&replay_locator_errors(&broken.routes, &dataset, |_, ranked| {
-            fingerprint.locate(ranked)
-        }));
+        let fp_err = mean(&replay_locator_errors(
+            &broken.routes,
+            &dataset,
+            |_, ranked| fingerprint.locate(ranked),
+        ));
         println!(
             "{:>3.0} % of APs dead: SVD (rebuilt) {:>5.1} m | fingerprint (stale) {:>5.1} m",
             dead_fraction * 100.0,
@@ -69,5 +84,7 @@ fn main() {
             fp_err
         );
     }
-    println!("\nthe SVD needs only the surviving geo-tags; the fingerprint DB needs a new site survey");
+    println!(
+        "\nthe SVD needs only the surviving geo-tags; the fingerprint DB needs a new site survey"
+    );
 }

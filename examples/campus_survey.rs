@@ -15,7 +15,6 @@ fn main() {
     let results = fig10::run(1);
     println!("{}", fig10::render(&results));
 
-    let avg: f64 =
-        results.iter().map(|r| r.route_error_m).sum::<f64>() / results.len() as f64;
+    let avg: f64 = results.iter().map(|r| r.route_error_m).sum::<f64>() / results.len() as f64;
     println!("(paper reports 2 m at each location; our channel yields {avg:.1} m average)");
 }

@@ -9,8 +9,8 @@ use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
 use wilocator::rf::SignalField;
 
 use wilocator::sim::{
-    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig,
-    TrafficConfig, TrafficModel,
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig, TrafficConfig,
+    TrafficModel,
 };
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
 
     // 2. The WiLocator server builds the Signal Voronoi Diagram of the
     //    route from the geo-tagged APs alone.
-    let server = WiLocator::new(&city.server_field, vec![route.clone()], WiLocatorConfig::default());
+    let server = WiLocator::new(
+        &city.server_field,
+        vec![route.clone()],
+        WiLocatorConfig::default(),
+    );
     let bus = BusKey(1);
     server
         .register_bus_by_announcement(bus, "this is route demo bound for the terminal")
@@ -35,9 +39,22 @@ fn main() {
     // 3. Simulate a midday trip with rider phones scanning every 10 s.
     let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 7);
     let mut rng = StdRng::seed_from_u64(7);
-    let trajectory = simulate_trip(&route, &traffic, 12.0 * 3_600.0, &BusConfig::default(), &mut rng);
+    let trajectory = simulate_trip(
+        &route,
+        &traffic,
+        12.0 * 3_600.0,
+        &BusConfig::default(),
+        &mut rng,
+    );
     let ap_index = city.ap_index();
-    let bundles = sense_trip(&city, &trajectory, 0, &SensingConfig::default(), &ap_index, &mut rng);
+    let bundles = sense_trip(
+        &city,
+        &trajectory,
+        0,
+        &SensingConfig::default(),
+        &ap_index,
+        &mut rng,
+    );
 
     // 4. Stream the scans through the server and watch the track.
     let final_stop = route.stops().last().expect("stops").id();
@@ -64,7 +81,9 @@ fn main() {
             }
             // Ask for an ETA once, mid-trip.
             if !printed_eta && fix.s > route.length() / 2.0 {
-                let eta = server.predict_arrival(bus, final_stop).expect("stop on route");
+                let eta = server
+                    .predict_arrival(bus, final_stop)
+                    .expect("stop on route");
                 let actual = trajectory.time_at_s(route.length());
                 println!(
                     "--> ETA at final stop: t+{:.0} s (actual arrival t+{:.0} s)",

@@ -32,12 +32,7 @@ fn main() -> std::io::Result<()> {
     println!("wrote campus_svd.svg ({} KiB)", svg.len() / 1024);
 
     // 2. AP deployment along a street.
-    let city = wilocator::sim::simple_street(
-        2_000.0,
-        5,
-        7,
-        &wilocator::sim::CityConfig::default(),
-    );
+    let city = wilocator::sim::simple_street(2_000.0, 5, 7, &wilocator::sim::CityConfig::default());
     let svg = deployment_svg(city.field.aps(), Some(&city.routes[0]), 1_000.0);
     std::fs::write("deployment.svg", &svg)?;
     println!("wrote deployment.svg ({} KiB)", svg.len() / 1024);

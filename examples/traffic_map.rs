@@ -22,7 +22,10 @@ fn main() {
             )
         }
         TrafficState::Slow => {
-            println!("the jammed segment was flagged SLOW (z = {:.1})", result.incident_z)
+            println!(
+                "the jammed segment was flagged SLOW (z = {:.1})",
+                result.incident_z
+            )
         }
         other => println!("segment state: {other}"),
     }

@@ -12,14 +12,18 @@ use rand::SeedableRng;
 use wilocator::core::{BusKey, ScanReport, TrafficState, WiLocator, WiLocatorConfig};
 use wilocator::road::RouteId;
 use wilocator::sim::{
-    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig,
-    TrafficConfig, TrafficModel,
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig, TrafficConfig,
+    TrafficModel,
 };
 
 fn main() {
     let city = simple_street(4_000.0, 8, 31, &CityConfig::default());
     let route = city.routes[0].clone();
-    let server = WiLocator::new(&city.server_field, vec![route.clone()], WiLocatorConfig::default());
+    let server = WiLocator::new(
+        &city.server_field,
+        vec![route.clone()],
+        WiLocatorConfig::default(),
+    );
     let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 31);
     let ap_index = city.ap_index();
 

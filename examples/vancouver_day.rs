@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --release --example vancouver_day`.
 
-use wilocator::eval::{
-    route_name, run_pipeline, vancouver_city, vancouver_pipeline, Cdf, Scale,
-};
+use wilocator::eval::{route_name, run_pipeline, vancouver_city, vancouver_pipeline, Cdf, Scale};
 use wilocator::rf::SignalField;
 use wilocator::road::RouteId;
 
@@ -51,7 +49,10 @@ fn main() {
     let rush: Vec<_> = out.predictions.iter().filter(|p| p.rush).collect();
     let wilo: Cdf = rush.iter().map(|p| p.wilocator_err()).collect();
     let agency: Cdf = rush.iter().map(|p| p.agency_err()).collect();
-    println!("\nrush-hour arrival prediction ({} predictions):", rush.len());
+    println!(
+        "\nrush-hour arrival prediction ({} predictions):",
+        rush.len()
+    );
     println!(
         "  WiLocator:      median {:>5.0} s, p90 {:>5.0} s, max {:>5.0} s",
         wilo.median(),

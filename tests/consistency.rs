@@ -6,8 +6,7 @@ use wilocator::geo::{BoundingBox, Point};
 use wilocator::rf::{AccessPoint, ApId, HomogeneousField, SignalField};
 use wilocator::road::{NetworkBuilder, Route, RouteId};
 use wilocator::svd::{
-    PositionerConfig, RoutePositioner, RouteTileIndex, SignalVoronoiDiagram, SvdConfig,
-    TileMapper,
+    PositionerConfig, RoutePositioner, RouteTileIndex, SignalVoronoiDiagram, SvdConfig, TileMapper,
 };
 
 fn scene() -> (Route, HomogeneousField, BoundingBox) {
@@ -57,8 +56,14 @@ fn planar_and_route_paths_agree_on_clean_scans() {
             (planar - fast).abs() < 60.0,
             "truth {truth}: planar {planar} vs route-index {fast}"
         );
-        assert!((planar - truth).abs() < 60.0, "planar off at {truth}: {planar}");
-        assert!((fast - truth).abs() < 60.0, "route-index off at {truth}: {fast}");
+        assert!(
+            (planar - truth).abs() < 60.0,
+            "planar off at {truth}: {planar}"
+        );
+        assert!(
+            (fast - truth).abs() < 60.0,
+            "route-index off at {truth}: {fast}"
+        );
     }
 }
 

@@ -113,6 +113,91 @@ fn pipeline_is_deterministic_end_to_end() {
     assert_eq!(run(), run());
 }
 
+/// Golden regression: a seeded simulated day, ingested end to end, must
+/// reproduce the checked-in per-stop arrival predictions.
+///
+/// The pipeline is bit-deterministic, so the comparison tolerance (0.5 s
+/// on multi-minute ETAs) only absorbs float reassociation across
+/// compilers. Regenerate the fixture after an intentional behaviour
+/// change with `WILOCATOR_BLESS=1 cargo test --test end_to_end`.
+#[test]
+fn arrival_predictions_match_golden_fixture() {
+    let (city, dataset) = scenario();
+    let server = WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    );
+    for trip in &dataset.trips {
+        let bus = BusKey(trip.trip_id as u64);
+        server.register_bus(bus, trip.route).expect("served route");
+        for bundle in &trip.bundles {
+            server
+                .ingest(&ScanReport {
+                    bus,
+                    time_s: bundle.time_s,
+                    scans: bundle.scans.clone(),
+                })
+                .expect("registered");
+        }
+        server.finish_bus(bus).expect("registered");
+    }
+    server.train(1e12);
+
+    // Predictions from the route start and from mid-route to every stop,
+    // at a mid-day query time.
+    let route = &city.routes[0];
+    let t_query = 12.0 * 3_600.0 + 86_400.0 * 365.0; // after all history
+    let mut lines = Vec::new();
+    for &from_s in &[0.0, route.length() * 0.4] {
+        for (i, stop) in route.stops().iter().enumerate() {
+            if stop.s() <= from_s {
+                continue;
+            }
+            let eta = server
+                .predict_arrival_at(route.id(), from_s, t_query, stop.s())
+                .expect("served route")
+                - t_query;
+            lines.push(format!(
+                "from={from_s:.1} stop={i} s={:.1} eta={eta:.3}",
+                stop.s()
+            ));
+        }
+    }
+    let got = lines.join("\n") + "\n";
+
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/arrival_predictions.txt");
+    if std::env::var_os("WILOCATOR_BLESS").is_some() {
+        std::fs::write(&fixture, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&fixture).expect(
+        "fixture missing — run WILOCATOR_BLESS=1 cargo test --test end_to_end to create it",
+    );
+
+    let parse = |text: &str| -> Vec<(String, f64)> {
+        text.lines()
+            .map(|l| {
+                let (key, eta) = l.rsplit_once(" eta=").expect("malformed fixture line");
+                (key.to_string(), eta.parse().expect("numeric eta"))
+            })
+            .collect()
+    };
+    let (got, want) = (parse(&got), parse(&want));
+    assert_eq!(
+        got.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+        want.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+        "prediction grid changed — bless the fixture if intentional"
+    );
+    for ((key, got_eta), (_, want_eta)) in got.iter().zip(&want) {
+        assert!(
+            (got_eta - want_eta).abs() < 0.5,
+            "{key}: eta {got_eta:.3} s drifted from golden {want_eta:.3} s"
+        );
+    }
+}
+
 #[test]
 fn umbrella_crate_reexports_are_usable() {
     // Touch one symbol from every re-exported crate.

@@ -5,8 +5,8 @@ use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
 use wilocator::rf::{ApId, Scan, SignalField};
 use wilocator::road::RouteId;
 use wilocator::sim::{
-    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig,
-    TrafficConfig, TrafficModel,
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig, TrafficConfig,
+    TrafficModel,
 };
 
 use rand::rngs::StdRng;
@@ -32,10 +32,18 @@ fn drive_trip(
     let route = city.routes[0].clone();
     let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let tr = simulate_trip(&route, &traffic, 12.0 * 3_600.0, &BusConfig::default(), &mut rng);
+    let tr = simulate_trip(
+        &route,
+        &traffic,
+        12.0 * 3_600.0,
+        &BusConfig::default(),
+        &mut rng,
+    );
     let idx = city.ap_index();
     let bundles = sense_trip(city, &tr, 0, &SensingConfig::default(), &idx, &mut rng);
-    server.register_bus(BusKey(bus), RouteId(0)).expect("route served");
+    server
+        .register_bus(BusKey(bus), RouteId(0))
+        .expect("route served");
     let mut fixes = 0usize;
     let mut err = 0.0;
     for (i, b) in bundles.iter().enumerate() {
@@ -53,7 +61,14 @@ fn drive_trip(
         }
     }
     server.finish_bus(BusKey(bus)).expect("registered");
-    (fixes, if fixes > 0 { err / fixes as f64 } else { f64::NAN })
+    (
+        fixes,
+        if fixes > 0 {
+            err / fixes as f64
+        } else {
+            f64::NAN
+        },
+    )
 }
 
 #[test]
@@ -62,7 +77,10 @@ fn survives_dropped_reports() {
     // Two-thirds of the reports never reach the server.
     let (fixes, mean_err) = drive_trip(&city, &server, 1, 5, |i, r| (i % 3 == 0).then_some(r));
     assert!(fixes > 5, "{fixes} fixes");
-    assert!(mean_err < 80.0, "mean error {mean_err} m with dropped reports");
+    assert!(
+        mean_err < 80.0,
+        "mean error {mean_err} m with dropped reports"
+    );
 }
 
 #[test]
@@ -103,7 +121,10 @@ fn survives_empty_and_garbage_scans() {
         Some(r)
     });
     assert!(fixes > 10);
-    assert!(mean_err < 80.0, "mean error {mean_err} m with garbage scans");
+    assert!(
+        mean_err < 80.0,
+        "mean error {mean_err} m with garbage scans"
+    );
 }
 
 #[test]
@@ -112,7 +133,13 @@ fn survives_mid_trip_ap_outage() {
     let route = city.routes[0].clone();
     let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 8);
     let mut rng = StdRng::seed_from_u64(8);
-    let tr = simulate_trip(&route, &traffic, 12.0 * 3_600.0, &BusConfig::default(), &mut rng);
+    let tr = simulate_trip(
+        &route,
+        &traffic,
+        12.0 * 3_600.0,
+        &BusConfig::default(),
+        &mut rng,
+    );
     // Half the APs die mid-simulation: the physical field changes but the
     // server's SVD does not.
     let dead: Vec<ApId> = city
@@ -147,6 +174,85 @@ fn survives_mid_trip_ap_outage() {
     let mean_err = err / fixes as f64;
     // Degraded but not broken (the paper's AP-dynamics claim).
     assert!(mean_err < 150.0, "mean error {mean_err} m under churn");
+}
+
+#[test]
+fn survives_one_ap_dying_mid_replay() {
+    // The ISSUE scenario: a single AP goes dark halfway through a trip.
+    // The server keeps serving fixes from the surviving APs — accuracy may
+    // degrade near the dead AP but tracking must not stall or blow up.
+    let (city, server) = setup();
+    let route = city.routes[0].clone();
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 31);
+    let mut rng = StdRng::seed_from_u64(31);
+    let tr = simulate_trip(
+        &route,
+        &traffic,
+        12.0 * 3_600.0,
+        &BusConfig::default(),
+        &mut rng,
+    );
+
+    // Sense the same trip against the healthy field and against a field
+    // missing the AP nearest the route midpoint, from an identically
+    // seeded RNG; switch streams at the halfway report.
+    let mid = route.point_at(route.length() / 2.0);
+    let dead = city
+        .field
+        .aps()
+        .iter()
+        .min_by(|a, b| {
+            let (da, db) = (a.position().distance(mid), b.position().distance(mid));
+            da.partial_cmp(&db).expect("finite")
+        })
+        .expect("city has APs")
+        .id();
+    let mut broken = city.clone();
+    broken.field = city.field.without_aps(&[dead]);
+    let idx = city.ap_index();
+    let broken_idx = broken.ap_index();
+    let mut rng_a = StdRng::seed_from_u64(77);
+    let mut rng_b = StdRng::seed_from_u64(77);
+    let healthy = sense_trip(&city, &tr, 0, &SensingConfig::default(), &idx, &mut rng_a);
+    let outage = sense_trip(
+        &broken,
+        &tr,
+        0,
+        &SensingConfig::default(),
+        &broken_idx,
+        &mut rng_b,
+    );
+    let half = healthy.len() / 2;
+
+    server.register_bus(BusKey(40), RouteId(0)).expect("served");
+    let mut fixes_before = 0usize;
+    let mut fixes_after = 0usize;
+    let mut err = 0.0;
+    for (i, b) in healthy[..half].iter().chain(&outage[half..]).enumerate() {
+        if let Some(fix) = server
+            .ingest(&ScanReport {
+                bus: BusKey(40),
+                time_s: b.time_s,
+                scans: b.scans.clone(),
+            })
+            .expect("registered")
+        {
+            if i < half {
+                fixes_before += 1;
+            } else {
+                fixes_after += 1;
+            }
+            err += (fix.s - b.true_s).abs();
+        }
+    }
+    server.finish_bus(BusKey(40)).expect("registered");
+    assert!(fixes_before > 5, "{fixes_before} fixes before the outage");
+    assert!(
+        fixes_after > 5,
+        "tracking stalled after one AP died: {fixes_after} fixes"
+    );
+    let mean_err = err / (fixes_before + fixes_after) as f64;
+    assert!(mean_err < 80.0, "mean error {mean_err} m with one dead AP");
 }
 
 #[test]
