@@ -249,6 +249,38 @@ fn bench_ingest_throughput(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+
+    // One untimed replay to show what the instrumented hot path recorded —
+    // the per-report accounting and the lock-hold distribution the
+    // observability layer exists to expose.
+    let server = sharded_server(&routes, &field, BUSES_PER_ROUTE);
+    for chunk in workload.chunks(64) {
+        for result in server.ingest_batch(chunk) {
+            result.expect("registered");
+        }
+    }
+    let snapshot = server.metrics();
+    println!("post-run metrics (one batch64 replay):");
+    for family in [
+        "wilocator_reports_total",
+        "wilocator_fixes_total",
+        "wilocator_traversals_committed_total",
+        "svd_fix_exact_total",
+        "svd_fix_dead_reckoned_total",
+    ] {
+        println!("  {family} = {}", snapshot.counter_family_total(family));
+    }
+    for shard in 0..2 {
+        let key = format!("wilocator_shard_lock_hold_us{{shard=\"{shard}\"}}");
+        if let Some(h) = snapshot.histogram(&key) {
+            println!(
+                "  {key}: count {}, p50 ~{} us, p99 ~{} us",
+                h.count,
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+        }
+    }
 }
 
 criterion_group!(ingest_throughput, bench_ingest_throughput);

@@ -50,6 +50,7 @@
 
 pub mod history;
 pub mod hybrid;
+pub mod metrics;
 pub mod predict;
 pub mod proximity;
 pub mod report;
@@ -60,6 +61,9 @@ pub mod traffic_map;
 
 pub use history::{TravelTimeStore, Traversal};
 pub use hybrid::{FixSource, HybridConfig, HybridFix, HybridTracker};
+pub use metrics::{
+    PredictorMetrics, ServerMetrics, ShardMetrics, NONDETERMINISTIC_COUNTER_FAMILIES,
+};
 pub use predict::{ArrivalPredictor, PredictorConfig};
 pub use proximity::{group_by_proximity, scan_distance_db, DeviceId};
 pub use report::{BusKey, RouteIdentifier, ScanReport};
@@ -68,7 +72,8 @@ pub use seasonal::{
 };
 pub use server::{CoreError, IngestResult, WiLocator, WiLocatorConfig};
 pub use tracker::{
-    crossing_time, segment_traversals, BusTracker, SegmentTraversal, TrackedTrajectory,
+    crossing_time, segment_traversals, BusTracker, IngestOutcome, SegmentTraversal,
+    TrackedTrajectory,
 };
 pub use traffic_map::{
     delta_from_history, delta_from_median, detect_anomalies, route_exclusions, unknown_fraction,

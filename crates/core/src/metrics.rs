@@ -1,0 +1,286 @@
+//! Server observability: per-shard ingest accounting, server-wide batch
+//! accounting and predictor accounting.
+//!
+//! All three structs are relaxed-atomic ledgers ([`wilocator_obs`]):
+//! recording never locks or allocates, so they sit directly on the
+//! ingest hot path. Every counter here counts *events*, which under the
+//! server's per-bus replay determinism makes the totals bit-identical
+//! across thread counts; the histograms time wall-clock spans and are
+//! not (they are excluded from
+//! [`wilocator_obs::MetricsSnapshot::deterministic_lines`]).
+//!
+//! One transport-level exception: `wilocator_ingest_batches_total`
+//! counts *calls* to [`crate::WiLocator::ingest_batch`], which depends
+//! on how a caller chunks the same report stream — replay-identity
+//! tests must exclude it (batch *report* totals stay deterministic).
+
+use std::sync::Arc;
+
+use wilocator_obs::{metric_key, Collect, Counter, Gauge, Histogram, MetricsSnapshot};
+
+/// Per-shard ingest accounting. Lives *outside* the shard's `RwLock`
+/// (in a `Vec<Arc<ShardMetrics>>` parallel to the shard table), so
+/// recording — including the lock-hold histogram — never needs the
+/// shard lock.
+///
+/// Invariant at any quiescent point:
+/// `reports_total == fixes_total + reports_absorbed_total + reports_stale_total`.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Reports that reached this shard's tracker (known bus).
+    pub reports_total: Counter,
+    /// Reports dropped as older than the bus's latest fix (network
+    /// reordering); the committed trajectory is untouched.
+    pub reports_stale_total: Counter,
+    /// Reports absorbed without a fix (e.g. acquisition not yet locked).
+    pub reports_absorbed_total: Counter,
+    /// Position fixes produced.
+    pub fixes_total: Counter,
+    /// Segment traversals committed to the travel-time store (both the
+    /// eager drain on ingest and the tail commit on finish).
+    pub traversals_committed_total: Counter,
+    /// Microseconds the shard write lock was held per acquisition.
+    pub lock_hold_us: Histogram,
+}
+
+impl ShardMetrics {
+    /// A fresh, shareable ledger.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+impl Collect for ShardMetrics {
+    fn collect_into(&self, labels: &str, out: &mut MetricsSnapshot) {
+        out.add_counter(
+            metric_key("wilocator_reports_total", labels),
+            self.reports_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_reports_stale_total", labels),
+            self.reports_stale_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_reports_absorbed_total", labels),
+            self.reports_absorbed_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_fixes_total", labels),
+            self.fixes_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_traversals_committed_total", labels),
+            self.traversals_committed_total.get(),
+        );
+        out.add_histogram(
+            metric_key("wilocator_shard_lock_hold_us", labels),
+            self.lock_hold_us.snapshot(),
+        );
+    }
+}
+
+/// Server-wide (cross-shard) accounting: the transport envelope around
+/// the per-shard ledgers.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Single-report [`crate::WiLocator::ingest`] calls.
+    pub ingest_total: Counter,
+    /// [`crate::WiLocator::ingest_batch`] calls. NOT replay-deterministic
+    /// across different batch chunkings — see the module docs.
+    pub ingest_batches_total: Counter,
+    /// Reports submitted through batches (deterministic: every report is
+    /// counted once however the stream is chunked).
+    pub ingest_batch_reports_total: Counter,
+    /// Reports rejected because the bus was not registered.
+    pub unknown_bus_total: Counter,
+    /// Buses registered (re-registration counts again).
+    pub buses_registered_total: Counter,
+    /// Buses finished.
+    pub buses_finished_total: Counter,
+    /// [`crate::WiLocator::train`] calls.
+    pub train_calls_total: Counter,
+    /// Currently registered buses.
+    pub active_buses: Gauge,
+    /// Batch sizes (reports per `ingest_batch` call). Excluded from the
+    /// deterministic subset along with the batch-call counter.
+    pub batch_size: Histogram,
+}
+
+impl ServerMetrics {
+    /// A fresh, shareable ledger.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+impl Collect for ServerMetrics {
+    fn collect_into(&self, labels: &str, out: &mut MetricsSnapshot) {
+        out.add_counter(
+            metric_key("wilocator_ingest_total", labels),
+            self.ingest_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_ingest_batches_total", labels),
+            self.ingest_batches_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_ingest_batch_reports_total", labels),
+            self.ingest_batch_reports_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_unknown_bus_total", labels),
+            self.unknown_bus_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_buses_registered_total", labels),
+            self.buses_registered_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_buses_finished_total", labels),
+            self.buses_finished_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_train_calls_total", labels),
+            self.train_calls_total.get(),
+        );
+        out.add_gauge(
+            metric_key("wilocator_active_buses", labels),
+            self.active_buses.get(),
+        );
+        out.add_histogram(
+            metric_key("wilocator_batch_size", labels),
+            self.batch_size.snapshot(),
+        );
+    }
+}
+
+/// Counter families that count transport-level *calls* rather than
+/// events, and therefore differ across batch chunkings of the same
+/// report stream. Replay-identity and golden comparisons must drop these
+/// lines from [`wilocator_obs::MetricsSnapshot::deterministic_lines`];
+/// kept next to the counters so tests and docs can't drift.
+pub const NONDETERMINISTIC_COUNTER_FAMILIES: &[&str] = &["wilocator_ingest_batches_total"];
+
+/// Arrival-predictor accounting (Equations 8–9): training coverage and
+/// how often the recent-residual borrow actually fires online.
+///
+/// Owned by [`crate::ArrivalPredictor`] behind an `Arc`, so clones of a
+/// predictor (evaluation harnesses clone freely) share one ledger.
+#[derive(Debug, Default)]
+pub struct PredictorMetrics {
+    /// [`crate::ArrivalPredictor::train`] calls.
+    pub train_total: Counter,
+    /// Seasonal indexes built across all train calls (one per edge).
+    pub seasonal_indexes_built_total: Counter,
+    /// Base slots that carried data across those indexes.
+    pub seasonal_slots_populated_total: Counter,
+    /// Slot partitions that split the day (rush-hour structure found).
+    pub multi_slot_partitions_total: Counter,
+    /// Equation 8 evaluations.
+    pub predict_segment_total: Counter,
+    /// Recent buses whose residual was borrowed, summed over predictions
+    /// (the `K` of Equation 8).
+    pub residual_borrow_total: Counter,
+    /// Predictions where at least one residual was borrowed.
+    pub residual_applied_total: Counter,
+    /// Segments predicted by the cruise-speed fallback (no history).
+    pub segment_fallback_total: Counter,
+    /// Equation 9 arrival integrations.
+    pub predict_arrival_total: Counter,
+}
+
+impl Collect for PredictorMetrics {
+    fn collect_into(&self, labels: &str, out: &mut MetricsSnapshot) {
+        let pairs: [(&str, &Counter); 9] = [
+            ("predict_train_total", &self.train_total),
+            (
+                "predict_seasonal_indexes_built_total",
+                &self.seasonal_indexes_built_total,
+            ),
+            (
+                "predict_seasonal_slots_populated_total",
+                &self.seasonal_slots_populated_total,
+            ),
+            (
+                "predict_multi_slot_partitions_total",
+                &self.multi_slot_partitions_total,
+            ),
+            ("predict_segment_total", &self.predict_segment_total),
+            ("predict_residual_borrow_total", &self.residual_borrow_total),
+            (
+                "predict_residual_applied_total",
+                &self.residual_applied_total,
+            ),
+            (
+                "predict_segment_fallback_total",
+                &self.segment_fallback_total,
+            ),
+            ("predict_arrival_total", &self.predict_arrival_total),
+        ];
+        for (name, c) in pairs {
+            out.add_counter(metric_key(name, labels), c.get());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_metrics_collect_under_shard_label() {
+        let m = ShardMetrics::default();
+        m.reports_total.add(5);
+        m.fixes_total.add(3);
+        m.reports_absorbed_total.inc();
+        m.reports_stale_total.inc();
+        m.lock_hold_us.record(12);
+        let mut snap = MetricsSnapshot::new();
+        m.collect_into("shard=\"2\"", &mut snap);
+        assert_eq!(snap.counter("wilocator_reports_total{shard=\"2\"}"), 5);
+        assert_eq!(
+            snap.counter("wilocator_fixes_total{shard=\"2\"}")
+                + snap.counter("wilocator_reports_absorbed_total{shard=\"2\"}")
+                + snap.counter("wilocator_reports_stale_total{shard=\"2\"}"),
+            snap.counter("wilocator_reports_total{shard=\"2\"}")
+        );
+        assert_eq!(
+            snap.histogram("wilocator_shard_lock_hold_us{shard=\"2\"}")
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn server_metrics_collect_everything() {
+        let m = ServerMetrics::default();
+        m.ingest_batches_total.add(7);
+        m.ingest_batch_reports_total.add(100);
+        m.active_buses.set(4);
+        m.batch_size.record(50);
+        let mut snap = MetricsSnapshot::new();
+        m.collect_into("", &mut snap);
+        assert_eq!(snap.counter("wilocator_ingest_batches_total"), 7);
+        assert_eq!(snap.counter("wilocator_ingest_batch_reports_total"), 100);
+        assert_eq!(snap.gauge("wilocator_active_buses"), 4);
+        assert_eq!(snap.histogram("wilocator_batch_size").unwrap().count, 1);
+        // The call counter is listed as chunking-dependent.
+        assert!(NONDETERMINISTIC_COUNTER_FAMILIES.contains(&"wilocator_ingest_batches_total"));
+    }
+
+    #[test]
+    fn predictor_metrics_collect() {
+        let m = PredictorMetrics::default();
+        m.predict_segment_total.add(4);
+        m.residual_borrow_total.add(9);
+        m.residual_applied_total.add(3);
+        let mut snap = MetricsSnapshot::new();
+        m.collect_into("shard=\"0\"", &mut snap);
+        assert_eq!(
+            snap.counter("predict_residual_borrow_total{shard=\"0\"}"),
+            9
+        );
+        assert_eq!(snap.counter_family_total("predict_segment_total"), 4);
+    }
+}

@@ -14,10 +14,12 @@
 //! time accumulates ("the computation will be separated slot-by-slot").
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use wilocator_road::{EdgeId, Route, RouteId};
 
 use crate::history::TravelTimeStore;
+use crate::metrics::PredictorMetrics;
 use crate::seasonal::{partition_from_index, seasonal_index, SeasonalConfig, SlotPartition, DAY_S};
 
 /// Key of the frozen-mean cache: `(segment, route filter, slot filter)`.
@@ -65,6 +67,8 @@ pub struct ArrivalPredictor {
     /// [`ArrivalPredictor::train`]; makes online queries O(1) instead of a
     /// scan over the store.
     mean_cache: HashMap<MeanKey, (f64, usize)>,
+    /// Train/predict accounting; clones of this predictor share it.
+    metrics: Arc<PredictorMetrics>,
 }
 
 impl ArrivalPredictor {
@@ -75,6 +79,7 @@ impl ArrivalPredictor {
             partitions: HashMap::new(),
             default_partition: SlotPartition::whole_day(),
             mean_cache: HashMap::new(),
+            metrics: Arc::new(PredictorMetrics::default()),
         }
     }
 
@@ -83,13 +88,26 @@ impl ArrivalPredictor {
         &self.config
     }
 
+    /// The train/predict accounting ledger (shared by clones).
+    pub fn metrics(&self) -> &Arc<PredictorMetrics> {
+        &self.metrics
+    }
+
     /// Offline phase (§V-A.3): computes each segment's seasonal index from
     /// records before `as_of` and derives its slot partition.
     pub fn train(&mut self, store: &TravelTimeStore, as_of: f64) {
+        self.metrics.train_total.inc();
         let edges: Vec<EdgeId> = store.edges().collect();
         for edge in edges {
             let si = seasonal_index(store, edge, as_of, &self.config.seasonal);
+            self.metrics.seasonal_indexes_built_total.inc();
+            self.metrics
+                .seasonal_slots_populated_total
+                .add(si.populated_slots() as u64);
             let partition = partition_from_index(&si, &self.config.seasonal);
+            if partition.slot_count() > 1 {
+                self.metrics.multi_slot_partitions_total.inc();
+            }
             self.partitions.insert(edge, partition);
         }
         // Freeze the historical means (the paper's offline phase): every
@@ -201,6 +219,7 @@ impl ArrivalPredictor {
         route: RouteId,
         t: f64,
     ) -> Option<f64> {
+        self.metrics.predict_segment_total.inc();
         let th_own = self.historical_mean(store, edge, Some(route), t)?;
         let recent = store.recent_buses(
             edge,
@@ -224,6 +243,10 @@ impl ArrivalPredictor {
         if k == 0 {
             return Some(th_own);
         }
+        // The K of Equation 8: residuals actually borrowed from recent
+        // buses (of any route) on this segment.
+        self.metrics.residual_borrow_total.add(k as u64);
+        self.metrics.residual_applied_total.inc();
         // Equation 8 implemented multiplicatively: each recent bus
         // contributes its travel-time *ratio* to its own historical mean,
         // which transfers across routes whose regular speeds differ ("even
@@ -249,7 +272,10 @@ impl ArrivalPredictor {
     ) -> f64 {
         let edge = route.edges()[edge_index];
         self.predict_segment(store, edge, route.id(), t)
-            .unwrap_or_else(|| route.edge_length(edge_index) / self.config.fallback_speed_mps)
+            .unwrap_or_else(|| {
+                self.metrics.segment_fallback_total.inc();
+                route.edge_length(edge_index) / self.config.fallback_speed_mps
+            })
     }
 
     /// Equation 9: predicted *absolute arrival time* at arc length
@@ -265,6 +291,7 @@ impl ArrivalPredictor {
         t: f64,
         stop_s: f64,
     ) -> f64 {
+        self.metrics.predict_arrival_total.inc();
         if stop_s <= current_s {
             return t;
         }
@@ -454,6 +481,47 @@ mod tests {
         let eta = p.predict_arrival(&store, &route, 0.0, 0.0, 1_800.0);
         // 1800 m at 6 m/s = 300 s.
         assert!((eta - 300.0).abs() < 5.0, "eta {eta}");
+    }
+
+    #[test]
+    fn metrics_meter_training_and_residual_borrows() {
+        let route = route_3seg();
+        let mut store = seeded_store(&route, 5, 90.0, 120.0);
+        let mut p = ArrivalPredictor::new(PredictorConfig::default());
+        p.train(&store, 5.0 * DAY_S);
+        let m = p.metrics().clone();
+        assert_eq!(m.train_total.get(), 1);
+        assert_eq!(m.seasonal_indexes_built_total.get(), 3);
+        assert!(m.multi_slot_partitions_total.get() >= 1, "rush split");
+        // Two recent buses on a segment ⇒ Eq. 8 borrows K = 2 residuals.
+        let edge = route.edges()[1];
+        let now = 5.0 * DAY_S + 12.0 * 3_600.0;
+        for dt in [300.0, 600.0] {
+            store.record(
+                edge,
+                Traversal {
+                    route: RouteId(1),
+                    t_enter: now - dt,
+                    t_exit: now - dt + 150.0,
+                },
+            );
+        }
+        let borrows_before = m.residual_borrow_total.get();
+        p.predict_segment(&store, edge, RouteId(0), now).unwrap();
+        assert_eq!(m.residual_borrow_total.get() - borrows_before, 2);
+        assert_eq!(m.residual_applied_total.get(), 1);
+        assert_eq!(m.predict_segment_total.get(), 1);
+        // A predictor with no history at all takes the cruise-speed
+        // fallback, metered (the trained one above answers from its
+        // frozen mean cache even against an empty store).
+        let empty = TravelTimeStore::new();
+        let untrained = ArrivalPredictor::new(PredictorConfig::default());
+        untrained.predict_segment_or_fallback(&empty, &route, 0, now);
+        assert_eq!(untrained.metrics().segment_fallback_total.get(), 1);
+        // Clones share the ledger.
+        let clone = p.clone();
+        clone.predict_arrival(&empty, &route, 0.0, now, 100.0);
+        assert_eq!(m.predict_arrival_total.get(), 1);
     }
 
     #[test]

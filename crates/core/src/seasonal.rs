@@ -57,6 +57,12 @@ impl SeasonalIndex {
             .all(|&si| (si - 1.0).abs() <= epsilon)
     }
 
+    /// Number of base slots that carried at least one record (the
+    /// coverage figure the predictor's training metrics report).
+    pub fn populated_slots(&self) -> usize {
+        self.index.iter().flatten().count()
+    }
+
     /// Base slots flagged as rush hours under `threshold`.
     pub fn rush_slots(&self, threshold: f64) -> Vec<usize> {
         self.index
@@ -228,6 +234,8 @@ mod tests {
         let rush = si.rush_slots(1.25);
         assert_eq!(rush, vec![8, 9]);
         assert!(!si.is_flat(0.1));
+        // Hours 6..22 carried data.
+        assert_eq!(si.populated_slots(), 16);
         // Unpopulated night slots carry no index.
         assert!(si.index[2].is_none());
     }

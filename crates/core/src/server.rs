@@ -23,16 +23,20 @@
 //! lock, and no operation ever holds two shard locks at once.
 
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
+use wilocator_obs::{MetricsSnapshot, Registry};
 use wilocator_rf::SignalField;
 use wilocator_road::{EdgeId, Route, RouteId, StopId};
-use wilocator_svd::{Fix, PositionerConfig, RoutePositioner, RouteTileIndex, SvdConfig};
+use wilocator_svd::{
+    Fix, PositionerConfig, PositioningMetrics, RoutePositioner, RouteTileIndex, SvdConfig,
+};
 
 use crate::history::{TravelTimeStore, Traversal};
+use crate::metrics::{ServerMetrics, ShardMetrics};
 use crate::predict::{ArrivalPredictor, PredictorConfig};
 use crate::report::{BusKey, RouteIdentifier, ScanReport};
-use crate::tracker::{crossing_time, segment_traversals, BusTracker};
+use crate::tracker::{crossing_time, segment_traversals, BusTracker, IngestOutcome};
 use crate::traffic_map::{SegmentState, TrafficMapConfig, TrafficMapGenerator};
 
 /// Errors returned by the server API.
@@ -216,6 +220,15 @@ pub struct WiLocator {
     /// Cached hardware parallelism; on single-core hosts `ingest_batch`
     /// skips thread spawning entirely.
     parallelism: usize,
+    /// Per-shard ingest ledgers, parallel to `shards` but *outside* the
+    /// locks: recording (including the lock-hold histogram) never needs
+    /// the shard lock.
+    shard_metrics: Vec<Arc<ShardMetrics>>,
+    /// Cross-shard transport accounting.
+    server_metrics: Arc<ServerMetrics>,
+    /// Every ledger (server, shards, predictors, route positioners),
+    /// labelled; [`WiLocator::metrics`] gathers it into one snapshot.
+    registry: Registry,
 }
 
 impl WiLocator {
@@ -228,13 +241,20 @@ impl WiLocator {
         routes: Vec<Route>,
         config: WiLocatorConfig,
     ) -> Self {
+        let registry = Registry::new();
         let mut positioners = HashMap::new();
         let mut identifier = RouteIdentifier::new();
         for route in &routes {
             let index = RouteTileIndex::build(field, route, config.svd, config.sample_step_m);
+            let pos_metrics = PositioningMetrics::shared();
+            registry.register(
+                format!("route=\"{}\"", route.id().0),
+                pos_metrics.clone() as Arc<dyn wilocator_obs::Collect>,
+            );
             positioners.insert(
                 route.id(),
-                RoutePositioner::new(route.clone(), index, config.positioner),
+                RoutePositioner::new(route.clone(), index, config.positioner)
+                    .with_metrics(pos_metrics),
             );
             identifier.register(route.id(), route.name());
         }
@@ -244,16 +264,34 @@ impl WiLocator {
             .zip(&assignment)
             .map(|(r, &s)| (r.id(), s))
             .collect();
+        let mut shard_metrics = Vec::with_capacity(count.max(1));
         let shards = (0..count.max(1))
-            .map(|_| {
+            .map(|i| {
+                let label = format!("shard=\"{i}\"");
+                let metrics = ShardMetrics::shared();
+                registry.register(
+                    label.clone(),
+                    metrics.clone() as Arc<dyn wilocator_obs::Collect>,
+                );
+                shard_metrics.push(metrics);
+                let predictor = ArrivalPredictor::new(config.predictor);
+                registry.register(
+                    label,
+                    predictor.metrics().clone() as Arc<dyn wilocator_obs::Collect>,
+                );
                 RwLock::new(Shard {
                     buses: HashMap::new(),
                     store: TravelTimeStore::new(),
-                    predictor: ArrivalPredictor::new(config.predictor),
+                    predictor,
                     traffic: TrafficMapGenerator::new(config.traffic),
                 })
             })
             .collect();
+        let server_metrics = ServerMetrics::shared();
+        registry.register(
+            "",
+            server_metrics.clone() as Arc<dyn wilocator_obs::Collect>,
+        );
         WiLocator {
             config,
             routes,
@@ -263,6 +301,9 @@ impl WiLocator {
             shards,
             bus_dir: RwLock::new(HashMap::new()),
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shard_metrics,
+            server_metrics,
+            registry,
         }
     }
 
@@ -311,7 +352,8 @@ impl WiLocator {
         let mut dir = self.bus_dir.write().expect("bus directory lock");
         // Re-registration moves the bus: clear any previous tracker first
         // (one shard lock at a time, directory lock held throughout).
-        if let Some(old) = dir.insert(bus, shard_idx) {
+        let previous = dir.insert(bus, shard_idx);
+        if let Some(old) = previous {
             if old != shard_idx {
                 self.shards[old]
                     .write()
@@ -319,6 +361,10 @@ impl WiLocator {
                     .buses
                     .remove(&bus);
             }
+        }
+        self.server_metrics.buses_registered_total.inc();
+        if previous.is_none() {
+            self.server_metrics.active_buses.inc();
         }
         self.shards[shard_idx]
             .write()
@@ -344,9 +390,12 @@ impl WiLocator {
     }
 
     /// One report against an already-locked shard: track, then commit the
-    /// traversals the new fix has cleared.
+    /// traversals the new fix has cleared. `metrics` is the shard's
+    /// ledger; the outcome of every report lands in exactly one of its
+    /// stale/absorbed/fix counters.
     fn ingest_locked(
         shard: &mut Shard,
+        metrics: &ShardMetrics,
         report: &ScanReport,
         commit_margin_m: f64,
     ) -> Result<Option<Fix>, CoreError> {
@@ -354,13 +403,27 @@ impl WiLocator {
             .buses
             .get_mut(&report.bus)
             .ok_or(CoreError::UnknownBus(report.bus))?;
-        let Some(fix) = bus.tracker.ingest(report) else {
-            return Ok(None);
-        };
-        for (edge, tr) in bus.drain_cleared(commit_margin_m) {
-            shard.store.record(edge, tr);
+        metrics.reports_total.inc();
+        match bus.tracker.ingest_classified(report) {
+            IngestOutcome::Stale => {
+                metrics.reports_stale_total.inc();
+                Ok(None)
+            }
+            IngestOutcome::NoFix => {
+                metrics.reports_absorbed_total.inc();
+                Ok(None)
+            }
+            IngestOutcome::Fix(fix) => {
+                metrics.fixes_total.inc();
+                let mut committed = 0u64;
+                for (edge, tr) in bus.drain_cleared(commit_margin_m) {
+                    shard.store.record(edge, tr);
+                    committed += 1;
+                }
+                metrics.traversals_committed_total.add(committed);
+                Ok(Some(fix))
+            }
         }
-        Ok(Some(fix))
     }
 
     /// Ingests one scan report, returning the new position fix.
@@ -373,9 +436,20 @@ impl WiLocator {
     ///
     /// Returns [`CoreError::UnknownBus`] for unregistered buses.
     pub fn ingest(&self, report: &ScanReport) -> Result<Option<Fix>, CoreError> {
-        let shard_idx = self.shard_for_bus(report.bus)?;
-        let mut shard = self.shards[shard_idx].write().expect("shard lock");
-        Self::ingest_locked(&mut shard, report, self.config.commit_margin_m)
+        self.server_metrics.ingest_total.inc();
+        let result = match self.shard_for_bus(report.bus) {
+            Ok(shard_idx) => {
+                let metrics = &self.shard_metrics[shard_idx];
+                let mut shard = self.shards[shard_idx].write().expect("shard lock");
+                let _hold = metrics.lock_hold_us.time();
+                Self::ingest_locked(&mut shard, metrics, report, self.config.commit_margin_m)
+            }
+            Err(e) => Err(e),
+        };
+        if result.is_err() {
+            self.server_metrics.unknown_bus_total.inc();
+        }
+        result
     }
 
     /// Ingests a batch of scan reports, returning one result per report in
@@ -390,6 +464,11 @@ impl WiLocator {
     /// and store contents that the same reports would produce through
     /// [`WiLocator::ingest`] one at a time.
     pub fn ingest_batch(&self, reports: &[ScanReport]) -> Vec<IngestResult> {
+        self.server_metrics.ingest_batches_total.inc();
+        self.server_metrics
+            .ingest_batch_reports_total
+            .add(reports.len() as u64);
+        self.server_metrics.batch_size.record(reports.len() as u64);
         let mut results: Vec<IngestResult> = vec![Ok(None); reports.len()];
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         {
@@ -409,11 +488,14 @@ impl WiLocator {
             // One shard (or a single-core host): threads can't help, but a
             // batch still amortises one lock acquisition per busy shard.
             for &s in &busy {
+                let metrics = &self.shard_metrics[s];
                 let mut shard = self.shards[s].write().expect("shard lock");
+                let _hold = metrics.lock_hold_us.time();
                 for &i in &groups[s] {
-                    results[i] = Self::ingest_locked(&mut shard, &reports[i], margin);
+                    results[i] = Self::ingest_locked(&mut shard, metrics, &reports[i], margin);
                 }
             }
+            self.count_batch_errors(&results);
             return results;
         }
         let per_shard: Vec<(usize, Vec<IngestResult>)> = std::thread::scope(|scope| {
@@ -422,11 +504,13 @@ impl WiLocator {
                 .map(|&s| {
                     let indices = &groups[s];
                     let lock = &self.shards[s];
+                    let metrics = &self.shard_metrics[s];
                     scope.spawn(move || {
                         let mut shard = lock.write().expect("shard lock");
+                        let _hold = metrics.lock_hold_us.time();
                         let local = indices
                             .iter()
-                            .map(|&i| Self::ingest_locked(&mut shard, &reports[i], margin))
+                            .map(|&i| Self::ingest_locked(&mut shard, metrics, &reports[i], margin))
                             .collect();
                         (s, local)
                     })
@@ -442,7 +526,15 @@ impl WiLocator {
                 results[i] = r;
             }
         }
+        self.count_batch_errors(&results);
         results
+    }
+
+    /// Every `Err` in a batch is an unknown-bus rejection (whether caught
+    /// at the directory or inside a shard); counted once per report here.
+    fn count_batch_errors(&self, results: &[IngestResult]) {
+        let errs = results.iter().filter(|r| r.is_err()).count() as u64;
+        self.server_metrics.unknown_bus_total.add(errs);
     }
 
     /// Finishes a bus trip: commits all remaining traversals and removes
@@ -456,10 +548,15 @@ impl WiLocator {
             let mut dir = self.bus_dir.write().expect("bus directory lock");
             dir.remove(&bus).ok_or(CoreError::UnknownBus(bus))?
         };
+        self.server_metrics.active_buses.dec();
+        self.server_metrics.buses_finished_total.inc();
+        let metrics = &self.shard_metrics[shard_idx];
         let mut shard = self.shards[shard_idx].write().expect("shard lock");
+        let _hold = metrics.lock_hold_us.time();
         let state = shard.buses.remove(&bus).ok_or(CoreError::UnknownBus(bus))?;
         let route = state.tracker.route();
         let fixes = state.tracker.trajectory().fixes();
+        let mut committed = 0u64;
         for tr in segment_traversals(route, fixes) {
             if tr.edge_index >= state.committed_upto {
                 shard.store.record(
@@ -470,8 +567,10 @@ impl WiLocator {
                         t_exit: tr.t_exit,
                     },
                 );
+                committed += 1;
             }
         }
+        metrics.traversals_committed_total.add(committed);
         Ok(())
     }
 
@@ -495,6 +594,7 @@ impl WiLocator {
     /// segments partition across shards, so this equals training one
     /// global predictor on the merged store.
     pub fn train(&self, as_of: f64) {
+        self.server_metrics.train_calls_total.inc();
         for lock in &self.shards {
             let shard = &mut *lock.write().expect("shard lock");
             shard.predictor.train(&shard.store, as_of);
@@ -628,6 +728,22 @@ impl WiLocator {
     /// The positioner of a route (evaluation hooks).
     pub fn positioner(&self, route: RouteId) -> Option<&RoutePositioner> {
         self.positioners.get(&route)
+    }
+
+    /// A point-in-time snapshot of every metric the server exposes:
+    /// server-wide transport counters, per-shard ingest ledgers (labelled
+    /// `shard="i"`), per-shard predictor accounting, and per-route
+    /// positioning accounting (labelled `route="<id>"`). Recording is
+    /// lock-free; gathering reads the atomics without touching any shard
+    /// lock, so this is safe to call from a scrape loop while ingestion
+    /// runs.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.gather()
+    }
+
+    /// The snapshot in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics().prometheus_text()
     }
 }
 
@@ -947,6 +1063,73 @@ mod tests {
         assert!(results[0].is_ok());
         assert_eq!(results[1], Err(CoreError::UnknownBus(BusKey(77))));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn metrics_account_for_every_report() {
+        let (server, field) = setup();
+        let route = server.routes()[0].clone();
+        drive(&server, &field, 1, 0.0, 8.0);
+        // One unknown-bus rejection on top of the driven trip.
+        let _ = server.ingest(&report(&field, &route, 0.0, 0.0, 42));
+        server.train(10_000.0);
+        let snap = server.metrics();
+        let reports = snap.counter_family_total("wilocator_reports_total");
+        assert!(reports > 0, "reports metered");
+        assert_eq!(
+            reports,
+            snap.counter_family_total("wilocator_fixes_total")
+                + snap.counter_family_total("wilocator_reports_absorbed_total")
+                + snap.counter_family_total("wilocator_reports_stale_total"),
+            "every report lands in exactly one outcome counter"
+        );
+        assert_eq!(snap.counter("wilocator_unknown_bus_total"), 1);
+        assert_eq!(snap.counter("wilocator_buses_registered_total"), 1);
+        assert_eq!(snap.counter("wilocator_buses_finished_total"), 1);
+        assert_eq!(snap.gauge("wilocator_active_buses"), 0);
+        assert_eq!(snap.counter("wilocator_train_calls_total"), 1);
+        // The positioner's per-route ledger saw the same locate calls.
+        assert_eq!(
+            snap.counter_family_total("svd_locate_total"),
+            reports,
+            "one locate per tracked report"
+        );
+        // Both segments were committed (eagerly or at finish).
+        assert!(snap.counter_family_total("wilocator_traversals_committed_total") >= 2);
+        // Training metered one seasonal index per recorded edge.
+        assert_eq!(
+            snap.counter_family_total("predict_seasonal_indexes_built_total"),
+            2
+        );
+        // Lock-hold spans were recorded under the shard label.
+        assert!(
+            snap.histogram("wilocator_shard_lock_hold_us{shard=\"0\"}")
+                .map(|h| h.count > 0)
+                .unwrap_or(false),
+            "lock hold histogram populated"
+        );
+        // Prometheus exposition renders without panicking and names the
+        // core families.
+        let text = server.metrics_text();
+        assert!(text.contains("# TYPE wilocator_reports_total counter"));
+        assert!(text.contains("wilocator_shard_lock_hold_us_count"));
+    }
+
+    #[test]
+    fn batch_metrics_count_reports_not_chunks() {
+        let (server, field) = setup();
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(1), RouteId(0)).unwrap();
+        let reports: Vec<ScanReport> = (0..6)
+            .map(|k| report(&field, &route, k as f64 * 40.0, k as f64 * 10.0, 1))
+            .collect();
+        server.ingest_batch(&reports[..2]);
+        server.ingest_batch(&reports[2..]);
+        let snap = server.metrics();
+        assert_eq!(snap.counter("wilocator_ingest_batches_total"), 2);
+        assert_eq!(snap.counter("wilocator_ingest_batch_reports_total"), 6);
+        assert_eq!(snap.histogram("wilocator_batch_size").unwrap().count, 2);
+        assert_eq!(snap.counter_family_total("wilocator_reports_total"), 6);
     }
 
     #[test]

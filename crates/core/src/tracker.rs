@@ -32,6 +32,20 @@ impl TrackedTrajectory {
     }
 }
 
+/// What became of one ingested report (the classification the server's
+/// metrics need; [`BusTracker::ingest`] collapses it to `Option<Fix>`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestOutcome {
+    /// The report produced a new fix, appended to the trajectory.
+    Fix(Fix),
+    /// The report was older than the latest fix (network reordering) and
+    /// was dropped; trajectory and committed traversals are untouched.
+    Stale,
+    /// The report was absorbed without producing a fix (e.g. acquisition
+    /// has not locked yet); trajectory is untouched.
+    NoFix,
+}
+
 /// Tracks one bus over its route from incoming scan reports.
 ///
 /// Holds the SVD positioner, rank-averages each report's scans across
@@ -69,9 +83,18 @@ impl BusTracker {
     /// Reports older than the latest fix (network reordering between the
     /// riders' phones and the server) are dropped.
     pub fn ingest(&mut self, report: &ScanReport) -> Option<Fix> {
+        match self.ingest_classified(report) {
+            IngestOutcome::Fix(fix) => Some(fix),
+            IngestOutcome::Stale | IngestOutcome::NoFix => None,
+        }
+    }
+
+    /// [`BusTracker::ingest`], but reporting *why* no fix was produced —
+    /// a stale (reordered) report is dropped, anything else is absorbed.
+    pub fn ingest_classified(&mut self, report: &ScanReport) -> IngestOutcome {
         if let Some(last) = self.trajectory.last() {
             if report.time_s < last.time_s {
-                return None;
+                return IngestOutcome::Stale;
             }
         }
         let avg = average_ranks(&report.scans, self.min_observations);
@@ -82,9 +105,13 @@ impl BusTracker {
         // Rank order comes from the averaged ranks; re-expressing as RSS
         // keeps tie detection meaningful (equal mean RSS ⇒ boundary).
         // Prior chaining and divergence recovery live in the filter.
-        let fix = self.filter.step(&ranked, report.time_s)?;
-        self.trajectory.fixes.push(fix);
-        Some(fix)
+        match self.filter.step(&ranked, report.time_s) {
+            Some(fix) => {
+                self.trajectory.fixes.push(fix);
+                IngestOutcome::Fix(fix)
+            }
+            None => IngestOutcome::NoFix,
+        }
     }
 
     /// Whether the trip is plausibly finished (last fix at the route end).
@@ -283,6 +310,24 @@ mod tests {
             })
             .unwrap();
         assert_eq!(fix.method, FixMethod::DeadReckoned);
+    }
+
+    #[test]
+    fn stale_report_is_classified_and_dropped() {
+        let (mut tracker, field) = setup();
+        let p = tracker.route().point_at(100.0);
+        assert!(matches!(
+            tracker.ingest_classified(&report_at(&field, p, 50.0, 1)),
+            IngestOutcome::Fix(_)
+        ));
+        let before = tracker.trajectory().fixes().to_vec();
+        // An older report arrives late: dropped, trajectory untouched.
+        let q = tracker.route().point_at(60.0);
+        assert_eq!(
+            tracker.ingest_classified(&report_at(&field, q, 20.0, 1)),
+            IngestOutcome::Stale
+        );
+        assert_eq!(tracker.trajectory().fixes(), &before[..]);
     }
 
     #[test]

@@ -345,4 +345,91 @@ fn batch_surfaces_unknown_buses_without_poisoning_the_rest() {
             assert!(r.is_ok(), "report {i} failed: {r:?}");
         }
     }
+    // The error is metered exactly once, and the eight good reports all
+    // made it into the shard accounting.
+    let snap = server.metrics();
+    assert_eq!(snap.counter("wilocator_unknown_bus_total"), 1);
+    assert_eq!(snap.counter_family_total("wilocator_reports_total"), 8);
+}
+
+/// The documented state after a batch full of error paths: an unknown
+/// bus errors in place, reordered (stale) reports are dropped without
+/// touching the committed trajectory or store, an equal-timestamp
+/// duplicate is re-processed rather than dropped — and every outcome is
+/// metered, so `reports == fixes + absorbed + stale` keeps holding.
+#[test]
+fn batch_duplicates_and_reordering_leave_documented_state() {
+    let (city, plan) = seeded_day(59);
+    let server = WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    );
+    for (trip, route) in plan.trip_routes() {
+        server.register_bus(BusKey(trip as u64), route).unwrap();
+    }
+    let trip = plan.trip_ids()[0];
+    let bus = BusKey(trip as u64);
+    let events: Vec<&LoadEvent> = plan.events.iter().filter(|e| e.trip_id == trip).collect();
+    assert!(events.len() > 10, "trip too short");
+    let head: Vec<ScanReport> = events[..8].iter().map(|e| to_report(e)).collect();
+    for result in server.ingest_batch(&head) {
+        result.unwrap();
+    }
+    let committed = server.trajectory(bus).expect("registered");
+    let last_fix_time = committed.last().expect("head produced fixes").time_s;
+    let store_before = store_signature(&server);
+    let before = server.metrics();
+
+    // Strictly older than the latest fix ⇒ stale; equal ⇒ duplicate.
+    let stale: Vec<ScanReport> = head
+        .iter()
+        .filter(|r| r.time_s < last_fix_time)
+        .cloned()
+        .collect();
+    assert!(!stale.is_empty(), "no reordered reports to replay");
+    let duplicate = head
+        .iter()
+        .find(|r| r.time_s == last_fix_time)
+        .expect("latest fix came from a head report")
+        .clone();
+    let mut batch = vec![ScanReport {
+        bus: BusKey(9_999),
+        time_s: 0.0,
+        scans: Vec::new(),
+    }];
+    batch.extend(stale.iter().cloned());
+    batch.push(duplicate);
+    let results = server.ingest_batch(&batch);
+    assert_eq!(results[0], Err(CoreError::UnknownBus(BusKey(9_999))));
+    for r in &results[1..] {
+        assert!(r.is_ok(), "stale/duplicate reports are not errors: {r:?}");
+    }
+
+    // Stale replays appended nothing: the committed prefix is intact and
+    // anything the duplicate appended sits at the same timestamp.
+    let after_traj = server.trajectory(bus).expect("registered");
+    assert_eq!(&after_traj[..committed.len()], &committed[..]);
+    for fix in &after_traj[committed.len()..] {
+        assert_eq!(fix.time_s, last_fix_time, "duplicate moved time forward");
+    }
+    assert_eq!(store_signature(&server), store_before, "store unchanged");
+
+    // Every outcome metered: one unknown bus, every stale replay counted
+    // stale, the duplicate re-processed (fix or absorbed — not stale).
+    let after = server.metrics();
+    let delta =
+        |family: &str| after.counter_family_total(family) - before.counter_family_total(family);
+    assert_eq!(delta("wilocator_unknown_bus_total"), 1);
+    assert_eq!(delta("wilocator_reports_stale_total"), stale.len() as u64);
+    assert_eq!(delta("wilocator_reports_total"), (stale.len() + 1) as u64);
+    assert_eq!(
+        after.counter_family_total("wilocator_reports_total"),
+        after.counter_family_total("wilocator_fixes_total")
+            + after.counter_family_total("wilocator_reports_absorbed_total")
+            + after.counter_family_total("wilocator_reports_stale_total"),
+    );
+
+    // The shard is not poisoned: the trip's next real report still lands.
+    server.ingest(&to_report(events[8])).expect("shard healthy");
 }

@@ -1,0 +1,53 @@
+//! Zero-dependency observability primitives for the WiLocator workspace.
+//!
+//! Production-scale ingestion is only debuggable with per-stage
+//! accounting: how many reports arrived, how many produced fixes, which
+//! positioning fallbacks fired, how long shard locks were held. This
+//! crate provides the instruments — built on `std::sync::atomic` only
+//! (the build environment has no crates.io access, mirroring
+//! `crates/compat/`):
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars;
+//! * [`Histogram`] — lock-free log-bucketed value distribution, with a
+//!   RAII [`SpanTimer`] for wall-clock latency spans;
+//! * [`MetricsSnapshot`] — plain-data aggregation with merge semantics, a
+//!   deterministic text form for golden tests, and Prometheus-style
+//!   exposition;
+//! * [`Collect`] / [`Registry`] — how per-shard and per-route metric
+//!   structs are labelled and gathered into one snapshot.
+//!
+//! # Design rules
+//!
+//! Recording never takes a lock and never allocates: hot paths pay a few
+//! relaxed atomic adds (and, for spans, one `Instant` pair). Aggregation
+//! (naming, labelling, sorting, formatting) happens only at snapshot
+//! time. Counters and gauges count *events*, so under the server's
+//! per-bus replay determinism they are bit-identical across thread
+//! counts; histograms time *wall-clock spans* and are not — golden tests
+//! compare [`MetricsSnapshot::deterministic_lines`], which excludes them.
+//!
+//! # Examples
+//!
+//! ```
+//! use wilocator_obs::{Counter, Histogram, MetricsSnapshot, metric_key};
+//!
+//! let reports = Counter::new();
+//! let lock_us = Histogram::new();
+//! {
+//!     let _span = lock_us.time(); // records elapsed µs on drop
+//!     reports.inc();
+//! }
+//! let mut snap = MetricsSnapshot::new();
+//! snap.add_counter(metric_key("reports_total", "shard=\"0\""), reports.get());
+//! snap.add_histogram("lock_hold_us", lock_us.snapshot());
+//! assert_eq!(snap.counter("reports_total{shard=\"0\"}"), 1);
+//! assert!(snap.prometheus_text().contains("# TYPE reports_total counter"));
+//! ```
+
+pub mod counter;
+pub mod histogram;
+pub mod snapshot;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot, SpanTimer, BUCKETS};
+pub use snapshot::{metric_key, Collect, MetricsSnapshot, Registry};

@@ -1,0 +1,344 @@
+//! Point-in-time metric aggregation: [`MetricsSnapshot`] and the
+//! [`Collect`]/[`Registry`] plumbing that assembles one from many
+//! per-shard metric structs.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::HistogramSnapshot;
+
+/// Builds a metric key from a family name and a label set, in Prometheus
+/// text form: `family{labels}`, or just `family` when `labels` is empty.
+///
+/// `labels` is passed pre-rendered (e.g. `shard="0"`); the callers of this
+/// crate only ever need one or two static labels, so a full label map
+/// would be weight without value.
+pub fn metric_key(family: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        family.to_string()
+    } else {
+        format!("{family}{{{labels}}}")
+    }
+}
+
+/// A plain-data, mergeable snapshot of every metric the system exposes.
+///
+/// Counters and gauges are *deterministic* under the server's replay
+/// guarantees (they count events, and event streams are reproducible);
+/// histograms record wall-clock timings and are not. Consumers that need
+/// bit-identical comparisons across runs (golden tests, multi-thread
+/// replay identity) should compare [`MetricsSnapshot::deterministic_lines`]
+/// and leave histograms to human eyes and dashboards.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `key` (creating it at zero).
+    pub fn add_counter(&mut self, key: impl Into<String>, v: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += v;
+    }
+
+    /// Adds `v` to the gauge `key` (creating it at zero).
+    pub fn add_gauge(&mut self, key: impl Into<String>, v: i64) {
+        *self.gauges.entry(key.into()).or_insert(0) += v;
+    }
+
+    /// Merges a histogram snapshot into `key`.
+    pub fn add_histogram(&mut self, key: impl Into<String>, h: HistogramSnapshot) {
+        self.histograms.entry(key.into()).or_default().merge(&h);
+    }
+
+    /// The counter value at `key` (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The gauge value at `key` (0 when absent).
+    pub fn gauge(&self, key: &str) -> i64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// The histogram at `key`, if recorded.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(key)
+    }
+
+    /// All counters, sorted by key.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by key.
+    pub fn gauges(&self) -> &BTreeMap<String, i64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by key.
+    pub fn histograms(&self) -> &BTreeMap<String, HistogramSnapshot> {
+        &self.histograms
+    }
+
+    /// Sums every counter whose family (the key up to any `{`) equals
+    /// `family` — the all-labels total.
+    pub fn counter_family_total(&self, family: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.as_str() == family || family_of(k) == family)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Folds another snapshot into this one (counters and gauges add,
+    /// histograms merge).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            self.add_counter(k.clone(), v);
+        }
+        for (k, &v) in &other.gauges {
+            self.add_gauge(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.add_histogram(k.clone(), h.clone());
+        }
+    }
+
+    /// The deterministic subset (counters and gauges) as sorted
+    /// `key value` lines — the canonical form for golden fixtures and
+    /// cross-thread identity assertions. Histograms (timings) are omitted.
+    pub fn deterministic_lines(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prometheus text exposition (one `# TYPE` line per family, then the
+    /// samples; histograms expand to `_bucket`/`_sum`/`_count` series).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, key: &str, ty: &str| {
+            let fam = family_of(key).to_string();
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} {ty}\n"));
+                last_family = fam;
+            }
+        };
+        for (k, v) in &self.counters {
+            type_line(&mut out, k, "counter");
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            type_line(&mut out, k, "gauge");
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let fam = family_of(k);
+            let labels = labels_of(k);
+            out.push_str(&format!("# TYPE {fam} histogram\n"));
+            for (le, cum) in h.cumulative_buckets() {
+                let le = if le == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    le.to_string()
+                };
+                let sep = if labels.is_empty() { "" } else { "," };
+                out.push_str(&format!("{fam}_bucket{{{labels}{sep}le=\"{le}\"}} {cum}\n"));
+            }
+            let lb = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            out.push_str(&format!("{fam}_sum{lb} {}\n", h.sum));
+            out.push_str(&format!("{fam}_count{lb} {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// The family name of a key: everything before the label block.
+fn family_of(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// The rendered labels of a key (without braces), or `""`.
+fn labels_of(key: &str) -> &str {
+    key.find('{')
+        .map(|i| &key[i + 1..key.len() - 1])
+        .unwrap_or("")
+}
+
+/// Anything that can dump its metrics into a snapshot under a label set.
+pub trait Collect: Send + Sync {
+    /// Appends this collector's metrics to `out`, attaching `labels`
+    /// (pre-rendered, e.g. `shard="3"`) to every key.
+    fn collect_into(&self, labels: &str, out: &mut MetricsSnapshot);
+}
+
+/// A list of labelled collectors gathered into one snapshot on demand.
+///
+/// Registration and gathering take a mutex; recording never does — the
+/// collectors themselves are lock-free atomics. Register once at
+/// construction, gather on scrape.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Arc<dyn Collect>)>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("collectors", &n).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a collector under a label set (may be empty).
+    pub fn register(&self, labels: impl Into<String>, collector: Arc<dyn Collect>) {
+        self.entries
+            .lock()
+            .expect("registry lock")
+            .push((labels.into(), collector));
+    }
+
+    /// Gathers every registered collector into one snapshot.
+    pub fn gather(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (labels, c) in self.entries.lock().expect("registry lock").iter() {
+            c.collect_into(labels, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{Counter, Gauge};
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn metric_key_forms() {
+        assert_eq!(metric_key("a_total", ""), "a_total");
+        assert_eq!(metric_key("a_total", "shard=\"0\""), "a_total{shard=\"0\"}");
+    }
+
+    #[test]
+    fn counters_merge_by_sum() {
+        let mut a = MetricsSnapshot::new();
+        a.add_counter("x_total", 2);
+        let mut b = MetricsSnapshot::new();
+        b.add_counter("x_total", 3);
+        b.add_gauge("g", -1);
+        a.merge(&b);
+        assert_eq!(a.counter("x_total"), 5);
+        assert_eq!(a.gauge("g"), -1);
+    }
+
+    #[test]
+    fn family_total_sums_labels() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("f_total{shard=\"0\"}", 2);
+        s.add_counter("f_total{shard=\"1\"}", 3);
+        s.add_counter("g_total", 7);
+        assert_eq!(s.counter_family_total("f_total"), 5);
+        assert_eq!(s.counter_family_total("g_total"), 7);
+        assert_eq!(s.counter_family_total("h_total"), 0);
+    }
+
+    #[test]
+    fn deterministic_lines_sorted_and_stable() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("b_total", 1);
+        s.add_counter("a_total", 2);
+        s.add_gauge("z", 3);
+        let h = Histogram::new();
+        h.record(10);
+        s.add_histogram("lat_us", h.snapshot());
+        let lines = s.deterministic_lines();
+        assert_eq!(lines, "a_total 2\nb_total 1\nz 3\n");
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("req_total{shard=\"0\"}", 4);
+        s.add_counter("req_total{shard=\"1\"}", 6);
+        s.add_gauge("buses", 2);
+        let h = Histogram::new();
+        h.record(5);
+        s.add_histogram("lock_us{shard=\"0\"}", h.snapshot());
+        let text = s.prometheus_text();
+        assert!(text.contains("# TYPE req_total counter"));
+        // TYPE emitted once for the family, not once per label set.
+        assert_eq!(text.matches("# TYPE req_total").count(), 1);
+        assert!(text.contains("req_total{shard=\"1\"} 6"));
+        assert!(text.contains("# TYPE buses gauge"));
+        assert!(text.contains("lock_us_bucket{shard=\"0\",le=\"7\"} 1"));
+        assert!(text.contains("lock_us_sum{shard=\"0\"} 5"));
+        assert!(text.contains("lock_us_count{shard=\"0\"} 1"));
+    }
+
+    struct Demo {
+        hits: Counter,
+        depth: Gauge,
+    }
+
+    impl Collect for Demo {
+        fn collect_into(&self, labels: &str, out: &mut MetricsSnapshot) {
+            out.add_counter(metric_key("demo_hits_total", labels), self.hits.get());
+            out.add_gauge(metric_key("demo_depth", labels), self.depth.get());
+        }
+    }
+
+    #[test]
+    fn registry_gathers_labelled_collectors() {
+        let registry = Registry::new();
+        let a = Arc::new(Demo {
+            hits: Counter::new(),
+            depth: Gauge::new(),
+        });
+        let b = Arc::new(Demo {
+            hits: Counter::new(),
+            depth: Gauge::new(),
+        });
+        a.hits.add(3);
+        b.hits.add(4);
+        b.depth.set(2);
+        registry.register("shard=\"0\"", a.clone());
+        registry.register("shard=\"1\"", b);
+        let snap = registry.gather();
+        assert_eq!(snap.counter("demo_hits_total{shard=\"0\"}"), 3);
+        assert_eq!(snap.counter("demo_hits_total{shard=\"1\"}"), 4);
+        assert_eq!(snap.counter_family_total("demo_hits_total"), 7);
+        assert_eq!(snap.gauge("demo_depth{shard=\"1\"}"), 2);
+        // Recording after registration is visible on the next gather.
+        a.hits.inc();
+        assert_eq!(registry.gather().counter("demo_hits_total{shard=\"0\"}"), 4);
+    }
+}

@@ -19,7 +19,9 @@
 //!   (urban canyon) and Cell-ID observations for the baselines;
 //! * [`trace`] — multi-day dataset generation, deterministic in a seed;
 //! * [`loadgen`] — flattens a dataset into a time-ordered, lane-partitioned
-//!   ingestion plan for deterministic multi-threaded server replay.
+//!   ingestion plan for deterministic multi-threaded server replay, with
+//!   a [`LoadPlan::stats`](loadgen::LoadPlan::stats) snapshot stating the
+//!   offered load in the server's own metric vocabulary.
 //!
 //! # Examples
 //!

@@ -9,6 +9,7 @@
 //! regardless of thread interleaving. That is exactly what the
 //! concurrency tests in `wilocator-core` assert.
 
+use wilocator_obs::{metric_key, MetricsSnapshot};
 use wilocator_rf::Scan;
 use wilocator_road::RouteId;
 
@@ -84,6 +85,25 @@ impl LoadPlan {
         pairs.sort_unstable_by_key(|&(id, _)| id);
         pairs.dedup();
         pairs
+    }
+
+    /// The plan summarised as a metrics snapshot, in the same counter
+    /// families the server's observability layer uses: per-route
+    /// `loadgen_events_total{route="<id>"}` and
+    /// `loadgen_trips_total{route="<id>"}`. The family totals therefore
+    /// state the offered load — what the server's `wilocator_reports_total`
+    /// should account for after a full replay.
+    pub fn stats(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for e in &self.events {
+            let labels = format!("route=\"{}\"", e.route.0);
+            out.add_counter(metric_key("loadgen_events_total", &labels), 1);
+        }
+        for (_, route) in self.trip_routes() {
+            let labels = format!("route=\"{}\"", route.0);
+            out.add_counter(metric_key("loadgen_trips_total", &labels), 1);
+        }
+        out
     }
 
     /// Partitions event indices into `n` lanes by `trip_id % n`. Every
@@ -179,5 +199,27 @@ mod tests {
     #[should_panic(expected = "lane")]
     fn zero_lanes_rejected() {
         LoadPlan::default().lanes(0);
+    }
+
+    #[test]
+    fn stats_state_the_offered_load() {
+        let ds = tiny_dataset(1);
+        let plan = LoadPlan::for_day(&ds, 0);
+        let stats = plan.stats();
+        assert_eq!(
+            stats.counter_family_total("loadgen_events_total") as usize,
+            plan.events.len()
+        );
+        assert_eq!(
+            stats.counter_family_total("loadgen_trips_total") as usize,
+            plan.trip_ids().len()
+        );
+        // Single-route city: everything lands on route 0's label.
+        assert_eq!(
+            stats.counter("loadgen_events_total{route=\"0\"}") as usize,
+            plan.events.len()
+        );
+        // Empty plans snapshot to nothing rather than zero-valued keys.
+        assert!(LoadPlan::default().stats().counters().is_empty());
     }
 }

@@ -296,11 +296,17 @@ impl SignalVoronoiDiagram {
 
     /// The tile(s) of the known signature nearest (by rank distance) to an
     /// observed signature. Exact matches come back at distance 0.
+    /// Distance ties break on signature order, never on map iteration
+    /// order — the fallback must be reproducible across processes.
     pub fn nearest_signature(&self, sig: &TileSignature) -> Option<(&TileSignature, f64)> {
         self.by_signature
             .keys()
             .map(|k| (k, k.rank_distance(sig)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite distance")
+                    .then_with(|| a.0.cmp(b.0))
+            })
     }
 
     /// Neighbouring tiles of `id` with the shared boundary length, metres.

@@ -21,7 +21,9 @@
 //!   with tie handling, nearest-signature fallback and dead reckoning;
 //! * [`TileMapper`] — the paper-faithful Tile Mapping (Definition 5) over
 //!   the planar diagram, including the longest-tile-boundary fallback;
-//! * [`average_ranks`] — multi-device rank averaging.
+//! * [`average_ranks`] — multi-device rank averaging;
+//! * [`PositioningMetrics`] / [`TileMapperMetrics`] — lock-free counters
+//!   of which resolution path produced each fix.
 //!
 //! # Examples
 //!
@@ -51,6 +53,7 @@
 //! ```
 
 pub mod diagram;
+pub mod metrics;
 pub mod positioning;
 pub mod rank;
 pub mod route_index;
@@ -58,6 +61,7 @@ pub mod signature;
 pub mod tile_mapping;
 
 pub use diagram::{Joint, SignalCell, SignalVoronoiDiagram, SvdConfig, Tile, TileId};
+pub use metrics::{PositioningMetrics, TileMapperMetrics};
 pub use positioning::{Fix, FixMethod, PositionerConfig, Prior, RoutePositioner, TrackingFilter};
 pub use rank::{average_ranks, to_ranked, AveragedRank};
 pub use route_index::{RouteTileIndex, SubSegment};

@@ -15,10 +15,13 @@
 //! * **no matching sub-segment near the prior** — dead-reckon inside the
 //!   mobility window.
 
+use std::sync::Arc;
+
 use wilocator_geo::Point;
 use wilocator_rf::ApId;
 use wilocator_road::Route;
 
+use crate::metrics::PositioningMetrics;
 use crate::route_index::{RouteTileIndex, SubSegment};
 use crate::signature::{signature_from_ranked, TileSignature};
 
@@ -129,6 +132,9 @@ pub struct RoutePositioner {
     route: Route,
     index: RouteTileIndex,
     config: PositionerConfig,
+    /// Shared by every clone (one tracker per bus), so the counters
+    /// aggregate per route.
+    metrics: Option<Arc<PositioningMetrics>>,
 }
 
 impl RoutePositioner {
@@ -146,7 +152,20 @@ impl RoutePositioner {
             route,
             index,
             config,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics ledger; every clone of this positioner (one per
+    /// tracked bus) records into the same `Arc`.
+    pub fn with_metrics(mut self, metrics: Arc<PositioningMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics ledger, if any.
+    pub fn metrics(&self) -> Option<&Arc<PositioningMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The route being tracked.
@@ -169,6 +188,29 @@ impl RoutePositioner {
     ///
     /// Returns `None` when the scan is empty and no prior exists.
     pub fn locate(&self, ranked: &[(ApId, i32)], time_s: f64, prior: Option<Prior>) -> Option<Fix> {
+        let fix = self.locate_inner(ranked, time_s, prior);
+        if let Some(m) = &self.metrics {
+            m.locate_total.inc();
+            if ranked.is_empty() {
+                m.empty_scan_total.inc();
+            }
+            match fix.as_ref().map(|f| f.method) {
+                Some(FixMethod::Exact) => m.exact_total.inc(),
+                Some(FixMethod::TieBoundary) => m.tie_boundary_total.inc(),
+                Some(FixMethod::NearestSignature) => m.nearest_signature_total.inc(),
+                Some(FixMethod::DeadReckoned) => m.dead_reckoned_total.inc(),
+                None => m.none_total.inc(),
+            }
+        }
+        fix
+    }
+
+    fn locate_inner(
+        &self,
+        ranked: &[(ApId, i32)],
+        time_s: f64,
+        prior: Option<Prior>,
+    ) -> Option<Fix> {
         if ranked.is_empty() {
             return self.dead_reckon(time_s, prior);
         }
@@ -272,6 +314,9 @@ impl RoutePositioner {
                         // Scan contradicts the mobility window — trust the
                         // window (the paper trusts the route constraint over
                         // a single noisy scan).
+                        if let Some(m) = &self.metrics {
+                            m.mobility_override_total.inc();
+                        }
                         return self.dead_reckon(time_s, prior);
                     }
                     _ => *feasible
@@ -456,8 +501,14 @@ impl TrackingFilter {
                         s: (pr.s - 150.0 * w).max(0.0),
                         time_s: pr.time_s - 30.0 * w,
                     };
+                    if let Some(m) = &self.positioner.metrics {
+                        m.relock_attempt_total.inc();
+                    }
                     if let Some(refix) = self.positioner.locate(ranked, time_s, Some(widened)) {
                         if matches!(refix.method, FixMethod::Exact | FixMethod::TieBoundary) {
+                            if let Some(m) = &self.positioner.metrics {
+                                m.relock_success_total.inc();
+                            }
                             self.unmatched_streak = 0;
                             self.prior = Some(Prior {
                                 s: refix.s,

@@ -13,12 +13,14 @@
 //! against.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use wilocator_geo::Point;
 use wilocator_rf::ApId;
 use wilocator_road::Route;
 
 use crate::diagram::{SignalVoronoiDiagram, TileId};
+use crate::metrics::TileMapperMetrics;
 use crate::signature::signature_from_ranked;
 
 /// A tile mapped onto the route.
@@ -39,6 +41,8 @@ pub struct TileMapper {
     route: Route,
     /// Route arc-length intervals inside each tile.
     intervals: HashMap<TileId, Vec<(f64, f64)>>,
+    /// Shared resolution-path accounting for `locate` calls.
+    metrics: Option<Arc<TileMapperMetrics>>,
 }
 
 impl TileMapper {
@@ -75,7 +79,19 @@ impl TileMapper {
         TileMapper {
             route: route.clone(),
             intervals,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics ledger; clones share it.
+    pub fn with_metrics(mut self, metrics: Arc<TileMapperMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics ledger, if any.
+    pub fn metrics(&self) -> Option<&Arc<TileMapperMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The route being mapped onto.
@@ -122,11 +138,37 @@ impl TileMapper {
         if ranked.is_empty() {
             return None;
         }
+        let (pos, via_nearest) = self.locate_inner(diagram, ranked);
+        if let Some(m) = &self.metrics {
+            m.locate_total.inc();
+            if via_nearest {
+                m.nearest_signature_total.inc();
+            }
+            match &pos {
+                Some(p) if p.via_neighbor => m.via_neighbor_total.inc(),
+                Some(_) => m.direct_total.inc(),
+                None => m.miss_total.inc(),
+            }
+        }
+        pos
+    }
+
+    /// The resolution itself; the bool reports whether the
+    /// nearest-signature fallback fired.
+    fn locate_inner(
+        &self,
+        diagram: &SignalVoronoiDiagram,
+        ranked: &[(ApId, i32)],
+    ) -> (Option<MappedPosition>, bool) {
         let sig = signature_from_ranked(ranked, diagram.config().order);
         let tiles = diagram.tiles_with_signature(&sig);
+        let mut via_nearest = false;
         let tiles: Vec<TileId> = if tiles.is_empty() {
-            let (nearest, _) = diagram.nearest_signature(&sig)?;
-            diagram.tiles_with_signature(&nearest.clone()).to_vec()
+            via_nearest = true;
+            match diagram.nearest_signature(&sig) {
+                Some((nearest, _)) => diagram.tiles_with_signature(&nearest.clone()).to_vec(),
+                None => return (None, via_nearest),
+            }
         } else {
             tiles.to_vec()
         };
@@ -142,8 +184,11 @@ impl TileMapper {
                     .partial_cmp(&diagram.tile(b).map(|t| t.area_m2()))
                     .expect("finite area"),
             )
-        })?;
-        self.map_tile(diagram, best)
+        });
+        match best {
+            Some(best) => (self.map_tile(diagram, best), via_nearest),
+            None => (None, via_nearest),
+        }
     }
 
     fn map_direct(&self, diagram: &SignalVoronoiDiagram, tile: TileId) -> Option<MappedPosition> {

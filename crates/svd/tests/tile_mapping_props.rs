@@ -1,0 +1,142 @@
+//! Property-based tests for Tile Mapping (Definition 5) resolution:
+//! whatever the AP layout and whatever the rank vector, `locate` must
+//! resolve to a point on the route (directly, through the
+//! nearest-signature fallback, or through the longest-boundary
+//! neighbour) or report a miss — never panic, and never drop a call
+//! without the metrics ledger accounting for it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wilocator_geo::{BoundingBox, Point};
+use wilocator_rf::{AccessPoint, ApId, HomogeneousField, SignalField};
+use wilocator_road::{NetworkBuilder, Route, RouteId};
+use wilocator_svd::{SignalVoronoiDiagram, SvdConfig, TileMapper, TileMapperMetrics};
+
+/// A 400 m street with APs at arbitrary positions in a band around it —
+/// including positions far off the road, which force tiles that miss the
+/// route and exercise the longest-boundary fallback.
+fn scene(ap_positions: &[(f64, f64)]) -> (Route, HomogeneousField, SignalVoronoiDiagram) {
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 100.0));
+    let n1 = b.add_node(Point::new(400.0, 100.0));
+    let e = b.add_edge(n0, n1, None).expect("distinct nodes");
+    let route = Route::new(RouteId(0), "p", vec![e], &b.build()).expect("connected");
+    let aps: Vec<AccessPoint> = ap_positions
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| AccessPoint::new(ApId(i as u32), Point::new(x, y)))
+        .collect();
+    let field = HomogeneousField::new(aps);
+    let bbox = BoundingBox::new(Point::new(0.0, -60.0), Point::new(400.0, 260.0));
+    let svd = SignalVoronoiDiagram::build(&field, bbox, SvdConfig::default());
+    (route, field, svd)
+}
+
+fn ap_layout() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((10.0..390.0f64, -50.0..250.0f64), 3..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scans taken on the road: every resolution lands on the route, and
+    /// the ledger splits `locate_total` exactly into direct, neighbour
+    /// and miss resolutions.
+    #[test]
+    fn on_road_scans_resolve_and_are_accounted(
+        layout in ap_layout(),
+        ts in proptest::collection::vec(0.01..0.99f64, 1..8),
+    ) {
+        let (route, field, svd) = scene(&layout);
+        let metrics = TileMapperMetrics::shared();
+        let mapper = TileMapper::build(&svd, &route, 2.0).with_metrics(Arc::clone(&metrics));
+        let mut calls = 0u64;
+        for &t in &ts {
+            let p = route.point_at(t * route.length());
+            let ranked: Vec<(ApId, i32)> = field
+                .detectable_at(p, -90.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect();
+            if ranked.is_empty() {
+                continue;
+            }
+            calls += 1;
+            if let Some(m) = mapper.locate(&svd, &ranked) {
+                prop_assert!((0.0..=route.length()).contains(&m.s));
+                prop_assert!(route.geometry().project(m.point).distance < 1e-6);
+            }
+        }
+        let direct = metrics.direct_total.get();
+        let via_neighbor = metrics.via_neighbor_total.get();
+        let miss = metrics.miss_total.get();
+        prop_assert_eq!(metrics.locate_total.get(), calls);
+        prop_assert_eq!(direct + via_neighbor + miss, calls, "unaccounted resolution");
+        prop_assert!(metrics.nearest_signature_total.get() <= calls);
+    }
+
+    /// Fully synthetic rank vectors — including AP ids the field has
+    /// never heard of and signatures no tile carries — must never panic,
+    /// and every non-empty call still lands in exactly one resolution
+    /// bucket.
+    #[test]
+    fn arbitrary_rank_vectors_never_panic_and_are_accounted(
+        layout in ap_layout(),
+        scans in proptest::collection::vec(
+            proptest::collection::vec((0u32..12, -95i32..-30), 0..6),
+            1..10,
+        ),
+    ) {
+        let (route, _field, svd) = scene(&layout);
+        let metrics = TileMapperMetrics::shared();
+        let mapper = TileMapper::build(&svd, &route, 2.0).with_metrics(Arc::clone(&metrics));
+        let mut calls = 0u64;
+        for scan in &scans {
+            let mut ranked: Vec<(ApId, i32)> =
+                scan.iter().map(|&(a, r)| (ApId(a), r)).collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+            ranked.dedup_by_key(|(a, _)| *a);
+            let resolved = mapper.locate(&svd, &ranked);
+            if ranked.is_empty() {
+                // Empty scans are rejected before accounting.
+                prop_assert!(resolved.is_none());
+                continue;
+            }
+            calls += 1;
+            if let Some(m) = resolved {
+                prop_assert!((0.0..=route.length()).contains(&m.s));
+            }
+        }
+        prop_assert_eq!(metrics.locate_total.get(), calls);
+        prop_assert_eq!(
+            metrics.direct_total.get()
+                + metrics.via_neighbor_total.get()
+                + metrics.miss_total.get(),
+            calls,
+            "unaccounted resolution",
+        );
+    }
+
+    /// The neighbour rule itself: every tile of the diagram either maps
+    /// directly, maps through its longest-boundary neighbour (flagged
+    /// `via_neighbor`), or has no road-intersecting neighbour at all —
+    /// and mapped points always lie on the route.
+    #[test]
+    fn every_tile_maps_or_has_no_road_neighbor(layout in ap_layout()) {
+        let (route, _field, svd) = scene(&layout);
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        for tile in svd.tiles() {
+            match mapper.map_tile(&svd, tile.id()) {
+                Some(m) => {
+                    prop_assert_eq!(m.via_neighbor, !mapper.intersects_route(tile.id()));
+                    prop_assert!(route.geometry().project(m.point).distance < 1e-6);
+                }
+                None => prop_assert!(
+                    !mapper.intersects_route(tile.id()),
+                    "road-intersecting tile failed to map"
+                ),
+            }
+        }
+    }
+}

@@ -65,4 +65,26 @@ fn main() {
         agency.quantile(0.9),
         agency.max()
     );
+
+    // The server's own account of the day, from the observability layer.
+    let snapshot = out.server.metrics();
+    println!("\nserver metrics:");
+    for family in [
+        "wilocator_reports_total",
+        "wilocator_fixes_total",
+        "wilocator_reports_stale_total",
+        "wilocator_traversals_committed_total",
+        "svd_fix_exact_total",
+        "svd_fix_tie_boundary_total",
+        "svd_fix_nearest_signature_total",
+        "svd_fix_dead_reckoned_total",
+        "predict_residual_borrow_total",
+        "predict_arrival_total",
+    ] {
+        println!("  {family:<38} {}", snapshot.counter_family_total(family));
+    }
+    println!(
+        "  (full exposition: {} lines of Prometheus text)",
+        out.server.metrics_text().lines().count()
+    );
 }

@@ -4,6 +4,8 @@
 //! This umbrella crate re-exports the whole workspace under short module
 //! names. The layering, bottom to top:
 //!
+//! * [`obs`] — zero-dependency observability (counters, histograms,
+//!   metric snapshots) threaded through every hot path;
 //! * [`geo`] — planar/geodetic geometry (points, projections, polylines,
 //!   rasters, spatial index);
 //! * [`rf`] — the radio substrate (path loss, shadowing, scan simulation,
@@ -58,6 +60,7 @@ pub use wilocator_baselines as baselines;
 pub use wilocator_core as core;
 pub use wilocator_eval as eval;
 pub use wilocator_geo as geo;
+pub use wilocator_obs as obs;
 pub use wilocator_rf as rf;
 pub use wilocator_road as road;
 pub use wilocator_sim as sim;
