@@ -8,7 +8,7 @@
 //! reconfiguration or replacement": a dead AP changes every vector and
 //! the database silently degrades, which the ablation benches quantify.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::Rng;
 use wilocator_rf::{ApId, Scanner, ScannerConfig, SignalField};
@@ -19,8 +19,9 @@ use wilocator_road::Route;
 pub struct Fingerprint {
     /// Route arc length of the reference point, metres.
     pub s: f64,
-    /// Mean RSS per heard AP, dBm.
-    pub rss: HashMap<ApId, f64>,
+    /// Mean RSS per heard AP, dBm. Keyed by a `BTreeMap` so vector
+    /// comparisons walk APs in id order regardless of survey order.
+    pub rss: BTreeMap<ApId, f64>,
 }
 
 /// Configuration of the fingerprinting baseline.
@@ -90,7 +91,7 @@ impl FingerprintPositioner {
             let rss = acc
                 .into_iter()
                 .map(|(ap, (sum, n))| (ap, sum / n as f64))
-                .collect();
+                .collect::<BTreeMap<_, _>>();
             database.push(Fingerprint { s, rss });
         }
         FingerprintPositioner { config, database }
@@ -108,7 +109,7 @@ impl FingerprintPositioner {
         if observed.is_empty() || self.database.is_empty() {
             return None;
         }
-        let obs: HashMap<ApId, f64> = observed.iter().map(|&(ap, rss)| (ap, rss as f64)).collect();
+        let obs: BTreeMap<ApId, f64> = observed.iter().map(|&(ap, rss)| (ap, rss as f64)).collect();
         let mut scored: Vec<(f64, f64)> = self
             .database
             .iter()
@@ -121,17 +122,19 @@ impl FingerprintPositioner {
 
     /// Euclidean distance in signal space over the union of APs; missing
     /// readings are filled with `missing_rss_dbm`.
-    fn distance(&self, a: &HashMap<ApId, f64>, b: &HashMap<ApId, f64>) -> f64 {
+    fn distance(&self, a: &BTreeMap<ApId, f64>, b: &BTreeMap<ApId, f64>) -> f64 {
         let floor = self.config.missing_rss_dbm;
+        // Sum over the sorted AP union: float addition is not associative,
+        // so accumulating in an arbitrary order would make distances (and
+        // kNN tie-breaks) vary with the survey or hash order.
+        let mut aps: Vec<ApId> = a.keys().chain(b.keys()).copied().collect();
+        aps.sort_unstable();
+        aps.dedup();
         let mut sum = 0.0;
-        for (ap, &ra) in a {
-            let rb = b.get(ap).copied().unwrap_or(floor);
+        for ap in aps {
+            let ra = a.get(&ap).copied().unwrap_or(floor);
+            let rb = b.get(&ap).copied().unwrap_or(floor);
             sum += (ra - rb).powi(2);
-        }
-        for (ap, &rb) in b {
-            if !a.contains_key(ap) {
-                sum += (floor - rb).powi(2);
-            }
         }
         sum.sqrt()
     }

@@ -15,6 +15,9 @@
 //! the road network, the travel-time store), so the evaluation harness can
 //! swap them in head-to-head.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod cellid;
 pub mod fingerprint;
 pub mod gps;

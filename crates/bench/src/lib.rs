@@ -6,6 +6,9 @@
 //! kernels. Run everything with `cargo bench --workspace`; select workload
 //! size with `WILOCATOR_SCALE` ∈ `smoke` / `medium` (default) / `paper`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::time::Instant;
 
 /// Runs one experiment body with a standard banner and timing footer.

@@ -7,6 +7,9 @@
 //! the measurement window) reporting mean time per iteration; there is no
 //! statistical analysis, plotting, or saved baselines.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export point used by benches: an optimisation barrier.

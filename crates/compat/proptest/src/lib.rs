@@ -16,6 +16,9 @@
 //! * **Generation-level rejection.** `prop_filter`-style rejection retries
 //!   generation inline (up to a bound) instead of discarding whole cases.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod strategy;
 
 pub mod collection;

@@ -9,6 +9,9 @@
 //! from the real `rand 0.8` StdRng (ChaCha12); nothing in the repo depends
 //! on the exact stream, only on determinism.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface: a source of uniform `u64`s.

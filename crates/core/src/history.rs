@@ -8,7 +8,7 @@
 //! with the same/different routes … over other solutions that only use the
 //! data of the same route").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wilocator_road::{EdgeId, RouteId};
 
@@ -31,9 +31,13 @@ impl Traversal {
 }
 
 /// Per-segment travel-time records, ordered by exit time.
+///
+/// Keyed by a `BTreeMap` so [`TravelTimeStore::edges`] yields segments in
+/// id order: predictor training iterates this map, and replay output must
+/// be byte-identical across processes (hash order is seeded per process).
 #[derive(Debug, Clone, Default)]
 pub struct TravelTimeStore {
-    by_edge: HashMap<EdgeId, Vec<Traversal>>,
+    by_edge: BTreeMap<EdgeId, Vec<Traversal>>,
 }
 
 impl TravelTimeStore {
@@ -58,7 +62,7 @@ impl TravelTimeStore {
             Some(last) if last.t_exit <= traversal.t_exit => v.push(traversal),
             _ => {
                 let pos = v
-                    .binary_search_by(|t| t.t_exit.partial_cmp(&traversal.t_exit).expect("finite"))
+                    .binary_search_by(|t| t.t_exit.total_cmp(&traversal.t_exit))
                     .unwrap_or_else(|e| e);
                 v.insert(pos, traversal);
             }
@@ -85,7 +89,7 @@ impl TravelTimeStore {
         self.len() == 0
     }
 
-    /// Segments with at least one record.
+    /// Segments with at least one record, in ascending id order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.by_edge.keys().copied()
     }
@@ -100,7 +104,7 @@ impl TravelTimeStore {
                 v.extend_from_slice(records);
             } else {
                 v.extend_from_slice(records);
-                v.sort_by(|a, b| a.t_exit.partial_cmp(&b.t_exit).expect("finite"));
+                v.sort_by(|a, b| a.t_exit.total_cmp(&b.t_exit));
             }
         }
     }
@@ -120,7 +124,7 @@ impl TravelTimeStore {
         let all = self.traversals(edge);
         // Records are sorted by exit time: jump to the window start.
         let start = all.partition_point(|tr| tr.t_exit <= t - window_s);
-        let mut latest: HashMap<RouteId, Traversal> = HashMap::new();
+        let mut latest: BTreeMap<RouteId, Traversal> = BTreeMap::new();
         for tr in &all[start..] {
             if tr.t_exit >= t {
                 break;
@@ -130,8 +134,10 @@ impl TravelTimeStore {
                 *e = *tr;
             }
         }
+        // Exit-time ties between routes break on route id (the BTreeMap
+        // iteration order), never on hash order — replay determinism.
         let mut out: Vec<Traversal> = latest.into_values().collect();
-        out.sort_by(|a, b| a.t_exit.partial_cmp(&b.t_exit).expect("finite"));
+        out.sort_by(|a, b| a.t_exit.total_cmp(&b.t_exit));
         out
     }
 

@@ -13,7 +13,7 @@
 //! and last segments (Equation 9), re-evaluating the slot as predicted
 //! time accumulates ("the computation will be separated slot-by-slot").
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use wilocator_road::{EdgeId, Route, RouteId};
@@ -64,9 +64,10 @@ pub struct ArrivalPredictor {
     default_partition: SlotPartition,
     /// Historical means frozen at training time:
     /// `(edge, route filter, slot filter) → (mean, count)`. Populated by
-    /// [`ArrivalPredictor::train`]; makes online queries O(1) instead of a
-    /// scan over the store.
-    mean_cache: HashMap<MeanKey, (f64, usize)>,
+    /// [`ArrivalPredictor::train`]; makes online queries O(log n) instead
+    /// of a scan over the store. Ordered so training-time iteration is
+    /// deterministic across processes.
+    mean_cache: BTreeMap<MeanKey, (f64, usize)>,
     /// Train/predict accounting; clones of this predictor share it.
     metrics: Arc<PredictorMetrics>,
 }
@@ -78,7 +79,7 @@ impl ArrivalPredictor {
             config,
             partitions: HashMap::new(),
             default_partition: SlotPartition::whole_day(),
-            mean_cache: HashMap::new(),
+            mean_cache: BTreeMap::new(),
             metrics: Arc::new(PredictorMetrics::default()),
         }
     }
@@ -121,7 +122,7 @@ impl ArrivalPredictor {
                 .get(&edge)
                 .cloned()
                 .unwrap_or_else(SlotPartition::whole_day);
-            let add = |key: MeanKey, tt: f64, cache: &mut HashMap<MeanKey, (f64, usize)>| {
+            let add = |key: MeanKey, tt: f64, cache: &mut BTreeMap<MeanKey, (f64, usize)>| {
                 let e = cache.entry(key).or_insert((0.0, 0));
                 e.0 += tt;
                 e.1 += 1;

@@ -8,7 +8,7 @@
 //! device scans by RSS-vector similarity, so one driver's identified route
 //! (voice announcement or text input) propagates to every rider on board.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wilocator_rf::{ApId, Scan};
 
@@ -27,8 +27,11 @@ impl std::fmt::Display for DeviceId {
 /// penalty per AP heard by exactly one device. Lower = closer. Returns
 /// `f64::INFINITY` when the scans share no AP at all.
 pub fn scan_distance_db(a: &Scan, b: &Scan, miss_penalty_db: f64) -> f64 {
-    let map_a: HashMap<ApId, i32> = a.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
-    let map_b: HashMap<ApId, i32> = b.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
+    // BTreeMaps so the float accumulation below runs in ApId order:
+    // f64 addition is commutative but not associative, and this distance
+    // feeds clustering decisions that must replay identically.
+    let map_a: BTreeMap<ApId, i32> = a.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
+    let map_b: BTreeMap<ApId, i32> = b.readings.iter().map(|r| (r.ap, r.rss_dbm)).collect();
     let mut shared = 0usize;
     let mut sum = 0.0;
     let mut misses = 0usize;
@@ -103,7 +106,7 @@ pub fn group_by_proximity(
             }
         }
     }
-    let mut clusters: HashMap<usize, Vec<DeviceId>> = HashMap::new();
+    let mut clusters: BTreeMap<usize, Vec<DeviceId>> = BTreeMap::new();
     for (i, &(device, _)) in scans.iter().enumerate() {
         let root = find(&mut parent, i);
         clusters.entry(root).or_default().push(device);
@@ -112,7 +115,13 @@ pub fn group_by_proximity(
     for c in &mut out {
         c.sort_unstable();
     }
-    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    // Clusters hold at least one device each, so `first()` never ties on
+    // `None`; comparing Options avoids the indexing panic path outright.
+    out.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.first().cmp(&b.first()))
+    });
     out
 }
 

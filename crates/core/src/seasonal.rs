@@ -132,7 +132,7 @@ impl SlotPartition {
     /// Creates a partition from interior boundaries (sorted, deduplicated).
     pub fn new(mut boundaries: Vec<f64>) -> Self {
         boundaries.retain(|b| (0.0..DAY_S).contains(b));
-        boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        boundaries.sort_by(|a, b| a.total_cmp(b));
         boundaries.dedup();
         SlotPartition { boundaries }
     }

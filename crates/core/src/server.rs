@@ -200,6 +200,18 @@ fn shard_partition(routes: &[Route]) -> (Vec<usize>, usize) {
     (shards, count)
 }
 
+/// Enters a lock even when a previous holder panicked.
+///
+/// Shard and directory state are plain data with no multi-step invariant
+/// spanning an unlock, so the state behind a poisoned lock is still
+/// consistent; recovering the guard keeps one panicked request from
+/// turning into a permanently poisoned server. The serving path itself is
+/// panic-free (enforced by wilocator-lint W002), so in practice this
+/// recovery never fires.
+fn unpoisoned<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The WiLocator server.
 ///
 /// # Examples
@@ -330,9 +342,7 @@ impl WiLocator {
     }
 
     fn shard_for_bus(&self, bus: BusKey) -> Result<usize, CoreError> {
-        self.bus_dir
-            .read()
-            .expect("bus directory lock")
+        unpoisoned(self.bus_dir.read())
             .get(&bus)
             .copied()
             .ok_or(CoreError::UnknownBus(bus))
@@ -349,35 +359,27 @@ impl WiLocator {
             .get(&route)
             .ok_or(CoreError::UnknownRoute(route))?;
         let shard_idx = self.shard_for_route(route)?;
-        let mut dir = self.bus_dir.write().expect("bus directory lock");
+        let mut dir = unpoisoned(self.bus_dir.write());
         // Re-registration moves the bus: clear any previous tracker first
         // (one shard lock at a time, directory lock held throughout).
         let previous = dir.insert(bus, shard_idx);
         if let Some(old) = previous {
             if old != shard_idx {
-                self.shards[old]
-                    .write()
-                    .expect("shard lock")
-                    .buses
-                    .remove(&bus);
+                unpoisoned(self.shards[old].write()).buses.remove(&bus);
             }
         }
         self.server_metrics.buses_registered_total.inc();
         if previous.is_none() {
             self.server_metrics.active_buses.inc();
         }
-        self.shards[shard_idx]
-            .write()
-            .expect("shard lock")
-            .buses
-            .insert(
-                bus,
-                BusState {
-                    route,
-                    tracker: BusTracker::new(positioner.clone()),
-                    committed_upto: 0,
-                },
-            );
+        unpoisoned(self.shards[shard_idx].write()).buses.insert(
+            bus,
+            BusState {
+                route,
+                tracker: BusTracker::new(positioner.clone()),
+                committed_upto: 0,
+            },
+        );
         Ok(())
     }
 
@@ -440,7 +442,7 @@ impl WiLocator {
         let result = match self.shard_for_bus(report.bus) {
             Ok(shard_idx) => {
                 let metrics = &self.shard_metrics[shard_idx];
-                let mut shard = self.shards[shard_idx].write().expect("shard lock");
+                let mut shard = unpoisoned(self.shards[shard_idx].write());
                 let _hold = metrics.lock_hold_us.time();
                 Self::ingest_locked(&mut shard, metrics, report, self.config.commit_margin_m)
             }
@@ -472,7 +474,7 @@ impl WiLocator {
         let mut results: Vec<IngestResult> = vec![Ok(None); reports.len()];
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         {
-            let dir = self.bus_dir.read().expect("bus directory lock");
+            let dir = unpoisoned(self.bus_dir.read());
             for (i, report) in reports.iter().enumerate() {
                 match dir.get(&report.bus) {
                     Some(&s) => groups[s].push(i),
@@ -489,7 +491,7 @@ impl WiLocator {
             // batch still amortises one lock acquisition per busy shard.
             for &s in &busy {
                 let metrics = &self.shard_metrics[s];
-                let mut shard = self.shards[s].write().expect("shard lock");
+                let mut shard = unpoisoned(self.shards[s].write());
                 let _hold = metrics.lock_hold_us.time();
                 for &i in &groups[s] {
                     results[i] = Self::ingest_locked(&mut shard, metrics, &reports[i], margin);
@@ -506,7 +508,7 @@ impl WiLocator {
                     let lock = &self.shards[s];
                     let metrics = &self.shard_metrics[s];
                     scope.spawn(move || {
-                        let mut shard = lock.write().expect("shard lock");
+                        let mut shard = unpoisoned(lock.write());
                         let _hold = metrics.lock_hold_us.time();
                         let local = indices
                             .iter()
@@ -518,7 +520,13 @@ impl WiLocator {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("ingest shard thread"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // A panicked shard thread is a bug in ingest itself;
+                    // re-raise the original payload rather than masking it
+                    // behind a generic message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         for (s, local) in per_shard {
@@ -545,13 +553,13 @@ impl WiLocator {
     /// Returns [`CoreError::UnknownBus`] for unregistered buses.
     pub fn finish_bus(&self, bus: BusKey) -> Result<(), CoreError> {
         let shard_idx = {
-            let mut dir = self.bus_dir.write().expect("bus directory lock");
+            let mut dir = unpoisoned(self.bus_dir.write());
             dir.remove(&bus).ok_or(CoreError::UnknownBus(bus))?
         };
         self.server_metrics.active_buses.dec();
         self.server_metrics.buses_finished_total.inc();
         let metrics = &self.shard_metrics[shard_idx];
-        let mut shard = self.shards[shard_idx].write().expect("shard lock");
+        let mut shard = unpoisoned(self.shards[shard_idx].write());
         let _hold = metrics.lock_hold_us.time();
         let state = shard.buses.remove(&bus).ok_or(CoreError::UnknownBus(bus))?;
         let route = state.tracker.route();
@@ -577,14 +585,14 @@ impl WiLocator {
     /// The latest position fix of a bus.
     pub fn position(&self, bus: BusKey) -> Option<Fix> {
         let shard_idx = self.shard_for_bus(bus).ok()?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         shard.buses.get(&bus)?.tracker.trajectory().last().copied()
     }
 
     /// The tracked trajectory fixes of a bus.
     pub fn trajectory(&self, bus: BusKey) -> Option<Vec<Fix>> {
         let shard_idx = self.shard_for_bus(bus).ok()?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         Some(shard.buses.get(&bus)?.tracker.trajectory().fixes().to_vec())
     }
 
@@ -596,7 +604,7 @@ impl WiLocator {
     pub fn train(&self, as_of: f64) {
         self.server_metrics.train_calls_total.inc();
         for lock in &self.shards {
-            let shard = &mut *lock.write().expect("shard lock");
+            let shard = &mut *unpoisoned(lock.write());
             shard.predictor.train(&shard.store, as_of);
         }
     }
@@ -609,7 +617,7 @@ impl WiLocator {
     /// Returns [`CoreError::UnknownBus`] / [`CoreError::UnknownStop`].
     pub fn predict_arrival(&self, bus: BusKey, stop: StopId) -> Result<f64, CoreError> {
         let shard_idx = self.shard_for_bus(bus)?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         let state = shard.buses.get(&bus).ok_or(CoreError::UnknownBus(bus))?;
         let route = state.tracker.route();
         let stop = route.stop(stop).ok_or(CoreError::UnknownStop(stop))?;
@@ -638,7 +646,7 @@ impl WiLocator {
     ) -> Result<f64, CoreError> {
         let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
         let shard_idx = self.shard_for_route(route)?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         Ok(shard
             .predictor
             .predict_arrival(&shard.store, r, current_s, t, stop_s))
@@ -659,9 +667,10 @@ impl WiLocator {
         let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
         let stop = r.stop(stop).ok_or(CoreError::UnknownStop(stop))?;
         let shard_idx = self.shard_for_route(route)?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         let mut out: Vec<(BusKey, f64)> = shard
             .buses
+            // lint: allow(unordered_iter) — collected, then sorted by (arrival time, bus key) before returning
             .iter()
             .filter(|(_, b)| b.route == route)
             .filter_map(|(&key, b)| {
@@ -680,7 +689,9 @@ impl WiLocator {
                 })
             })
             .collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        // Arrival-time ties (buses at the same fix) order by bus key, so
+        // the rider-facing list replays identically across processes.
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         Ok(out)
     }
 
@@ -692,7 +703,7 @@ impl WiLocator {
     pub fn traffic_map(&self, route: RouteId, t: f64) -> Result<Vec<SegmentState>, CoreError> {
         let r = self.route(route).ok_or(CoreError::UnknownRoute(route))?;
         let shard_idx = self.shard_for_route(route)?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         Ok(shard
             .traffic
             .route_map(&shard.store, &shard.predictor, r, t))
@@ -704,7 +715,7 @@ impl WiLocator {
     pub fn with_store<T>(&self, f: impl FnOnce(&TravelTimeStore) -> T) -> T {
         let mut merged = TravelTimeStore::new();
         for lock in &self.shards {
-            merged.merge_from(&lock.read().expect("shard lock").store);
+            merged.merge_from(&unpoisoned(lock.read()).store);
         }
         f(&merged)
     }
@@ -721,7 +732,7 @@ impl WiLocator {
         f: impl FnOnce(&ArrivalPredictor) -> T,
     ) -> Result<T, CoreError> {
         let shard_idx = self.shard_for_route(route)?;
-        let shard = self.shards[shard_idx].read().expect("shard lock");
+        let shard = unpoisoned(self.shards[shard_idx].read());
         Ok(f(&shard.predictor))
     }
 

@@ -193,7 +193,7 @@ pub fn delta_from_median(displacements: &[f64], fraction: f64) -> f64 {
         return 1.0;
     }
     let mut sorted = displacements.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     (sorted[sorted.len() / 2] * fraction).max(1.0)
 }
 

@@ -15,6 +15,9 @@
 //!   `fig8` (a/b/c), `fig9` (a/b), `fig10`, `fig11`, `seasonal_slots`,
 //!   and `ablation`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;

@@ -133,11 +133,15 @@ impl<T> GridIndex<T> {
         }
     }
 
-    /// Iterates over all `(position, &item)` pairs in arbitrary order.
+    /// Iterates over all `(position, &item)` pairs in cell order (row-major
+    /// over bucket keys), so enumeration replays identically across
+    /// processes. Point lookups stay on the hash map; this path is cold.
     pub fn iter(&self) -> impl Iterator<Item = (Point, &T)> {
-        self.buckets
-            .values()
-            .flat_map(|b| b.iter().map(|(p, t)| (*p, t)))
+        let mut cells: Vec<_> = self.buckets.iter().collect();
+        cells.sort_unstable_by_key(|&(k, _)| *k);
+        cells
+            .into_iter()
+            .flat_map(|(_, b)| b.iter().map(|(p, t)| (*p, t)))
     }
 }
 

@@ -34,6 +34,9 @@
 //! assert!(p.y.abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod bbox;
 pub mod grid;
 pub mod index;

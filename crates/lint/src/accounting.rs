@@ -1,0 +1,204 @@
+//! W004: accounting exhaustiveness.
+//!
+//! The serving path promises complete metrics accounting: every ingest
+//! report lands in exactly one outcome counter, and every positioning fix
+//! lands in exactly one method counter. Concretely, every variant of the
+//! accounted enums (`IngestOutcome`, `FixMethod`) must appear in at least
+//! one *accounting match arm* — an arm that increments a counter — and
+//! all its accounting arms must agree on a single counter family.
+//!
+//! The checker parses enum definitions from source (so adding a variant
+//! without wiring its counter fails CI) and cross-references
+//! `EnumName::Variant =>` match arms against `.inc()` / `.add(` call
+//! sites inside the arm.
+
+use crate::diag::{Rule, Violation};
+use crate::lexer::{is_ident_char, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Enums whose variants must be exhaustively accounted.
+pub const ACCOUNTED_ENUMS: [&str; 2] = ["IngestOutcome", "FixMethod"];
+
+/// How many lines past the `=>` to scan for the arm's counter increment.
+/// Single-expression arms hit on the same line; block arms within a few.
+const ARM_WINDOW: usize = 3;
+
+#[derive(Debug, Default)]
+struct EnumInfo {
+    /// File and 1-based line of the `enum` definition.
+    def_site: Option<(String, usize)>,
+    variants: Vec<String>,
+    /// variant -> set of counter field names seen in accounting arms.
+    counters: BTreeMap<String, BTreeSet<String>>,
+}
+
+pub fn w004_accounting(files: &[&SourceFile], out: &mut Vec<Violation>) {
+    let mut enums: BTreeMap<&str, EnumInfo> = BTreeMap::new();
+    for name in ACCOUNTED_ENUMS {
+        enums.insert(name, EnumInfo::default());
+    }
+
+    // Pass 1: find enum definitions and collect variants.
+    for file in files {
+        for name in ACCOUNTED_ENUMS {
+            let needle = format!("enum {name}");
+            for (idx, line) in file.lines.iter().enumerate() {
+                if !line.code.contains(&needle) || line.is_test {
+                    continue;
+                }
+                let info = enums.get_mut(name).expect("preseeded enum map");
+                info.def_site = Some((file.path.clone(), idx + 1));
+                info.variants = parse_variants(file, idx);
+            }
+        }
+    }
+
+    // Pass 2: find accounting match arms.
+    for file in files {
+        for name in ACCOUNTED_ENUMS {
+            let needle = format!("{name}::");
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.is_test {
+                    continue;
+                }
+                let code = &line.code;
+                // Only match arms: `EnumName::Variant … =>`.
+                if !code.contains(&needle) || !code.contains("=>") {
+                    continue;
+                }
+                let mut search = 0;
+                while let Some(found) = code[search..].find(&needle) {
+                    let at = search + found + needle.len();
+                    let variant: String = code[at..]
+                        .chars()
+                        .take_while(|&c| is_ident_char(c))
+                        .collect();
+                    search = at;
+                    if variant.is_empty() {
+                        continue;
+                    }
+                    if let Some(counter) = arm_counter(file, idx) {
+                        enums
+                            .get_mut(name)
+                            .expect("preseeded enum map")
+                            .counters
+                            .entry(variant)
+                            .or_default()
+                            .insert(counter);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: every variant accounted by exactly one counter family.
+    for (name, info) in &enums {
+        let Some((def_file, def_line)) = &info.def_site else {
+            // Enum not present in this file set (e.g. a fixture run that
+            // exercises only one enum): nothing to check.
+            continue;
+        };
+        for variant in &info.variants {
+            match info.counters.get(variant) {
+                None => out.push(
+                    Violation::new(
+                        Rule::Accounting,
+                        def_file,
+                        *def_line,
+                        format!(
+                            "variant `{name}::{variant}` is never accounted: no match arm increments a counter for it"
+                        ),
+                    )
+                    .with_note(
+                        "every outcome must land in a metrics counter so totals reconcile; wire the new variant into the accounting match",
+                    ),
+                ),
+                Some(set) if set.len() > 1 => {
+                    let list = set.iter().cloned().collect::<Vec<_>>().join("`, `");
+                    out.push(
+                        Violation::new(
+                            Rule::Accounting,
+                            def_file,
+                            *def_line,
+                            format!(
+                                "variant `{name}::{variant}` increments {} counter families (`{list}`); accounting must be one-to-one",
+                                set.len()
+                            ),
+                        )
+                        .with_note("double counting breaks the reconciliation invariant (sum of outcomes == total)"),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Collects variant names from an enum body starting at `def_idx`.
+fn parse_variants(file: &SourceFile, def_idx: usize) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut started = false;
+    for (offset, line) in file.lines[def_idx..].iter().enumerate() {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    started = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if started && depth <= 0 && offset > 0 {
+            break;
+        }
+        if !started || offset == 0 {
+            continue;
+        }
+        let t = line.code.trim();
+        if t.is_empty() || t.starts_with("#[") || t.starts_with('}') {
+            continue;
+        }
+        let name: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+        if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            variants.push(name);
+        }
+    }
+    variants
+}
+
+/// The counter incremented by the match arm at `idx`: the field name
+/// receiving `.inc()` or `.add(` on the arm line or shortly after.
+fn arm_counter(file: &SourceFile, idx: usize) -> Option<String> {
+    let arrow = file.lines[idx].code.find("=>")?;
+    let end = (idx + 1 + ARM_WINDOW).min(file.lines.len());
+    for (k, line) in file.lines[idx..end].iter().enumerate() {
+        let code = if k == 0 {
+            &line.code[arrow..]
+        } else {
+            &line.code
+        };
+        // Stop at the next arm so one arm's counter is not attributed to
+        // the previous variant.
+        if k > 0 && code.contains("=>") {
+            break;
+        }
+        for pat in [".inc()", ".add("] {
+            if let Some(at) = code.find(pat) {
+                let field: String = code[..at]
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if !field.is_empty() {
+                    return Some(field);
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,118 @@
+//! Rule identifiers and rustc-style diagnostics.
+
+use std::fmt;
+
+/// The lint rules. Each has a code (`W00x`) used in diagnostics and a
+/// slug used in `// lint: allow(<slug>) — <reason>` pragmas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// W001: iteration over `HashMap`/`HashSet` in a deterministic crate
+    /// without an order-insensitive sink.
+    UnorderedIter,
+    /// W002: panic paths (`unwrap`, `expect`, `panic!`, …) in non-test
+    /// library code of a serving crate.
+    PanicInLibrary,
+    /// W003: atomic orderings stronger than `Relaxed`, or undocumented
+    /// cross-field atomic read sequences, in `crates/obs`.
+    AtomicOrdering,
+    /// W004: an accounted enum variant that does not increment exactly
+    /// one metrics counter family.
+    Accounting,
+    /// W005: malformed, unknown, or unused allow pragmas.
+    PragmaHygiene,
+}
+
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::UnorderedIter,
+    Rule::PanicInLibrary,
+    Rule::AtomicOrdering,
+    Rule::Accounting,
+    Rule::PragmaHygiene,
+];
+
+impl Rule {
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "W001",
+            Rule::PanicInLibrary => "W002",
+            Rule::AtomicOrdering => "W003",
+            Rule::Accounting => "W004",
+            Rule::PragmaHygiene => "W005",
+        }
+    }
+
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "unordered_iter",
+            Rule::PanicInLibrary => "panic_in_library",
+            Rule::AtomicOrdering => "atomic_ordering",
+            Rule::Accounting => "accounting",
+            Rule::PragmaHygiene => "pragma_hygiene",
+        }
+    }
+
+    pub fn from_slug(slug: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.slug() == slug)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One diagnostic: rule, location, message, optional help note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+    pub note: Option<String>,
+}
+
+impl Violation {
+    pub fn new(rule: Rule, file: &str, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Renders the diagnostic in rustc style:
+    ///
+    /// ```text
+    /// error[W001]: iteration over HashMap `by_edge` is order-sensitive
+    ///   --> crates/core/src/history.rs:90
+    ///   = help: sort the keys or use a BTreeMap
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "error[{}]: {}\n  --> {}:{}",
+            self.rule.code(),
+            self.message,
+            self.file,
+            self.line
+        );
+        if let Some(note) = &self.note {
+            out.push_str(&format!("\n  = help: {note}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}

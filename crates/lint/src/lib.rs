@@ -1,0 +1,178 @@
+//! `wilocator-lint`: workspace static analysis for the WiLocator
+//! reproduction.
+//!
+//! A zero-dependency, offline lint pass (lightweight lexer + line/scope
+//! analyzer — deliberately no `syn`, per the vendored-shim constraint)
+//! that machine-checks the three invariants the serving system depends
+//! on and that code review kept re-discovering per flake:
+//!
+//! | rule | slug                | checks |
+//! |------|---------------------|--------|
+//! | W001 | `unordered_iter`    | no hash-ordered iteration feeding deterministic output |
+//! | W002 | `panic_in_library`  | no panic paths in serving-crate library code |
+//! | W003 | `atomic_ordering`   | Relaxed-only metrics atomics; documented snapshot tearing |
+//! | W004 | `accounting`        | every accounted enum variant hits exactly one counter family |
+//! | W005 | `pragma_hygiene`    | allow pragmas are real, reasoned, and used |
+//!
+//! Run it as `cargo run -p wilocator-lint -- --workspace`; it prints
+//! rustc-style diagnostics and exits nonzero on any violation. See
+//! DESIGN.md §8 for the rule catalog and the pragma escape hatch.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod accounting;
+pub mod diag;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+pub use diag::{Rule, Violation, ALL_RULES};
+pub use lexer::SourceFile;
+pub use rules::FileContext;
+
+use pragma::PragmaSet;
+use std::path::{Path, PathBuf};
+
+/// Crates whose outputs must replay byte-identically (W001 scope).
+pub const DETERMINISTIC_CRATES: [&str; 5] = ["svd", "core", "road", "geo", "baselines"];
+/// Crates on the serving path that must not panic (W002 scope).
+pub const SERVING_CRATES: [&str; 3] = ["core", "svd", "obs"];
+/// The lock-free observability crate (W003 scope).
+pub const OBSERVABILITY_CRATES: [&str; 1] = ["obs"];
+
+/// The rule context for a workspace-relative path like
+/// `crates/core/src/server.rs`.
+pub fn context_for_path(path: &str) -> FileContext {
+    let unixy = path.replace('\\', "/");
+    let krate = unixy
+        .split('/')
+        .skip_while(|s| *s != "crates")
+        .nth(1)
+        .unwrap_or("");
+    FileContext {
+        deterministic: DETERMINISTIC_CRATES.contains(&krate),
+        serving: SERVING_CRATES.contains(&krate),
+        observability: OBSERVABILITY_CRATES.contains(&krate),
+    }
+}
+
+/// Lints a set of lexed files, each under its own context, and returns
+/// all violations sorted by (file, line, rule).
+pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
+    let sources: Vec<&SourceFile> = files.iter().map(|(f, _)| f).collect();
+    let mut pragmas = PragmaSet::collect(sources.iter().copied());
+    let mut out = Vec::new();
+    for (file, ctx) in files {
+        if ctx.deterministic {
+            rules::w001_unordered_iter(file, &mut pragmas, &mut out);
+        }
+        if ctx.serving {
+            rules::w002_panic_in_library(file, &mut pragmas, &mut out);
+        }
+        if ctx.observability {
+            rules::w003_atomic_ordering(file, &mut pragmas, &mut out);
+        }
+    }
+    accounting::w004_accounting(&sources, &mut out);
+    out.extend(pragmas.hygiene_violations());
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Lints one file with every rule enabled — the fixture/self-test entry
+/// point.
+pub fn analyze_file_all_rules(path: &str, text: &str) -> Vec<Violation> {
+    let file = SourceFile::parse(path, text);
+    analyze(&[(file, FileContext::all())])
+}
+
+/// Walks the workspace at `root` and lints every in-scope crate source
+/// file (crate `src/` trees only; integration tests, benches and
+/// examples are exercised code, not serving code).
+pub fn run_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    let mut crates: Vec<String> = DETERMINISTIC_CRATES
+        .iter()
+        .chain(SERVING_CRATES.iter())
+        .chain(OBSERVABILITY_CRATES.iter())
+        .map(|s| s.to_string())
+        .collect();
+    crates.sort();
+    crates.dedup();
+    for krate in crates {
+        let src = root.join("crates").join(&krate).join("src");
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths);
+        paths.sort();
+        for p in paths {
+            let text = match std::fs::read_to_string(&p) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let ctx = context_for_path(&rel);
+            files.push((SourceFile::parse(rel, &text), ctx));
+        }
+    }
+    analyze(&files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_scopes_rules_by_crate() {
+        let core = context_for_path("crates/core/src/server.rs");
+        assert!(core.deterministic && core.serving && !core.observability);
+        let obs = context_for_path("crates/obs/src/counter.rs");
+        assert!(!obs.deterministic && obs.serving && obs.observability);
+        let sim = context_for_path("crates/sim/src/lib.rs");
+        assert!(!sim.deterministic && !sim.serving && !sim.observability);
+    }
+
+    #[test]
+    fn violations_sort_stably() {
+        let src = "fn f(m: std::collections::HashMap<u32, u32>) -> u32 {\n    let mut t = 0.0;\n    for v in m.values() { t += *v as f64; }\n    x.unwrap()\n}\n";
+        let v = analyze_file_all_rules("fixture.rs", src);
+        assert!(v.windows(2).all(|w| w[0].line <= w[1].line));
+        assert!(v.iter().any(|v| v.rule == Rule::UnorderedIter));
+        assert!(v.iter().any(|v| v.rule == Rule::PanicInLibrary));
+    }
+}

@@ -1,0 +1,85 @@
+//! CLI for `wilocator-lint`.
+//!
+//! ```text
+//! cargo run -p wilocator-lint -- --workspace     # lint the whole tree
+//! cargo run -p wilocator-lint -- path/to/file.rs # lint files (all rules)
+//! cargo run -p wilocator-lint -- --rules         # print the rule catalog
+//! ```
+//!
+//! Exits 0 when clean, 1 on any violation (including pragma-hygiene), 2
+//! on usage errors.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use wilocator_lint::{analyze_file_all_rules, find_workspace_root, run_workspace, ALL_RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for rule in ALL_RULES {
+            println!("{}  allow({})", rule.code(), rule.slug());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let violations = if args.iter().any(|a| a == "--workspace") {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("wilocator-lint: cannot read current dir: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!(
+                "wilocator-lint: no [workspace] Cargo.toml above {}",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        };
+        run_workspace(&root)
+    } else {
+        let mut all = Vec::new();
+        for arg in &args {
+            if arg.starts_with('-') {
+                eprintln!("wilocator-lint: unknown flag `{arg}`");
+                return ExitCode::from(2);
+            }
+            match std::fs::read_to_string(Path::new(arg)) {
+                Ok(text) => all.extend(analyze_file_all_rules(arg, &text)),
+                Err(e) => {
+                    eprintln!("wilocator-lint: cannot read {arg}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        all
+    };
+
+    for v in &violations {
+        println!("{v}\n");
+    }
+    if violations.is_empty() {
+        println!("wilocator-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("wilocator-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: wilocator-lint --workspace | --rules | <file.rs>...\n\
+         Checks determinism (W001), panic-freedom (W002), atomic orderings\n\
+         (W003), accounting exhaustiveness (W004) and pragma hygiene (W005)."
+    );
+}

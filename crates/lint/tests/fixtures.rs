@@ -1,0 +1,95 @@
+//! Fixture corpus self-test: every `fixtures/bad/wNNN_*.rs` must trip
+//! the rule named by its filename prefix, every `fixtures/good/*.rs`
+//! must come back completely clean (all rules enabled), and the
+//! workspace itself must lint clean — the tool gates CI, so a rule that
+//! silently stops firing is itself a regression.
+
+use std::path::{Path, PathBuf};
+use wilocator_lint::{analyze_file_all_rules, find_workspace_root, run_workspace};
+
+fn fixture_files(kind: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(kind);
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no fixtures under {}", dir.display());
+    out
+}
+
+/// `w001_hashmap_iter.rs` → `"W001"`.
+fn expected_code(path: &Path) -> String {
+    let name = path.file_stem().expect("file stem").to_string_lossy();
+    let prefix = name.split('_').next().expect("wNNN_ prefix");
+    assert!(
+        prefix.len() == 4 && prefix.starts_with('w'),
+        "bad fixture name {name}: want wNNN_<slug>.rs"
+    );
+    prefix.to_ascii_uppercase()
+}
+
+#[test]
+fn bad_fixtures_trip_their_rule() {
+    let mut seen = std::collections::BTreeSet::new();
+    for path in fixture_files("bad") {
+        let want = expected_code(&path);
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let violations = analyze_file_all_rules(&path.to_string_lossy(), &text);
+        assert!(
+            violations.iter().any(|v| v.rule.code() == want),
+            "{}: expected a {want} violation, got: {:?}",
+            path.display(),
+            violations.iter().map(|v| v.rule.code()).collect::<Vec<_>>()
+        );
+        seen.insert(want);
+    }
+    for code in ["W001", "W002", "W003", "W004", "W005"] {
+        assert!(seen.contains(code), "no bad fixture exercises {code}");
+    }
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    let mut seen = std::collections::BTreeSet::new();
+    for path in fixture_files("good") {
+        let want = expected_code(&path);
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let violations = analyze_file_all_rules(&path.to_string_lossy(), &text);
+        assert!(
+            violations.is_empty(),
+            "{}: expected clean, got:\n{}",
+            path.display(),
+            violations
+                .iter()
+                .map(|v| v.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        seen.insert(want);
+    }
+    for code in ["W001", "W002", "W003", "W004", "W005"] {
+        assert!(seen.contains(code), "no good fixture exercises {code}");
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let violations = run_workspace(&root);
+    assert!(
+        violations.is_empty(),
+        "workspace lint regressed:\n{}",
+        violations
+            .iter()
+            .map(|v| v.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,12 @@
+//! Bad: HashMap iteration feeding a float accumulation — the sum's
+//! rounding depends on hash order, which is seeded per process.
+
+use std::collections::HashMap;
+
+pub fn mean_rss(readings: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for v in readings.values() {
+        sum += v;
+    }
+    sum / readings.len().max(1) as f64
+}

@@ -1,0 +1,30 @@
+//! Regression fixture: the original `nearest_signature` bug shape from
+//! PR 2. Rank-distance ties between candidate signatures were broken by
+//! `HashMap` iteration order — `min_by` keeps the first minimum it sees,
+//! and "first" depended on the per-process hash seed, silently corrupting
+//! the Fig. 10 campus-error reproduction across runs.
+
+use std::collections::HashMap;
+
+pub struct Diagram {
+    by_signature: HashMap<Vec<u32>, Vec<u32>>,
+}
+
+impl Diagram {
+    pub fn nearest_signature(&self, sig: &[u32]) -> Option<(&Vec<u32>, f64)> {
+        self.by_signature
+            .keys()
+            .map(|k| (k, rank_distance(k, sig)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+fn rank_distance(a: &[u32], b: &[u32]) -> f64 {
+    let mut d = 0.0;
+    for (i, x) in a.iter().enumerate() {
+        if b.get(i) != Some(x) {
+            d += 1.0;
+        }
+    }
+    d
+}

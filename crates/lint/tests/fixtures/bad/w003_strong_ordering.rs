@@ -1,0 +1,18 @@
+//! Bad: SeqCst on a hot-path counter — a full fence per increment on
+//! weakly-ordered targets, buying nothing for a monotonic ledger.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+}

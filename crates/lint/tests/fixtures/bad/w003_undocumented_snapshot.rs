@@ -1,0 +1,20 @@
+//! Bad: a cross-field read sequence with no tearing documentation. The
+//! two Relaxed loads are individually atomic but not mutually consistent;
+//! a concurrent `record` can land between them, so `sum`/`count` may
+//! disagree — and nothing warns the caller.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Stats {
+    /// The mean of all recorded values.
+    pub fn mean(&self) -> f64 {
+        let n = self.count.load(Ordering::Relaxed);
+        let s = self.sum.load(Ordering::Relaxed);
+        s as f64 / n.max(1) as f64
+    }
+}

@@ -1,0 +1,27 @@
+//! Bad: `IngestOutcome::NoFix` is never accounted — reports that absorb
+//! without a fix vanish from the metrics, so outcome counters no longer
+//! sum to `reports_total` and the reconciliation invariant breaks.
+
+pub enum IngestOutcome {
+    Fix,
+    Stale,
+    NoFix,
+}
+
+pub struct Metrics {
+    pub fixes_total: Counter,
+    pub stale_total: Counter,
+}
+
+pub struct Counter;
+impl Counter {
+    pub fn inc(&self) {}
+}
+
+pub fn account(m: &Metrics, outcome: &IngestOutcome) {
+    match outcome {
+        IngestOutcome::Fix => m.fixes_total.inc(),
+        IngestOutcome::Stale => m.stale_total.inc(),
+        IngestOutcome::NoFix => {}
+    }
+}

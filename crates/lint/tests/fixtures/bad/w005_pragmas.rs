@@ -1,0 +1,10 @@
+//! Bad: every pragma-hygiene failure mode — an unknown rule slug, a
+//! missing reason, and a pragma that suppresses nothing.
+
+// lint: allow(no_such_rule) — this slug does not exist
+
+// lint: allow(panic_in_library)
+pub fn reasonless() {}
+
+// lint: allow(atomic_ordering) — nothing here touches an atomic
+pub fn unused_pragma() {}

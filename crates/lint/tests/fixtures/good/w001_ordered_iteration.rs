@@ -1,0 +1,41 @@
+//! Good: every way to iterate an unordered container without leaking
+//! hash order into output — BTreeMap keys, an explicit sort, an
+//! order-insensitive reduction, and a reasoned pragma.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// BTreeMap iteration is already ordered; never flagged.
+pub fn ordered_sum(readings: &BTreeMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for v in readings.values() {
+        sum += v;
+    }
+    sum
+}
+
+/// Hash iteration is fine when the result is sorted before use.
+pub fn sorted_keys(map: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Counting is order-insensitive.
+pub fn loud_readings(set: &HashSet<i32>) -> usize {
+    set.iter().filter(|&&rss| rss > -60).count()
+}
+
+/// Integer sums are commutative and associative — no rounding drift.
+pub fn total(map: &HashMap<u32, u64>) -> u64 {
+    map.values().copied().sum::<u64>()
+}
+
+/// The escape hatch, with a reason.
+pub fn side_effect_only(sink: &mut Vec<f64>) {
+    let mut map = HashMap::new();
+    map.insert(1_u32, 0.5_f64);
+    // lint: allow(unordered_iter) — sink is re-sorted by the caller before use
+    for v in map.values() {
+        sink.push(*v);
+    }
+}

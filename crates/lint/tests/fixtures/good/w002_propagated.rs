@@ -1,0 +1,48 @@
+//! Good: serving-path error handling without panics — propagation with
+//! `?`, explicit defaults, checked access, and the `windows` length
+//! guarantee the lint recognises. Panicky helpers are fine in tests.
+
+pub fn parse_rss(field: &str) -> Result<i32, String> {
+    field
+        .trim()
+        .parse::<i32>()
+        .map_err(|e| format!("bad rss field: {e}"))
+}
+
+pub fn mean_rss(fields: &[&str]) -> Result<f64, String> {
+    let mut sum = 0.0;
+    for f in fields {
+        sum += f64::from(parse_rss(f)?);
+    }
+    Ok(sum / fields.len().max(1) as f64)
+}
+
+/// Checked access instead of a literal subscript.
+pub fn third(values: &[f64]) -> f64 {
+    values.get(2).copied().unwrap_or(f64::NAN)
+}
+
+/// Defaults instead of unwraps.
+pub fn first_or_zero(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or_default()
+}
+
+/// Indexing straight out of `windows(2)` carries a length guarantee.
+pub fn max_step(values: &[f64]) -> f64 {
+    let mut best = 0.0_f64;
+    for w in values.windows(2) {
+        best = best.max((w[1] - w[0]).abs());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        // Test code may panic freely: a failed expect IS the test failure.
+        assert_eq!(parse_rss(" -61 ").expect("parses"), -61);
+    }
+}

@@ -1,0 +1,36 @@
+//! Good: observability atomics done right — Relaxed everywhere, and the
+//! one cross-field read sequence documents what can tear.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    count: AtomicU64,
+    sum_milli: AtomicU64,
+}
+
+impl Stats {
+    /// Monotonic ledger writes need no ordering at all.
+    pub fn record(&self, value_milli: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_milli.fetch_add(value_milli, Ordering::Relaxed);
+    }
+
+    /// Mean of recorded values, in milli-units.
+    ///
+    /// # Tearing model
+    ///
+    /// The two Relaxed loads are not a consistent snapshot: a concurrent
+    /// `record` can land between them, so `sum_milli` may include a value
+    /// whose `count` increment is not yet visible. The skew is bounded by
+    /// the number of in-flight writers and vanishes once they quiesce.
+    pub fn mean_milli(&self) -> f64 {
+        let n = self.count.load(Ordering::Relaxed);
+        let s = self.sum_milli.load(Ordering::Relaxed);
+        s as f64 / n.max(1) as f64
+    }
+
+    /// Single-field reads are exact and need no tearing note.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,27 @@
+//! Good: every `IngestOutcome` variant lands in exactly one counter
+//! family, so outcome counters reconcile against `reports_total`.
+
+pub enum IngestOutcome {
+    Fix,
+    Stale,
+    NoFix,
+}
+
+pub struct Counter;
+impl Counter {
+    pub fn inc(&self) {}
+}
+
+pub struct Metrics {
+    pub fixes_total: Counter,
+    pub stale_total: Counter,
+    pub absorbed_total: Counter,
+}
+
+pub fn account(m: &Metrics, outcome: &IngestOutcome) {
+    match outcome {
+        IngestOutcome::Fix => m.fixes_total.inc(),
+        IngestOutcome::Stale => m.stale_total.inc(),
+        IngestOutcome::NoFix => m.absorbed_total.inc(),
+    }
+}

@@ -80,6 +80,20 @@ impl Histogram {
     }
 
     /// A point-in-time copy of the histogram state.
+    ///
+    /// # Tearing model
+    ///
+    /// The three fields are loaded with `Relaxed` ordering and no mutual
+    /// synchronisation, so a snapshot taken concurrently with [`record`]
+    /// calls can *tear*: it may observe a bucket increment without the
+    /// matching `count`/`sum` update (or vice versa), and `sum` may lag
+    /// `count` by in-flight values. Each field is individually atomic and
+    /// monotonic, the skew is bounded by the number of in-flight `record`
+    /// calls, and a quiescent histogram always snapshots exactly. Scrape
+    /// consumers tolerate this by design; tests snapshot after joining
+    /// writers.
+    ///
+    /// [`record`]: Histogram::record
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),

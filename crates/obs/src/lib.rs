@@ -44,6 +44,9 @@
 //! assert!(snap.prometheus_text().contains("# TYPE reports_total counter"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod counter;
 pub mod histogram;
 pub mod snapshot;

@@ -205,6 +205,14 @@ pub struct Registry {
     entries: Mutex<Vec<(String, Arc<dyn Collect>)>>,
 }
 
+/// Enters the registry mutex even when a previous holder panicked: the
+/// entry list is append-only plain data, so it is consistent at every
+/// point a panic can unwind through, and a metrics scrape must never
+/// panic just because some earlier scrape did.
+fn unpoisoned<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
@@ -220,16 +228,13 @@ impl Registry {
 
     /// Registers a collector under a label set (may be empty).
     pub fn register(&self, labels: impl Into<String>, collector: Arc<dyn Collect>) {
-        self.entries
-            .lock()
-            .expect("registry lock")
-            .push((labels.into(), collector));
+        unpoisoned(self.entries.lock()).push((labels.into(), collector));
     }
 
     /// Gathers every registered collector into one snapshot.
     pub fn gather(&self) -> MetricsSnapshot {
         let mut out = MetricsSnapshot::new();
-        for (labels, c) in self.entries.lock().expect("registry lock").iter() {
+        for (labels, c) in unpoisoned(self.entries.lock()).iter() {
             c.collect_into(labels, &mut out);
         }
         out

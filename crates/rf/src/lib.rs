@@ -34,6 +34,9 @@
 //! assert!(near > far);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod ap;
 pub mod field;
 pub mod pathloss;

@@ -34,6 +34,9 @@
 //! # Ok::<(), wilocator_road::RoadError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod ids;
 pub mod network;
 pub mod overlap;

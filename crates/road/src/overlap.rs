@@ -43,13 +43,15 @@ pub fn shared_edges(routes: &[Route]) -> HashMap<EdgeId, Vec<RouteId>> {
 /// Length (metres) of `route`'s segments shared with ≥ 1 other route.
 pub fn overlap_length_m(route: &Route, routes: &[Route], network: &RoadNetwork) -> f64 {
     let shared = shared_edges(routes);
-    route
-        .edges()
-        .iter()
-        .collect::<HashSet<_>>()
+    // Dedup via sort, not a HashSet: the float sum below must accumulate
+    // in a fixed order for byte-identical replay across processes.
+    let mut edges = route.edges().to_vec();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
         .into_iter()
         .filter(|e| shared.get(e).map(|rs| rs.len() > 1).unwrap_or(false))
-        .map(|&e| network.edge(e).map(|e| e.length()).unwrap_or(0.0))
+        .map(|e| network.edge(e).map(|e| e.length()).unwrap_or(0.0))
         .sum()
 }
 

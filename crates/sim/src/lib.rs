@@ -40,6 +40,9 @@
 //! assert!(!dataset.trips.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod bus;
 pub mod city;
 pub mod loadgen;

@@ -185,15 +185,25 @@ impl SignalVoronoiDiagram {
         let (cols, rows) = (labels.cols(), labels.rows());
         for start_row in 0..rows {
             for start_col in 0..cols {
-                let label = *labels.get(start_col, start_row).unwrap();
-                if label == NO_COVERAGE
-                    || *regions.get(start_col, start_row).unwrap() != NO_COVERAGE
-                {
+                // Loop bounds keep every access in range; reading a
+                // missing cell as NO_COVERAGE makes that panic-free
+                // without changing behaviour.
+                let label = labels
+                    .get(start_col, start_row)
+                    .copied()
+                    .unwrap_or(NO_COVERAGE);
+                let region = regions
+                    .get(start_col, start_row)
+                    .copied()
+                    .unwrap_or(NO_COVERAGE);
+                if label == NO_COVERAGE || region != NO_COVERAGE {
                     continue;
                 }
                 let region_id = tiles.len() as u32;
                 let mut stack = vec![(start_col, start_row)];
-                *regions.get_mut(start_col, start_row).unwrap() = region_id;
+                if let Some(cell) = regions.get_mut(start_col, start_row) {
+                    *cell = region_id;
+                }
                 let mut count = 0usize;
                 let mut sum = Point::ORIGIN;
                 while let Some((c, r)) = stack.pop() {
@@ -202,10 +212,12 @@ impl SignalVoronoiDiagram {
                     sum = sum.offset(center.x, center.y);
                     let neighbors: Vec<(usize, usize)> = regions.neighbors4(c, r).collect();
                     for (nc, nr) in neighbors {
-                        if *labels.get(nc, nr).unwrap() == label
-                            && *regions.get(nc, nr).unwrap() == NO_COVERAGE
+                        if labels.get(nc, nr).copied().unwrap_or(NO_COVERAGE) == label
+                            && regions.get(nc, nr).copied().unwrap_or(region_id) == NO_COVERAGE
                         {
-                            *regions.get_mut(nc, nr).unwrap() = region_id;
+                            if let Some(cell) = regions.get_mut(nc, nr) {
+                                *cell = region_id;
+                            }
                             stack.push((nc, nr));
                         }
                     }
@@ -224,7 +236,7 @@ impl SignalVoronoiDiagram {
         let mut adjacency: HashMap<(u32, u32), f64> = HashMap::new();
         for row in 0..rows {
             for col in 0..cols {
-                let a = *regions.get(col, row).unwrap();
+                let a = regions.get(col, row).copied().unwrap_or(NO_COVERAGE);
                 if a == NO_COVERAGE {
                     continue;
                 }
@@ -300,13 +312,10 @@ impl SignalVoronoiDiagram {
     /// order — the fallback must be reproducible across processes.
     pub fn nearest_signature(&self, sig: &TileSignature) -> Option<(&TileSignature, f64)> {
         self.by_signature
+            // lint: allow(unordered_iter) — min_by below is a total order with a signature tie-break, so the winner is order-independent
             .keys()
             .map(|k| (k, k.rank_distance(sig)))
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("finite distance")
-                    .then_with(|| a.0.cmp(b.0))
-            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)))
     }
 
     /// Neighbouring tiles of `id` with the shared boundary length, metres.
@@ -319,7 +328,7 @@ impl SignalVoronoiDiagram {
                 out.push((TileId(a), len));
             }
         }
-        out.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0)));
+        out.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         out
     }
 
@@ -377,12 +386,17 @@ impl SignalVoronoiDiagram {
         let g = &self.regions;
         for row in 0..g.rows().saturating_sub(1) {
             for col in 0..g.cols().saturating_sub(1) {
-                let quad = [
-                    *g.get(col, row).unwrap(),
-                    *g.get(col + 1, row).unwrap(),
-                    *g.get(col, row + 1).unwrap(),
-                    *g.get(col + 1, row + 1).unwrap(),
-                ];
+                let (Some(&q00), Some(&q10), Some(&q01), Some(&q11)) = (
+                    g.get(col, row),
+                    g.get(col + 1, row),
+                    g.get(col, row + 1),
+                    g.get(col + 1, row + 1),
+                ) else {
+                    // Unreachable for in-range corners; skipping beats
+                    // panicking if the raster ever shrinks.
+                    continue;
+                };
+                let quad = [q00, q10, q01, q11];
                 if quad.contains(&NO_COVERAGE) {
                     continue;
                 }

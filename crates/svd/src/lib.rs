@@ -52,6 +52,9 @@
 //! # Ok::<(), wilocator_road::RoadError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod diagram;
 pub mod metrics;
 pub mod positioning;

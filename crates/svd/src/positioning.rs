@@ -245,11 +245,7 @@ impl RoutePositioner {
                     scored.push((seg, seg.signature.rank_distance(sig)));
                 }
             }
-            if let Some(best) = scored
-                .iter()
-                .map(|&(_, d)| d)
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-            {
+            if let Some(best) = scored.iter().map(|&(_, d)| d).min_by(|a, b| a.total_cmp(b)) {
                 exact = best == 0.0;
                 for (seg, d) in scored {
                     if d <= best + self.config.fallback_margin {
@@ -309,8 +305,13 @@ impl RoutePositioner {
                     .iter()
                     .filter(|&&(a, b)| b >= reach.0 - slack && a <= reach.1 + slack)
                     .collect();
-                match feasible.len() {
-                    0 => {
+                let closest = feasible.into_iter().min_by(|&&(a0, b0), &&(a1, b1)| {
+                    let c0 = interval_distance(a0, b0, pr.s);
+                    let c1 = interval_distance(a1, b1, pr.s);
+                    c0.total_cmp(&c1)
+                });
+                match closest {
+                    None => {
                         // Scan contradicts the mobility window — trust the
                         // window (the paper trusts the route constraint over
                         // a single noisy scan).
@@ -319,24 +320,21 @@ impl RoutePositioner {
                         }
                         return self.dead_reckon(time_s, prior);
                     }
-                    _ => *feasible
-                        .into_iter()
-                        .min_by(|&&(a0, b0), &&(a1, b1)| {
-                            let c0 = interval_distance(a0, b0, pr.s);
-                            let c1 = interval_distance(a1, b1, pr.s);
-                            c0.partial_cmp(&c1).expect("finite")
-                        })
-                        .expect("non-empty"),
+                    Some(&iv) => iv,
                 }
             }
             None => {
                 // No prior: take the longest interval (highest prior mass).
-                *merged
+                // `merged` cannot be empty here (intervals was non-empty and
+                // merging only coalesces), but dead-reckoning beats a panic
+                // if that invariant ever breaks.
+                match merged
                     .iter()
-                    .max_by(|&&(a0, b0), &&(a1, b1)| {
-                        (b0 - a0).partial_cmp(&(b1 - a1)).expect("finite")
-                    })
-                    .expect("non-empty")
+                    .max_by(|&&(a0, b0), &&(a1, b1)| (b0 - a0).total_cmp(&(b1 - a1)))
+                {
+                    Some(&iv) => iv,
+                    None => return self.dead_reckon(time_s, prior),
+                }
             }
         };
 
@@ -552,7 +550,7 @@ impl TrackingFilter {
 
 /// Merges intervals closer than `gap` into maximal disjoint intervals.
 fn merge_intervals(mut intervals: Vec<(f64, f64)>, gap: f64) -> Vec<(f64, f64)> {
-    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut out: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
     for (a, b) in intervals {
         match out.last_mut() {

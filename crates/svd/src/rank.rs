@@ -67,14 +67,9 @@ pub fn average_ranks(scans: &[Scan], min_observations: usize) -> Vec<AveragedRan
         .collect();
     out.sort_by(|a, b| {
         a.mean_rank
-            .partial_cmp(&b.mean_rank)
-            .expect("finite rank")
+            .total_cmp(&b.mean_rank)
             .then(b.observations.cmp(&a.observations))
-            .then(
-                b.mean_rss_dbm
-                    .partial_cmp(&a.mean_rss_dbm)
-                    .expect("finite RSS"),
-            )
+            .then(b.mean_rss_dbm.total_cmp(&a.mean_rss_dbm))
             .then(a.ap.cmp(&b.ap))
     });
     out

@@ -140,6 +140,12 @@ impl RouteTileIndex {
                 by_site.entry(site).or_default().push(sig.clone());
             }
         }
+        // The buckets were filled in hash-key order; sort them so every
+        // scan over a bucket (and any distance tie within one) resolves
+        // identically across processes.
+        for bucket in by_site.values_mut() {
+            bucket.sort_unstable();
+        }
         let mut by_prefix: HashMap<TileSignature, Vec<usize>> = HashMap::new();
         for (i, seg) in subsegments.iter().enumerate() {
             for k in 1..seg.signature.order() {
@@ -241,7 +247,10 @@ impl RouteTileIndex {
                 .map(|c| (c, c.rank_distance(sig)))
                 .collect();
         }
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+        // Rank-distance ties break on signature order, never on map
+        // iteration order (the PR 2 `nearest_signature` bug class); and
+        // `total_cmp` keeps the sort panic-free on any float input.
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)));
         scored.dedup_by(|a, b| std::ptr::eq(a.0, b.0));
         let Some(&(_, best)) = scored.first() else {
             return Vec::new();

@@ -174,16 +174,18 @@ impl TileMapper {
         };
         // Among candidate tiles prefer ones that intersect the road, then
         // larger ones (more probable).
+        // Unknown tiles rank below every real one (areas are finite and
+        // positive), and `total_cmp` keeps the comparison panic-free.
+        let area = |t: TileId| {
+            diagram
+                .tile(t)
+                .map(|x| x.area_m2())
+                .unwrap_or(f64::NEG_INFINITY)
+        };
         let best = tiles.iter().copied().max_by(|&a, &b| {
             let ia = self.intervals.contains_key(&a);
             let ib = self.intervals.contains_key(&b);
-            ia.cmp(&ib).then(
-                diagram
-                    .tile(a)
-                    .map(|t| t.area_m2())
-                    .partial_cmp(&diagram.tile(b).map(|t| t.area_m2()))
-                    .expect("finite area"),
-            )
+            ia.cmp(&ib).then(area(a).total_cmp(&area(b)))
         });
         match best {
             Some(best) => (self.map_tile(diagram, best), via_nearest),
@@ -198,9 +200,9 @@ impl TileMapper {
 
     /// Nearest point to `target` on the route intervals of `tile`.
     fn nearest_on_intervals(&self, tile: TileId, target: Point) -> Option<MappedPosition> {
-        let intervals = self.intervals.get(&tile)?;
+        let spans = self.intervals.get(&tile)?;
         let mut best: Option<(f64, f64)> = None; // (distance, s)
-        for &(s0, s1) in intervals {
+        for &(s0, s1) in spans {
             // Search the interval at a fine granularity; intervals are
             // short (tile-sized), so this is cheap and robust for curved
             // geometry.

@@ -56,6 +56,9 @@
 //! assert!(fix.is_some());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub use wilocator_baselines as baselines;
 pub use wilocator_core as core;
 pub use wilocator_eval as eval;
