@@ -193,7 +193,16 @@ impl GlobalLockServer {
 }
 
 fn sharded_server(routes: &[Route], field: &HomogeneousField, buses_per_route: usize) -> WiLocator {
-    let server = WiLocator::new(field, routes.to_vec(), WiLocatorConfig::default());
+    sharded_server_with(routes, field, buses_per_route, WiLocatorConfig::default())
+}
+
+fn sharded_server_with(
+    routes: &[Route],
+    field: &HomogeneousField,
+    buses_per_route: usize,
+    config: WiLocatorConfig,
+) -> WiLocator {
+    let server = WiLocator::new(field, routes.to_vec(), config);
     for (ri, route) in routes.iter().enumerate() {
         for b in 0..buses_per_route {
             let bus = (ri * buses_per_route + b) as u64;
@@ -227,6 +236,25 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     c.bench_function("ingest_sharded_sequential", |b| {
         b.iter_batched(
             || sharded_server(&routes, &field, BUSES_PER_ROUTE),
+            |server| {
+                for report in &workload {
+                    server.ingest(report).expect("registered");
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // The same replay with the flight recorder switched off isolates the
+    // tracing cost from the rest of the instrumented hot path.
+    let untraced = || {
+        let mut config = WiLocatorConfig::default();
+        config.trace.enabled = false;
+        sharded_server_with(&routes, &field, BUSES_PER_ROUTE, config)
+    };
+    c.bench_function("ingest_sharded_sequential_untraced", |b| {
+        b.iter_batched(
+            untraced,
             |server| {
                 for report in &workload {
                     server.ingest(report).expect("registered");

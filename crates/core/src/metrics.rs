@@ -154,12 +154,23 @@ impl Collect for ServerMetrics {
     }
 }
 
-/// Counter families that count transport-level *calls* rather than
-/// events, and therefore differ across batch chunkings of the same
-/// report stream. Replay-identity and golden comparisons must drop these
-/// lines from [`wilocator_obs::MetricsSnapshot::deterministic_lines`];
-/// kept next to the counters so tests and docs can't drift.
-pub const NONDETERMINISTIC_COUNTER_FAMILIES: &[&str] = &["wilocator_ingest_batches_total"];
+/// Counter families that count transport-level *calls* or wall-clock
+/// artifacts rather than events, and therefore differ across batch
+/// chunkings or timings of the same report stream. Replay-identity and
+/// golden comparisons must drop these lines from
+/// [`wilocator_obs::MetricsSnapshot::deterministic_lines`]; kept next to
+/// the counters so tests and docs can't drift.
+///
+/// The trace families: slow-path retention and the retention buffer's
+/// byte pressure depend on span *durations*, which only a stepping clock
+/// makes reproducible — anomaly retention, by contrast, is a pure
+/// function of the report stream and stays in the deterministic set.
+pub const NONDETERMINISTIC_COUNTER_FAMILIES: &[&str] = &[
+    "wilocator_ingest_batches_total",
+    "wilocator_trace_retained_slow_total",
+    "wilocator_trace_retention_evicted_total",
+    "wilocator_trace_retained_bytes",
+];
 
 /// Arrival-predictor accounting (Equations 8–9): training coverage and
 /// how often the recent-residual borrow actually fires online.

@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use wilocator_obs::TraceCtx;
 use wilocator_road::{EdgeId, Route, RouteId};
 
 use crate::history::TravelTimeStore;
@@ -220,8 +221,22 @@ impl ArrivalPredictor {
         route: RouteId,
         t: f64,
     ) -> Option<f64> {
+        self.predict_segment_counted(store, edge, route, t).0
+    }
+
+    /// [`Predictor::predict_segment`] also reporting the K of Equation 8
+    /// (how many recent-bus residuals were borrowed), for trace fields.
+    fn predict_segment_counted(
+        &self,
+        store: &TravelTimeStore,
+        edge: EdgeId,
+        route: RouteId,
+        t: f64,
+    ) -> (Option<f64>, u64) {
         self.metrics.predict_segment_total.inc();
-        let th_own = self.historical_mean(store, edge, Some(route), t)?;
+        let Some(th_own) = self.historical_mean(store, edge, Some(route), t) else {
+            return (None, 0);
+        };
         let recent = store.recent_buses(
             edge,
             t,
@@ -229,7 +244,7 @@ impl ArrivalPredictor {
             self.config.max_recent_buses,
         );
         if recent.is_empty() {
-            return Some(th_own);
+            return (Some(th_own), 0);
         }
         let mut ratio_sum = 0.0;
         let mut k = 0usize;
@@ -242,7 +257,7 @@ impl ArrivalPredictor {
             }
         }
         if k == 0 {
-            return Some(th_own);
+            return (Some(th_own), 0);
         }
         // The K of Equation 8: residuals actually borrowed from recent
         // buses (of any route) on this segment.
@@ -259,7 +274,7 @@ impl ArrivalPredictor {
         // Congestion can slow a segment several-fold but never speed it up
         // beyond free flow by much.
         let ratio = ratio.clamp(0.5, 3.0);
-        Some((th_own * ratio).max(1.0))
+        (Some((th_own * ratio).max(1.0)), k as u64)
     }
 
     /// Predicted travel time with the no-history fallback applied: a
@@ -271,12 +286,31 @@ impl ArrivalPredictor {
         edge_index: usize,
         t: f64,
     ) -> f64 {
+        self.predict_segment_or_fallback_counted(store, route, edge_index, t)
+            .0
+    }
+
+    /// [`Predictor::predict_segment_or_fallback`] also reporting the
+    /// residual-borrow count, for trace fields.
+    fn predict_segment_or_fallback_counted(
+        &self,
+        store: &TravelTimeStore,
+        route: &Route,
+        edge_index: usize,
+        t: f64,
+    ) -> (f64, u64) {
         let edge = route.edges()[edge_index];
-        self.predict_segment(store, edge, route.id(), t)
-            .unwrap_or_else(|| {
+        let (predicted, k) = self.predict_segment_counted(store, edge, route.id(), t);
+        match predicted {
+            Some(tp) => (tp, k),
+            None => {
                 self.metrics.segment_fallback_total.inc();
-                route.edge_length(edge_index) / self.config.fallback_speed_mps
-            })
+                (
+                    route.edge_length(edge_index) / self.config.fallback_speed_mps,
+                    k,
+                )
+            }
+        }
     }
 
     /// Equation 9: predicted *absolute arrival time* at arc length
@@ -292,7 +326,53 @@ impl ArrivalPredictor {
         t: f64,
         stop_s: f64,
     ) -> f64 {
+        self.predict_arrival_traced(store, route, current_s, t, stop_s, None)
+    }
+
+    /// [`Predictor::predict_arrival`] with an optional trace context: a
+    /// `predict` child span annotated with the number of segments summed
+    /// and the total Equation 8 residual borrows.
+    pub fn predict_arrival_traced(
+        &self,
+        store: &TravelTimeStore,
+        route: &Route,
+        current_s: f64,
+        t: f64,
+        stop_s: f64,
+        trace: Option<&TraceCtx<'_>>,
+    ) -> f64 {
         self.metrics.predict_arrival_total.inc();
+        let span = trace.map(|tr| tr.child_span("predict"));
+        let mut segments = 0u64;
+        let mut borrows = 0u64;
+        let eta = self.predict_arrival_inner(
+            store,
+            route,
+            current_s,
+            t,
+            stop_s,
+            &mut segments,
+            &mut borrows,
+        );
+        if let Some(sp) = &span {
+            sp.field("segments", segments);
+            sp.field("residual_borrows", borrows);
+            sp.field("eta_s", eta);
+        }
+        eta
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn predict_arrival_inner(
+        &self,
+        store: &TravelTimeStore,
+        route: &Route,
+        current_s: f64,
+        t: f64,
+        stop_s: f64,
+        segments: &mut u64,
+        borrows: &mut u64,
+    ) -> f64 {
         if stop_s <= current_s {
             return t;
         }
@@ -303,7 +383,9 @@ impl ArrivalPredictor {
         {
             let i = start.edge_index;
             let len = route.edge_length(i);
-            let tp = self.predict_segment_or_fallback(store, route, i, t_cur);
+            let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur);
+            *segments += 1;
+            *borrows += k;
             if target.edge_index == i {
                 // Stop on the current segment.
                 return t_cur + tp * (target.s_on_edge - start.s_on_edge).max(0.0) / len;
@@ -312,12 +394,17 @@ impl ArrivalPredictor {
         }
         // Full intermediate segments, slot-by-slot.
         for i in start.edge_index + 1..target.edge_index {
-            t_cur += self.predict_segment_or_fallback(store, route, i, t_cur);
+            let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur);
+            *segments += 1;
+            *borrows += k;
+            t_cur += tp;
         }
         // Fractional final segment up to the stop.
         let i = target.edge_index;
         let len = route.edge_length(i);
-        let tp = self.predict_segment_or_fallback(store, route, i, t_cur);
+        let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur);
+        *segments += 1;
+        *borrows += k;
         t_cur + tp * target.s_on_edge / len
     }
 }

@@ -25,11 +25,14 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use wilocator_obs::{MetricsSnapshot, Registry};
+use wilocator_obs::{
+    Clock, MetricsSnapshot, MonotonicClock, Registry, TraceConfig, TraceCtx, TraceData, Tracer,
+};
 use wilocator_rf::SignalField;
 use wilocator_road::{EdgeId, Route, RouteId, StopId};
 use wilocator_svd::{
-    Fix, PositionerConfig, PositioningMetrics, RoutePositioner, RouteTileIndex, SvdConfig,
+    Fix, FixMethod, PositionerConfig, PositioningMetrics, RoutePositioner, RouteTileIndex,
+    SvdConfig,
 };
 
 use crate::history::{TravelTimeStore, Traversal};
@@ -82,6 +85,8 @@ pub struct WiLocatorConfig {
     /// A traversal is committed to the store once the bus is this far past
     /// the segment end, metres (stabilises the crossing interpolation).
     pub commit_margin_m: f64,
+    /// Tracing / flight-recorder parameters.
+    pub trace: TraceConfig,
 }
 
 impl Default for WiLocatorConfig {
@@ -93,6 +98,7 @@ impl Default for WiLocatorConfig {
             traffic: TrafficMapConfig::default(),
             sample_step_m: 2.0,
             commit_margin_m: 30.0,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -212,6 +218,13 @@ fn unpoisoned<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
     result.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Detail-sampling key for a report's trace: derived from content (bus
+/// and report time), never from wall time or arrival order, so replays
+/// sample the same reports at any thread count.
+fn trace_key(report: &ScanReport) -> u64 {
+    report.bus.0 ^ report.time_s.to_bits().rotate_left(17)
+}
+
 /// The WiLocator server.
 ///
 /// # Examples
@@ -238,6 +251,10 @@ pub struct WiLocator {
     shard_metrics: Vec<Arc<ShardMetrics>>,
     /// Cross-shard transport accounting.
     server_metrics: Arc<ServerMetrics>,
+    /// Flight recorder: per-shard trace rings plus the tail-sampled
+    /// retention buffer ([`wilocator_obs::Tracer`]). Shared with nothing
+    /// but the registry; recording never takes a shard lock.
+    tracer: Arc<Tracer>,
     /// Every ledger (server, shards, predictors, route positioners),
     /// labelled; [`WiLocator::metrics`] gathers it into one snapshot.
     registry: Registry,
@@ -252,6 +269,19 @@ impl WiLocator {
         field: &F,
         routes: Vec<Route>,
         config: WiLocatorConfig,
+    ) -> Self {
+        Self::new_with_clock(field, routes, config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// [`WiLocator::new`] with an explicit span clock. Deterministic
+    /// replay harnesses pass a [`wilocator_obs::SteppingClock`] so span
+    /// durations — and therefore slow-path tail sampling — reproduce
+    /// byte-identically; production callers use the monotonic default.
+    pub fn new_with_clock<F: SignalField + ?Sized>(
+        field: &F,
+        routes: Vec<Route>,
+        config: WiLocatorConfig,
+        clock: Arc<dyn Clock>,
     ) -> Self {
         let registry = Registry::new();
         let mut positioners = HashMap::new();
@@ -304,6 +334,8 @@ impl WiLocator {
             "",
             server_metrics.clone() as Arc<dyn wilocator_obs::Collect>,
         );
+        let tracer = Arc::new(Tracer::new(config.trace, count.max(1), clock));
+        registry.register("", tracer.clone() as Arc<dyn wilocator_obs::Collect>);
         WiLocator {
             config,
             routes,
@@ -315,6 +347,7 @@ impl WiLocator {
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
             shard_metrics,
             server_metrics,
+            tracer,
             registry,
         }
     }
@@ -400,13 +433,19 @@ impl WiLocator {
         metrics: &ShardMetrics,
         report: &ScanReport,
         commit_margin_m: f64,
+        trace: Option<&TraceCtx<'_>>,
     ) -> Result<Option<Fix>, CoreError> {
         let bus = shard
             .buses
             .get_mut(&report.bus)
             .ok_or(CoreError::UnknownBus(report.bus))?;
         metrics.reports_total.inc();
-        match bus.tracker.ingest_classified(report) {
+        let outcome = bus.tracker.ingest_classified_traced(report, trace);
+        if let Some(t) = trace {
+            t.field("route", bus.route.0);
+            t.field("outcome", outcome.label());
+        }
+        match outcome {
             IngestOutcome::Stale => {
                 metrics.reports_stale_total.inc();
                 Ok(None)
@@ -417,12 +456,19 @@ impl WiLocator {
             }
             IngestOutcome::Fix(fix) => {
                 metrics.fixes_total.inc();
+                if let Some(t) = trace.filter(|_| fix.method == FixMethod::DeadReckoned) {
+                    t.flag_anomaly("dead_reckoned");
+                }
+                let span = trace.map(|t| t.child_span("commit"));
                 let mut committed = 0u64;
                 for (edge, tr) in bus.drain_cleared(commit_margin_m) {
                     shard.store.record(edge, tr);
                     committed += 1;
                 }
                 metrics.traversals_committed_total.add(committed);
+                if let Some(sp) = &span {
+                    sp.field("traversals", committed);
+                }
                 Ok(Some(fix))
             }
         }
@@ -442,11 +488,49 @@ impl WiLocator {
         let result = match self.shard_for_bus(report.bus) {
             Ok(shard_idx) => {
                 let metrics = &self.shard_metrics[shard_idx];
+                let poisoned = self.shards[shard_idx].is_poisoned();
                 let mut shard = unpoisoned(self.shards[shard_idx].write());
-                let _hold = metrics.lock_hold_us.time();
-                Self::ingest_locked(&mut shard, metrics, report, self.config.commit_margin_m)
+                // The hold stamps double as the root span's stamps, so
+                // tracing a report costs no extra clock reads.
+                let clock = self.tracer.clock();
+                let start_us = clock.now_us();
+                let trace = self.tracer.start_root_span_keyed(
+                    shard_idx,
+                    "ingest",
+                    start_us,
+                    trace_key(report),
+                );
+                if let Some(t) = &trace {
+                    t.field("bus", report.bus.0);
+                    if poisoned {
+                        t.flag_anomaly("lock_poison_recovered");
+                    }
+                }
+                let outcome = Self::ingest_locked(
+                    &mut shard,
+                    metrics,
+                    report,
+                    self.config.commit_margin_m,
+                    trace.as_ref(),
+                );
+                let end_us = clock.now_us();
+                if let Some(t) = trace {
+                    t.finish_at(end_us);
+                }
+                metrics.lock_hold_us.record(end_us.saturating_sub(start_us));
+                outcome
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                // Rejected at the directory: record an anomaly-flagged root
+                // span (shard 0 hosts directory-level traces) so unknown
+                // buses show up in the flight recorder.
+                let trace = self.tracer.start_root_span(0, "ingest");
+                if let Some(t) = &trace {
+                    t.field("bus", report.bus.0);
+                    t.flag_anomaly("unknown_bus");
+                }
+                Err(e)
+            }
         };
         if result.is_err() {
             self.server_metrics.unknown_bus_total.inc();
@@ -478,7 +562,14 @@ impl WiLocator {
             for (i, report) in reports.iter().enumerate() {
                 match dir.get(&report.bus) {
                     Some(&s) => groups[s].push(i),
-                    None => results[i] = Err(CoreError::UnknownBus(report.bus)),
+                    None => {
+                        let trace = self.tracer.start_root_span(0, "ingest");
+                        if let Some(t) = &trace {
+                            t.field("bus", report.bus.0);
+                            t.flag_anomaly("unknown_bus");
+                        }
+                        results[i] = Err(CoreError::UnknownBus(report.bus));
+                    }
                 }
             }
         }
@@ -491,11 +582,41 @@ impl WiLocator {
             // batch still amortises one lock acquisition per busy shard.
             for &s in &busy {
                 let metrics = &self.shard_metrics[s];
+                let poisoned = self.shards[s].is_poisoned();
                 let mut shard = unpoisoned(self.shards[s].write());
-                let _hold = metrics.lock_hold_us.time();
+                // One clock read per report: each report's end stamp is
+                // the next one's start, and the pair bounding the group
+                // doubles as the lock-hold measurement.
+                let clock = self.tracer.clock();
+                let hold_start = clock.now_us();
+                let mut prev = hold_start;
                 for &i in &groups[s] {
-                    results[i] = Self::ingest_locked(&mut shard, metrics, &reports[i], margin);
+                    let trace = self.tracer.start_root_span_keyed(
+                        s,
+                        "ingest",
+                        prev,
+                        trace_key(&reports[i]),
+                    );
+                    if let Some(t) = &trace {
+                        t.field("bus", reports[i].bus.0);
+                        if poisoned {
+                            t.flag_anomaly("lock_poison_recovered");
+                        }
+                    }
+                    results[i] = Self::ingest_locked(
+                        &mut shard,
+                        metrics,
+                        &reports[i],
+                        margin,
+                        trace.as_ref(),
+                    );
+                    let now = clock.now_us();
+                    if let Some(t) = trace {
+                        t.finish_at(now);
+                    }
+                    prev = now;
                 }
+                metrics.lock_hold_us.record(prev.saturating_sub(hold_start));
             }
             self.count_batch_errors(&results);
             return results;
@@ -507,13 +628,44 @@ impl WiLocator {
                     let indices = &groups[s];
                     let lock = &self.shards[s];
                     let metrics = &self.shard_metrics[s];
+                    let tracer = &self.tracer;
                     scope.spawn(move || {
+                        let poisoned = lock.is_poisoned();
                         let mut shard = unpoisoned(lock.write());
-                        let _hold = metrics.lock_hold_us.time();
+                        let clock = tracer.clock();
+                        let hold_start = clock.now_us();
+                        let mut prev = hold_start;
                         let local = indices
                             .iter()
-                            .map(|&i| Self::ingest_locked(&mut shard, metrics, &reports[i], margin))
+                            .map(|&i| {
+                                let trace = tracer.start_root_span_keyed(
+                                    s,
+                                    "ingest",
+                                    prev,
+                                    trace_key(&reports[i]),
+                                );
+                                if let Some(t) = &trace {
+                                    t.field("bus", reports[i].bus.0);
+                                    if poisoned {
+                                        t.flag_anomaly("lock_poison_recovered");
+                                    }
+                                }
+                                let out = Self::ingest_locked(
+                                    &mut shard,
+                                    metrics,
+                                    &reports[i],
+                                    margin,
+                                    trace.as_ref(),
+                                );
+                                let now = clock.now_us();
+                                if let Some(t) = trace {
+                                    t.finish_at(now);
+                                }
+                                prev = now;
+                                out
+                            })
                             .collect();
+                        metrics.lock_hold_us.record(prev.saturating_sub(hold_start));
                         (s, local)
                     })
                 })
@@ -560,7 +712,7 @@ impl WiLocator {
         self.server_metrics.buses_finished_total.inc();
         let metrics = &self.shard_metrics[shard_idx];
         let mut shard = unpoisoned(self.shards[shard_idx].write());
-        let _hold = metrics.lock_hold_us.time();
+        let _hold = metrics.lock_hold_us.time_with(self.tracer.clock());
         let state = shard.buses.remove(&bus).ok_or(CoreError::UnknownBus(bus))?;
         let route = state.tracker.route();
         let fixes = state.tracker.trajectory().fixes();
@@ -626,9 +778,19 @@ impl WiLocator {
             .trajectory()
             .last()
             .ok_or(CoreError::UnknownBus(bus))?;
-        Ok(shard
-            .predictor
-            .predict_arrival(&shard.store, route, fix.s, fix.time_s, stop.s()))
+        let trace = self.tracer.start_root_span(shard_idx, "predict_arrival");
+        if let Some(t) = &trace {
+            t.field("bus", bus.0);
+            t.field("stop", stop.id().0);
+        }
+        Ok(shard.predictor.predict_arrival_traced(
+            &shard.store,
+            route,
+            fix.s,
+            fix.time_s,
+            stop.s(),
+            trace.as_ref(),
+        ))
     }
 
     /// Predicts the arrival time at `stop_s` for a hypothetical bus of
@@ -756,12 +918,39 @@ impl WiLocator {
     pub fn metrics_text(&self) -> String {
         self.metrics().prometheus_text()
     }
+
+    /// The flight recorder behind this server's spans.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Per-bus timeline query: every trace still held by the flight
+    /// recorder (ring buffers plus the tail-sampled retention set) whose
+    /// root span carries `bus` as its `bus` field, ordered by trace id
+    /// (admission order).
+    pub fn timeline(&self, bus: BusKey) -> Vec<TraceData> {
+        self.tracer.timeline_for("bus", bus.0)
+    }
+
+    /// Everything the flight recorder currently holds as Chrome
+    /// trace-event JSON — load it at `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn trace_chrome_json(&self) -> String {
+        self.tracer.chrome_trace_json()
+    }
+
+    /// Everything the flight recorder currently holds in the deterministic
+    /// text form used by golden tests.
+    pub fn trace_text_dump(&self) -> String {
+        self.tracer.text_dump()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use wilocator_geo::Point;
+    use wilocator_obs::FieldValue;
     use wilocator_rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan};
     use wilocator_road::NetworkBuilder;
 
@@ -1152,5 +1341,159 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// [`setup`] with a stepping clock, so span durations (and the
+    /// tail-sampling decisions built on them) are reproducible.
+    fn setup_stepping(step_us: u64) -> (WiLocator, HomogeneousField) {
+        let (_, field) = setup();
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(400.0, 0.0));
+        let n2 = b.add_node(Point::new(800.0, 0.0));
+        let e0 = b.add_edge(n0, n1, None).unwrap();
+        let e1 = b.add_edge(n1, n2, None).unwrap();
+        let net = b.build();
+        let mut route = Route::new(RouteId(0), "9", vec![e0, e1], &net).unwrap();
+        route.add_stops_evenly(3);
+        let config = WiLocatorConfig {
+            trace: TraceConfig::detailed(),
+            ..WiLocatorConfig::default()
+        };
+        let server = WiLocator::new_with_clock(
+            &field,
+            vec![route],
+            config,
+            Arc::new(wilocator_obs::SteppingClock::new(0, step_us)),
+        );
+        (server, field)
+    }
+
+    #[test]
+    fn ingest_opens_nested_spans_per_report() {
+        let (server, field) = setup_stepping(1);
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(7), RouteId(0)).unwrap();
+        for k in 0..4 {
+            server
+                .ingest(&report(&field, &route, k as f64 * 40.0, k as f64 * 10.0, 7))
+                .unwrap();
+        }
+        let recent = server.tracer().recent();
+        assert_eq!(recent.len(), 4, "one trace per ingested report");
+        for trace in &recent {
+            let root = trace.root().expect("root span");
+            assert_eq!(root.name, "ingest");
+            assert_eq!(root.field("bus"), Some(FieldValue::U64(7)));
+            assert!(
+                root.field("outcome").is_some(),
+                "every ingest root is annotated with its IngestOutcome"
+            );
+            assert!(
+                trace.spans.iter().any(|s| s.name == "track"),
+                "tracker child span present"
+            );
+        }
+        // At least one report produced a fix, whose trace then carries the
+        // positioning and commit stages.
+        let fixed: Vec<_> = recent
+            .iter()
+            .filter(|t| {
+                t.root()
+                    .and_then(|r| r.field("outcome"))
+                    .is_some_and(|v| matches!(v, FieldValue::Str("fix")))
+            })
+            .collect();
+        assert!(!fixed.is_empty());
+        for trace in fixed {
+            for stage in ["locate", "commit"] {
+                assert!(
+                    trace.spans.iter().any(|s| s.name == stage),
+                    "fix trace missing `{stage}` span"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_bus_traces_are_retained_as_anomalies() {
+        let (server, field) = setup_stepping(1);
+        let route = server.routes()[0].clone();
+        let rep = report(&field, &route, 0.0, 0.0, 99);
+        assert!(server.ingest(&rep).is_err());
+        let batch = server.ingest_batch(std::slice::from_ref(&rep));
+        assert!(batch[0].is_err());
+        let retained = server.tracer().retained();
+        assert_eq!(retained.len(), 2, "both rejected ingests retained");
+        for trace in &retained {
+            assert_eq!(trace.anomaly, Some("unknown_bus"));
+            assert_eq!(
+                trace.root().and_then(|r| r.field("bus")),
+                Some(FieldValue::U64(99))
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_filters_traces_by_bus() {
+        let (server, field) = setup_stepping(1);
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(1), RouteId(0)).unwrap();
+        server.register_bus(BusKey(2), RouteId(0)).unwrap();
+        for k in 0..3 {
+            let t = k as f64 * 10.0;
+            server.ingest(&report(&field, &route, t, t, 1)).unwrap();
+            server.ingest(&report(&field, &route, t, t, 2)).unwrap();
+        }
+        let line = server.timeline(BusKey(2));
+        assert_eq!(line.len(), 3);
+        assert!(line
+            .windows(2)
+            .all(|pair| pair[0].trace_id < pair[1].trace_id));
+        assert!(server.timeline(BusKey(3)).is_empty());
+    }
+
+    #[test]
+    fn predict_arrival_trace_reaches_predictor_span() {
+        let (server, field) = setup_stepping(1);
+        drive(&server, &field, 1, 0.0, 8.0);
+        server.train(1_000_000.0);
+        server.register_bus(BusKey(2), RouteId(0)).unwrap();
+        let route = server.routes()[0].clone();
+        server.ingest(&report(&field, &route, 0.0, 0.0, 2)).unwrap();
+        server
+            .ingest(&report(&field, &route, 80.0, 10.0, 2))
+            .unwrap();
+        server.predict_arrival(BusKey(2), StopId(2)).unwrap();
+        let trace = server
+            .tracer()
+            .recent()
+            .into_iter()
+            .rev()
+            .find(|t| t.root().map(|r| r.name) == Some("predict_arrival"))
+            .expect("predict_arrival trace recorded");
+        let root = trace.root().unwrap();
+        assert_eq!(root.field("bus"), Some(FieldValue::U64(2)));
+        assert_eq!(root.field("stop"), Some(FieldValue::U64(2)));
+        let child = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "predict")
+            .expect("predict child span");
+        assert!(child.field("segments").is_some());
+        assert!(child.field("eta_s").is_some());
+    }
+
+    #[test]
+    fn chrome_export_and_text_dump_cover_recorded_traces() {
+        let (server, field) = setup_stepping(1);
+        let route = server.routes()[0].clone();
+        server.register_bus(BusKey(1), RouteId(0)).unwrap();
+        server.ingest(&report(&field, &route, 0.0, 0.0, 1)).unwrap();
+        let json = server.trace_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"ingest\""));
+        let text = server.trace_text_dump();
+        assert!(text.contains("span 0 parent - ingest"));
     }
 }

@@ -2,6 +2,7 @@
 //! interpolation (Fig. 5).
 
 use wilocator_geo::GeoPoint;
+use wilocator_obs::TraceCtx;
 use wilocator_road::Route;
 use wilocator_svd::{average_ranks, Fix, RoutePositioner, TrackingFilter};
 
@@ -44,6 +45,17 @@ pub enum IngestOutcome {
     /// The report was absorbed without producing a fix (e.g. acquisition
     /// has not locked yet); trajectory is untouched.
     NoFix,
+}
+
+impl IngestOutcome {
+    /// Stable lowercase label, used for trace-span fields and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IngestOutcome::Fix(_) => "fix",
+            IngestOutcome::Stale => "stale",
+            IngestOutcome::NoFix => "absorbed",
+        }
+    }
 }
 
 /// Tracks one bus over its route from incoming scan reports.
@@ -92,20 +104,35 @@ impl BusTracker {
     /// [`BusTracker::ingest`], but reporting *why* no fix was produced —
     /// a stale (reordered) report is dropped, anything else is absorbed.
     pub fn ingest_classified(&mut self, report: &ScanReport) -> IngestOutcome {
+        self.ingest_classified_traced(report, None)
+    }
+
+    /// [`BusTracker::ingest_classified`] with an optional trace context:
+    /// opens a `track` child span (the stale drop happens before any span
+    /// opens), under which the filter's positioning attempts nest.
+    pub fn ingest_classified_traced(
+        &mut self,
+        report: &ScanReport,
+        trace: Option<&TraceCtx<'_>>,
+    ) -> IngestOutcome {
         if let Some(last) = self.trajectory.last() {
             if report.time_s < last.time_s {
                 return IngestOutcome::Stale;
             }
         }
+        let span = trace.map(|t| t.child_span("track"));
         let avg = average_ranks(&report.scans, self.min_observations);
         let ranked: Vec<(wilocator_rf::ApId, i32)> = avg
             .iter()
             .map(|a| (a.ap, a.mean_rss_dbm.round() as i32))
             .collect();
+        if let Some(sp) = &span {
+            sp.field("ranked_aps", ranked.len());
+        }
         // Rank order comes from the averaged ranks; re-expressing as RSS
         // keeps tie detection meaningful (equal mean RSS ⇒ boundary).
         // Prior chaining and divergence recovery live in the filter.
-        match self.filter.step(&ranked, report.time_s) {
+        match self.filter.step_traced(&ranked, report.time_s, trace) {
             Some(fix) => {
                 self.trajectory.fixes.push(fix);
                 IngestOutcome::Fix(fix)

@@ -20,14 +20,18 @@ pub enum Rule {
     Accounting,
     /// W005: malformed, unknown, or unused allow pragmas.
     PragmaHygiene,
+    /// W006: a span-starting call whose RAII guard is discarded or
+    /// dropped at the end of its own statement (zero-width span).
+    SpanDiscipline,
 }
 
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::UnorderedIter,
     Rule::PanicInLibrary,
     Rule::AtomicOrdering,
     Rule::Accounting,
     Rule::PragmaHygiene,
+    Rule::SpanDiscipline,
 ];
 
 impl Rule {
@@ -38,6 +42,7 @@ impl Rule {
             Rule::AtomicOrdering => "W003",
             Rule::Accounting => "W004",
             Rule::PragmaHygiene => "W005",
+            Rule::SpanDiscipline => "W006",
         }
     }
 
@@ -48,6 +53,7 @@ impl Rule {
             Rule::AtomicOrdering => "atomic_ordering",
             Rule::Accounting => "accounting",
             Rule::PragmaHygiene => "pragma_hygiene",
+            Rule::SpanDiscipline => "span_discipline",
         }
     }
 

@@ -13,6 +13,7 @@
 //! | W003 | `atomic_ordering`   | Relaxed-only metrics atomics; documented snapshot tearing |
 //! | W004 | `accounting`        | every accounted enum variant hits exactly one counter family |
 //! | W005 | `pragma_hygiene`    | allow pragmas are real, reasoned, and used |
+//! | W006 | `span_discipline`   | span-start guards are bound, never discarded or dropped inline |
 //!
 //! Run it as `cargo run -p wilocator-lint -- --workspace`; it prints
 //! rustc-style diagnostics and exits nonzero on any violation. See
@@ -69,6 +70,7 @@ pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
         }
         if ctx.serving {
             rules::w002_panic_in_library(file, &mut pragmas, &mut out);
+            rules::w006_span_discipline(file, &mut pragmas, &mut out);
         }
         if ctx.observability {
             rules::w003_atomic_ordering(file, &mut pragmas, &mut out);

@@ -80,6 +80,7 @@ fn print_usage() {
     eprintln!(
         "usage: wilocator-lint --workspace | --rules | <file.rs>...\n\
          Checks determinism (W001), panic-freedom (W002), atomic orderings\n\
-         (W003), accounting exhaustiveness (W004) and pragma hygiene (W005)."
+         (W003), accounting exhaustiveness (W004), pragma hygiene (W005)\n\
+         and span guard discipline (W006)."
     );
 }

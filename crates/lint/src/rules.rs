@@ -1,7 +1,8 @@
-//! Rules W001 (unordered iteration), W002 (panic in library code) and
-//! W003 (atomic orderings / snapshot tearing docs).
+//! Rules W001 (unordered iteration), W002 (panic in library code),
+//! W003 (atomic orderings / snapshot tearing docs) and W006 (span guard
+//! discipline).
 //!
-//! All three work on the blanked per-line code text from the lexer, so
+//! All of them work on the blanked per-line code text from the lexer, so
 //! string literals and comments never trigger matches.
 
 use crate::diag::{Rule, Violation};
@@ -493,6 +494,111 @@ fn self_field_of(code: &str, at: usize) -> Option<String> {
     }
     let prefix = &code[..end - field.len()];
     prefix.ends_with("self.").then_some(field)
+}
+
+// ---------------------------------------------------------------------------
+// W006: span guard discipline
+// ---------------------------------------------------------------------------
+
+/// Span-starting calls whose return value is an RAII guard (or a
+/// guard-carrying trace context): dropping the value at the end of its
+/// own statement closes the span at zero width, silently corrupting
+/// every trace it appears in — the call looks instrumented but records
+/// nothing.
+const SPAN_STARTERS: [&str; 4] = [
+    "start_root_span(",
+    "start_root_span_keyed(",
+    "child_span(",
+    "start_span(",
+];
+
+pub fn w006_span_discipline(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        let code = &line.code;
+        // The span API's own definitions and signatures.
+        if code.contains("fn ") {
+            continue;
+        }
+        let Some(starter) = SPAN_STARTERS.iter().find(|p| contains_method_call(code, p)) else {
+            continue;
+        };
+        let lineno = idx + 1;
+        let stmt = statement_head(file, idx);
+        let discarded = stmt.contains("let _ =") || stmt.contains("let _=");
+        let bare = !discarded
+            && !stmt.contains('=')
+            && !stmt.contains("let ")
+            && !stmt.contains("return ")
+            && code.trim_end().ends_with(';');
+        if !discarded && !bare {
+            continue;
+        }
+        if pragmas.allows(Rule::SpanDiscipline, &file.path, lineno) {
+            continue;
+        }
+        let what = starter.trim_end_matches('(');
+        let how = if discarded {
+            "its guard is discarded with `let _ = …`"
+        } else {
+            "its guard is dropped at the end of the statement"
+        };
+        out.push(
+            Violation::new(
+                Rule::SpanDiscipline,
+                &file.path,
+                lineno,
+                format!("`{what}` starts a span but {how}: the span closes at zero width"),
+            )
+            .with_note(
+                "bind the guard (`let span = …`) so it lives across the work it measures, or add `// lint: allow(span_discipline) — <reason>`",
+            ),
+        );
+    }
+}
+
+/// True when `pat` (an `ident(` pattern) occurs in `code` as a call whose
+/// name is not a suffix of a longer identifier, so `restart_root_span(`
+/// never matches `start_root_span(`.
+fn contains_method_call(code: &str, pat: &str) -> bool {
+    let mut search = 0;
+    while let Some(found) = code[search..].find(pat) {
+        let at = search + found;
+        if at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' ')) {
+            return true;
+        }
+        search = at + pat.len();
+    }
+    false
+}
+
+/// The full statement containing line `idx`, reconstructed by walking
+/// back to the nearest statement boundary (previous line empty or ending
+/// in `;`, `{`, `}`, `,` or `=>`) and joining the lines. Good enough for
+/// rustfmt-formatted code: it sees the `let guard =` head of a wrapped
+/// binding without a real parser.
+fn statement_head(file: &SourceFile, idx: usize) -> String {
+    let mut start = idx;
+    while start > 0 {
+        let prev = file.lines[start - 1].code.trim_end();
+        if prev.is_empty()
+            || prev.ends_with(';')
+            || prev.ends_with('{')
+            || prev.ends_with('}')
+            || prev.ends_with(',')
+            || prev.ends_with("=>")
+        {
+            break;
+        }
+        start -= 1;
+    }
+    file.lines[start..=idx]
+        .iter()
+        .map(|l| l.code.trim())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A function's signature line and body span (line indices).

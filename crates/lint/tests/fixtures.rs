@@ -49,7 +49,7 @@ fn bad_fixtures_trip_their_rule() {
         );
         seen.insert(want);
     }
-    for code in ["W001", "W002", "W003", "W004", "W005"] {
+    for code in ["W001", "W002", "W003", "W004", "W005", "W006"] {
         assert!(seen.contains(code), "no bad fixture exercises {code}");
     }
 }
@@ -73,7 +73,7 @@ fn good_fixtures_are_clean() {
         );
         seen.insert(want);
     }
-    for code in ["W001", "W002", "W003", "W004", "W005"] {
+    for code in ["W001", "W002", "W003", "W004", "W005", "W006"] {
         assert!(seen.contains(code), "no good fixture exercises {code}");
     }
 }

@@ -1,0 +1,9 @@
+//! Bad: span-start calls whose RAII guard never survives the statement.
+//! Both forms close the span at zero width — the code *looks*
+//! instrumented but every trace records an empty stage.
+
+pub fn handle(tracer: &Tracer, ctx: &TraceCtx<'_>) {
+    let _ = tracer.start_root_span(0, "ingest");
+    ctx.child_span("track");
+    do_work();
+}

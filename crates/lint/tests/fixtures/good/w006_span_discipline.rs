@@ -1,0 +1,12 @@
+//! Good: every span start reaches a named guard that lives across the
+//! work it measures; the one deliberate fire-and-forget marker carries a
+//! reasoned pragma.
+
+pub fn handle(tracer: &Tracer, trace: Option<&TraceCtx<'_>>) -> bool {
+    let root = tracer.start_root_span(0, "ingest");
+    let span = trace.map(|t| t.child_span("track"));
+    do_work();
+    // lint: allow(span_discipline) — zero-width marker span is the point here
+    trace.map(|t| t.child_span("checkpoint_marker"));
+    span.is_some() && root.is_some()
+}

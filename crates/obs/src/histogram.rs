@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::clock::Clock;
+
 /// Number of power-of-two buckets. Bucket `i` counts values `v` with
 /// `bucket_index(v) == i`; bucket 0 holds `v == 0`, bucket `i >= 1` holds
 /// `2^(i-1) <= v < 2^i`, and the last bucket absorbs everything above.
@@ -74,6 +76,18 @@ impl Histogram {
         }
     }
 
+    /// Like [`Histogram::time`], but reads the given [`Clock`] instead of
+    /// `Instant` — inject a stepping clock to make timing goldens
+    /// deterministic.
+    #[inline]
+    pub fn time_with<'a>(&'a self, clock: &'a dyn Clock) -> ClockSpanTimer<'a> {
+        ClockSpanTimer {
+            histogram: self,
+            clock,
+            start_us: clock.now_us(),
+        }
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -120,6 +134,27 @@ impl Drop for SpanTimer<'_> {
     fn drop(&mut self) {
         self.histogram
             .record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// Like [`SpanTimer`] but driven by an injected [`Clock`]. Obtain via
+/// [`Histogram::time_with`].
+#[derive(Debug)]
+pub struct ClockSpanTimer<'a> {
+    histogram: &'a Histogram,
+    clock: &'a dyn Clock,
+    start_us: u64,
+}
+
+impl ClockSpanTimer<'_> {
+    /// Stops the span early (equivalent to dropping the guard).
+    pub fn stop(self) {}
+}
+
+impl Drop for ClockSpanTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram
+            .record(self.clock.now_us().saturating_sub(self.start_us));
     }
 }
 
@@ -262,6 +297,19 @@ mod tests {
         }
         h.time().stop();
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn clock_span_timer_records_deterministic_duration() {
+        use crate::clock::SteppingClock;
+        let h = Histogram::new();
+        let clock = SteppingClock::new(0, 7);
+        {
+            let _t = h.time_with(&clock); // start 0, end 7
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 7);
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   deterministic text form for golden tests, and Prometheus-style
 //!   exposition;
 //! * [`Collect`] / [`Registry`] — how per-shard and per-route metric
-//!   structs are labelled and gathered into one snapshot.
+//!   structs are labelled and gathered into one snapshot;
+//! * [`Clock`] — injectable microsecond time source ([`MonotonicClock`]
+//!   in production, [`SteppingClock`] in deterministic goldens);
+//! * [`trace`] — causal span tracing with a tail-sampled flight
+//!   recorder ([`Tracer`] / [`TraceCtx`] / [`SpanGuard`]), Chrome
+//!   trace-event export and a deterministic text dump.
 //!
 //! # Design rules
 //!
@@ -47,10 +52,18 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod clock;
 pub mod counter;
 pub mod histogram;
 pub mod snapshot;
+pub mod trace;
 
+pub use clock::{Clock, MonotonicClock, SteppingClock};
 pub use counter::{Counter, Gauge};
-pub use histogram::{Histogram, HistogramSnapshot, SpanTimer, BUCKETS};
-pub use snapshot::{metric_key, Collect, MetricsSnapshot, Registry};
+pub use histogram::{ClockSpanTimer, Histogram, HistogramSnapshot, SpanTimer, BUCKETS};
+pub use snapshot::{
+    escape_label_value, metric_key, validate_exposition_line, Collect, MetricsSnapshot, Registry,
+};
+pub use trace::{
+    FieldList, FieldValue, SpanData, SpanGuard, TraceConfig, TraceCtx, TraceData, Tracer,
+};

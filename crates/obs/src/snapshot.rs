@@ -131,14 +131,17 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Prometheus text exposition (one `# TYPE` line per family, then the
-    /// samples; histograms expand to `_bucket`/`_sum`/`_count` series).
+    /// Prometheus text exposition (one `# HELP` + `# TYPE` pair per
+    /// family, then the samples; histograms expand to
+    /// `_bucket`/`_sum`/`_count` series). Every emitted line conforms to
+    /// the exposition grammar checked by [`validate_exposition_line`].
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
         let mut type_line = |out: &mut String, key: &str, ty: &str| {
             let fam = family_of(key).to_string();
             if fam != last_family {
+                out.push_str(&format!("# HELP {fam} {}\n", help_of(ty)));
                 out.push_str(&format!("# TYPE {fam} {ty}\n"));
                 last_family = fam;
             }
@@ -154,7 +157,7 @@ impl MetricsSnapshot {
         for (k, h) in &self.histograms {
             let fam = family_of(k);
             let labels = labels_of(k);
-            out.push_str(&format!("# TYPE {fam} histogram\n"));
+            type_line(&mut out, k, "histogram");
             for (le, cum) in h.cumulative_buckets() {
                 let le = if le == u64::MAX {
                     "+Inf".to_string()
@@ -186,6 +189,169 @@ fn labels_of(key: &str) -> &str {
     key.find('{')
         .map(|i| &key[i + 1..key.len() - 1])
         .unwrap_or("")
+}
+
+/// The `# HELP` docstring for a metric type. Per-family prose lives in
+/// DESIGN.md; the exposition carries the type contract, which is what
+/// scrapers act on.
+fn help_of(ty: &str) -> &'static str {
+    match ty {
+        "counter" => "Monotonically increasing event count.",
+        "gauge" => "Instantaneous value; may decrease.",
+        _ => "Distribution of recorded values (microseconds for *_us families).",
+    }
+}
+
+/// Escapes a label *value* for embedding in `name{label="value"}`: the
+/// exposition format requires `\\`, `\"` and `\n` escapes inside quoted
+/// label values. Use when a label value comes from runtime data (route
+/// names, field ids) rather than a literal.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn validate_metric_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => {}
+        _ => return Err(format!("invalid metric name {name:?}")),
+    }
+    if chars.all(is_name_char) {
+        Ok(())
+    } else {
+        Err(format!("invalid metric name {name:?}"))
+    }
+}
+
+fn validate_label_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return Err(format!("invalid label name {name:?}")),
+    }
+    if chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(())
+    } else {
+        Err(format!("invalid label name {name:?}"))
+    }
+}
+
+/// Checks one line of Prometheus text exposition against the format
+/// grammar: `# HELP`/`# TYPE` directives, free comments, or a sample
+/// `name[{label="value",…}] value` with properly escaped label values
+/// and a parseable sample value. Empty lines are legal separators.
+pub fn validate_exposition_line(line: &str) -> Result<(), String> {
+    if line.is_empty() {
+        return Ok(());
+    }
+    if let Some(comment) = line.strip_prefix('#') {
+        let body = comment.trim_start();
+        if let Some(meta) = body.strip_prefix("TYPE ") {
+            let mut parts = meta.split(' ');
+            validate_metric_name(parts.next().unwrap_or(""))?;
+            let ty = parts.next().unwrap_or("");
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                return Err(format!("unknown metric type {ty:?}"));
+            }
+            if parts.next().is_some() {
+                return Err(format!("trailing tokens after TYPE: {line:?}"));
+            }
+            return Ok(());
+        }
+        if let Some(meta) = body.strip_prefix("HELP ") {
+            let name = meta.split(' ').next().unwrap_or("");
+            return validate_metric_name(name);
+        }
+        // Any other comment is legal free text.
+        return Ok(());
+    }
+    // Sample line: metric name, optional label block, space, value.
+    let name_end = line.find(|c: char| !is_name_char(c)).unwrap_or(line.len());
+    validate_metric_name(line.get(..name_end).unwrap_or(""))?;
+    let rest = line.get(name_end..).unwrap_or("");
+    let rest = if let Some(labels) = rest.strip_prefix('{') {
+        validate_label_block(labels)?
+    } else {
+        rest
+    };
+    let value = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("missing space before sample value: {line:?}"))?;
+    let mut tokens = value.split(' ');
+    let sample = tokens.next().unwrap_or("");
+    let numeric = sample.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&sample);
+    if !numeric {
+        return Err(format!("unparseable sample value {sample:?}"));
+    }
+    // An optional integer timestamp may follow.
+    if let Some(ts) = tokens.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?}"));
+        }
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens after sample: {line:?}"));
+    }
+    Ok(())
+}
+
+/// Validates `label="value",…}` (the part after the opening brace) and
+/// returns the remainder of the line after the closing brace.
+fn validate_label_block(mut rest: &str) -> Result<&str, String> {
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok(after);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in {rest:?}"))?;
+        validate_label_name(rest.get(..eq).unwrap_or(""))?;
+        let mut chars = rest.get(eq + 1..).unwrap_or("").char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("unquoted label value in {rest:?}"));
+        }
+        let mut close = None;
+        let mut escaped = false;
+        for (i, c) in chars.by_ref() {
+            if escaped {
+                if !['\\', '"', 'n'].contains(&c) {
+                    return Err(format!("invalid escape `\\{c}` in label value"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| format!("unterminated label value in {rest:?}"))?;
+        rest = rest.get(eq + 1 + close + 1..).unwrap_or("");
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.starts_with('}') {
+            return Err(format!(
+                "expected `,` or `}}` after label value in {rest:?}"
+            ));
+        }
+    }
 }
 
 /// Anything that can dump its metrics into a snapshot under a label set.
@@ -307,6 +473,91 @@ mod tests {
         assert!(text.contains("lock_us_bucket{shard=\"0\",le=\"7\"} 1"));
         assert!(text.contains("lock_us_sum{shard=\"0\"} 5"));
         assert!(text.contains("lock_us_count{shard=\"0\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_text_emits_help_once_per_family() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("req_total{shard=\"0\"}", 4);
+        s.add_counter("req_total{shard=\"1\"}", 6);
+        let text = s.prometheus_text();
+        assert_eq!(text.matches("# HELP req_total").count(), 1);
+        let help_idx = text.find("# HELP req_total").unwrap();
+        let type_idx = text.find("# TYPE req_total").unwrap();
+        assert!(help_idx < type_idx);
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn exposition_grammar_accepts_legal_lines() {
+        for line in [
+            "",
+            "# free comment",
+            "# HELP req_total Total requests.",
+            "# TYPE req_total counter",
+            "# TYPE lat_us histogram",
+            "req_total 3",
+            "req_total{shard=\"0\"} 3",
+            "req_total{shard=\"0\",route=\"9 \\\"B\\\" line\"} 3 1700000000",
+            "lat_us_bucket{le=\"+Inf\"} 4",
+            "temp -3.5",
+            "odd NaN",
+        ] {
+            assert!(
+                validate_exposition_line(line).is_ok(),
+                "rejected legal line {line:?}: {:?}",
+                validate_exposition_line(line)
+            );
+        }
+    }
+
+    #[test]
+    fn exposition_grammar_rejects_malformed_lines() {
+        for line in [
+            "1bad_name 3",
+            "name",
+            "name{unclosed=\"x\" 3",
+            "name{a=\"1\"b=\"2\"} 3",
+            "name{a=unquoted} 3",
+            "name{a=\"bad \\q escape\"} 3",
+            "name notanumber",
+            "name 3 extra tokens",
+            "# TYPE name rainbow",
+            "# HELP 1bad docs",
+        ] {
+            assert!(
+                validate_exposition_line(line).is_err(),
+                "accepted malformed line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_rendered_line_passes_the_grammar() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("req_total{shard=\"0\"}", 4);
+        s.add_counter(
+            metric_key(
+                "route_total",
+                &format!("route=\"{}\"", escape_label_value("9 \"B\"\nline")),
+            ),
+            1,
+        );
+        s.add_gauge("buses", -2);
+        let h = Histogram::new();
+        h.record(5);
+        s.add_histogram("lock_us{shard=\"0\"}", h.snapshot());
+        for line in s.prometheus_text().lines() {
+            validate_exposition_line(line)
+                .unwrap_or_else(|e| panic!("line {line:?} fails grammar: {e}"));
+        }
     }
 
     struct Demo {

@@ -21,6 +21,8 @@ use wilocator_geo::Point;
 use wilocator_rf::ApId;
 use wilocator_road::Route;
 
+use wilocator_obs::TraceCtx;
+
 use crate::metrics::PositioningMetrics;
 use crate::route_index::{RouteTileIndex, SubSegment};
 use crate::signature::{signature_from_ranked, TileSignature};
@@ -38,6 +40,18 @@ pub enum FixMethod {
     NearestSignature,
     /// No usable match; position extrapolated inside the mobility window.
     DeadReckoned,
+}
+
+impl FixMethod {
+    /// Stable lowercase label, used for trace-span fields and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FixMethod::Exact => "exact",
+            FixMethod::TieBoundary => "tie_boundary",
+            FixMethod::NearestSignature => "nearest_signature",
+            FixMethod::DeadReckoned => "dead_reckoned",
+        }
+    }
 }
 
 /// A position fix on the route.
@@ -188,7 +202,29 @@ impl RoutePositioner {
     ///
     /// Returns `None` when the scan is empty and no prior exists.
     pub fn locate(&self, ranked: &[(ApId, i32)], time_s: f64, prior: Option<Prior>) -> Option<Fix> {
+        self.locate_traced(ranked, time_s, prior, None)
+    }
+
+    /// [`RoutePositioner::locate`] with an optional trace context: opens a
+    /// `locate` child span annotated with the fix method and position.
+    pub fn locate_traced(
+        &self,
+        ranked: &[(ApId, i32)],
+        time_s: f64,
+        prior: Option<Prior>,
+        trace: Option<&TraceCtx<'_>>,
+    ) -> Option<Fix> {
+        let span = trace.map(|t| t.child_span("locate"));
         let fix = self.locate_inner(ranked, time_s, prior);
+        if let Some(sp) = &span {
+            match fix.as_ref() {
+                Some(f) => {
+                    sp.field("method", f.method.label());
+                    sp.field("s", f.s);
+                }
+                None => sp.field("method", "none"),
+            }
+        }
         if let Some(m) = &self.metrics {
             m.locate_total.inc();
             if ranked.is_empty() {
@@ -471,9 +507,21 @@ impl TrackingFilter {
     ///   from the unwidened prior at the configured pace, so a diverged
     ///   track drifts boundedly instead of compounding.
     pub fn step(&mut self, ranked: &[(ApId, i32)], time_s: f64) -> Option<Fix> {
+        self.step_traced(ranked, time_s, None)
+    }
+
+    /// [`TrackingFilter::step`] with an optional trace context: every
+    /// positioning attempt (acquisition, tracking, widened re-lock) opens
+    /// a `locate` child span.
+    pub fn step_traced(
+        &mut self,
+        ranked: &[(ApId, i32)],
+        time_s: f64,
+        trace: Option<&TraceCtx<'_>>,
+    ) -> Option<Fix> {
         let Some(pr) = self.prior else {
             // Acquisition.
-            let fix = self.positioner.locate(ranked, time_s, None)?;
+            let fix = self.positioner.locate_traced(ranked, time_s, None, trace)?;
             return match fix.method {
                 FixMethod::Exact | FixMethod::TieBoundary => {
                     self.unmatched_streak = 0;
@@ -487,7 +535,9 @@ impl TrackingFilter {
             };
         };
         // Tracking with the raw prior.
-        let fix = self.positioner.locate(ranked, time_s, Some(pr))?;
+        let fix = self
+            .positioner
+            .locate_traced(ranked, time_s, Some(pr), trace)?;
         match fix.method {
             FixMethod::DeadReckoned => {
                 self.unmatched_streak += 1;
@@ -502,7 +552,10 @@ impl TrackingFilter {
                     if let Some(m) = &self.positioner.metrics {
                         m.relock_attempt_total.inc();
                     }
-                    if let Some(refix) = self.positioner.locate(ranked, time_s, Some(widened)) {
+                    if let Some(refix) =
+                        self.positioner
+                            .locate_traced(ranked, time_s, Some(widened), trace)
+                    {
                         if matches!(refix.method, FixMethod::Exact | FixMethod::TieBoundary) {
                             if let Some(m) = &self.positioner.metrics {
                                 m.relock_success_total.inc();

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use wilocator_geo::Point;
+use wilocator_obs::TraceCtx;
 use wilocator_rf::ApId;
 use wilocator_road::Route;
 
@@ -135,10 +136,42 @@ impl TileMapper {
         diagram: &SignalVoronoiDiagram,
         ranked: &[(ApId, i32)],
     ) -> Option<MappedPosition> {
+        self.locate_traced(diagram, ranked, None)
+    }
+
+    /// [`TileMapper::locate`] with an optional trace context: opens a
+    /// `tile_map` child span annotated with the winning tile id and the
+    /// resolution path, and flags a `tile_mapping_miss` anomaly when a
+    /// non-empty scan resolves to nothing.
+    pub fn locate_traced(
+        &self,
+        diagram: &SignalVoronoiDiagram,
+        ranked: &[(ApId, i32)],
+        trace: Option<&TraceCtx<'_>>,
+    ) -> Option<MappedPosition> {
         if ranked.is_empty() {
             return None;
         }
-        let (pos, via_nearest) = self.locate_inner(diagram, ranked);
+        let span = trace.map(|t| t.child_span("tile_map"));
+        let (pos, via_nearest, tile) = self.locate_inner(diagram, ranked);
+        if let Some(sp) = &span {
+            sp.field("nearest_signature", via_nearest);
+            if let Some(tile) = tile {
+                sp.field("tile", tile.0);
+            }
+            match &pos {
+                Some(p) => {
+                    sp.field("s", p.s);
+                    sp.field("via_neighbor", p.via_neighbor);
+                }
+                None => sp.field("miss", true),
+            }
+        }
+        if pos.is_none() {
+            if let Some(t) = trace {
+                t.flag_anomaly("tile_mapping_miss");
+            }
+        }
         if let Some(m) = &self.metrics {
             m.locate_total.inc();
             if via_nearest {
@@ -154,12 +187,13 @@ impl TileMapper {
     }
 
     /// The resolution itself; the bool reports whether the
-    /// nearest-signature fallback fired.
+    /// nearest-signature fallback fired, the tile is the winning
+    /// candidate (if any).
     fn locate_inner(
         &self,
         diagram: &SignalVoronoiDiagram,
         ranked: &[(ApId, i32)],
-    ) -> (Option<MappedPosition>, bool) {
+    ) -> (Option<MappedPosition>, bool, Option<TileId>) {
         let sig = signature_from_ranked(ranked, diagram.config().order);
         let tiles = diagram.tiles_with_signature(&sig);
         let mut via_nearest = false;
@@ -167,7 +201,7 @@ impl TileMapper {
             via_nearest = true;
             match diagram.nearest_signature(&sig) {
                 Some((nearest, _)) => diagram.tiles_with_signature(&nearest.clone()).to_vec(),
-                None => return (None, via_nearest),
+                None => return (None, via_nearest, None),
             }
         } else {
             tiles.to_vec()
@@ -188,8 +222,8 @@ impl TileMapper {
             ia.cmp(&ib).then(area(a).total_cmp(&area(b)))
         });
         match best {
-            Some(best) => (self.map_tile(diagram, best), via_nearest),
-            None => (None, via_nearest),
+            Some(best) => (self.map_tile(diagram, best), via_nearest, Some(best)),
+            None => (None, via_nearest, None),
         }
     }
 
@@ -303,6 +337,66 @@ mod tests {
         let (route, _field, svd) = scene();
         let mapper = TileMapper::build(&svd, &route, 2.0);
         assert!(mapper.locate(&svd, &[]).is_none());
+    }
+
+    #[test]
+    fn locate_traced_annotates_tile_span() {
+        use wilocator_obs::{FieldValue, SteppingClock, TraceConfig, Tracer};
+        let (route, field, svd) = scene();
+        let mapper = TileMapper::build(&svd, &route, 2.0);
+        let tracer = Tracer::new(
+            TraceConfig::default(),
+            1,
+            std::sync::Arc::new(SteppingClock::new(0, 1)),
+        );
+        {
+            let ctx = tracer.start_root_span(0, "ingest").unwrap();
+            let p = route.point_at(150.0);
+            let ranked: Vec<(ApId, i32)> = field
+                .detectable_at(p, -90.0)
+                .into_iter()
+                .map(|(ap, rss)| (ap, rss.round() as i32))
+                .collect();
+            mapper
+                .locate_traced(&svd, &ranked, Some(&ctx))
+                .expect("fix");
+        }
+        let traces = tracer.recent();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].anomaly, None);
+        let span = traces[0]
+            .spans
+            .iter()
+            .find(|sp| sp.name == "tile_map")
+            .expect("tile_map span");
+        assert!(matches!(span.field("tile"), Some(FieldValue::U64(_))));
+        assert!(matches!(span.field("s"), Some(FieldValue::F64(_))));
+    }
+
+    #[test]
+    fn unresolvable_scan_flags_tile_mapping_miss() {
+        use wilocator_obs::{SteppingClock, TraceConfig, Tracer};
+        let (_route, _field, svd) = scene();
+        // A mapper over a disjoint stub route: every tile misses it.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 10_000.0));
+        let n1 = b.add_node(Point::new(10.0, 10_000.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let far = Route::new(RouteId(1), "far", vec![e], &b.build()).unwrap();
+        let mapper = TileMapper::build(&svd, &far, 2.0);
+        let tracer = Tracer::new(
+            TraceConfig::default(),
+            1,
+            std::sync::Arc::new(SteppingClock::new(0, 1)),
+        );
+        {
+            let ctx = tracer.start_root_span(0, "ingest").unwrap();
+            let miss = mapper.locate_traced(&svd, &[(ApId(0), -40)], Some(&ctx));
+            assert!(miss.is_none());
+        }
+        let retained = tracer.retained();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].anomaly, Some("tile_mapping_miss"));
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! `tracedump`: print the slowest stages, per-route latency breakdowns
+//! and anomaly summary of a flight-recorder export.
+//!
+//! ```text
+//! tracedump <trace.json> [--top K]
+//! ```
+
+use std::process::ExitCode;
+
+use wilocator_tracedump::{parse_trace, render_report, validate_nesting};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut top_k = 10usize;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(k)) => top_k = k,
+                _ => return usage("--top takes an integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if path.is_none() => path = Some(arg),
+            _ => return usage("more than one input file"),
+        }
+    }
+    let Some(path) = path else {
+        return usage("no input file");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracedump: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_trace(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("tracedump: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_nesting(&events) {
+        eprintln!("tracedump: {path}: malformed span tree: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", render_report(&events, top_k));
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("tracedump: {problem}");
+    }
+    eprintln!("usage: tracedump <trace.json> [--top K]");
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -2,13 +2,35 @@
 //! full crowdsensing pipeline — simulate, track every bus, train the
 //! predictor, and report accuracy per route.
 //!
-//! Run with `cargo run --release --example vancouver_day`.
+//! Run with `cargo run --release --example vancouver_day`. Pass
+//! `--trace-out trace.json` to also write the server's flight-recorder
+//! export as Chrome trace-event JSON — load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>, or analyze it with
+//! `cargo run --release -p wilocator-tracedump -- trace.json`.
 
 use wilocator::eval::{route_name, run_pipeline, vancouver_city, vancouver_pipeline, Cdf, Scale};
 use wilocator::rf::SignalField;
 use wilocator::road::RouteId;
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out takes a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`; usage: vancouver_day [--trace-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let city = vancouver_city(42);
     println!("Table-I city generated:");
     for route in &city.routes {
@@ -87,4 +109,18 @@ fn main() {
         "  (full exposition: {} lines of Prometheus text)",
         out.server.metrics_text().lines().count()
     );
+
+    if let Some(path) = trace_out {
+        let json = out.server.trace_chrome_json();
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!(
+                "\nflight recorder: wrote {} bytes of Chrome trace JSON to {path}",
+                json.len()
+            ),
+            Err(e) => {
+                eprintln!("write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
