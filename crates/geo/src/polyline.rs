@@ -105,7 +105,7 @@ impl Polyline {
 
     /// Total arc length, metres.
     pub fn length(&self) -> f64 {
-        *self.cum.last().unwrap()
+        self.cum.last().copied().unwrap_or(0.0)
     }
 
     /// The vertices the polyline was built from.
@@ -120,7 +120,7 @@ impl Polyline {
 
     /// Last vertex.
     pub fn end(&self) -> Point {
-        *self.vertices.last().unwrap()
+        self.vertices.last().copied().unwrap_or(Point::ORIGIN)
     }
 
     /// The point at arc-length coordinate `s`.
@@ -128,11 +128,10 @@ impl Polyline {
     /// `s` is clamped to `[0, length]`.
     pub fn point_at(&self, s: f64) -> Point {
         let s = s.clamp(0.0, self.length());
-        // Binary search for the segment containing s.
-        let i = match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
-        {
+        // Binary search for the segment containing s. Construction
+        // rejects non-finite vertices, so `total_cmp` agrees with the
+        // partial order here — and cannot panic.
+        let i = match self.cum.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i.min(self.vertices.len() - 1),
             Err(i) => i - 1,
         };

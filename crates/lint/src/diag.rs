@@ -23,15 +23,27 @@ pub enum Rule {
     /// W006: a span-starting call whose RAII guard is discarded or
     /// dropped at the end of its own statement (zero-width span).
     SpanDiscipline,
+    /// W007: a cycle in the interprocedural lock-acquisition order graph
+    /// (two paths that take the same locks in opposite order).
+    LockOrder,
+    /// W008: arithmetic or comparison mixing operands whose identifier
+    /// suffixes imply different physical units (`_dbm` + `_m`, …).
+    UnitDataflow,
+    /// W009: a panic site in a callee reachable from a `pub` entry point
+    /// of a serving crate.
+    TransitivePanic,
 }
 
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::UnorderedIter,
     Rule::PanicInLibrary,
     Rule::AtomicOrdering,
     Rule::Accounting,
     Rule::PragmaHygiene,
     Rule::SpanDiscipline,
+    Rule::LockOrder,
+    Rule::UnitDataflow,
+    Rule::TransitivePanic,
 ];
 
 impl Rule {
@@ -43,6 +55,9 @@ impl Rule {
             Rule::Accounting => "W004",
             Rule::PragmaHygiene => "W005",
             Rule::SpanDiscipline => "W006",
+            Rule::LockOrder => "W007",
+            Rule::UnitDataflow => "W008",
+            Rule::TransitivePanic => "W009",
         }
     }
 
@@ -54,6 +69,9 @@ impl Rule {
             Rule::Accounting => "accounting",
             Rule::PragmaHygiene => "pragma_hygiene",
             Rule::SpanDiscipline => "span_discipline",
+            Rule::LockOrder => "lock_order",
+            Rule::UnitDataflow => "unit_dataflow",
+            Rule::TransitivePanic => "transitive_panic",
         }
     }
 
@@ -68,7 +86,28 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One diagnostic: rule, location, message, optional help note.
+/// A machine-applicable (or suggestion-only) edit attached to a
+/// diagnostic. The edit targets the raw text of the violation's line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixKind {
+    /// Replace the first occurrence of `find` on the line with `replace`.
+    ReplaceSubstr { find: String, replace: String },
+    /// Replace the whole line (indentation included) with `new`.
+    ReplaceLine { new: String },
+    /// Delete the line entirely.
+    DeleteLine,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixEdit {
+    pub kind: FixKind,
+    /// `true`: semantics-preserving, `--fix` applies it. `false`: a
+    /// suggestion (e.g. a rename) — shown in the `--fix --dry-run` diff
+    /// as a comment, never applied.
+    pub safe: bool,
+}
+
+/// One diagnostic: rule, location, message, optional help note and fix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     pub rule: Rule,
@@ -77,6 +116,7 @@ pub struct Violation {
     pub line: usize,
     pub message: String,
     pub note: Option<String>,
+    pub fix: Option<FixEdit>,
 }
 
 impl Violation {
@@ -87,11 +127,17 @@ impl Violation {
             line,
             message: message.into(),
             note: None,
+            fix: None,
         }
     }
 
     pub fn with_note(mut self, note: impl Into<String>) -> Self {
         self.note = Some(note.into());
+        self
+    }
+
+    pub fn with_fix(mut self, kind: FixKind, safe: bool) -> Self {
+        self.fix = Some(FixEdit { kind, safe });
         self
     }
 

@@ -16,10 +16,13 @@ pub struct Line {
     /// blanked (the delimiting quotes are kept so `.expect("")`-style
     /// patterns still show the call shape).
     pub code: String,
+    /// The original line text, untouched. The autofix engine edits raw
+    /// text, never the blanked form.
+    pub raw: String,
     /// Comment text on the line (`//`, `///`, `//!`, or block-comment
     /// content), without the comment markers.
     pub comment: String,
-    /// True if the comment is a doc comment (`///` or `//!`).
+    /// True if the comment is a doc comment (`///`, `//!`, `/**`, `/*!`).
     pub is_doc: bool,
     /// True if the line is inside `#[cfg(test)]` or `#[test]` scope.
     /// Filled in by [`mark_test_scopes`].
@@ -48,8 +51,9 @@ impl SourceFile {
 
 enum Mode {
     Code,
-    /// Block comment at a nesting depth.
-    Block(u32),
+    /// Block comment at a nesting depth; `bool` marks a doc block
+    /// comment (`/**` or `/*!`).
+    Block(u32, bool),
     /// Inside a `"…"` string literal.
     Str,
     /// Inside a raw string literal closed by `"` followed by this many `#`.
@@ -60,7 +64,10 @@ fn lex(text: &str) -> Vec<Line> {
     let mut lines = Vec::new();
     let mut mode = Mode::Code;
     for raw in text.lines() {
-        let mut line = Line::default();
+        let mut line = Line {
+            raw: raw.to_string(),
+            ..Line::default()
+        };
         let chars: Vec<char> = raw.chars().collect();
         let mut i = 0;
         while i < chars.len() {
@@ -84,7 +91,15 @@ fn lex(text: &str) -> Vec<Line> {
                         i = chars.len();
                     }
                     '/' if chars.get(i + 1) == Some(&'*') => {
-                        mode = Mode::Block(1);
+                        // `/**` (but not the empty `/**/`) and `/*!` open
+                        // doc block comments.
+                        let third = chars.get(i + 2);
+                        let doc = third == Some(&'!')
+                            || (third == Some(&'*') && chars.get(i + 3) != Some(&'/'));
+                        if doc {
+                            line.is_doc = true;
+                        }
+                        mode = Mode::Block(1, doc);
                         i += 2;
                     }
                     '"' => {
@@ -121,8 +136,11 @@ fn lex(text: &str) -> Vec<Line> {
                         // Char literal vs lifetime. A char literal closes with
                         // a `'` shortly after; a lifetime does not.
                         if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: skip to closing quote.
-                            let mut j = i + 2;
+                            // Escaped char literal: the escaped character
+                            // sits at i + 2 and may itself be `'` (as in
+                            // `'\''`), so the closing-quote scan starts
+                            // one past it.
+                            let mut j = i + 3;
                             while j < chars.len() && chars[j] != '\'' {
                                 j += 1;
                             }
@@ -142,16 +160,19 @@ fn lex(text: &str) -> Vec<Line> {
                         i += 1;
                     }
                 },
-                Mode::Block(depth) => {
+                Mode::Block(depth, doc) => {
+                    if doc {
+                        line.is_doc = true;
+                    }
                     if chars.get(i) == Some(&'*') && chars.get(i + 1) == Some(&'/') {
                         mode = if depth == 1 {
                             Mode::Code
                         } else {
-                            Mode::Block(depth - 1)
+                            Mode::Block(depth - 1, doc)
                         };
                         i += 2;
                     } else if chars.get(i) == Some(&'/') && chars.get(i + 1) == Some(&'*') {
-                        mode = Mode::Block(depth + 1);
+                        mode = Mode::Block(depth + 1, doc);
                         i += 2;
                     } else {
                         line.comment.push(c);
@@ -300,5 +321,54 @@ mod tests {
         let f = SourceFile::parse("t.rs", "/// docs about tearing\nfn snapshot() {}");
         assert!(f.lines[0].is_doc);
         assert_eq!(f.lines[0].comment, "docs about tearing");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_blanked() {
+        // `'\''` used to leave a stray quote behind, which then read as a
+        // lifetime tick and shifted everything after it.
+        let f = SourceFile::parse("t.rs", "let q = '\\''; x.unwrap();");
+        assert_eq!(f.lines[0].code.trim(), "let q = ''; x.unwrap();");
+        let f = SourceFile::parse("t.rs", "let b = b'\\''; x.unwrap();");
+        assert_eq!(f.lines[0].code.trim(), "let b = b''; x.unwrap();");
+        // Longer escapes still close at the right quote.
+        let f = SourceFile::parse("t.rs", "let u = '\\u{1F600}'; y.unwrap();");
+        assert_eq!(f.lines[0].code.trim(), "let u = ''; y.unwrap();");
+    }
+
+    #[test]
+    fn raw_string_hash_counts_must_match() {
+        let f = SourceFile::parse("t.rs", "let s = r##\"abc\"# def\"##; z.unwrap();");
+        assert_eq!(f.lines[0].code.trim(), "let s = \"\"; z.unwrap();");
+        let f = SourceFile::parse("t.rs", "let s = r#\"a\"b\"#; y.unwrap();");
+        assert_eq!(f.lines[0].code.trim(), "let s = \"\"; y.unwrap();");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "a /* x /* y */ z */ b\n/* one /* two */\nstill */ c",
+        );
+        assert_eq!(f.lines[0].code.trim(), "a  b");
+        assert_eq!(f.lines[1].code.trim(), "");
+        assert_eq!(f.lines[2].code.trim(), "c");
+    }
+
+    #[test]
+    fn block_doc_comments_are_flagged() {
+        let f = SourceFile::parse("t.rs", "/** can tear\nacross fields */\nfn snapshot() {}");
+        assert!(f.lines[0].is_doc);
+        assert!(f.lines[1].is_doc);
+        assert!(!f.lines[2].is_doc);
+        let f = SourceFile::parse("t.rs", "/* plain */ code()");
+        assert!(!f.lines[0].is_doc);
+    }
+
+    #[test]
+    fn raw_lines_are_retained_verbatim() {
+        let src = "let x = \"literal\"; // comment";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.lines[0].raw, src);
     }
 }

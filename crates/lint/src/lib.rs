@@ -3,8 +3,11 @@
 //!
 //! A zero-dependency, offline lint pass (lightweight lexer + line/scope
 //! analyzer — deliberately no `syn`, per the vendored-shim constraint)
-//! that machine-checks the three invariants the serving system depends
-//! on and that code review kept re-discovering per flake:
+//! that machine-checks the invariants the serving system depends on and
+//! that code review kept re-discovering per flake. Per-file rules run
+//! on the blanked line stream; the graph rules run on a workspace-wide
+//! symbol table + call graph ([`symbols`], [`callgraph`]) built from
+//! the same stream:
 //!
 //! | rule | slug                | checks |
 //! |------|---------------------|--------|
@@ -14,23 +17,34 @@
 //! | W004 | `accounting`        | every accounted enum variant hits exactly one counter family |
 //! | W005 | `pragma_hygiene`    | allow pragmas are real, reasoned, and used |
 //! | W006 | `span_discipline`   | span-start guards are bound, never discarded or dropped inline |
+//! | W007 | `lock_order`        | one global lock order, propagated through call edges; no cycles |
+//! | W008 | `unit_dataflow`     | no mixed-unit arithmetic; suffix units flow through parameters |
+//! | W009 | `transitive_panic`  | no panic sites reachable from pub serving-crate entry points |
 //!
 //! Run it as `cargo run -p wilocator-lint -- --workspace`; it prints
-//! rustc-style diagnostics and exits nonzero on any violation. See
-//! DESIGN.md §8 for the rule catalog and the pragma escape hatch.
+//! rustc-style diagnostics and exits nonzero on any violation.
+//! `--format sarif` emits SARIF 2.1.0; `--fix` (optionally with
+//! `--dry-run`) applies conservative rewrites. See DESIGN.md §8 for the
+//! rule catalog and the pragma escape hatch.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 pub mod accounting;
+pub mod callgraph;
 pub mod diag;
+pub mod fix;
 pub mod lexer;
 pub mod pragma;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
+pub mod units;
 
-pub use diag::{Rule, Violation, ALL_RULES};
+pub use diag::{FixEdit, FixKind, Rule, Violation, ALL_RULES};
 pub use lexer::SourceFile;
 pub use rules::FileContext;
+pub use symbols::SymbolTable;
 
 use pragma::PragmaSet;
 use std::path::{Path, PathBuf};
@@ -41,6 +55,10 @@ pub const DETERMINISTIC_CRATES: [&str; 5] = ["svd", "core", "road", "geo", "base
 pub const SERVING_CRATES: [&str; 3] = ["core", "svd", "obs"];
 /// The lock-free observability crate (W003 scope).
 pub const OBSERVABILITY_CRATES: [&str; 1] = ["obs"];
+/// Crates with no per-file rule scope of their own that still belong in
+/// the workspace symbol table: their functions sit below serving entry
+/// points, so W007/W009 must see their bodies.
+pub const CALLGRAPH_CRATES: [&str; 1] = ["rf"];
 
 /// The rule context for a workspace-relative path like
 /// `crates/core/src/server.rs`.
@@ -59,11 +77,13 @@ pub fn context_for_path(path: &str) -> FileContext {
 }
 
 /// Lints a set of lexed files, each under its own context, and returns
-/// all violations sorted by (file, line, rule).
+/// all violations, deduplicated and sorted by (file, line, rule,
+/// message).
 pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
     let sources: Vec<&SourceFile> = files.iter().map(|(f, _)| f).collect();
     let mut pragmas = PragmaSet::collect(sources.iter().copied());
     let mut out = Vec::new();
+    // Phase 1: per-file rules on the blanked line stream.
     for (file, ctx) in files {
         if ctx.deterministic {
             rules::w001_unordered_iter(file, &mut pragmas, &mut out);
@@ -77,8 +97,20 @@ pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
         }
     }
     accounting::w004_accounting(&sources, &mut out);
+    // Phase 2: workspace symbol table and graph rules.
+    let table = symbols::SymbolTable::build(files);
+    callgraph::w007_lock_order(&table, &mut pragmas, &mut out);
+    units::w008_unit_dataflow(files, &table, &mut pragmas, &mut out);
+    callgraph::w009_transitive_panic(&table, &mut pragmas, &mut out);
+    // Hygiene last: it needs to know which pragmas the rules consumed.
     out.extend(pragmas.hygiene_violations());
-    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    fix::attach_fixes(files, &mut out);
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out.dedup_by(|a, b| {
+        a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+    });
     out
 }
 
@@ -98,6 +130,7 @@ pub fn run_workspace(root: &Path) -> Vec<Violation> {
         .iter()
         .chain(SERVING_CRATES.iter())
         .chain(OBSERVABILITY_CRATES.iter())
+        .chain(CALLGRAPH_CRATES.iter())
         .map(|s| s.to_string())
         .collect();
     crates.sort();

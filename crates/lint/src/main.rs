@@ -1,9 +1,12 @@
 //! CLI for `wilocator-lint`.
 //!
 //! ```text
-//! cargo run -p wilocator-lint -- --workspace     # lint the whole tree
-//! cargo run -p wilocator-lint -- path/to/file.rs # lint files (all rules)
-//! cargo run -p wilocator-lint -- --rules         # print the rule catalog
+//! cargo run -p wilocator-lint -- --workspace                # lint the whole tree
+//! cargo run -p wilocator-lint -- --workspace --format sarif # SARIF 2.1.0 log on stdout
+//! cargo run -p wilocator-lint -- --workspace --fix          # apply safe fixes
+//! cargo run -p wilocator-lint -- --workspace --fix --dry-run# print the fix diff only
+//! cargo run -p wilocator-lint -- path/to/file.rs            # lint files (all rules)
+//! cargo run -p wilocator-lint -- --rules                    # print the rule catalog
 //! ```
 //!
 //! Exits 0 when clean, 1 on any violation (including pragma-hygiene), 2
@@ -12,10 +15,12 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use wilocator_lint::{analyze_file_all_rules, find_workspace_root, run_workspace, ALL_RULES};
+use wilocator_lint::{
+    analyze_file_all_rules, find_workspace_root, fix, run_workspace, sarif, ALL_RULES,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +35,27 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let want_sarif = match format_flag(&args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("wilocator-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let want_fix = args.iter().any(|a| a == "--fix");
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    if dry_run && !want_fix {
+        eprintln!("wilocator-lint: --dry-run only makes sense with --fix");
+        return ExitCode::from(2);
+    }
+    if want_fix && want_sarif {
+        eprintln!("wilocator-lint: --fix and --format sarif are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    // The root fixes resolve against: the workspace root in --workspace
+    // mode, the current directory for explicit file arguments.
+    let mut fix_root = PathBuf::from(".");
     let violations = if args.iter().any(|a| a == "--workspace") {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
@@ -45,10 +71,23 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         };
+        fix_root = root.clone();
         run_workspace(&root)
     } else {
         let mut all = Vec::new();
+        let mut skip_next = false;
         for arg in &args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if arg == "--format" {
+                skip_next = true;
+                continue;
+            }
+            if arg == "--fix" || arg == "--dry-run" || arg.starts_with("--format=") {
+                continue;
+            }
             if arg.starts_with('-') {
                 eprintln!("wilocator-lint: unknown flag `{arg}`");
                 return ExitCode::from(2);
@@ -64,6 +103,40 @@ fn main() -> ExitCode {
         all
     };
 
+    if want_fix && dry_run {
+        // Diff only; CI's `lint-fix-is-noop` check asserts this is empty
+        // on a clean tree.
+        print!("{}", fix::dry_run(&fix_root, &violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if want_fix {
+        match fix::apply_to_disk(&fix_root, &violations) {
+            Ok(n) => println!("wilocator-lint: applied {n} fix(es)"),
+            Err(e) => {
+                eprintln!("wilocator-lint: fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if want_sarif {
+        println!("{}", sarif::render(&violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     for v in &violations {
         println!("{v}\n");
     }
@@ -76,11 +149,38 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses `--format <rustc|sarif>` (or `--format=<…>`); `Ok(true)` means
+/// SARIF.
+fn format_flag(args: &[String]) -> Result<bool, String> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--format=") {
+            return match v {
+                "sarif" => Ok(true),
+                "rustc" => Ok(false),
+                other => Err(format!("unknown format `{other}` (rustc|sarif)")),
+            };
+        }
+        if arg == "--format" {
+            return match args.get(i + 1).map(String::as_str) {
+                Some("sarif") => Ok(true),
+                Some("rustc") => Ok(false),
+                Some(other) => Err(format!("unknown format `{other}` (rustc|sarif)")),
+                None => Err("--format needs a value (rustc|sarif)".to_string()),
+            };
+        }
+    }
+    Ok(false)
+}
+
 fn print_usage() {
     eprintln!(
-        "usage: wilocator-lint --workspace | --rules | <file.rs>...\n\
+        "usage: wilocator-lint [--workspace | <file.rs>...] [--format rustc|sarif] [--fix [--dry-run]] | --rules\n\
          Checks determinism (W001), panic-freedom (W002), atomic orderings\n\
-         (W003), accounting exhaustiveness (W004), pragma hygiene (W005)\n\
-         and span guard discipline (W006)."
+         (W003), accounting exhaustiveness (W004), pragma hygiene (W005),\n\
+         span guard discipline (W006), lock order (W007), unit dataflow\n\
+         (W008) and transitive panic paths (W009).\n\
+         --format sarif  emit a SARIF 2.1.0 log on stdout\n\
+         --fix           apply safe fixes in place\n\
+         --fix --dry-run print the fix diff (and suggestions) without writing"
     );
 }

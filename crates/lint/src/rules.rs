@@ -159,7 +159,7 @@ fn is_integer_sum(code: &str) -> bool {
 }
 
 /// The identifier immediately before byte offset `at` in `code`.
-fn ident_before(code: &str, at: usize) -> String {
+pub(crate) fn ident_before(code: &str, at: usize) -> String {
     code[..at]
         .chars()
         .rev()
@@ -346,7 +346,7 @@ pub fn w002_panic_in_library(file: &SourceFile, pragmas: &mut PragmaSet, out: &m
 /// True when `pat` occurs in `code` as a call, not as part of a longer
 /// identifier (so `.unwrap()` does not match `.unwrap_or_else(`, and
 /// `panic!(` does not match `core::panic!(` prefixed identifiers oddly).
-fn contains_call(code: &str, pat: &str) -> bool {
+pub(crate) fn contains_call(code: &str, pat: &str) -> bool {
     let mut search = 0;
     while let Some(found) = code[search..].find(pat) {
         let at = search + found;

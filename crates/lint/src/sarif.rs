@@ -1,0 +1,187 @@
+//! SARIF 2.1.0 emission (`--format sarif`).
+//!
+//! Hand-rolled JSON — the crate is dependency-free by design — covering
+//! the subset CI result viewers actually read: one `run` with the tool's
+//! rule catalog and one `result` per violation, each with a physical
+//! location (workspace-relative URI + 1-based start line). Safe fixes
+//! ride along as `fixes[].description` text so a reviewer sees what
+//! `--fix` would do without leaving the SARIF viewer.
+
+use crate::diag::{FixKind, Violation, ALL_RULES};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full SARIF log for a set of violations.
+pub fn render(violations: &[Violation]) -> String {
+    let mut rules = String::new();
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        rules.push_str(&format!(
+            r#"{{"id":"{}","name":"{}","shortDescription":{{"text":"{}"}}}}"#,
+            rule.code(),
+            escape(rule.slug()),
+            escape(rule.slug())
+        ));
+    }
+
+    let mut results = String::new();
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        let mut message = v.message.clone();
+        if let Some(note) = &v.note {
+            message.push_str("; help: ");
+            message.push_str(note);
+        }
+        results.push_str(&format!(
+            concat!(
+                r#"{{"ruleId":"{rule}","level":"error","message":{{"text":"{msg}"}},"#,
+                r#""locations":[{{"physicalLocation":{{"artifactLocation":"#,
+                r#"{{"uri":"{uri}"}},"region":{{"startLine":{line}}}}}}}]"#
+            ),
+            rule = v.rule.code(),
+            msg = escape(&message),
+            uri = escape(&v.file),
+            line = v.line,
+        ));
+        if let Some(fix) = &v.fix {
+            let desc = match &fix.kind {
+                FixKind::ReplaceSubstr { find, replace } => {
+                    format!("replace `{find}` with `{replace}`")
+                }
+                FixKind::ReplaceLine { new } => format!("replace the line with `{}`", new.trim()),
+                FixKind::DeleteLine => "delete the line".to_string(),
+            };
+            let applied = if fix.safe {
+                "applied by --fix"
+            } else {
+                "suggestion only"
+            };
+            results.push_str(&format!(
+                r#","fixes":[{{"description":{{"text":"{} ({applied})"}}}}]"#,
+                escape(&desc)
+            ));
+        }
+        results.push('}');
+    }
+
+    format!(
+        concat!(
+            r#"{{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","#,
+            r#""version":"2.1.0","runs":[{{"tool":{{"driver":{{"#,
+            r#""name":"wilocator-lint","informationUri":"https://example.invalid/wilocator","#,
+            r#""rules":[{rules}]}}}},"results":[{results}]}}]}}"#
+        ),
+        rules = rules,
+        results = results,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Rule, Violation};
+    use wilocator_tracedump::{parse_json, Json};
+
+    fn arr(j: &Json) -> &[Json] {
+        match j {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn sample() -> Vec<Violation> {
+        vec![
+            Violation::new(
+                Rule::LockOrder,
+                "crates/core/src/server.rs",
+                42,
+                "lock-order cycle: `core::a` → `core::b` → `core::a`",
+            )
+            .with_note("pick one global order"),
+            Violation::new(
+                Rule::UnitDataflow,
+                "crates/rf/src/field.rs",
+                7,
+                "mixed units: `a_dbm` is dBm but \"b_m\" is meters",
+            )
+            .with_fix(
+                crate::diag::FixKind::ReplaceSubstr {
+                    find: "b_meters".into(),
+                    replace: "b_m".into(),
+                },
+                false,
+            ),
+        ]
+    }
+
+    #[test]
+    fn sarif_log_parses_and_has_required_shape() {
+        let log = render(&sample());
+        let json = parse_json(&log).expect("valid JSON");
+        assert_eq!(json.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+        let runs = arr(json.get("runs").expect("runs"));
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(
+            driver.get("name").and_then(|n| n.as_str()),
+            Some("wilocator-lint")
+        );
+        let rules = arr(driver.get("rules").expect("rules"));
+        assert_eq!(rules.len(), ALL_RULES.len());
+        assert!(rules
+            .iter()
+            .any(|r| r.get("id").and_then(|i| i.as_str()) == Some("W009")));
+        let results = arr(runs[0].get("results").expect("results"));
+        assert_eq!(results.len(), 2);
+        let loc = &arr(results[0].get("locations").expect("locs"))[0];
+        let region = loc
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .expect("region");
+        assert_eq!(region.get("startLine").and_then(|l| l.as_u64()), Some(42));
+        let uri = loc
+            .get("physicalLocation")
+            .and_then(|p| p.get("artifactLocation"))
+            .and_then(|a| a.get("uri"))
+            .and_then(|u| u.as_str());
+        assert_eq!(uri, Some("crates/core/src/server.rs"));
+    }
+
+    #[test]
+    fn message_quotes_are_escaped() {
+        let log = render(&sample());
+        assert!(log.contains(r#"\"b_m\""#), "{log}");
+        assert!(parse_json(&log).is_ok());
+    }
+
+    #[test]
+    fn empty_run_is_still_valid() {
+        let log = render(&[]);
+        let json = parse_json(&log).expect("valid JSON");
+        let runs = arr(json.get("runs").expect("runs"));
+        let results = arr(runs[0].get("results").expect("results"));
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,485 @@
+//! W008 `unit_dataflow`: physical-unit inference from identifier
+//! suffixes, and mixed-unit arithmetic detection.
+//!
+//! The workspace's naming convention carries units in suffixes —
+//! `rss_dbm`, `distance_m`, `headway_s`, `start_us`, `bearing_deg` — so
+//! a lexer-level rule can catch the classic silent-corruption bugs:
+//! seconds added to microseconds, meters compared against kilometers, a
+//! dBm power level compared against a dB ratio. Three checks:
+//!
+//! 1. **Intra-function**: additive operators (`+ - += -=`), comparisons
+//!    (`< > <= >= == !=`) and straight assignments between identifier
+//!    paths whose suffixes imply incompatible units. Multiplication and
+//!    division are unit-*forming* (`m / s → mps`) and never flagged.
+//!    One algebraic exception: `dBm ± dB` is how path loss works
+//!    (absolute level plus/minus a ratio stays absolute), so the
+//!    additive check treats `dbm` and `db` as compatible while the
+//!    comparison check does not.
+//! 2. **Cross-function**: a call argument whose unit contradicts the
+//!    callee parameter's unit, via the symbol table's call sites — only
+//!    when *every* candidate callee disagrees, so an ambiguous name
+//!    never flags.
+//! 3. **Suffix canon**: non-canonical unit suffixes (`_seconds`,
+//!    `_meters`, `_micros`, …) get a suggestion-only rename fix so the
+//!    convention stays greppable; the rename is offered in the
+//!    `--fix --dry-run` diff, never applied automatically.
+
+use crate::diag::{FixKind, Rule, Violation};
+use crate::lexer::{is_ident_char, SourceFile};
+use crate::pragma::PragmaSet;
+use crate::symbols::SymbolTable;
+
+/// Canonical unit suffixes. `(suffix, human name)`.
+const UNITS: &[(&str, &str)] = &[
+    ("db", "decibels (ratio)"),
+    ("dbm", "dBm (absolute power)"),
+    ("deg", "degrees"),
+    ("hz", "hertz"),
+    ("km", "kilometers"),
+    ("m", "meters"),
+    ("mps", "meters/second"),
+    ("ms", "milliseconds"),
+    ("rad", "radians"),
+    ("s", "seconds"),
+    ("us", "microseconds"),
+];
+
+/// Non-canonical spellings of the suffixes above → canonical form.
+const ALIASES: &[(&str, &str)] = &[
+    ("degrees", "deg"),
+    ("hertz", "hz"),
+    ("kilometers", "km"),
+    ("meter", "m"),
+    ("meters", "m"),
+    ("metres", "m"),
+    ("micros", "us"),
+    ("millis", "ms"),
+    ("msec", "ms"),
+    ("radians", "rad"),
+    ("sec", "s"),
+    ("seconds", "s"),
+    ("secs", "s"),
+    ("usec", "us"),
+];
+
+/// The canonical unit implied by an identifier's trailing `_suffix`,
+/// if any.
+pub fn unit_of(ident: &str) -> Option<&'static str> {
+    let (_, suffix) = ident.rsplit_once('_')?;
+    if let Ok(i) = UNITS.binary_search_by_key(&suffix, |(s, _)| s) {
+        return Some(UNITS[i].0);
+    }
+    ALIASES
+        .binary_search_by_key(&suffix, |(a, _)| a)
+        .ok()
+        .map(|i| ALIASES[i].1)
+}
+
+fn human(unit: &str) -> &'static str {
+    UNITS
+        .iter()
+        .find(|(s, _)| *s == unit)
+        .map(|(_, h)| *h)
+        .unwrap_or("?")
+}
+
+/// Whether two inferred units may meet under an operator class.
+fn compatible(a: &str, b: &str, additive: bool) -> bool {
+    if a == b {
+        return true;
+    }
+    // dBm ± dB = dBm: adding a ratio to an absolute level is the one
+    // legitimate mixed-suffix addition in an RF codebase.
+    additive && ((a == "dbm" && b == "db") || (a == "db" && b == "dbm"))
+}
+
+/// Additive / compound-assign operators (spaces are rustfmt's).
+const ADDITIVE_OPS: &[&str] = &[" + ", " - ", " += ", " -= "];
+/// Comparison operators.
+const COMPARE_OPS: &[&str] = &[" < ", " > ", " <= ", " >= ", " == ", " != "];
+
+/// The last path segment of the dotted identifier path ending at byte
+/// offset `end` (exclusive), or `None` when what precedes is not a bare
+/// lowercase path.
+fn path_segment_before(code: &str, end: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = end;
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if is_ident_char(c) || c == '.' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let path = &code[i..end];
+    let last = path.rsplit('.').next().unwrap_or("");
+    (!last.is_empty() && last.starts_with(|c: char| c.is_ascii_lowercase() || c == '_'))
+        .then(|| last.to_string())
+}
+
+/// The last path segment of the dotted identifier path starting at byte
+/// offset `start`; `None` when the path is empty, is a method call
+/// (followed by `(`), or does not start lowercase.
+fn path_segment_after(code: &str, start: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if is_ident_char(c) || c == '.' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if bytes.get(i) == Some(&b'(') {
+        return None; // method/function call — its return unit is unknown
+    }
+    let path = &code[start..i];
+    let last = path.rsplit('.').next().unwrap_or("");
+    (!last.is_empty() && path.starts_with(|c: char| c.is_ascii_lowercase() || c == '_'))
+        .then(|| last.to_string())
+}
+
+pub fn w008_unit_dataflow(
+    files: &[(SourceFile, crate::rules::FileContext)],
+    table: &SymbolTable,
+    pragmas: &mut PragmaSet,
+    out: &mut Vec<Violation>,
+) {
+    for (file, _) in files {
+        scan_file(file, pragmas, out);
+    }
+    scan_call_sites(table, pragmas, out);
+}
+
+fn scan_file(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation>) {
+    let mut alias_seen: Vec<String> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+
+        // Mixed-unit operators.
+        for (ops, additive) in [(ADDITIVE_OPS, true), (COMPARE_OPS, false)] {
+            for op in ops {
+                let mut search = 0;
+                while let Some(found) = code[search..].find(op) {
+                    let at = search + found;
+                    search = at + op.len();
+                    let Some(lhs) = path_segment_before(code, at) else {
+                        continue;
+                    };
+                    let Some(rhs) = path_segment_after(code, at + op.len()) else {
+                        continue;
+                    };
+                    let (Some(lu), Some(ru)) = (unit_of(&lhs), unit_of(&rhs)) else {
+                        continue;
+                    };
+                    if compatible(lu, ru, additive) {
+                        continue;
+                    }
+                    if pragmas.allows(Rule::UnitDataflow, &file.path, lineno) {
+                        continue;
+                    }
+                    out.push(mixed_violation(
+                        &file.path,
+                        lineno,
+                        &lhs,
+                        lu,
+                        op.trim(),
+                        &rhs,
+                        ru,
+                    ));
+                }
+            }
+        }
+
+        // Straight assignment between bare unit-suffixed paths:
+        // `a_s = b_us;`. Anything with a conversion hint on the RHS
+        // (arithmetic, casts, calls) is left alone.
+        if let Some(at) = code.find(" = ") {
+            let rhs_text = code[at + 3..].trim().trim_end_matches(';');
+            let simple = !rhs_text.is_empty()
+                && rhs_text
+                    .chars()
+                    .all(|c| is_ident_char(c) || c == '.' || c == '&' || c == '*');
+            if simple {
+                let rhs_start = at
+                    + 3
+                    + code[at + 3..]
+                        .char_indices()
+                        .find(|(_, c)| is_ident_char(*c))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                if let (Some(lhs), Some(rhs)) = (
+                    path_segment_before(code, at),
+                    path_segment_after(code, rhs_start),
+                ) {
+                    if let (Some(lu), Some(ru)) = (unit_of(&lhs), unit_of(&rhs)) {
+                        if !compatible(lu, ru, false)
+                            && !pragmas.allows(Rule::UnitDataflow, &file.path, lineno)
+                        {
+                            out.push(mixed_violation(&file.path, lineno, &lhs, lu, "=", &rhs, ru));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Non-canonical suffixes: first sighting per identifier per file.
+        for (token, start) in ident_tokens_with_pos(code) {
+            let Some((_, suffix)) = token.rsplit_once('_') else {
+                continue;
+            };
+            let Ok(i) = ALIASES.binary_search_by_key(&suffix, |(a, _)| a) else {
+                continue;
+            };
+            // Method calls (`.to_radians()`) and field projections of
+            // foreign types are not this crate's naming to police.
+            let preceded_by_dot = start > 0 && code.as_bytes()[start - 1] == b'.';
+            let followed_by_paren = code.as_bytes().get(start + token.len()) == Some(&b'(');
+            if preceded_by_dot || followed_by_paren || alias_seen.contains(&token) {
+                continue;
+            }
+            alias_seen.push(token.clone());
+            if pragmas.allows(Rule::UnitDataflow, &file.path, lineno) {
+                continue;
+            }
+            let canonical = ALIASES[i].1;
+            let renamed = format!(
+                "{}_{canonical}",
+                token.rsplit_once('_').map(|(h, _)| h).unwrap_or(&token)
+            );
+            out.push(
+                Violation::new(
+                    Rule::UnitDataflow,
+                    &file.path,
+                    lineno,
+                    format!(
+                        "non-canonical unit suffix `_{suffix}` on `{token}`: the workspace convention is `_{canonical}`"
+                    ),
+                )
+                .with_note(format!(
+                    "rename to `{renamed}` so unit suffixes stay greppable (suggestion only — review each use site)"
+                ))
+                .with_fix(
+                    FixKind::ReplaceSubstr {
+                        find: token.clone(),
+                        replace: renamed,
+                    },
+                    false,
+                ),
+            );
+        }
+    }
+}
+
+fn mixed_violation(
+    file: &str,
+    line: usize,
+    lhs: &str,
+    lu: &str,
+    op: &str,
+    rhs: &str,
+    ru: &str,
+) -> Violation {
+    Violation::new(
+        Rule::UnitDataflow,
+        file,
+        line,
+        format!(
+            "mixed units: `{lhs}` is {} but `{rhs}` is {} (`{op}`)",
+            human(lu),
+            human(ru)
+        ),
+    )
+    .with_note(
+        "convert one side explicitly (the conversion factor documents the intent), or add \
+         `// lint: allow(unit_dataflow) — <why the units agree>`",
+    )
+}
+
+fn ident_tokens_with_pos(code: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in code
+        .char_indices()
+        .chain(std::iter::once((code.len(), ' ')))
+    {
+        if is_ident_char(c) {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            let tok = &code[s..i];
+            if tok.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+                out.push((tok.to_string(), s));
+            }
+        }
+    }
+    out
+}
+
+/// Cross-function check: call arguments vs. callee parameter names.
+fn scan_call_sites(table: &SymbolTable, pragmas: &mut PragmaSet, out: &mut Vec<Violation>) {
+    for f in &table.fns {
+        for call in &f.calls {
+            let candidates = crate::callgraph::resolve(table, f, call);
+            if candidates.is_empty() {
+                continue;
+            }
+            for (pos, arg) in call.args.iter().enumerate() {
+                // Only bare identifier paths carry a unit we can trust.
+                let arg = arg.trim_start_matches(['&', '*']);
+                if arg.is_empty() || !arg.chars().all(|c| is_ident_char(c) || c == '.') {
+                    continue;
+                }
+                let last = arg.rsplit('.').next().unwrap_or(arg);
+                let Some(au) = unit_of(last) else {
+                    continue;
+                };
+                // Every candidate must disagree; one match or unknown
+                // exonerates the call (ambiguous names never flag).
+                let mut verdicts = Vec::new();
+                for &c in &candidates {
+                    let param = table.fns[c].params.get(pos).cloned().unwrap_or_default();
+                    let Some(pu) = unit_of(&param) else {
+                        verdicts.clear();
+                        break;
+                    };
+                    if compatible(au, pu, false) {
+                        verdicts.clear();
+                        break;
+                    }
+                    verdicts.push((param, pu));
+                }
+                let Some((param, pu)) = verdicts.first() else {
+                    continue;
+                };
+                if pragmas.allows(Rule::UnitDataflow, &f.file, call.line) {
+                    continue;
+                }
+                out.push(
+                    Violation::new(
+                        Rule::UnitDataflow,
+                        &f.file,
+                        call.line,
+                        format!(
+                            "argument `{last}` is {} but `{}` expects `{param}` in {}",
+                            human(au),
+                            call.callee,
+                            human(pu)
+                        ),
+                    )
+                    .with_note(
+                        "convert at the call site, or add `// lint: allow(unit_dataflow) — <why>`",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::parse("crates/core/src/t.rs", src);
+        let files = vec![(file, FileContext::all())];
+        let table = SymbolTable::build(&files);
+        let sources: Vec<&SourceFile> = files.iter().map(|(f, _)| f).collect();
+        let mut pragmas = PragmaSet::collect(sources);
+        let mut out = Vec::new();
+        w008_unit_dataflow(&files, &table, &mut pragmas, &mut out);
+        out
+    }
+
+    #[test]
+    fn unit_inference_from_suffixes() {
+        assert_eq!(unit_of("rss_dbm"), Some("dbm"));
+        assert_eq!(unit_of("start_us"), Some("us"));
+        assert_eq!(unit_of("elapsed_seconds"), Some("s"));
+        assert_eq!(unit_of("plain"), None);
+        assert_eq!(unit_of("m"), None);
+    }
+
+    #[test]
+    fn mixed_addition_is_flagged() {
+        let v = run("fn f(a_dbm: f64, b_m: f64) -> f64 {\n    let x = a_dbm + b_m;\n    x\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("mixed units"), "{}", v[0].message);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn same_unit_and_dbm_plus_db_are_clean() {
+        let v = run(
+            "fn f(a_dbm: f64, loss_db: f64, c_m: f64, d_m: f64) -> f64 {\n    let rx_dbm = a_dbm - loss_db;\n    let sum_m = c_m + d_m;\n    rx_dbm.max(sum_m)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dbm_compared_to_db_is_flagged() {
+        let v = run("fn f(a_dbm: f64, b_db: f64) -> bool {\n    a_dbm < b_db\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn seconds_vs_micros_is_flagged() {
+        let v = run("fn f(t_s: f64, limit_us: f64) -> bool {\n    t_s > limit_us\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("seconds") && v[0].message.contains("microseconds"));
+    }
+
+    #[test]
+    fn multiplication_forms_units_and_is_clean() {
+        let v = run("fn f(d_m: f64, t_s: f64) -> f64 {\n    d_m / t_s\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cross_function_arg_mismatch_is_flagged() {
+        let src = "\
+fn caller(time_at_s: f64) -> f64 { scaled(time_at_s) }
+fn scaled(t_us: f64) -> f64 { t_us }
+";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("time_at_s") && v[0].message.contains("scaled"));
+    }
+
+    #[test]
+    fn alias_suffix_gets_suggestion_fix() {
+        let v = run("fn f() {\n    let elapsed_seconds = 0.0;\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        let fix = v[0].fix.as_ref().expect("fix");
+        assert!(!fix.safe);
+        match &fix.kind {
+            FixKind::ReplaceSubstr { find, replace } => {
+                assert_eq!(find, "elapsed_seconds");
+                assert_eq!(replace, "elapsed_s");
+            }
+            other => panic!("unexpected fix {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_names_are_not_policed() {
+        let v = run("fn f(x_deg: f64) -> f64 {\n    x_deg.to_radians()\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pragma_suppresses() {
+        let v = run(
+            "fn f(a_s: f64, b_us: f64) -> bool {\n    // lint: allow(unit_dataflow) — b_us is pre-scaled\n    a_s > b_us\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

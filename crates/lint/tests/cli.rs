@@ -1,0 +1,86 @@
+//! End-to-end checks of the `wilocator-lint` binary: exit codes, SARIF
+//! output on stdout, and the `--fix --dry-run` contract CI's
+//! `lint-fix-is-noop` job relies on (empty diff on a clean tree).
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wilocator-lint"))
+}
+
+fn fixture(kind: &str, name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(kind)
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let out = bin()
+        .arg(fixture("good", "w009_error_chain.rs"))
+        .output()
+        .expect("run lint");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn bad_file_exits_nonzero_with_rule_code() {
+    let out = bin()
+        .arg(fixture("bad", "w008_unit_mixing.rs"))
+        .output()
+        .expect("run lint");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("W008"));
+}
+
+#[test]
+fn sarif_output_is_json_with_results() {
+    let out = bin()
+        .args([
+            &fixture("bad", "w009_transitive_panic.rs"),
+            "--format",
+            "sarif",
+        ])
+        .output()
+        .expect("run lint");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "not JSON: {stdout}");
+    assert!(stdout.contains("\"version\":\"2.1.0\""));
+    assert!(stdout.contains("W009"));
+}
+
+#[test]
+fn fix_dry_run_on_clean_workspace_is_empty() {
+    // The tree lints clean (the fixtures test asserts that), so the safe
+    // fix diff must be empty and the exit code zero — exactly what the
+    // CI `lint-fix-is-noop` check runs.
+    let root = wilocator_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let out = bin()
+        .args(["--workspace", "--fix", "--dry-run"])
+        .current_dir(&root)
+        .output()
+        .expect("run lint");
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "dry-run diff not empty:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn dry_run_without_fix_is_a_usage_error() {
+    let out = bin()
+        .args([&fixture("good", "w008_units.rs"), "--dry-run"])
+        .output()
+        .expect("run lint");
+    assert_eq!(out.status.code(), Some(2));
+}

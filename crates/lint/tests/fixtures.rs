@@ -49,9 +49,42 @@ fn bad_fixtures_trip_their_rule() {
         );
         seen.insert(want);
     }
-    for code in ["W001", "W002", "W003", "W004", "W005", "W006"] {
+    for code in [
+        "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009",
+    ] {
         assert!(seen.contains(code), "no bad fixture exercises {code}");
     }
+}
+
+/// `//~ WNNN` markers in bad fixtures pin the exact reported site: the
+/// named rule must fire on that line, not merely somewhere in the file.
+#[test]
+fn bad_fixture_markers_pin_rule_and_line() {
+    let mut checked = 0;
+    for path in fixture_files("bad") {
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let violations = analyze_file_all_rules(&path.to_string_lossy(), &text);
+        for (idx, line) in text.lines().enumerate() {
+            let Some(at) = line.find("//~ ") else {
+                continue;
+            };
+            let code = line[at + 4..].trim();
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| v.rule.code() == code && v.line == idx + 1),
+                "{}:{}: expected {code} here, got: {:?}",
+                path.display(),
+                idx + 1,
+                violations
+                    .iter()
+                    .map(|v| format!("{}@{}", v.rule.code(), v.line))
+                    .collect::<Vec<_>>()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "marker corpus shrank: {checked} markers");
 }
 
 #[test]
@@ -73,7 +106,9 @@ fn good_fixtures_are_clean() {
         );
         seen.insert(want);
     }
-    for code in ["W001", "W002", "W003", "W004", "W005", "W006"] {
+    for code in [
+        "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009",
+    ] {
         assert!(seen.contains(code), "no good fixture exercises {code}");
     }
 }

@@ -1,0 +1,25 @@
+//! The shard-vs-registry inversion: `register` takes the directory then
+//! a shard, `rebalance` takes a shard then the directory. Two threads
+//! running these concurrently can each hold the other's next lock.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+pub struct Registry {
+    bus_dir: RwLock<BTreeMap<u64, usize>>,
+    shards: Vec<RwLock<BTreeMap<u64, u32>>>,
+}
+
+impl Registry {
+    pub fn register(&self, bus: u64) {
+        let dir = self.bus_dir.write();
+        let shard = self.shards[0].write(); //~ W007
+        record(dir, shard, bus);
+    }
+
+    pub fn rebalance(&self, bus: u64) {
+        let shard = self.shards[0].write();
+        let dir = self.bus_dir.write();
+        record(dir, shard, bus);
+    }
+}

@@ -1,0 +1,11 @@
+//! Mixed-unit arithmetic: a received power in dBm has no business being
+//! added to a distance in metres, and a comparison across units is a
+//! latent threshold bug.
+
+pub fn score(rx_dbm: f64, spacing_m: f64) -> f64 {
+    rx_dbm + spacing_m //~ W008
+}
+
+pub fn in_range(rssi_dbm: f64, radius_m: f64) -> bool {
+    rssi_dbm < radius_m //~ W008
+}

@@ -1,0 +1,14 @@
+//! A panic two calls below a pub entry point: W002 sees only `serve`'s
+//! own body, so without the transitive rule `refine`'s unwrap ships.
+
+pub fn serve(report: u32) -> u32 {
+    locate(report)
+}
+
+fn locate(report: u32) -> u32 {
+    refine(report)
+}
+
+fn refine(report: u32) -> u32 {
+    report.checked_mul(2).unwrap() //~ W009
+}

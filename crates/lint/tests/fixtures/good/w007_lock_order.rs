@@ -1,0 +1,33 @@
+//! The same registry with one global order — directory before shard —
+//! on every path, including through a call edge.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+pub struct Registry {
+    bus_dir: RwLock<BTreeMap<u64, usize>>,
+    shards: Vec<RwLock<BTreeMap<u64, u32>>>,
+}
+
+impl Registry {
+    pub fn register(&self, bus: u64) {
+        let dir = self.bus_dir.write();
+        if let Some(lock) = self.shards.first() {
+            let shard = lock.write();
+            record(dir, shard, bus);
+        }
+    }
+
+    pub fn rebalance(&self, bus: u64) {
+        let dir = self.bus_dir.write();
+        self.move_bus(bus);
+        drop(dir);
+    }
+
+    fn move_bus(&self, bus: u64) {
+        if let Some(lock) = self.shards.first() {
+            let shard = lock.write();
+            touch(shard, bus);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Unit-respecting arithmetic: same-unit sums, the dBm ± dB special
+//! case (a level adjusted by a gain is still a level), and `*`/`/`
+//! forming new units.
+
+pub fn adjusted_level(rx_dbm: f64, antenna_gain_db: f64) -> f64 {
+    rx_dbm + antenna_gain_db
+}
+
+pub fn total_path(leg_a_m: f64, leg_b_m: f64) -> f64 {
+    leg_a_m + leg_b_m
+}
+
+pub fn speed(dist_m: f64, dt_s: f64) -> f64 {
+    dist_m / dt_s
+}

@@ -1,0 +1,14 @@
+//! The same shape with the error carried up the chain instead of a
+//! panic at the bottom.
+
+pub fn serve(report: u32) -> Option<u32> {
+    locate(report)
+}
+
+fn locate(report: u32) -> Option<u32> {
+    refine(report)
+}
+
+fn refine(report: u32) -> Option<u32> {
+    report.checked_mul(2)
+}

@@ -1,0 +1,64 @@
+//! Golden diagnostics: the rendered output over the bad-fixture corpus
+//! must be byte-identical to `tests/golden/bad_fixtures.txt`. This pins
+//! the dedup + stable (file, line, rule, message) ordering and the exact
+//! diagnostic text — both are part of the tool's interface (CI greps it,
+//! editors parse it).
+//!
+//! To bless a deliberate change:
+//! `LINT_BLESS=1 cargo test -p wilocator-lint --test golden`.
+
+use std::path::{Path, PathBuf};
+use wilocator_lint::analyze_file_all_rules;
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden_path() -> PathBuf {
+    manifest_dir()
+        .join("tests")
+        .join("golden")
+        .join("bad_fixtures.txt")
+}
+
+fn actual() -> String {
+    let dir = manifest_dir().join("tests").join("fixtures").join("bad");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read bad fixtures")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    let mut out = String::new();
+    for path in paths {
+        // Manifest-relative paths keep the golden file machine-independent.
+        let rel = path
+            .strip_prefix(manifest_dir())
+            .expect("fixture under manifest dir")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        for v in analyze_file_all_rules(&rel, &text) {
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn bad_fixture_diagnostics_match_golden() {
+    let actual = actual();
+    if std::env::var_os("LINT_BLESS").is_some() {
+        std::fs::write(golden_path(), &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path())
+        .expect("golden file missing — run with LINT_BLESS=1 to create it");
+    assert!(
+        expected == actual,
+        "diagnostics drifted from golden (LINT_BLESS=1 to re-bless).\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}

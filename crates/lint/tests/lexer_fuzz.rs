@@ -1,0 +1,100 @@
+//! Property tests for the lexer: on arbitrary input — including the
+//! delimiter soup that drives lexers into corners (raw strings, nested
+//! block comments, lifetime ticks, escaped quotes) — `SourceFile::parse`
+//! must never panic, must terminate, and must keep the line structure of
+//! its input. The analyzer builds everything on the lexer, so a lexer
+//! that diverges or dies on one weird file takes the whole CI gate with
+//! it.
+
+use proptest::prelude::*;
+use wilocator_lint::SourceFile;
+
+/// Fragments weighted toward lexer state transitions: quote kinds, raw
+/// string openers/closers at several hash depths, comment markers,
+/// escapes, and plain code.
+const FRAGMENTS: &[&str] = &[
+    "\"",
+    "'",
+    "\\",
+    "r\"",
+    "r#\"",
+    "r##\"",
+    "\"#",
+    "\"##",
+    "b\"",
+    "br#\"",
+    "/*",
+    "*/",
+    "//",
+    "///",
+    "//!",
+    "/**",
+    "/*!",
+    "'a",
+    "'\\''",
+    "'x'",
+    "b'x'",
+    "\n",
+    " ",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    "#[cfg(test)]",
+    "#[test]",
+    "fn f",
+    "let x = ",
+    ".unwrap()",
+    "ident",
+    "0xff",
+    "é",
+    "日",
+];
+
+fn assemble(picks: &[usize], tail: &[u8]) -> String {
+    let mut s = String::new();
+    for &p in picks {
+        s.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
+    }
+    // Arbitrary (possibly invalid) UTF-8 tail, lossily decoded: the lexer
+    // sees whatever a reader would hand it.
+    s.push_str(&String::from_utf8_lossy(tail));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics_and_preserves_lines(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..48),
+        tail in proptest::collection::vec(0u8..=255, 0..32),
+    ) {
+        let text = assemble(&picks, &tail);
+        let parsed = SourceFile::parse("fuzz.rs", &text);
+        prop_assert_eq!(parsed.lines.len(), text.lines().count());
+        for (line, raw) in parsed.lines.iter().zip(text.lines()) {
+            // Raw text is retained verbatim; blanked code never grows
+            // beyond the raw line it came from.
+            prop_assert_eq!(line.raw.as_str(), raw);
+            prop_assert!(line.code.chars().count() <= raw.chars().count());
+        }
+    }
+
+    #[test]
+    fn lexer_is_deterministic(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..48),
+    ) {
+        let text = assemble(&picks, &[]);
+        let a = SourceFile::parse("fuzz.rs", &text);
+        let b = SourceFile::parse("fuzz.rs", &text);
+        for (la, lb) in a.lines.iter().zip(&b.lines) {
+            prop_assert_eq!(&la.code, &lb.code);
+            prop_assert_eq!(&la.comment, &lb.comment);
+            prop_assert_eq!(la.is_test, lb.is_test);
+        }
+    }
+}

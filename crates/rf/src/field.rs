@@ -34,7 +34,10 @@ pub trait SignalField: std::fmt::Debug + Send + Sync {
             .map(|ap| (ap.id(), self.expected_rss(ap, p)))
             .filter(|&(_, rss)| rss >= threshold_dbm)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite RSS"));
+        // RSS values can be arbitrary field outputs; `total_cmp` orders
+        // them without a panic path (NaN sorts below every number here,
+        // i.e. weakest).
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 }

@@ -205,7 +205,7 @@ impl Route {
 
     /// Total route length, metres.
     pub fn length(&self) -> f64 {
-        *self.edge_offsets.last().unwrap()
+        self.edge_offsets.last().copied().unwrap_or(0.0)
     }
 
     /// The full route geometry as one polyline.
@@ -253,11 +253,10 @@ impl Route {
     pub fn position_at(&self, s: f64) -> RoutePosition {
         let s = s.clamp(0.0, self.length());
         // Find the edge whose [start, end) contains s; the final point
-        // belongs to the last edge.
-        let idx = match self
-            .edge_offsets
-            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
-        {
+        // belongs to the last edge. Offsets are built from finite edge
+        // lengths, so `total_cmp` agrees with the partial order — and
+        // cannot panic.
+        let idx = match self.edge_offsets.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i.min(self.edges.len() - 1),
             Err(i) => i - 1,
         };
