@@ -1,0 +1,201 @@
+//! Reader scaling on the query plane: N rider threads answering
+//! arrivals/position/traffic queries from the epoch-published snapshot
+//! while one writer thread keeps ingesting and republishing.
+//!
+//! This is the load shape the query plane was built for — queries
+//! outnumber ingest by orders of magnitude (`RiderLoad` defaults to
+//! 1000:1) — and the property under test is that readers never touch a
+//! shard ingest lock: each query is one epoch load, one slot `RwLock`
+//! read, one `Arc` clone, then JSON rendering off the immutable
+//! snapshot. Throughput should therefore scale near-linearly with
+//! reader threads, writer or no writer.
+//!
+//! Run with `cargo bench --bench query_scaling`; the table feeds
+//! EXPERIMENTS.md.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use wilocator_core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator_road::{RouteId, Schedule};
+use wilocator_serve::{respond, Request};
+use wilocator_sim::{
+    simple_street, simulate, CityConfig, LoadPlan, RiderLoad, SimulationConfig, TrafficConfig,
+    TrafficModel,
+};
+
+const QUERIES_PER_READER: u64 = 50_000;
+const READER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One simulated morning on a single street, plus the rider load that
+/// would ride on it.
+fn scenario() -> (Arc<WiLocator>, LoadPlan, RiderLoad) {
+    let city = simple_street(2_400.0, 8, 1, &CityConfig::default());
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 5);
+    let mut schedule = Schedule::new();
+    schedule.add_headway_service(RouteId(0), 8.0 * 3_600.0, 9.5 * 3_600.0, 900.0);
+    let config = SimulationConfig {
+        days: 1,
+        seed: 5,
+        ..SimulationConfig::default()
+    };
+    let dataset = simulate(&city, &schedule, &traffic, &config);
+    let plan = LoadPlan::for_day(&dataset, 0);
+    let riders = RiderLoad::new(&plan, &city.routes, 1_000, 5);
+    let server = Arc::new(WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    ));
+    for (trip, route) in plan.trip_routes() {
+        server
+            .register_bus(BusKey(trip as u64), route)
+            .expect("served route");
+    }
+    (server, plan, riders)
+}
+
+fn to_report(plan: &LoadPlan, i: usize, day: u64) -> ScanReport {
+    let event = &plan.events[i];
+    ScanReport {
+        bus: BusKey(event.trip_id as u64),
+        time_s: event.time_s + day as f64 * 86_400.0,
+        scans: event.scans.clone(),
+    }
+}
+
+/// A pre-parsed GET for a rider query target.
+fn request_for(target: String) -> Request {
+    Request {
+        method: "GET".to_string(),
+        target,
+        http11: true,
+        headers: Vec::new(),
+        keep_alive: true,
+    }
+}
+
+/// Runs `readers` query threads to completion, with or without a
+/// concurrent ingest writer. Returns (wall_seconds, queries_done).
+fn run(
+    server: &Arc<WiLocator>,
+    riders: &RiderLoad,
+    plan: &LoadPlan,
+    readers: usize,
+    with_writer: bool,
+) -> (f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        if with_writer {
+            let server = Arc::clone(server);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                // Cycle the day (time-shifted per pass) in 32-report
+                // batches; every batch republishes the snapshot.
+                let mut day = 0u64;
+                'outer: loop {
+                    let reports: Vec<ScanReport> = (0..plan.events.len())
+                        .map(|i| to_report(plan, i, day))
+                        .collect();
+                    for chunk in reports.chunks(32) {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        for result in server.ingest_batch(chunk) {
+                            let _ = result;
+                        }
+                    }
+                    day += 1;
+                }
+            });
+        }
+        for reader in 0..readers {
+            let server = Arc::clone(server);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let base = reader as u64 * QUERIES_PER_READER;
+                let mut checksum = 0usize;
+                for i in 0..QUERIES_PER_READER {
+                    let op = riders.op((base + i) % riders.len().max(1));
+                    let request = request_for(op.target());
+                    let response = respond(&server, &request);
+                    checksum += response.body.len();
+                }
+                assert!(checksum > 0, "responses rendered");
+                done.fetch_add(QUERIES_PER_READER, Ordering::Relaxed);
+            });
+        }
+        // Writer stops once every reader thread has finished.
+        while done.load(Ordering::Relaxed) < (readers as u64) * QUERIES_PER_READER {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    (
+        start.elapsed().as_secs_f64(),
+        (readers as u64) * QUERIES_PER_READER,
+    )
+}
+
+fn main() {
+    let (server, plan, riders) = scenario();
+    // Seed the snapshot with real state: replay the day once, train,
+    // and publish, so queries render non-trivial bodies.
+    for chunk_start in (0..plan.events.len()).step_by(32) {
+        let chunk: Vec<ScanReport> = (chunk_start..(chunk_start + 32).min(plan.events.len()))
+            .map(|i| to_report(&plan, i, 0))
+            .collect();
+        for result in server.ingest_batch(&chunk) {
+            result.expect("registered bus");
+        }
+    }
+    server.train(10.0 * 3_600.0);
+    println!(
+        "scene: {} ingest events, {} rider queries addressable, snapshot epoch {}",
+        plan.events.len(),
+        riders.len(),
+        server.snapshot_epoch()
+    );
+
+    for with_writer in [false, true] {
+        println!(
+            "\nquery throughput, {} ({} queries/reader):",
+            if with_writer {
+                "with concurrent ingest writer"
+            } else {
+                "readers only"
+            },
+            QUERIES_PER_READER
+        );
+        println!(
+            "{:>8} {:>12} {:>12} {:>9}",
+            "readers", "total qps", "qps/reader", "speedup"
+        );
+        let mut base_qps = 0.0f64;
+        for &readers in READER_COUNTS.iter() {
+            let (secs, queries) = run(&server, &riders, &plan, readers, with_writer);
+            let qps = queries as f64 / secs;
+            if readers == 1 {
+                base_qps = qps;
+            }
+            println!(
+                "{readers:>8} {qps:>12.0} {:>12.0} {:>8.2}x",
+                qps / readers as f64,
+                qps / base_qps.max(1.0)
+            );
+        }
+    }
+    let snapshot = server.metrics();
+    println!("\nquery-plane counters after the run:");
+    for family in [
+        "wilocator_queries_total",
+        "wilocator_snapshot_publish_total",
+        "wilocator_query_not_found_total",
+        "wilocator_query_bad_request_total",
+    ] {
+        println!("  {family} = {}", snapshot.counter_family_total(family));
+    }
+}

@@ -59,13 +59,15 @@ pub mod proximity;
 pub mod report;
 pub mod seasonal;
 pub mod server;
+pub mod snapshot;
 pub mod tracker;
 pub mod traffic_map;
 
 pub use history::{TravelTimeStore, Traversal};
 pub use hybrid::{FixSource, HybridConfig, HybridFix, HybridTracker};
 pub use metrics::{
-    PredictorMetrics, ServerMetrics, ShardMetrics, NONDETERMINISTIC_COUNTER_FAMILIES,
+    PredictorMetrics, QueryEndpoint, QueryMetrics, ServerMetrics, ShardMetrics,
+    NONDETERMINISTIC_COUNTER_FAMILIES,
 };
 pub use predict::{ArrivalPredictor, PredictorConfig};
 pub use proximity::{group_by_proximity, scan_distance_db, DeviceId};
@@ -74,6 +76,9 @@ pub use seasonal::{
     partition_from_index, seasonal_index, SeasonalConfig, SeasonalIndex, SlotPartition,
 };
 pub use server::{CoreError, IngestResult, WiLocator, WiLocatorConfig};
+pub use snapshot::{
+    ArrivalEntry, BusView, QueryPlaneConfig, QuerySnapshot, SectionStamps, SnapshotCell,
+};
 pub use tracker::{
     crossing_time, segment_traversals, BusTracker, IngestOutcome, SegmentTraversal,
     TrackedTrajectory,

@@ -14,9 +14,10 @@
 //! on how a caller chunks the same report stream — replay-identity
 //! tests must exclude it (batch *report* totals stay deterministic).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use wilocator_obs::{metric_key, Collect, Counter, Gauge, Histogram, MetricsSnapshot};
+use wilocator_obs::{metric_key, Clock, Collect, Counter, Gauge, Histogram, MetricsSnapshot};
 
 /// Per-shard ingest accounting. Lives *outside* the shard's `RwLock`
 /// (in a `Vec<Arc<ShardMetrics>>` parallel to the shard table), so
@@ -165,11 +166,23 @@ impl Collect for ServerMetrics {
 /// byte pressure depend on span *durations*, which only a stepping clock
 /// makes reproducible — anomaly retention, by contrast, is a pure
 /// function of the report stream and stays in the deterministic set.
+///
+/// The query-plane families: snapshot publication piggybacks on
+/// `ingest_batch` calls, so the publish counter and epoch gauge inherit
+/// the batch counter's chunking dependence; query counts follow rider
+/// load rather than the report stream; and staleness follows the wall
+/// clock.
 pub const NONDETERMINISTIC_COUNTER_FAMILIES: &[&str] = &[
     "wilocator_ingest_batches_total",
     "wilocator_trace_retained_slow_total",
     "wilocator_trace_retention_evicted_total",
     "wilocator_trace_retained_bytes",
+    "wilocator_queries_total",
+    "wilocator_query_not_found_total",
+    "wilocator_query_bad_request_total",
+    "wilocator_snapshot_publish_total",
+    "wilocator_snapshot_epoch",
+    "wilocator_snapshot_staleness_us",
 ];
 
 /// Arrival-predictor accounting (Equations 8–9): training coverage and
@@ -234,6 +247,184 @@ impl Collect for PredictorMetrics {
     }
 }
 
+/// The rider-facing endpoints the query plane accounts per-endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryEndpoint {
+    /// `GET /arrivals/{stop}`.
+    Arrivals,
+    /// `GET /position/{bus}`.
+    Position,
+    /// `GET /traffic/{route}`.
+    Traffic,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+}
+
+impl QueryEndpoint {
+    /// The `endpoint` label value in the exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryEndpoint::Arrivals => "arrivals",
+            QueryEndpoint::Position => "position",
+            QueryEndpoint::Traffic => "traffic",
+            QueryEndpoint::Metrics => "metrics",
+            QueryEndpoint::Healthz => "healthz",
+        }
+    }
+
+    /// Every endpoint, in exposition order.
+    pub const ALL: [QueryEndpoint; 5] = [
+        QueryEndpoint::Arrivals,
+        QueryEndpoint::Position,
+        QueryEndpoint::Traffic,
+        QueryEndpoint::Metrics,
+        QueryEndpoint::Healthz,
+    ];
+}
+
+/// Query-plane accounting: per-endpoint request counts, request-outcome
+/// counters, publication progress and snapshot staleness.
+///
+/// Lives beside the snapshot cell, *outside* every lock: the read path
+/// records with relaxed atomics exactly like the ingest ledgers. The
+/// staleness gauge is computed at gather time from the publish stamp and
+/// the query-plane clock (deliberately *not* the span clock: publication
+/// must not consume span-clock readings, or publish cadence would shift
+/// deterministic trace goldens), so a paused publisher shows up as a
+/// growing gauge without anyone polling.
+#[derive(Debug)]
+pub struct QueryMetrics {
+    /// `GET /arrivals/{stop}` requests.
+    pub arrivals_total: Counter,
+    /// `GET /position/{bus}` requests.
+    pub position_total: Counter,
+    /// `GET /traffic/{route}` requests.
+    pub traffic_total: Counter,
+    /// `GET /metrics` requests.
+    pub metrics_total: Counter,
+    /// `GET /healthz` requests.
+    pub healthz_total: Counter,
+    /// Requests that named an unknown stop, bus or route.
+    pub not_found_total: Counter,
+    /// Requests rejected before routing (malformed path or method).
+    pub bad_request_total: Counter,
+    /// Snapshots published.
+    pub snapshot_publish_total: Counter,
+    /// Epoch of the latest published snapshot.
+    pub snapshot_epoch: Gauge,
+    /// Microseconds per query, request receipt to response write.
+    pub latency_us: Histogram,
+    /// Query-clock stamp of the latest publication (0 before the first).
+    published_at_us: AtomicU64,
+    /// The query-plane clock staleness and latency are measured on.
+    clock: Arc<dyn Clock>,
+}
+
+impl QueryMetrics {
+    /// A fresh ledger on `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(QueryMetrics {
+            arrivals_total: Counter::new(),
+            position_total: Counter::new(),
+            traffic_total: Counter::new(),
+            metrics_total: Counter::new(),
+            healthz_total: Counter::new(),
+            not_found_total: Counter::new(),
+            bad_request_total: Counter::new(),
+            snapshot_publish_total: Counter::new(),
+            snapshot_epoch: Gauge::new(),
+            latency_us: Histogram::default(),
+            published_at_us: AtomicU64::new(0),
+            clock,
+        })
+    }
+
+    /// The clock staleness and latency are measured on.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Counts one request against its endpoint.
+    pub fn record_query(&self, endpoint: QueryEndpoint) {
+        self.endpoint_counter(endpoint).inc()
+    }
+
+    fn endpoint_counter(&self, endpoint: QueryEndpoint) -> &Counter {
+        match endpoint {
+            QueryEndpoint::Arrivals => &self.arrivals_total,
+            QueryEndpoint::Position => &self.position_total,
+            QueryEndpoint::Traffic => &self.traffic_total,
+            QueryEndpoint::Metrics => &self.metrics_total,
+            QueryEndpoint::Healthz => &self.healthz_total,
+        }
+    }
+
+    /// Records a publication: bumps the publish counter and epoch gauge
+    /// and restamps the staleness base.
+    pub fn mark_published(&self, epoch: u64) {
+        self.snapshot_publish_total.inc();
+        self.snapshot_epoch
+            .set(i64::try_from(epoch).unwrap_or(i64::MAX));
+        // `.max(1)` keeps a clock that starts at 0 (stepping-clock
+        // replays) from colliding with the unpublished sentinel.
+        self.published_at_us
+            .store(self.clock.now_us().max(1), Ordering::Relaxed);
+    }
+
+    /// Microseconds since the latest publication on the shared clock
+    /// (0 before the first publish — an empty server is not "stale").
+    pub fn staleness_us(&self) -> u64 {
+        let at = self.published_at_us.load(Ordering::Relaxed);
+        if at == 0 {
+            return 0;
+        }
+        self.clock.now_us().saturating_sub(at)
+    }
+}
+
+impl Collect for QueryMetrics {
+    fn collect_into(&self, labels: &str, out: &mut MetricsSnapshot) {
+        for endpoint in QueryEndpoint::ALL {
+            let tag = format!("endpoint=\"{}\"", endpoint.label());
+            let merged = if labels.is_empty() {
+                tag
+            } else {
+                format!("{labels},{tag}")
+            };
+            out.add_counter(
+                metric_key("wilocator_queries_total", &merged),
+                self.endpoint_counter(endpoint).get(),
+            );
+        }
+        out.add_counter(
+            metric_key("wilocator_query_not_found_total", labels),
+            self.not_found_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_query_bad_request_total", labels),
+            self.bad_request_total.get(),
+        );
+        out.add_counter(
+            metric_key("wilocator_snapshot_publish_total", labels),
+            self.snapshot_publish_total.get(),
+        );
+        out.add_gauge(
+            metric_key("wilocator_snapshot_epoch", labels),
+            self.snapshot_epoch.get(),
+        );
+        out.add_gauge(
+            metric_key("wilocator_snapshot_staleness_us", labels),
+            i64::try_from(self.staleness_us()).unwrap_or(i64::MAX),
+        );
+        out.add_histogram(
+            metric_key("wilocator_query_latency_us", labels),
+            self.latency_us.snapshot(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +469,49 @@ mod tests {
         assert_eq!(snap.histogram("wilocator_batch_size").unwrap().count, 1);
         // The call counter is listed as chunking-dependent.
         assert!(NONDETERMINISTIC_COUNTER_FAMILIES.contains(&"wilocator_ingest_batches_total"));
+    }
+
+    #[test]
+    fn query_metrics_collect_per_endpoint_and_compute_staleness() {
+        let clock = Arc::new(wilocator_obs::SteppingClock::new(1_000, 100));
+        let m = QueryMetrics::new(clock);
+        assert_eq!(m.staleness_us(), 0, "unpublished server is not stale");
+        m.record_query(QueryEndpoint::Arrivals);
+        m.record_query(QueryEndpoint::Arrivals);
+        m.record_query(QueryEndpoint::Healthz);
+        m.not_found_total.inc();
+        m.mark_published(7);
+        // One clock read at publish; each staleness read steps once more.
+        assert_eq!(m.staleness_us(), 100);
+        assert_eq!(m.staleness_us(), 200);
+        let mut snap = MetricsSnapshot::new();
+        m.collect_into("", &mut snap);
+        assert_eq!(
+            snap.counter("wilocator_queries_total{endpoint=\"arrivals\"}"),
+            2
+        );
+        assert_eq!(
+            snap.counter("wilocator_queries_total{endpoint=\"healthz\"}"),
+            1
+        );
+        assert_eq!(snap.counter_family_total("wilocator_queries_total"), 3);
+        assert_eq!(snap.counter("wilocator_query_not_found_total"), 1);
+        assert_eq!(snap.counter("wilocator_snapshot_publish_total"), 1);
+        assert_eq!(snap.gauge("wilocator_snapshot_epoch"), 7);
+        assert_eq!(snap.gauge("wilocator_snapshot_staleness_us"), 300);
+        // Every query-plane family is excluded from replay-identity
+        // comparisons: publication rides on batch chunking, queries on
+        // rider load, staleness on the clock.
+        for family in [
+            "wilocator_queries_total",
+            "wilocator_query_not_found_total",
+            "wilocator_query_bad_request_total",
+            "wilocator_snapshot_publish_total",
+            "wilocator_snapshot_epoch",
+            "wilocator_snapshot_staleness_us",
+        ] {
+            assert!(NONDETERMINISTIC_COUNTER_FAMILIES.contains(&family));
+        }
     }
 
     #[test]

@@ -221,19 +221,28 @@ impl ArrivalPredictor {
         route: RouteId,
         t: f64,
     ) -> Option<f64> {
-        self.predict_segment_counted(store, edge, route, t).0
+        self.predict_segment_counted(store, edge, route, t, Some(&self.metrics))
+            .0
     }
 
     /// [`Predictor::predict_segment`] also reporting the K of Equation 8
     /// (how many recent-bus residuals were borrowed), for trace fields.
+    ///
+    /// `ledger` is the accounting sink: rider-facing calls pass the shared
+    /// predictor ledger, background snapshot publication passes `None` so
+    /// its continuous recomputation never distorts the Eq. 8/9 counters
+    /// (which must stay a pure function of the ingested report stream).
     fn predict_segment_counted(
         &self,
         store: &TravelTimeStore,
         edge: EdgeId,
         route: RouteId,
         t: f64,
+        ledger: Option<&PredictorMetrics>,
     ) -> (Option<f64>, u64) {
-        self.metrics.predict_segment_total.inc();
+        if let Some(m) = ledger {
+            m.predict_segment_total.inc();
+        }
         let Some(th_own) = self.historical_mean(store, edge, Some(route), t) else {
             return (None, 0);
         };
@@ -261,8 +270,10 @@ impl ArrivalPredictor {
         }
         // The K of Equation 8: residuals actually borrowed from recent
         // buses (of any route) on this segment.
-        self.metrics.residual_borrow_total.add(k as u64);
-        self.metrics.residual_applied_total.inc();
+        if let Some(m) = ledger {
+            m.residual_borrow_total.add(k as u64);
+            m.residual_applied_total.inc();
+        }
         // Equation 8 implemented multiplicatively: each recent bus
         // contributes its travel-time *ratio* to its own historical mean,
         // which transfers across routes whose regular speeds differ ("even
@@ -286,7 +297,7 @@ impl ArrivalPredictor {
         edge_index: usize,
         t: f64,
     ) -> f64 {
-        self.predict_segment_or_fallback_counted(store, route, edge_index, t)
+        self.predict_segment_or_fallback_counted(store, route, edge_index, t, Some(&self.metrics))
             .0
     }
 
@@ -298,13 +309,16 @@ impl ArrivalPredictor {
         route: &Route,
         edge_index: usize,
         t: f64,
+        ledger: Option<&PredictorMetrics>,
     ) -> (f64, u64) {
         let edge = route.edges()[edge_index];
-        let (predicted, k) = self.predict_segment_counted(store, edge, route.id(), t);
+        let (predicted, k) = self.predict_segment_counted(store, edge, route.id(), t, ledger);
         match predicted {
             Some(tp) => (tp, k),
             None => {
-                self.metrics.segment_fallback_total.inc();
+                if let Some(m) = ledger {
+                    m.segment_fallback_total.inc();
+                }
                 (
                     route.edge_length(edge_index) / self.config.fallback_speed_mps,
                     k,
@@ -353,6 +367,7 @@ impl ArrivalPredictor {
             stop_s,
             &mut segments,
             &mut borrows,
+            Some(&self.metrics),
         );
         if let Some(sp) = &span {
             sp.field("segments", segments);
@@ -360,6 +375,34 @@ impl ArrivalPredictor {
             sp.field("eta_s", eta);
         }
         eta
+    }
+
+    /// Equation 9 evaluated *without* touching the shared accounting
+    /// ledger. Background snapshot publication recomputes arrival tables
+    /// after every batch; letting those sweeps increment the predict
+    /// counters would make the rider-facing Eq. 8/9 accounting a function
+    /// of publish cadence instead of the report stream. Query-plane
+    /// traffic is accounted by `QueryMetrics` at the serving layer.
+    pub fn predict_arrival_unledgered(
+        &self,
+        store: &TravelTimeStore,
+        route: &Route,
+        current_s: f64,
+        t: f64,
+        stop_s: f64,
+    ) -> f64 {
+        let mut segments = 0u64;
+        let mut borrows = 0u64;
+        self.predict_arrival_inner(
+            store,
+            route,
+            current_s,
+            t,
+            stop_s,
+            &mut segments,
+            &mut borrows,
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -372,6 +415,7 @@ impl ArrivalPredictor {
         stop_s: f64,
         segments: &mut u64,
         borrows: &mut u64,
+        ledger: Option<&PredictorMetrics>,
     ) -> f64 {
         if stop_s <= current_s {
             return t;
@@ -383,7 +427,7 @@ impl ArrivalPredictor {
         {
             let i = start.edge_index;
             let len = route.edge_length(i);
-            let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur);
+            let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur, ledger);
             *segments += 1;
             *borrows += k;
             if target.edge_index == i {
@@ -394,7 +438,7 @@ impl ArrivalPredictor {
         }
         // Full intermediate segments, slot-by-slot.
         for i in start.edge_index + 1..target.edge_index {
-            let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur);
+            let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur, ledger);
             *segments += 1;
             *borrows += k;
             t_cur += tp;
@@ -402,7 +446,7 @@ impl ArrivalPredictor {
         // Fractional final segment up to the stop.
         let i = target.edge_index;
         let len = route.edge_length(i);
-        let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur);
+        let (tp, k) = self.predict_segment_or_fallback_counted(store, route, i, t_cur, ledger);
         *segments += 1;
         *borrows += k;
         t_cur + tp * target.s_on_edge / len

@@ -36,9 +36,10 @@ use wilocator_svd::{
 };
 
 use crate::history::{TravelTimeStore, Traversal};
-use crate::metrics::{ServerMetrics, ShardMetrics};
+use crate::metrics::{QueryMetrics, ServerMetrics, ShardMetrics};
 use crate::predict::{ArrivalPredictor, PredictorConfig};
 use crate::report::{BusKey, RouteIdentifier, ScanReport};
+use crate::snapshot::{ArrivalEntry, BusView, QueryPlaneConfig, QuerySnapshot, SnapshotCell};
 use crate::tracker::{crossing_time, segment_traversals, BusTracker, IngestOutcome};
 use crate::traffic_map::{SegmentState, TrafficMapConfig, TrafficMapGenerator};
 
@@ -87,6 +88,8 @@ pub struct WiLocatorConfig {
     pub commit_margin_m: f64,
     /// Tracing / flight-recorder parameters.
     pub trace: TraceConfig,
+    /// Query-plane (epoch-published snapshot) parameters.
+    pub query: QueryPlaneConfig,
 }
 
 impl Default for WiLocatorConfig {
@@ -99,6 +102,7 @@ impl Default for WiLocatorConfig {
             sample_step_m: 2.0,
             commit_margin_m: 30.0,
             trace: TraceConfig::default(),
+            query: QueryPlaneConfig::default(),
         }
     }
 }
@@ -255,6 +259,12 @@ pub struct WiLocator {
     /// retention buffer ([`wilocator_obs::Tracer`]). Shared with nothing
     /// but the registry; recording never takes a shard lock.
     tracer: Arc<Tracer>,
+    /// The epoch-published query snapshot cell: readers answer rider
+    /// queries from here without ever touching a shard lock.
+    snapshot: SnapshotCell,
+    /// Query-plane accounting (endpoint counts, publication progress,
+    /// staleness); shared with the serving front end.
+    query_metrics: Arc<QueryMetrics>,
     /// Every ledger (server, shards, predictors, route positioners),
     /// labelled; [`WiLocator::metrics`] gathers it into one snapshot.
     registry: Registry,
@@ -282,6 +292,29 @@ impl WiLocator {
         routes: Vec<Route>,
         config: WiLocatorConfig,
         clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self::new_with_clocks(
+            field,
+            routes,
+            config,
+            clock,
+            Arc::new(MonotonicClock::new()),
+        )
+    }
+
+    /// [`WiLocator::new_with_clock`] with a separate query-plane clock.
+    ///
+    /// The span clock is consumed one reading per span; snapshot
+    /// publication must not read from it, or publish cadence would shift
+    /// every later span stamp and break deterministic trace goldens. So
+    /// staleness and query latency run on their own clock — wall time by
+    /// default, a stepping clock in staleness-bound tests.
+    pub fn new_with_clocks<F: SignalField + ?Sized>(
+        field: &F,
+        routes: Vec<Route>,
+        config: WiLocatorConfig,
+        clock: Arc<dyn Clock>,
+        query_clock: Arc<dyn Clock>,
     ) -> Self {
         let registry = Registry::new();
         let mut positioners = HashMap::new();
@@ -336,6 +369,8 @@ impl WiLocator {
         );
         let tracer = Arc::new(Tracer::new(config.trace, count.max(1), clock));
         registry.register("", tracer.clone() as Arc<dyn wilocator_obs::Collect>);
+        let query_metrics = QueryMetrics::new(query_clock);
+        registry.register("", query_metrics.clone() as Arc<dyn wilocator_obs::Collect>);
         WiLocator {
             config,
             routes,
@@ -348,6 +383,8 @@ impl WiLocator {
             shard_metrics,
             server_metrics,
             tracer,
+            snapshot: SnapshotCell::new(config.query.slots),
+            query_metrics,
             registry,
         }
     }
@@ -619,6 +656,7 @@ impl WiLocator {
                 metrics.lock_hold_us.record(prev.saturating_sub(hold_start));
             }
             self.count_batch_errors(&results);
+            self.publish_after_batch(reports);
             return results;
         }
         let per_shard: Vec<(usize, Vec<IngestResult>)> = std::thread::scope(|scope| {
@@ -687,6 +725,7 @@ impl WiLocator {
             }
         }
         self.count_batch_errors(&results);
+        self.publish_after_batch(reports);
         results
     }
 
@@ -758,6 +797,9 @@ impl WiLocator {
         for lock in &self.shards {
             let shard = &mut *unpoisoned(lock.write());
             shard.predictor.train(&shard.store, as_of);
+        }
+        if self.config.query.publish_on_ingest {
+            self.publish_snapshot(as_of);
         }
     }
 
@@ -869,6 +911,131 @@ impl WiLocator {
         Ok(shard
             .traffic
             .route_map(&shard.store, &shard.predictor, r, t))
+    }
+
+    /// Auto-publication hook: after a batch lands, publish a snapshot
+    /// stamped with the newest report time in the batch (the publisher
+    /// itself clamps the stamp monotone across racing lanes).
+    fn publish_after_batch(&self, reports: &[ScanReport]) {
+        if !self.config.query.publish_on_ingest || reports.is_empty() {
+            return;
+        }
+        let mut as_of = f64::NEG_INFINITY;
+        for report in reports {
+            as_of = as_of.max(report.time_s);
+        }
+        if as_of.is_finite() {
+            self.publish_snapshot(as_of);
+        }
+    }
+
+    /// Builds and publishes a fresh immutable [`QuerySnapshot`] for
+    /// stream time `as_of`, returning the new epoch.
+    ///
+    /// The builder takes each shard's *read* lock once, computes every
+    /// bus view, arrival table and traffic map from that one coherent
+    /// pass, and hands the result to the snapshot cell — readers switch
+    /// to it atomically and never observe a half-built view. Arrival
+    /// integration runs unledgered so continuous publication never
+    /// distorts the rider-facing Eq. 8/9 accounting, and nothing here
+    /// emits trace spans, so deterministic replay goldens are unaffected
+    /// by publish cadence.
+    pub fn publish_snapshot(&self, as_of: f64) -> u64 {
+        let epoch = self.snapshot.publish_with(|epoch, prev| {
+            // Stream time never runs backwards across racing publishers.
+            self.build_snapshot(epoch, as_of.max(prev.published_at_s))
+        });
+        self.query_metrics.mark_published(epoch);
+        epoch
+    }
+
+    /// The latest published query snapshot. Never touches a shard lock
+    /// or the publish gate: one atomic load, one uncontended slot read
+    /// lock, one `Arc` clone.
+    pub fn query_snapshot(&self) -> Arc<QuerySnapshot> {
+        self.snapshot.read()
+    }
+
+    /// The epoch of the latest published snapshot (0 before the first).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// The query-plane accounting ledger (shared with the front end).
+    pub fn query_metrics(&self) -> &Arc<QueryMetrics> {
+        &self.query_metrics
+    }
+
+    /// The query-plane configuration this server was built with.
+    pub fn query_config(&self) -> QueryPlaneConfig {
+        self.config.query
+    }
+
+    /// Maintenance hook: runs `f` while holding `shard`'s *write* lock,
+    /// returning `None` for an out-of-range shard index. Exists so tests
+    /// can prove the read path's independence from ingest: queries issued
+    /// from inside `f` must still complete, because snapshot reads never
+    /// acquire a shard lock.
+    pub fn quiesce_shard<T>(&self, shard: usize, f: impl FnOnce() -> T) -> Option<T> {
+        let lock = self.shards.get(shard)?;
+        let _guard = unpoisoned(lock.write());
+        Some(f())
+    }
+
+    /// One coherent pass over the shards: every section of the snapshot
+    /// is computed from the same locked view of each shard.
+    fn build_snapshot(&self, epoch: u64, as_of: f64) -> QuerySnapshot {
+        let mut snap = QuerySnapshot::stamped(epoch, as_of);
+        for (idx, lock) in self.shards.iter().enumerate() {
+            let shard = unpoisoned(lock.read());
+            // lint: allow(unordered_iter) — lands in the snapshot's BTreeMap, which orders the published view by bus key
+            for (&key, state) in &shard.buses {
+                if let Some(&fix) = state.tracker.trajectory().last() {
+                    snap.buses.insert(
+                        key,
+                        BusView {
+                            route: state.route,
+                            fix,
+                        },
+                    );
+                }
+            }
+            for route in &self.routes {
+                if self.shard_of_route.get(&route.id()) != Some(&idx) {
+                    continue;
+                }
+                for stop in route.stops() {
+                    let mut entries: Vec<ArrivalEntry> = snap
+                        .buses
+                        // lint: allow(unordered_iter) — snapshot buses are a BTreeMap, and the entries are sorted below regardless
+                        .iter()
+                        .filter(|(_, view)| view.route == route.id() && view.fix.s < stop.s())
+                        .map(|(&bus, view)| ArrivalEntry {
+                            bus,
+                            eta_s: shard.predictor.predict_arrival_unledgered(
+                                &shard.store,
+                                route,
+                                view.fix.s,
+                                view.fix.time_s,
+                                stop.s(),
+                            ),
+                            from_fix_time_s: view.fix.time_s,
+                        })
+                        .collect();
+                    entries.sort_by(|a, b| {
+                        a.eta_s.total_cmp(&b.eta_s).then_with(|| a.bus.cmp(&b.bus))
+                    });
+                    snap.arrivals.insert((route.id(), stop.id()), entries);
+                }
+                snap.traffic.insert(
+                    route.id(),
+                    shard
+                        .traffic
+                        .route_map(&shard.store, &shard.predictor, route, as_of),
+                );
+            }
+        }
+        snap
     }
 
     /// Read access to a merged snapshot of the travel-time records across

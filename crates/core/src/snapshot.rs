@@ -1,0 +1,362 @@
+//! Epoch-published query snapshots: the rider-facing read path.
+//!
+//! The ingest side of the server mutates sharded state behind `RwLock`s;
+//! serving millions of riders from those locks would couple read latency
+//! to write contention. Instead the server periodically *publishes* an
+//! immutable [`QuerySnapshot`] — every bus's latest fix, every stop's
+//! arrival table, every route's traffic map — and readers answer from
+//! the latest published snapshot without ever touching an ingest lock.
+//!
+//! # Publication protocol
+//!
+//! [`SnapshotCell`] is a ring of `N ≥ 2` slots, each holding an
+//! `Arc<QuerySnapshot>`, plus an atomic epoch counter:
+//!
+//! * **Readers** load the epoch (`Acquire`), index slot `epoch % N`, and
+//!   clone the `Arc` out under that slot's read lock. The critical
+//!   section is one reference-count increment — no allocation, no shard
+//!   lock, no waiting on writers (a writer never touches the slot the
+//!   current epoch points at).
+//! * **Writers** serialize on a publish gate, build the next snapshot
+//!   (taking shard *read* locks one at a time), write it into slot
+//!   `(epoch + 1) % N` under that slot's write lock, then advance the
+//!   epoch with a `Release` store. A writer can only wait on a reader
+//!   that has fallen `N − 1` whole publish cycles behind mid-clone.
+//!
+//! # Memory reclamation
+//!
+//! Old snapshots are reclaimed by `Arc`: overwriting a ring slot drops
+//! the ring's reference, and the snapshot is freed when the last reader
+//! clone drops. No epoch-based reclamation scheme or unsafe code is
+//! needed — the workspace forbids `unsafe` — because readers hold owning
+//! references, never borrowed pointers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use wilocator_road::{RouteId, StopId};
+use wilocator_svd::Fix;
+
+use crate::report::BusKey;
+use crate::traffic_map::SegmentState;
+
+/// Enters a lock even when a previous holder panicked (same argument as
+/// the server's shard locks: snapshot slots hold plain data with no
+/// multi-step invariant spanning an unlock).
+fn unpoisoned<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Query-plane configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlaneConfig {
+    /// Publish a fresh snapshot automatically after every
+    /// [`crate::WiLocator::ingest_batch`] and [`crate::WiLocator::train`].
+    /// Disable to drive publication manually (tests pause the publisher
+    /// this way to probe staleness behaviour).
+    pub publish_on_ingest: bool,
+    /// Ring slots in the [`SnapshotCell`]. More slots give stalled
+    /// readers more publish cycles of grace before a writer can block on
+    /// them; 2 is the functional minimum.
+    pub slots: usize,
+    /// Trace one query in `trace_every` through the flight recorder
+    /// (key-derived, so sampling is deterministic per target); 0 turns
+    /// query tracing off. Rider traffic outnumbers ingest by orders of
+    /// magnitude, and every published trace crosses a per-ring mutex —
+    /// tracing each query would serialise the read path the snapshot
+    /// layer exists to keep lock-free. Set to 1 to trace every query
+    /// (tests do).
+    pub trace_every: u32,
+}
+
+impl Default for QueryPlaneConfig {
+    fn default() -> Self {
+        QueryPlaneConfig {
+            publish_on_ingest: true,
+            slots: 4,
+            trace_every: 16,
+        }
+    }
+}
+
+/// One bus's published position: the route it serves and its latest fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusView {
+    /// The route the bus is registered on.
+    pub route: RouteId,
+    /// The latest position fix at publish time.
+    pub fix: Fix,
+}
+
+/// One predicted arrival in a stop's published table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalEntry {
+    /// The approaching bus.
+    pub bus: BusKey,
+    /// Predicted absolute arrival time at the stop, seconds.
+    pub eta_s: f64,
+    /// `time_s` of the fix the prediction was integrated from. Always
+    /// equals the published [`BusView::fix`] of the same bus in the same
+    /// snapshot — consistency tests assert exactly this pairing.
+    pub from_fix_time_s: f64,
+}
+
+/// Per-section epoch stamps, written once at build time. A reader that
+/// ever observes differing stamps has seen a torn snapshot — which the
+/// single-`Arc` publication makes impossible, and tests verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionStamps {
+    /// Epoch stamped on the bus-position section.
+    pub buses: u64,
+    /// Epoch stamped on the arrival-table section.
+    pub arrivals: u64,
+    /// Epoch stamped on the traffic-map section.
+    pub traffic: u64,
+}
+
+/// An immutable, internally consistent view of the serving state,
+/// published as one unit: positions, arrival tables and traffic maps all
+/// computed from the same pass over the shards.
+///
+/// All collections are ordered (`BTreeMap`, pre-sorted `Vec`s) so that
+/// iteration — and therefore any serialized response — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySnapshot {
+    /// Publication sequence number; 0 is the empty pre-publish snapshot.
+    pub epoch: u64,
+    /// The `as_of` stream time the snapshot was built for, seconds.
+    pub published_at_s: f64,
+    /// Latest fix of every tracked bus, ordered by key.
+    pub buses: BTreeMap<BusKey, BusView>,
+    /// Per-(route, stop) arrival tables, soonest first (ties by bus key).
+    pub arrivals: BTreeMap<(RouteId, StopId), Vec<ArrivalEntry>>,
+    /// Per-route traffic maps in route segment order.
+    pub traffic: BTreeMap<RouteId, Vec<SegmentState>>,
+    /// Torn-read tripwire: every section carries the snapshot's epoch.
+    pub stamps: SectionStamps,
+}
+
+impl QuerySnapshot {
+    /// The empty snapshot served before the first publication.
+    pub fn empty() -> Self {
+        QuerySnapshot::default()
+    }
+
+    /// An empty snapshot stamped for `epoch` at `as_of`, ready for the
+    /// builder to fill.
+    pub fn stamped(epoch: u64, as_of: f64) -> Self {
+        QuerySnapshot {
+            epoch,
+            published_at_s: as_of,
+            stamps: SectionStamps {
+                buses: epoch,
+                arrivals: epoch,
+                traffic: epoch,
+            },
+            ..QuerySnapshot::default()
+        }
+    }
+
+    /// The published position of a bus.
+    pub fn position(&self, bus: BusKey) -> Option<&BusView> {
+        self.buses.get(&bus)
+    }
+
+    /// The arrival table of one (route, stop) pair.
+    pub fn arrivals(&self, route: RouteId, stop: StopId) -> Option<&[ArrivalEntry]> {
+        self.arrivals.get(&(route, stop)).map(Vec::as_slice)
+    }
+
+    /// All arrival tables for a stop id across routes (stop ids are
+    /// per-route, so one id can name a stop on several routes), in route
+    /// order.
+    pub fn arrivals_at_stop(
+        &self,
+        stop: StopId,
+    ) -> impl Iterator<Item = (RouteId, &[ArrivalEntry])> {
+        self.arrivals
+            .iter()
+            .filter(move |((_, s), _)| *s == stop)
+            .map(|((r, _), entries)| (*r, entries.as_slice()))
+    }
+
+    /// The published traffic map of a route.
+    pub fn traffic(&self, route: RouteId) -> Option<&[SegmentState]> {
+        self.traffic.get(&route).map(Vec::as_slice)
+    }
+
+    /// True when every section carries the snapshot's own epoch — the
+    /// not-torn invariant readers assert.
+    pub fn is_coherent(&self) -> bool {
+        self.stamps.buses == self.epoch
+            && self.stamps.arrivals == self.epoch
+            && self.stamps.traffic == self.epoch
+    }
+}
+
+/// The epoch-published snapshot cell (see the module docs for the
+/// protocol and its memory-reclamation argument).
+#[derive(Debug)]
+pub struct SnapshotCell {
+    /// Current epoch; slot `epoch % slots.len()` holds its snapshot.
+    epoch: AtomicU64,
+    /// The ring. Writers only ever lock the *next* slot for writing, so
+    /// readers of the current slot never contend with a writer.
+    slots: Vec<RwLock<Arc<QuerySnapshot>>>,
+    /// Serializes publishers; readers never touch it.
+    gate: Mutex<()>,
+}
+
+impl SnapshotCell {
+    /// A cell with `slots` ring slots (clamped to at least 2), serving
+    /// the empty epoch-0 snapshot until the first publication.
+    pub fn new(slots: usize) -> Self {
+        let empty = Arc::new(QuerySnapshot::empty());
+        SnapshotCell {
+            epoch: AtomicU64::new(0),
+            slots: (0..slots.max(2))
+                .map(|_| RwLock::new(empty.clone()))
+                .collect(),
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// The epoch of the latest published snapshot (0 before the first).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The latest published snapshot. Wait-free in practice: one atomic
+    /// load, one uncontended slot read lock, one `Arc` clone.
+    pub fn read(&self) -> Arc<QuerySnapshot> {
+        let idx = (self.epoch.load(Ordering::Acquire) as usize) % self.slots.len();
+        Arc::clone(&*unpoisoned(self.slots[idx].read()))
+    }
+
+    /// Publishes the snapshot produced by `build`, which receives the
+    /// epoch being published and the previous snapshot (for monotonic
+    /// stream-time clamping). Returns the new epoch.
+    ///
+    /// Publishers serialize on the gate; the epoch only advances here,
+    /// with a `Release` store readers pair with their `Acquire` load.
+    pub fn publish_with(&self, builder: impl FnOnce(u64, &QuerySnapshot) -> QuerySnapshot) -> u64 {
+        let _gate = unpoisoned(self.gate.lock());
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        let snap = {
+            let prev = self.read();
+            Arc::new(builder(next, &prev))
+        };
+        let idx = (next as usize) % self.slots.len();
+        *unpoisoned(self.slots[idx].write()) = snap;
+        self.epoch.store(next, Ordering::Release);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with_epoch(epoch: u64) -> QuerySnapshot {
+        QuerySnapshot::stamped(epoch, epoch as f64)
+    }
+
+    #[test]
+    fn empty_cell_serves_epoch_zero() {
+        let cell = SnapshotCell::new(4);
+        assert_eq!(cell.epoch(), 0);
+        let snap = cell.read();
+        assert_eq!(snap.epoch, 0);
+        assert!(snap.buses.is_empty());
+        assert!(snap.is_coherent());
+    }
+
+    #[test]
+    fn publish_advances_epoch_and_swaps_snapshot() {
+        let cell = SnapshotCell::new(2);
+        for expect in 1..=10u64 {
+            let got = cell.publish_with(|epoch, prev| {
+                assert_eq!(epoch, expect);
+                assert_eq!(prev.epoch, expect - 1);
+                snap_with_epoch(epoch)
+            });
+            assert_eq!(got, expect);
+            assert_eq!(cell.read().epoch, expect);
+        }
+    }
+
+    #[test]
+    fn readers_see_monotone_coherent_epochs_under_concurrent_publish() {
+        let cell = SnapshotCell::new(4);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for _ in 0..500 {
+                    cell.publish_with(|epoch, _| snap_with_epoch(epoch));
+                }
+            });
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut last = 0u64;
+                        for _ in 0..2_000 {
+                            let snap = cell.read();
+                            assert!(snap.is_coherent(), "torn snapshot at {}", snap.epoch);
+                            assert!(snap.epoch >= last, "epoch went backwards");
+                            last = snap.epoch;
+                        }
+                        last
+                    })
+                })
+                .collect();
+            writer.join().expect("writer");
+            for r in readers {
+                r.join().expect("reader");
+            }
+        });
+        assert_eq!(cell.epoch(), 500);
+    }
+
+    #[test]
+    fn old_snapshot_outlives_overwrite_via_arc() {
+        let cell = SnapshotCell::new(2);
+        cell.publish_with(|e, _| snap_with_epoch(e));
+        let held = cell.read();
+        assert_eq!(held.epoch, 1);
+        // Publish enough times to overwrite epoch 1's ring slot.
+        for _ in 0..4 {
+            cell.publish_with(|e, _| snap_with_epoch(e));
+        }
+        // The held clone still reads epoch 1: reclamation is by Arc drop,
+        // not by slot reuse.
+        assert_eq!(held.epoch, 1);
+        assert!(held.is_coherent());
+        assert_eq!(cell.read().epoch, 5);
+    }
+
+    #[test]
+    fn arrivals_at_stop_spans_routes() {
+        let mut snap = QuerySnapshot::stamped(3, 100.0);
+        let entry = |bus: u64| ArrivalEntry {
+            bus: BusKey(bus),
+            eta_s: 120.0,
+            from_fix_time_s: 90.0,
+        };
+        snap.arrivals
+            .insert((RouteId(0), StopId(1)), vec![entry(1)]);
+        snap.arrivals
+            .insert((RouteId(2), StopId(1)), vec![entry(2), entry(3)]);
+        snap.arrivals
+            .insert((RouteId(0), StopId(0)), vec![entry(4)]);
+        let at: Vec<_> = snap.arrivals_at_stop(StopId(1)).collect();
+        assert_eq!(at.len(), 2);
+        assert_eq!(at[0].0, RouteId(0));
+        assert_eq!(at[1].0, RouteId(2));
+        assert_eq!(at[1].1.len(), 2);
+        assert_eq!(
+            snap.arrivals(RouteId(0), StopId(0)).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(snap.arrivals(RouteId(9), StopId(0)).is_none());
+    }
+}

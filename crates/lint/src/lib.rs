@@ -50,9 +50,9 @@ use pragma::PragmaSet;
 use std::path::{Path, PathBuf};
 
 /// Crates whose outputs must replay byte-identically (W001 scope).
-pub const DETERMINISTIC_CRATES: [&str; 5] = ["svd", "core", "road", "geo", "baselines"];
+pub const DETERMINISTIC_CRATES: [&str; 6] = ["svd", "core", "road", "geo", "baselines", "serve"];
 /// Crates on the serving path that must not panic (W002 scope).
-pub const SERVING_CRATES: [&str; 3] = ["core", "svd", "obs"];
+pub const SERVING_CRATES: [&str; 4] = ["core", "svd", "obs", "serve"];
 /// The lock-free observability crate (W003 scope).
 pub const OBSERVABILITY_CRATES: [&str; 1] = ["obs"];
 /// Crates with no per-file rule scope of their own that still belong in

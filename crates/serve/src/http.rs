@@ -1,0 +1,428 @@
+//! Hand-rolled HTTP/1.1 request parsing.
+//!
+//! The front end serves five fixed `GET` endpoints to untrusted
+//! networks, so the parser is written defensively: every limit is
+//! explicit, every malformed input maps to a 4xx/5xx status instead of a
+//! panic, and incomplete input is reported as such so the connection
+//! loop can keep reading. The parser never allocates proportionally to
+//! attacker input beyond the bounded receive buffer it is handed.
+//!
+//! Parsing is pure (`&[u8]` in, verdict out): the adversarial and
+//! property tests exercise it without sockets.
+
+/// Bounds on a request the parser will accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Longest accepted request line (method + target + version), bytes.
+    pub max_request_line: usize,
+    /// Longest accepted header section after the request line, bytes.
+    pub max_header_bytes: usize,
+    /// Most accepted header fields.
+    pub max_headers: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_request_line: 8_192,
+            max_header_bytes: 16_384,
+            max_headers: 64,
+        }
+    }
+}
+
+impl HttpLimits {
+    /// Ceiling on the receive buffer: a complete request must fit here.
+    pub fn max_buffer(&self) -> usize {
+        self.max_request_line + self.max_header_bytes
+    }
+}
+
+/// A parse rejection, carrying the HTTP status to answer with before
+/// closing the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code (4xx/5xx).
+    pub status: u16,
+    /// Short human-readable reason (response body).
+    pub message: &'static str,
+}
+
+impl HttpError {
+    const fn new(status: u16, message: &'static str) -> Self {
+        HttpError { status, message }
+    }
+}
+
+/// One parsed request head (the front end accepts no bodies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, verbatim, including any query string.
+    pub target: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub http11: bool,
+    /// Header fields in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection should persist after the response,
+    /// following the version default and any `Connection` header.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split(['?', '#']).next().unwrap_or_default()
+    }
+
+    /// The target's query component, if any.
+    pub fn query(&self) -> Option<&str> {
+        let (_, q) = self.target.split_once('?')?;
+        Some(q.split('#').next().unwrap_or_default())
+    }
+}
+
+/// Parses one request head from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a complete head is
+/// present (`consumed` bytes of `buf` belong to it — pipelined requests
+/// follow), `Ok(None)` when more bytes are needed, and `Err` when the
+/// input can never become a request this server accepts.
+pub fn parse_request(
+    buf: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    // Request line first: bounded scan for its CRLF.
+    let Some(line_end) = find_crlf(buf, limits.max_request_line) else {
+        return if buf.len() > limits.max_request_line {
+            Err(HttpError::new(414, "request line too long"))
+        } else {
+            Ok(None)
+        };
+    };
+    let request_line = std::str::from_utf8(buf.get(..line_end).unwrap_or_default())
+        .map_err(|_| HttpError::new(400, "request line is not valid UTF-8"))?;
+    let (method, target, http11) = parse_request_line(request_line)?;
+
+    // Header section: everything between the request line and the blank
+    // line, bounded by `max_header_bytes`.
+    let headers_from = line_end + 2;
+    let headers_buf = buf.get(headers_from..).unwrap_or_default();
+    let Some((block_len, block_consumed)) =
+        find_header_terminator(headers_buf, limits.max_header_bytes)
+    else {
+        return if headers_buf.len() > limits.max_header_bytes {
+            Err(HttpError::new(431, "header section too large"))
+        } else {
+            Ok(None)
+        };
+    };
+    let header_text = std::str::from_utf8(headers_buf.get(..block_len).unwrap_or_default())
+        .map_err(|_| HttpError::new(400, "headers are not valid UTF-8"))?;
+    let headers = parse_headers(header_text, limits.max_headers)?;
+
+    // This server accepts no request bodies: any framing header that
+    // announces one is rejected outright rather than half-read.
+    for (name, value) in &headers {
+        if name == "content-length" && value.trim() != "0" {
+            return Err(HttpError::new(413, "request bodies are not accepted"));
+        }
+        if name == "transfer-encoding" {
+            return Err(HttpError::new(413, "request bodies are not accepted"));
+        }
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+
+    let consumed = headers_from + block_consumed;
+    Ok(Some((
+        Request {
+            method,
+            target,
+            http11,
+            headers,
+            keep_alive,
+        },
+        consumed,
+    )))
+}
+
+/// Splits `GET /path HTTP/1.1` into its three parts, strictly.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if parts.next().is_some() {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, "malformed method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::new(400, "request target must be absolute"));
+    }
+    if target.bytes().any(|b| b.is_ascii_control()) {
+        return Err(HttpError::new(400, "control bytes in request target"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => {
+            return Err(HttpError::new(505, "only HTTP/1.0 and HTTP/1.1 are served"))
+        }
+        _ => return Err(HttpError::new(400, "malformed HTTP version")),
+    };
+    Ok((method.to_string(), target.to_string(), http11))
+}
+
+/// Parses the header block (CRLF-separated, no trailing blank line).
+fn parse_headers(text: &str, max_headers: usize) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    if text.is_empty() {
+        return Ok(headers);
+    }
+    for line in text.split("\r\n") {
+        if headers.len() >= max_headers {
+            return Err(HttpError::new(431, "too many header fields"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::new(400, "header field without a colon"))?;
+        if name.is_empty()
+            || name
+                .bytes()
+                .any(|b| b.is_ascii_whitespace() || b.is_ascii_control())
+        {
+            return Err(HttpError::new(400, "malformed header name"));
+        }
+        if value.bytes().any(|b| b.is_ascii_control() && b != b'\t') {
+            return Err(HttpError::new(400, "control bytes in header value"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+/// Index of the first CRLF within the first `limit + 2` bytes.
+fn find_crlf(buf: &[u8], limit: usize) -> Option<usize> {
+    let horizon = buf.len().min(limit + 2);
+    buf.get(..horizon)
+        .unwrap_or_default()
+        .windows(2)
+        .position(|w| w == b"\r\n")
+}
+
+/// Locates the blank line terminating the header block: returns
+/// `(block_len, consumed)` where `block_len` bytes of headers (without
+/// their final CRLF) are followed by `consumed − block_len` terminator
+/// bytes — a leading `\r\n` for an empty block, `\r\n\r\n` otherwise.
+fn find_header_terminator(buf: &[u8], limit: usize) -> Option<(usize, usize)> {
+    if buf.starts_with(b"\r\n") {
+        return Some((0, 2));
+    }
+    let horizon = buf.len().min(limit + 4);
+    buf.get(..horizon)
+        .unwrap_or_default()
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| (p, p + 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+        parse_request(bytes, &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let (req, consumed) = parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.http11);
+        assert!(req.keep_alive);
+        assert!(req.headers.is_empty());
+        assert_eq!(consumed, 25);
+    }
+
+    #[test]
+    fn parses_headers_and_query() {
+        let raw = b"GET /arrivals/2?route=0 HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n";
+        let (req, consumed) = parse(raw).expect("valid").expect("complete");
+        assert_eq!(req.path(), "/arrivals/2");
+        assert_eq!(req.query(), Some("route=0"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let (req, _) = parse(b"GET / HTTP/1.0\r\n\r\n")
+            .expect("valid")
+            .expect("done");
+        assert!(!req.http11);
+        assert!(!req.keep_alive);
+        let (req, _) = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .expect("valid")
+            .expect("done");
+        assert!(req.keep_alive);
+        let (req, _) = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("valid")
+            .expect("done");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn partial_input_is_incomplete_not_an_error() {
+        for raw in [
+            &b"G"[..],
+            b"GET /healthz HTT",
+            b"GET /healthz HTTP/1.1",
+            b"GET /healthz HTTP/1.1\r\n",
+            b"GET /healthz HTTP/1.1\r\nHost: x",
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n",
+        ] {
+            assert_eq!(parse(raw), Ok(None), "{:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_report_consumed_per_request() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse(raw).expect("valid").expect("complete");
+        assert_eq!(first.target, "/healthz");
+        let (second, rest) = parse(&raw[consumed..]).expect("valid").expect("complete");
+        assert_eq!(second.target, "/metrics");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn malformed_lines_are_400() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x FTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n: empty\r\n\r\n",
+        ] {
+            let got = parse(raw).expect_err(&String::from_utf8_lossy(raw));
+            assert_eq!(got.status, 400, "{:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_505() {
+        assert_eq!(
+            parse(b"GET /x HTTP/2.0\r\n\r\n")
+                .expect_err("rejected")
+                .status,
+            505
+        );
+        assert_eq!(
+            parse(b"GET /x HTTP/0.9\r\n\r\n")
+                .expect_err("rejected")
+                .status,
+            505
+        );
+    }
+
+    #[test]
+    fn bodies_are_413() {
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+                .expect_err("rejected")
+                .status,
+            413
+        );
+        assert_eq!(
+            parse(b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .expect_err("rejected")
+                .status,
+            413
+        );
+        // An explicit zero-length body is fine.
+        assert!(parse(b"GET /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .expect("valid")
+            .is_some());
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 9_000));
+        assert_eq!(parse(&raw).expect_err("rejected").status, 414);
+    }
+
+    #[test]
+    fn oversized_header_section_is_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(
+            std::iter::repeat_n(&b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n"[..], 400)
+                .flatten(),
+        );
+        assert_eq!(parse(&raw).expect_err("rejected").status, 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..70 {
+            raw.extend(format!("H{i}: v\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert_eq!(parse(&raw).expect_err("rejected").status, 431);
+    }
+
+    #[test]
+    fn control_bytes_in_target_are_400() {
+        assert_eq!(
+            parse(b"GET /x\x07y HTTP/1.1\r\n\r\n")
+                .expect_err("rejected")
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn non_utf8_is_400_not_a_panic() {
+        assert_eq!(
+            parse(b"GET /\xff\xfe HTTP/1.1\r\n\r\n")
+                .expect_err("rejected")
+                .status,
+            400
+        );
+        assert_eq!(
+            parse(b"GET /x HTTP/1.1\r\nX: \xff\xfe\r\n\r\n")
+                .expect_err("rejected")
+                .status,
+            400
+        );
+    }
+}

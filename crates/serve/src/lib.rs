@@ -1,0 +1,32 @@
+//! Rider-facing HTTP front end for WiLocator.
+//!
+//! A zero-dependency HTTP/1.1 server over `std::net` answering rider
+//! queries from the epoch-published [`wilocator_core::QuerySnapshot`].
+//! Endpoints:
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `GET /arrivals/{stop}` | Predicted arrivals at a stop, per route (`?route=N` filters) |
+//! | `GET /position/{bus}` | A bus's latest published fix |
+//! | `GET /traffic/{route}` | The route's traffic-map segment states |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /healthz` | Liveness plus snapshot epoch and staleness |
+//!
+//! The crate splits into three layers, each testable without the one
+//! below: [`http`] (pure byte parsing), [`service`] (pure routing over
+//! a [`wilocator_core::WiLocator`]), and [`server`] (sockets and the
+//! worker pool). Data responses never touch a shard ingest lock — they
+//! read the immutable published snapshot, so query throughput is
+//! independent of ingest contention (see `DESIGN.md` §10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod service;
+
+pub use http::{parse_request, HttpError, HttpLimits, Request};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use service::{respond, Response};

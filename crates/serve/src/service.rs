@@ -1,0 +1,424 @@
+//! Request routing: maps parsed HTTP requests onto the query snapshot.
+//!
+//! `respond` is a pure function of the server state and the request —
+//! the transport in [`crate::server`] only moves bytes. Every data
+//! endpoint reads exactly one [`QuerySnapshot`] (a single `Arc` clone;
+//! never a shard ingest lock), so a response is internally consistent
+//! even while ingest is rewriting tracker state. Queries are metered
+//! through [`wilocator_core::QueryMetrics`] and traced through the
+//! flight recorder like ingest batches, so `tracedump` can interleave
+//! rider queries with the pipeline spans they raced against.
+
+use std::sync::Arc;
+
+use wilocator_core::{BusKey, QueryEndpoint, QuerySnapshot, WiLocator};
+use wilocator_road::{RouteId, StopId};
+
+use crate::json::{JsonArr, JsonObj};
+
+/// A fully rendered response, transport-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Value for the `Content-Type` header.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain; version=0.0.4";
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: JSON,
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            JsonObj::new()
+                .u64_field("status", u64::from(status))
+                .str_field("error", message)
+                .finish(),
+        )
+    }
+}
+
+/// Routes one request against the server's published snapshot.
+///
+/// Never takes a shard ingest lock: data endpoints read the epoch cell
+/// once and answer entirely from the immutable snapshot. Records the
+/// request in the query ledger and opens a keyed `query` root span so
+/// the flight recorder tail-samples slow or failing queries.
+pub fn respond(server: &WiLocator, request: &crate::http::Request) -> Response {
+    let metrics = server.query_metrics();
+    let t0 = metrics.clock().now_us();
+    // Query tracing is sampled (`QueryPlaneConfig::trace_every`) and the
+    // sampled spans are spread across the recorder's rings by key:
+    // rider traffic is orders of magnitude denser than ingest, and
+    // pushing every query trace through one ring mutex would serialise
+    // the otherwise lock-free read path (the query_scaling bench
+    // flatlined exactly that way before sampling).
+    let key = target_key(&request.target);
+    let trace_every = u64::from(server.query_config().trace_every);
+    let ctx = if trace_every > 0 && key.is_multiple_of(trace_every) {
+        let shard = (key % server.shard_count().max(1) as u64) as usize;
+        // Span stamps come from the tracer's own clock, which in replays
+        // is the deterministic span clock — never mix it with the query
+        // clock.
+        let span_start = server.tracer().clock().now_us();
+        server
+            .tracer()
+            .start_root_span_keyed(shard, "query", span_start, key)
+    } else {
+        None
+    };
+    if let Some(ctx) = &ctx {
+        ctx.field("method", is_get(request));
+    }
+
+    let response = route(server, request, ctx.as_ref());
+
+    metrics
+        .latency_us
+        .record(metrics.clock().now_us().saturating_sub(t0));
+    if let Some(ctx) = ctx {
+        ctx.field("status", u64::from(response.status));
+        if response.status >= 400 {
+            ctx.flag_anomaly(if response.status == 404 {
+                "query_not_found"
+            } else {
+                "query_bad_request"
+            });
+        }
+        let end = server.tracer().clock().now_us();
+        ctx.finish_at(end);
+    }
+    response
+}
+
+fn is_get(request: &crate::http::Request) -> bool {
+    request.method == "GET"
+}
+
+fn route(
+    server: &WiLocator,
+    request: &crate::http::Request,
+    ctx: Option<&wilocator_obs::TraceCtx<'_>>,
+) -> Response {
+    if !is_get(request) {
+        server.query_metrics().bad_request_total.inc();
+        return Response::error(405, "only GET is supported");
+    }
+    let path = request.path();
+    let (endpoint, rest) = match split_endpoint(path) {
+        Some(pair) => pair,
+        None => {
+            server.query_metrics().bad_request_total.inc();
+            return Response::error(404, "no such endpoint");
+        }
+    };
+    server.query_metrics().record_query(endpoint);
+    if let Some(ctx) = ctx {
+        ctx.field("endpoint", endpoint.label());
+    }
+    let response = match endpoint {
+        QueryEndpoint::Healthz => healthz(server),
+        QueryEndpoint::Metrics => Response {
+            status: 200,
+            content_type: TEXT,
+            body: server.metrics_text(),
+        },
+        QueryEndpoint::Arrivals => arrivals(server, rest, request.query()),
+        QueryEndpoint::Position => position(server, rest),
+        QueryEndpoint::Traffic => traffic(server, rest),
+    };
+    match response.status {
+        404 => server.query_metrics().not_found_total.inc(),
+        400 => server.query_metrics().bad_request_total.inc(),
+        _ => {}
+    }
+    response
+}
+
+/// Splits `/arrivals/3` into the endpoint and its trailing id segment.
+/// Returns `None` for unknown paths. `/metrics` and `/healthz` take no
+/// id; a trailing segment on them is unknown, not a bad id.
+fn split_endpoint(path: &str) -> Option<(QueryEndpoint, &str)> {
+    match path {
+        "/metrics" => return Some((QueryEndpoint::Metrics, "")),
+        "/healthz" => return Some((QueryEndpoint::Healthz, "")),
+        _ => {}
+    }
+    let rest = path.strip_prefix('/')?;
+    let (head, id) = rest.split_once('/')?;
+    let endpoint = match head {
+        "arrivals" => QueryEndpoint::Arrivals,
+        "position" => QueryEndpoint::Position,
+        "traffic" => QueryEndpoint::Traffic,
+        _ => return None,
+    };
+    Some((endpoint, id))
+}
+
+fn healthz(server: &WiLocator) -> Response {
+    let snap = server.query_snapshot();
+    let metrics = server.query_metrics();
+    Response::json(
+        200,
+        JsonObj::new()
+            .str_field("status", "ok")
+            .u64_field("epoch", snap.epoch)
+            .f64_field("published_at_s", snap.published_at_s)
+            .u64_field("staleness_us", metrics.staleness_us())
+            .finish(),
+    )
+}
+
+fn arrivals(server: &WiLocator, id: &str, query: Option<&str>) -> Response {
+    let stop = match parse_u32(id) {
+        Some(stop) => StopId(stop),
+        None => return Response::error(400, "stop id must be a decimal integer"),
+    };
+    let route_filter = match route_param(query) {
+        Ok(filter) => filter,
+        Err(response) => return response,
+    };
+    let snap = server.query_snapshot();
+    let mut routes = JsonArr::new();
+    let mut seen = false;
+    for (route, entries) in snap.arrivals_at_stop(stop) {
+        if route_filter.is_some_and(|want| want != route) {
+            continue;
+        }
+        seen = true;
+        let mut list = JsonArr::new();
+        for entry in entries {
+            list.push_raw(
+                JsonObj::new()
+                    .str_field("bus", &entry.bus.to_string())
+                    .f64_field("eta_s", entry.eta_s)
+                    .f64_field("from_fix_time_s", entry.from_fix_time_s)
+                    .finish(),
+            );
+        }
+        routes.push_raw(
+            JsonObj::new()
+                .str_field("route", &route.to_string())
+                .raw_field("arrivals", &list.finish())
+                .finish(),
+        );
+    }
+    if !seen {
+        return Response::error(404, "unknown stop");
+    }
+    Response::json(
+        200,
+        JsonObj::new()
+            .str_field("stop", &stop.to_string())
+            .u64_field("epoch", snap.epoch)
+            .f64_field("as_of_s", snap.published_at_s)
+            .raw_field("routes", &routes.finish())
+            .finish(),
+    )
+}
+
+/// Extracts an optional `route=<decimal>` filter from the query string.
+fn route_param(query: Option<&str>) -> Result<Option<RouteId>, Response> {
+    let Some(query) = query else {
+        return Ok(None);
+    };
+    for pair in query.split('&') {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key != "route" {
+            continue;
+        }
+        return match parse_u32(value) {
+            Some(route) => Ok(Some(RouteId(route))),
+            None => Err(Response::error(
+                400,
+                "route filter must be a decimal integer",
+            )),
+        };
+    }
+    Ok(None)
+}
+
+fn position(server: &WiLocator, id: &str) -> Response {
+    let bus = match parse_u64(id) {
+        Some(bus) => BusKey(bus),
+        None => return Response::error(400, "bus id must be a decimal integer"),
+    };
+    let snap = server.query_snapshot();
+    let Some(view) = snap.position(bus) else {
+        return Response::error(404, "unknown bus");
+    };
+    let fix = &view.fix;
+    let mut interval = String::from("[");
+    crate::json::write_f64(&mut interval, fix.interval.0);
+    interval.push(',');
+    crate::json::write_f64(&mut interval, fix.interval.1);
+    interval.push(']');
+    let fix_json = JsonObj::new()
+        .f64_field("s", fix.s)
+        .f64_field("x", fix.point.x)
+        .f64_field("y", fix.point.y)
+        .raw_field("interval", &interval)
+        .str_field("method", fix.method.label())
+        .f64_field("time_s", fix.time_s)
+        .finish();
+    Response::json(
+        200,
+        JsonObj::new()
+            .str_field("bus", &bus.to_string())
+            .str_field("route", &view.route.to_string())
+            .u64_field("epoch", snap.epoch)
+            .raw_field("fix", &fix_json)
+            .finish(),
+    )
+}
+
+fn traffic(server: &WiLocator, id: &str) -> Response {
+    let route = match parse_u32(id) {
+        Some(route) => RouteId(route),
+        None => return Response::error(400, "route id must be a decimal integer"),
+    };
+    let snap = server.query_snapshot();
+    let Some(segments) = snap.traffic(route) else {
+        return Response::error(404, "unknown route");
+    };
+    let mut list = JsonArr::new();
+    for segment in segments {
+        list.push_raw(
+            JsonObj::new()
+                .str_field("edge", &segment.edge.to_string())
+                .str_field("state", &segment.state.to_string())
+                .f64_field("z", segment.z)
+                .finish(),
+        );
+    }
+    Response::json(
+        200,
+        JsonObj::new()
+            .str_field("route", &route.to_string())
+            .u64_field("epoch", snap.epoch)
+            .f64_field("as_of_s", snap.published_at_s)
+            .raw_field("segments", &list.finish())
+            .finish(),
+    )
+}
+
+/// Strict non-negative decimal: ASCII digits only, must fit the type.
+fn parse_u32(s: &str) -> Option<u32> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+/// Content-derived sampling key for the trace detail decision: a small
+/// FNV-1a over the request target, so identical queries sample alike in
+/// deterministic replays.
+fn target_key(target: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in target.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Exposes the snapshot a response was served from; handy for tests
+/// that assert fix/arrival coherence against a response body.
+pub fn current_snapshot(server: &WiLocator) -> Arc<QuerySnapshot> {
+    server.query_snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(target: &str) -> crate::http::Request {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let (request, _) = crate::http::parse_request(&raw.into_bytes(), &Default::default())
+            .expect("well-formed")
+            .expect("complete");
+        request
+    }
+
+    #[test]
+    fn split_endpoint_covers_all_routes() {
+        assert_eq!(
+            split_endpoint("/metrics"),
+            Some((QueryEndpoint::Metrics, ""))
+        );
+        assert_eq!(
+            split_endpoint("/healthz"),
+            Some((QueryEndpoint::Healthz, ""))
+        );
+        assert_eq!(
+            split_endpoint("/arrivals/3"),
+            Some((QueryEndpoint::Arrivals, "3"))
+        );
+        assert_eq!(
+            split_endpoint("/position/12"),
+            Some((QueryEndpoint::Position, "12"))
+        );
+        assert_eq!(
+            split_endpoint("/traffic/0"),
+            Some((QueryEndpoint::Traffic, "0"))
+        );
+        assert_eq!(split_endpoint("/"), None);
+        assert_eq!(split_endpoint("/arrivals"), None);
+        assert_eq!(split_endpoint("/metrics/extra"), None);
+        assert_eq!(split_endpoint("/nope/1"), None);
+    }
+
+    #[test]
+    fn strict_decimal_ids() {
+        assert_eq!(parse_u32("0"), Some(0));
+        assert_eq!(parse_u32("42"), Some(42));
+        assert_eq!(parse_u32(""), None);
+        assert_eq!(parse_u32("-1"), None);
+        assert_eq!(parse_u32("+1"), None);
+        assert_eq!(parse_u32("1e3"), None);
+        assert_eq!(parse_u32("4294967296"), None);
+        assert_eq!(parse_u64("4294967296"), Some(4_294_967_296));
+    }
+
+    #[test]
+    fn route_param_parses_and_rejects() {
+        assert_eq!(route_param(None), Ok(None));
+        assert_eq!(route_param(Some("limit=5")), Ok(None));
+        assert_eq!(route_param(Some("route=2")), Ok(Some(RouteId(2))));
+        assert_eq!(route_param(Some("limit=5&route=7")), Ok(Some(RouteId(7))));
+        assert!(route_param(Some("route=abc")).is_err());
+        assert!(route_param(Some("route=")).is_err());
+    }
+
+    #[test]
+    fn request_helpers_route_targets() {
+        let request = get("/arrivals/3?route=1");
+        assert_eq!(request.path(), "/arrivals/3");
+        assert_eq!(request.query(), Some("route=1"));
+    }
+
+    #[test]
+    fn target_key_is_stable() {
+        assert_eq!(target_key("/healthz"), target_key("/healthz"));
+        assert_ne!(target_key("/healthz"), target_key("/metrics"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Serve quickstart: track a simulated bus, publish query snapshots,
+//! boot the rider-facing HTTP front end on an ephemeral port, and hit
+//! every endpoint like a rider's phone would.
+//!
+//! Run with `cargo run --release --example serve_quickstart`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator::serve::{serve, ServeConfig};
+use wilocator::sim::{
+    sense_trip, simple_street, simulate_trip, BusConfig, CityConfig, SensingConfig, TrafficConfig,
+    TrafficModel,
+};
+
+fn main() {
+    // 1. A 2 km street, one route, one tracked bus (same scene as the
+    //    quickstart example).
+    let city = simple_street(2_000.0, 5, 7, &CityConfig::default());
+    let route = city.routes[0].clone();
+    let server = Arc::new(WiLocator::new(
+        &city.server_field,
+        vec![route.clone()],
+        WiLocatorConfig::default(),
+    ));
+    let bus = BusKey(1);
+    server.register_bus(bus, route.id()).expect("served route");
+
+    // 2. Stream a midday trip through ingest; every batch publishes a
+    //    fresh query snapshot for the front end to answer from.
+    let traffic = TrafficModel::new(&city.network, TrafficConfig::default(), 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let trajectory = simulate_trip(
+        &route,
+        &traffic,
+        12.0 * 3_600.0,
+        &BusConfig::default(),
+        &mut rng,
+    );
+    let ap_index = city.ap_index();
+    let bundles = sense_trip(
+        &city,
+        &trajectory,
+        0,
+        &SensingConfig::default(),
+        &ap_index,
+        &mut rng,
+    );
+    let reports: Vec<ScanReport> = bundles
+        .iter()
+        .map(|b| ScanReport {
+            bus,
+            time_s: b.time_s,
+            scans: b.scans.clone(),
+        })
+        .collect();
+    for chunk in reports.chunks(32) {
+        for result in server.ingest_batch(chunk) {
+            result.expect("registered bus");
+        }
+    }
+    server.train(13.0 * 3_600.0);
+    println!(
+        "replayed {} scan reports; snapshot epoch {}",
+        reports.len(),
+        server.snapshot_epoch()
+    );
+
+    // 3. Boot the HTTP front end on an ephemeral loopback port.
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind ephemeral port");
+    let addr = handle.local_addr();
+    println!("serving rider queries on http://{addr}\n");
+
+    // 4. Ask it what a rider would ask. (Use curl against the printed
+    //    address for a long-lived server; here we query and exit.)
+    let last_stop = route.stops().last().expect("stops").id();
+    for target in [
+        "/healthz".to_string(),
+        format!("/arrivals/{}", last_stop.0),
+        format!("/position/{}", bus.0),
+        format!("/traffic/{}", route.id().0),
+    ] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: wilocator\r\nConnection: close\r\n\r\n"
+        )
+        .expect("write request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+        println!("GET {target}\n  {body}\n");
+    }
+
+    handle.shutdown();
+    println!("front end shut down cleanly");
+}

@@ -66,5 +66,6 @@ pub use wilocator_geo as geo;
 pub use wilocator_obs as obs;
 pub use wilocator_rf as rf;
 pub use wilocator_road as road;
+pub use wilocator_serve as serve;
 pub use wilocator_sim as sim;
 pub use wilocator_svd as svd;

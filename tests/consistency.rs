@@ -140,3 +140,106 @@ fn svd_reduces_to_euclidean_voronoi_under_homogeneity() {
     }
     assert!(checked >= 10, "only {checked} tiles checked");
 }
+
+// ---------------------------------------------------------------------------
+// Query-plane snapshot consistency: readers racing writers must only
+// ever observe coherent, monotonically advancing published snapshots.
+// ---------------------------------------------------------------------------
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Replays a seeded day from 2/4/8 writer threads while as many
+    /// reader threads hammer `query_snapshot`. Every observed snapshot
+    /// must be internally coherent — epoch monotone per reader, all
+    /// sections stamped with the same epoch (no torn publication), and
+    /// every arrival entry derived from exactly the bus fix published
+    /// in that same snapshot.
+    #[test]
+    fn snapshots_stay_coherent_under_concurrent_ingest(
+        threads_idx in 0usize..3,
+        seed in 1u64..64,
+    ) {
+        let threads = [2usize, 4, 8][threads_idx];
+        let (city, plan) = common::seeded_day(seed);
+        let server = WiLocator::new(
+            &city.server_field,
+            city.routes.clone(),
+            WiLocatorConfig::default(),
+        );
+        for (trip, route) in plan.trip_routes() {
+            server.register_bus(BusKey(trip as u64), route).expect("served route");
+        }
+        let done = AtomicBool::new(false);
+        let writers_left = AtomicUsize::new(threads);
+        let reads = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for lane in plan.lanes(threads) {
+                let server = &server;
+                let done = &done;
+                let writers_left = &writers_left;
+                let plan = &plan;
+                scope.spawn(move || {
+                    let reports: Vec<ScanReport> =
+                        lane.iter().map(|&i| common::to_report(&plan.events[i])).collect();
+                    for chunk in reports.chunks(16) {
+                        for result in server.ingest_batch(chunk) {
+                            result.expect("registered bus");
+                        }
+                    }
+                    if writers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        done.store(true, Ordering::Release);
+                    }
+                });
+            }
+            for _ in 0..threads {
+                let server = &server;
+                let done = &done;
+                let reads = &reads;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut observed = 0usize;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let snap = server.query_snapshot();
+                        assert!(
+                            snap.epoch >= last_epoch,
+                            "epoch went backwards: {} after {last_epoch}",
+                            snap.epoch
+                        );
+                        last_epoch = snap.epoch;
+                        assert!(snap.is_coherent(), "torn snapshot at epoch {}", snap.epoch);
+                        for ((route, _stop), entries) in &snap.arrivals {
+                            for entry in entries {
+                                let view = snap
+                                    .buses
+                                    .get(&entry.bus)
+                                    .expect("arrival for a bus missing from the same snapshot");
+                                assert_eq!(view.route, *route, "arrival crossed routes");
+                                assert_eq!(
+                                    entry.from_fix_time_s, view.fix.time_s,
+                                    "arrival not derived from the published fix (torn read)"
+                                );
+                                assert!(view.fix.s < snap.published_at_s + 86_400.0);
+                            }
+                        }
+                        observed += 1;
+                        if finished {
+                            break;
+                        }
+                    }
+                    reads.fetch_add(observed, Ordering::Relaxed);
+                });
+            }
+        });
+        prop_assert!(server.snapshot_epoch() > 0, "no snapshot was ever published");
+        prop_assert!(reads.load(Ordering::Relaxed) >= threads, "readers starved");
+    }
+}

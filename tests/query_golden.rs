@@ -1,0 +1,101 @@
+//! Golden query-response fixture: a deterministic single-threaded replay
+//! rendered through the serve layer must produce byte-identical JSON,
+//! run to run and commit to commit.
+//!
+//! Bless the fixture after an intentional format change with
+//! `WILOCATOR_BLESS=1 cargo test --test query_golden`.
+
+mod common;
+
+use common::{assert_matches_fixture, seeded_day, to_report};
+use wilocator::core::{ScanReport, WiLocator, WiLocatorConfig};
+use wilocator::serve::{parse_request, respond, HttpLimits, Request};
+
+fn get(target: &str) -> Request {
+    let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+    let (request, _) = parse_request(raw.as_bytes(), &HttpLimits::default())
+        .expect("well-formed request line")
+        .expect("complete request");
+    request
+}
+
+/// Replays one seeded morning single-threaded — ingest in plan order,
+/// batches of 32, then train — *without* finishing the buses, so
+/// `/position` still answers for them.
+fn replayed_server() -> WiLocator {
+    let (city, plan) = seeded_day(11);
+    let server = WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    );
+    for (trip, route) in plan.trip_routes() {
+        server
+            .register_bus(wilocator::core::BusKey(trip as u64), route)
+            .expect("served route");
+    }
+    let reports: Vec<ScanReport> = plan.events.iter().map(to_report).collect();
+    for chunk in reports.chunks(32) {
+        for result in server.ingest_batch(chunk) {
+            result.expect("registered bus");
+        }
+    }
+    server.train(10.0 * 3_600.0);
+    server
+}
+
+/// The fixed battery of requests the fixture records: every data
+/// endpoint, the route filter, and each 4xx shape.
+fn battery(server: &WiLocator) -> Vec<String> {
+    let snapshot = server.query_snapshot();
+    let mut targets = vec![
+        "/arrivals/0".to_string(),
+        "/arrivals/1".to_string(),
+        "/arrivals/1?route=0".to_string(),
+        "/arrivals/3".to_string(),
+        "/traffic/0".to_string(),
+        "/traffic/1".to_string(),
+        "/traffic/2".to_string(),
+        // 4xx shapes are part of the contract too.
+        "/arrivals/99".to_string(),
+        "/traffic/9".to_string(),
+        "/position/99999".to_string(),
+        "/position/abc".to_string(),
+        "/arrivals/1?route=x".to_string(),
+        "/nope/1".to_string(),
+    ];
+    // Snapshot iteration is ordered, so "the first three buses" is a
+    // deterministic pick.
+    for bus in snapshot.buses.keys().take(3) {
+        targets.push(format!("/position/{}", bus.0));
+    }
+    targets
+}
+
+fn transcript(server: &WiLocator) -> String {
+    let mut out = String::new();
+    for target in battery(server) {
+        let response = respond(server, &get(&target));
+        out.push_str(&format!(
+            "GET {target}\n{} {}\n{}\n\n",
+            response.status, response.content_type, response.body
+        ));
+    }
+    out
+}
+
+#[test]
+fn query_responses_match_golden() {
+    let server = replayed_server();
+    assert_matches_fixture(&transcript(&server), "query_golden.txt");
+}
+
+#[test]
+fn query_responses_are_replay_deterministic() {
+    let first = transcript(&replayed_server());
+    let second = transcript(&replayed_server());
+    assert_eq!(
+        first, second,
+        "same seed, same replay — response bytes must not drift"
+    );
+}

@@ -1,0 +1,199 @@
+//! End-to-end serve integration: boot the HTTP front end on an
+//! ephemeral port over a replayed slice of a seeded day, hit every
+//! endpoint through a real TCP socket, and validate the JSON with the
+//! tracedump parser. This is the test CI's serve step runs.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use common::{seeded_day, to_report};
+use wilocator::core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator::serve::{serve, ServeConfig, ServerHandle};
+use wilocator_tracedump::{parse_json, Json};
+
+/// Replays the first 256 events of a seeded morning and boots the
+/// front end on an ephemeral loopback port.
+fn boot() -> (Arc<WiLocator>, ServerHandle) {
+    let (city, plan) = seeded_day(13);
+    let server = Arc::new(WiLocator::new(
+        &city.server_field,
+        city.routes.clone(),
+        WiLocatorConfig::default(),
+    ));
+    for (trip, route) in plan.trip_routes() {
+        server
+            .register_bus(BusKey(trip as u64), route)
+            .expect("served route");
+    }
+    let reports: Vec<ScanReport> = plan.events.iter().map(to_report).collect();
+    for chunk in reports[..reports.len().min(256)].chunks(32) {
+        for result in server.ingest_batch(chunk) {
+            result.expect("registered bus");
+        }
+    }
+    server.train(9.0 * 3_600.0);
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind ephemeral port");
+    (server, handle)
+}
+
+/// One full HTTP exchange on a fresh connection (`Connection: close`).
+/// Returns (status, head, body).
+fn fetch(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: wilocator\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), body.to_string())
+}
+
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.eq_ignore_ascii_case(name).then(|| value.trim())
+    })
+}
+
+fn fetch_json(addr: SocketAddr, target: &str) -> Json {
+    let (status, head, body) = fetch(addr, target);
+    assert_eq!(status, 200, "GET {target}: {body}");
+    assert_eq!(
+        header(&head, "content-type"),
+        Some("application/json"),
+        "GET {target}"
+    );
+    let advertised: usize = header(&head, "content-length")
+        .expect("content-length header")
+        .parse()
+        .expect("numeric content-length");
+    assert_eq!(advertised, body.len(), "GET {target}: framing must match");
+    parse_json(&body).unwrap_or_else(|e| panic!("GET {target}: invalid JSON ({e}): {body}"))
+}
+
+#[test]
+fn every_endpoint_answers_valid_json_over_tcp() {
+    let (server, handle) = boot();
+    let addr = handle.local_addr();
+
+    let health = fetch_json(addr, "/healthz");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    let epoch = health
+        .get("epoch")
+        .and_then(|v| v.as_u64())
+        .expect("epoch is a number");
+    assert_eq!(epoch, server.snapshot_epoch());
+    assert!(health
+        .get("staleness_us")
+        .and_then(|v| v.as_u64())
+        .is_some());
+
+    let arrivals = fetch_json(addr, "/arrivals/0");
+    assert_eq!(arrivals.get("stop").and_then(|v| v.as_str()), Some("s0"));
+    let Some(Json::Arr(routes)) = arrivals.get("routes") else {
+        panic!("routes must be an array");
+    };
+    assert!(!routes.is_empty(), "every route publishes a stop-0 table");
+    for route in routes {
+        assert!(route.get("route").and_then(|v| v.as_str()).is_some());
+        let Some(Json::Arr(entries)) = route.get("arrivals") else {
+            panic!("arrivals must be an array");
+        };
+        for entry in entries {
+            assert!(entry.get("bus").and_then(|v| v.as_str()).is_some());
+            assert!(entry.get("eta_s").and_then(|v| v.as_f64()).is_some());
+            assert!(entry
+                .get("from_fix_time_s")
+                .and_then(|v| v.as_f64())
+                .is_some());
+        }
+    }
+
+    let bus = server
+        .query_snapshot()
+        .buses
+        .keys()
+        .next()
+        .copied()
+        .expect("replay slice tracked at least one bus");
+    let position = fetch_json(addr, &format!("/position/{}", bus.0));
+    assert_eq!(
+        position.get("bus").and_then(|v| v.as_str()),
+        Some(bus.to_string().as_str())
+    );
+    assert_eq!(position.get("epoch").and_then(|v| v.as_u64()), Some(epoch));
+    let fix = position.get("fix").expect("fix object");
+    for field in ["s", "x", "y", "time_s"] {
+        assert!(fix.get(field).and_then(|v| v.as_f64()).is_some(), "{field}");
+    }
+    assert!(fix.get("method").and_then(|v| v.as_str()).is_some());
+
+    let traffic = fetch_json(addr, "/traffic/0");
+    assert_eq!(traffic.get("route").and_then(|v| v.as_str()), Some("R0"));
+    let Some(Json::Arr(segments)) = traffic.get("segments") else {
+        panic!("segments must be an array");
+    };
+    assert!(!segments.is_empty());
+    for segment in segments {
+        assert!(segment.get("edge").and_then(|v| v.as_str()).is_some());
+        assert!(segment.get("state").and_then(|v| v.as_str()).is_some());
+        assert!(segment.get("z").and_then(|v| v.as_f64()).is_some());
+    }
+
+    let (status, head, body) = fetch(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&head, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(
+        body.contains("wilocator_queries_total"),
+        "query-plane counters must be in the exposition"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn parallel_clients_share_the_worker_pool() {
+    let (_server, handle) = boot();
+    let addr = handle.local_addr();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for target in ["/healthz", "/arrivals/0", "/traffic/0", "/metrics"] {
+                    let (status, _, _) = fetch(addr, target);
+                    assert_eq!(status, 200, "GET {target}");
+                }
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_closes_the_listener() {
+    let (_server, handle) = boot();
+    let addr = handle.local_addr();
+    let (status, _, _) = fetch(addr, "/healthz");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}
