@@ -10,7 +10,8 @@ use wilocator_geo::{BoundingBox, Point};
 use wilocator_rf::{AccessPoint, ApId, HomogeneousField, SignalField};
 use wilocator_road::{NetworkBuilder, Route, RouteId};
 use wilocator_svd::{
-    PositionerConfig, RoutePositioner, RouteTileIndex, SignalVoronoiDiagram, SvdConfig,
+    LocateScratch, PositionerConfig, RoutePositioner, RouteTileIndex, SignalVoronoiDiagram,
+    SvdConfig,
 };
 
 fn street(len: f64) -> (Route, HomogeneousField) {
@@ -88,6 +89,42 @@ fn bench_locate(c: &mut Criterion) {
             last
         })
     });
+    // The steady-state server shape: one scratch reused across the whole
+    // scan stream, so the hot loop is allocation-free.
+    c.bench_function("locate_100_scans_scratch", |b| {
+        let mut scratch = LocateScratch::new();
+        b.iter(|| {
+            let mut last = None;
+            for (i, r) in ranked.iter().enumerate() {
+                last = pos.locate_with(&mut scratch, r, i as f64 * 10.0, None, None);
+            }
+            last
+        })
+    });
+}
+
+fn bench_churn_patch(c: &mut Criterion) {
+    let (_, field) = street(1_000.0);
+    let bbox = BoundingBox::new(Point::new(0.0, -150.0), Point::new(1_000.0, 150.0));
+    let cfg = SvdConfig {
+        resolution_m: 2.0,
+        ..SvdConfig::default()
+    };
+    let diagram = SignalVoronoiDiagram::build(&field, bbox, cfg);
+    // One mid-street AP dies: the patch re-evaluates only the cells that
+    // heard it, where a full rebuild re-rasters the whole bbox.
+    let dead = ApId(9);
+    let post = field.without_aps(&[dead]);
+    c.bench_function("svd_churn_death_patch", |b| {
+        b.iter_batched(
+            || diagram.clone(),
+            |mut d| {
+                let touched = d.apply_churn(&post, &[dead]);
+                (d, touched)
+            },
+            BatchSize::LargeInput,
+        )
+    });
 }
 
 fn bench_predict(c: &mut Criterion) {
@@ -130,6 +167,6 @@ fn bench_predict(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_svd_raster, bench_route_index, bench_locate, bench_predict
+    targets = bench_svd_raster, bench_route_index, bench_locate, bench_churn_patch, bench_predict
 }
 criterion_main!(kernels);

@@ -7,8 +7,9 @@
 //! driver's own device; riders near the driver (by proximity) inherit the
 //! identification.
 
-use wilocator_rf::Scan;
+use wilocator_rf::{ApId, Scan};
 use wilocator_road::RouteId;
+use wilocator_svd::{average_ranks, to_ranked_rss};
 
 /// A report uploaded by the phones on one bus at one scan tick.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +20,17 @@ pub struct ScanReport {
     pub time_s: f64,
     /// One scan per reporting device.
     pub scans: Vec<Scan>,
+}
+
+impl ScanReport {
+    /// The ranked `(ApId, rounded mean RSS)` list the positioner consumes:
+    /// rank averaging across the report's devices (the paper's multi-device
+    /// rank stabilisation), re-expressed as integer dBm so the positioner's
+    /// tie-margin test sees real signal levels. APs heard by fewer than
+    /// `min_observations` devices are dropped.
+    pub fn positioning_ranks(&self, min_observations: usize) -> Vec<(ApId, i32)> {
+        to_ranked_rss(&average_ranks(&self.scans, min_observations))
+    }
 }
 
 /// Identifies one physical bus being tracked.

@@ -4,7 +4,7 @@
 use wilocator_geo::GeoPoint;
 use wilocator_obs::TraceCtx;
 use wilocator_road::Route;
-use wilocator_svd::{average_ranks, Fix, RoutePositioner, TrackingFilter};
+use wilocator_svd::{Fix, RoutePositioner, TrackingFilter};
 
 use crate::report::ScanReport;
 
@@ -121,11 +121,7 @@ impl BusTracker {
             }
         }
         let span = trace.map(|t| t.child_span("track"));
-        let avg = average_ranks(&report.scans, self.min_observations);
-        let ranked: Vec<(wilocator_rf::ApId, i32)> = avg
-            .iter()
-            .map(|a| (a.ap, a.mean_rss_dbm.round() as i32))
-            .collect();
+        let ranked = report.positioning_ranks(self.min_observations);
         if let Some(sp) = &span {
             sp.field("ranked_aps", ranked.len());
         }

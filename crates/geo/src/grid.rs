@@ -162,6 +162,20 @@ impl<T> Grid<T> {
         }
     }
 
+    /// The raw cell values in row-major order (`index = row·cols + col`).
+    ///
+    /// The flat view the SVD rasteriser and its incremental maintenance
+    /// operate on: per-cell loops over `values()` avoid the per-access
+    /// bounds arithmetic of [`Grid::get`].
+    pub fn values(&self) -> &[T] {
+        &self.cells
+    }
+
+    /// Mutable raw cell values in row-major order.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.cells
+    }
+
     /// The 4-neighbourhood of `(col, row)` (von Neumann).
     pub fn neighbors4(&self, col: usize, row: usize) -> impl Iterator<Item = (usize, usize)> {
         let cols = self.cols as isize;

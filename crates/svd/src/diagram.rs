@@ -13,11 +13,25 @@
 //! Edges produced by heterogeneous transmit powers and shadowing — the very
 //! reason the paper introduces the SVD as a generalisation of the Euclidean
 //! Voronoi diagram.
+//!
+//! # Incremental maintenance
+//!
+//! The diagram persists its raster state — the per-cell signature label plus
+//! the per-cell top-`k+1` rank list — so AP churn (the paper's "AP b is out
+//! of function" scenario) is absorbed by [`SignalVoronoiDiagram::apply_churn`]
+//! without re-evaluating the signal field over the whole domain. A death is
+//! pure list surgery on the cells that stored the AP; a birth inserts by
+//! expected RSS and only falls back to field evaluation on exact RSS ties,
+//! where the rank order would otherwise depend on iteration order. The
+//! derived structures (regions, tiles, adjacency) are then re-derived from
+//! the labels by a pure, allocation-light pass that replicates the from-
+//! scratch build exactly: a patched diagram is byte-identical (see
+//! [`SignalVoronoiDiagram::encode`]) to a fresh rebuild over the new field.
 
 use std::collections::HashMap;
 
 use wilocator_geo::{BoundingBox, Grid, Point};
-use wilocator_rf::{ApId, SignalField};
+use wilocator_rf::{AccessPoint, ApId, SignalField};
 
 use crate::signature::{signature_from_ranked, TileSignature};
 
@@ -135,17 +149,196 @@ impl Default for SvdConfig {
 #[derive(Debug, Clone)]
 pub struct SignalVoronoiDiagram {
     config: SvdConfig,
+
+    // --- Persisted raster state, the substrate of incremental maintenance ---
+    /// Interned signature index per raster cell; `u32::MAX` marks
+    /// no-coverage cells. Two cells share a label iff they share a
+    /// signature, which is all the derivation pass reads.
+    labels: Grid<u32>,
+    /// Intern table: label index → signature. Grows monotonically across
+    /// churn; stale entries are harmless (derivation only reads live labels).
+    signatures: Vec<TileSignature>,
+    /// Probe-only reverse map for interning (never iterated).
+    sig_lookup: HashMap<TileSignature, u32>,
+    /// Per-cell top-`k+1` AP ids, strongest first, in a flat slab of stride
+    /// `order + 1` (`cell i` owns `top_ids[i*(k+1) .. i*(k+1)+top_len[i]]`).
+    top_ids: Vec<u32>,
+    /// Expected RSS (dBm) matching `top_ids`, strictly descending except
+    /// where the field genuinely ties.
+    top_rss: Vec<f64>,
+    /// Stored rank-list length per cell.
+    top_len: Vec<u8>,
+    /// True when the stored list holds *every* detectable AP at the cell.
+    /// Invariant: an incomplete list always stores at least `order` ranks.
+    top_complete: Vec<bool>,
+    /// Sorted ids of the APs present in the field at the last (re)build.
+    known_aps: Vec<u32>,
+
+    // --- State derived from `labels` by `derive_state` ---
     /// Region id per raster cell; `u32::MAX` marks no-coverage cells.
     regions: Grid<u32>,
     tiles: Vec<Tile>,
-    /// Boundary length between adjacent tiles, keyed by ordered id pair.
-    adjacency: HashMap<(u32, u32), f64>,
+    /// Boundary length between adjacent tiles as `(lo, hi, metres)`,
+    /// sorted by the ordered id pair.
+    edges: Vec<(u32, u32, f64)>,
     /// Signature → tiles carrying it (a signature may appear as several
-    /// disconnected regions).
-    by_signature: HashMap<TileSignature, Vec<TileId>>,
+    /// disconnected regions), sorted by signature; tile ids ascend within
+    /// a group.
+    by_signature: Vec<(TileSignature, Vec<TileId>)>,
 }
 
 const NO_COVERAGE: u32 = u32::MAX;
+
+/// Everything `derive_state` recomputes from the label raster.
+struct DerivedState {
+    regions: Grid<u32>,
+    tiles: Vec<Tile>,
+    edges: Vec<(u32, u32, f64)>,
+    by_signature: Vec<(TileSignature, Vec<TileId>)>,
+}
+
+fn intern_signature(
+    lookup: &mut HashMap<TileSignature, u32>,
+    signatures: &mut Vec<TileSignature>,
+    sig: TileSignature,
+) -> u32 {
+    if let Some(&idx) = lookup.get(&sig) {
+        return idx;
+    }
+    let idx = signatures.len() as u32;
+    signatures.push(sig.clone());
+    lookup.insert(sig, idx);
+    idx
+}
+
+/// Recovers regions, tiles, adjacency and the signature groups from the
+/// label raster. Pure in the label *equality pattern*: two label rasters
+/// that partition the cells identically (even under different intern
+/// indices) derive bit-identical state, which is what makes an
+/// incrementally patched diagram byte-equal to a fresh rebuild.
+fn derive_state(
+    labels: &Grid<u32>,
+    signatures: &[TileSignature],
+    config: &SvdConfig,
+) -> DerivedState {
+    let (cols, rows) = (labels.cols(), labels.rows());
+    let cell_area = config.resolution_m * config.resolution_m;
+    let labs = labels.values();
+
+    // Flood-fill connected components of equal label. The scan order,
+    // neighbour order (west, east, south, north) and centroid accumulation
+    // order replicate the original rasteriser exactly.
+    let mut regions: Grid<u32> = Grid::new(labels.bbox(), config.resolution_m, NO_COVERAGE);
+    let mut tiles: Vec<Tile> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..labs.len() {
+        let label = labs[start];
+        if label == NO_COVERAGE || regions.values()[start] != NO_COVERAGE {
+            continue;
+        }
+        let region_id = tiles.len() as u32;
+        regions.values_mut()[start] = region_id;
+        stack.push(start);
+        let mut count = 0usize;
+        let mut sum = Point::ORIGIN;
+        while let Some(idx) = stack.pop() {
+            count += 1;
+            let (c, r) = (idx % cols, idx / cols);
+            let center = regions.cell_center(c, r);
+            sum = sum.offset(center.x, center.y);
+            let regs = regions.values_mut();
+            if c > 0 {
+                let n = idx - 1;
+                if labs[n] == label && regs[n] == NO_COVERAGE {
+                    regs[n] = region_id;
+                    stack.push(n);
+                }
+            }
+            if c + 1 < cols {
+                let n = idx + 1;
+                if labs[n] == label && regs[n] == NO_COVERAGE {
+                    regs[n] = region_id;
+                    stack.push(n);
+                }
+            }
+            if r > 0 {
+                let n = idx - cols;
+                if labs[n] == label && regs[n] == NO_COVERAGE {
+                    regs[n] = region_id;
+                    stack.push(n);
+                }
+            }
+            if r + 1 < rows {
+                let n = idx + cols;
+                if labs[n] == label && regs[n] == NO_COVERAGE {
+                    regs[n] = region_id;
+                    stack.push(n);
+                }
+            }
+        }
+        tiles.push(Tile {
+            id: TileId(region_id),
+            signature: signatures.get(label as usize).cloned().unwrap_or_default(),
+            centroid: Point::new(sum.x / count as f64, sum.y / count as f64),
+            area_m2: count as f64 * cell_area,
+            cell_count: count,
+        });
+    }
+
+    // Adjacency: accumulate shared boundary length. Contributions are
+    // gathered row-major (east then south neighbour) and summed per run,
+    // each addend one cell side, matching the original accumulation bits.
+    let regs = regions.values();
+    let mut contributions: Vec<(u32, u32)> = Vec::new();
+    for row in 0..rows {
+        for col in 0..cols {
+            let a = regs[row * cols + col];
+            if a == NO_COVERAGE {
+                continue;
+            }
+            if col + 1 < cols {
+                let b = regs[row * cols + col + 1];
+                if b != NO_COVERAGE && b != a {
+                    contributions.push((a.min(b), a.max(b)));
+                }
+            }
+            if row + 1 < rows {
+                let b = regs[(row + 1) * cols + col];
+                if b != NO_COVERAGE && b != a {
+                    contributions.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    contributions.sort_unstable();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for &(a, b) in &contributions {
+        match edges.last_mut() {
+            Some(e) if e.0 == a && e.1 == b => e.2 += config.resolution_m,
+            _ => edges.push((a, b, config.resolution_m)),
+        }
+    }
+
+    // Signature groups, sorted by signature; tiles are already in id order
+    // so a stable sort keeps ids ascending within a group.
+    let mut order_idx: Vec<usize> = (0..tiles.len()).collect();
+    order_idx.sort_by(|&a, &b| tiles[a].signature.cmp(&tiles[b].signature));
+    let mut by_signature: Vec<(TileSignature, Vec<TileId>)> = Vec::new();
+    for &ti in &order_idx {
+        let t = &tiles[ti];
+        match by_signature.last_mut() {
+            Some(g) if g.0 == t.signature => g.1.push(t.id),
+            _ => by_signature.push((t.signature.clone(), vec![t.id])),
+        }
+    }
+
+    DerivedState {
+        regions,
+        tiles,
+        edges,
+        by_signature,
+    }
+}
 
 impl SignalVoronoiDiagram {
     /// Rasterises the diagram of `field` over `bbox`.
@@ -161,111 +354,307 @@ impl SignalVoronoiDiagram {
     pub fn build<F: SignalField + ?Sized>(field: &F, bbox: BoundingBox, config: SvdConfig) -> Self {
         assert!(config.order >= 1, "signature order must be at least 1");
         assert!(config.resolution_m > 0.0, "resolution must be positive");
+        assert!(
+            config.order < u8::MAX as usize,
+            "signature order must fit the per-cell rank store"
+        );
 
-        // 1. Label every cell with an interned signature index.
-        let mut interner: HashMap<TileSignature, u32> = HashMap::new();
+        // Label every cell with an interned signature index and persist its
+        // top-(k+1) rank list — one extra rank beyond the signature so an
+        // AP death inside the signature can be patched without touching the
+        // signal field.
+        let k1 = config.order + 1;
+        let mut sig_lookup: HashMap<TileSignature, u32> = HashMap::new();
         let mut signatures: Vec<TileSignature> = Vec::new();
         let mut labels: Grid<u32> = Grid::new(bbox, config.resolution_m, NO_COVERAGE);
-        labels.fill_with(|p| {
-            let ranked = field.detectable_at(p, config.detection_threshold_dbm);
-            if ranked.is_empty() {
-                return NO_COVERAGE;
+        let n_cells = labels.len();
+        let cols = labels.cols();
+        let mut top_ids = vec![0u32; n_cells * k1];
+        let mut top_rss = vec![0.0f64; n_cells * k1];
+        let mut top_len = vec![0u8; n_cells];
+        let mut top_complete = vec![true; n_cells];
+        for i in 0..n_cells {
+            let center = labels.cell_center(i % cols, i / cols);
+            let ranked = field.detectable_at(center, config.detection_threshold_dbm);
+            for (j, &(ap, rss)) in ranked.iter().take(k1).enumerate() {
+                top_ids[i * k1 + j] = ap.0;
+                top_rss[i * k1 + j] = rss;
             }
-            let sig = signature_from_ranked(&ranked, config.order);
-            *interner.entry(sig.clone()).or_insert_with(|| {
-                signatures.push(sig);
-                (signatures.len() - 1) as u32
-            })
-        });
-
-        // 2. Flood-fill connected components of equal label.
-        let mut regions: Grid<u32> = Grid::new(bbox, config.resolution_m, NO_COVERAGE);
-        let mut tiles: Vec<Tile> = Vec::new();
-        let cell_area = config.resolution_m * config.resolution_m;
-        let (cols, rows) = (labels.cols(), labels.rows());
-        for start_row in 0..rows {
-            for start_col in 0..cols {
-                // Loop bounds keep every access in range; reading a
-                // missing cell as NO_COVERAGE makes that panic-free
-                // without changing behaviour.
-                let label = labels
-                    .get(start_col, start_row)
-                    .copied()
-                    .unwrap_or(NO_COVERAGE);
-                let region = regions
-                    .get(start_col, start_row)
-                    .copied()
-                    .unwrap_or(NO_COVERAGE);
-                if label == NO_COVERAGE || region != NO_COVERAGE {
-                    continue;
-                }
-                let region_id = tiles.len() as u32;
-                let mut stack = vec![(start_col, start_row)];
-                if let Some(cell) = regions.get_mut(start_col, start_row) {
-                    *cell = region_id;
-                }
-                let mut count = 0usize;
-                let mut sum = Point::ORIGIN;
-                while let Some((c, r)) = stack.pop() {
-                    count += 1;
-                    let center = regions.cell_center(c, r);
-                    sum = sum.offset(center.x, center.y);
-                    let neighbors: Vec<(usize, usize)> = regions.neighbors4(c, r).collect();
-                    for (nc, nr) in neighbors {
-                        if labels.get(nc, nr).copied().unwrap_or(NO_COVERAGE) == label
-                            && regions.get(nc, nr).copied().unwrap_or(region_id) == NO_COVERAGE
-                        {
-                            if let Some(cell) = regions.get_mut(nc, nr) {
-                                *cell = region_id;
-                            }
-                            stack.push((nc, nr));
-                        }
-                    }
-                }
-                tiles.push(Tile {
-                    id: TileId(region_id),
-                    signature: signatures[label as usize].clone(),
-                    centroid: Point::new(sum.x / count as f64, sum.y / count as f64),
-                    area_m2: count as f64 * cell_area,
-                    cell_count: count,
-                });
-            }
+            top_len[i] = ranked.len().min(k1) as u8;
+            top_complete[i] = ranked.len() <= k1;
+            let label = if ranked.is_empty() {
+                NO_COVERAGE
+            } else {
+                let sig = signature_from_ranked(&ranked, config.order);
+                intern_signature(&mut sig_lookup, &mut signatures, sig)
+            };
+            labels.values_mut()[i] = label;
         }
 
-        // 3. Adjacency: accumulate shared boundary length.
-        let mut adjacency: HashMap<(u32, u32), f64> = HashMap::new();
-        for row in 0..rows {
-            for col in 0..cols {
-                let a = regions.get(col, row).copied().unwrap_or(NO_COVERAGE);
-                if a == NO_COVERAGE {
-                    continue;
-                }
-                for (nc, nr) in [(col + 1, row), (col, row + 1)] {
-                    if let Some(&b) = regions.get(nc, nr) {
-                        if b != NO_COVERAGE && b != a {
-                            let key = (a.min(b), a.max(b));
-                            *adjacency.entry(key).or_insert(0.0) += config.resolution_m;
-                        }
-                    }
-                }
-            }
-        }
+        let mut known_aps: Vec<u32> = field.aps().iter().map(|ap| ap.id().0).collect();
+        known_aps.sort_unstable();
+        known_aps.dedup();
 
-        let mut by_signature: HashMap<TileSignature, Vec<TileId>> = HashMap::new();
-        for t in &tiles {
-            by_signature
-                .entry(t.signature.clone())
-                .or_default()
-                .push(t.id);
-        }
-
+        let derived = derive_state(&labels, &signatures, &config);
         SignalVoronoiDiagram {
             config,
-            regions,
-            tiles,
-            adjacency,
-            by_signature,
+            labels,
+            signatures,
+            sig_lookup,
+            top_ids,
+            top_rss,
+            top_len,
+            top_complete,
+            known_aps,
+            regions: derived.regions,
+            tiles: derived.tiles,
+            edges: derived.edges,
+            by_signature: derived.by_signature,
         }
+    }
+
+    /// Absorbs AP churn incrementally: brings the diagram to the state a
+    /// fresh [`SignalVoronoiDiagram::build`] over `field` would produce,
+    /// touching the signal field only where the persisted per-cell rank
+    /// lists cannot answer the question locally.
+    ///
+    /// `field` is the *post-churn* field; `changed` lists the APs that
+    /// died, appeared, or changed parameters since the diagram was last
+    /// (re)built. An AP present in `field` but absent from the diagram's
+    /// census is a birth; absent from `field` but known is a death;
+    /// present in both is treated as modified (handled conservatively by
+    /// re-evaluating the cells it could influence). Ids in `changed` that
+    /// are neither known nor in the field are ignored.
+    ///
+    /// Returns the number of raster cells whose stored rank state was
+    /// updated. The patched diagram is byte-identical (per
+    /// [`SignalVoronoiDiagram::encode`]) to a fresh rebuild over `field`.
+    pub fn apply_churn<F: SignalField + ?Sized>(&mut self, field: &F, changed: &[ApId]) -> usize {
+        let k = self.config.order;
+        let k1 = k + 1;
+        let threshold = self.config.detection_threshold_dbm;
+
+        let mut deaths: Vec<u32> = Vec::new();
+        let mut births: Vec<&AccessPoint> = Vec::new();
+        let mut modified: Vec<&AccessPoint> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
+        for &id in changed {
+            if seen.contains(&id.0) {
+                continue;
+            }
+            seen.push(id.0);
+            let known = self.known_aps.binary_search(&id.0).is_ok();
+            match (field.ap(id), known) {
+                (None, true) => deaths.push(id.0),
+                (Some(ap), false) => births.push(ap),
+                (Some(ap), true) => modified.push(ap),
+                (None, false) => {}
+            }
+        }
+        deaths.sort_unstable();
+        if deaths.is_empty() && births.is_empty() && modified.is_empty() {
+            return 0;
+        }
+
+        let cols = self.labels.cols();
+        let n_cells = self.labels.len();
+        let mut touched = 0usize;
+        for i in 0..n_cells {
+            let center = self.labels.cell_center(i % cols, i / cols);
+            let base = i * k1;
+            let mut len = self.top_len[i] as usize;
+            let mut complete = self.top_complete[i];
+            let mut dirty = false;
+            let mut need_eval = false;
+
+            // 1. Deaths: pure list surgery. The stored list is the true
+            // top-`len` prefix, so removing dead entries leaves the true
+            // prefix of the survivors — unless so many stored ranks died
+            // that the signature would need ranks we never stored.
+            if !deaths.is_empty() {
+                let mut w = 0usize;
+                for r in 0..len {
+                    let id = self.top_ids[base + r];
+                    if deaths.binary_search(&id).is_ok() {
+                        dirty = true;
+                    } else {
+                        if w != r {
+                            self.top_ids[base + w] = id;
+                            self.top_rss[base + w] = self.top_rss[base + r];
+                        }
+                        w += 1;
+                    }
+                }
+                if w != len {
+                    len = w;
+                    if !complete && len < k {
+                        need_eval = true;
+                    }
+                }
+            }
+
+            // 2. Modified APs: re-evaluate whenever the change could reach
+            // the stored prefix — the AP is stored, or its new RSS climbs
+            // to the stored horizon (or to detectability on a complete
+            // list). Otherwise the prefix is provably unaffected.
+            if !need_eval {
+                for &ap in &modified {
+                    if (0..len).any(|r| self.top_ids[base + r] == ap.id().0) {
+                        need_eval = true;
+                        break;
+                    }
+                    let rss = field.expected_rss(ap, center);
+                    let horizon = if len == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        self.top_rss[base + len - 1]
+                    };
+                    let enters = if complete {
+                        rss >= threshold
+                    } else {
+                        rss >= horizon
+                    };
+                    if enters {
+                        need_eval = true;
+                        break;
+                    }
+                }
+            }
+
+            // 3. Births: insert by expected RSS. An exact RSS tie with a
+            // stored rank would make the order depend on field iteration
+            // order, so ties re-evaluate instead of guessing.
+            if !need_eval {
+                for &ap in &births {
+                    let rss = field.expected_rss(ap, center);
+                    if rss < threshold {
+                        continue;
+                    }
+                    if (0..len).any(|r| self.top_rss[base + r] == rss) {
+                        need_eval = true;
+                        break;
+                    }
+                    let pos = (0..len)
+                        .position(|r| self.top_rss[base + r] < rss)
+                        .unwrap_or(len);
+                    if pos >= k1 {
+                        // Weaker than every storable rank.
+                        if complete {
+                            complete = false;
+                            dirty = true;
+                        }
+                        continue;
+                    }
+                    if pos == len && !complete {
+                        // Below the stored horizon: its rank against the
+                        // unstored tail is unknown, but the stored prefix
+                        // stays exact without it.
+                        continue;
+                    }
+                    let dropped = len == k1;
+                    let new_len = (len + 1).min(k1);
+                    let mut r = new_len;
+                    while r > pos + 1 {
+                        self.top_ids[base + r - 1] = self.top_ids[base + r - 2];
+                        self.top_rss[base + r - 1] = self.top_rss[base + r - 2];
+                        r -= 1;
+                    }
+                    self.top_ids[base + pos] = ap.id().0;
+                    self.top_rss[base + pos] = rss;
+                    len = new_len;
+                    if dropped {
+                        complete = false;
+                    }
+                    dirty = true;
+                }
+            }
+
+            // 4. Fallback: full field evaluation at this cell.
+            if need_eval {
+                let ranked = field.detectable_at(center, threshold);
+                for (j, &(ap, rss)) in ranked.iter().take(k1).enumerate() {
+                    self.top_ids[base + j] = ap.0;
+                    self.top_rss[base + j] = rss;
+                }
+                len = ranked.len().min(k1);
+                complete = ranked.len() <= k1;
+                dirty = true;
+            }
+
+            if dirty {
+                self.top_len[i] = len as u8;
+                self.top_complete[i] = complete;
+                let label = if len == 0 {
+                    NO_COVERAGE
+                } else {
+                    let sig: TileSignature = (0..len.min(k))
+                        .map(|r| ApId(self.top_ids[base + r]))
+                        .collect();
+                    intern_signature(&mut self.sig_lookup, &mut self.signatures, sig)
+                };
+                self.labels.values_mut()[i] = label;
+                touched += 1;
+            }
+        }
+
+        self.known_aps = field.aps().iter().map(|ap| ap.id().0).collect();
+        self.known_aps.sort_unstable();
+        self.known_aps.dedup();
+
+        if touched > 0 {
+            let derived = derive_state(&self.labels, &self.signatures, &self.config);
+            self.regions = derived.regions;
+            self.tiles = derived.tiles;
+            self.edges = derived.edges;
+            self.by_signature = derived.by_signature;
+        }
+        touched
+    }
+
+    /// Deterministic byte serialisation of the diagram's *derived* state:
+    /// configuration, region raster, tiles (with exact centroid/area bits)
+    /// and tile adjacency. Two diagrams that partition the domain
+    /// identically encode identically regardless of construction history —
+    /// the contract the incremental-maintenance tests pin down.
+    pub fn encode(&self) -> Vec<u8> {
+        fn push_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_f64(out: &mut Vec<u8>, v: f64) {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+
+        let mut out = Vec::with_capacity(self.regions.len() * 4 + self.tiles.len() * 64);
+        push_f64(&mut out, self.config.resolution_m);
+        push_u64(&mut out, self.config.order as u64);
+        push_f64(&mut out, self.config.detection_threshold_dbm);
+        push_u64(&mut out, self.regions.cols() as u64);
+        push_u64(&mut out, self.regions.rows() as u64);
+        for &r in self.regions.values() {
+            push_u32(&mut out, r);
+        }
+        push_u64(&mut out, self.tiles.len() as u64);
+        for t in &self.tiles {
+            push_u32(&mut out, t.id.0);
+            push_u64(&mut out, t.signature.order() as u64);
+            for &ap in t.signature.aps() {
+                push_u32(&mut out, ap.0);
+            }
+            push_f64(&mut out, t.centroid.x);
+            push_f64(&mut out, t.centroid.y);
+            push_f64(&mut out, t.area_m2);
+            push_u64(&mut out, t.cell_count as u64);
+        }
+        push_u64(&mut out, self.edges.len() as u64);
+        for &(a, b, len) in &self.edges {
+            push_u32(&mut out, a);
+            push_u32(&mut out, b);
+            push_f64(&mut out, len);
+        }
+        out
     }
 
     /// The construction configuration.
@@ -300,28 +689,31 @@ impl SignalVoronoiDiagram {
 
     /// Tiles carrying exactly the given signature.
     pub fn tiles_with_signature(&self, sig: &TileSignature) -> &[TileId] {
-        self.by_signature
-            .get(sig)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        match self.by_signature.binary_search_by(|g| g.0.cmp(sig)) {
+            Ok(i) => self
+                .by_signature
+                .get(i)
+                .map(|g| g.1.as_slice())
+                .unwrap_or(&[]),
+            Err(_) => &[],
+        }
     }
 
     /// The tile(s) of the known signature nearest (by rank distance) to an
     /// observed signature. Exact matches come back at distance 0.
-    /// Distance ties break on signature order, never on map iteration
-    /// order — the fallback must be reproducible across processes.
+    /// Signatures are scanned in sorted order with a signature tie-break on
+    /// equal distances — the fallback is reproducible across processes.
     pub fn nearest_signature(&self, sig: &TileSignature) -> Option<(&TileSignature, f64)> {
         self.by_signature
-            // lint: allow(unordered_iter) — min_by below is a total order with a signature tie-break, so the winner is order-independent
-            .keys()
-            .map(|k| (k, k.rank_distance(sig)))
+            .iter()
+            .map(|g| (&g.0, g.0.rank_distance(sig)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)))
     }
 
     /// Neighbouring tiles of `id` with the shared boundary length, metres.
     pub fn neighbors(&self, id: TileId) -> Vec<(TileId, f64)> {
         let mut out = Vec::new();
-        for (&(a, b), &len) in &self.adjacency {
+        for &(a, b, len) in &self.edges {
             if a == id.0 {
                 out.push((TileId(b), len));
             } else if b == id.0 {
@@ -408,7 +800,7 @@ impl SignalVoronoiDiagram {
                 }
                 let mut sites: Vec<ApId> = regions
                     .iter()
-                    .filter_map(|&r| self.tiles[r as usize].signature.site())
+                    .filter_map(|&r| self.tiles.get(r as usize).and_then(|t| t.signature.site()))
                     .collect();
                 sites.sort_unstable();
                 sites.dedup();
@@ -618,6 +1010,69 @@ mod tests {
         assert_eq!(
             svd_dead.tile_at(near_ap1).unwrap().signature().site(),
             Some(ApId(0)), // AP0 is nearer than AP2 to (150, 50)
+        );
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let field = three_ap_field();
+        let a = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let b = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        assert_eq!(a.encode(), b.encode());
+        assert!(!a.encode().is_empty());
+    }
+
+    #[test]
+    fn incremental_death_matches_rebuild() {
+        let field = three_ap_field();
+        let mut svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let dead_field = field.without_aps(&[ApId(1)]);
+        let touched = svd.apply_churn(&dead_field, &[ApId(1)]);
+        assert!(touched > 0);
+        let fresh = SignalVoronoiDiagram::build(&dead_field, bbox(), SvdConfig::default());
+        assert_eq!(svd.encode(), fresh.encode());
+    }
+
+    #[test]
+    fn incremental_birth_matches_rebuild() {
+        let full = three_ap_field();
+        let partial = full.without_aps(&[ApId(2)]);
+        let mut svd = SignalVoronoiDiagram::build(&partial, bbox(), SvdConfig::default());
+        let touched = svd.apply_churn(&full, &[ApId(2)]);
+        assert!(touched > 0);
+        let fresh = SignalVoronoiDiagram::build(&full, bbox(), SvdConfig::default());
+        assert_eq!(svd.encode(), fresh.encode());
+    }
+
+    #[test]
+    fn churn_with_irrelevant_ap_is_noop() {
+        let field = three_ap_field();
+        let mut svd = SignalVoronoiDiagram::build(&field, bbox(), SvdConfig::default());
+        let before = svd.encode();
+        assert_eq!(svd.apply_churn(&field, &[ApId(77)]), 0);
+        assert_eq!(svd.encode(), before);
+    }
+
+    #[test]
+    fn sequential_churn_stays_exact() {
+        // Death then rebirth through the incremental path must land back on
+        // the original diagram, and a second death of a different AP must
+        // still match a fresh rebuild — the stored rank lists stay usable
+        // across patches.
+        let full = three_ap_field();
+        let mut svd = SignalVoronoiDiagram::build(&full, bbox(), SvdConfig::default());
+        let no1 = full.without_aps(&[ApId(1)]);
+        svd.apply_churn(&no1, &[ApId(1)]);
+        svd.apply_churn(&full, &[ApId(1)]);
+        assert_eq!(
+            svd.encode(),
+            SignalVoronoiDiagram::build(&full, bbox(), SvdConfig::default()).encode()
+        );
+        let no02 = full.without_aps(&[ApId(0), ApId(2)]);
+        svd.apply_churn(&no02, &[ApId(0), ApId(2)]);
+        assert_eq!(
+            svd.encode(),
+            SignalVoronoiDiagram::build(&no02, bbox(), SvdConfig::default()).encode()
         );
     }
 }

@@ -1,0 +1,233 @@
+//! Dense interning of AP identities for the flat positioning kernels.
+//!
+//! Raw [`ApId`]s are sparse `u32`s (geo-tag databases skip ids; churn
+//! leaves holes). The hot positioning kernels want signatures to be tiny
+//! fixed-width arrays comparable with plain integer compares, so the
+//! diagram build interns every AP into a dense `u16` code.
+//!
+//! The interner is a sorted id table; `code` is a binary search. Codes
+//! are assigned in ascending id order, so **code order equals id order**:
+//! comparing interned signature slices lexicographically gives exactly
+//! the same order as comparing the underlying [`crate::TileSignature`]s.
+//! Every sorted flat table in this crate leans on that monotonicity.
+//!
+//! Capacity is capped at [`MAX_INTERNED_APS`], a little *below* `u16`
+//! capacity: the headroom above the cap is reserved for per-call
+//! sentinel codes that the positioner assigns to scanned APs the server
+//! has never seen (they must compare unequal to every real code without
+//! allocating). Populations above the cap are a hard error
+//! ([`InternerError::TooManyAps`]) — never a silent truncation.
+
+use wilocator_rf::{AccessPoint, ApId};
+
+/// Maximum number of distinct APs one diagram may intern. Kept below
+/// `u16::MAX` so unknown-AP sentinel codes (`len()..`) still fit in a
+/// `u16` for any realistic scan length.
+pub const MAX_INTERNED_APS: usize = 65_000;
+
+/// Interner construction failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InternerError {
+    /// The AP population exceeds [`MAX_INTERNED_APS`] distinct ids.
+    TooManyAps {
+        /// Number of distinct AP ids that were offered.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for InternerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InternerError::TooManyAps { count } => write!(
+                f,
+                "AP population of {count} distinct ids exceeds the dense \
+                 interner capacity of {MAX_INTERNED_APS}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InternerError {}
+
+/// A dense, order-preserving `ApId` → `u16` code table.
+///
+/// # Examples
+///
+/// ```
+/// use wilocator_geo::Point;
+/// use wilocator_rf::{AccessPoint, ApId};
+/// use wilocator_svd::ApInterner;
+///
+/// let aps = vec![
+///     AccessPoint::new(ApId(7), Point::new(0.0, 0.0)),
+///     AccessPoint::new(ApId(3), Point::new(50.0, 0.0)),
+/// ];
+/// let interner = ApInterner::from_aps(&aps);
+/// // Codes are assigned in ascending id order.
+/// assert_eq!(interner.code(ApId(3)), Some(0));
+/// assert_eq!(interner.code(ApId(7)), Some(1));
+/// assert_eq!(interner.code(ApId(9)), None);
+/// assert_eq!(interner.resolve(1), Some(ApId(7)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApInterner {
+    /// Sorted, deduplicated raw AP ids; the code of an id is its index.
+    ids: Vec<u32>,
+    /// Open-addressing probe table for O(1) `code` lookups on the hot
+    /// path: each occupied slot packs `(id << 16) | code`; empty slots
+    /// are `u64::MAX` (unreachable, since codes stay below `u16::MAX`).
+    /// Power-of-two capacity at ≤ 50% load, linear probing.
+    probe: Vec<u64>,
+}
+
+/// Slot value marking an empty probe-table entry.
+const EMPTY_SLOT: u64 = u64::MAX;
+
+impl ApInterner {
+    /// Interns a set of raw ids, or errors when more than
+    /// [`MAX_INTERNED_APS`] remain after deduplication.
+    pub fn try_from_ids(mut ids: Vec<u32>) -> Result<Self, InternerError> {
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() > MAX_INTERNED_APS {
+            return Err(InternerError::TooManyAps { count: ids.len() });
+        }
+        let probe = build_probe(&ids);
+        Ok(ApInterner { ids, probe })
+    }
+
+    /// Interns the ids of an AP population; errors like
+    /// [`ApInterner::try_from_ids`].
+    pub fn try_from_aps(aps: &[AccessPoint]) -> Result<Self, InternerError> {
+        Self::try_from_ids(aps.iter().map(|ap| ap.id().0).collect())
+    }
+
+    /// Interns the ids of an AP population.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the population exceeds [`MAX_INTERNED_APS`] distinct
+    /// ids; use [`ApInterner::try_from_aps`] to handle that case cleanly.
+    pub fn from_aps(aps: &[AccessPoint]) -> Self {
+        let mut ids: Vec<u32> = aps.iter().map(|ap| ap.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(
+            ids.len() <= MAX_INTERNED_APS,
+            "AP population exceeds the dense interner capacity"
+        );
+        let probe = build_probe(&ids);
+        ApInterner { ids, probe }
+    }
+
+    /// Number of interned APs. Codes are `0..len()`; sentinel codes for
+    /// unknown APs start at `len()`.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no AP is interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The dense code of `ap`, or `None` when the AP is not interned.
+    ///
+    /// A single hash probe in the common case — this sits on the per-scan
+    /// hot path, once per rank in the signature head.
+    pub fn code(&self, ap: ApId) -> Option<u16> {
+        let mask = self.probe.len().wrapping_sub(1);
+        let mut i = hash_id(ap.0) & mask;
+        loop {
+            let slot = *self.probe.get(i)?;
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            if (slot >> 16) as u32 == ap.0 {
+                return Some((slot & 0xFFFF) as u16);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The AP behind a dense code, or `None` for sentinel codes.
+    pub fn resolve(&self, code: u16) -> Option<ApId> {
+        self.ids.get(code as usize).map(|&id| ApId(id))
+    }
+}
+
+/// Multiplicative hash of a raw AP id (Fibonacci constant, top bits).
+#[inline]
+fn hash_id(id: u32) -> usize {
+    ((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+}
+
+/// Builds the ≤50%-load linear-probing table over the sorted id list.
+fn build_probe(ids: &[u32]) -> Vec<u64> {
+    let cap = (ids.len() * 2).next_power_of_two().max(8);
+    let mut slots = vec![EMPTY_SLOT; cap];
+    for (code, &id) in ids.iter().enumerate() {
+        let mut i = hash_id(id) & (cap - 1);
+        while slots[i] != EMPTY_SLOT {
+            i = (i + 1) & (cap - 1);
+        }
+        slots[i] = ((id as u64) << 16) | code as u64;
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_geo::Point;
+
+    fn aps(ids: &[u32]) -> Vec<AccessPoint> {
+        ids.iter()
+            .map(|&i| AccessPoint::new(ApId(i), Point::new(i as f64, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn codes_preserve_id_order() {
+        let interner = ApInterner::from_aps(&aps(&[9, 2, 40, 5]));
+        assert_eq!(interner.len(), 4);
+        let codes: Vec<u16> = [2, 5, 9, 40]
+            .iter()
+            .map(|&i| interner.code(ApId(i)).unwrap())
+            .collect();
+        assert_eq!(codes, vec![0, 1, 2, 3]);
+        assert_eq!(interner.resolve(3), Some(ApId(40)));
+        assert_eq!(interner.resolve(4), None);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let interner = ApInterner::from_aps(&aps(&[1, 2]));
+        assert_eq!(interner.code(ApId(3)), None);
+    }
+
+    #[test]
+    fn duplicate_ids_are_deduplicated() {
+        let interner = ApInterner::try_from_ids(vec![4, 4, 1, 1]).unwrap();
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn oversaturation_errors_cleanly() {
+        let ids: Vec<u32> = (0..(MAX_INTERNED_APS as u32 + 1)).collect();
+        let err = ApInterner::try_from_ids(ids).unwrap_err();
+        assert_eq!(
+            err,
+            InternerError::TooManyAps {
+                count: MAX_INTERNED_APS + 1
+            }
+        );
+        assert!(err.to_string().contains("65001"));
+    }
+
+    #[test]
+    fn at_capacity_is_ok() {
+        let ids: Vec<u32> = (0..MAX_INTERNED_APS as u32).collect();
+        assert!(ApInterner::try_from_ids(ids).is_ok());
+    }
+}

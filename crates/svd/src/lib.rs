@@ -56,17 +56,25 @@
 #![deny(rust_2018_idioms)]
 
 pub mod diagram;
+pub mod interner;
 pub mod metrics;
 pub mod positioning;
 pub mod rank;
+pub mod reference;
 pub mod route_index;
 pub mod signature;
+pub mod table;
 pub mod tile_mapping;
 
 pub use diagram::{Joint, SignalCell, SignalVoronoiDiagram, SvdConfig, Tile, TileId};
+pub use interner::{ApInterner, InternerError, MAX_INTERNED_APS};
 pub use metrics::{PositioningMetrics, TileMapperMetrics};
-pub use positioning::{Fix, FixMethod, PositionerConfig, Prior, RoutePositioner, TrackingFilter};
-pub use rank::{average_ranks, to_ranked, AveragedRank};
+pub use positioning::{
+    Fix, FixMethod, LocateScratch, PositionerConfig, Prior, RoutePositioner, TrackingFilter,
+};
+pub use rank::{average_ranks, to_ranked, to_ranked_rss, AveragedRank};
+pub use reference::{ReferencePositioner, ReferenceRouteIndex};
 pub use route_index::{RouteTileIndex, SubSegment};
-pub use signature::{signature_from_ranked, TileSignature};
+pub use signature::{rank_distance_codes, signature_from_ranked, TileSignature};
+pub use table::SignatureTable;
 pub use tile_mapping::{MappedPosition, TileMapper};

@@ -81,6 +81,16 @@ pub fn to_ranked(avg: &[AveragedRank]) -> Vec<(ApId, f64)> {
     avg.iter().map(|a| (a.ap, -a.mean_rank)).collect()
 }
 
+/// Converts averaged ranks to the integer-dBm ranked list the positioner
+/// consumes: order comes from the averaged ranks (strongest first), values
+/// are the rounded mean RSS so the positioner's tie-margin test sees real
+/// signal levels rather than synthetic rank scores.
+pub fn to_ranked_rss(avg: &[AveragedRank]) -> Vec<(ApId, i32)> {
+    avg.iter()
+        .map(|a| (a.ap, a.mean_rss_dbm.round() as i32))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,481 @@
+//! The PR-6-era map-based positioning path, kept as the differential-
+//! testing oracle for the flat kernels.
+//!
+//! [`ReferenceRouteIndex`] and [`ReferencePositioner`] are the
+//! `HashMap`-probing route index and positioner exactly as they shipped
+//! before the flat rebuild: signature → sub-segment lists, per-site
+//! buckets and prefix maps, with the same tie handling, nearest-signature
+//! fallback and mobility arbitration. They are deliberately *not* fast —
+//! their job is to be obviously faithful to the original semantics so the
+//! `kernel_differential` test battery can demand that every fix from the
+//! production [`crate::RoutePositioner`] is byte-identical to the
+//! reference fix on the same inputs.
+//!
+//! Keep this module semantically frozen: behavioural changes to the
+//! production path must come with a matching, separately-reviewed change
+//! here, otherwise the differential tests lose their authority.
+
+use std::collections::HashMap;
+
+use wilocator_rf::{ApId, SignalField};
+use wilocator_road::Route;
+
+use crate::diagram::SvdConfig;
+use crate::positioning::{Fix, FixMethod, PositionerConfig, Prior};
+use crate::route_index::SubSegment;
+use crate::signature::{signature_from_ranked, TileSignature};
+
+/// The map-based route tile index (pre-flat-rebuild semantics).
+#[derive(Debug, Clone)]
+pub struct ReferenceRouteIndex {
+    subsegments: Vec<SubSegment>,
+    by_signature: HashMap<TileSignature, Vec<usize>>,
+    /// Signatures bucketed by their site (first AP).
+    by_site: HashMap<ApId, Vec<TileSignature>>,
+    /// Sub-segment indices keyed by every proper prefix of their signature.
+    by_prefix: HashMap<TileSignature, Vec<usize>>,
+    sample_step_m: f64,
+    config: SvdConfig,
+    route_length: f64,
+}
+
+impl ReferenceRouteIndex {
+    /// Samples `route` against `field` and merges equal-signature runs —
+    /// the original map-building construction, verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_step_m <= 0` or `config.order == 0`.
+    pub fn build<F: SignalField + ?Sized>(
+        field: &F,
+        route: &Route,
+        config: SvdConfig,
+        sample_step_m: f64,
+    ) -> Self {
+        assert!(sample_step_m > 0.0, "sample step must be positive");
+        assert!(config.order >= 1, "signature order must be at least 1");
+        let samples = route.geometry().sample(sample_step_m);
+        let mut subsegments: Vec<SubSegment> = Vec::new();
+        for &(s, p) in &samples {
+            let ranked = field.detectable_at(p, config.detection_threshold_dbm);
+            let sig = signature_from_ranked(&ranked, config.order);
+            match subsegments.last_mut() {
+                Some(last) if last.signature == sig => last.s1 = s,
+                _ => subsegments.push(SubSegment {
+                    signature: sig,
+                    s0: s,
+                    s1: s,
+                }),
+            }
+        }
+        let half = sample_step_m / 2.0;
+        let len = route.length();
+        for seg in &mut subsegments {
+            seg.s0 = (seg.s0 - half).max(0.0);
+            seg.s1 = (seg.s1 + half).min(len);
+        }
+        let mut by_signature: HashMap<TileSignature, Vec<usize>> = HashMap::new();
+        for (i, seg) in subsegments.iter().enumerate() {
+            by_signature
+                .entry(seg.signature.clone())
+                .or_default()
+                .push(i);
+        }
+        let mut by_site: HashMap<ApId, Vec<TileSignature>> = HashMap::new();
+        for sig in by_signature.keys() {
+            if let Some(site) = sig.site() {
+                by_site.entry(site).or_default().push(sig.clone());
+            }
+        }
+        // Buckets were filled in hash-key order; sort them so scans and
+        // distance ties resolve identically across processes.
+        for bucket in by_site.values_mut() {
+            bucket.sort_unstable();
+        }
+        let mut by_prefix: HashMap<TileSignature, Vec<usize>> = HashMap::new();
+        for (i, seg) in subsegments.iter().enumerate() {
+            for k in 1..seg.signature.order() {
+                by_prefix
+                    .entry(seg.signature.truncated(k))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        ReferenceRouteIndex {
+            subsegments,
+            by_signature,
+            by_site,
+            by_prefix,
+            sample_step_m,
+            config,
+            route_length: len,
+        }
+    }
+
+    /// All sub-segments, ordered by arc length.
+    pub fn subsegments(&self) -> &[SubSegment] {
+        &self.subsegments
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &SvdConfig {
+        &self.config
+    }
+
+    /// The sampling step, metres.
+    pub fn sample_step_m(&self) -> f64 {
+        self.sample_step_m
+    }
+
+    /// Length of the indexed route, metres.
+    pub fn route_length(&self) -> f64 {
+        self.route_length
+    }
+
+    /// Sub-segments carrying exactly `sig`.
+    pub fn candidates(&self, sig: &TileSignature) -> Vec<&SubSegment> {
+        self.by_signature
+            .get(sig)
+            .map(|idx| idx.iter().map(|&i| &self.subsegments[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Sub-segments whose signature starts with `prefix` (exact matches
+    /// included).
+    pub fn candidates_with_prefix(&self, prefix: &TileSignature) -> Vec<&SubSegment> {
+        let mut out: Vec<&SubSegment> = self
+            .by_prefix
+            .get(prefix)
+            .map(|idx| idx.iter().map(|&i| &self.subsegments[i]).collect())
+            .unwrap_or_default();
+        out.extend(self.candidates(prefix));
+        out
+    }
+
+    /// Up to `k` known signatures closest to `sig` by rank distance, all
+    /// within `margin` of the best — the original site-bucket search with
+    /// the signature-order tie-break.
+    pub fn nearest_signatures(
+        &self,
+        sig: &TileSignature,
+        k: usize,
+        margin: f64,
+    ) -> Vec<(&TileSignature, f64)> {
+        let mut scored: Vec<(&TileSignature, f64)> = Vec::new();
+        let mut visited_any = false;
+        for ap in sig.aps() {
+            if let Some(bucket) = self.by_site.get(ap) {
+                visited_any = true;
+                for cand in bucket {
+                    let d = cand.rank_distance(sig);
+                    scored.push((cand, d));
+                }
+            }
+        }
+        if !visited_any {
+            scored = self
+                .by_signature
+                .keys()
+                .filter(|c| !c.is_empty())
+                .map(|c| (c, c.rank_distance(sig)))
+                .collect();
+        }
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        scored.dedup_by(|a, b| std::ptr::eq(a.0, b.0));
+        let Some(&(_, best)) = scored.first() else {
+            return Vec::new();
+        };
+        scored
+            .into_iter()
+            .take_while(|&(_, d)| d <= best + margin)
+            .take(k.max(1))
+            .collect()
+    }
+}
+
+/// The map-based positioner (pre-flat-rebuild semantics): same
+/// [`PositionerConfig`], same [`Fix`]/[`FixMethod`] outputs, no metrics or
+/// tracing — just the positioning arithmetic the flat path must reproduce.
+#[derive(Debug, Clone)]
+pub struct ReferencePositioner {
+    route: Route,
+    index: ReferenceRouteIndex,
+    config: PositionerConfig,
+}
+
+impl ReferencePositioner {
+    /// Creates a reference positioner over a route and its map index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.order` is zero or exceeds the index's order.
+    pub fn new(route: Route, index: ReferenceRouteIndex, config: PositionerConfig) -> Self {
+        assert!(
+            config.order >= 1 && config.order <= index.config().order,
+            "positioner order must be in 1..=index order"
+        );
+        ReferencePositioner {
+            route,
+            index,
+            config,
+        }
+    }
+
+    /// The route being tracked.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// The underlying map index.
+    pub fn index(&self) -> &ReferenceRouteIndex {
+        &self.index
+    }
+
+    /// Produces a fix from a ranked RSS list — the original `locate`,
+    /// verbatim.
+    pub fn locate(&self, ranked: &[(ApId, i32)], time_s: f64, prior: Option<Prior>) -> Option<Fix> {
+        if ranked.is_empty() {
+            return self.dead_reckon(time_s, prior);
+        }
+
+        // 1. Candidate signatures: the observed one plus tie permutations.
+        let signatures = self.tie_signatures(ranked);
+        let tied = signatures.len() > 1;
+
+        // 2. Candidate intervals: exact lookup at order ≤ 2, hierarchical
+        //    prefix matching above.
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        let mut exact = true;
+        if self.config.order <= 2 {
+            for sig in &signatures {
+                for seg in self.index.candidates(sig) {
+                    intervals.push((seg.s0, seg.s1));
+                }
+            }
+        } else {
+            let mut scored: Vec<(&SubSegment, f64)> = Vec::new();
+            for sig in &signatures {
+                let prefix = sig.truncated(2);
+                for seg in self.index.candidates_with_prefix(&prefix) {
+                    scored.push((seg, seg.signature.rank_distance(sig)));
+                }
+            }
+            if let Some(best) = scored.iter().map(|&(_, d)| d).min_by(|a, b| a.total_cmp(b)) {
+                exact = best == 0.0;
+                for (seg, d) in scored {
+                    if d <= best + self.config.fallback_margin {
+                        intervals.push((seg.s0, seg.s1));
+                    }
+                }
+            }
+        }
+        let mut method = if tied {
+            FixMethod::TieBoundary
+        } else if exact {
+            FixMethod::Exact
+        } else {
+            FixMethod::NearestSignature
+        };
+
+        // 3. Nearest-signature fallback.
+        if intervals.is_empty() {
+            let observed = signature_from_ranked(ranked, self.config.order);
+            let near: Vec<TileSignature> = self
+                .index
+                .nearest_signatures(&observed, 6, self.config.fallback_margin)
+                .into_iter()
+                .filter(|&(_, d)| d <= self.config.max_rank_distance)
+                .map(|(s, _)| s.clone())
+                .collect();
+            for sig in &near {
+                for seg in self.index.candidates(sig) {
+                    intervals.push((seg.s0, seg.s1));
+                }
+            }
+            if !intervals.is_empty() {
+                method = FixMethod::NearestSignature;
+            }
+        }
+        if intervals.is_empty() {
+            return self.dead_reckon(time_s, prior);
+        }
+
+        // 4. Merge overlapping/adjacent intervals.
+        let merged = merge_intervals(intervals, self.index.sample_step_m());
+
+        // 5. Mobility constraint.
+        let interval = match prior {
+            Some(pr) => {
+                let dt = (time_s - pr.time_s).max(0.0);
+                let reach = (
+                    pr.s - self.config.backtrack_m,
+                    pr.s + self.config.max_speed_mps * dt,
+                );
+                let slack = 2.0 * self.index.sample_step_m() + 5.0;
+                let feasible: Vec<&(f64, f64)> = merged
+                    .iter()
+                    .filter(|&&(a, b)| b >= reach.0 - slack && a <= reach.1 + slack)
+                    .collect();
+                let closest = feasible.into_iter().min_by(|&&(a0, b0), &&(a1, b1)| {
+                    let c0 = interval_distance(a0, b0, pr.s);
+                    let c1 = interval_distance(a1, b1, pr.s);
+                    c0.total_cmp(&c1)
+                });
+                match closest {
+                    None => return self.dead_reckon(time_s, prior),
+                    Some(&iv) => iv,
+                }
+            }
+            None => {
+                match merged
+                    .iter()
+                    .max_by(|&&(a0, b0), &&(a1, b1)| (b0 - a0).total_cmp(&(b1 - a1)))
+                {
+                    Some(&iv) => iv,
+                    None => return self.dead_reckon(time_s, prior),
+                }
+            }
+        };
+
+        // 6. Point estimate: midpoint clamped into the reachable window.
+        let mut s = 0.5 * (interval.0 + interval.1);
+        if let Some(pr) = prior {
+            let dt = (time_s - pr.time_s).max(0.0);
+            let lo = (pr.s - self.config.backtrack_m).max(interval.0);
+            let hi = (pr.s + self.config.max_speed_mps * dt).min(interval.1);
+            if lo <= hi {
+                s = s.clamp(lo, hi);
+            }
+        }
+        let s = s.clamp(0.0, self.route.length());
+        Some(Fix {
+            s,
+            point: self.route.point_at(s),
+            interval,
+            method,
+            time_s,
+        })
+    }
+
+    fn tie_signatures(&self, ranked: &[(ApId, i32)]) -> Vec<TileSignature> {
+        let k = self.config.order;
+        let margin = self.config.tie_margin_db;
+        let base: Vec<(ApId, i32)> = ranked.to_vec();
+        let mut out = vec![signature_from_ranked(&base, k)];
+        let upper = (k + 1).min(base.len());
+        let mut swaps = Vec::new();
+        for i in 0..upper.saturating_sub(1) {
+            if (base[i].1 - base[i + 1].1).abs() <= margin {
+                swaps.push(i);
+            }
+        }
+        for &i in swaps.iter().take(3) {
+            let mut v = base.clone();
+            v.swap(i, i + 1);
+            let sig = signature_from_ranked(&v, k);
+            if !out.contains(&sig) {
+                out.push(sig);
+            }
+        }
+        out
+    }
+
+    fn dead_reckon(&self, time_s: f64, prior: Option<Prior>) -> Option<Fix> {
+        let pr = prior?;
+        let dt = (time_s - pr.time_s).max(0.0);
+        let s = (pr.s + self.config.dead_reckon_speed_mps * dt).min(self.route.length());
+        Some(Fix {
+            s,
+            point: self.route.point_at(s),
+            interval: (pr.s, s),
+            method: FixMethod::DeadReckoned,
+            time_s,
+        })
+    }
+}
+
+/// Merges intervals closer than `gap` into maximal disjoint intervals.
+fn merge_intervals(mut intervals: Vec<(f64, f64)>, gap: f64) -> Vec<(f64, f64)> {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for (a, b) in intervals {
+        match out.last_mut() {
+            Some(last) if a <= last.1 + gap => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Distance from `s` to the interval `[a, b]` (0 when inside).
+fn interval_distance(a: f64, b: f64, s: f64) -> f64 {
+    if s < a {
+        a - s
+    } else if s > b {
+        s - b
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wilocator_geo::Point;
+    use wilocator_rf::{AccessPoint, HomogeneousField};
+    use wilocator_road::{NetworkBuilder, RouteId};
+
+    fn street(len: f64, spacing: f64) -> (Route, HomogeneousField) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(len, 0.0));
+        let e = b.add_edge(n0, n1, None).unwrap();
+        let route = Route::new(RouteId(0), "t", vec![e], &b.build()).unwrap();
+        let mut aps = Vec::new();
+        let mut x = spacing / 2.0;
+        let mut i = 0u32;
+        while x < len {
+            let y = if i.is_multiple_of(2) { 15.0 } else { -15.0 };
+            aps.push(AccessPoint::new(ApId(i), Point::new(x, y)));
+            i += 1;
+            x += spacing;
+        }
+        (route, HomogeneousField::new(aps))
+    }
+
+    #[test]
+    fn reference_locates_noiselessly() {
+        let (route, field) = street(800.0, 80.0);
+        let index = ReferenceRouteIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let pos = ReferencePositioner::new(route, index, PositionerConfig::default());
+        let truth = 211.0;
+        let ranked: Vec<(ApId, i32)> = field
+            .detectable_at(pos.route().point_at(truth), -90.0)
+            .into_iter()
+            .map(|(ap, rss)| (ap, rss.round() as i32))
+            .collect();
+        let fix = pos.locate(&ranked, 0.0, None).unwrap();
+        assert!((fix.s - truth).abs() <= 45.0);
+        assert_eq!(fix.method, FixMethod::Exact);
+    }
+
+    #[test]
+    fn reference_dead_reckons_on_empty_scan() {
+        let (route, field) = street(400.0, 80.0);
+        let index = ReferenceRouteIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let pos = ReferencePositioner::new(route, index, PositionerConfig::default());
+        assert!(pos.locate(&[], 0.0, None).is_none());
+        let fix = pos
+            .locate(
+                &[],
+                10.0,
+                Some(Prior {
+                    s: 50.0,
+                    time_s: 0.0,
+                }),
+            )
+            .unwrap();
+        assert_eq!(fix.method, FixMethod::DeadReckoned);
+        assert!(fix.s > 50.0);
+    }
+}

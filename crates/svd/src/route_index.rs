@@ -5,16 +5,23 @@
 //! with the route matters (the road sub-segments `e_{ij}` of Definition 5).
 //! This index samples the route geometry at a fine step, labels each sample
 //! with its `k`-order signature under the mean field, and merges contiguous
-//! equal-signature runs into [`SubSegment`]s. Positioning then reduces to a
-//! hash lookup from the observed rank list to the sub-segments carrying it.
-
-use std::collections::HashMap;
+//! equal-signature runs into [`SubSegment`]s.
+//!
+//! Since PR 7 the index is a flat slab, not a family of hash maps: AP ids
+//! are interned to dense `u16` codes ([`ApInterner`]) at build time and
+//! the signature → sub-segment map, the prefix index and the per-site
+//! buckets are all *ranges of one sorted [`SignatureTable`]* probed by
+//! branchless binary search. The public API (borrowed [`TileSignature`]s
+//! and [`SubSegment`]s) is unchanged; `crates/svd/src/reference.rs` keeps
+//! the old map-based construction as the differential-testing oracle.
 
 use wilocator_rf::SignalField;
 use wilocator_road::Route;
 
 use crate::diagram::SvdConfig;
-use crate::signature::{signature_from_ranked, TileSignature};
+use crate::interner::{ApInterner, InternerError};
+use crate::signature::{rank_distance_codes, signature_from_ranked, TileSignature};
+use crate::table::SignatureTable;
 
 /// A maximal run of route arc length with a constant tile signature —
 /// the sub-segment `e_{ij}` that the paper's Tile Mapping produces.
@@ -73,15 +80,8 @@ impl SubSegment {
 #[derive(Debug, Clone)]
 pub struct RouteTileIndex {
     subsegments: Vec<SubSegment>,
-    by_signature: HashMap<TileSignature, Vec<usize>>,
-    /// Signatures bucketed by their site (first AP) — narrows the
-    /// nearest-signature fallback from all signatures to a handful.
-    by_site: HashMap<wilocator_rf::ApId, Vec<TileSignature>>,
-    /// Sub-segment indices keyed by every proper prefix of their
-    /// signature: the hierarchical (lower-order) lookup. A noisy tail rank
-    /// falls back to the enclosing coarser tile instead of a rank-distance
-    /// guess.
-    by_prefix: HashMap<TileSignature, Vec<usize>>,
+    interner: ApInterner,
+    table: SignatureTable,
     sample_step_m: f64,
     config: SvdConfig,
     route_length: f64,
@@ -96,12 +96,52 @@ impl RouteTileIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `sample_step_m <= 0` or `config.order == 0`.
+    /// Panics if `sample_step_m <= 0`, `config.order == 0`, or the field's
+    /// AP population exceeds [`crate::MAX_INTERNED_APS`] distinct ids
+    /// (use [`RouteTileIndex::try_build`] to handle oversaturation as an
+    /// error instead).
     pub fn build<F: SignalField + ?Sized>(
         field: &F,
         route: &Route,
         config: SvdConfig,
         sample_step_m: f64,
+    ) -> Self {
+        let interner = ApInterner::from_aps(field.aps());
+        Self::build_with_interner(field, route, config, sample_step_m, interner)
+    }
+
+    /// [`RouteTileIndex::build`] with oversaturated AP populations
+    /// reported as a clean error instead of a panic: more than
+    /// [`crate::MAX_INTERNED_APS`] distinct AP ids cannot be interned
+    /// into dense `u16` codes, and truncating the population would
+    /// silently corrupt signatures.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on the caller bugs `sample_step_m <= 0` and
+    /// `config.order == 0`.
+    pub fn try_build<F: SignalField + ?Sized>(
+        field: &F,
+        route: &Route,
+        config: SvdConfig,
+        sample_step_m: f64,
+    ) -> Result<Self, InternerError> {
+        let interner = ApInterner::try_from_aps(field.aps())?;
+        Ok(Self::build_with_interner(
+            field,
+            route,
+            config,
+            sample_step_m,
+            interner,
+        ))
+    }
+
+    fn build_with_interner<F: SignalField + ?Sized>(
+        field: &F,
+        route: &Route,
+        config: SvdConfig,
+        sample_step_m: f64,
+        interner: ApInterner,
     ) -> Self {
         assert!(sample_step_m > 0.0, "sample step must be positive");
         assert!(config.order >= 1, "signature order must be at least 1");
@@ -127,39 +167,18 @@ impl RouteTileIndex {
             seg.s0 = (seg.s0 - half).max(0.0);
             seg.s1 = (seg.s1 + half).min(len);
         }
-        let mut by_signature: HashMap<TileSignature, Vec<usize>> = HashMap::new();
+        let mut entries: Vec<(Vec<u16>, u32)> = Vec::with_capacity(subsegments.len());
         for (i, seg) in subsegments.iter().enumerate() {
-            by_signature
-                .entry(seg.signature.clone())
-                .or_default()
-                .push(i);
+            // Every signature AP comes from the field, so interning
+            // cannot miss; an empty fallback keeps this panic-free.
+            let codes = seg.signature.intern_with(&interner).unwrap_or_default();
+            entries.push((codes, i as u32));
         }
-        let mut by_site: HashMap<wilocator_rf::ApId, Vec<TileSignature>> = HashMap::new();
-        for sig in by_signature.keys() {
-            if let Some(site) = sig.site() {
-                by_site.entry(site).or_default().push(sig.clone());
-            }
-        }
-        // The buckets were filled in hash-key order; sort them so every
-        // scan over a bucket (and any distance tie within one) resolves
-        // identically across processes.
-        for bucket in by_site.values_mut() {
-            bucket.sort_unstable();
-        }
-        let mut by_prefix: HashMap<TileSignature, Vec<usize>> = HashMap::new();
-        for (i, seg) in subsegments.iter().enumerate() {
-            for k in 1..seg.signature.order() {
-                by_prefix
-                    .entry(seg.signature.truncated(k))
-                    .or_default()
-                    .push(i);
-            }
-        }
+        let table = SignatureTable::build(entries, &interner);
         RouteTileIndex {
             subsegments,
-            by_signature,
-            by_site,
-            by_prefix,
+            interner,
+            table,
             sample_step_m,
             config,
             route_length: len,
@@ -186,24 +205,49 @@ impl RouteTileIndex {
         self.route_length
     }
 
+    /// The dense AP code table built over the field's population.
+    pub(crate) fn interner(&self) -> &ApInterner {
+        &self.interner
+    }
+
+    /// The sorted signature slab (the hot path probes it directly).
+    pub(crate) fn table(&self) -> &SignatureTable {
+        &self.table
+    }
+
     /// Sub-segments carrying exactly `sig`.
     pub fn candidates(&self, sig: &TileSignature) -> Vec<&SubSegment> {
-        self.by_signature
-            .get(sig)
-            .map(|idx| idx.iter().map(|&i| &self.subsegments[i]).collect())
-            .unwrap_or_default()
+        let Some(codes) = sig.intern_with(&self.interner) else {
+            // An AP unknown to the field cannot be part of any stored
+            // signature — guaranteed miss, like the old map lookup.
+            return Vec::new();
+        };
+        match self.table.find(&codes) {
+            Some(i) => self
+                .table
+                .payload_at(i)
+                .iter()
+                .filter_map(|&seg| self.subsegments.get(seg as usize))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Sub-segments whose signature *starts with* `prefix` (the union of
     /// the finer tiles inside the coarser tile named by the prefix). Exact
     /// matches are included.
     pub fn candidates_with_prefix(&self, prefix: &TileSignature) -> Vec<&SubSegment> {
-        let mut out: Vec<&SubSegment> = self
-            .by_prefix
-            .get(prefix)
-            .map(|idx| idx.iter().map(|&i| &self.subsegments[i]).collect())
-            .unwrap_or_default();
-        out.extend(self.candidates(prefix));
+        let Some(codes) = prefix.intern_with(&self.interner) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for i in self.table.prefix_range(&codes) {
+            for &seg in self.table.payload_at(i) {
+                if let Some(seg) = self.subsegments.get(seg as usize) {
+                    out.push(seg);
+                }
+            }
+        }
         out
     }
 
@@ -228,38 +272,90 @@ impl RouteTileIndex {
         k: usize,
         margin: f64,
     ) -> Vec<(&TileSignature, f64)> {
-        let mut scored: Vec<(&TileSignature, f64)> = Vec::new();
-        let mut visited_any = false;
-        for ap in sig.aps() {
-            if let Some(bucket) = self.by_site.get(ap) {
-                visited_any = true;
-                for cand in bucket {
-                    let d = cand.rank_distance(sig);
-                    scored.push((cand, d));
+        let codes = self.intern_observed(sig);
+        let mut scored: Vec<(u32, f64)> = Vec::new();
+        self.nearest_codes(&codes, k, margin, &mut scored);
+        scored
+            .into_iter()
+            .filter_map(|(i, d)| self.table.view_at(i as usize).map(|v| (v, d)))
+            .collect()
+    }
+
+    /// Interns an *observed* signature, assigning deterministic sentinel
+    /// codes (first-occurrence order, starting at `interner.len()`) to APs
+    /// the field does not know — they must compare unequal to every stored
+    /// code so rank distances count them as misses, exactly like the old
+    /// `ApId`-based comparison did.
+    fn intern_observed(&self, sig: &TileSignature) -> Vec<u16> {
+        let mut codes: Vec<u16> = Vec::with_capacity(sig.order());
+        let mut unknown: Vec<wilocator_rf::ApId> = Vec::new();
+        for &ap in sig.aps() {
+            let code = match self.interner.code(ap) {
+                Some(c) => c,
+                None => {
+                    let slot = unknown.iter().position(|&u| u == ap).unwrap_or_else(|| {
+                        unknown.push(ap);
+                        unknown.len() - 1
+                    });
+                    // The interner cap leaves headroom for any realistic
+                    // scan; saturate on pathological inputs rather than
+                    // wrapping into real codes.
+                    let sentinel = self.interner.len() + slot;
+                    sentinel.min(u16::MAX as usize) as u16
                 }
+            };
+            codes.push(code);
+        }
+        codes
+    }
+
+    /// [`RouteTileIndex::nearest_signatures`] over interned codes, writing
+    /// `(signature index, distance)` pairs into `out` (cleared first) —
+    /// the allocation-free form the positioner's scratch path uses.
+    pub(crate) fn nearest_codes(
+        &self,
+        codes: &[u16],
+        k: usize,
+        margin: f64,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        out.clear();
+        let known = self.interner.len();
+        let mut visited_any = false;
+        for &c in codes {
+            if (c as usize) >= known {
+                // Sentinel for an unknown AP: no site bucket, like a map
+                // miss on the old `by_site` index.
+                continue;
+            }
+            let range = self.table.site_range(c);
+            if !range.is_empty() {
+                visited_any = true;
+            }
+            for i in range {
+                out.push((i as u32, rank_distance_codes(self.table.codes_at(i), codes)));
             }
         }
         if !visited_any {
-            scored = self
-                .by_signature
-                .keys()
-                .filter(|c| !c.is_empty())
-                .map(|c| (c, c.rank_distance(sig)))
-                .collect();
+            out.clear();
+            for i in 0..self.table.len() {
+                if !self.table.codes_at(i).is_empty() {
+                    out.push((i as u32, rank_distance_codes(self.table.codes_at(i), codes)));
+                }
+            }
         }
         // Rank-distance ties break on signature order, never on map
-        // iteration order (the PR 2 `nearest_signature` bug class); and
+        // iteration order (the PR 2 `nearest_signature` bug class). Table
+        // index order *is* signature order, so the index tie-break below
+        // reproduces the old `TileSignature::cmp` tie-break exactly; and
         // `total_cmp` keeps the sort panic-free on any float input.
-        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)));
-        scored.dedup_by(|a, b| std::ptr::eq(a.0, b.0));
-        let Some(&(_, best)) = scored.first() else {
-            return Vec::new();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        out.dedup_by_key(|e| e.0);
+        let Some(&(_, best)) = out.first() else {
+            return;
         };
-        scored
-            .into_iter()
-            .take_while(|&(_, d)| d <= best + margin)
-            .take(k.max(1))
-            .collect()
+        let within = out.partition_point(|&(_, d)| d <= best + margin);
+        out.truncate(within.min(k.max(1)));
     }
 
     /// The sub-segment containing arc length `s` (clamped).
@@ -281,7 +377,7 @@ impl RouteTileIndex {
 
     /// Number of distinct non-empty signatures on the route.
     pub fn signature_count(&self) -> usize {
-        self.by_signature.keys().filter(|k| !k.is_empty()).count()
+        self.table.views().iter().filter(|s| !s.is_empty()).count()
     }
 
     /// Mean length of non-empty sub-segments — the resolution of rank-based
@@ -441,5 +537,18 @@ mod tests {
         let field = field_on_street(80.0, 600.0);
         let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
         assert!(idx.signature_count() >= 6);
+    }
+
+    #[test]
+    fn candidates_for_unknown_ap_signature_miss_cleanly() {
+        let route = straight_route(600.0);
+        let field = field_on_street(80.0, 600.0);
+        let idx = RouteTileIndex::build(&field, &route, SvdConfig::default(), 1.0);
+        let alien = TileSignature::new(vec![ApId(40_000), ApId(40_001)]);
+        assert!(idx.candidates(&alien).is_empty());
+        assert!(idx.candidates_with_prefix(&alien).is_empty());
+        // Nearest-signature still works: every comparison treats the
+        // unknown APs as misses.
+        assert!(idx.nearest_signature(&alien).is_some());
     }
 }

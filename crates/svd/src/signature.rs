@@ -10,6 +10,8 @@
 
 use wilocator_rf::ApId;
 
+use crate::interner::ApInterner;
+
 /// An ordered list of AP ids, strongest first, naming a Signal Tile.
 ///
 /// # Examples
@@ -82,6 +84,23 @@ impl TileSignature {
         )
     }
 
+    /// The signature as dense interner codes, or `None` when any AP is
+    /// unknown to the interner (an unknown AP cannot name a stored tile,
+    /// so callers treat `None` as a guaranteed lookup miss).
+    pub fn intern_with(&self, interner: &ApInterner) -> Option<Vec<u16>> {
+        self.0.iter().map(|&ap| interner.code(ap)).collect()
+    }
+
+    /// Rebuilds a signature from dense interner codes; `None` when any
+    /// code is a sentinel the interner does not know.
+    pub fn from_codes(codes: &[u16], interner: &ApInterner) -> Option<TileSignature> {
+        codes
+            .iter()
+            .map(|&c| interner.resolve(c))
+            .collect::<Option<Vec<ApId>>>()
+            .map(TileSignature)
+    }
+
     /// Rank dissimilarity to `other`: a Spearman-footrule-style distance.
     ///
     /// APs present in both lists contribute the absolute difference of their
@@ -134,6 +153,34 @@ impl FromIterator<ApId> for TileSignature {
 /// (strongest first), as produced by `Scan::ranked` or a mean field.
 pub fn signature_from_ranked<T: Copy>(ranked: &[(ApId, T)], order: usize) -> TileSignature {
     ranked.iter().take(order).map(|&(ap, _)| ap).collect()
+}
+
+/// [`TileSignature::rank_distance`] on interned code slices.
+///
+/// Must mirror `rank_distance` term for term: every summand is a small
+/// non-negative integer cast to `f64`, so the sum is exact and the two
+/// implementations agree bit for bit whenever the code mapping is a
+/// bijection on the APs involved (which the interner guarantees, with
+/// sentinel codes standing in for unknown APs).
+pub fn rank_distance_codes(a: &[u16], b: &[u16]) -> f64 {
+    let n = a.len().max(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let miss = n as f64;
+    let mut d = 0.0;
+    for (i, ca) in a.iter().enumerate() {
+        match b.iter().position(|cb| cb == ca) {
+            Some(j) => d += (i as f64 - j as f64).abs(),
+            None => d += miss,
+        }
+    }
+    for cb in b {
+        if !a.contains(cb) {
+            d += miss;
+        }
+    }
+    d
 }
 
 #[cfg(test)]
@@ -212,6 +259,21 @@ mod tests {
     fn display_is_paper_notation() {
         assert_eq!(sig(&[1, 0]).to_string(), "(AP1, AP0)");
         assert_eq!(TileSignature::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn interned_codes_round_trip_and_preserve_distance() {
+        let interner = ApInterner::try_from_ids(vec![1, 2, 3, 5, 8]).unwrap();
+        let a = sig(&[1, 2, 3]);
+        let b = sig(&[3, 1, 5]);
+        let ca = a.intern_with(&interner).unwrap();
+        let cb = b.intern_with(&interner).unwrap();
+        assert_eq!(TileSignature::from_codes(&ca, &interner).unwrap(), a);
+        assert_eq!(rank_distance_codes(&ca, &cb), a.rank_distance(&b));
+        // Unknown AP → no interned form.
+        assert!(sig(&[1, 99]).intern_with(&interner).is_none());
+        // Code order equals signature order.
+        assert_eq!(ca.cmp(&cb), a.cmp(&b));
     }
 
     #[test]

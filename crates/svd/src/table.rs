@@ -1,0 +1,274 @@
+//! Sorted structure-of-arrays signature table — the flat slab behind
+//! [`crate::RouteTileIndex`].
+//!
+//! Signatures are stored as one contiguous `u16` code slab plus an offset
+//! array, lexicographically sorted; every lookup is a branch-light binary
+//! search over slices instead of a hash/tree probe per signature. Because
+//! interner codes preserve AP-id order (see [`crate::ApInterner`]), the
+//! lexicographic order of code slices equals the `Ord` of the decoded
+//! [`TileSignature`]s — so three classic map indexes collapse into *ranges*
+//! of one sorted table:
+//!
+//! * exact lookup (`by_signature`) — binary search;
+//! * prefix lookup (`by_prefix`)  — the contiguous run of signatures
+//!   starting with the prefix (extensions sort directly after it);
+//! * site buckets (`by_site`)     — the prefix run of the 1-code prefix.
+//!
+//! Payloads (sub-segment indices) live in a parallel slab, kept in
+//! insertion order per signature, which for route indexes means ascending
+//! arc length — exactly the order the old `HashMap<_, Vec<usize>>` pushed.
+//! A `Vec<TileSignature>` of decoded views, aligned with the sorted order,
+//! keeps the crate's public borrowed-signature API intact.
+
+use std::ops::Range;
+
+use crate::interner::ApInterner;
+use crate::signature::TileSignature;
+
+/// A sorted flat signature → payload table.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureTable {
+    /// Concatenated interned signatures, lexicographically sorted.
+    codes: Vec<u16>,
+    /// `codes` start offsets; `len() + 1` entries.
+    code_off: Vec<u32>,
+    /// Concatenated payload lists, aligned with the signature order.
+    payload: Vec<u32>,
+    /// `payload` start offsets; `len() + 1` entries.
+    payload_off: Vec<u32>,
+    /// Decoded signatures aligned with the sorted order (the borrowed
+    /// views the public API hands out).
+    views: Vec<TileSignature>,
+    /// Exact-lookup accelerator for the dominant order-2 case: every
+    /// length-2 signature packed as `(c0 << 16) | c1` into an
+    /// open-addressing probe table whose occupied slots hold
+    /// `(key << 32) | table_index`; empty slots are `u64::MAX`
+    /// (unreachable: stored codes stay below `u16::MAX`, so no real key
+    /// is all-ones). Power-of-two capacity at ≤ 50% load, linear
+    /// probing — one hash probe replaces the slice binary search on the
+    /// hot path.
+    probe2: Vec<u64>,
+}
+
+/// Slot value marking an empty `probe2` entry.
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// Multiplicative hash of a packed order-2 signature key.
+#[inline]
+fn hash_key2(key: u32) -> usize {
+    ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+}
+
+impl SignatureTable {
+    /// Builds the table from `(interned signature, payload)` pairs.
+    ///
+    /// Pairs are grouped by signature; within one signature, payloads are
+    /// stored in ascending order (route builds emit ascending sub-segment
+    /// indices, so this reproduces the map-based insertion order).
+    pub fn build(mut entries: Vec<(Vec<u16>, u32)>, interner: &ApInterner) -> Self {
+        entries.sort();
+        let mut table = SignatureTable {
+            code_off: vec![0],
+            payload_off: vec![0],
+            ..SignatureTable::default()
+        };
+        let mut i = 0usize;
+        while i < entries.len() {
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].0 == entries[i].0 {
+                j += 1;
+            }
+            let sig_codes: &[u16] = &entries[i].0;
+            table.codes.extend_from_slice(sig_codes);
+            table.code_off.push(table.codes.len() as u32);
+            for e in &entries[i..j] {
+                table.payload.push(e.1);
+            }
+            table.payload_off.push(table.payload.len() as u32);
+            // Codes came from this interner, so decoding cannot miss; the
+            // empty fallback keeps this constructor panic-free regardless.
+            table
+                .views
+                .push(TileSignature::from_codes(sig_codes, interner).unwrap_or_default());
+            i = j;
+        }
+        let pairs = (0..table.len())
+            .filter(|&idx| table.codes_at(idx).len() == 2)
+            .count();
+        let cap = (pairs * 2).next_power_of_two().max(8);
+        table.probe2 = vec![EMPTY_SLOT; cap];
+        for idx in 0..table.len() {
+            if let &[c0, c1] = table.codes_at(idx) {
+                let key = (c0 as u32) << 16 | c1 as u32;
+                let mut i = hash_key2(key) & (cap - 1);
+                while table.probe2[i] != EMPTY_SLOT {
+                    i = (i + 1) & (cap - 1);
+                }
+                table.probe2[i] = (key as u64) << 32 | idx as u64;
+            }
+        }
+        table
+    }
+
+    /// Exact lookup of a length-2 signature via the packed-key probe
+    /// table. Equivalent to [`SignatureTable::find`] on `&[c0, c1]`, but
+    /// a single hash probe in the common case.
+    pub fn find2(&self, c0: u16, c1: u16) -> Option<usize> {
+        let key = (c0 as u32) << 16 | c1 as u32;
+        let mask = self.probe2.len().wrapping_sub(1);
+        let mut i = hash_key2(key) & mask;
+        loop {
+            let slot = *self.probe2.get(i)?;
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            if (slot >> 32) as u32 == key {
+                return Some((slot & 0xFFFF_FFFF) as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Number of distinct signatures.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when the table holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The interned codes of signature `i` (empty slice out of range).
+    pub fn codes_at(&self, i: usize) -> &[u16] {
+        match (self.code_off.get(i), self.code_off.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => self.codes.get(lo as usize..hi as usize).unwrap_or(&[]),
+            _ => &[],
+        }
+    }
+
+    /// The payload list of signature `i` (empty slice out of range).
+    pub fn payload_at(&self, i: usize) -> &[u32] {
+        match (self.payload_off.get(i), self.payload_off.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => self.payload.get(lo as usize..hi as usize).unwrap_or(&[]),
+            _ => &[],
+        }
+    }
+
+    /// The decoded view of signature `i`.
+    pub fn view_at(&self, i: usize) -> Option<&TileSignature> {
+        self.views.get(i)
+    }
+
+    /// All decoded signatures in table (lexicographic) order.
+    pub fn views(&self) -> &[TileSignature] {
+        &self.views
+    }
+
+    /// First signature index not lexicographically below `codes`.
+    fn lower_bound(&self, codes: &[u16]) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.codes_at(mid) < codes {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Index of the signature exactly equal to `codes`, if present.
+    pub fn find(&self, codes: &[u16]) -> Option<usize> {
+        let lo = self.lower_bound(codes);
+        (lo < self.len() && self.codes_at(lo) == codes).then_some(lo)
+    }
+
+    /// The contiguous index range of signatures starting with `prefix`
+    /// (including an exact match). Extensions of a prefix sort directly
+    /// after it and before any non-extension, so the run is contiguous.
+    pub fn prefix_range(&self, prefix: &[u16]) -> Range<usize> {
+        let lo = self.lower_bound(prefix);
+        let mut l = lo;
+        let mut h = self.len();
+        while l < h {
+            let mid = l + (h - l) / 2;
+            if self.codes_at(mid).starts_with(prefix) {
+                l = mid + 1;
+            } else {
+                h = mid;
+            }
+        }
+        lo..l
+    }
+
+    /// The index range of non-empty signatures whose *site* (first code)
+    /// is `site` — the flat form of the old per-site buckets.
+    pub fn site_range(&self, site: u16) -> Range<usize> {
+        self.prefix_range(&[site])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&[u16], u32)]) -> (SignatureTable, ApInterner) {
+        let interner = ApInterner::try_from_ids((0..100).collect()).unwrap();
+        let t = SignatureTable::build(
+            entries.iter().map(|&(c, p)| (c.to_vec(), p)).collect(),
+            &interner,
+        );
+        (t, interner)
+    }
+
+    #[test]
+    fn groups_and_sorts_signatures() {
+        let (t, _) = table(&[(&[2, 1], 5), (&[1], 0), (&[2, 1], 2), (&[2, 3], 7)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.codes_at(0), &[1]);
+        assert_eq!(t.codes_at(1), &[2, 1]);
+        assert_eq!(t.payload_at(1), &[2, 5]);
+        assert_eq!(t.payload_at(2), &[7]);
+    }
+
+    #[test]
+    fn find_hits_and_misses() {
+        let (t, _) = table(&[(&[1, 2], 0), (&[3], 1)]);
+        assert_eq!(t.find(&[1, 2]), Some(0));
+        assert_eq!(t.find(&[3]), Some(1));
+        assert_eq!(t.find(&[1]), None);
+        assert_eq!(t.find(&[9, 9]), None);
+    }
+
+    #[test]
+    fn prefix_range_is_contiguous_extensions() {
+        let (t, _) = table(&[
+            (&[1], 0),
+            (&[1, 2], 1),
+            (&[1, 2, 3], 2),
+            (&[1, 3], 3),
+            (&[2, 1], 4),
+        ]);
+        // Prefix [1,2]: the exact match and its extension, nothing else.
+        let r = t.prefix_range(&[1, 2]);
+        let sigs: Vec<&[u16]> = r.map(|i| t.codes_at(i)).collect();
+        assert_eq!(sigs, vec![&[1, 2][..], &[1, 2, 3][..]]);
+        // Site 1 covers everything starting with code 1.
+        assert_eq!(t.site_range(1).len(), 4);
+        assert_eq!(t.site_range(9).len(), 0);
+    }
+
+    #[test]
+    fn empty_signature_sorts_first() {
+        let (t, interner) = table(&[(&[4], 1), (&[], 0)]);
+        assert_eq!(t.codes_at(0), &[] as &[u16]);
+        assert!(t.view_at(0).unwrap().is_empty());
+        assert_eq!(
+            t.view_at(1).unwrap(),
+            &TileSignature::from_codes(&[4], &interner).unwrap()
+        );
+    }
+}

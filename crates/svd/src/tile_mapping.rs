@@ -12,7 +12,6 @@
 //! experiment (Fig. 10), and as the reference the fast path is tested
 //! against.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use wilocator_geo::Point;
@@ -37,11 +36,21 @@ pub struct MappedPosition {
 }
 
 /// Maps Signal Tiles of a planar diagram onto a route.
+///
+/// The route ∩ tile intervals live in a sorted structure-of-arrays slab:
+/// `tile_ids` holds the intersecting tiles in ascending order and
+/// `span_off[i]..span_off[i+1]` indexes that tile's arc-length spans in
+/// `spans` (route order within a tile). Lookups are a branch-predictable
+/// binary search over a dense `u32` array instead of a hash probe.
 #[derive(Debug, Clone)]
 pub struct TileMapper {
     route: Route,
-    /// Route arc-length intervals inside each tile.
-    intervals: HashMap<TileId, Vec<(f64, f64)>>,
+    /// Tiles intersecting the route, ascending.
+    tile_ids: Vec<u32>,
+    /// `spans` offsets per tile; `len == tile_ids.len() + 1`.
+    span_off: Vec<u32>,
+    /// Route arc-length intervals, grouped by tile.
+    spans: Vec<(f64, f64)>,
     /// Shared resolution-path accounting for `locate` calls.
     metrics: Option<Arc<TileMapperMetrics>>,
 }
@@ -55,7 +64,7 @@ impl TileMapper {
     /// Panics if `sample_step_m` is not strictly positive.
     pub fn build(diagram: &SignalVoronoiDiagram, route: &Route, sample_step_m: f64) -> Self {
         assert!(sample_step_m > 0.0, "sample step must be positive");
-        let mut intervals: HashMap<TileId, Vec<(f64, f64)>> = HashMap::new();
+        let mut runs: Vec<(u32, (f64, f64))> = Vec::new();
         let mut current: Option<(TileId, f64, f64)> = None;
         for (s, p) in route.geometry().sample(sample_step_m) {
             let tile = diagram.tile_at(p).map(|t| t.id());
@@ -63,24 +72,52 @@ impl TileMapper {
                 (Some(t), Some((ct, _, end))) if t == *ct => *end = s,
                 (Some(t), cur) => {
                     if let Some((ct, s0, s1)) = cur.take() {
-                        intervals.entry(ct).or_default().push((s0, s1));
+                        runs.push((ct.0, (s0, s1)));
                     }
                     *cur = Some((t, s, s));
                 }
                 (None, cur) => {
                     if let Some((ct, s0, s1)) = cur.take() {
-                        intervals.entry(ct).or_default().push((s0, s1));
+                        runs.push((ct.0, (s0, s1)));
                     }
                 }
             }
         }
         if let Some((ct, s0, s1)) = current {
-            intervals.entry(ct).or_default().push((s0, s1));
+            runs.push((ct.0, (s0, s1)));
+        }
+        // Group the route-order runs by tile; the stable sort keeps spans
+        // in route order within each tile.
+        runs.sort_by_key(|&(tile, _)| tile);
+        let mut tile_ids: Vec<u32> = Vec::new();
+        let mut span_off: Vec<u32> = vec![0];
+        let mut spans: Vec<(f64, f64)> = Vec::with_capacity(runs.len());
+        for (tile, span) in runs {
+            if tile_ids.last() != Some(&tile) {
+                tile_ids.push(tile);
+                span_off.push(spans.len() as u32);
+            }
+            spans.push(span);
+            if let Some(end) = span_off.last_mut() {
+                *end = spans.len() as u32;
+            }
         }
         TileMapper {
             route: route.clone(),
-            intervals,
+            tile_ids,
+            span_off,
+            spans,
             metrics: None,
+        }
+    }
+
+    /// The arc-length spans of `tile`, route-ordered, or `None` when the
+    /// tile misses the route.
+    fn spans_of(&self, tile: TileId) -> Option<&[(f64, f64)]> {
+        let i = self.tile_ids.binary_search(&tile.0).ok()?;
+        match (self.span_off.get(i), self.span_off.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => self.spans.get(lo as usize..hi as usize),
+            _ => None,
         }
     }
 
@@ -102,7 +139,7 @@ impl TileMapper {
 
     /// True when the tile intersects the route.
     pub fn intersects_route(&self, tile: TileId) -> bool {
-        self.intervals.contains_key(&tile)
+        self.tile_ids.binary_search(&tile.0).is_ok()
     }
 
     /// Maps a tile to the route (Definition 5): the point of
@@ -115,8 +152,7 @@ impl TileMapper {
         }
         // Fallback: neighbour with the longest shared boundary that does
         // intersect the road (the paper's ST(b, e) → ST(b, d) example).
-        let neighbor =
-            diagram.longest_boundary_neighbor(tile, |t| self.intervals.contains_key(&t))?;
+        let neighbor = diagram.longest_boundary_neighbor(tile, |t| self.intersects_route(t))?;
         // Project the *original* tile's centroid onto the neighbour's road
         // intervals (we map "to the nearest point on the road sub-segment
         // that intersects with the neighbouring ST").
@@ -217,8 +253,8 @@ impl TileMapper {
                 .unwrap_or(f64::NEG_INFINITY)
         };
         let best = tiles.iter().copied().max_by(|&a, &b| {
-            let ia = self.intervals.contains_key(&a);
-            let ib = self.intervals.contains_key(&b);
+            let ia = self.intersects_route(a);
+            let ib = self.intersects_route(b);
             ia.cmp(&ib).then(area(a).total_cmp(&area(b)))
         });
         match best {
@@ -234,7 +270,7 @@ impl TileMapper {
 
     /// Nearest point to `target` on the route intervals of `tile`.
     fn nearest_on_intervals(&self, tile: TileId, target: Point) -> Option<MappedPosition> {
-        let spans = self.intervals.get(&tile)?;
+        let spans = self.spans_of(tile)?;
         let mut best: Option<(f64, f64)> = None; // (distance, s)
         for &(s0, s1) in spans {
             // Search the interval at a fine granularity; intervals are

@@ -1,0 +1,105 @@
+//! Golden fix transcripts: the positioning pipeline's output — method,
+//! arc length (to the f64 bit), interval — pinned for the campus drive-by
+//! (Table II / Fig. 10) and the Table-I urban multi-route scenario.
+//!
+//! Bless with `WILOCATOR_BLESS=1 cargo test --test fix_golden`; any
+//! subsequent byte drift in these transcripts is a positioning-kernel
+//! regression, not noise.
+
+mod common;
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wilocator::rf::{ApId, Scanner, ScannerConfig};
+use wilocator::sim::{campus, vancouver_like, CityConfig};
+use wilocator::svd::{Fix, PositionerConfig, Prior, RoutePositioner, RouteTileIndex, SvdConfig};
+
+fn fix_line(out: &mut String, label: &str, truth_s: f64, fix: &Option<Fix>) {
+    match fix {
+        Some(f) => {
+            let _ = writeln!(
+                out,
+                "{label} truth={truth_s:.1} method={:?} s_bits={:016x} s={:.3} iv=[{:.3},{:.3}]",
+                f.method,
+                f.s.to_bits(),
+                f.s,
+                f.interval.0,
+                f.interval.1,
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{label} truth={truth_s:.1} miss");
+        }
+    }
+}
+
+/// The Fig. 10 campus drive-by: three probes of the eleven-AP segment,
+/// positioned by the production flat route index.
+#[test]
+fn campus_fixes_match_golden() {
+    let scene = campus(1);
+    let city = &scene.city;
+    let route = &city.routes[0];
+    let svd_cfg = SvdConfig {
+        resolution_m: 1.0,
+        ..SvdConfig::default()
+    };
+    let index = RouteTileIndex::build(&city.server_field, route, svd_cfg, 0.5);
+    let positioner = RoutePositioner::new(route.clone(), index, PositionerConfig::default());
+
+    let scanner = Scanner::new(ScannerConfig {
+        fading_sigma_db: 2.0,
+        miss_probability: 0.0,
+        ..ScannerConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(1 ^ 0xF1610);
+    let mut out = String::new();
+    for &(name, truth_s) in &scene.probes {
+        let scan = scanner.scan(&city.field, route.point_at(truth_s), 0.0, &mut rng);
+        let ranked: Vec<(ApId, i32)> = scan.ranked();
+        let fix = positioner.locate(&ranked, 0.0, None);
+        fix_line(&mut out, &format!("campus {name}"), truth_s, &fix);
+    }
+    common::assert_matches_fixture(&out, "fix_golden_campus.txt");
+}
+
+/// The Table-I urban scenario: every route of the Vancouver-like city
+/// driven end to end in 150 m hops with prior chaining — the tracking
+/// workload the flat kernels serve in production.
+#[test]
+fn urban_fixes_match_golden() {
+    let city = vancouver_like(7, &CityConfig::default());
+    let scanner = Scanner::new(ScannerConfig {
+        fading_sigma_db: 2.0,
+        miss_probability: 0.0,
+        ..ScannerConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7 ^ 0x0BA2);
+    let mut out = String::new();
+    for route in &city.routes {
+        let index = RouteTileIndex::build(&city.server_field, route, SvdConfig::default(), 2.0);
+        let positioner = RoutePositioner::new(route.clone(), index, PositionerConfig::default());
+        let mut prior: Option<Prior> = None;
+        let mut truth_s = 75.0;
+        while truth_s < route.length() {
+            let time_s = truth_s / 10.0;
+            let scan = scanner.scan(&city.field, route.point_at(truth_s), time_s, &mut rng);
+            let ranked: Vec<(ApId, i32)> = scan.ranked();
+            let fix = positioner.locate(&ranked, time_s, prior);
+            fix_line(
+                &mut out,
+                &format!("urban route={}", route.id().0),
+                truth_s,
+                &fix,
+            );
+            prior = fix.map(|f| Prior {
+                s: f.s,
+                time_s: f.time_s,
+            });
+            truth_s += 150.0;
+        }
+    }
+    common::assert_matches_fixture(&out, "fix_golden_urban.txt");
+}

@@ -277,3 +277,34 @@ fn double_registration_resets_the_tracker() {
     assert!(f2 > 0);
     assert!(mean_err < 60.0, "stale state leaked: {mean_err} m");
 }
+
+#[test]
+fn interner_saturation_errors_cleanly() {
+    use wilocator::geo::Point;
+    use wilocator::rf::{AccessPoint, HomogeneousField};
+    use wilocator::road::{NetworkBuilder, Route};
+    use wilocator::svd::{RouteTileIndex, SvdConfig, MAX_INTERNED_APS};
+
+    // One AP more than the dense interner's u16-backed capacity. The
+    // route index must refuse with a diagnostic — never truncate the AP
+    // population or alias ids.
+    let aps: Vec<AccessPoint> = (0..=MAX_INTERNED_APS as u32)
+        .map(|i| AccessPoint::new(ApId(i), Point::new((i % 100) as f64, (i / 100) as f64)))
+        .collect();
+    let count = aps.len();
+    let field = HomogeneousField::new(aps);
+
+    let mut b = NetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let n1 = b.add_node(Point::new(120.0, 0.0));
+    let e = b.add_edge(n0, n1, None).expect("distinct nodes");
+    let route = Route::new(RouteId(9), "sat", vec![e], &b.build()).expect("street");
+
+    let err = RouteTileIndex::try_build(&field, &route, SvdConfig::default(), 4.0)
+        .expect_err("65k+1 APs must exceed interner capacity");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&count.to_string()) && msg.contains(&MAX_INTERNED_APS.to_string()),
+        "diagnostic must name both the population and the cap: {msg}"
+    );
+}
