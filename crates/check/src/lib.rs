@@ -1,0 +1,53 @@
+//! `wilocator-check`: a deterministic interleaving model checker for
+//! WiLocator's hand-rolled concurrency protocols.
+//!
+//! The query plane's correctness claims — epoch-published snapshots are
+//! never torn, readers never block on ingest locks, Relaxed-only obs
+//! counters tear only within documented bounds — were prose arguments.
+//! This crate verifies them by exhaustive schedule exploration, the
+//! dynamic counterpart to the static lock-order rule (lint W007):
+//!
+//! * [`model`] provides virtual `Mutex`/`RwLock`/`Condvar`/atomics with
+//!   `std`-compatible signatures that trap every sync op into a
+//!   cooperative scheduler.
+//! * [`sync`] is the façade protocol crates import: `std` types
+//!   normally, the virtual types under `--cfg wilocator_check` — so the
+//!   *production* protocol code is what gets model-checked.
+//! * [`explore`]/[`explore_with`]/[`explore_report`] run a closure under
+//!   bounded-preemption exhaustive DFS over interleavings (plus a
+//!   weak-memory-lite oracle that lets relaxed loads read stale stores),
+//!   with sleep-set pruning, deadlock detection, and a seed-replayable
+//!   failing-schedule trace (`WILOCATOR_CHECK_SEED=<n>`).
+//!
+//! ```
+//! use wilocator_check::{explore, model};
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = explore(|| {
+//!     let flag = Arc::new(model::AtomicU64::new(0));
+//!     let data = Arc::new(model::AtomicU64::new(0));
+//!     let (f2, d2) = (flag.clone(), data.clone());
+//!     let t = model::thread::spawn(move || {
+//!         d2.store(42, Ordering::Relaxed);
+//!         f2.store(1, Ordering::Release);
+//!     });
+//!     if flag.load(Ordering::Acquire) == 1 {
+//!         assert_eq!(data.load(Ordering::Relaxed), 42);
+//!     }
+//!     t.join().expect("writer");
+//! });
+//! assert!(report.schedules > 1);
+//! ```
+//!
+//! See DESIGN.md §14 for the scheduler algorithm, the preemption bound,
+//! what is and is not covered, and the replay workflow.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod model;
+mod sched;
+pub mod sync;
+
+pub use sched::{explore, explore_report, explore_with, Config, Failure, Report};

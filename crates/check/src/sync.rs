@@ -1,0 +1,34 @@
+//! The sync façade: `std` primitives in production, virtual ones under
+//! `--cfg wilocator_check`.
+//!
+//! Protocol modules (`wilocator-core`'s snapshot/server/metrics,
+//! `wilocator-obs`'s counters) import their synchronization types from
+//! here via a thin `crate::sync` re-export instead of `std::sync`
+//! (enforced by lint rule W010 `raw_sync`). A normal build compiles to
+//! exactly the `std` types — zero overhead, zero behaviour change. The
+//! model-check CI job rebuilds with `RUSTFLAGS='--cfg wilocator_check'`,
+//! swapping in [`crate::model`]'s virtual types so the *real* protocol
+//! code runs under exhaustive interleaving exploration.
+//!
+//! `Arc` is deliberately re-exported from `std` in both modes: the
+//! snapshot protocol's reclamation argument rests on plain reference
+//! counting, and `Arc` clone/drop is not a scheduling point.
+
+#[cfg(not(wilocator_check))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(wilocator_check)]
+pub use crate::model::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use std::sync::Arc;
+
+/// Atomic cells and orderings (`Ordering` is always the `std` enum).
+pub mod atomic {
+    #[cfg(not(wilocator_check))]
+    pub use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize};
+
+    #[cfg(wilocator_check)]
+    pub use crate::model::{AtomicI64, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}

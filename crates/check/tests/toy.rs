@@ -1,0 +1,284 @@
+//! Self-tests for the checker on small hand-built protocols with known
+//! answers: the model must find real races/deadlocks, must not flag
+//! correct synchronization, and must replay deterministically.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use wilocator_check::{explore, explore_report, explore_with, model, Config};
+
+/// Release/acquire message passing is correct: the reader that observes
+/// the flag must observe the data. No schedule may fail.
+#[test]
+fn release_acquire_message_passing_passes() {
+    let report = explore(|| {
+        let data = Arc::new(model::AtomicU64::new(0));
+        let flag = Arc::new(model::AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = model::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale data after acquire");
+        }
+        t.join().expect("writer");
+    });
+    assert!(report.failure.is_none());
+    // Stale flag reads and both interleavings must both be explored.
+    assert!(report.schedules >= 3, "explored {}", report.schedules);
+}
+
+/// The same protocol with a Relaxed flag store is broken: some schedule
+/// observes the flag but stale data. The checker must find it.
+#[test]
+fn relaxed_message_passing_fails() {
+    let report = explore_report(Config::default(), || {
+        let data = Arc::new(model::AtomicU64::new(0));
+        let flag = Arc::new(model::AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = model::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale data read");
+        }
+        t.join().expect("writer");
+    });
+    let failure = report.failure.expect("relaxed message passing must fail");
+    assert!(
+        failure.message.contains("stale data read"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        failure.table.contains("[stale]"),
+        "trace should mark the stale read"
+    );
+}
+
+/// Mutual exclusion via the virtual mutex: lock-protected increments
+/// never lose updates, in every schedule.
+#[test]
+fn mutex_counter_is_exact() {
+    let report = explore(|| {
+        let n = Arc::new(model::Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n2 = n.clone();
+                model::thread::spawn(move || {
+                    let mut g = n2.lock().expect("model lock never errors");
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementer");
+        }
+        assert_eq!(*n.lock().expect("model lock never errors"), 2);
+    });
+    assert!(report.failure.is_none());
+    assert!(report.schedules >= 2);
+}
+
+/// AB/BA lock order deadlocks in some schedule; the checker must report
+/// it as a deadlock with both threads named.
+#[test]
+fn lock_order_deadlock_is_found() {
+    let report = explore_report(Config::default(), || {
+        let a = Arc::new(model::Mutex::new(()));
+        let b = Arc::new(model::Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = model::thread::spawn(move || {
+            let _ga = a2.lock().expect("lock a");
+            let _gb = b2.lock().expect("lock b");
+        });
+        let _gb = b.lock().expect("lock b");
+        let _ga = a.lock().expect("lock a");
+        drop((_ga, _gb));
+        t.join().expect("other");
+    });
+    let failure = report.failure.expect("AB/BA must deadlock somewhere");
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+}
+
+/// RwLock: writers exclude each other and all readers; torn state is
+/// impossible. Two writers and a reader over a two-field invariant.
+#[test]
+fn rwlock_excludes_writers_from_readers() {
+    let report = explore(|| {
+        let pair = Arc::new(model::RwLock::new((0u64, 0u64)));
+        let w = {
+            let p = pair.clone();
+            model::thread::spawn(move || {
+                let mut g = p.write().expect("write lock");
+                g.0 += 1;
+                g.1 += 1;
+            })
+        };
+        {
+            let g = pair.read().expect("read lock");
+            assert_eq!(g.0, g.1, "reader saw a half-applied write");
+        }
+        w.join().expect("writer");
+    });
+    assert!(report.failure.is_none());
+}
+
+/// Condvar: the standard predicate-loop handoff completes in every
+/// schedule (notify choice and wakeup interleavings explored).
+#[test]
+fn condvar_handoff_completes() {
+    let report = explore(|| {
+        let state = Arc::new((model::Mutex::new(false), model::Condvar::new()));
+        let s2 = state.clone();
+        let t = model::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock().expect("notifier lock");
+            *g = true;
+            cv.notify_one();
+            drop(g);
+        });
+        let (m, cv) = &*state;
+        let mut g = m.lock().expect("waiter lock");
+        while !*g {
+            g = cv.wait(g).expect("wait");
+        }
+        drop(g);
+        t.join().expect("notifier");
+    });
+    assert!(report.failure.is_none());
+    assert!(report.schedules >= 2);
+}
+
+/// A naked wait with no predicate loses the wakeup when notify runs
+/// first — the checker must catch the lost-wakeup deadlock.
+#[test]
+fn lost_wakeup_is_found() {
+    let report = explore_report(Config::default(), || {
+        let state = Arc::new((model::Mutex::new(()), model::Condvar::new()));
+        let s2 = state.clone();
+        let t = model::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let _g = m.lock().expect("notifier lock");
+            cv.notify_one();
+        });
+        let (m, cv) = &*state;
+        let g = m.lock().expect("waiter lock");
+        // BUG (deliberate): no predicate — if notify_one already ran,
+        // this parks forever.
+        let g = cv.wait(g).expect("wait");
+        drop(g);
+        t.join().expect("notifier");
+    });
+    let failure = report.failure.expect("naked wait must lose a wakeup");
+    assert!(
+        failure.message.contains("deadlock") && failure.message.contains("parked"),
+        "{}",
+        failure.message
+    );
+}
+
+/// Failures replay deterministically: two independent explorations of
+/// the same broken model produce the same seed and the same schedule
+/// table.
+#[test]
+fn failing_schedule_replays_deterministically() {
+    let broken = || {
+        explore_report(Config::default(), || {
+            let a = Arc::new(model::AtomicU64::new(0));
+            let b = Arc::new(model::AtomicU64::new(0));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = model::thread::spawn(move || {
+                a2.store(1, Ordering::Relaxed);
+                b2.store(1, Ordering::Relaxed);
+            });
+            let rb = b.load(Ordering::Relaxed);
+            let ra = a.load(Ordering::Relaxed);
+            assert!(!(rb == 1 && ra == 0), "saw b=1 before a=1");
+            t.join().expect("writer");
+        })
+    };
+    let first = broken().failure.expect("reordering must be observable");
+    let second = broken().failure.expect("same model, same result");
+    assert_eq!(first.seed, second.seed, "seed must be deterministic");
+    assert_eq!(first.table, second.table, "trace must be deterministic");
+    assert!(first.table.contains("thread"), "table has a header");
+}
+
+/// Sleep sets prune commuting interleavings: two threads touching
+/// disjoint objects need far fewer schedules than the naive 2-thread
+/// interleaving count, and still complete.
+#[test]
+fn independent_ops_are_pruned() {
+    let report = explore(|| {
+        let a = Arc::new(model::AtomicU64::new(0));
+        let b = Arc::new(model::AtomicU64::new(0));
+        let a2 = a.clone();
+        let t = model::thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+            a2.store(2, Ordering::Relaxed);
+        });
+        b.store(1, Ordering::Relaxed);
+        b.store(2, Ordering::Relaxed);
+        t.join().expect("other");
+    });
+    assert!(report.failure.is_none());
+    // Unpruned, 2 threads × 2 ops each would give C(4,2)=6 orders times
+    // join/start scheduling; sleep sets should cut well below that.
+    assert!(
+        report.schedules <= 6,
+        "expected pruning, got {}",
+        report.schedules
+    );
+}
+
+/// The preemption bound caps exploration: bound 0 explores only
+/// run-to-completion schedules (plus forced switches).
+#[test]
+fn preemption_bound_zero_is_tiny() {
+    let cfg = Config {
+        preemption_bound: 0,
+        ..Config::default()
+    };
+    let counted = Arc::new(StdMutex::new(0usize));
+    let c2 = counted.clone();
+    let report = explore_with(cfg, move || {
+        *c2.lock().expect("count") += 1;
+        let a = Arc::new(model::AtomicU64::new(0));
+        let a2 = a.clone();
+        let t = model::thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+        });
+        let _ = a.load(Ordering::Relaxed);
+        t.join().expect("other");
+    });
+    assert!(report.failure.is_none());
+    let runs = *counted.lock().expect("count");
+    assert_eq!(runs, report.schedules);
+    assert!(
+        report.schedules <= 4,
+        "bound 0 blew up: {}",
+        report.schedules
+    );
+}
+
+/// Model types degrade to plain std behaviour outside explore().
+#[test]
+fn fallback_mode_works_without_scheduler() {
+    let a = model::AtomicU64::new(7);
+    assert_eq!(a.load(Ordering::SeqCst), 7);
+    a.store(9, Ordering::SeqCst);
+    assert_eq!(a.fetch_add(1, Ordering::SeqCst), 9);
+    let m = model::Mutex::new(5u32);
+    *m.lock().expect("std fallback lock") += 1;
+    assert_eq!(*m.lock().expect("std fallback lock"), 6);
+    let rw = model::RwLock::new(1u32);
+    assert_eq!(*rw.read().expect("std fallback read"), 1);
+    *rw.write().expect("std fallback write") = 2;
+    assert_eq!(*rw.read().expect("std fallback read"), 2);
+    let t = model::thread::spawn(|| 40 + 2);
+    assert_eq!(t.join().expect("plain thread"), 42);
+}

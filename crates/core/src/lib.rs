@@ -60,6 +60,7 @@ pub mod report;
 pub mod seasonal;
 pub mod server;
 pub mod snapshot;
+pub mod sync;
 pub mod tracker;
 pub mod traffic_map;
 

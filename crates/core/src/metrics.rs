@@ -14,8 +14,8 @@
 //! on how a caller chunks the same report stream — replay-identity
 //! tests must exclude it (batch *report* totals stay deterministic).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 
 use wilocator_obs::{metric_key, Clock, Collect, Counter, Gauge, Histogram, MetricsSnapshot};
 
@@ -369,6 +369,12 @@ impl QueryMetrics {
             .set(i64::try_from(epoch).unwrap_or(i64::MAX));
         // `.max(1)` keeps a clock that starts at 0 (stepping-clock
         // replays) from colliding with the unpublished sentinel.
+        // Ordering: Relaxed — `published_at_us` is a monotone timestamp
+        // read in isolation by `staleness_us`; no other memory hangs off
+        // it, so only per-location coherence is needed. The tearing
+        // bound relaxed metrics tolerate is pinned by
+        // `relaxed_metrics_tear_within_documented_bound` in
+        // crates/check/tests/model.rs.
         self.published_at_us
             .store(self.clock.now_us().max(1), Ordering::Relaxed);
     }
@@ -376,6 +382,10 @@ impl QueryMetrics {
     /// Microseconds since the latest publication on the shared clock
     /// (0 before the first publish — an empty server is not "stale").
     pub fn staleness_us(&self) -> u64 {
+        // Ordering: Relaxed — see `mark_published`; a reader pairing a
+        // fresh epoch with a one-publish-stale timestamp only inflates
+        // reported staleness by a publish interval, which the metric's
+        // consumers tolerate by design.
         let at = self.published_at_us.load(Ordering::Relaxed);
         if at == 0 {
             return 0;

@@ -22,8 +22,8 @@
 //! Lock ordering: the bus directory is always acquired before any shard
 //! lock, and no operation ever holds two shard locks at once.
 
+use crate::sync::{Arc, RwLock};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
 
 use wilocator_obs::{
     Clock, MetricsSnapshot, MonotonicClock, Registry, TraceConfig, TraceCtx, TraceData, Tracer,

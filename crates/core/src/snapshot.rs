@@ -12,16 +12,28 @@
 //! [`SnapshotCell`] is a ring of `N ≥ 2` slots, each holding an
 //! `Arc<QuerySnapshot>`, plus an atomic epoch counter:
 //!
-//! * **Readers** load the epoch (`Acquire`), index slot `epoch % N`, and
-//!   clone the `Arc` out under that slot's read lock. The critical
-//!   section is one reference-count increment — no allocation, no shard
-//!   lock, no waiting on writers (a writer never touches the slot the
-//!   current epoch points at).
+//! * **Readers** load the epoch (`Acquire`), index slot `epoch % N`,
+//!   clone the `Arc` out under that slot's read lock, and retry if the
+//!   snapshot's own epoch no longer matches the loaded one (a publisher
+//!   lapped the whole ring between the two instructions — possible only
+//!   when a reader stalls for `N` full publish cycles mid-read). The
+//!   critical section is one reference-count increment — no allocation,
+//!   no shard lock, no waiting on writers (a writer never touches the
+//!   slot the current epoch points at).
 //! * **Writers** serialize on a publish gate, build the next snapshot
 //!   (taking shard *read* locks one at a time), write it into slot
 //!   `(epoch + 1) % N` under that slot's write lock, then advance the
 //!   epoch with a `Release` store. A writer can only wait on a reader
 //!   that has fallen `N − 1` whole publish cycles behind mid-clone.
+//!
+//! The retry makes per-reader epoch monotonicity unconditional: each
+//! returned snapshot carries exactly the epoch the reader loaded, and
+//! same-thread loads of one atomic are coherence-ordered, so a reader's
+//! sequence of epochs never decreases. Without it, a lapped reader could
+//! return epoch `N + k` and then `N + j` (`j < k`) on its next call.
+//! The model checker found that schedule (`crates/check/tests/model.rs`,
+//! `lapped_reader_would_regress_without_retry`) before any wall-clock
+//! stress test did.
 //!
 //! # Memory reclamation
 //!
@@ -32,8 +44,9 @@
 //! references, never borrowed pointers.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, RwLock};
 
 use wilocator_road::{RouteId, StopId};
 use wilocator_svd::Fix;
@@ -224,14 +237,37 @@ impl SnapshotCell {
 
     /// The epoch of the latest published snapshot (0 before the first).
     pub fn epoch(&self) -> u64 {
+        // Ordering: Acquire — callers use this as a freshness fence
+        // ("anything published before the epoch I saw is visible");
+        // pinned by `snapshot_reads_are_monotone_and_coherent` in
+        // crates/check/tests/model.rs.
         self.epoch.load(Ordering::Acquire)
     }
 
     /// The latest published snapshot. Wait-free in practice: one atomic
-    /// load, one uncontended slot read lock, one `Arc` clone.
+    /// load, one uncontended slot read lock, one `Arc` clone; the retry
+    /// loop only runs when a publisher laps the whole ring mid-read.
     pub fn read(&self) -> Arc<QuerySnapshot> {
-        let idx = (self.epoch.load(Ordering::Acquire) as usize) % self.slots.len();
-        Arc::clone(&*unpoisoned(self.slots[idx].read()))
+        loop {
+            // Ordering: Acquire pairs with the publisher's Release store
+            // below, so observing epoch `e` makes snapshot `e`'s slot
+            // write visible to the slot read — a Relaxed load here lets
+            // the model serve a stale ring slot (torn view of epoch `e`).
+            // Pinned by `snapshot_reads_are_monotone_and_coherent`; the
+            // deliberately broken ordering is caught by
+            // `buggy_publish_order_is_caught` (crates/check/tests/model.rs).
+            let e = self.epoch.load(Ordering::Acquire);
+            let idx = (e as usize) % self.slots.len();
+            let snap = Arc::clone(&*unpoisoned(self.slots[idx].read()));
+            // The slot can only hold epoch `e + kN` (the Acquire load
+            // guarantees at-least-`e`); anything newer means we were
+            // lapped — retry with the fresh epoch so the returned epoch
+            // always equals a value this thread loaded, which is what
+            // makes per-reader monotonicity hold (module docs).
+            if snap.epoch == e {
+                return snap;
+            }
+        }
     }
 
     /// Publishes the snapshot produced by `build`, which receives the
@@ -242,13 +278,27 @@ impl SnapshotCell {
     /// with a `Release` store readers pair with their `Acquire` load.
     pub fn publish_with(&self, builder: impl FnOnce(u64, &QuerySnapshot) -> QuerySnapshot) -> u64 {
         let _gate = unpoisoned(self.gate.lock());
-        let next = self.epoch.load(Ordering::Acquire) + 1;
+        // Ordering: Relaxed is enough — every store to `epoch` happens
+        // under this gate, so the previous publisher's store is visible
+        // through the gate's lock/unlock edge, not the atomic's. The
+        // load was Acquire before the model checker existed; downgraded
+        // after `publish_gate_serializes_and_epoch_is_exact` and
+        // `snapshot_reads_are_monotone_and_coherent`
+        // (crates/check/tests/model.rs) passed exhaustively with
+        // Relaxed (14 and 217 schedules at preemption bound 2, stale
+        // reads enabled, at the time of the downgrade).
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
         let snap = {
             let prev = self.read();
             Arc::new(builder(next, &prev))
         };
         let idx = (next as usize) % self.slots.len();
         *unpoisoned(self.slots[idx].write()) = snap;
+        // Ordering: Release publishes the slot write (and the snapshot's
+        // heap contents) to any reader whose Acquire load observes
+        // `next`. Pinned by `snapshot_reads_are_monotone_and_coherent`;
+        // storing before the slot write (the seeded bug) is caught by
+        // `buggy_publish_order_is_caught`.
         self.epoch.store(next, Ordering::Release);
         next
     }

@@ -32,9 +32,13 @@ pub enum Rule {
     /// W009: a panic site in a callee reachable from a `pub` entry point
     /// of a serving crate.
     TransitivePanic,
+    /// W010: a sync-layer module (one whose primitives the model checker
+    /// virtualises) naming `std::sync` lock/atomic types directly
+    /// instead of importing them through `crate::sync`.
+    RawSync,
 }
 
-pub const ALL_RULES: [Rule; 9] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::UnorderedIter,
     Rule::PanicInLibrary,
     Rule::AtomicOrdering,
@@ -44,6 +48,7 @@ pub const ALL_RULES: [Rule; 9] = [
     Rule::LockOrder,
     Rule::UnitDataflow,
     Rule::TransitivePanic,
+    Rule::RawSync,
 ];
 
 impl Rule {
@@ -58,6 +63,7 @@ impl Rule {
             Rule::LockOrder => "W007",
             Rule::UnitDataflow => "W008",
             Rule::TransitivePanic => "W009",
+            Rule::RawSync => "W010",
         }
     }
 
@@ -72,6 +78,7 @@ impl Rule {
             Rule::LockOrder => "lock_order",
             Rule::UnitDataflow => "unit_dataflow",
             Rule::TransitivePanic => "transitive_panic",
+            Rule::RawSync => "raw_sync",
         }
     }
 

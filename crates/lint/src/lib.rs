@@ -20,6 +20,7 @@
 //! | W007 | `lock_order`        | one global lock order, propagated through call edges; no cycles |
 //! | W008 | `unit_dataflow`     | no mixed-unit arithmetic; suffix units flow through parameters |
 //! | W009 | `transitive_panic`  | no panic sites reachable from pub serving-crate entry points |
+//! | W010 | `raw_sync`          | sync-layer modules import locks/atomics via `crate::sync`, not `std::sync` |
 //!
 //! Run it as `cargo run -p wilocator-lint -- --workspace`; it prints
 //! rustc-style diagnostics and exits nonzero on any violation.
@@ -59,6 +60,19 @@ pub const OBSERVABILITY_CRATES: [&str; 1] = ["obs"];
 /// the workspace symbol table: their functions sit below serving entry
 /// points, so W007/W009 must see their bodies.
 pub const CALLGRAPH_CRATES: [&str; 1] = ["rf"];
+/// Sync-layer modules (W010 scope): files whose synchronization
+/// primitives the model checker virtualises under `--cfg
+/// wilocator_check`. Matched by path suffix. Keep in step with the
+/// `crate::sync` imports in `crates/core` / `crates/obs` and the model
+/// suite in `crates/check/tests/model.rs`.
+pub const SYNC_LAYER_FILES: [&str; 6] = [
+    "crates/core/src/snapshot.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/server.rs",
+    "crates/core/src/sync.rs",
+    "crates/obs/src/counter.rs",
+    "crates/obs/src/sync.rs",
+];
 
 /// The rule context for a workspace-relative path like
 /// `crates/core/src/server.rs`.
@@ -73,6 +87,7 @@ pub fn context_for_path(path: &str) -> FileContext {
         deterministic: DETERMINISTIC_CRATES.contains(&krate),
         serving: SERVING_CRATES.contains(&krate),
         observability: OBSERVABILITY_CRATES.contains(&krate),
+        synced: SYNC_LAYER_FILES.iter().any(|f| unixy.ends_with(f)),
     }
 }
 
@@ -94,6 +109,9 @@ pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
         }
         if ctx.observability {
             rules::w003_atomic_ordering(file, &mut pragmas, &mut out);
+        }
+        if ctx.synced {
+            rules::w010_raw_sync(file, &mut pragmas, &mut out);
         }
     }
     accounting::w004_accounting(&sources, &mut out);
@@ -195,11 +213,13 @@ mod tests {
     #[test]
     fn context_scopes_rules_by_crate() {
         let core = context_for_path("crates/core/src/server.rs");
-        assert!(core.deterministic && core.serving && !core.observability);
+        assert!(core.deterministic && core.serving && !core.observability && core.synced);
         let obs = context_for_path("crates/obs/src/counter.rs");
-        assert!(!obs.deterministic && obs.serving && obs.observability);
+        assert!(!obs.deterministic && obs.serving && obs.observability && obs.synced);
         let sim = context_for_path("crates/sim/src/lib.rs");
-        assert!(!sim.deterministic && !sim.serving && !sim.observability);
+        assert!(!sim.deterministic && !sim.serving && !sim.observability && !sim.synced);
+        let predict = context_for_path("crates/core/src/predict.rs");
+        assert!(!predict.synced, "predict.rs is not a sync-layer module");
     }
 
     #[test]

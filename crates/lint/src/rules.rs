@@ -1,6 +1,6 @@
 //! Rules W001 (unordered iteration), W002 (panic in library code),
-//! W003 (atomic orderings / snapshot tearing docs) and W006 (span guard
-//! discipline).
+//! W003 (atomic orderings / snapshot tearing docs), W006 (span guard
+//! discipline) and W010 (raw sync primitives in sync-layer modules).
 //!
 //! All of them work on the blanked per-line code text from the lexer, so
 //! string literals and comments never trigger matches.
@@ -20,6 +20,9 @@ pub struct FileContext {
     pub serving: bool,
     /// W003: the crate is the lock-free observability layer.
     pub observability: bool,
+    /// W010: the file's sync primitives are virtualised by the model
+    /// checker and must come from `crate::sync`, not `std::sync`.
+    pub synced: bool,
 }
 
 impl FileContext {
@@ -28,6 +31,7 @@ impl FileContext {
             deterministic: true,
             serving: true,
             observability: true,
+            synced: true,
         }
     }
 }
@@ -556,6 +560,119 @@ pub fn w006_span_discipline(file: &SourceFile, pragmas: &mut PragmaSet, out: &mu
                 "bind the guard (`let span = …`) so it lives across the work it measures, or add `// lint: allow(span_discipline) — <reason>`",
             ),
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W010: raw sync primitives in sync-layer modules
+// ---------------------------------------------------------------------------
+
+/// `std::sync` items the `crate::sync` façade virtualises. Matching is
+/// by prefix so the guard types (`MutexGuard`, `RwLockReadGuard`, …)
+/// are covered by their parent primitive's name.
+const RAW_SYNC_PREFIXES: [&str; 4] = ["atomic", "Mutex", "RwLock", "Condvar"];
+
+/// Brace-list imports whose every item the façade re-exports can be
+/// rewritten `std::sync::` → `crate::sync::` mechanically; a list with
+/// anything else (`PoisonError`, `OnceLock`, …) needs a human split.
+const FACADE_ITEMS: [&str; 12] = [
+    "Arc",
+    "Mutex",
+    "MutexGuard",
+    "RwLock",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "Condvar",
+    "atomic",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI64",
+    "Ordering",
+];
+
+/// The offending façade-bypassing items named by a `std::sync::` path
+/// starting right after `at` (which points past the prefix), plus
+/// whether a whole-line `std::sync::` → `crate::sync::` rewrite is safe.
+fn raw_sync_items(rest: &str) -> (Vec<String>, bool) {
+    if let Some(list) = rest.strip_prefix('{') {
+        let Some(close) = list.find('}') else {
+            return (Vec::new(), false);
+        };
+        let items: Vec<&str> = list[..close]
+            .split(',')
+            .map(|i| i.split_whitespace().next().unwrap_or(""))
+            .filter(|i| !i.is_empty())
+            .collect();
+        let offending: Vec<String> = items
+            .iter()
+            .filter(|i| RAW_SYNC_PREFIXES.iter().any(|p| i.starts_with(p)))
+            .map(|i| format!("std::sync::{i}"))
+            .collect();
+        let safe = items.iter().all(|i| FACADE_ITEMS.contains(i));
+        (offending, safe)
+    } else {
+        let item: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if RAW_SYNC_PREFIXES.iter().any(|p| item.starts_with(p)) {
+            // `std::sync::atomic::Ordering` alone is façade-identical,
+            // but flag the path anyway: the façade re-exports it, so the
+            // module has no reason to spell out the raw route.
+            let safe = item == "atomic" || FACADE_ITEMS.contains(&item.as_str());
+            (vec![format!("std::sync::{item}")], safe)
+        } else {
+            (Vec::new(), false)
+        }
+    }
+}
+
+/// W010: sync-layer modules (the files whose primitives the model
+/// checker swaps out under `--cfg wilocator_check`) must not name
+/// `std::sync` locks, condvars or atomics directly — a raw primitive is
+/// invisible to the checker, so the protocol it participates in is
+/// silently excluded from every model test. `std::sync::Arc`,
+/// `PoisonError` and friends stay legal: the façade re-exports `Arc`
+/// from `std` by design and poison handling is not virtualised.
+pub fn w010_raw_sync(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        let code = &line.code;
+        let mut search = 0;
+        while let Some(found) = code[search..].find("std::sync::") {
+            let at = search + found;
+            search = at + "std::sync::".len();
+            let (items, safe) = raw_sync_items(&code[search..]);
+            if items.is_empty() || pragmas.allows(Rule::RawSync, &file.path, lineno) {
+                continue;
+            }
+            let mut v = Violation::new(
+                Rule::RawSync,
+                &file.path,
+                lineno,
+                format!(
+                    "`{}` named directly in a sync-layer module",
+                    items.join("`, `")
+                ),
+            )
+            .with_note(
+                "import it via `crate::sync` so the model checker sees this code under `--cfg wilocator_check`, or add `// lint: allow(raw_sync) — <reason>`",
+            );
+            if safe {
+                v = v.with_fix(
+                    crate::diag::FixKind::ReplaceSubstr {
+                        find: "std::sync::".to_string(),
+                        replace: "crate::sync::".to_string(),
+                    },
+                    true,
+                );
+            }
+            out.push(v);
+            // One diagnostic per line is enough; `--fix` rewrites the
+            // first `std::sync::` occurrence and a re-run catches any
+            // remaining ones.
+            break;
+        }
     }
 }
 

@@ -1,0 +1,35 @@
+//! Bad: a sync-layer module naming `std::sync` primitives directly —
+//! every one of these is invisible to the model checker, so the
+//! protocol it participates in silently escapes the model suite.
+
+use std::sync::atomic::{AtomicU64, Ordering}; //~ W010
+use std::sync::Mutex; //~ W010
+use std::sync::{Arc, RwLock}; //~ W010
+
+pub struct Cell {
+    epoch: AtomicU64,
+    slot: RwLock<Arc<u64>>,
+    gate: Mutex<()>,
+}
+
+impl Cell {
+    pub fn read(&self) -> u64 {
+        let _ = self.epoch.load(Ordering::Relaxed);
+        match self.slot.read() {
+            Ok(v) => **v,
+            Err(e) => **e.into_inner(),
+        }
+    }
+
+    pub fn publish(&self, v: u64) {
+        // A fully qualified one-off bypasses the façade just the same.
+        let parked: std::sync::Condvar = std::sync::Condvar::new(); //~ W010
+        let _ = &parked;
+        if let Ok(_gate) = self.gate.lock() {
+            if let Ok(mut slot) = self.slot.write() {
+                *slot = Arc::new(v);
+            }
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Good: observability atomics done right — Relaxed everywhere, and the
 //! one cross-field read sequence documents what can tear.
 
+// lint: allow(raw_sync) — standalone fixture, no crate::sync façade to import from
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub struct Stats {

@@ -2,6 +2,7 @@
 //! on every path, including through a call edge.
 
 use std::collections::BTreeMap;
+// lint: allow(raw_sync) — standalone fixture, no crate::sync façade to import from
 use std::sync::RwLock;
 
 pub struct Registry {

@@ -1,0 +1,40 @@
+//! Good: a sync-layer module importing everything through the
+//! `crate::sync` façade — plus the two raw `std::sync` uses that stay
+//! legal (`Arc` by design, `PoisonError` because poisoning is not
+//! virtualised) and a reasoned escape hatch.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, RwLock};
+
+/// Poison handling is deliberately outside the façade: model locks
+/// never poison, so there is nothing to virtualise.
+fn unpoisoned<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub struct Cell {
+    epoch: AtomicU64,
+    slot: RwLock<Arc<u64>>,
+    gate: Mutex<()>,
+}
+
+impl Cell {
+    pub fn read(&self) -> u64 {
+        let _ = self.epoch.load(Ordering::Relaxed);
+        **unpoisoned(self.slot.read())
+    }
+
+    pub fn publish(&self, v: u64) {
+        let _gate = unpoisoned(self.gate.lock());
+        *unpoisoned(self.slot.write()) = Arc::new(v);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A startup-only path may opt out with a reason the reviewer can
+    /// audit; the pragma is consumed, so W005 stays quiet too.
+    pub fn startup_probe() -> bool {
+        // lint: allow(raw_sync) — one-shot init flag, never reached by model tests
+        static READY: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        READY.fetch_add(1, Ordering::Relaxed) == 0
+    }
+}

@@ -1,6 +1,6 @@
 //! Lock-free scalar instruments: [`Counter`] and [`Gauge`].
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing event count.
 ///
@@ -8,6 +8,15 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 /// synchronise other memory, and a snapshot only needs each counter to be
 /// internally consistent. Incrementing costs one uncontended atomic add —
 /// cheap enough for every hot path in the server.
+///
+/// Ordering: every op is Relaxed, deliberately. A lone counter is still
+/// exact (RMW atomicity) and monotone per reader (same-location
+/// coherence); what relaxed gives up is *cross-counter* consistency — a
+/// scrape may see counter B's increment but not an earlier increment to
+/// counter A. Both halves of that contract are pinned by the model tests
+/// `relaxed_counter_is_exact_and_monotone` and
+/// `relaxed_metrics_tear_within_documented_bound` in
+/// crates/check/tests/model.rs.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 

@@ -56,6 +56,7 @@ pub mod clock;
 pub mod counter;
 pub mod histogram;
 pub mod snapshot;
+pub mod sync;
 pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, SteppingClock};

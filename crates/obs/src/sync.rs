@@ -1,0 +1,11 @@
+//! Synchronization façade for the hot-path instruments.
+//!
+//! [`crate::counter`] imports its atomics from here instead of
+//! `std::sync::atomic` (lint rule W010 `raw_sync` enforces it). A
+//! normal build re-exports the `std` types unchanged; under
+//! `RUSTFLAGS='--cfg wilocator_check'` they become `wilocator-check`'s
+//! virtual atomics, so the documented relaxed-ordering tearing bound is
+//! verified against the code that ships. See `crates/check` and
+//! DESIGN.md §14.
+
+pub use wilocator_check::sync::*;

@@ -243,3 +243,90 @@ proptest! {
         prop_assert!(reads.load(Ordering::Relaxed) >= threads, "readers starved");
     }
 }
+
+// ---------------------------------------------------------------------------
+// SnapshotCell ring wraparound under real parallelism: the native twin of
+// the model test `snapshot_reads_are_monotone_and_coherent` in
+// crates/check/tests/model.rs. The model suite explores every
+// interleaving of a tiny schedule exhaustively; this test takes the
+// opposite trade — a huge number of schedules, sampled by the OS
+// scheduler — on the same invariants.
+// ---------------------------------------------------------------------------
+
+use wilocator::core::snapshot::{QuerySnapshot, SnapshotCell};
+
+/// One fast publisher laps three slow readers around a minimum-size
+/// (2-slot) ring. With only two slots the publisher reuses a reader's
+/// slot after a single intervening publish, so the lap-retry path in
+/// `SnapshotCell::read` is exercised constantly: a reader that loads
+/// epoch `e` and then gets descheduled finds slot `e % 2` already
+/// holding epoch `e + 2k` and must retry. Readers assert the two
+/// invariants the retry protocol guarantees — every returned snapshot is
+/// internally coherent and carries exactly the epoch it was read at (so
+/// per-reader epochs can only advance).
+#[test]
+fn snapshot_cell_wraparound_stress_native() {
+    const PUBLISHES: u64 = 20_000;
+    const READERS: usize = 3;
+
+    let cell = SnapshotCell::new(2);
+    let done = AtomicBool::new(false);
+    let reads = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let cell = &cell;
+            let done = &done;
+            let reads = &reads;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut observed = 0usize;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = cell.read();
+                    assert!(
+                        snap.is_coherent(),
+                        "torn snapshot: epoch {} stamps {:?}",
+                        snap.epoch,
+                        snap.stamps
+                    );
+                    assert!(
+                        snap.epoch >= last_epoch,
+                        "epoch went backwards: {} after {last_epoch} (lapped read escaped \
+                         the retry loop)",
+                        snap.epoch
+                    );
+                    // published_at_s encodes the epoch at build time, so a
+                    // retry that returned a mismatched slot would also show
+                    // up as a stale payload behind a fresh epoch.
+                    assert_eq!(
+                        snap.published_at_s, snap.epoch as f64,
+                        "slot payload does not match the epoch it was read at"
+                    );
+                    last_epoch = snap.epoch;
+                    observed += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                reads.fetch_add(observed, Ordering::Relaxed);
+            });
+        }
+        let cell = &cell;
+        let done = &done;
+        scope.spawn(move || {
+            for _ in 0..PUBLISHES {
+                let epoch = cell.publish_with(|next, prev| {
+                    assert_eq!(next, prev.epoch + 1, "publisher saw a non-adjacent epoch");
+                    QuerySnapshot::stamped(next, next as f64)
+                });
+                assert!(epoch <= PUBLISHES);
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+    assert_eq!(cell.epoch(), PUBLISHES);
+    assert!(
+        reads.load(Ordering::Relaxed) >= READERS,
+        "readers starved while the publisher lapped the ring"
+    );
+}
