@@ -1,0 +1,235 @@
+//! CI gate for the quality plane's ingest overhead.
+//!
+//! Replays the same report stream into two otherwise-identical sharded
+//! servers — quality plane enabled (ledger, residual sketches, drift
+//! detectors) vs. disabled (every hook an early return, the PR 8 hot
+//! path) — and compares wall time:
+//!
+//! ```text
+//! cargo run --release -p wilocator-bench --example ingest_overhead -- --check
+//! ```
+//!
+//! `--check` exits non-zero when the enabled arm's *ingest* path is
+//! more than [`MAX_OVERHEAD`] slower than the disabled one. The two
+//! arms run interleaved, best-of-[`REPS`], in one process on one core,
+//! so the comparison is relative and largely immune to the
+//! absolute-speed noise of shared CI containers.
+//!
+//! Both arms publish a snapshot every [`PUBLISH_EVERY`] reports, so the
+//! ledger is live (issuances create the pending entries the ingest-path
+//! confirmation hook then settles), but publication itself is timed
+//! separately and reported as µs/publish rather than gated: its cost is
+//! paid per publication cadence, not per report, so folding it into a
+//! per-report gate would overprice it by whatever ratio the bench's
+//! cadence differs from a deployment's.
+
+use std::time::Instant;
+
+use wilocator_core::{BusKey, ScanReport, WiLocator, WiLocatorConfig};
+use wilocator_geo::Point;
+use wilocator_rf::{AccessPoint, ApId, Bssid, HomogeneousField, Reading, Scan, SignalField};
+use wilocator_road::{NetworkBuilder, Route, RouteId};
+
+/// Maximum tolerated quality-plane overhead on the ingest path.
+const MAX_OVERHEAD: f64 = 0.05;
+/// Interleaved off/on pairs. The gate scores the lower of two
+/// estimators — best-on over best-off, and the median per-pair ratio —
+/// because machine noise biases each of them *upward* (it can only add
+/// time), while a real regression inflates both consistently. Sized so
+/// a noise burst rarely covers every pair.
+const REPS: usize = 12;
+/// Snapshot publication cadence, in reports.
+const PUBLISH_EVERY: usize = 2048;
+/// Measurement attempts in `--check` mode. Noise on a shared CI core
+/// can only *inflate* an attempt's estimate, so the gate passes if any
+/// attempt lands under [`MAX_OVERHEAD`]; a real regression fails all
+/// of them.
+const ATTEMPTS: usize = 3;
+
+/// One 2.4 km street, one route, APs every 55 m — the kernel-smoke
+/// scene shape, sized so a replay takes tens of milliseconds.
+fn scene() -> (Vec<Route>, HomogeneousField) {
+    let mut b = NetworkBuilder::new();
+    let mut prev = b.add_node(Point::new(0.0, 0.0));
+    let mut edges = Vec::new();
+    for k in 1..=8 {
+        let node = b.add_node(Point::new(k as f64 * 300.0, 0.0));
+        edges.push(b.add_edge(prev, node, None).expect("distinct"));
+        prev = node;
+    }
+    let net = b.build();
+    let mut route = Route::new(RouteId(0), "9", edges, &net).expect("connected");
+    route.add_stops_evenly(4);
+    let mut aps = Vec::new();
+    let mut x = 30.0;
+    let mut id = 0u32;
+    while x < 2_400.0 {
+        aps.push(AccessPoint::new(
+            ApId(id),
+            Point::new(x, if id.is_multiple_of(2) { 18.0 } else { -18.0 }),
+        ));
+        id += 1;
+        x += 55.0;
+    }
+    (vec![route], HomogeneousField::new(aps))
+}
+
+/// Staggered buses scanning every 10 s at 8 m/s (the canonical
+/// `ingest_throughput` cadence), time-sorted.
+fn reports(routes: &[Route], field: &HomogeneousField, buses: usize) -> Vec<ScanReport> {
+    let route = &routes[0];
+    let mut out = Vec::new();
+    for bus in 0..buses {
+        let t0 = bus as f64 * 120.0;
+        let mut t = t0;
+        loop {
+            let s = (t - t0) * 8.0;
+            if s > route.length() {
+                break;
+            }
+            let p = route.point_at(s);
+            let readings: Vec<Reading> = field
+                .detectable_at(p, -90.0)
+                .into_iter()
+                .map(|(ap, rss)| Reading {
+                    ap,
+                    bssid: Bssid::from_ap_id(ap),
+                    rss_dbm: rss.round() as i32,
+                })
+                .collect();
+            out.push(ScanReport {
+                bus: BusKey(bus as u64),
+                time_s: t,
+                scans: vec![Scan::new(t, readings)],
+            });
+            t += 10.0;
+        }
+    }
+    out.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"));
+    out
+}
+
+fn server(routes: &[Route], field: &HomogeneousField, buses: usize, quality: bool) -> WiLocator {
+    let mut config = WiLocatorConfig::default();
+    config.quality.enabled = quality;
+    let server = WiLocator::new(field, routes.to_vec(), config);
+    for bus in 0..buses {
+        server
+            .register_bus(BusKey(bus as u64), routes[0].id())
+            .expect("served route");
+    }
+    server
+}
+
+/// One replay: every report ingested (timed), a snapshot published
+/// every `PUBLISH_EVERY` reports and once at the end (timed apart).
+/// Returns `(ingest_s, publish_s, publishes)`.
+fn replay(server: &WiLocator, workload: &[ScanReport]) -> (f64, f64, usize) {
+    let mut ingest_s = 0.0;
+    let mut publish_s = 0.0;
+    let mut publishes = 0usize;
+    for chunk in workload.chunks(PUBLISH_EVERY) {
+        let t = Instant::now();
+        for report in chunk {
+            server.ingest(report).expect("registered");
+        }
+        ingest_s += t.elapsed().as_secs_f64();
+        let last_t = chunk.last().expect("non-empty chunk").time_s;
+        let t = Instant::now();
+        server.publish_snapshot(last_t);
+        publish_s += t.elapsed().as_secs_f64();
+        publishes += 1;
+    }
+    (ingest_s, publish_s, publishes)
+}
+
+/// One full measurement: REPS interleaved off/on pairs, scored by the
+/// lower of the two upward-biased estimators.
+fn measure(
+    routes: &[Route],
+    field: &HomogeneousField,
+    buses: usize,
+    workload: &[ScanReport],
+) -> f64 {
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    let (mut pub_off, mut pub_on) = (f64::INFINITY, f64::INFINITY);
+    let mut publishes = 0usize;
+    let mut ratios = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let (off, p, n) = replay(&server(routes, field, buses, false), workload);
+        best_off = best_off.min(off);
+        pub_off = pub_off.min(p);
+        publishes = n;
+        let (on, p, _) = replay(&server(routes, field, buses, true), workload);
+        best_on = best_on.min(on);
+        pub_on = pub_on.min(p);
+        ratios.push(on / off);
+    }
+    ratios.sort_by(f64::total_cmp);
+
+    let of_mins = best_on / best_off - 1.0;
+    let of_pairs = ratios[ratios.len() / 2] - 1.0;
+    let overhead = of_mins.min(of_pairs);
+    println!(
+        "ingest, quality off: {:.2} ms  ({:.0} reports/s)",
+        best_off * 1e3,
+        workload.len() as f64 / best_off
+    );
+    println!(
+        "ingest, quality on:  {:.2} ms  ({:.0} reports/s)",
+        best_on * 1e3,
+        workload.len() as f64 / best_on
+    );
+    println!(
+        "publish ({publishes}x): {:.1} us each off, {:.1} us each on (not gated; amortised per cadence)",
+        pub_off * 1e6 / publishes as f64,
+        pub_on * 1e6 / publishes as f64
+    );
+    println!(
+        "ingest overhead: {:+.2}% (best-of: {:+.2}%, median of {} pairs: {:+.2}%, gate: {:.0}%)",
+        overhead * 100.0,
+        of_mins * 100.0,
+        ratios.len(),
+        of_pairs * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    overhead
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    const BUSES: usize = 256;
+    let (routes, field) = scene();
+    let workload = reports(&routes, &field, BUSES);
+    println!(
+        "workload: {} reports, 1 route, {BUSES} buses, publish every {PUBLISH_EVERY}",
+        workload.len()
+    );
+
+    // Warm-up replay (page-cache, allocator, branch predictors) on a
+    // throwaway server.
+    replay(&server(&routes, &field, BUSES, true), &workload);
+    let attempts = if check { ATTEMPTS } else { 1 };
+    let mut overhead = f64::INFINITY;
+    for attempt in 1..=attempts {
+        overhead = measure(&routes, &field, BUSES, &workload);
+        if overhead <= MAX_OVERHEAD {
+            break;
+        }
+        if attempt < attempts {
+            println!("attempt {attempt}/{attempts} over the gate; remeasuring");
+        }
+    }
+
+    if check && overhead > MAX_OVERHEAD {
+        eprintln!(
+            "FAIL: quality-plane ingest overhead {:.2}% exceeds {:.0}% in {ATTEMPTS} attempts",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!("ingest_overhead: ok");
+    }
+}

@@ -480,6 +480,62 @@ impl Condvar {
         }
     }
 
+    /// Releases `guard`'s mutex and parks until notified or until `dur`
+    /// elapses, then reacquires.
+    ///
+    /// Model runs have no clock, so the bounded wait is modeled as
+    /// timing out *immediately*: the mutex is released and reacquired
+    /// (both scheduling points) and `timed_out()` reports `true`. That
+    /// is the sound over-approximation — a timeout may always fire
+    /// before any notify — and it keeps bounded waits from registering
+    /// as deadlocks. Callers must treat `wait_timeout` purely as a
+    /// pacing primitive and re-check their predicate in a loop.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match (guard.model.take(), self.id.bind(ObjKind::Cond, 0)) {
+            (Some((c, mid)), Some(_)) => {
+                let lock = guard.lock;
+                // Release the inner std lock before the virtual unlock
+                // so the next virtual owner finds it free (same order
+                // as MutexGuard::drop).
+                drop(guard.inner.take());
+                drop(guard);
+                c.exec.step(c.tid, Op::Unlock { obj: mid });
+                c.exec.step(c.tid, Op::Lock { obj: mid });
+                let inner = unpoison(lock.inner.lock());
+                Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: Some((c, mid)),
+                    },
+                    WaitTimeoutResult { timed_out: true },
+                ))
+            }
+            (model, _) => {
+                // Outside a model run: delegate to the std condvar.
+                guard.model = model;
+                let lock = guard.lock;
+                let std_guard = guard.inner.take().expect("guard holds the inner lock");
+                drop(guard);
+                let (inner, res) = unpoison(self.inner.wait_timeout(std_guard, dur));
+                Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    },
+                    WaitTimeoutResult {
+                        timed_out: res.timed_out(),
+                    },
+                ))
+            }
+        }
+    }
+
     /// Wakes one waiter (which one is a model choice point).
     pub fn notify_one(&self) {
         match self.id.bind(ObjKind::Cond, 0) {
@@ -498,6 +554,21 @@ impl Condvar {
             }
             None => self.inner.notify_all(),
         }
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]: whether the wait ended by
+/// timeout rather than a notify. Mirrors `std::sync::WaitTimeoutResult`
+/// (which has no public constructor, hence the local type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 

@@ -15,10 +15,14 @@
 //! counting, and `Arc` clone/drop is not a scheduling point.
 
 #[cfg(not(wilocator_check))]
-pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
 
 #[cfg(wilocator_check)]
-pub use crate::model::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+pub use crate::model::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
 
 pub use std::sync::Arc;
 

@@ -56,6 +56,7 @@ pub mod hybrid;
 pub mod metrics;
 pub mod predict;
 pub mod proximity;
+pub mod quality;
 pub mod report;
 pub mod seasonal;
 pub mod server;
@@ -72,6 +73,10 @@ pub use metrics::{
 };
 pub use predict::{ArrivalPredictor, PredictorConfig};
 pub use proximity::{group_by_proximity, scan_distance_db, DeviceId};
+pub use quality::{
+    DetectorStatus, HorizonQuality, QualityConfig, QualityMetrics, QualityPlane, QualitySections,
+    ResidualSketch, RouteQuality, SloConfig,
+};
 pub use report::{BusKey, RouteIdentifier, ScanReport};
 pub use seasonal::{
     partition_from_index, seasonal_index, SeasonalConfig, SeasonalIndex, SlotPartition,

@@ -145,10 +145,12 @@ impl Collect for ServerMetrics {
             self.train_calls_total.get(),
         );
         out.add_gauge(
+            // lint: allow(metric_hygiene) — dimensionless count of live entities
             metric_key("wilocator_active_buses", labels),
             self.active_buses.get(),
         );
         out.add_histogram(
+            // lint: allow(metric_hygiene) — dimensionless reports-per-batch count
             metric_key("wilocator_batch_size", labels),
             self.batch_size.snapshot(),
         );
@@ -172,6 +174,12 @@ impl Collect for ServerMetrics {
 /// the batch counter's chunking dependence; query counts follow rider
 /// load rather than the report stream; and staleness follows the wall
 /// clock.
+///
+/// The quality-plane ETA families: retro-predictions are issued on the
+/// publish path, so issuance (and therefore confirmation and eviction)
+/// inherits publish cadence's chunking dependence. The quality plane's
+/// AP-churn families, by contrast, are recorded per fix and stay in the
+/// deterministic set.
 pub const NONDETERMINISTIC_COUNTER_FAMILIES: &[&str] = &[
     "wilocator_ingest_batches_total",
     "wilocator_trace_retained_slow_total",
@@ -183,6 +191,9 @@ pub const NONDETERMINISTIC_COUNTER_FAMILIES: &[&str] = &[
     "wilocator_snapshot_publish_total",
     "wilocator_snapshot_epoch",
     "wilocator_snapshot_staleness_us",
+    "wilocator_eta_issued_total",
+    "wilocator_eta_confirmed_total",
+    "wilocator_eta_ledger_evicted_total",
 ];
 
 /// Arrival-predictor accounting (Equations 8–9): training coverage and
@@ -260,6 +271,14 @@ pub enum QueryEndpoint {
     Metrics,
     /// `GET /healthz`.
     Healthz,
+    /// `GET /debug/timeseries`.
+    DebugTimeseries,
+    /// `GET /debug/quality`.
+    DebugQuality,
+    /// `GET /debug/slo`.
+    DebugSlo,
+    /// `GET /subscribe` (long-poll for the next epoch).
+    Subscribe,
 }
 
 impl QueryEndpoint {
@@ -271,16 +290,24 @@ impl QueryEndpoint {
             QueryEndpoint::Traffic => "traffic",
             QueryEndpoint::Metrics => "metrics",
             QueryEndpoint::Healthz => "healthz",
+            QueryEndpoint::DebugTimeseries => "debug_timeseries",
+            QueryEndpoint::DebugQuality => "debug_quality",
+            QueryEndpoint::DebugSlo => "debug_slo",
+            QueryEndpoint::Subscribe => "subscribe",
         }
     }
 
     /// Every endpoint, in exposition order.
-    pub const ALL: [QueryEndpoint; 5] = [
+    pub const ALL: [QueryEndpoint; 9] = [
         QueryEndpoint::Arrivals,
         QueryEndpoint::Position,
         QueryEndpoint::Traffic,
         QueryEndpoint::Metrics,
         QueryEndpoint::Healthz,
+        QueryEndpoint::DebugTimeseries,
+        QueryEndpoint::DebugQuality,
+        QueryEndpoint::DebugSlo,
+        QueryEndpoint::Subscribe,
     ];
 }
 
@@ -306,6 +333,14 @@ pub struct QueryMetrics {
     pub metrics_total: Counter,
     /// `GET /healthz` requests.
     pub healthz_total: Counter,
+    /// `GET /debug/timeseries` requests.
+    pub debug_timeseries_total: Counter,
+    /// `GET /debug/quality` requests.
+    pub debug_quality_total: Counter,
+    /// `GET /debug/slo` requests.
+    pub debug_slo_total: Counter,
+    /// `GET /subscribe` long-poll requests.
+    pub subscribe_total: Counter,
     /// Requests that named an unknown stop, bus or route.
     pub not_found_total: Counter,
     /// Requests rejected before routing (malformed path or method).
@@ -331,6 +366,10 @@ impl QueryMetrics {
             traffic_total: Counter::new(),
             metrics_total: Counter::new(),
             healthz_total: Counter::new(),
+            debug_timeseries_total: Counter::new(),
+            debug_quality_total: Counter::new(),
+            debug_slo_total: Counter::new(),
+            subscribe_total: Counter::new(),
             not_found_total: Counter::new(),
             bad_request_total: Counter::new(),
             snapshot_publish_total: Counter::new(),
@@ -358,6 +397,10 @@ impl QueryMetrics {
             QueryEndpoint::Traffic => &self.traffic_total,
             QueryEndpoint::Metrics => &self.metrics_total,
             QueryEndpoint::Healthz => &self.healthz_total,
+            QueryEndpoint::DebugTimeseries => &self.debug_timeseries_total,
+            QueryEndpoint::DebugQuality => &self.debug_quality_total,
+            QueryEndpoint::DebugSlo => &self.debug_slo_total,
+            QueryEndpoint::Subscribe => &self.subscribe_total,
         }
     }
 
@@ -392,6 +435,16 @@ impl QueryMetrics {
         }
         self.clock.now_us().saturating_sub(at)
     }
+
+    /// Staleness in seconds, clamped at zero. The clamp is structural —
+    /// [`QueryMetrics::staleness_us`] saturates at the integer layer —
+    /// but this method is the audited unit boundary: a skewed or
+    /// backwards-stepping clock must surface as `0.0`, never as a
+    /// negative age (the regression test drives a decreasing clock
+    /// through exactly that path).
+    pub fn staleness_s(&self) -> f64 {
+        (self.staleness_us() as f64 / 1e6).max(0.0)
+    }
 }
 
 impl Collect for QueryMetrics {
@@ -421,6 +474,7 @@ impl Collect for QueryMetrics {
             self.snapshot_publish_total.get(),
         );
         out.add_gauge(
+            // lint: allow(metric_hygiene) — dimensionless monotone sequence number
             metric_key("wilocator_snapshot_epoch", labels),
             self.snapshot_epoch.get(),
         );
@@ -522,6 +576,31 @@ mod tests {
         ] {
             assert!(NONDETERMINISTIC_COUNTER_FAMILIES.contains(&family));
         }
+    }
+
+    #[test]
+    fn staleness_is_clamped_under_clock_skew() {
+        // A clock that steps *backwards*: each read is earlier than the
+        // last, the worst case of NTP skew between the publish stamp and
+        // the staleness read.
+        #[derive(Debug)]
+        struct SkewedClock(std::sync::atomic::AtomicU64);
+        impl wilocator_obs::Clock for SkewedClock {
+            fn now_us(&self) -> u64 {
+                self.0.fetch_sub(500, std::sync::atomic::Ordering::Relaxed)
+            }
+        }
+        let m = QueryMetrics::new(Arc::new(SkewedClock(std::sync::atomic::AtomicU64::new(
+            10_000,
+        ))));
+        m.mark_published(1); // stamps at 10_000; later reads are earlier
+        assert_eq!(m.staleness_us(), 0, "saturating_sub floors at zero");
+        assert_eq!(m.staleness_s(), 0.0, "seconds view never goes negative");
+        // A well-behaved stepping clock still measures forward age.
+        let clock = Arc::new(wilocator_obs::SteppingClock::new(1_000, 250));
+        let m = QueryMetrics::new(clock);
+        m.mark_published(1);
+        assert_eq!(m.staleness_s(), 0.00025);
     }
 
     #[test]

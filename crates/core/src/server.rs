@@ -38,6 +38,7 @@ use wilocator_svd::{
 use crate::history::{TravelTimeStore, Traversal};
 use crate::metrics::{QueryMetrics, ServerMetrics, ShardMetrics};
 use crate::predict::{ArrivalPredictor, PredictorConfig};
+use crate::quality::{BusQuality, QualityConfig, QualityPlane};
 use crate::report::{BusKey, RouteIdentifier, ScanReport};
 use crate::snapshot::{ArrivalEntry, BusView, QueryPlaneConfig, QuerySnapshot, SnapshotCell};
 use crate::tracker::{crossing_time, segment_traversals, BusTracker, IngestOutcome};
@@ -90,6 +91,9 @@ pub struct WiLocatorConfig {
     pub trace: TraceConfig,
     /// Query-plane (epoch-published snapshot) parameters.
     pub query: QueryPlaneConfig,
+    /// Quality-plane (retro-prediction ledger, drift detectors)
+    /// parameters.
+    pub quality: QualityConfig,
 }
 
 impl Default for WiLocatorConfig {
@@ -103,6 +107,7 @@ impl Default for WiLocatorConfig {
             commit_margin_m: 30.0,
             trace: TraceConfig::default(),
             query: QueryPlaneConfig::default(),
+            quality: QualityConfig::default(),
         }
     }
 }
@@ -112,6 +117,10 @@ struct BusState {
     route: RouteId,
     tracker: BusTracker,
     committed_upto: usize,
+    /// Churn set and confirmation floor, reached by the quality plane's
+    /// ingest hook without a hash probe (this state rides the bus entry
+    /// the hot path already fetched).
+    quality: BusQuality,
 }
 
 impl BusState {
@@ -167,6 +176,9 @@ struct Shard {
     store: TravelTimeStore,
     predictor: ArrivalPredictor,
     traffic: TrafficMapGenerator,
+    /// Scratch for the quality hook's current-scan AP set, so the
+    /// steady-state ingest path never allocates for churn accounting.
+    quality_scratch: Vec<wilocator_rf::ApId>,
 }
 
 /// Groups routes into connected components over shared segments.
@@ -265,6 +277,10 @@ pub struct WiLocator {
     /// Query-plane accounting (endpoint counts, publication progress,
     /// staleness); shared with the serving front end.
     query_metrics: Arc<QueryMetrics>,
+    /// Quality observability plane: per-shard retro-prediction ledgers
+    /// beside (never inside) the shard locks, evaluated on the publish
+    /// path into the snapshot's quality sections.
+    quality: QualityPlane,
     /// Every ledger (server, shards, predictors, route positioners),
     /// labelled; [`WiLocator::metrics`] gathers it into one snapshot.
     registry: Registry,
@@ -359,6 +375,7 @@ impl WiLocator {
                     store: TravelTimeStore::new(),
                     predictor,
                     traffic: TrafficMapGenerator::new(config.traffic),
+                    quality_scratch: Vec::new(),
                 })
             })
             .collect();
@@ -369,6 +386,11 @@ impl WiLocator {
         );
         let tracer = Arc::new(Tracer::new(config.trace, count.max(1), clock));
         registry.register("", tracer.clone() as Arc<dyn wilocator_obs::Collect>);
+        let quality = QualityPlane::new(count.max(1), config.quality, query_clock.clone());
+        registry.register(
+            "",
+            quality.metrics().clone() as Arc<dyn wilocator_obs::Collect>,
+        );
         let query_metrics = QueryMetrics::new(query_clock);
         registry.register("", query_metrics.clone() as Arc<dyn wilocator_obs::Collect>);
         WiLocator {
@@ -385,6 +407,7 @@ impl WiLocator {
             tracer,
             snapshot: SnapshotCell::new(config.query.slots),
             query_metrics,
+            quality,
             registry,
         }
     }
@@ -448,6 +471,7 @@ impl WiLocator {
                 route,
                 tracker: BusTracker::new(positioner.clone()),
                 committed_upto: 0,
+                quality: BusQuality::default(),
             },
         );
         Ok(())
@@ -464,10 +488,14 @@ impl WiLocator {
     /// One report against an already-locked shard: track, then commit the
     /// traversals the new fix has cleared. `metrics` is the shard's
     /// ledger; the outcome of every report lands in exactly one of its
-    /// stale/absorbed/fix counters.
+    /// stale/absorbed/fix counters. On a fix, the quality plane folds AP
+    /// churn and settles pending retro-predictions (its per-shard mutex
+    /// nests inside this shard's write lock — the documented order).
     fn ingest_locked(
         shard: &mut Shard,
         metrics: &ShardMetrics,
+        quality: &QualityPlane,
+        shard_idx: usize,
         report: &ScanReport,
         commit_margin_m: f64,
         trace: Option<&TraceCtx<'_>>,
@@ -496,6 +524,12 @@ impl WiLocator {
                 if let Some(t) = trace.filter(|_| fix.method == FixMethod::DeadReckoned) {
                     t.flag_anomaly("dead_reckoned");
                 }
+                if let Some(t) = trace.filter(|_| fix.method == FixMethod::NearestSignature) {
+                    // The direct tile lookup missed and positioning fell
+                    // back to the global nearest-signature search — the
+                    // per-fix evidence behind the tile-miss drift detector.
+                    t.flag_anomaly("tile_mapping_miss");
+                }
                 let span = trace.map(|t| t.child_span("commit"));
                 let mut committed = 0u64;
                 for (edge, tr) in bus.drain_cleared(commit_margin_m) {
@@ -505,6 +539,17 @@ impl WiLocator {
                 metrics.traversals_committed_total.add(committed);
                 if let Some(sp) = &span {
                     sp.field("traversals", committed);
+                }
+                if let Some(state) = shard.buses.get_mut(&report.bus) {
+                    quality.on_fix(
+                        shard_idx,
+                        report,
+                        &fix,
+                        state.tracker.trajectory().fixes(),
+                        &mut state.quality,
+                        &mut shard.quality_scratch,
+                        trace,
+                    );
                 }
                 Ok(Some(fix))
             }
@@ -546,6 +591,8 @@ impl WiLocator {
                 let outcome = Self::ingest_locked(
                     &mut shard,
                     metrics,
+                    &self.quality,
+                    shard_idx,
                     report,
                     self.config.commit_margin_m,
                     trace.as_ref(),
@@ -643,6 +690,8 @@ impl WiLocator {
                     results[i] = Self::ingest_locked(
                         &mut shard,
                         metrics,
+                        &self.quality,
+                        s,
                         &reports[i],
                         margin,
                         trace.as_ref(),
@@ -667,6 +716,7 @@ impl WiLocator {
                     let lock = &self.shards[s];
                     let metrics = &self.shard_metrics[s];
                     let tracer = &self.tracer;
+                    let quality = &self.quality;
                     scope.spawn(move || {
                         let poisoned = lock.is_poisoned();
                         let mut shard = unpoisoned(lock.write());
@@ -691,6 +741,8 @@ impl WiLocator {
                                 let out = Self::ingest_locked(
                                     &mut shard,
                                     metrics,
+                                    quality,
+                                    s,
                                     &reports[i],
                                     margin,
                                     trace.as_ref(),
@@ -961,6 +1013,14 @@ impl WiLocator {
         self.snapshot.epoch()
     }
 
+    /// Long-poll primitive: blocks until the published epoch exceeds
+    /// `epoch` or `timeout` elapses, returning the epoch current at that
+    /// point. Waiters park outside both the publish gate and the read
+    /// path ([`SnapshotCell::wait_past_epoch`]).
+    pub fn wait_past_epoch(&self, epoch: u64, timeout: std::time::Duration) -> u64 {
+        self.snapshot.wait_past_epoch(epoch, timeout)
+    }
+
     /// The query-plane accounting ledger (shared with the front end).
     pub fn query_metrics(&self) -> &Arc<QueryMetrics> {
         &self.query_metrics
@@ -1025,6 +1085,24 @@ impl WiLocator {
                     entries.sort_by(|a, b| {
                         a.eta_s.total_cmp(&b.eta_s).then_with(|| a.bus.cmp(&b.bus))
                     });
+                    // Record the published ETAs whose lead time entered a
+                    // horizon into the retro-prediction ledger (quality
+                    // mutex nests inside this shard read lock), pulling
+                    // each recipient bus's confirmation floor down to
+                    // this stop so its ingest hook knows work is due.
+                    self.quality.issue(
+                        idx,
+                        route.id(),
+                        stop.id(),
+                        stop.s(),
+                        as_of,
+                        &entries,
+                        |bus, floor_s| {
+                            if let Some(state) = shard.buses.get(&bus) {
+                                state.quality.floor_min(floor_s);
+                            }
+                        },
+                    );
                     snap.arrivals.insert((route.id(), stop.id()), entries);
                 }
                 snap.traffic.insert(
@@ -1035,7 +1113,22 @@ impl WiLocator {
                 );
             }
         }
+        // Evaluate (or reuse, inside the sampling gap) the quality
+        // sections after every shard lock is released: the evaluation
+        // pass gathers the whole registry and must not extend any shard
+        // critical section.
+        snap.quality = self.quality.sections(
+            as_of,
+            || self.registry.gather(),
+            self.query_metrics.staleness_s(),
+            || self.tracer.retained(),
+        );
         snap
+    }
+
+    /// The quality observability plane (ledger sizes, configuration).
+    pub fn quality_plane(&self) -> &QualityPlane {
+        &self.quality
     }
 
     /// Read access to a merged snapshot of the travel-time records across

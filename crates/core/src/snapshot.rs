@@ -46,11 +46,12 @@
 use std::collections::BTreeMap;
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::{Arc, Mutex, RwLock};
+use crate::sync::{Arc, Condvar, Mutex, RwLock};
 
 use wilocator_road::{RouteId, StopId};
 use wilocator_svd::Fix;
 
+use crate::quality::QualitySections;
 use crate::report::BusKey;
 use crate::traffic_map::SegmentState;
 
@@ -146,6 +147,11 @@ pub struct QuerySnapshot {
     pub arrivals: BTreeMap<(RouteId, StopId), Vec<ArrivalEntry>>,
     /// Per-route traffic maps in route segment order.
     pub traffic: BTreeMap<RouteId, Vec<SegmentState>>,
+    /// Quality sections (time-series, per-route accuracy, detector
+    /// statuses), evaluated on the publish path and shared by `Arc` so
+    /// `/debug` readers never touch an ingest lock. Empty when the
+    /// quality plane is disabled.
+    pub quality: Arc<QualitySections>,
     /// Torn-read tripwire: every section carries the snapshot's epoch.
     pub stamps: SectionStamps,
 }
@@ -219,6 +225,12 @@ pub struct SnapshotCell {
     slots: Vec<RwLock<Arc<QuerySnapshot>>>,
     /// Serializes publishers; readers never touch it.
     gate: Mutex<()>,
+    /// Long-poll subscriber parking lot: [`SnapshotCell::wait_past_epoch`]
+    /// waiters sleep on `published` under `subs`, and every publication
+    /// wakes them. Deliberately separate from `gate` so a subscriber
+    /// arriving mid-build never waits out the snapshot construction.
+    subs: Mutex<()>,
+    published: Condvar,
 }
 
 impl SnapshotCell {
@@ -232,6 +244,8 @@ impl SnapshotCell {
                 .map(|_| RwLock::new(empty.clone()))
                 .collect(),
             gate: Mutex::new(()),
+            subs: Mutex::new(()),
+            published: Condvar::new(),
         }
     }
 
@@ -300,7 +314,45 @@ impl SnapshotCell {
         // storing before the slot write (the seeded bug) is caught by
         // `buggy_publish_order_is_caught`.
         self.epoch.store(next, Ordering::Release);
+        // Wake long-poll subscribers. Lock-then-notify: a waiter either
+        // loads the new epoch before sleeping, or is already parked in
+        // `wait_timeout` (having released `subs`) by the time this lock
+        // acquisition succeeds — so the notification cannot fall between
+        // its epoch check and its wait.
+        drop(unpoisoned(self.subs.lock()));
+        self.published.notify_all();
         next
+    }
+
+    /// Blocks until the published epoch exceeds `epoch` or `timeout`
+    /// elapses, and returns the epoch current at that point — the
+    /// long-poll primitive behind the HTTP `/subscribe` endpoint.
+    ///
+    /// Waiters park on a subscriber mutex distinct from the publish
+    /// gate, so they neither serialize with a publisher's snapshot build
+    /// nor with the lock-free `read` path. Under the model checker's
+    /// virtual `Condvar` every wait times out immediately (a sound
+    /// over-approximation), which this loop tolerates by re-checking the
+    /// epoch after every wake and returning on timeout.
+    pub fn wait_past_epoch(&self, epoch: u64, timeout: std::time::Duration) -> u64 {
+        let mut remaining = timeout;
+        let mut parked = unpoisoned(self.subs.lock());
+        loop {
+            // Ordering: Acquire — same freshness fence as `epoch()`; a
+            // woken subscriber goes on to `read()` the snapshot whose
+            // publication woke it.
+            let e = self.epoch.load(Ordering::Acquire);
+            if e > epoch || remaining.is_zero() {
+                return e;
+            }
+            let started = std::time::Instant::now();
+            let (guard, result) = unpoisoned(self.published.wait_timeout(parked, remaining));
+            parked = guard;
+            if result.timed_out() {
+                return self.epoch.load(Ordering::Acquire);
+            }
+            remaining = remaining.saturating_sub(started.elapsed());
+        }
     }
 }
 
@@ -382,6 +434,31 @@ mod tests {
         assert_eq!(held.epoch, 1);
         assert!(held.is_coherent());
         assert_eq!(cell.read().epoch, 5);
+    }
+
+    #[test]
+    fn wait_past_epoch_times_out_wakes_and_short_circuits() {
+        let cell = SnapshotCell::new(2);
+        // Timeout path: nothing published, bounded wait returns epoch 0.
+        let e = cell.wait_past_epoch(0, std::time::Duration::from_millis(5));
+        assert_eq!(e, 0);
+        // Short-circuit path: the epoch is already past the watermark.
+        cell.publish_with(|e, _| snap_with_epoch(e));
+        assert_eq!(
+            cell.wait_past_epoch(0, std::time::Duration::from_secs(30)),
+            1
+        );
+        // Wake path: a publisher on another thread releases the waiter
+        // well before the (generous) timeout.
+        std::thread::scope(|scope| {
+            let waiter =
+                scope.spawn(|| cell.wait_past_epoch(1, std::time::Duration::from_secs(30)));
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                cell.publish_with(|e, _| snap_with_epoch(e));
+            });
+            assert_eq!(waiter.join().expect("waiter"), 2);
+        });
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! `wilocator-dash`: render the quality plane's `/debug` JSON as a
+//! deterministic text dashboard.
+//!
+//! ```text
+//! wilocator-dash <dump.json | -> [--check]
+//! wilocator-dash --fetch HOST:PORT [--check]
+//! ```
+//!
+//! File mode reads a combined dump (what `vancouver_day --debug-out`
+//! writes), `-` reads it from stdin. Fetch mode pulls the three
+//! `/debug` endpoints from a live server and merges them. `--check`
+//! validates the document and prints a one-line summary instead of the
+//! dashboard — CI pipes replay dumps through it as a schema gate.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use wilocator_dash::{parse_dump, render_dashboard, Dashboard};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut fetch: Option<String> = None;
+    let mut check = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--fetch" => match iter.next() {
+                Some(addr) => fetch = Some(addr),
+                None => return usage("--fetch takes HOST:PORT"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if input.is_none() => input = Some(arg),
+            _ => return usage("more than one input"),
+        }
+    }
+    let dash = match (input, fetch) {
+        (Some(_), Some(_)) => return usage("give a file or --fetch, not both"),
+        (None, None) => return usage("no input"),
+        (Some(path), None) => match read_input(&path).and_then(|text| parse_dump(&text)) {
+            Ok(dash) => dash,
+            Err(e) => {
+                eprintln!("wilocator-dash: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(addr)) => match fetch_dashboard(&addr) {
+            Ok(dash) => dash,
+            Err(e) => {
+                eprintln!("wilocator-dash: {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if check {
+        let fired = dash.fired();
+        let fired = if fired.is_empty() {
+            "none fired".to_string()
+        } else {
+            format!("fired: {}", fired.join(","))
+        };
+        println!(
+            "wilocator-dash: ok — epoch {}, {} series, {} routes, {} detectors ({fired})",
+            dash.epoch,
+            dash.series.len(),
+            dash.routes.len(),
+            dash.detectors.len(),
+        );
+    } else {
+        print!("{}", render_dashboard(&dash));
+    }
+    ExitCode::SUCCESS
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("stdin: {e}"))?;
+        return Ok(text);
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))
+}
+
+/// One `Connection: close` HTTP exchange; returns the response body.
+fn http_get(addr: &str, target: &str) -> Result<String, String> {
+    use std::io::Write;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: wilocator\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("GET {target}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("GET {target}: {e}"))?;
+    let raw = String::from_utf8(raw).map_err(|_| format!("GET {target}: non-UTF-8 response"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("GET {target}: malformed response"))?;
+    let status = head.split(' ').nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("GET {target}: HTTP {status}: {body}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Pulls `/debug/slo`, `/debug/quality` and `/debug/timeseries` and
+/// merges them: stamps from the SLO body (it carries staleness too),
+/// sections from their own bodies.
+fn fetch_dashboard(addr: &str) -> Result<Dashboard, String> {
+    let mut dash = parse_dump(&http_get(addr, "/debug/slo")?)?;
+    dash.routes = parse_dump(&http_get(addr, "/debug/quality")?)?.routes;
+    dash.series = parse_dump(&http_get(addr, "/debug/timeseries")?)?.series;
+    Ok(dash)
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("wilocator-dash: {problem}");
+    }
+    eprintln!("usage: wilocator-dash <dump.json | -> [--check]");
+    eprintln!("       wilocator-dash --fetch HOST:PORT [--check]");
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -77,6 +77,12 @@ pub struct PipelineConfig {
     pub max_stops_ahead: usize,
     /// Incidents injected into the traffic model.
     pub incidents: Vec<Incident>,
+    /// Publish a query snapshot whenever stream time has advanced this
+    /// many seconds past the previous publish (0 = never publish during
+    /// the replay). Publishing drives the quality plane: ETAs are
+    /// ledgered at publish time and confirmed against later fixes, so
+    /// `/debug/quality` stays empty without it.
+    pub publish_every_s: f64,
 }
 
 impl Default for PipelineConfig {
@@ -93,6 +99,7 @@ impl Default for PipelineConfig {
             predict_every: 6,
             max_stops_ahead: 19,
             incidents: Vec::new(),
+            publish_every_s: 0.0,
         }
     }
 }
@@ -158,8 +165,14 @@ pub fn run_pipeline(city: &City, config: &PipelineConfig) -> PipelineOutput {
     let mut positioning: HashMap<RouteId, Vec<f64>> = HashMap::new();
     let mut predictions: Vec<PredictionRecord> = Vec::new();
     let mut registered: Vec<bool> = vec![false; dataset.trips.len()];
+    let mut last_publish = f64::NEG_INFINITY;
+    let end_time = events.last().map(|e| e.0).unwrap_or(0.0);
 
     for (time, ti, bi) in events {
+        if config.publish_every_s > 0.0 && time - last_publish >= config.publish_every_s {
+            server.publish_snapshot(time);
+            last_publish = time;
+        }
         let trip = &dataset.trips[ti];
         if !trained && time >= train_boundary {
             server.train(train_boundary);
@@ -234,6 +247,10 @@ pub fn run_pipeline(city: &City, config: &PipelineConfig) -> PipelineOutput {
         if bi + 1 == trip.bundles.len() {
             let _ = server.finish_bus(bus);
         }
+    }
+    if config.publish_every_s > 0.0 && last_publish.is_finite() {
+        // Close the day so the published sections cover the tail.
+        server.publish_snapshot(end_time);
     }
 
     PipelineOutput {

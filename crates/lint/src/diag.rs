@@ -36,9 +36,13 @@ pub enum Rule {
     /// virtualises) naming `std::sync` lock/atomic types directly
     /// instead of importing them through `crate::sync`.
     RawSync,
+    /// W011: a registered metric family whose name is not snake_case or
+    /// whose suffix names no unit (W008 table) and no dimensionless
+    /// convention (`_total`, `_bytes`, `_ratio`, `_info`).
+    MetricHygiene,
 }
 
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::UnorderedIter,
     Rule::PanicInLibrary,
     Rule::AtomicOrdering,
@@ -49,6 +53,7 @@ pub const ALL_RULES: [Rule; 10] = [
     Rule::UnitDataflow,
     Rule::TransitivePanic,
     Rule::RawSync,
+    Rule::MetricHygiene,
 ];
 
 impl Rule {
@@ -64,6 +69,7 @@ impl Rule {
             Rule::UnitDataflow => "W008",
             Rule::TransitivePanic => "W009",
             Rule::RawSync => "W010",
+            Rule::MetricHygiene => "W011",
         }
     }
 
@@ -79,6 +85,7 @@ impl Rule {
             Rule::UnitDataflow => "unit_dataflow",
             Rule::TransitivePanic => "transitive_panic",
             Rule::RawSync => "raw_sync",
+            Rule::MetricHygiene => "metric_hygiene",
         }
     }
 

@@ -21,6 +21,7 @@
 //! | W008 | `unit_dataflow`     | no mixed-unit arithmetic; suffix units flow through parameters |
 //! | W009 | `transitive_panic`  | no panic sites reachable from pub serving-crate entry points |
 //! | W010 | `raw_sync`          | sync-layer modules import locks/atomics via `crate::sync`, not `std::sync` |
+//! | W011 | `metric_hygiene`    | metric families are snake_case with a unit or dimensionless suffix |
 //!
 //! Run it as `cargo run -p wilocator-lint -- --workspace`; it prints
 //! rustc-style diagnostics and exits nonzero on any violation.
@@ -106,6 +107,7 @@ pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
         if ctx.serving {
             rules::w002_panic_in_library(file, &mut pragmas, &mut out);
             rules::w006_span_discipline(file, &mut pragmas, &mut out);
+            rules::w011_metric_hygiene(file, &mut pragmas, &mut out);
         }
         if ctx.observability {
             rules::w003_atomic_ordering(file, &mut pragmas, &mut out);

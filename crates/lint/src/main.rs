@@ -178,8 +178,8 @@ fn print_usage() {
          Checks determinism (W001), panic-freedom (W002), atomic orderings\n\
          (W003), accounting exhaustiveness (W004), pragma hygiene (W005),\n\
          span guard discipline (W006), lock order (W007), unit dataflow\n\
-         (W008), transitive panic paths (W009) and raw sync primitives in\n\
-         sync-layer modules (W010).\n\
+         (W008), transitive panic paths (W009), raw sync primitives in\n\
+         sync-layer modules (W010) and metric family hygiene (W011).\n\
          --format sarif  emit a SARIF 2.1.0 log on stdout\n\
          --fix           apply safe fixes in place\n\
          --fix --dry-run print the fix diff (and suggestions) without writing"

@@ -1,6 +1,7 @@
 //! Rules W001 (unordered iteration), W002 (panic in library code),
 //! W003 (atomic orderings / snapshot tearing docs), W006 (span guard
-//! discipline) and W010 (raw sync primitives in sync-layer modules).
+//! discipline), W010 (raw sync primitives in sync-layer modules) and
+//! W011 (metric family naming hygiene).
 //!
 //! All of them work on the blanked per-line code text from the lexer, so
 //! string literals and comments never trigger matches.
@@ -673,6 +674,138 @@ pub fn w010_raw_sync(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<V
             // remaining ones.
             break;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W011: metric family hygiene
+// ---------------------------------------------------------------------------
+
+/// Call sites that register or key a metric family by literal name. The
+/// first string argument is the family.
+const METRIC_SINKS: [&str; 5] = [
+    "metric_key(",
+    "add_counter(",
+    "add_gauge(",
+    "add_histogram(",
+    "track(",
+];
+
+/// Dimensionless suffixes the Prometheus-style naming convention accepts
+/// alongside the W008 physical units: monotone event counts, byte
+/// gauges, unitless ratios, and constant info families.
+const DIMENSIONLESS_SUFFIXES: [&str; 4] = ["total", "bytes", "ratio", "info"];
+
+/// Extracts the literal first argument of a metric sink call on a raw
+/// line, given the byte offset just past the opening parenthesis in the
+/// blanked code. Returns the literal's content and `true` when the raw
+/// text actually opens a string there (a non-literal first argument —
+/// a const or variable — yields `None`).
+fn literal_first_arg(raw: &str, pat: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(found) = raw[search..].find(pat) {
+        let at = search + found;
+        search = at + pat.len();
+        let rest = &raw[search..];
+        let Some(body) = rest.strip_prefix('"') else {
+            continue;
+        };
+        let close = body.find('"')?;
+        return Some(body[..close].to_string());
+    }
+    None
+}
+
+/// W011 `metric_hygiene`: metric families registered by literal name
+/// must be snake_case and carry a suffix that names either a physical
+/// unit from the W008 table (`_us`, `_s`, `_dbm`, …, canonical spelling
+/// only) or a dimensionless convention (`_total`, `_bytes`, `_ratio`,
+/// `_info`). A family that breaks the convention is invisible to
+/// suffix-driven tooling — dashboards that pick formatters by unit, the
+/// W008 dataflow rule itself, and every grep for `_us` families.
+pub fn w011_metric_hygiene(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        for pat in METRIC_SINKS {
+            // The blanked form of a literal first argument is `sink("")…`,
+            // so requiring `sink("` in the code text skips non-literal
+            // arguments and occurrences inside strings or comments.
+            let mut has_literal = false;
+            let mut s = 0;
+            while let Some(found) = code[s..].find(pat) {
+                let at = s + found;
+                s = at + pat.len();
+                let callish =
+                    at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+                if callish && code[s..].starts_with('"') {
+                    has_literal = true;
+                    break;
+                }
+            }
+            if !has_literal {
+                continue;
+            }
+            let Some(arg) = literal_first_arg(&line.raw, pat) else {
+                continue;
+            };
+            // A labelled key like `family{shard="0"}` is policed on the
+            // family part only.
+            let family = arg.split('{').next().unwrap_or(&arg);
+            let Some(problem) = family_problem(family) else {
+                continue;
+            };
+            if pragmas.allows(Rule::MetricHygiene, &file.path, lineno) {
+                continue;
+            }
+            out.push(
+                Violation::new(Rule::MetricHygiene, &file.path, lineno, problem).with_note(
+                    "name families `snake_case` ending in a canonical W008 unit (`_us`, `_s`, `_dbm`, …) \
+                     or `_total`/`_bytes`/`_ratio`/`_info`, or add `// lint: allow(metric_hygiene) — <reason>`",
+                ),
+            );
+            break; // one diagnostic per line
+        }
+    }
+}
+
+/// Why `family` violates the naming convention, or `None` when clean.
+fn family_problem(family: &str) -> Option<String> {
+    if family.is_empty() {
+        return Some("empty metric family name".to_string());
+    }
+    let snake = family.starts_with(|c: char| c.is_ascii_lowercase())
+        && family
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !family.contains("__")
+        && !family.ends_with('_');
+    if !snake {
+        return Some(format!("metric family `{family}` is not snake_case"));
+    }
+    let Some((_, suffix)) = family.rsplit_once('_') else {
+        return Some(format!(
+            "metric family `{family}` has no unit suffix: its values are unreadable without one"
+        ));
+    };
+    if DIMENSIONLESS_SUFFIXES.contains(&suffix) {
+        return None;
+    }
+    match crate::units::unit_of(family) {
+        // Canonical unit suffix (`_us`, `_s`, `_dbm`, …).
+        Some(unit) if unit == suffix => None,
+        // An alias the W008 table normalises (`_seconds`, `_micros`, …):
+        // legal Rust, but the family string never meets the W008 renamer,
+        // so the canon must be enforced here.
+        Some(unit) => Some(format!(
+            "metric family `{family}` uses non-canonical unit suffix `_{suffix}`: the workspace convention is `_{unit}`"
+        )),
+        None => Some(format!(
+            "metric family `{family}` suffix `_{suffix}` names neither a W008 unit nor a dimensionless convention"
+        )),
     }
 }
 

@@ -1,0 +1,10 @@
+//! Metric families that break the naming convention: a non-snake_case
+//! name, a suffix that names no unit, and a non-canonical alias that
+//! suffix-driven tooling (dashboards, W008 greps) will never match.
+
+pub fn register(snap: &mut MetricsSnapshot, labels: &str) {
+    snap.add_counter("WilocatorQueries", 1); //~ W011
+    let key = metric_key("wilocator_latency", labels); //~ W011
+    snap.add_histogram("wilocator_query_latency_micros", key); //~ W011
+    snap.add_gauge("wilocator_queue_depth_", 0); //~ W011
+}

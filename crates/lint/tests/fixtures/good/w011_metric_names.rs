@@ -1,0 +1,13 @@
+//! Convention-respecting metric families: canonical unit suffixes,
+//! dimensionless conventions, labelled keys policed on the family part,
+//! non-literal names left to the callee, and a reasoned exception.
+
+pub fn register(snap: &mut MetricsSnapshot, series: &mut TimeSeries, labels: &str) {
+    snap.add_counter("wilocator_queries_total", 1);
+    snap.add_gauge("wilocator_trace_retained_bytes", 0);
+    snap.add_histogram("wilocator_query_latency_us", labels);
+    let key = metric_key("wilocator_reports_total{shard=\"0\"}", labels);
+    series.track(key, SeriesKind::Counter);
+    // lint: allow(metric_hygiene) — epoch is a dimensionless sequence number
+    snap.add_gauge("wilocator_snapshot_epoch", 3);
+}

@@ -17,6 +17,10 @@
 //!   structs are labelled and gathered into one snapshot;
 //! * [`Clock`] — injectable microsecond time source ([`MonotonicClock`]
 //!   in production, [`SteppingClock`] in deterministic goldens);
+//! * [`TimeSeries`] — fixed-memory ring of windowed aggregates
+//!   (counter deltas/rates, gauge values, histogram quantiles) sampled
+//!   from [`MetricsSnapshot`]s, rotated deterministically on the
+//!   injected [`Clock`];
 //! * [`trace`] — causal span tracing with a tail-sampled flight
 //!   recorder ([`Tracer`] / [`TraceCtx`] / [`SpanGuard`]), Chrome
 //!   trace-event export and a deterministic text dump.
@@ -57,6 +61,7 @@ pub mod counter;
 pub mod histogram;
 pub mod snapshot;
 pub mod sync;
+pub mod timeseries;
 pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, SteppingClock};
@@ -64,6 +69,9 @@ pub use counter::{Counter, Gauge};
 pub use histogram::{ClockSpanTimer, Histogram, HistogramSnapshot, SpanTimer, BUCKETS};
 pub use snapshot::{
     escape_label_value, metric_key, validate_exposition_line, Collect, MetricsSnapshot, Registry,
+};
+pub use timeseries::{
+    SeriesKind, SeriesView, TimeSeries, TimeSeriesConfig, WindowAgg, WindowPoint,
 };
 pub use trace::{
     FieldList, FieldValue, SpanData, SpanGuard, TraceConfig, TraceCtx, TraceData, Tracer,

@@ -94,6 +94,20 @@ impl JsonObj {
         self
     }
 
+    /// Adds a signed-integer member.
+    pub fn i64_field(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a boolean member.
+    pub fn bool_field(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Adds a pre-rendered JSON value member (object, array, literal).
     pub fn raw_field(mut self, k: &str, raw: &str) -> Self {
         self.key(k);
@@ -165,6 +179,16 @@ mod tests {
         out.push(' ');
         write_f64(&mut out, f64::NAN);
         assert_eq!(out, "120 0.1 null");
+    }
+
+    #[test]
+    fn signed_and_bool_members() {
+        let obj = JsonObj::new()
+            .i64_field("delta", -42)
+            .bool_field("fired", true)
+            .bool_field("quiet", false)
+            .finish();
+        assert_eq!(obj, "{\"delta\":-42,\"fired\":true,\"quiet\":false}");
     }
 
     #[test]

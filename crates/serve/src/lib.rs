@@ -11,6 +11,10 @@
 //! | `GET /traffic/{route}` | The route's traffic-map segment states |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `GET /healthz` | Liveness plus snapshot epoch and staleness |
+//! | `GET /debug/timeseries` | Windowed metric aggregates (counter deltas, gauges, latency quantiles) |
+//! | `GET /debug/quality` | Per-route ETA-accuracy quantiles from the retro-prediction ledger (`?route=N` filters) |
+//! | `GET /debug/slo` | Drift-detector burn rates with exemplar trace ids |
+//! | `GET /subscribe?epoch=N` | Long-poll until a snapshot newer than `N` is published (bounded timeout) |
 //!
 //! The crate splits into three layers, each testable without the one
 //! below: [`http`] (pure byte parsing), [`service`] (pure routing over
@@ -29,4 +33,4 @@ pub mod service;
 
 pub use http::{parse_request, HttpError, HttpLimits, Request};
 pub use server::{serve, ServeConfig, ServerHandle};
-pub use service::{respond, Response};
+pub use service::{debug_dump, respond, Response};

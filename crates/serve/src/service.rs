@@ -11,10 +11,19 @@
 
 use std::sync::Arc;
 
-use wilocator_core::{BusKey, QueryEndpoint, QuerySnapshot, WiLocator};
+use wilocator_core::{BusKey, QualitySections, QueryEndpoint, QuerySnapshot, WiLocator};
+use wilocator_obs::{SeriesView, WindowAgg};
 use wilocator_road::{RouteId, StopId};
 
 use crate::json::{JsonArr, JsonObj};
+
+/// Upper bound on a `/subscribe` long-poll, milliseconds: long enough
+/// to ride out a publish gap, short enough that an abandoned connection
+/// never pins a transport thread for more than half a minute.
+pub const MAX_SUBSCRIBE_TIMEOUT_MS: u64 = 30_000;
+
+/// Default `/subscribe` timeout when the client does not pass one.
+pub const DEFAULT_SUBSCRIBE_TIMEOUT_MS: u64 = 25_000;
 
 /// A fully rendered response, transport-agnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,6 +147,10 @@ fn route(
         QueryEndpoint::Arrivals => arrivals(server, rest, request.query()),
         QueryEndpoint::Position => position(server, rest),
         QueryEndpoint::Traffic => traffic(server, rest),
+        QueryEndpoint::DebugTimeseries => debug_timeseries(server),
+        QueryEndpoint::DebugQuality => debug_quality(server, request.query()),
+        QueryEndpoint::DebugSlo => debug_slo(server),
+        QueryEndpoint::Subscribe => subscribe(server, request.query()),
     };
     match response.status {
         404 => server.query_metrics().not_found_total.inc(),
@@ -154,6 +167,10 @@ fn split_endpoint(path: &str) -> Option<(QueryEndpoint, &str)> {
     match path {
         "/metrics" => return Some((QueryEndpoint::Metrics, "")),
         "/healthz" => return Some((QueryEndpoint::Healthz, "")),
+        "/debug/timeseries" => return Some((QueryEndpoint::DebugTimeseries, "")),
+        "/debug/quality" => return Some((QueryEndpoint::DebugQuality, "")),
+        "/debug/slo" => return Some((QueryEndpoint::DebugSlo, "")),
+        "/subscribe" => return Some((QueryEndpoint::Subscribe, "")),
         _ => {}
     }
     let rest = path.strip_prefix('/')?;
@@ -314,6 +331,204 @@ fn traffic(server: &WiLocator, id: &str) -> Response {
     )
 }
 
+/// `/debug/timeseries`: the windowed metric aggregates published with
+/// the snapshot — closed windows oldest first, the open window last.
+fn debug_timeseries(server: &WiLocator) -> Response {
+    let snap = server.query_snapshot();
+    Response::json(
+        200,
+        JsonObj::new()
+            .u64_field("epoch", snap.epoch)
+            .f64_field("as_of_s", snap.published_at_s)
+            .f64_field("evaluated_at_s", snap.quality.evaluated_at_s)
+            .raw_field("series", &series_json(&snap.quality.series))
+            .finish(),
+    )
+}
+
+fn series_json(series: &[SeriesView]) -> String {
+    let mut out = JsonArr::new();
+    for view in series {
+        let mut points = JsonArr::new();
+        for point in &view.points {
+            let obj = JsonObj::new().u64_field("start_us", point.start_us);
+            points.push_raw(match point.agg {
+                WindowAgg::Counter { delta, rate_per_s } => obj
+                    .u64_field("delta", delta)
+                    .f64_field("rate_per_s", rate_per_s)
+                    .finish(),
+                WindowAgg::Gauge { value } => obj.i64_field("value", value).finish(),
+                WindowAgg::Histogram {
+                    count,
+                    p50,
+                    p90,
+                    p99,
+                } => obj
+                    .u64_field("count", count)
+                    .u64_field("p50", p50)
+                    .u64_field("p90", p90)
+                    .u64_field("p99", p99)
+                    .finish(),
+            });
+        }
+        out.push_raw(
+            JsonObj::new()
+                .str_field("family", &view.family)
+                .str_field("kind", view.kind.label())
+                .raw_field("points", &points.finish())
+                .finish(),
+        );
+    }
+    out.finish()
+}
+
+/// `/debug/quality[?route=N]`: live per-route ETA accuracy from the
+/// retro-prediction ledger.
+fn debug_quality(server: &WiLocator, query: Option<&str>) -> Response {
+    let route_filter = match route_param(query) {
+        Ok(filter) => filter,
+        Err(response) => return response,
+    };
+    if let Some(route) = route_filter {
+        if server.route(route).is_none() {
+            return Response::error(404, "unknown route");
+        }
+    }
+    let snap = server.query_snapshot();
+    Response::json(
+        200,
+        JsonObj::new()
+            .u64_field("epoch", snap.epoch)
+            .f64_field("as_of_s", snap.published_at_s)
+            .f64_field("evaluated_at_s", snap.quality.evaluated_at_s)
+            .raw_field("routes", &routes_json(&snap.quality, route_filter))
+            .finish(),
+    )
+}
+
+fn routes_json(quality: &QualitySections, filter: Option<RouteId>) -> String {
+    let mut out = JsonArr::new();
+    for (route, rq) in &quality.routes {
+        if filter.is_some_and(|want| want != *route) {
+            continue;
+        }
+        let mut horizons = JsonArr::new();
+        for h in &rq.horizons {
+            horizons.push_raw(
+                JsonObj::new()
+                    .f64_field("horizon_s", h.horizon_s)
+                    .u64_field("confirmed_total", h.confirmed_total)
+                    .f64_field("mean_abs_error_s", h.mean_abs_error_s)
+                    .f64_field("p50_s", h.p50_s)
+                    .f64_field("p90_s", h.p90_s)
+                    .f64_field("p99_s", h.p99_s)
+                    .f64_field("p90_abs_s", h.p90_abs_s)
+                    .u64_field("recent_confirmed", h.recent_confirmed)
+                    .f64_field("recent_p90_s", h.recent_p90_s)
+                    .f64_field("recent_p90_abs_s", h.recent_p90_abs_s)
+                    .finish(),
+            );
+        }
+        out.push_raw(
+            JsonObj::new()
+                .str_field("route", &route.to_string())
+                .raw_field("horizons", &horizons.finish())
+                .finish(),
+        );
+    }
+    out.finish()
+}
+
+/// `/debug/slo`: drift-detector statuses with exemplar trace ids, plus
+/// the live staleness reading.
+fn debug_slo(server: &WiLocator) -> Response {
+    let snap = server.query_snapshot();
+    Response::json(
+        200,
+        JsonObj::new()
+            .u64_field("epoch", snap.epoch)
+            .f64_field("as_of_s", snap.published_at_s)
+            .f64_field("evaluated_at_s", snap.quality.evaluated_at_s)
+            .f64_field("staleness_s", server.query_metrics().staleness_s())
+            .raw_field("detectors", &detectors_json(&snap.quality))
+            .finish(),
+    )
+}
+
+fn detectors_json(quality: &QualitySections) -> String {
+    let mut out = JsonArr::new();
+    for d in &quality.slo {
+        let mut exemplars = JsonArr::new();
+        for id in &d.exemplar_trace_ids {
+            exemplars.push_raw(id.to_string());
+        }
+        out.push_raw(
+            JsonObj::new()
+                .str_field("name", d.name)
+                .bool_field("fired", d.fired)
+                .f64_field("short_burn", d.short_burn)
+                .f64_field("long_burn", d.long_burn)
+                .f64_field("threshold", d.threshold)
+                .u64_field("short_events", d.short_events)
+                .u64_field("long_events", d.long_events)
+                .raw_field("exemplar_trace_ids", &exemplars.finish())
+                .finish(),
+        );
+    }
+    out.finish()
+}
+
+/// `/subscribe?epoch=N[&timeout_ms=M]`: long-poll that blocks until a
+/// snapshot newer than `N` is published or the (bounded) timeout
+/// elapses. Waiters park outside both the publish gate and the
+/// lock-free read path, so a slow subscriber never slows a publisher or
+/// another reader.
+fn subscribe(server: &WiLocator, query: Option<&str>) -> Response {
+    let mut epoch: Option<u64> = None;
+    let mut timeout_ms = DEFAULT_SUBSCRIBE_TIMEOUT_MS;
+    for pair in query.unwrap_or_default().split('&') {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "epoch" => match parse_u64(value) {
+                Some(e) => epoch = Some(e),
+                None => return Response::error(400, "epoch must be a decimal integer"),
+            },
+            "timeout_ms" => match parse_u64(value) {
+                Some(ms) => timeout_ms = ms.min(MAX_SUBSCRIBE_TIMEOUT_MS),
+                None => return Response::error(400, "timeout_ms must be a decimal integer"),
+            },
+            _ => {}
+        }
+    }
+    let Some(epoch) = epoch else {
+        return Response::error(400, "epoch parameter is required");
+    };
+    let current = server.wait_past_epoch(epoch, std::time::Duration::from_millis(timeout_ms));
+    Response::json(
+        200,
+        JsonObj::new()
+            .u64_field("epoch", current)
+            .bool_field("advanced", current > epoch)
+            .finish(),
+    )
+}
+
+/// One self-contained JSON document with all three `/debug` sections —
+/// what `vancouver_day --debug-out` writes and `wilocator-dash` renders
+/// offline. Byte-identical to stitching the three endpoint bodies.
+pub fn debug_dump(server: &WiLocator) -> String {
+    let snap = server.query_snapshot();
+    JsonObj::new()
+        .u64_field("epoch", snap.epoch)
+        .f64_field("as_of_s", snap.published_at_s)
+        .f64_field("evaluated_at_s", snap.quality.evaluated_at_s)
+        .f64_field("staleness_s", server.query_metrics().staleness_s())
+        .raw_field("series", &series_json(&snap.quality.series))
+        .raw_field("routes", &routes_json(&snap.quality, None))
+        .raw_field("detectors", &detectors_json(&snap.quality))
+        .finish()
+}
+
 /// Strict non-negative decimal: ASCII digits only, must fit the type.
 fn parse_u32(s: &str) -> Option<u32> {
     if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
@@ -381,6 +596,24 @@ mod tests {
             split_endpoint("/traffic/0"),
             Some((QueryEndpoint::Traffic, "0"))
         );
+        assert_eq!(
+            split_endpoint("/debug/timeseries"),
+            Some((QueryEndpoint::DebugTimeseries, ""))
+        );
+        assert_eq!(
+            split_endpoint("/debug/quality"),
+            Some((QueryEndpoint::DebugQuality, ""))
+        );
+        assert_eq!(
+            split_endpoint("/debug/slo"),
+            Some((QueryEndpoint::DebugSlo, ""))
+        );
+        assert_eq!(
+            split_endpoint("/subscribe"),
+            Some((QueryEndpoint::Subscribe, ""))
+        );
+        assert_eq!(split_endpoint("/debug"), None);
+        assert_eq!(split_endpoint("/debug/nope"), None);
         assert_eq!(split_endpoint("/"), None);
         assert_eq!(split_endpoint("/arrivals"), None);
         assert_eq!(split_endpoint("/metrics/extra"), None);

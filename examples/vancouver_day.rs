@@ -14,6 +14,7 @@ use wilocator::road::RouteId;
 
 fn main() {
     let mut trace_out: Option<String> = None;
+    let mut debug_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,8 +25,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--debug-out" => match args.next() {
+                Some(path) => debug_out = Some(path),
+                None => {
+                    eprintln!("--debug-out takes a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument `{other}`; usage: vancouver_day [--trace-out FILE]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: vancouver_day [--trace-out FILE] [--debug-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -43,7 +53,10 @@ fn main() {
     }
     println!("  {} access points deployed\n", city.field.aps().len());
 
-    let config = vancouver_pipeline(Scale::Smoke, 42);
+    let mut config = vancouver_pipeline(Scale::Smoke, 42);
+    // Publish rider snapshots every simulated 30 s so the quality plane
+    // ledgers ETAs and confirms them against later fixes.
+    config.publish_every_s = 30.0;
     println!(
         "simulating {} day(s) ({} training), headway {:.0} s …",
         config.sim.days, config.train_days, config.headways[0].1
@@ -109,6 +122,53 @@ fn main() {
         "  (full exposition: {} lines of Prometheus text)",
         out.server.metrics_text().lines().count()
     );
+
+    // The quality plane's verdict on the day: per-route ETA accuracy
+    // quantiles and drift-detector states, from the same sections the
+    // /debug endpoints publish.
+    let quality = &out.server.query_snapshot().quality;
+    println!(
+        "\nquality plane (evaluated at {:.0} s):",
+        quality.evaluated_at_s
+    );
+    for (route, rq) in &quality.routes {
+        for h in &rq.horizons {
+            if h.confirmed_total == 0 {
+                continue;
+            }
+            println!(
+                "  route {:>10} @{:>3.0}s: n={:<4} |e|={:>5.1} s, p90 {:>+6.1} s",
+                route_name(*route),
+                h.horizon_s,
+                h.confirmed_total,
+                h.mean_abs_error_s,
+                h.p90_s
+            );
+        }
+    }
+    for d in &quality.slo {
+        if d.fired {
+            println!(
+                "  detector {} FIRED (exemplars: {:?})",
+                d.name, d.exemplar_trace_ids
+            );
+        }
+    }
+
+    if let Some(path) = debug_out {
+        let json = wilocator::serve::debug_dump(&out.server);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!(
+                "\nquality plane: wrote {} bytes of /debug JSON to {path} \
+                 (render with `wilocator-dash {path}`)",
+                json.len()
+            ),
+            Err(e) => {
+                eprintln!("write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(path) = trace_out {
         let json = out.server.trace_chrome_json();

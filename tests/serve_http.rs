@@ -169,6 +169,117 @@ fn every_endpoint_answers_valid_json_over_tcp() {
 }
 
 #[test]
+fn debug_endpoints_answer_valid_json_over_tcp() {
+    let (server, handle) = boot();
+    let addr = handle.local_addr();
+    let epoch = server.snapshot_epoch();
+
+    let timeseries = fetch_json(addr, "/debug/timeseries");
+    assert_eq!(
+        timeseries.get("epoch").and_then(|v| v.as_u64()),
+        Some(epoch)
+    );
+    let Some(Json::Arr(series)) = timeseries.get("series") else {
+        panic!("series must be an array");
+    };
+    assert!(!series.is_empty(), "tracked families publish a series each");
+    for view in series {
+        assert!(view.get("family").and_then(|v| v.as_str()).is_some());
+        let kind = view.get("kind").and_then(|v| v.as_str()).expect("kind");
+        assert!(["counter", "gauge", "histogram"].contains(&kind), "{kind}");
+        let Some(Json::Arr(points)) = view.get("points") else {
+            panic!("points must be an array");
+        };
+        for point in points {
+            assert!(point.get("start_us").and_then(|v| v.as_u64()).is_some());
+        }
+    }
+
+    let quality = fetch_json(addr, "/debug/quality");
+    let Some(Json::Arr(routes)) = quality.get("routes") else {
+        panic!("routes must be an array");
+    };
+    for route in routes {
+        assert!(route.get("route").and_then(|v| v.as_str()).is_some());
+        let Some(Json::Arr(horizons)) = route.get("horizons") else {
+            panic!("horizons must be an array");
+        };
+        for h in horizons {
+            assert!(h.get("horizon_s").and_then(|v| v.as_f64()).is_some());
+            assert!(h.get("confirmed_total").and_then(|v| v.as_u64()).is_some());
+            assert!(h.get("p90_s").and_then(|v| v.as_f64()).is_some());
+        }
+    }
+    let (status, _, _) = fetch(addr, "/debug/quality?route=99");
+    assert_eq!(status, 404, "unknown route filter is a 404");
+    let (status, _, _) = fetch(addr, "/debug/quality?route=abc");
+    assert_eq!(status, 400, "malformed route filter is a 400");
+
+    let slo = fetch_json(addr, "/debug/slo");
+    assert!(slo.get("staleness_s").and_then(|v| v.as_f64()).is_some());
+    let Some(Json::Arr(detectors)) = slo.get("detectors") else {
+        panic!("detectors must be an array");
+    };
+    let names: Vec<&str> = detectors
+        .iter()
+        .filter_map(|d| d.get("name").and_then(|v| v.as_str()))
+        .collect();
+    for expected in [
+        "dead_reckon_fraction",
+        "tile_miss_fraction",
+        "ap_churn_fraction",
+        "snapshot_staleness",
+    ] {
+        assert!(names.contains(&expected), "missing detector {expected}");
+    }
+    for d in detectors {
+        assert!(d.get("fired").is_some());
+        assert!(d.get("short_burn").and_then(|v| v.as_f64()).is_some());
+        assert!(d
+            .get("exemplar_trace_ids")
+            .is_some_and(|v| matches!(v, Json::Arr(_))));
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn subscribe_long_polls_until_publish_or_timeout() {
+    let (server, handle) = boot();
+    let addr = handle.local_addr();
+    let epoch = server.snapshot_epoch();
+    assert!(epoch > 0, "boot replay published at least one snapshot");
+
+    // Stale epoch: answers immediately with the current one.
+    let caught_up = fetch_json(addr, "/subscribe?epoch=0&timeout_ms=10000");
+    assert_eq!(caught_up.get("epoch").and_then(|v| v.as_u64()), Some(epoch));
+    assert_eq!(caught_up.get("advanced"), Some(&Json::Bool(true)));
+
+    // Current epoch and a short timeout: returns unadvanced.
+    let timed_out = fetch_json(addr, &format!("/subscribe?epoch={epoch}&timeout_ms=50"));
+    assert_eq!(timed_out.get("epoch").and_then(|v| v.as_u64()), Some(epoch));
+    assert_eq!(timed_out.get("advanced"), Some(&Json::Bool(false)));
+
+    // Current epoch and a long timeout: a publish on another thread
+    // wakes the poll well before the deadline.
+    std::thread::scope(|scope| {
+        let waiter = scope.spawn(move || fetch_json(addr, &format!("/subscribe?epoch={epoch}")));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        server.publish_snapshot(10.0 * 3_600.0);
+        let woken = waiter.join().expect("subscriber thread");
+        assert_eq!(woken.get("advanced"), Some(&Json::Bool(true)));
+        assert!(woken.get("epoch").and_then(|v| v.as_u64()) > Some(epoch));
+    });
+
+    let (status, _, _) = fetch(addr, "/subscribe");
+    assert_eq!(status, 400, "epoch parameter is required");
+    let (status, _, _) = fetch(addr, "/subscribe?epoch=-1");
+    assert_eq!(status, 400, "epoch must be a decimal integer");
+
+    handle.shutdown();
+}
+
+#[test]
 fn parallel_clients_share_the_worker_pool() {
     let (_server, handle) = boot();
     let addr = handle.local_addr();
