@@ -171,6 +171,7 @@ impl TravelTimeStore {
         let mut sum = 0.0;
         let mut n = 0usize;
         for tr in self.completed_before(edge, t) {
+            // lint: allow(hot_path_effects) — caller-supplied predicate (⊤): time-slot restrictions are pure record tests
             if route.map(|r| tr.route == r).unwrap_or(true) && filter(tr) {
                 sum += tr.travel_time();
                 n += 1;

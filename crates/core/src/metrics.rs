@@ -433,6 +433,7 @@ impl QueryMetrics {
         if at == 0 {
             return 0;
         }
+        // lint: allow(read_path_purity) — dyn Clock dispatch defaults to ⊤; every Clock impl is a pure time read, no locks or blocking
         self.clock.now_us().saturating_sub(at)
     }
 

@@ -650,6 +650,7 @@ impl QualityPlane {
     /// its caller already holds (lock order: shard lock → quality
     /// mutex, module docs).
     #[allow(clippy::too_many_arguments)]
+    // lint: hot_path(deny: blocks_or_syscalls, unbounded_iteration)
     pub(crate) fn on_fix(
         &self,
         shard: usize,

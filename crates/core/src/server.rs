@@ -491,6 +491,7 @@ impl WiLocator {
     /// stale/absorbed/fix counters. On a fix, the quality plane folds AP
     /// churn and settles pending retro-predictions (its per-shard mutex
     /// nests inside this shard's write lock — the documented order).
+    // lint: hot_path(deny: blocks_or_syscalls, unbounded_iteration)
     fn ingest_locked(
         shard: &mut Shard,
         metrics: &ShardMetrics,
@@ -633,6 +634,7 @@ impl WiLocator {
     /// preserved, so a batch produces exactly the per-bus fix sequences
     /// and store contents that the same reports would produce through
     /// [`WiLocator::ingest`] one at a time.
+    // lint: hot_path(deny: blocks_or_syscalls, unbounded_iteration)
     pub fn ingest_batch(&self, reports: &[ScanReport]) -> Vec<IngestResult> {
         self.server_metrics.ingest_batches_total.inc();
         self.server_metrics
@@ -762,6 +764,7 @@ impl WiLocator {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(hot_path_effects) — joins this batch's own scoped shard workers; bounded by the batch fan-out, no external I/O
                 .map(|h| match h.join() {
                     Ok(v) => v,
                     // A panicked shard thread is a bug in ingest itself;

@@ -262,6 +262,7 @@ impl SnapshotCell {
     /// load, one uncontended slot read lock, one `Arc` clone; the retry
     /// loop only runs when a publisher laps the whole ring mid-read.
     pub fn read(&self) -> Arc<QuerySnapshot> {
+        // lint: allow(hot_path_effects) — retry fires only when a publisher laps the whole slot ring mid-read; one iteration in every non-adversarial schedule
         loop {
             // Ordering: Acquire pairs with the publisher's Release store
             // below, so observing epoch `e` makes snapshot `e`'s slot
@@ -290,6 +291,7 @@ impl SnapshotCell {
     ///
     /// Publishers serialize on the gate; the epoch only advances here,
     /// with a `Release` store readers pair with their `Acquire` load.
+    // lint: hot_path(deny: blocks_or_syscalls, unbounded_iteration)
     pub fn publish_with(&self, builder: impl FnOnce(u64, &QuerySnapshot) -> QuerySnapshot) -> u64 {
         let _gate = unpoisoned(self.gate.lock());
         // Ordering: Relaxed is enough — every store to `epoch` happens
@@ -304,6 +306,7 @@ impl SnapshotCell {
         let next = self.epoch.load(Ordering::Relaxed) + 1;
         let snap = {
             let prev = self.read();
+            // lint: allow(hot_path_effects) — caller-supplied builder (⊤): publishers pass the pure snapshot constructor, exercised by the publish-path tests
             Arc::new(builder(next, &prev))
         };
         let idx = (next as usize) % self.slots.len();

@@ -40,9 +40,18 @@ pub enum Rule {
     /// whose suffix names no unit (W008 table) and no dimensionless
     /// convention (`_total`, `_bytes`, `_ratio`, `_info`).
     MetricHygiene,
+    /// W012: a declared hot entry point (one carrying a
+    /// `// lint: hot_path(deny: …)` budget annotation) transitively
+    /// reaches an effect its budget denies.
+    HotPathEffects,
+    /// W013: a `QuerySnapshot` reader method or `serve` request handler
+    /// carries read-path-hostile effects (ingest locks, blocking,
+    /// unbounded iteration) beyond the documented one-slot read-lock +
+    /// `Arc` clone.
+    ReadPathPurity,
 }
 
-pub const ALL_RULES: [Rule; 11] = [
+pub const ALL_RULES: [Rule; 13] = [
     Rule::UnorderedIter,
     Rule::PanicInLibrary,
     Rule::AtomicOrdering,
@@ -54,6 +63,8 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::TransitivePanic,
     Rule::RawSync,
     Rule::MetricHygiene,
+    Rule::HotPathEffects,
+    Rule::ReadPathPurity,
 ];
 
 impl Rule {
@@ -70,6 +81,8 @@ impl Rule {
             Rule::TransitivePanic => "W009",
             Rule::RawSync => "W010",
             Rule::MetricHygiene => "W011",
+            Rule::HotPathEffects => "W012",
+            Rule::ReadPathPurity => "W013",
         }
     }
 
@@ -86,6 +99,8 @@ impl Rule {
             Rule::TransitivePanic => "transitive_panic",
             Rule::RawSync => "raw_sync",
             Rule::MetricHygiene => "metric_hygiene",
+            Rule::HotPathEffects => "hot_path_effects",
+            Rule::ReadPathPurity => "read_path_purity",
         }
     }
 

@@ -27,6 +27,12 @@ pub struct Line {
     /// True if the line is inside `#[cfg(test)]` or `#[test]` scope.
     /// Filled in by [`mark_test_scopes`].
     pub is_test: bool,
+    /// Identifier tokens of `code` with their byte offsets, tokenized
+    /// once at parse time. Every later phase (unit scan, effect
+    /// seeding, symbol extraction) shares this stream instead of
+    /// re-tokenizing the line; digit-initial tokens (numeric literals)
+    /// are excluded.
+    pub tokens: Vec<(String, usize)>,
 }
 
 /// A lexed source file: the path (workspace-relative where possible) and
@@ -38,10 +44,14 @@ pub struct SourceFile {
 }
 
 impl SourceFile {
-    /// Lexes `text` into lines and marks test scopes.
+    /// Lexes `text` into lines, marks test scopes, and tokenizes each
+    /// blanked line once for the shared token stream.
     pub fn parse(path: impl Into<String>, text: &str) -> Self {
         let mut lines = lex(text);
         mark_test_scopes(&mut lines);
+        for line in &mut lines {
+            line.tokens = tokenize(&line.code);
+        }
         Self {
             path: path.into(),
             lines,
@@ -218,6 +228,29 @@ fn lex(text: &str) -> Vec<Line> {
 
 pub fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Identifier tokens of a blanked code line with their byte offsets.
+/// Digit-initial runs (numeric literals) are dropped.
+fn tokenize(code: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in code
+        .char_indices()
+        .chain(std::iter::once((code.len(), ' ')))
+    {
+        if is_ident_char(c) {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            let tok = &code[s..i];
+            if !tok.starts_with(|c: char| c.is_ascii_digit()) {
+                out.push((tok.to_string(), s));
+            }
+        }
+    }
+    out
 }
 
 /// Marks lines inside `#[cfg(test)]` scopes and `#[test]` functions.

@@ -22,11 +22,19 @@
 //! | W009 | `transitive_panic`  | no panic sites reachable from pub serving-crate entry points |
 //! | W010 | `raw_sync`          | sync-layer modules import locks/atomics via `crate::sync`, not `std::sync` |
 //! | W011 | `metric_hygiene`    | metric families are snake_case with a unit or dimensionless suffix |
+//! | W012 | `hot_path_effects`  | budget-annotated hot entry points stay within their denied-effect set |
+//! | W013 | `read_path_purity`  | snapshot readers / serve handlers stay effect-free past the blessed read |
+//!
+//! W012/W013 run on phase 3 ([`effects`]): an interprocedural effect
+//! inference over the lattice `{allocates, acquires_lock,
+//! blocks_or_syscalls, reads_clock, panics, unbounded_iteration}`,
+//! propagated to a fixpoint over the phase-2 call graph.
 //!
 //! Run it as `cargo run -p wilocator-lint -- --workspace`; it prints
 //! rustc-style diagnostics and exits nonzero on any violation.
 //! `--format sarif` emits SARIF 2.1.0; `--fix` (optionally with
-//! `--dry-run`) applies conservative rewrites. See DESIGN.md §8 for the
+//! `--dry-run`) applies conservative rewrites; `--timings` prints
+//! per-phase/per-rule wall time to stderr. See DESIGN.md §8 for the
 //! rule catalog and the pragma escape hatch.
 
 #![forbid(unsafe_code)]
@@ -35,6 +43,7 @@
 pub mod accounting;
 pub mod callgraph;
 pub mod diag;
+pub mod effects;
 pub mod fix;
 pub mod lexer;
 pub mod pragma;
@@ -92,46 +101,130 @@ pub fn context_for_path(path: &str) -> FileContext {
     }
 }
 
+/// Wall-time of each lint phase and rule, collected by
+/// [`analyze_timed`] and printed by the CLI's `--timings` flag.
+#[derive(Debug, Default)]
+pub struct Timings {
+    /// `(phase-or-rule name, elapsed)`, in execution order.
+    pub entries: Vec<(String, std::time::Duration)>,
+}
+
+impl Timings {
+    pub fn add(&mut self, name: &str, d: std::time::Duration) {
+        self.entries.push((name.to_string(), d));
+    }
+
+    /// Renders an aligned per-phase table with a trailing total.
+    pub fn render(&self) -> String {
+        let total: std::time::Duration = self.entries.iter().map(|(_, d)| *d).sum();
+        let mut out = String::from("phase timings:\n");
+        for (name, d) in &self.entries {
+            out.push_str(&format!("  {name:<28} {:>9.3} ms\n", d.as_secs_f64() * 1e3));
+        }
+        out.push_str(&format!(
+            "  {:<28} {:>9.3} ms",
+            "total",
+            total.as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+fn timed<T>(timings: &mut Timings, name: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let v = f();
+    timings.add(name, t0.elapsed());
+    v
+}
+
 /// Lints a set of lexed files, each under its own context, and returns
 /// all violations, deduplicated and sorted by (file, line, rule,
 /// message).
 pub fn analyze(files: &[(SourceFile, FileContext)]) -> Vec<Violation> {
+    analyze_timed(files).0
+}
+
+/// [`analyze`], also returning per-phase/per-rule wall time. Phase 1
+/// runs rule-major (every file per rule, rather than every rule per
+/// file) so the timings attribute cost to rules; rule output is
+/// identical either way since per-file rules are independent and the
+/// final sort normalizes order.
+pub fn analyze_timed(files: &[(SourceFile, FileContext)]) -> (Vec<Violation>, Timings) {
+    let mut t = Timings::default();
     let sources: Vec<&SourceFile> = files.iter().map(|(f, _)| f).collect();
-    let mut pragmas = PragmaSet::collect(sources.iter().copied());
+    let mut pragmas = timed(&mut t, "pragma scan", || {
+        PragmaSet::collect(sources.iter().copied())
+    });
     let mut out = Vec::new();
-    // Phase 1: per-file rules on the blanked line stream.
-    for (file, ctx) in files {
-        if ctx.deterministic {
+    // Phase 1: per-file rules on the shared blanked line stream (each
+    // file was lexed and tokenized exactly once, at parse time).
+    timed(&mut t, "W001 unordered_iter", || {
+        for (file, _) in files.iter().filter(|(_, c)| c.deterministic) {
             rules::w001_unordered_iter(file, &mut pragmas, &mut out);
         }
-        if ctx.serving {
+    });
+    timed(&mut t, "W002 panic_in_library", || {
+        for (file, _) in files.iter().filter(|(_, c)| c.serving) {
             rules::w002_panic_in_library(file, &mut pragmas, &mut out);
+        }
+    });
+    timed(&mut t, "W006 span_discipline", || {
+        for (file, _) in files.iter().filter(|(_, c)| c.serving) {
             rules::w006_span_discipline(file, &mut pragmas, &mut out);
+        }
+    });
+    timed(&mut t, "W011 metric_hygiene", || {
+        for (file, _) in files.iter().filter(|(_, c)| c.serving) {
             rules::w011_metric_hygiene(file, &mut pragmas, &mut out);
         }
-        if ctx.observability {
+    });
+    timed(&mut t, "W003 atomic_ordering", || {
+        for (file, _) in files.iter().filter(|(_, c)| c.observability) {
             rules::w003_atomic_ordering(file, &mut pragmas, &mut out);
         }
-        if ctx.synced {
+    });
+    timed(&mut t, "W010 raw_sync", || {
+        for (file, _) in files.iter().filter(|(_, c)| c.synced) {
             rules::w010_raw_sync(file, &mut pragmas, &mut out);
         }
-    }
-    accounting::w004_accounting(&sources, &mut out);
+    });
+    timed(&mut t, "W004 accounting", || {
+        accounting::w004_accounting(&sources, &mut out);
+    });
     // Phase 2: workspace symbol table and graph rules.
-    let table = symbols::SymbolTable::build(files);
-    callgraph::w007_lock_order(&table, &mut pragmas, &mut out);
-    units::w008_unit_dataflow(files, &table, &mut pragmas, &mut out);
-    callgraph::w009_transitive_panic(&table, &mut pragmas, &mut out);
+    let table = timed(&mut t, "symbol table", || {
+        symbols::SymbolTable::build(files)
+    });
+    timed(&mut t, "W007 lock_order", || {
+        callgraph::w007_lock_order(&table, &mut pragmas, &mut out);
+    });
+    timed(&mut t, "W008 unit_dataflow", || {
+        units::w008_unit_dataflow(files, &table, &mut pragmas, &mut out);
+    });
+    timed(&mut t, "W009 transitive_panic", || {
+        callgraph::w009_transitive_panic(&table, &mut pragmas, &mut out);
+    });
+    // Phase 3: interprocedural effect inference.
+    timed(&mut t, "W012 hot_path_effects", || {
+        effects::w012_hot_path(&sources, &table, &mut pragmas, &mut out);
+    });
+    timed(&mut t, "W013 read_path_purity", || {
+        effects::w013_read_path(&table, &mut pragmas, &mut out);
+    });
     // Hygiene last: it needs to know which pragmas the rules consumed.
-    out.extend(pragmas.hygiene_violations());
-    fix::attach_fixes(files, &mut out);
-    out.sort_by(|a, b| {
-        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    timed(&mut t, "W005 pragma_hygiene", || {
+        out.extend(pragmas.hygiene_violations());
     });
-    out.dedup_by(|a, b| {
-        a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+    timed(&mut t, "fix attach + sort", || {
+        fix::attach_fixes(files, &mut out);
+        out.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+        out.dedup_by(|a, b| {
+            a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+        });
     });
-    out
+    (out, t)
 }
 
 /// Lints one file with every rule enabled — the fixture/self-test entry
@@ -145,6 +238,13 @@ pub fn analyze_file_all_rules(path: &str, text: &str) -> Vec<Violation> {
 /// file (crate `src/` trees only; integration tests, benches and
 /// examples are exercised code, not serving code).
 pub fn run_workspace(root: &Path) -> Vec<Violation> {
+    run_workspace_timed(root).0
+}
+
+/// [`run_workspace`], also returning phase timings (the first entry is
+/// the read + lex + tokenize pass over all files).
+pub fn run_workspace_timed(root: &Path) -> (Vec<Violation>, Timings) {
+    let t0 = std::time::Instant::now();
     let mut files = Vec::new();
     let mut crates: Vec<String> = DETERMINISTIC_CRATES
         .iter()
@@ -174,7 +274,12 @@ pub fn run_workspace(root: &Path) -> Vec<Violation> {
             files.push((SourceFile::parse(rel, &text), ctx));
         }
     }
-    analyze(&files)
+    let lex = t0.elapsed();
+    let (out, mut timings) = analyze_timed(&files);
+    timings
+        .entries
+        .insert(0, ("read + lex + tokenize".to_string(), lex));
+    (out, timings)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {

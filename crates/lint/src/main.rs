@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use wilocator_lint::{
-    analyze_file_all_rules, find_workspace_root, fix, run_workspace, sarif, ALL_RULES,
+    analyze_file_all_rules, find_workspace_root, fix, run_workspace_timed, sarif, ALL_RULES,
 };
 
 fn main() -> ExitCode {
@@ -44,6 +44,7 @@ fn main() -> ExitCode {
     };
     let want_fix = args.iter().any(|a| a == "--fix");
     let dry_run = args.iter().any(|a| a == "--dry-run");
+    let want_timings = args.iter().any(|a| a == "--timings");
     if dry_run && !want_fix {
         eprintln!("wilocator-lint: --dry-run only makes sense with --fix");
         return ExitCode::from(2);
@@ -72,7 +73,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         fix_root = root.clone();
-        run_workspace(&root)
+        let (violations, timings) = run_workspace_timed(&root);
+        if want_timings {
+            // stderr, so `--format sarif` stdout stays machine-clean.
+            eprintln!("{}", timings.render());
+        }
+        violations
     } else {
         let mut all = Vec::new();
         let mut skip_next = false;
@@ -85,7 +91,11 @@ fn main() -> ExitCode {
                 skip_next = true;
                 continue;
             }
-            if arg == "--fix" || arg == "--dry-run" || arg.starts_with("--format=") {
+            if arg == "--fix"
+                || arg == "--dry-run"
+                || arg == "--timings"
+                || arg.starts_with("--format=")
+            {
                 continue;
             }
             if arg.starts_with('-') {
@@ -174,14 +184,16 @@ fn format_flag(args: &[String]) -> Result<bool, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: wilocator-lint [--workspace | <file.rs>...] [--format rustc|sarif] [--fix [--dry-run]] | --rules\n\
+        "usage: wilocator-lint [--workspace | <file.rs>...] [--format rustc|sarif] [--fix [--dry-run]] [--timings] | --rules\n\
          Checks determinism (W001), panic-freedom (W002), atomic orderings\n\
          (W003), accounting exhaustiveness (W004), pragma hygiene (W005),\n\
          span guard discipline (W006), lock order (W007), unit dataflow\n\
          (W008), transitive panic paths (W009), raw sync primitives in\n\
-         sync-layer modules (W010) and metric family hygiene (W011).\n\
+         sync-layer modules (W010), metric family hygiene (W011), hot-path\n\
+         effect budgets (W012) and read-path purity (W013).\n\
          --format sarif  emit a SARIF 2.1.0 log on stdout\n\
          --fix           apply safe fixes in place\n\
-         --fix --dry-run print the fix diff (and suggestions) without writing"
+         --fix --dry-run print the fix diff (and suggestions) without writing\n\
+         --timings       print per-phase/per-rule wall time to stderr"
     );
 }

@@ -60,6 +60,10 @@ pub struct CallSite {
     pub quals: Vec<String>,
     /// 1-based line of the call.
     pub line: usize,
+    /// True for a receiver-less, unqualified call (`f(…)`, not `x.f(…)`
+    /// or `T::f(…)`) — the only shape that can invoke a caller-supplied
+    /// closure parameter (which the effect engine defaults to ⊤).
+    pub bare: bool,
     /// Lock classes held at the call.
     pub held: Vec<String>,
     /// Argument expressions when the whole call fits on one line and the
@@ -74,6 +78,22 @@ pub struct PanicSite {
     /// 1-based line.
     pub line: usize,
     /// What panics (`unwrap()`, `panic!`, `[N] indexing`, …).
+    pub what: String,
+}
+
+/// One syntactic effect source inside a function body: a line matching
+/// one of the seed tables in [`crate::effects`] (allocation calls,
+/// clock reads, blocking syscalls, unbounded loop headers). Lock
+/// acquisitions and panic sites are carried by [`FnSym::acquires`] and
+/// [`FnSym::panics`] instead — those passes already resolve receivers,
+/// which the flat seed tables cannot.
+#[derive(Debug, Clone)]
+pub struct EffectSite {
+    /// Bitmask over the effect lattice ([`crate::effects`]).
+    pub mask: u8,
+    /// 1-based line.
+    pub line: usize,
+    /// What seeded the effect (`Vec::new`, `thread::sleep`, `loop`, …).
     pub what: String,
 }
 
@@ -99,6 +119,9 @@ pub struct FnSym {
     pub acquires: Vec<Acquire>,
     pub calls: Vec<CallSite>,
     pub panics: Vec<PanicSite>,
+    /// Syntactic effect seeds ([`crate::effects`] lattice bits other
+    /// than locks and panics, which `acquires`/`panics` carry).
+    pub effects: Vec<EffectSite>,
 }
 
 /// The workspace symbol table.
@@ -223,6 +246,23 @@ fn struct_name(code: &str) -> Option<String> {
 }
 
 /// True when `ty` appears in `code` as a standalone type name.
+/// True when a field's declared type dispatches method calls through a
+/// trait object: `dyn T`, `&dyn T`, `&mut dyn T`, or a `Box`/`Arc`/`Rc`
+/// directly around `dyn T` (smart pointers auto-deref method calls to
+/// the object). A `dyn` buried deeper (`Mutex<Vec<Arc<dyn T>>>`) does
+/// not make calls *on the field* dynamic — those go to the container.
+fn is_dyn_receiver_type(ty_text: &str) -> bool {
+    let t = ty_text.trim().trim_start_matches('&').trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    if t.starts_with("dyn ") {
+        return true;
+    }
+    ["Box<", "Arc<", "Rc<"].iter().any(|wrap| {
+        t.strip_prefix(wrap)
+            .is_some_and(|rest| rest.trim_start().starts_with("dyn "))
+    })
+}
+
 fn contains_type(code: &str, ty: &str) -> bool {
     let mut search = 0;
     while let Some(found) = code[search..].find(ty) {
@@ -327,7 +367,16 @@ fn collect_field_types(segment: &str, map: &mut BTreeMap<String, BTreeSet<String
             .into_iter()
             .find(|t| t.chars().next().is_some_and(|c| c.is_ascii_uppercase()));
         if let Some(ty) = ty {
-            map.entry(name).or_default().insert(ty);
+            let entry = map.entry(name).or_default();
+            // A trait-object field (`Box<dyn Handler>`, `&dyn Clock`)
+            // gets the `dyn` sentinel alongside its container: calls
+            // through it are dynamic dispatch, which the effect engine
+            // defaults to ⊤ ([`crate::effects`]). Never a real owner —
+            // no impl block is ever `impl dyn`-owned in the table.
+            if is_dyn_receiver_type(&rest[..end]) {
+                entry.insert("dyn".to_string());
+            }
+            entry.insert(ty);
         }
     }
 }
@@ -405,6 +454,7 @@ fn extract_fns(
                     acquires: Vec::new(),
                     calls: Vec::new(),
                     panics: Vec::new(),
+                    effects: Vec::new(),
                 });
                 if body_opens {
                     frames.push(Frame {
@@ -805,6 +855,9 @@ fn scan_body_line(
         }
     }
 
+    // Effect seeds (allocation, clock, blocking, unbounded iteration).
+    crate::effects::seed_line(code, lineno, &mut sym.effects);
+
     // Panic sites.
     for (pat, what) in PANIC_PATTERNS {
         if crate::rules::contains_call(code, pat) {
@@ -827,12 +880,13 @@ fn scan_body_line(
         // the enclosing impl's type, `x.field.m()` by `field`'s declared
         // type(s) (bare-local receivers stay on name resolution — a
         // local's type is not lexically knowable).
+        let name_start = at - callee.len();
+        let is_method = name_start > 0 && code.as_bytes()[name_start - 1] == b'.';
         let quals: Vec<String> = match qual.as_deref() {
             Some("Self") => sym.owner.clone().into_iter().collect(),
             Some(q) => vec![q.to_string()],
             None => {
-                let name_start = at - callee.len();
-                if name_start > 0 && code.as_bytes()[name_start - 1] == b'.' {
+                if is_method {
                     let mut recv = receiver_path(code, name_start - 1);
                     if recv.is_empty() {
                         // Chained across lines: the previous line carries
@@ -859,6 +913,7 @@ fn scan_body_line(
             callee,
             quals,
             line: lineno,
+            bare: qual.is_none() && !is_method,
             held: held_classes(held),
             args,
         });

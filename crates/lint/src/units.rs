@@ -28,6 +28,7 @@ use crate::diag::{FixKind, Rule, Violation};
 use crate::lexer::{is_ident_char, SourceFile};
 use crate::pragma::PragmaSet;
 use crate::symbols::SymbolTable;
+use std::collections::BTreeMap;
 
 /// Canonical unit suffixes. `(suffix, human name)`.
 const UNITS: &[(&str, &str)] = &[
@@ -155,12 +156,21 @@ pub fn w008_unit_dataflow(
 
 fn scan_file(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation>) {
     let mut alias_seen: Vec<String> = Vec::new();
+    // Units inferred for suffix-less single-assignment locals
+    // (`let x = rssi_dbm;` ⇒ x: dBm), per function body.
+    let mut local_units: BTreeMap<String, &'static str> = BTreeMap::new();
     for (idx, line) in file.lines.iter().enumerate() {
         if line.is_test {
             continue;
         }
         let code = &line.code;
         let lineno = idx + 1;
+        if is_fn_sig(code) {
+            local_units.clear();
+        }
+        let resolve = |seg: &str, locals: &BTreeMap<String, &'static str>| {
+            unit_of(seg).or_else(|| locals.get(seg).copied())
+        };
 
         // Mixed-unit operators.
         for (ops, additive) in [(ADDITIVE_OPS, true), (COMPARE_OPS, false)] {
@@ -175,7 +185,9 @@ fn scan_file(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation
                     let Some(rhs) = path_segment_after(code, at + op.len()) else {
                         continue;
                     };
-                    let (Some(lu), Some(ru)) = (unit_of(&lhs), unit_of(&rhs)) else {
+                    let (Some(lu), Some(ru)) =
+                        (resolve(&lhs, &local_units), resolve(&rhs, &local_units))
+                    else {
                         continue;
                     };
                     if compatible(lu, ru, additive) {
@@ -218,7 +230,9 @@ fn scan_file(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation
                     path_segment_before(code, at),
                     path_segment_after(code, rhs_start),
                 ) {
-                    if let (Some(lu), Some(ru)) = (unit_of(&lhs), unit_of(&rhs)) {
+                    if let (Some(lu), Some(ru)) =
+                        (resolve(&lhs, &local_units), resolve(&rhs, &local_units))
+                    {
                         if !compatible(lu, ru, false)
                             && !pragmas.allows(Rule::UnitDataflow, &file.path, lineno)
                         {
@@ -273,6 +287,80 @@ fn scan_file(file: &SourceFile, pragmas: &mut PragmaSet, out: &mut Vec<Violation
                     false,
                 ),
             );
+        }
+
+        // After the scans (so this line's operators saw the *prior*
+        // state): record or kill the unit of a single-assignment local.
+        update_locals(code, &mut local_units);
+    }
+}
+
+/// True for a function-signature line (`fn` as a standalone token,
+/// followed by a parameter list) — the scope boundary at which inferred
+/// local units are discarded.
+fn is_fn_sig(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn") {
+        let start = from + rel;
+        let end = start + 2;
+        let before_ok = start == 0 || !is_ident_char(bytes[start - 1] as char);
+        let after_ok = bytes.get(end).is_some_and(|&b| b == b' ');
+        if before_ok && after_ok && code[end..].contains('(') {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Threads units through simple `let` rebindings: `let x = rssi_dbm;`
+/// gives the suffix-less `x` the unit dBm, so `x + height_m` two lines
+/// later still flags. Chains resolve through the map (`let y = x;`
+/// inherits), and any rebinding whose right-hand side is not a bare
+/// unit-bearing path kills the entry — single-assignment tracking, no
+/// mutation analysis.
+fn update_locals(code: &str, locals: &mut BTreeMap<String, &'static str>) {
+    let Some(at) = code.find(" = ") else {
+        return;
+    };
+    // Left side: `let [mut] name[: Ty]` or a bare `name` reassignment.
+    let head = code[..at].trim();
+    let head = head.split(':').next().unwrap_or(head).trim_end();
+    let head = head.strip_prefix("let ").unwrap_or(head).trim_start();
+    let name = head.strip_prefix("mut ").unwrap_or(head).trim_start();
+    if name.is_empty()
+        || !name.chars().all(is_ident_char)
+        || !name.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+    {
+        return;
+    }
+    // A suffixed name documents its own unit — never shadow that.
+    if unit_of(name).is_some() {
+        locals.remove(name);
+        return;
+    }
+    let rhs_text = code[at + 3..].trim().trim_end_matches(';');
+    let simple = !rhs_text.is_empty()
+        && rhs_text
+            .chars()
+            .all(|c| is_ident_char(c) || c == '.' || c == '&' || c == '*');
+    let inferred = simple
+        .then(|| {
+            let last = rhs_text
+                .trim_start_matches(['&', '*'])
+                .rsplit('.')
+                .next()
+                .unwrap_or("");
+            unit_of(last).or_else(|| locals.get(last).copied())
+        })
+        .flatten();
+    match inferred {
+        Some(u) => {
+            locals.insert(name.to_string(), u);
+        }
+        None => {
+            locals.remove(name);
         }
     }
 }
@@ -472,6 +560,35 @@ fn scaled(t_us: f64) -> f64 { t_us }
     #[test]
     fn method_names_are_not_policed() {
         let v = run("fn f(x_deg: f64) -> f64 {\n    x_deg.to_radians()\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unit_threads_through_let_rebinding() {
+        let v = run(
+            "fn f(rssi_dbm: f64, height_m: f64) -> f64 {\n    let x = rssi_dbm;\n    let y = x + height_m;\n    y\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("mixed units"), "{}", v[0].message);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn rebinding_chain_and_scope_reset() {
+        // `y` inherits through `x`; the second fn resets the map, so its
+        // own `x` carries no unit.
+        let v = run(
+            "fn f(t_us: f64) -> f64 {\n    let x = t_us;\n    let y = x;\n    y\n}\nfn g(d_m: f64, x: f64) -> f64 {\n    x + d_m\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_simple_rebinding_kills_the_unit() {
+        // `x` is rebound to a cast — its unit is no longer knowable.
+        let v = run(
+            "fn f(t_us: f64, d_m: f64) -> f64 {\n    let mut x = t_us;\n    x = t_us * 2.0;\n    x + d_m\n}\n",
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 

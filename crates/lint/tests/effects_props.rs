@@ -1,0 +1,130 @@
+//! Property tests for the effect lattice and the interprocedural
+//! fixpoint (`wilocator_lint::effects`).
+//!
+//! The W012/W013 soundness story rests on three algebraic facts: join
+//! is a semilattice operation (commutative, idempotent, monotone), the
+//! fixpoint is an actual fixpoint that dominates every seed and every
+//! callee, and the result does not depend on the order nodes or edges
+//! are visited in. Randomized call graphs (cycles included — the `% n`
+//! wrap makes self-loops and back-edges common) exercise all three.
+
+use proptest::prelude::*;
+use wilocator_lint::effects::{fixpoint, join, TOP};
+
+/// Wraps raw generated edge targets into a well-formed adjacency list
+/// for `n` nodes (targets taken mod `n`, missing rows empty).
+fn make_edges(raw: &[Vec<usize>], n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| {
+            raw.get(i)
+                .map(|row| row.iter().map(|&j| j % n).collect())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+/// Applies a permutation (built from `seed` by composing transpositions)
+/// to a fixpoint problem and returns (perm, local', edges').
+fn permuted(
+    local: &[u8],
+    edges: &[Vec<usize>],
+    seed: &[usize],
+) -> (Vec<usize>, Vec<u8>, Vec<Vec<usize>>) {
+    let n = local.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for (k, &s) in seed.iter().enumerate() {
+        perm.swap(k % n, s % n);
+    }
+    let mut local2 = vec![0u8; n];
+    let mut edges2 = vec![Vec::new(); n];
+    for i in 0..n {
+        local2[perm[i]] = local[i];
+        edges2[perm[i]] = edges[i].iter().map(|&j| perm[j]).collect();
+    }
+    (perm, local2, edges2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_is_commutative(a in 0u8..=63, b in 0u8..=63) {
+        prop_assert_eq!(join(a, b), join(b, a));
+    }
+
+    #[test]
+    fn join_is_idempotent_with_bot_and_top(a in 0u8..=63) {
+        prop_assert_eq!(join(a, a), a);
+        prop_assert_eq!(join(a, 0), a);
+        prop_assert_eq!(join(a, TOP), TOP);
+    }
+
+    #[test]
+    fn join_is_monotone(a in 0u8..=63, b in 0u8..=63, c in 0u8..=63) {
+        // a ⊑ a ⊔ b always…
+        let ab = join(a, b);
+        prop_assert_eq!(ab & a, a);
+        // …and a ⊑ b implies a ⊔ c ⊑ b ⊔ c.
+        if a & b == a {
+            let lo = join(a, c);
+            let hi = join(b, c);
+            prop_assert_eq!(lo & hi, lo);
+        }
+    }
+
+    #[test]
+    fn fixpoint_dominates_seeds_and_callees(
+        local in proptest::collection::vec(0u8..=63, 1..24),
+        raw_edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 0..5), 0..24),
+    ) {
+        let n = local.len();
+        let edges = make_edges(&raw_edges, n);
+        let eff = fixpoint(&local, &edges);
+        prop_assert_eq!(eff.len(), n);
+        for i in 0..n {
+            // Every node dominates its own seeds…
+            prop_assert_eq!(eff[i] & local[i], local[i]);
+            // …and every callee's full transitive set.
+            for &j in &edges[i] {
+                prop_assert_eq!(eff[i] & eff[j], eff[j]);
+            }
+        }
+        // And it is a genuine fixpoint: re-running from it is identity.
+        prop_assert_eq!(fixpoint(&eff, &edges), eff);
+    }
+
+    #[test]
+    fn fixpoint_ignores_edge_iteration_order(
+        local in proptest::collection::vec(0u8..=63, 1..24),
+        raw_edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 0..5), 0..24),
+    ) {
+        let n = local.len();
+        let edges = make_edges(&raw_edges, n);
+        let reversed: Vec<Vec<usize>> = edges
+            .iter()
+            .map(|row| row.iter().rev().copied().collect())
+            .collect();
+        prop_assert_eq!(fixpoint(&local, &edges), fixpoint(&local, &reversed));
+    }
+
+    #[test]
+    fn fixpoint_is_permutation_equivariant(
+        local in proptest::collection::vec(0u8..=63, 1..24),
+        raw_edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 0..5), 0..24),
+        seed in proptest::collection::vec(0usize..1024, 0..24),
+    ) {
+        let n = local.len();
+        let edges = make_edges(&raw_edges, n);
+        let (perm, local2, edges2) = permuted(&local, &edges, &seed);
+        let eff = fixpoint(&local, &edges);
+        let eff2 = fixpoint(&local2, &edges2);
+        for i in 0..n {
+            // Relabeling nodes relabels the answer — node identity (and
+            // therefore sweep order) carries no information.
+            prop_assert_eq!(eff2[perm[i]], eff[i]);
+        }
+    }
+}

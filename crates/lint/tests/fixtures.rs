@@ -51,6 +51,7 @@ fn bad_fixtures_trip_their_rule() {
     }
     for code in [
         "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009", "W010", "W011",
+        "W012", "W013",
     ] {
         assert!(seen.contains(code), "no bad fixture exercises {code}");
     }
@@ -108,6 +109,7 @@ fn good_fixtures_are_clean() {
     }
     for code in [
         "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009", "W010", "W011",
+        "W012", "W013",
     ] {
         assert!(seen.contains(code), "no good fixture exercises {code}");
     }

@@ -1,0 +1,9 @@
+//! Seeded violation for W008's single-assignment threading: the unit of
+//! `rssi_dbm` survives the rebinding through the suffix-less `x`, so
+//! the addition two lines later still mixes dBm with meters.
+
+pub fn blend(rssi_dbm: f64, height_m: f64) -> f64 {
+    let x = rssi_dbm;
+    let y = x + height_m; //~ W008
+    y
+}

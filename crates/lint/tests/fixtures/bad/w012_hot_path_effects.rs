@@ -1,0 +1,34 @@
+//! Seeded violations for W012 `hot_path_effects`: a budget-annotated
+//! entry reaching denied effects in its own body and transitively, a
+//! trait-object call defaulting to ⊤, and a malformed annotation.
+
+pub trait Policy {
+    fn admit(&self, x: u64) -> bool;
+}
+
+pub struct Store {
+    items: Vec<u64>,
+    policy: Box<dyn Policy>,
+}
+
+impl Store {
+    // lint: hot_path(deny: allocates, reads_clock) //~ W012
+    pub fn hot_insert(&mut self, x: u64) {
+        self.items.push(x);
+        self.stamp();
+    }
+
+    fn stamp(&self) -> std::time::Instant {
+        std::time::Instant::now()
+    }
+
+    // lint: hot_path(deny: blocks_or_syscalls) //~ W012
+    pub fn hot_admit(&self, x: u64) -> bool {
+        self.policy.admit(x)
+    }
+
+    // lint: hot_path(deny: warp_speed) //~ W012
+    pub fn mis_annotated(&self) -> usize {
+        self.items.len()
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded violations for W013 `read_path_purity`: `QuerySnapshot`
+//! readers taking an ingest lock and spinning unboundedly.
+
+// lint: allow(raw_sync) — standalone fixture, no crate::sync façade to import from
+use std::sync::Mutex;
+
+pub struct QuerySnapshot {
+    positions: Vec<u64>,
+    pending: Mutex<Vec<u64>>,
+}
+
+impl QuerySnapshot {
+    pub fn total_pending(&self) -> u64 { //~ W013
+        let Ok(pending) = self.pending.lock() else {
+            return 0;
+        };
+        pending.iter().sum()
+    }
+
+    pub fn spin_for_position(&self) -> u64 { //~ W013
+        loop {
+            if let Some(&p) = self.positions.first() {
+                return p;
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Clean under W008's single-assignment threading: rebinding chains
+//! keep a compatible unit, a fresh function scope drops the map, and a
+//! non-simple rebinding (arithmetic) kills the inferred unit.
+
+pub fn chain(t_us: f64, limit_us: f64) -> bool {
+    let x = t_us;
+    let y = x;
+    y > limit_us
+}
+
+pub fn fresh_scope(d_m: f64, x: f64) -> f64 {
+    x + d_m
+}
+
+pub fn killed(t_us: f64, d_m: f64) -> f64 {
+    let mut x = t_us;
+    x = t_us * 0.5;
+    x + d_m
+}

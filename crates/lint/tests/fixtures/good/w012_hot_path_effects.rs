@@ -1,0 +1,25 @@
+//! Clean under W012 `hot_path_effects`: entries that fit their budget,
+//! and one denied effect carried by a reasoned allow pragma.
+
+pub struct Engine {
+    buf: Vec<u64>,
+    acc: u64,
+}
+
+impl Engine {
+    // lint: hot_path(deny: blocks_or_syscalls, reads_clock, unbounded_iteration)
+    pub fn hot_step(&mut self, x: u64) {
+        self.buf.push(x);
+        self.acc = self.tail(x);
+    }
+
+    fn tail(&self, x: u64) -> u64 {
+        self.acc.wrapping_add(x)
+    }
+
+    // lint: hot_path(deny: allocates)
+    pub fn warm_grow(&mut self, x: u64) {
+        // lint: allow(hot_path_effects) — amortized growth: capacity is reserved at startup, push does not reallocate in steady state
+        self.buf.push(x);
+    }
+}

@@ -1,0 +1,35 @@
+//! Clean under W013 `read_path_purity`: readers touch only snapshot
+//! data, and the documented one-slot read-lock + `Arc` clone is reached
+//! only through the blessed `SnapshotCell::read` leaf.
+
+// lint: allow(raw_sync) — standalone fixture, no crate::sync façade to import from
+use std::sync::{Arc, RwLock};
+
+pub struct QuerySnapshot {
+    positions: Vec<u64>,
+}
+
+pub struct SnapshotCell {
+    slot: RwLock<Arc<QuerySnapshot>>,
+}
+
+impl SnapshotCell {
+    /// The documented read-path carve-out: one uncontended slot read
+    /// lock, one `Arc` clone.
+    pub fn read(&self) -> Arc<QuerySnapshot> {
+        match self.slot.read() {
+            Ok(s) => Arc::clone(&s),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+}
+
+impl QuerySnapshot {
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    pub fn first_position(cell: &SnapshotCell) -> Option<u64> {
+        cell.read().positions.first().copied()
+    }
+}

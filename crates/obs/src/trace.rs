@@ -453,6 +453,7 @@ impl Tracer {
 
     /// The clock stamps are read from.
     pub fn clock(&self) -> &dyn Clock {
+        // lint: allow(read_path_purity) — dyn Clock dispatch defaults to ⊤; every Clock impl is a pure time read, no locks or blocking
         self.clock.as_ref()
     }
 
@@ -921,6 +922,7 @@ impl TraceCtx<'_> {
                 idx: NOOP_SPAN,
             };
         }
+        // lint: allow(hot_path_effects) — stamp runs only under a detailed trace ctx; hot paths pass trace=None or sampled keyed spans
         let now = self.tracer.clock.now_us();
         let mut inner = self.inner.borrow_mut();
         let CtxInner { children, open, .. } = &mut *inner;

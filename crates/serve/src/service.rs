@@ -142,6 +142,7 @@ fn route(
         QueryEndpoint::Metrics => Response {
             status: 200,
             content_type: TEXT,
+            // lint: allow(read_path_purity) — diagnostic endpoint, not a rider read: the registry mutex is uncontended off the ingest path
             body: server.metrics_text(),
         },
         QueryEndpoint::Arrivals => arrivals(server, rest, request.query()),
@@ -503,6 +504,7 @@ fn subscribe(server: &WiLocator, query: Option<&str>) -> Response {
     let Some(epoch) = epoch else {
         return Response::error(400, "epoch parameter is required");
     };
+    // lint: allow(read_path_purity) — long-poll endpoint: parking on the publish condvar is its documented contract, bounded by the client timeout
     let current = server.wait_past_epoch(epoch, std::time::Duration::from_millis(timeout_ms));
     Response::json(
         200,

@@ -734,6 +734,7 @@ impl SignalVoronoiDiagram {
     ) -> Option<TileId> {
         self.neighbors(id)
             .into_iter()
+            // lint: allow(hot_path_effects) — caller-supplied predicate (⊤): mapping passes pure tile tests, no effects to inherit
             .find(|&(t, _)| filter(t))
             .map(|(t, _)| t)
     }

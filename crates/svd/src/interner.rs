@@ -138,7 +138,10 @@ impl ApInterner {
     pub fn code(&self, ap: ApId) -> Option<u16> {
         let mask = self.probe.len().wrapping_sub(1);
         let mut i = hash_id(ap.0) & mask;
-        loop {
+        // The load factor stays below 1 (see `build`), so every probe
+        // sequence hits an EMPTY_SLOT; the explicit bound makes the
+        // probe provably finite even on a corrupted table.
+        for _ in 0..self.probe.len() {
             let slot = *self.probe.get(i)?;
             if slot == EMPTY_SLOT {
                 return None;
@@ -148,6 +151,7 @@ impl ApInterner {
             }
             i = (i + 1) & mask;
         }
+        None
     }
 
     /// The AP behind a dense code, or `None` for sentinel codes.

@@ -262,6 +262,7 @@ impl RoutePositioner {
     /// `time_s`, optionally constrained by the previous fix.
     ///
     /// Returns `None` when the scan is empty and no prior exists.
+    // lint: hot_path(deny: acquires_lock, blocks_or_syscalls, reads_clock, unbounded_iteration)
     pub fn locate(&self, ranked: &[(ApId, i32)], time_s: f64, prior: Option<Prior>) -> Option<Fix> {
         // The dominant serving case resolves before the thread-local
         // scratch is even touched.
@@ -334,6 +335,7 @@ impl RoutePositioner {
     /// an accepted fix must be exact, which it is by construction: every
     /// expression below mirrors the general path's, in the same order, on
     /// the same operands (enforced by the `kernel_differential` battery).
+    // lint: hot_path(deny: allocates, acquires_lock, blocks_or_syscalls, reads_clock, unbounded_iteration)
     #[inline]
     fn fast_fix(&self, ranked: &[(ApId, i32)], time_s: f64, prior: Option<Prior>) -> Option<Fix> {
         if self.config.order != 2 || ranked.len() < 2 {

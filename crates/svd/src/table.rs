@@ -117,7 +117,10 @@ impl SignatureTable {
         let key = (c0 as u32) << 16 | c1 as u32;
         let mask = self.probe2.len().wrapping_sub(1);
         let mut i = hash_key2(key) & mask;
-        loop {
+        // The probe table is sized past the entry count (see `build`),
+        // so every probe sequence hits an EMPTY_SLOT; the explicit
+        // bound makes that finite structurally, not just by invariant.
+        for _ in 0..self.probe2.len() {
             let slot = *self.probe2.get(i)?;
             if slot == EMPTY_SLOT {
                 return None;
@@ -127,6 +130,7 @@ impl SignatureTable {
             }
             i = (i + 1) & mask;
         }
+        None
     }
 
     /// Number of distinct signatures.

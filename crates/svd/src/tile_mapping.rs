@@ -167,6 +167,7 @@ impl TileMapper {
     ///
     /// Unseen signatures fall back to the nearest known signature by rank
     /// distance. Returns `None` when nothing matches at all.
+    // lint: hot_path(deny: acquires_lock, blocks_or_syscalls, unbounded_iteration)
     pub fn locate(
         &self,
         diagram: &SignalVoronoiDiagram,
